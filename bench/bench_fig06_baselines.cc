@@ -1,0 +1,55 @@
+// Reproduces Figure 6: throughput of the three text-partitioning baselines
+// (frequency, hypergraph, metric) and the three space-partitioning
+// baselines (grid, kd-tree, R-tree) on Q1 and Q2 query sets over both
+// datasets. Paper setting: 4 dispatchers / 8 workers, mu = 5M for Q1 and
+// 10M for Q2; scaled here to 50k / 100k live queries (see EXPERIMENTS.md).
+//
+// Expected shape (paper): space > text on Q1 (frequent keywords duplicate
+// objects under text partitioning); text > space on Q2 (rare keywords +
+// larger ranges duplicate queries under space partitioning); metric best
+// among text, kd-tree best among space.
+#include "bench_util.h"
+
+using namespace ps2;
+using namespace ps2::bench;
+
+namespace {
+
+void RunGroup(const char* title, const std::vector<std::string>& algos,
+              QueryKind kind, size_t mu, size_t objects) {
+  PrintHeader(title, {"dataset", "algorithm", "throughput(tuples/s)",
+                      "est.balance", "obj.fanout"});
+  for (const std::string dataset : {"US", "UK"}) {
+    Env env = MakeEnv(dataset, kind, mu, objects);
+    for (const auto& algo : algos) {
+      auto cluster = MakeCluster(env, algo, /*workers=*/8);
+      const SimReport report = RunCapacity(*cluster, env);
+      const auto loads = cluster->WorkerLoads(CostModel{});
+      const auto& stats = cluster->dispatcher().stats();
+      PrintCell(env.query_set);
+      PrintCell(algo);
+      PrintCell(report.throughput_estimate_tps, "%.0f");
+      PrintCell(BalanceFactor(loads), "%.2f");
+      PrintCell(stats.ObjectFanout(), "%.2f");
+      EndRow();
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 6 reproduction: baseline workload distribution "
+              "algorithms (8 workers)\n");
+  RunGroup("Fig 6(a)-like: text partitioning, Q1 (mu=50k)",
+           {"frequency", "hypergraph", "metric"}, QueryKind::kQ1, 50000,
+           60000);
+  RunGroup("Fig 6(b)-like: text partitioning, Q2 (mu=100k)",
+           {"frequency", "hypergraph", "metric"}, QueryKind::kQ2, 100000,
+           60000);
+  RunGroup("Fig 6(c)-like: space partitioning, Q1 (mu=50k)",
+           {"grid", "kdtree", "rtree"}, QueryKind::kQ1, 50000, 60000);
+  RunGroup("Fig 6(d)-like: space partitioning, Q2 (mu=100k)",
+           {"grid", "kdtree", "rtree"}, QueryKind::kQ2, 100000, 60000);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Reproduces Figure 7: throughput of hybrid partitioning vs the best text
+// baseline (metric) and best space baseline (kd-tree) on Q1 / Q2 / Q3.
+// Expected shape (paper): hybrid best or tied everywhere; clear win on the
+// mixed-regime Q3 (paper: ~30%); metric weak on Q1, kd-tree weak on Q2.
+#include "bench_util.h"
+
+using namespace ps2;
+using namespace ps2::bench;
+
+namespace {
+
+void RunSet(const char* title, QueryKind kind, size_t mu, size_t objects) {
+  PrintHeader(title, {"dataset", "algorithm", "throughput(tuples/s)",
+                      "est.balance"});
+  for (const std::string dataset : {"US", "UK"}) {
+    Env env = MakeEnv(dataset, kind, mu, objects);
+    for (const std::string algo : {"metric", "kdtree", "hybrid"}) {
+      auto cluster = MakeCluster(env, algo, 8);
+      const SimReport report = RunCapacity(*cluster, env);
+      PrintCell(env.query_set);
+      PrintCell(algo);
+      PrintCell(report.throughput_estimate_tps, "%.0f");
+      PrintCell(BalanceFactor(cluster->WorkerLoads(CostModel{})), "%.2f");
+      EndRow();
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 7 reproduction: hybrid vs metric vs kd-tree "
+              "(8 workers)\n");
+  RunSet("Fig 7(a)-like: Q1 (mu=50k)", QueryKind::kQ1, 50000, 60000);
+  RunSet("Fig 7(b)-like: Q2 (mu=100k)", QueryKind::kQ2, 100000, 60000);
+  RunSet("Fig 7(c)-like: Q3 (mu=100k)", QueryKind::kQ3, 100000, 60000);
+  return 0;
+}

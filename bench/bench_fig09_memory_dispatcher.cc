@@ -1,0 +1,41 @@
+// Reproduces Figure 9: average dispatcher memory of hybrid vs metric vs
+// kd-tree. Expected shape (paper): all small (< ~1 GB at paper scale);
+// kd-tree smallest (pure per-cell worker ids, H2 only); hybrid highest on
+// Q2 (more text-routed cells carrying per-cell term maps).
+#include "bench_util.h"
+
+using namespace ps2;
+using namespace ps2::bench;
+
+namespace {
+
+void RunSet(const char* title, QueryKind kind, size_t mu, size_t objects) {
+  PrintHeader(title, {"dataset", "algorithm", "dispatcher memory",
+                      "plan(H1)", "H2 entries"});
+  for (const std::string dataset : {"US", "UK"}) {
+    Env env = MakeEnv(dataset, kind, mu, objects);
+    for (const std::string algo : {"metric", "kdtree", "hybrid"}) {
+      auto cluster = MakeCluster(env, algo, 8);
+      // Route the measured stream so H2 reflects steady-state churn.
+      const SimReport report = RunCapacity(*cluster, env);
+      (void)report;
+      PrintCell(env.query_set);
+      PrintCell(algo);
+      PrintCell(Mb(cluster->DispatcherMemoryBytes()));
+      PrintCell(Mb(cluster->router().plan().MemoryBytes()));
+      PrintCell(static_cast<double>(cluster->router().NumH2Entries()),
+                "%.0f");
+      EndRow();
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 9 reproduction: dispatcher memory (8 workers)\n");
+  RunSet("Fig 9(a)-like: Q1 (mu=50k)", QueryKind::kQ1, 50000, 40000);
+  RunSet("Fig 9(b)-like: Q2 (mu=100k)", QueryKind::kQ2, 100000, 40000);
+  RunSet("Fig 9(c)-like: Q3 (mu=100k)", QueryKind::kQ3, 100000, 40000);
+  return 0;
+}

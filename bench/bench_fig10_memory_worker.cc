@@ -1,0 +1,46 @@
+// Reproduces Figure 10: average worker memory of hybrid vs metric vs
+// kd-tree. Expected shape (paper): hybrid lowest in most cases — by
+// choosing the per-region strategy it stores fewer duplicated copies of
+// each query; none of the methods is memory-heavy.
+#include "bench_util.h"
+
+using namespace ps2;
+using namespace ps2::bench;
+
+namespace {
+
+void RunSet(const char* title, QueryKind kind, size_t mu, size_t objects) {
+  PrintHeader(title, {"dataset", "algorithm", "avg worker mem",
+                      "max worker mem", "stored queries(sum)"});
+  for (const std::string dataset : {"US", "UK"}) {
+    Env env = MakeEnv(dataset, kind, mu, objects);
+    for (const std::string algo : {"metric", "kdtree", "hybrid"}) {
+      auto cluster = MakeCluster(env, algo, 8);
+      const SimReport report = RunCapacity(*cluster, env);
+      (void)report;
+      size_t total = 0, mx = 0, queries = 0;
+      for (int w = 0; w < cluster->num_workers(); ++w) {
+        const size_t b = cluster->WorkerMemoryBytes(w);
+        total += b;
+        mx = std::max(mx, b);
+        queries += cluster->worker(w).NumActiveQueries();
+      }
+      PrintCell(env.query_set);
+      PrintCell(algo);
+      PrintCell(Mb(total / cluster->num_workers()));
+      PrintCell(Mb(mx));
+      PrintCell(static_cast<double>(queries), "%.0f");
+      EndRow();
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 10 reproduction: worker memory (8 workers)\n");
+  RunSet("Fig 10(a)-like: Q1 (mu=50k)", QueryKind::kQ1, 50000, 40000);
+  RunSet("Fig 10(b)-like: Q2 (mu=100k)", QueryKind::kQ2, 100000, 40000);
+  RunSet("Fig 10(c)-like: Q3 (mu=100k)", QueryKind::kQ3, 100000, 40000);
+  return 0;
+}

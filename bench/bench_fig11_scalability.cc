@@ -1,0 +1,39 @@
+// Reproduces Figure 11: throughput as the number of workers grows
+// (8..24), UK dataset, Q1/Q2/Q3. Expected shape (paper): hybrid scales
+// near-linearly and leads; metric flattest on UK-Q1 (frequent keywords),
+// kd-tree flattest on UK-Q2 (large ranges).
+#include "bench_util.h"
+
+using namespace ps2;
+using namespace ps2::bench;
+
+namespace {
+
+void RunSet(const char* title, QueryKind kind, size_t mu, size_t objects) {
+  PrintHeader(title,
+              {"#workers", "metric", "kdtree", "hybrid"});
+  Env env = MakeEnv("UK", kind, mu, objects);
+  for (const int workers : {8, 16, 24}) {
+    PrintCell(static_cast<double>(workers), "%.0f");
+    for (const std::string algo : {"metric", "kdtree", "hybrid"}) {
+      auto cluster = MakeCluster(env, algo, workers);
+      const SimReport report = RunCapacity(*cluster, env);
+      PrintCell(report.throughput_estimate_tps, "%.0f");
+    }
+    EndRow();
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 11 reproduction: scalability with #workers "
+              "(UK dataset)\n");
+  RunSet("Fig 11(a)-like: STS-UK-Q1 (mu=20k)", QueryKind::kQ1, 20000,
+         12000);
+  RunSet("Fig 11(b)-like: STS-UK-Q2 (mu=30k)", QueryKind::kQ2, 30000,
+         12000);
+  RunSet("Fig 11(c)-like: STS-UK-Q3 (mu=30k)", QueryKind::kQ3, 30000,
+         12000);
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Reproduces Figure 12 (#Q = 1M -> 20k, STS-US-Q1): for DP / GR / SI / RA,
+// (a) the running time of selecting cells for migration on the same
+// overloaded worker, (b) average migration cost (bytes) and time, and
+// (c) the fraction of tuples with latency <100ms / 100ms-1s / >1s while
+// migrations run. Expected shape (paper): DP slowest selection by orders
+// of magnitude; DP and GR cheapest migrations; GR best latency profile.
+#include "adjust/local_adjust.h"
+#include "bench_util.h"
+
+using namespace ps2;
+using namespace ps2::bench;
+
+namespace {
+
+// Builds a cluster whose plan was fitted to a *different* workload (stale
+// sample), so the live stream overloads some workers — the natural trigger
+// for dynamic load adjustment that the paper gets from 60 days of drifting
+// tweets.
+std::unique_ptr<Cluster> MakeSkewedCluster(const Env& live,
+                                           uint64_t stale_seed,
+                                           int workers) {
+  Env stale = MakeEnv(live.dataset, QueryKind::kQ1, 20000, 20000, stale_seed);
+  PartitionConfig cfg;
+  cfg.num_workers = workers;
+  const PartitionPlan plan = MakePartitioner("kdtree")->Build(
+      stale.stream.sample, *live.vocab, cfg);
+  auto cluster = std::make_unique<Cluster>(plan, live.vocab.get());
+  for (const auto& t : live.stream.setup) cluster->Process(t);
+  cluster->ResetLoadWindow();
+  return cluster;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 12 reproduction: migration algorithms "
+              "(#Q=20k, STS-US-Q1, 8 workers)\n");
+  Env env = MakeEnv("US", QueryKind::kQ1, 20000, 40000);
+
+  // --- (a) time of selecting cells on the same worker ----------------------
+  {
+    auto cluster = MakeSkewedCluster(env, /*stale_seed=*/77, 8);
+    // Accumulate load so Definition-3 cell loads are populated.
+    SimOptions warm;
+    warm.measure_service = true;
+    warm.enable_adjust = false;
+    RunSimulation(*cluster, env.stream.stream, warm);
+    const auto loads = cluster->WorkerLoads(CostModel{});
+    const WorkerId wo = static_cast<WorkerId>(
+        std::max_element(loads.begin(), loads.end()) - loads.begin());
+    auto cells = LocalLoadAdjuster::CollectCells(*cluster, wo);
+    double total = 0.0;
+    for (const auto& c : cells) total += c.load;
+    const double tau = total * 0.4;
+    Rng rng(3);
+    PrintHeader("Fig 12(a)-like: cell-selection time",
+                {"algorithm", "selection time(ms)", "#cells", "sel.size(KB)"});
+    for (const std::string algo : {"DP", "GR", "SI", "RA"}) {
+      const auto sel = SelectCells(algo, cells, tau, rng);
+      PrintCell(algo);
+      PrintCell(sel.selection_ms, "%.3f");
+      PrintCell(static_cast<double>(sel.cells.size()), "%.0f");
+      PrintCell(sel.total_size / 1024.0, "%.1f");
+      EndRow();
+    }
+  }
+
+  // --- (b)+(c) migration cost/time and latency buckets ----------------------
+  PrintHeader("Fig 12(b,c)-like: migration cost/time and latency buckets",
+              {"algorithm", "avg cost(KB)", "avg mig.time(s)", "<100ms",
+               "100ms-1s", ">1s"});
+  for (const std::string algo : {"DP", "GR", "SI", "RA"}) {
+    auto cluster = MakeSkewedCluster(env, 77, 8);
+    SimOptions opts;
+    opts.measure_service = true;
+    opts.enable_adjust = true;
+    opts.adjust_check_interval = 8000;
+    opts.adjust.selector = algo;
+    opts.adjust.bandwidth_bytes_per_sec = 5e6;  // modest network
+    const SimReport report =
+        RunSimulation(*cluster, env.stream.stream, opts);
+    PrintCell(algo);
+    PrintCell(report.avg_migration_bytes / 1024.0, "%.1f");
+    PrintCell(report.avg_migration_seconds, "%.3f");
+    PrintCell(report.frac_below_100ms, "%.3f");
+    PrintCell(report.frac_100_to_1000ms, "%.3f");
+    PrintCell(report.frac_above_1000ms, "%.3f");
+    EndRow();
+  }
+  return 0;
+}

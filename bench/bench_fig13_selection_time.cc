@@ -1,0 +1,67 @@
+// Reproduces Figure 13: average cell-selection time of GR / SI / RA as the
+// number of live queries grows (paper: 5M and 10M; scaled 50k and 100k;
+// the paper notes DP runs out of memory at these scales — we report its
+// projected table size instead of running it). Expected shape: selection
+// time is driven by the number of cells, not the number of queries, so GR,
+// SI and RA barely change between the two scales.
+#include "adjust/local_adjust.h"
+#include "bench_util.h"
+
+using namespace ps2;
+using namespace ps2::bench;
+
+int main() {
+  std::printf("Figure 13 reproduction: selection time vs #queries "
+              "(STS-US-Q1, 8 workers)\n");
+  for (const size_t mu : {50000u, 100000u}) {
+    Env env = MakeEnv("US", QueryKind::kQ1, mu, 30000);
+    PartitionConfig cfg;
+    cfg.num_workers = 8;
+    // Stale plan (different seed) so the load skews.
+    Env stale = MakeEnv("US", QueryKind::kQ1, 20000, 20000, 88);
+    const PartitionPlan plan = MakePartitioner("kdtree")->Build(
+        stale.stream.sample, *env.vocab, cfg);
+    Cluster cluster(plan, env.vocab.get());
+    for (const auto& t : env.stream.setup) cluster.Process(t);
+    cluster.ResetLoadWindow();
+    SimOptions warm;
+    warm.measure_service = true;
+    warm.enable_adjust = false;
+    RunSimulation(cluster, env.stream.stream, warm);
+
+    const auto loads = cluster.WorkerLoads(CostModel{});
+    const WorkerId wo = static_cast<WorkerId>(
+        std::max_element(loads.begin(), loads.end()) - loads.begin());
+    auto cells = LocalLoadAdjuster::CollectCells(cluster, wo);
+    double total = 0.0, bytes = 0.0;
+    for (const auto& c : cells) {
+      total += c.load;
+      bytes += c.size;
+    }
+    const double tau = total * 0.4;
+    Rng rng(4);
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "Fig 13-like: #Queries=%zu (overloaded worker: %zu cells)",
+                  mu, cells.size());
+    PrintHeader(title, {"algorithm", "selection time(ms)", "sel.#cells"});
+    for (const std::string algo : {"GR", "SI", "RA"}) {
+      // Average over repeated runs for stable sub-ms timings.
+      double ms = 0.0;
+      size_t n = 0;
+      for (int rep = 0; rep < 20; ++rep) {
+        const auto sel = SelectCells(algo, cells, tau, rng);
+        ms += sel.selection_ms;
+        n = sel.cells.size();
+      }
+      PrintCell(algo);
+      PrintCell(ms / 20.0, "%.4f");
+      PrintCell(static_cast<double>(n), "%.0f");
+      EndRow();
+    }
+    std::printf("(DP omitted as in the paper: its table would need ~%.1f MB "
+                "for this worker)\n",
+                cells.size() * (bytes / 256.0) * 8.0 / 1048576.0);
+  }
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Figure 14: average migration cost (shipped bytes) and
+// migration time of GR / SI / RA at two query scales (paper: 5M and 10M,
+// scaled 50k / 100k). Expected shape (paper): GR incurs 30-40% less cost
+// than SI and RA and the least time; both grow with the query count.
+#include "bench_util.h"
+
+using namespace ps2;
+using namespace ps2::bench;
+
+int main() {
+  std::printf("Figure 14 reproduction: migration cost and time "
+              "(STS-US-Q1, 8 workers)\n");
+  for (const size_t mu : {50000u, 100000u}) {
+    Env env = MakeEnv("US", QueryKind::kQ1, mu, 30000);
+    char title[96];
+    std::snprintf(title, sizeof(title), "Fig 14-like: #Queries=%zu", mu);
+    PrintHeader(title, {"algorithm", "avg cost(KB)", "avg mig.time(s)",
+                        "#migrations"});
+    for (const std::string algo : {"GR", "SI", "RA"}) {
+      Env stale = MakeEnv("US", QueryKind::kQ1, 20000, 20000, 88);
+      PartitionConfig cfg;
+      cfg.num_workers = 8;
+      const PartitionPlan plan = MakePartitioner("kdtree")->Build(
+          stale.stream.sample, *env.vocab, cfg);
+      Cluster cluster(plan, env.vocab.get());
+      for (const auto& t : env.stream.setup) cluster.Process(t);
+      cluster.ResetLoadWindow();
+      SimOptions opts;
+      opts.measure_service = true;
+      opts.enable_adjust = true;
+      opts.adjust_check_interval = 6000;
+      opts.adjust.selector = algo;
+      opts.adjust.bandwidth_bytes_per_sec = 5e6;
+      const SimReport report =
+          RunSimulation(cluster, env.stream.stream, opts);
+      PrintCell(algo);
+      PrintCell(report.avg_migration_bytes / 1024.0, "%.1f");
+      PrintCell(report.avg_migration_seconds, "%.3f");
+      PrintCell(static_cast<double>(report.num_migrations), "%.0f");
+      EndRow();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Figure 15: the fraction of tuples delayed <100ms, 100ms-1s
+// and >1s while GR / SI / RA migrations run, at two query scales.
+// Expected shape (paper): GR leaves the most tuples unaffected; RA delays
+// ~20% more tuples than GR; heavier query sets widen every tail.
+#include "bench_util.h"
+
+using namespace ps2;
+using namespace ps2::bench;
+
+int main() {
+  std::printf("Figure 15 reproduction: latency buckets during migrations "
+              "(STS-US-Q1, 8 workers)\n");
+  for (const size_t mu : {50000u, 100000u}) {
+    Env env = MakeEnv("US", QueryKind::kQ1, mu, 30000);
+    char title[96];
+    std::snprintf(title, sizeof(title), "Fig 15-like: #Queries=%zu", mu);
+    PrintHeader(title, {"algorithm", "<100ms", "100ms-1s", ">1s"});
+    for (const std::string algo : {"GR", "SI", "RA"}) {
+      Env stale = MakeEnv("US", QueryKind::kQ1, 20000, 20000, 88);
+      PartitionConfig cfg;
+      cfg.num_workers = 8;
+      const PartitionPlan plan = MakePartitioner("kdtree")->Build(
+          stale.stream.sample, *env.vocab, cfg);
+      Cluster cluster(plan, env.vocab.get());
+      for (const auto& t : env.stream.setup) cluster.Process(t);
+      cluster.ResetLoadWindow();
+      SimOptions opts;
+      opts.measure_service = true;
+      opts.enable_adjust = true;
+      opts.adjust_check_interval = 6000;
+      opts.adjust.selector = algo;
+      opts.adjust.bandwidth_bytes_per_sec = 5e6;
+      const SimReport report =
+          RunSimulation(cluster, env.stream.stream, opts);
+      PrintCell(algo);
+      PrintCell(report.frac_below_100ms, "%.3f");
+      PrintCell(report.frac_100_to_1000ms, "%.3f");
+      PrintCell(report.frac_above_1000ms, "%.3f");
+      EndRow();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Micro-benchmarks of the GI2 worker index: the per-operation costs that
+// calibrate the Definition-1 cost constants c1..c4 (see core/cost_model.h)
+// and the lazy-vs-eager deletion ablation called out in DESIGN.md.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/rng.h"
+#include "index/gi2.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic_corpus.h"
+
+namespace ps2 {
+namespace {
+
+struct Fixture {
+  Vocabulary vocab;
+  std::unique_ptr<SyntheticCorpus> corpus;
+  std::unique_ptr<QueryGenerator> qgen;
+  GridSpec grid;
+
+  Fixture() {
+    CorpusConfig cfg = CorpusConfig::UsPreset();
+    cfg.vocab_size = 8000;
+    corpus = std::make_unique<SyntheticCorpus>(cfg, &vocab);
+    corpus->Generate(20000);
+    QueryGenConfig qcfg;
+    qgen = std::make_unique<QueryGenerator>(qcfg, corpus.get());
+    grid = GridSpec(cfg.extent, 6);
+  }
+};
+
+Fixture& F() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+void BM_Gi2Insert(benchmark::State& state) {
+  auto& f = F();
+  const auto queries = f.qgen->Generate(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Gi2Index idx(f.grid, &f.vocab);
+    state.ResumeTiming();
+    for (const auto& q : queries) idx.Insert(q);
+  }
+  state.SetItemsProcessed(state.iterations() * queries.size());
+}
+BENCHMARK(BM_Gi2Insert)->Arg(1000)->Arg(10000);
+
+void BM_Gi2Match(benchmark::State& state) {
+  auto& f = F();
+  Gi2Index idx(f.grid, &f.vocab);
+  for (const auto& q : f.qgen->Generate(static_cast<size_t>(state.range(0)))) {
+    idx.Insert(q);
+  }
+  const auto objects = f.corpus->Generate(2000);
+  std::vector<MatchResult> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    idx.Match(objects[i++ % objects.size()], &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Gi2Match)->Arg(1000)->Arg(10000)->Arg(50000);
+
+void BM_Gi2DeleteLazyVsEager(benchmark::State& state) {
+  auto& f = F();
+  const bool lazy = state.range(0) == 1;
+  const auto queries = f.qgen->Generate(5000);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Gi2Index::Options opts;
+    opts.lazy_deletion = lazy;
+    Gi2Index idx(f.grid, &f.vocab, opts);
+    for (const auto& q : queries) idx.Insert(q);
+    state.ResumeTiming();
+    for (const auto& q : queries) idx.Delete(q.id);
+  }
+  state.SetItemsProcessed(state.iterations() * queries.size());
+  state.SetLabel(lazy ? "lazy" : "eager");
+}
+BENCHMARK(BM_Gi2DeleteLazyVsEager)->Arg(1)->Arg(0);
+
+void BM_Gi2MatchWithTombstones(benchmark::State& state) {
+  // Matching cost while a fraction of postings are tombstoned: the price
+  // lazy deletion pays at read time.
+  auto& f = F();
+  Gi2Index idx(f.grid, &f.vocab);
+  const auto queries = f.qgen->Generate(20000);
+  for (const auto& q : queries) idx.Insert(q);
+  const double dead_frac = state.range(0) / 100.0;
+  for (size_t i = 0; i < queries.size() * dead_frac; ++i) {
+    idx.Delete(queries[i].id);
+  }
+  const auto objects = f.corpus->Generate(2000);
+  std::vector<MatchResult> out;
+  size_t i = 0;
+  for (auto _ : state) {
+    out.clear();
+    idx.Match(objects[i++ % objects.size()], &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_Gi2MatchWithTombstones)->Arg(0)->Arg(20)->Arg(50);
+
+}  // namespace
+}  // namespace ps2
+
+BENCHMARK_MAIN();

@@ -1,0 +1,67 @@
+// Micro-benchmarks of partition plan construction: what a (re)partitioning
+// costs the control plane — relevant to the global adjustment cadence
+// (Section V-B runs it "once per day").
+#include <benchmark/benchmark.h>
+
+#include "partition/plan.h"
+#include "workload/stream_gen.h"
+#include "workload/synthetic_corpus.h"
+
+namespace ps2 {
+namespace {
+
+struct Fixture {
+  Vocabulary vocab;
+  std::unique_ptr<SyntheticCorpus> corpus;
+  WorkloadSample sample;
+
+  Fixture() {
+    corpus = std::make_unique<SyntheticCorpus>(CorpusConfig::UsPreset(),
+                                               &vocab);
+    corpus->Generate(5000);
+    QueryGenConfig qcfg;
+    QueryGenerator qgen(qcfg, corpus.get());
+    StreamConfig scfg;
+    scfg.num_objects = 20000;
+    scfg.mu = 20000;
+    GeneratedStream g = GenerateStream(*corpus, qgen, scfg);
+    sample = std::move(g.sample);
+  }
+};
+
+Fixture& F() {
+  static Fixture* f = new Fixture();
+  return *f;
+}
+
+void BM_BuildPlan(benchmark::State& state, const char* name) {
+  auto& f = F();
+  auto partitioner = MakePartitioner(name);
+  PartitionConfig cfg;
+  cfg.num_workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    PartitionPlan plan = partitioner->Build(f.sample, f.vocab, cfg);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+
+void BM_Frequency(benchmark::State& s) { BM_BuildPlan(s, "frequency"); }
+void BM_Hypergraph(benchmark::State& s) { BM_BuildPlan(s, "hypergraph"); }
+void BM_Metric(benchmark::State& s) { BM_BuildPlan(s, "metric"); }
+void BM_Grid(benchmark::State& s) { BM_BuildPlan(s, "grid"); }
+void BM_KdTree(benchmark::State& s) { BM_BuildPlan(s, "kdtree"); }
+void BM_RTree(benchmark::State& s) { BM_BuildPlan(s, "rtree"); }
+void BM_Hybrid(benchmark::State& s) { BM_BuildPlan(s, "hybrid"); }
+
+BENCHMARK(BM_Frequency)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Hypergraph)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Metric)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Grid)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_KdTree)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RTree)->Arg(8)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Hybrid)->Arg(8)->Arg(24)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ps2
+
+BENCHMARK_MAIN();

@@ -1,0 +1,105 @@
+// Elastic rebalancing: demonstrates Section V's dynamic load adjustment.
+// A flash-crowd event concentrates traffic on one region; the auto
+// adjuster detects the balance violation and migrates gridt cells (GR
+// selector) from the hot worker to the coolest one, restoring balance with
+// a small migration cost.
+//
+//   $ ./elastic_rebalance
+#include <cstdio>
+
+#include "runtime/ps2stream.h"
+#include "workload/synthetic_corpus.h"
+
+namespace {
+
+void PrintLoads(const char* label, const ps2::Cluster& cluster) {
+  std::printf("%s worker loads:", label);
+  const auto loads =
+      const_cast<ps2::Cluster&>(cluster).WorkerLoads(ps2::CostModel{});
+  double mx = 0, mn = 1e300;
+  for (const double l : loads) {
+    std::printf(" %8.0f", l);
+    mx = std::max(mx, l);
+    mn = std::min(mn, l);
+  }
+  std::printf("   (balance %.2f)\n", mn > 0 ? mx / mn : -1.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace ps2;
+
+  PS2StreamOptions options;
+  options.partitioner = "hybrid";
+  options.partition.num_workers = 4;
+  options.auto_adjust = true;
+  options.adjust_check_interval = 5000;
+  options.adjust.sigma = 1.6;
+  options.adjust.selector = "GR";
+  PS2Stream service(options);
+
+  CorpusConfig ccfg = CorpusConfig::UsPreset();
+  ccfg.vocab_size = 5000;
+  SyntheticCorpus corpus(ccfg, &service.vocabulary());
+  WorkloadSample sample;
+  sample.objects = corpus.Generate(15000);
+  service.Bootstrap(sample);
+
+  // Normal traffic: subscriptions and messages everywhere.
+  Rng rng(11);
+  for (int i = 0; i < 3000; ++i) {
+    const Point c = corpus.SampleLocation(rng);
+    STSQuery q;
+    q.id = 1 + i;
+    q.expr = BoolExpr::And({corpus.SampleTermAt(c, rng)});
+    q.region = Rect::Centered(c, corpus.extent().width() * 0.02,
+                              corpus.extent().height() * 0.02);
+    service.Subscribe(q);
+  }
+  for (const auto& o : corpus.Generate(10000)) service.Publish(o);
+  PrintLoads("steady state ", service.cluster());
+
+  // Flash crowd: traffic hammers one spot (and thus one worker). Several
+  // distinct event keywords are in play, so Phase I of the adjuster can
+  // text-split the hot cell instead of bouncing it between workers.
+  const Point hotspot = corpus.SampleLocation(rng);
+  std::vector<TermId> buzz;
+  for (const char* word : {"breaking", "fire", "crash", "festival",
+                           "protest", "outage"}) {
+    buzz.push_back(service.vocabulary().Intern(word));
+  }
+  for (int i = 0; i < 300; ++i) {
+    STSQuery q;
+    q.id = 100000 + i;
+    q.expr = BoolExpr::And({buzz[rng.NextBelow(buzz.size())]});
+    q.region = Rect::Centered(hotspot, corpus.extent().width() * 0.05,
+                              corpus.extent().height() * 0.05);
+    service.Subscribe(q);
+  }
+  uint64_t deliveries = 0;
+  for (int i = 0; i < 15000; ++i) {
+    SpatioTextualObject o;
+    o.id = 500000 + i;
+    o.loc = Point{hotspot.x + rng.NextGaussian(0, 1.2),
+                  hotspot.y + rng.NextGaussian(0, 1.2)};
+    o.terms = {buzz[rng.NextBelow(buzz.size())]};
+    std::sort(o.terms.begin(), o.terms.end());
+    deliveries += service.Publish(o).size();
+  }
+  PrintLoads("flash crowd  ", service.cluster());
+
+  std::printf("deliveries during flash crowd: %llu\n",
+              (unsigned long long)deliveries);
+  std::printf("automatic adjustments performed: %zu\n",
+              service.adjustments().size());
+  for (const auto& adj : service.adjustments()) {
+    std::printf("  w%d -> w%d: %d splits, %zu queries, %.1f KB shipped, "
+                "%.3f s, balance %.2f -> %.2f\n",
+                adj.overloaded, adj.underloaded, adj.phase1_splits,
+                adj.queries_moved, adj.bytes_migrated / 1024.0,
+                adj.migration_seconds, adj.balance_before,
+                adj.balance_after);
+  }
+  return 0;
+}

@@ -1,0 +1,82 @@
+#ifndef PS2_ADJUST_LOCAL_ADJUST_H_
+#define PS2_ADJUST_LOCAL_ADJUST_H_
+
+#include <string>
+
+#include "adjust/migration.h"
+#include "core/workload_stats.h"
+#include "runtime/engine.h"
+
+namespace ps2 {
+
+// Configuration of local load adjustment (Section V-A).
+struct LocalAdjustConfig {
+  double sigma = 1.5;            // balance constraint Lmax/Lmin <= sigma
+  int p_top_cells = 8;           // Phase I inspects the p most loaded cells
+  std::string selector = "GR";   // Phase II algorithm: DP, GR, SI or RA
+  CostModel cost;
+  // Migration time model: network shipping plus per-query re-index cost.
+  double bandwidth_bytes_per_sec = 50e6;
+  double per_query_reindex_us = 4.0;
+  uint64_t seed = 7;
+};
+
+// Outcome of one adjustment attempt.
+struct AdjustReport {
+  bool triggered = false;       // balance constraint was violated
+  WorkerId overloaded = -1;
+  WorkerId underloaded = -1;
+  double balance_before = 1.0;
+  double balance_after = 1.0;
+  // Phase I
+  int phase1_splits = 0;
+  int phase1_merges = 0;
+  // Phase II
+  MigrationSelection selection;
+  size_t queries_moved = 0;
+  size_t bytes_migrated = 0;
+  double migration_seconds = 0.0;  // selection + shipping + re-indexing
+};
+
+// Local load adjustment (Section V-A): when the dispatcher detects that the
+// balance constraint is violated, the most loaded worker wo sheds load to
+// the least loaded worker wl.
+//
+// Phase I inspects wo's p most loaded cells: a space-routed cell whose text
+// split would lower the total workload is split (one half migrated to wl);
+// a text-routed cell whose counterpart lives on wl is merged there when that
+// lowers the total workload.
+//
+// Phase II, if the constraint is still violated, solves Minimum Cost
+// Migration (Definition 4) with the configured selector and migrates the
+// chosen cells from wo to wl.
+class LocalLoadAdjuster {
+ public:
+  explicit LocalLoadAdjuster(const LocalAdjustConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  // Checks the balance constraint over the cluster's current load window
+  // and adjusts if necessary. `window` is a recent workload sample used to
+  // estimate term-level statistics for Phase I splits.
+  AdjustReport MaybeAdjust(Cluster& cluster, const WorkloadSample& window);
+
+  // Collects wo's migratable cells (load Lg per Definition 3 from GI2 cell
+  // counters, size Sg = query bytes). Exposed for the migration benchmarks.
+  static std::vector<MigratableCell> CollectCells(const Cluster& cluster,
+                                                  WorkerId worker);
+
+ private:
+  // Phase I helpers; return true when they changed the cluster.
+  bool TryTextSplit(Cluster& cluster, const WorkloadSample& window,
+                    CellId cell, WorkerId wo, WorkerId wl,
+                    AdjustReport* report);
+  bool TryMerge(Cluster& cluster, CellId cell, WorkerId wo, WorkerId wl,
+                AdjustReport* report);
+
+  LocalAdjustConfig config_;
+  Rng rng_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_ADJUST_LOCAL_ADJUST_H_

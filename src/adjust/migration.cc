@@ -1,0 +1,197 @@
+#include "adjust/migration.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "common/stopwatch.h"
+
+namespace ps2 {
+namespace {
+
+double TotalLoad(const std::vector<MigratableCell>& cells) {
+  double sum = 0.0;
+  for (const auto& c : cells) sum += c.load;
+  return sum;
+}
+
+MigrationSelection TakeAll(const std::vector<MigratableCell>& cells,
+                           const char* algorithm) {
+  MigrationSelection sel;
+  sel.algorithm = algorithm;
+  for (const auto& c : cells) {
+    sel.cells.push_back(c.cell);
+    sel.total_load += c.load;
+    sel.total_size += c.size;
+  }
+  return sel;
+}
+
+}  // namespace
+
+MigrationSelection SelectCellsDP(const std::vector<MigratableCell>& cells,
+                                 double tau, double size_resolution) {
+  Stopwatch timer;
+  if (TotalLoad(cells) < tau) {
+    auto sel = TakeAll(cells, "DP");
+    sel.selection_ms = timer.ElapsedSeconds() * 1e3;
+    return sel;
+  }
+  const size_t n = cells.size();
+  // Discretize sizes (ceil so a budget that admits the discretized solution
+  // admits the real one).
+  std::vector<uint32_t> s(n);
+  uint64_t total_units = 0;
+  for (size_t i = 0; i < n; ++i) {
+    s[i] = static_cast<uint32_t>(
+        std::max(1.0, std::ceil(cells[i].size / size_resolution)));
+    total_units += s[i];
+  }
+  const size_t p = static_cast<size_t>(total_units);  // size upper bound
+  // a[i][j]: best load with first i cells, size budget j. Full table kept
+  // for backtracking — this is the O(nP) memory cost the paper criticizes.
+  std::vector<std::vector<double>> a(n + 1, std::vector<double>(p + 1, 0.0));
+  for (size_t i = 1; i <= n; ++i) {
+    const uint32_t si = s[i - 1];
+    const double li = cells[i - 1].load;
+    for (size_t j = 0; j <= p; ++j) {
+      a[i][j] = a[i - 1][j];
+      if (j >= si) {
+        a[i][j] = std::max(a[i][j], a[i - 1][j - si] + li);
+      }
+    }
+  }
+  // Smallest budget meeting tau.
+  size_t budget = p;
+  for (size_t j = 0; j <= p; ++j) {
+    if (a[n][j] >= tau) {
+      budget = j;
+      break;
+    }
+  }
+  MigrationSelection sel;
+  sel.algorithm = "DP";
+  // Backtrack.
+  size_t j = budget;
+  for (size_t i = n; i >= 1; --i) {
+    if (a[i][j] != a[i - 1][j]) {
+      sel.cells.push_back(cells[i - 1].cell);
+      sel.total_load += cells[i - 1].load;
+      sel.total_size += cells[i - 1].size;
+      j -= s[i - 1];
+    }
+  }
+  std::reverse(sel.cells.begin(), sel.cells.end());
+  sel.selection_ms = timer.ElapsedSeconds() * 1e3;
+  return sel;
+}
+
+MigrationSelection SelectCellsGR(const std::vector<MigratableCell>& cells,
+                                 double tau) {
+  Stopwatch timer;
+  if (TotalLoad(cells) < tau) {
+    auto sel = TakeAll(cells, "GR");
+    sel.selection_ms = timer.ElapsedSeconds() * 1e3;
+    return sel;
+  }
+  // Ascending relative cost Sg/Lg; zero-load cells carry infinite relative
+  // cost and sort last.
+  std::vector<size_t> order(cells.size());
+  std::iota(order.begin(), order.end(), 0);
+  const auto rel = [&](size_t i) {
+    return cells[i].load > 0.0 ? cells[i].size / cells[i].load
+                               : std::numeric_limits<double>::infinity();
+  };
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return rel(x) < rel(y); });
+
+  std::vector<size_t> gs;  // accumulated "GS" cells (prefix of a solution)
+  double gs_load = 0.0, gs_size = 0.0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  std::vector<size_t> best;
+  double best_load = 0.0;
+  for (const size_t i : order) {
+    if (gs_load + cells[i].load < tau) {
+      gs.push_back(i);
+      gs_load += cells[i].load;
+      gs_size += cells[i].size;
+      continue;
+    }
+    // `i` is a GL cell: GS u {i} is a candidate solution.
+    const double cost = gs_size + cells[i].size;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = gs;
+      best.push_back(i);
+      best_load = gs_load + cells[i].load;
+    }
+  }
+  MigrationSelection sel;
+  sel.algorithm = "GR";
+  if (best.empty()) {
+    // No single completer existed (all loads tiny): fall back to the GS
+    // prefix, which by the total-load check above cannot happen; defensive.
+    best = gs;
+    best_load = gs_load;
+    best_cost = gs_size;
+  }
+  for (const size_t i : best) {
+    sel.cells.push_back(cells[i].cell);
+    sel.total_size += cells[i].size;
+  }
+  sel.total_load = best_load;
+  sel.selection_ms = timer.ElapsedSeconds() * 1e3;
+  return sel;
+}
+
+MigrationSelection SelectCellsSI(const std::vector<MigratableCell>& cells,
+                                 double tau) {
+  Stopwatch timer;
+  std::vector<size_t> order(cells.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    return cells[x].size > cells[y].size;
+  });
+  MigrationSelection sel;
+  sel.algorithm = "SI";
+  for (const size_t i : order) {
+    if (sel.total_load >= tau) break;
+    sel.cells.push_back(cells[i].cell);
+    sel.total_load += cells[i].load;
+    sel.total_size += cells[i].size;
+  }
+  sel.selection_ms = timer.ElapsedSeconds() * 1e3;
+  return sel;
+}
+
+MigrationSelection SelectCellsRA(const std::vector<MigratableCell>& cells,
+                                 double tau, Rng& rng) {
+  Stopwatch timer;
+  std::vector<size_t> order(cells.size());
+  std::iota(order.begin(), order.end(), 0);
+  // Fisher-Yates shuffle with our deterministic RNG.
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBelow(i)]);
+  }
+  MigrationSelection sel;
+  sel.algorithm = "RA";
+  for (const size_t i : order) {
+    if (sel.total_load >= tau) break;
+    sel.cells.push_back(cells[i].cell);
+    sel.total_load += cells[i].load;
+    sel.total_size += cells[i].size;
+  }
+  sel.selection_ms = timer.ElapsedSeconds() * 1e3;
+  return sel;
+}
+
+MigrationSelection SelectCells(const std::string& algorithm,
+                               const std::vector<MigratableCell>& cells,
+                               double tau, Rng& rng) {
+  if (algorithm == "DP") return SelectCellsDP(cells, tau);
+  if (algorithm == "GR") return SelectCellsGR(cells, tau);
+  if (algorithm == "SI") return SelectCellsSI(cells, tau);
+  return SelectCellsRA(cells, tau, rng);
+}
+
+}  // namespace ps2

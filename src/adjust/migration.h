@@ -1,0 +1,65 @@
+#ifndef PS2_ADJUST_MIGRATION_H_
+#define PS2_ADJUST_MIGRATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "spatial/grid.h"
+
+namespace ps2 {
+
+// One migratable unit: a gridt cell on the overloaded worker, with its load
+// Lg (Definition 3: objects seen x average stored queries) and size Sg (the
+// bytes of queries that would be shipped).
+struct MigratableCell {
+  CellId cell = 0;
+  double load = 0.0;  // Lg
+  double size = 0.0;  // Sg, bytes
+};
+
+// Result of selecting cells for migration (Minimum Cost Migration,
+// Definition 4: minimize total size subject to total load >= tau).
+struct MigrationSelection {
+  std::vector<CellId> cells;
+  double total_load = 0.0;
+  double total_size = 0.0;
+  double selection_ms = 0.0;  // wall time spent selecting (Figures 12a, 13)
+  std::string algorithm;
+};
+
+// Exact dynamic program (Section V-A-1): knapsack over discretized sizes.
+// A(i, j) = max load achievable with cells 1..i under size budget j; the
+// answer is the smallest j with A(n, j) >= tau. `size_resolution` is the
+// byte granularity of the discretization (the paper's DP is exact over
+// integral sizes; we discretize since Sg are byte counts — error is at most
+// n * size_resolution). Memory and time are O(n * P / size_resolution),
+// matching the paper's observation that DP is slow and memory-hungry.
+MigrationSelection SelectCellsDP(const std::vector<MigratableCell>& cells,
+                                 double tau, double size_resolution = 256.0);
+
+// Greedy GR (Section V-A-2): scan cells in ascending relative cost Sg/Lg;
+// cells keeping the running load below tau are accumulated ("GS"); each
+// cell that would push the total to >= tau ("GL") completes a candidate
+// solution; the cheapest candidate wins.
+MigrationSelection SelectCellsGR(const std::vector<MigratableCell>& cells,
+                                 double tau);
+
+// Baseline SI: adds cells in descending size order until the load
+// requirement is met.
+MigrationSelection SelectCellsSI(const std::vector<MigratableCell>& cells,
+                                 double tau);
+
+// Baseline RA: adds random cells until the load requirement is met.
+MigrationSelection SelectCellsRA(const std::vector<MigratableCell>& cells,
+                                 double tau, Rng& rng);
+
+// Dispatch by name ("DP", "GR", "SI", "RA"); RA uses `rng`.
+MigrationSelection SelectCells(const std::string& algorithm,
+                               const std::vector<MigratableCell>& cells,
+                               double tau, Rng& rng);
+
+}  // namespace ps2
+
+#endif  // PS2_ADJUST_MIGRATION_H_

@@ -1,0 +1,50 @@
+#include "common/geo.h"
+
+#include <cstdio>
+
+namespace ps2 {
+
+void Rect::Expand(Point p) {
+  if (empty()) {
+    min_x = max_x = p.x;
+    min_y = max_y = p.y;
+    return;
+  }
+  min_x = std::min(min_x, p.x);
+  max_x = std::max(max_x, p.x);
+  min_y = std::min(min_y, p.y);
+  max_y = std::max(max_y, p.y);
+}
+
+void Rect::Expand(const Rect& r) {
+  if (r.empty()) return;
+  if (empty()) {
+    *this = r;
+    return;
+  }
+  min_x = std::min(min_x, r.min_x);
+  max_x = std::max(max_x, r.max_x);
+  min_y = std::min(min_y, r.min_y);
+  max_y = std::max(max_y, r.max_y);
+}
+
+Rect Rect::Intersection(const Rect& r) const {
+  if (!Intersects(r)) return Rect();
+  return Rect(std::max(min_x, r.min_x), std::max(min_y, r.min_y),
+              std::min(max_x, r.max_x), std::min(max_y, r.max_y));
+}
+
+std::string Rect::ToString() const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "[%.4f,%.4f]x[%.4f,%.4f]", min_x, max_x,
+                min_y, max_y);
+  return buf;
+}
+
+double Distance(Point a, Point b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace ps2

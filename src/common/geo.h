@@ -1,0 +1,88 @@
+#ifndef PS2_COMMON_GEO_H_
+#define PS2_COMMON_GEO_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace ps2 {
+
+// A geographic coordinate. The paper uses (latitude, longitude); we keep a
+// generic (x, y) plane with x = longitude-like and y = latitude-like axes.
+// All spatial structures in this library operate on this plane.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+// An axis-aligned rectangle [min_x, max_x] x [min_y, max_y]. STS query
+// regions (q.R) and all index bounding boxes are Rects. A Rect is valid when
+// min_* <= max_*; a default-constructed Rect is the canonical "empty" value
+// (min > max) so that Expand() can start from it.
+struct Rect {
+  double min_x = 1.0;
+  double max_x = -1.0;
+  double min_y = 1.0;
+  double max_y = -1.0;
+
+  Rect() = default;
+  Rect(double mnx, double mny, double mxx, double mxy)
+      : min_x(mnx), max_x(mxx), min_y(mny), max_y(mxy) {}
+
+  // Builds the rectangle centered at `c` with side lengths `w` and `h`.
+  static Rect Centered(Point c, double w, double h) {
+    return Rect(c.x - w / 2, c.y - h / 2, c.x + w / 2, c.y + h / 2);
+  }
+
+  bool empty() const { return min_x > max_x || min_y > max_y; }
+
+  double width() const { return empty() ? 0.0 : max_x - min_x; }
+  double height() const { return empty() ? 0.0 : max_y - min_y; }
+  double Area() const { return width() * height(); }
+  Point Center() const {
+    return Point{(min_x + max_x) / 2, (min_y + max_y) / 2};
+  }
+
+  // Point containment uses half-open semantics on neither side: boundaries
+  // are inclusive, matching the paper's "o.loc locates inside q.R".
+  bool Contains(Point p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Contains(const Rect& r) const {
+    return !r.empty() && r.min_x >= min_x && r.max_x <= max_x &&
+           r.min_y >= min_y && r.max_y <= max_y;
+  }
+
+  bool Intersects(const Rect& r) const {
+    if (empty() || r.empty()) return false;
+    return r.min_x <= max_x && r.max_x >= min_x && r.min_y <= max_y &&
+           r.max_y >= min_y;
+  }
+
+  // Grows this rectangle to cover `p` / `r`.
+  void Expand(Point p);
+  void Expand(const Rect& r);
+
+  // The overlap rectangle (empty Rect when disjoint).
+  Rect Intersection(const Rect& r) const;
+
+  std::string ToString() const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.max_x == b.max_x && a.min_y == b.min_y &&
+           a.max_y == b.max_y;
+  }
+};
+
+// Euclidean distance on the plane.
+double Distance(Point a, Point b);
+
+}  // namespace ps2
+
+#endif  // PS2_COMMON_GEO_H_

@@ -1,0 +1,72 @@
+#ifndef PS2_COMMON_RNG_H_
+#define PS2_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ps2 {
+
+// Deterministic, fast pseudo-random generator (xoshiro256**). Every
+// stochastic component of the library (workload generators, the RA migration
+// baseline, sampling) takes an explicit Rng so experiments are reproducible
+// from a seed. Satisfies the UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return Next(); }
+
+  uint64_t Next();
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  // Standard normal via Box-Muller, scaled to N(mean, stddev^2).
+  double NextGaussian(double mean, double stddev);
+
+  // True with probability p.
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  // Splits off an independent generator (for per-thread / per-component
+  // streams) without correlating with this one.
+  Rng Split();
+
+ private:
+  uint64_t s_[4];
+  bool have_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+// Samples from a Zipf distribution over {0, 1, ..., n-1} with exponent `s`
+// (rank-frequency power law: P(k) ~ 1/(k+1)^s). Used to generate term
+// frequencies matching the paper's observation that tweet keywords follow a
+// power-law distribution. Precomputes the CDF once; sampling is O(log n).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return cdf_.size(); }
+
+  // Probability mass of rank k (for tests and analytics).
+  double Pmf(size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_COMMON_RNG_H_

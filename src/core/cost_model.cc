@@ -1,0 +1,35 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ps2 {
+
+double WorkerLoad(const CostModel& cm, const WorkerLoadTally& t) {
+  return cm.c1 * static_cast<double>(t.objects) *
+             static_cast<double>(t.inserts) +
+         cm.c2 * static_cast<double>(t.objects) +
+         cm.c3 * static_cast<double>(t.inserts) +
+         cm.c4 * static_cast<double>(t.deletes);
+}
+
+double CellLoad(uint64_t num_objects, double avg_num_queries) {
+  return static_cast<double>(num_objects) * avg_num_queries;
+}
+
+double BalanceFactor(const std::vector<double>& loads) {
+  if (loads.empty()) return 1.0;
+  const double lmax = *std::max_element(loads.begin(), loads.end());
+  const double lmin = *std::min_element(loads.begin(), loads.end());
+  if (lmax == 0.0) return 1.0;
+  if (lmin == 0.0) return std::numeric_limits<double>::infinity();
+  return lmax / lmin;
+}
+
+double TotalLoad(const std::vector<double>& loads) {
+  double sum = 0.0;
+  for (const double l : loads) sum += l;
+  return sum;
+}
+
+}  // namespace ps2

@@ -1,0 +1,50 @@
+#ifndef PS2_CORE_COST_MODEL_H_
+#define PS2_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace ps2 {
+
+// Per-operation cost constants of Definition 1. The paper leaves c1..c4
+// abstract ("average cost of ..."); the defaults below are the relative
+// magnitudes we calibrated from GI2 microbenchmarks (bench_micro_gi2):
+// matching one object against one indexed query is the unit, handling an
+// object (grid lookup + result emission) costs ~5 units, an insertion ~8
+// (index append across cells), a deletion ~2 (tombstone insert).
+struct CostModel {
+  double c1 = 1.0;  // object-vs-query matching check
+  double c2 = 5.0;  // per-object handling overhead
+  double c3 = 8.0;  // per-insertion handling
+  double c4 = 2.0;  // per-deletion handling
+};
+
+// Tallies of the workload routed to one worker over an accounting period.
+struct WorkerLoadTally {
+  uint64_t objects = 0;     // |Oi|
+  uint64_t inserts = 0;     // |Qi_i|
+  uint64_t deletes = 0;     // |Qd_i|
+
+  void Clear() { objects = inserts = deletes = 0; }
+};
+
+// Load of one worker (Definition 1):
+//   Li = c1*|Oi|*|Qi_i| + c2*|Oi| + c3*|Qi_i| + c4*|Qd_i|
+double WorkerLoad(const CostModel& cm, const WorkerLoadTally& t);
+
+// Load of one gridt cell (Definition 3): Lg = no * nq, where no is the
+// number of objects falling in the cell and nq the average number of
+// queries stored in it over the period.
+double CellLoad(uint64_t num_objects, double avg_num_queries);
+
+// Balance factor Lmax/Lmin over per-worker loads; returns +inf when some
+// worker has zero load and another does not, 1.0 when all are zero. The
+// paper's constraint is balance <= sigma.
+double BalanceFactor(const std::vector<double>& loads);
+
+// Sum of loads.
+double TotalLoad(const std::vector<double>& loads);
+
+}  // namespace ps2
+
+#endif  // PS2_CORE_COST_MODEL_H_

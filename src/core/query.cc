@@ -1,0 +1,7 @@
+#include "core/query.h"
+
+namespace ps2 {
+// STSQuery and StreamTuple are header-only aggregates; this translation unit
+// exists to anchor the vtable-free types in the library and keep one .cc per
+// header per project convention.
+}  // namespace ps2

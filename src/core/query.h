@@ -1,0 +1,96 @@
+#ifndef PS2_CORE_QUERY_H_
+#define PS2_CORE_QUERY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geo.h"
+#include "core/object.h"
+#include "text/bool_expr.h"
+
+namespace ps2 {
+
+using QueryId = uint64_t;
+
+// A Spatio-Textual Subscription (STS) query q = <K, R> (Definition in
+// Section III-A): a boolean keyword expression over terms plus a rectangular
+// region of interest. An object matches iff its location lies in `region`
+// and its terms satisfy `expr`.
+struct STSQuery {
+  QueryId id = 0;
+  BoolExpr expr;
+  Rect region;
+
+  bool Matches(const SpatioTextualObject& o) const {
+    return region.Contains(o.loc) && expr.Matches(o.terms);
+  }
+
+  // Size in bytes used for migration cost accounting (Sg in Definition 4 is
+  // "the total size of the queries in cell g").
+  size_t MemoryBytes() const {
+    return sizeof(STSQuery) + expr.TermSlots() * sizeof(TermId) +
+           expr.clauses().size() * sizeof(std::vector<TermId>);
+  }
+};
+
+// The three tuple kinds flowing through the system: publish a spatio-textual
+// object, insert a subscription, delete a subscription (Section III).
+enum class TupleKind : uint8_t {
+  kObject = 0,
+  kQueryInsert = 1,
+  kQueryDelete = 2,
+};
+
+// One element of the merged input stream. Exactly one of {object, query} is
+// meaningful depending on `kind`; deletions carry the full query (the paper
+// notes "the request contains complete information of the STS query") so
+// dispatchers can route them like insertions.
+struct StreamTuple {
+  TupleKind kind = TupleKind::kObject;
+  SpatioTextualObject object;
+  STSQuery query;
+
+  // Event-time in microseconds since the stream epoch.
+  int64_t event_time_us = 0;
+
+  static StreamTuple OfObject(SpatioTextualObject o) {
+    StreamTuple t;
+    t.kind = TupleKind::kObject;
+    t.event_time_us = o.timestamp_us;
+    t.object = std::move(o);
+    return t;
+  }
+  static StreamTuple OfInsert(STSQuery q, int64_t time_us = 0) {
+    StreamTuple t;
+    t.kind = TupleKind::kQueryInsert;
+    t.query = std::move(q);
+    t.event_time_us = time_us;
+    return t;
+  }
+  static StreamTuple OfDelete(STSQuery q, int64_t time_us = 0) {
+    StreamTuple t;
+    t.kind = TupleKind::kQueryDelete;
+    t.query = std::move(q);
+    t.event_time_us = time_us;
+    return t;
+  }
+};
+
+// A (query, object) match produced by a worker and deduplicated by the
+// merger before delivery to the subscriber.
+struct MatchResult {
+  QueryId query_id = 0;
+  ObjectId object_id = 0;
+
+  friend bool operator==(const MatchResult& a, const MatchResult& b) {
+    return a.query_id == b.query_id && a.object_id == b.object_id;
+  }
+  friend bool operator<(const MatchResult& a, const MatchResult& b) {
+    if (a.query_id != b.query_id) return a.query_id < b.query_id;
+    return a.object_id < b.object_id;
+  }
+};
+
+}  // namespace ps2
+
+#endif  // PS2_CORE_QUERY_H_

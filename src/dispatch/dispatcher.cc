@@ -1,0 +1,42 @@
+#include "dispatch/dispatcher.h"
+
+namespace ps2 {
+
+void Dispatcher::Route(const StreamTuple& tuple,
+                       std::vector<Delivery>* out) {
+  out->clear();
+  switch (tuple.kind) {
+    case TupleKind::kObject: {
+      index_->RouteObject(tuple.object, &scratch_workers_);
+      if (scratch_workers_.empty()) {
+        ++stats_.objects_discarded;
+        return;
+      }
+      ++stats_.objects_routed;
+      stats_.object_deliveries += scratch_workers_.size();
+      out->reserve(scratch_workers_.size());
+      for (const WorkerId w : scratch_workers_) {
+        out->push_back(Delivery{w, {}});
+      }
+      return;
+    }
+    case TupleKind::kQueryInsert: {
+      ++stats_.inserts_routed;
+      for (auto& r : index_->RouteInsert(tuple.query)) {
+        ++stats_.query_deliveries;
+        out->push_back(Delivery{r.worker, std::move(r.cells)});
+      }
+      return;
+    }
+    case TupleKind::kQueryDelete: {
+      ++stats_.deletes_routed;
+      for (auto& r : index_->RouteDelete(tuple.query)) {
+        ++stats_.query_deliveries;
+        out->push_back(Delivery{r.worker, std::move(r.cells)});
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace ps2

@@ -1,0 +1,62 @@
+#ifndef PS2_DISPATCH_DISPATCHER_H_
+#define PS2_DISPATCH_DISPATCHER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/query.h"
+#include "dispatch/gridt_index.h"
+
+namespace ps2 {
+
+// The dispatcher component (Figure 1): consumes the merged stream of
+// spatio-textual objects and query insert/delete requests and produces the
+// per-worker deliveries dictated by the gridt index, while keeping the
+// statistics the load controller needs (per-worker tallies, discard counts,
+// fan-out). In the threaded runtime several dispatcher threads share one
+// GridtIndex; this class is the single-threaded routing core.
+class Dispatcher {
+ public:
+  // One routed delivery: which worker receives the tuple, and (for query
+  // updates) which cells it applies to there.
+  struct Delivery {
+    WorkerId worker = 0;
+    std::vector<CellId> cells;  // empty for objects
+  };
+
+  // `index` is shared with the load controller; not owned.
+  explicit Dispatcher(GridtIndex* index) : index_(index) {}
+
+  // Routes one tuple, appending deliveries. Objects that match no live
+  // query key are discarded (counted, no deliveries).
+  void Route(const StreamTuple& tuple, std::vector<Delivery>* out);
+
+  // --- statistics ----------------------------------------------------------
+  struct Stats {
+    uint64_t objects_routed = 0;
+    uint64_t objects_discarded = 0;
+    uint64_t inserts_routed = 0;
+    uint64_t deletes_routed = 0;
+    uint64_t object_deliveries = 0;  // sum of per-object fanout
+    uint64_t query_deliveries = 0;
+    double ObjectFanout() const {
+      return objects_routed == 0
+                 ? 0.0
+                 : static_cast<double>(object_deliveries) / objects_routed;
+    }
+  };
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+
+  GridtIndex& index() { return *index_; }
+
+ private:
+  GridtIndex* index_;
+  Stats stats_;
+  std::vector<WorkerId> scratch_workers_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_DISPATCH_DISPATCHER_H_

@@ -1,0 +1,20 @@
+#include "dispatch/merger.h"
+
+namespace ps2 {
+
+bool Merger::Accept(const MatchResult& m) {
+  const uint64_t key = Key(m);
+  if (!seen_.insert(key).second) {
+    ++duplicates_;
+    return false;
+  }
+  fifo_.push_back(key);
+  if (fifo_.size() > capacity_) {
+    seen_.erase(fifo_.front());
+    fifo_.pop_front();
+  }
+  ++delivered_;
+  return true;
+}
+
+}  // namespace ps2

@@ -1,0 +1,201 @@
+#include "index/gi2.h"
+
+#include <algorithm>
+
+namespace ps2 {
+
+Gi2Index::Gi2Index(const GridSpec& grid, const Vocabulary* vocab,
+                   const Options& options)
+    : grid_(grid), vocab_(vocab), options_(options) {}
+
+void Gi2Index::IndexInCell(const STSQuery& q, StoredQuery& stored,
+                           CellId cell) {
+  Cell& c = cells_[cell];
+  if (!c.members.insert(q.id).second) return;  // already indexed here
+  for (const TermId t : q.expr.RoutingTerms(*vocab_)) {
+    c.postings[t].push_back(q.id);
+    ++stored.posting_slots;
+  }
+  stored.cells.push_back(cell);
+  c.query_bytes += q.MemoryBytes();
+}
+
+void Gi2Index::Insert(const STSQuery& q) {
+  InsertIntoCells(q, grid_.CellsOverlapping(q.region));
+}
+
+void Gi2Index::InsertIntoCells(const STSQuery& q,
+                               const std::vector<CellId>& cells) {
+  if (q.expr.empty()) return;  // matches nothing; never index
+  // Re-inserting an id that is currently tombstoned would confuse lazy
+  // purging; finish the logical delete eagerly first.
+  if (tombstones_.count(q.id)) {
+    for (auto& [cell_id, cell] : cells_) {
+      if (!cell.members.erase(q.id)) continue;
+      for (auto& [term, list] : cell.postings) {
+        list.erase(std::remove(list.begin(), list.end(), q.id), list.end());
+      }
+    }
+    tombstones_.erase(q.id);
+  }
+  auto [it, inserted] = queries_.try_emplace(q.id);
+  if (inserted) it->second.query = q;
+  // The dispatcher is the routing authority; cells are indexed as given.
+  // In particular, geometry outside the grid extent clamps to border cells
+  // on both the query and the object path, so the pair still rendezvous.
+  for (const CellId cell : cells) {
+    IndexInCell(q, it->second, cell);
+  }
+  if (it->second.cells.empty()) queries_.erase(it);  // indexed nowhere
+}
+
+void Gi2Index::Delete(QueryId id) {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) return;
+  const size_t q_bytes = it->second.query.MemoryBytes();
+  if (options_.lazy_deletion) {
+    tombstones_[id] = it->second.posting_slots;
+    // The stored query itself is dropped now; only posting slots linger in
+    // the inverted lists until matching traversals purge them.
+    for (const CellId cell_id : it->second.cells) {
+      auto cit = cells_.find(cell_id);
+      if (cit == cells_.end()) continue;
+      if (cit->second.members.erase(id)) {
+        cit->second.query_bytes -= std::min(cit->second.query_bytes, q_bytes);
+      }
+    }
+    queries_.erase(it);
+    return;
+  }
+  // Eager deletion: scrub postings in the query's cells immediately.
+  for (const CellId cell_id : it->second.cells) {
+    auto cit = cells_.find(cell_id);
+    if (cit == cells_.end()) continue;
+    Cell& cell = cit->second;
+    if (!cell.members.erase(id)) continue;
+    cell.query_bytes -= std::min(cell.query_bytes, q_bytes);
+    for (auto& [term, list] : cell.postings) {
+      list.erase(std::remove(list.begin(), list.end(), id), list.end());
+    }
+  }
+  queries_.erase(it);
+}
+
+void Gi2Index::Match(const SpatioTextualObject& o,
+                     std::vector<MatchResult>* out) {
+  const CellId cell_id = grid_.CellOf(o.loc);
+  auto cit = cells_.find(cell_id);
+  if (cit == cells_.end()) return;
+  Cell& cell = cit->second;
+  ++cell.objects_seen;
+
+  // A query is indexed under every term of its routing clause; an object may
+  // contain several of them, so dedup within this call.
+  std::unordered_set<QueryId> emitted;
+  for (const TermId t : o.terms) {
+    auto pit = cell.postings.find(t);
+    if (pit == cell.postings.end()) continue;
+    std::vector<QueryId>& list = pit->second;
+    for (size_t i = 0; i < list.size();) {
+      const QueryId qid = list[i];
+      auto tomb = tombstones_.find(qid);
+      if (tomb != tombstones_.end()) {
+        // Lazy purge: swap-remove the stale posting.
+        PurgePosting(list, i);
+        if (--tomb->second == 0) tombstones_.erase(tomb);
+        continue;
+      }
+      auto qit = queries_.find(qid);
+      if (qit != queries_.end() && !emitted.count(qid) &&
+          qit->second.query.Matches(o)) {
+        emitted.insert(qid);
+        out->push_back(MatchResult{qid, o.id});
+      }
+      ++i;
+    }
+    if (list.empty()) cell.postings.erase(pit);
+  }
+}
+
+void Gi2Index::PurgePosting(std::vector<QueryId>& list, size_t index) {
+  list[index] = list.back();
+  list.pop_back();
+}
+
+size_t Gi2Index::MemoryBytes() const {
+  size_t bytes = sizeof(Gi2Index);
+  for (const auto& [id, cell] : cells_) {
+    bytes += sizeof(Cell) + 32;
+    for (const auto& [term, list] : cell.postings) {
+      bytes += sizeof(TermId) + 32 + list.capacity() * sizeof(QueryId);
+    }
+    bytes += cell.members.size() * (sizeof(QueryId) + 16);
+  }
+  for (const auto& [id, stored] : queries_) {
+    bytes += stored.query.MemoryBytes() + 32;
+  }
+  bytes += tombstones_.size() * (sizeof(QueryId) + sizeof(uint32_t) + 16);
+  return bytes;
+}
+
+std::vector<Gi2Index::CellStats> Gi2Index::AllCellStats() const {
+  std::vector<CellStats> out;
+  out.reserve(cells_.size());
+  for (const auto& [id, cell] : cells_) {
+    out.push_back(CellStats{id, static_cast<uint32_t>(cell.members.size()),
+                            cell.objects_seen, cell.query_bytes});
+  }
+  return out;
+}
+
+Gi2Index::CellStats Gi2Index::StatsFor(CellId cell) const {
+  auto it = cells_.find(cell);
+  if (it == cells_.end()) return CellStats{cell, 0, 0, 0};
+  return CellStats{cell, static_cast<uint32_t>(it->second.members.size()),
+                   it->second.objects_seen, it->second.query_bytes};
+}
+
+void Gi2Index::ResetObjectCounters() {
+  for (auto& [id, cell] : cells_) cell.objects_seen = 0;
+}
+
+std::vector<STSQuery> Gi2Index::ExtractCell(CellId cell_id) {
+  std::vector<STSQuery> out;
+  auto cit = cells_.find(cell_id);
+  if (cit == cells_.end()) return out;
+  Cell& cell = cit->second;
+  // Count the postings this cell holds per query so tombstone budgets and
+  // posting totals stay consistent after removal.
+  std::unordered_map<QueryId, uint32_t> cell_postings;
+  for (const auto& [term, list] : cell.postings) {
+    for (const QueryId qid : list) cell_postings[qid]++;
+  }
+  for (const auto& [qid, count] : cell_postings) {
+    auto tomb = tombstones_.find(qid);
+    if (tomb != tombstones_.end()) {
+      if (tomb->second <= count) {
+        tombstones_.erase(tomb);
+      } else {
+        tomb->second -= count;
+      }
+      continue;
+    }
+    auto qit = queries_.find(qid);
+    if (qit == queries_.end()) continue;
+    out.push_back(qit->second.query);
+    qit->second.posting_slots -= count;
+    auto& qcells = qit->second.cells;
+    qcells.erase(std::remove(qcells.begin(), qcells.end(), cell_id),
+                 qcells.end());
+    if (qcells.empty()) queries_.erase(qit);
+  }
+  cells_.erase(cit);
+  return out;
+}
+
+size_t Gi2Index::CellMigrationBytes(CellId cell) const {
+  auto it = cells_.find(cell);
+  return it == cells_.end() ? 0 : it->second.query_bytes;
+}
+
+}  // namespace ps2

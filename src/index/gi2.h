@@ -1,0 +1,121 @@
+#ifndef PS2_INDEX_GI2_H_
+#define PS2_INDEX_GI2_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/query.h"
+#include "spatial/grid.h"
+#include "text/vocabulary.h"
+
+namespace ps2 {
+
+// Grid-Inverted-Index (GI2) [29], the in-memory STS-query index maintained
+// by each worker (Section IV-D). Queries are divided by the grid cells their
+// region overlaps; each cell keeps an inverted index from routing terms to
+// query postings. For AND-only queries the routing term is the least
+// frequent keyword; for CNF queries with OR clauses we index under every
+// term of the cheapest clause (see BoolExpr::RoutingTerms for why this is
+// the completeness-preserving reading of the paper).
+//
+// Deletion is lazy (Section IV-D): a deletion request tombstones the query
+// id; stale postings are purged as inverted lists are traversed during
+// matching. Eager deletion is available for the ablation benchmark.
+//
+// The grid granularity matches the dispatcher's gridt index, so dynamic load
+// adjustment can migrate whole cells between workers via ExtractCell /
+// InsertIntoCells without re-deriving query-to-cell mappings.
+class Gi2Index {
+ public:
+  struct Options {
+    bool lazy_deletion = true;
+  };
+
+  // `vocab` supplies term frequencies for routing-term selection and must
+  // outlive the index.
+  Gi2Index(const GridSpec& grid, const Vocabulary* vocab)
+      : Gi2Index(grid, vocab, Options{}) {}
+  Gi2Index(const GridSpec& grid, const Vocabulary* vocab,
+           const Options& options);
+
+  // Indexes `q` in every grid cell overlapping q.region.
+  void Insert(const STSQuery& q);
+
+  // Indexes `q` only in the given cells (the dispatcher restricts a query
+  // to the cells this worker owns). Cells outside q.region's overlap are
+  // ignored. Duplicate insertion into a cell the query already occupies is
+  // a no-op.
+  void InsertIntoCells(const STSQuery& q, const std::vector<CellId>& cells);
+
+  // Removes the query everywhere (lazily by default). Unknown ids are
+  // ignored (a deletion may race ahead of its insertion across workers; the
+  // paper's dispatcher has the same tolerance).
+  void Delete(QueryId id);
+
+  // Matches `o` against the queries of the cell containing o.loc, appending
+  // each satisfied query exactly once to `out`. Purges tombstoned postings
+  // encountered along the way when lazy deletion is enabled.
+  void Match(const SpatioTextualObject& o, std::vector<MatchResult>* out);
+
+  // --- introspection -------------------------------------------------------
+  size_t NumActiveQueries() const { return queries_.size(); }
+  size_t NumTombstones() const { return tombstones_.size(); }
+  const GridSpec& grid() const { return grid_; }
+
+  // Approximate heap footprint: postings + stored queries + tables.
+  size_t MemoryBytes() const;
+
+  struct CellStats {
+    CellId cell = 0;
+    uint32_t num_queries = 0;     // live queries indexed in the cell
+    uint64_t objects_seen = 0;    // objects matched in the cell this period
+    size_t query_bytes = 0;       // Sg: total size of the queries in the cell
+  };
+  std::vector<CellStats> AllCellStats() const;
+  CellStats StatsFor(CellId cell) const;
+
+  // Resets per-period object counters (call at the start of each load
+  // accounting window).
+  void ResetObjectCounters();
+
+  // --- migration -----------------------------------------------------------
+  // Removes the given cell and returns the live queries that were indexed in
+  // it. Queries also indexed in other cells stay live there; a returned copy
+  // carries the full query so the receiving worker can index it.
+  std::vector<STSQuery> ExtractCell(CellId cell);
+
+  // Serialized size in bytes of a cell's content (what a migration of this
+  // cell would ship over the network).
+  size_t CellMigrationBytes(CellId cell) const;
+
+ private:
+  struct StoredQuery {
+    STSQuery query;
+    std::vector<CellId> cells;   // cells holding postings for this query
+    uint32_t posting_slots = 0;  // total postings across cells (for purge)
+  };
+  struct Cell {
+    // term -> posting list of query ids.
+    std::unordered_map<TermId, std::vector<QueryId>> postings;
+    std::unordered_set<QueryId> members;  // live queries in this cell
+    uint64_t objects_seen = 0;
+    size_t query_bytes = 0;
+  };
+
+  void IndexInCell(const STSQuery& q, StoredQuery& stored, CellId cell);
+  void PurgePosting(std::vector<QueryId>& list, size_t index);
+
+  GridSpec grid_;
+  const Vocabulary* vocab_;
+  Options options_;
+  std::unordered_map<CellId, Cell> cells_;
+  std::unordered_map<QueryId, StoredQuery> queries_;
+  // Tombstoned query id -> remaining posting slots to purge.
+  std::unordered_map<QueryId, uint32_t> tombstones_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_INDEX_GI2_H_

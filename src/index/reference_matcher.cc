@@ -1,0 +1,5 @@
+#include "index/reference_matcher.h"
+
+namespace ps2 {
+// Header-only; translation unit anchors the target.
+}  // namespace ps2

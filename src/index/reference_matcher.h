@@ -1,0 +1,35 @@
+#ifndef PS2_INDEX_REFERENCE_MATCHER_H_
+#define PS2_INDEX_REFERENCE_MATCHER_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/query.h"
+
+namespace ps2 {
+
+// Brute-force single-node matcher: the ground truth every distributed
+// configuration is tested against. O(#queries) per object — only suitable
+// for tests and small validation runs, which is exactly its job.
+class ReferenceMatcher {
+ public:
+  void Insert(const STSQuery& q) { queries_[q.id] = q; }
+  void Delete(QueryId id) { queries_.erase(id); }
+
+  std::vector<MatchResult> Match(const SpatioTextualObject& o) const {
+    std::vector<MatchResult> out;
+    for (const auto& [id, q] : queries_) {
+      if (q.Matches(o)) out.push_back(MatchResult{id, o.id});
+    }
+    return out;
+  }
+
+  size_t size() const { return queries_.size(); }
+
+ private:
+  std::unordered_map<QueryId, STSQuery> queries_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_INDEX_REFERENCE_MATCHER_H_

@@ -1,0 +1,54 @@
+#ifndef PS2_PARTITION_HYBRID_H_
+#define PS2_PARTITION_HYBRID_H_
+
+#include "partition/plan.h"
+
+namespace ps2 {
+
+// PS2Stream's hybrid workload partitioning (Section IV-B, Algorithm 1) —
+// the paper's primary contribution. Two phases:
+//
+// Phase 1 — similarity-driven kd decomposition. Starting from the whole
+// space, each node's cosine similarity between the term distribution of its
+// objects and of its queries decides its fate: similar (>= delta) nodes go
+// to Ns (text partitioning would duplicate objects massively — space
+// partitioning candidates); dissimilar nodes are kd-split in the direction
+// that most *reduces* similarity; when splitting no longer changes the
+// similarity (|alpha - sim| <= epsilon) the node is "consistent" and goes
+// to Nt (text-partitioning-only).
+//
+// Phase 2 — allocation. If there are fewer nodes than workers, the dynamic
+// program ComputeNumberPartitions picks how many parts each node is split
+// into so the total Definition-1 load is minimal; PartitionNode performs
+// the split (Nt nodes by text; Ns nodes by whichever of text/space yields
+// less load). MergeNodesIntoPartitions then greedily packs the leaves onto
+// the m workers; while the balance constraint Lmax/Lmin <= sigma is
+// violated, the heaviest leaf is split further (up to theta nodes).
+//
+// The output kdt-tree is compiled directly into the per-cell PartitionPlan
+// (the paper's gridt transformation): space leaves map their cells to one
+// worker; text leaves of the same block share a TermRouter.
+class HybridPartitioner : public Partitioner {
+ public:
+  std::string Name() const override { return "hybrid"; }
+  PartitionPlan Build(const WorkloadSample& sample, const Vocabulary& vocab,
+                      const PartitionConfig& config) const override;
+
+  // Diagnostics of the last Build (not thread-safe; benchmarks only).
+  struct BuildInfo {
+    size_t phase1_ns_nodes = 0;  // nodes sent to Ns
+    size_t phase1_nt_nodes = 0;  // nodes sent to Nt
+    size_t final_leaves = 0;
+    size_t text_leaves = 0;
+    double estimated_total_load = 0.0;
+    double estimated_balance = 0.0;
+  };
+  const BuildInfo& last_build_info() const { return info_; }
+
+ private:
+  mutable BuildInfo info_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_PARTITION_HYBRID_H_

@@ -1,0 +1,25 @@
+#include "partition/hybrid.h"
+#include "partition/plan.h"
+#include "partition/space_grid.h"
+#include "partition/space_kdtree.h"
+#include "partition/space_rtree.h"
+#include "partition/text_frequency.h"
+#include "partition/text_hypergraph.h"
+#include "partition/text_metric.h"
+
+namespace ps2 {
+
+std::unique_ptr<Partitioner> MakePartitioner(const std::string& name) {
+  if (name == "frequency") return std::make_unique<FrequencyTextPartitioner>();
+  if (name == "hypergraph") {
+    return std::make_unique<HypergraphTextPartitioner>();
+  }
+  if (name == "metric") return std::make_unique<MetricTextPartitioner>();
+  if (name == "grid") return std::make_unique<GridSpacePartitioner>();
+  if (name == "kdtree") return std::make_unique<KdTreeSpacePartitioner>();
+  if (name == "rtree") return std::make_unique<RTreeSpacePartitioner>();
+  if (name == "hybrid") return std::make_unique<HybridPartitioner>();
+  return nullptr;
+}
+
+}  // namespace ps2

@@ -1,0 +1,29 @@
+#include "partition/space_grid.h"
+
+#include "partition/load_estimator.h"
+
+namespace ps2 {
+
+PartitionPlan GridSpacePartitioner::Build(const WorkloadSample& sample,
+                                          const Vocabulary& /*vocab*/,
+                                          const PartitionConfig& config) const {
+  const GridSpec grid(sample.Bounds(), config.grid_k);
+  const CellLoadProfile profile = CellLoadProfile::Compute(grid, sample);
+
+  std::vector<double> weights(grid.NumCells());
+  for (CellId c = 0; c < grid.NumCells(); ++c) {
+    weights[c] = profile.CellLoad(config.cost, c);
+  }
+  const std::vector<int> bins = GreedyLpt(weights, config.num_workers);
+
+  PartitionPlan plan;
+  plan.grid = grid;
+  plan.num_workers = config.num_workers;
+  plan.cells.resize(grid.NumCells());
+  for (CellId c = 0; c < grid.NumCells(); ++c) {
+    plan.cells[c].worker = bins[c];
+  }
+  return plan;
+}
+
+}  // namespace ps2

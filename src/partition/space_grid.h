@@ -1,0 +1,22 @@
+#ifndef PS2_PARTITION_SPACE_GRID_H_
+#define PS2_PARTITION_SPACE_GRID_H_
+
+#include "partition/plan.h"
+
+namespace ps2 {
+
+// Grid space partitioning (baseline after SpatialHadoop [18]): the routing
+// grid's cells are weighed by their Definition-1 load and distributed over
+// workers with the LPT greedy. Cells are independent (no contiguity
+// requirement), which balances load well but duplicates wide queries across
+// many workers.
+class GridSpacePartitioner : public Partitioner {
+ public:
+  std::string Name() const override { return "grid"; }
+  PartitionPlan Build(const WorkloadSample& sample, const Vocabulary& vocab,
+                      const PartitionConfig& config) const override;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_PARTITION_SPACE_GRID_H_

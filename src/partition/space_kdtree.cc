@@ -1,0 +1,35 @@
+#include "partition/space_kdtree.h"
+
+#include "partition/load_estimator.h"
+#include "spatial/kdtree.h"
+
+namespace ps2 {
+
+PartitionPlan KdTreeSpacePartitioner::Build(const WorkloadSample& sample,
+                                            const Vocabulary& /*vocab*/,
+                                            const PartitionConfig& config) const {
+  const GridSpec grid(sample.Bounds(), config.grid_k);
+  const CellLoadProfile profile = CellLoadProfile::Compute(grid, sample);
+
+  const auto weight = [&](uint32_t cx, uint32_t cy) {
+    return profile.WeightAt(config.cost, cx, cy);
+  };
+  const std::vector<CellBlock> blocks =
+      KdDecompose(grid, static_cast<size_t>(config.num_workers), weight);
+
+  // One block per worker; if the grid could not be split far enough (tiny
+  // grids), remaining workers receive no cells.
+  PartitionPlan plan;
+  plan.grid = grid;
+  plan.num_workers = config.num_workers;
+  plan.cells.resize(grid.NumCells());
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    const WorkerId w = static_cast<WorkerId>(b % config.num_workers);
+    for (const CellId c : blocks[b].Cells(grid)) {
+      plan.cells[c].worker = w;
+    }
+  }
+  return plan;
+}
+
+}  // namespace ps2

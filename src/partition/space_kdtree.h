@@ -1,0 +1,23 @@
+#ifndef PS2_PARTITION_SPACE_KDTREE_H_
+#define PS2_PARTITION_SPACE_KDTREE_H_
+
+#include "partition/plan.h"
+
+namespace ps2 {
+
+// kd-tree space partitioning (baseline after AQWA [21] and Tornado [26]):
+// the space is recursively split at weighted medians into one contiguous
+// block per worker, then — as in Tornado — the kd-tree is flattened onto
+// the routing grid for O(1) dispatch. Contiguity limits duplication of
+// moderate query rectangles compared to the grid baseline, making this the
+// paper's strongest space baseline.
+class KdTreeSpacePartitioner : public Partitioner {
+ public:
+  std::string Name() const override { return "kdtree"; }
+  PartitionPlan Build(const WorkloadSample& sample, const Vocabulary& vocab,
+                      const PartitionConfig& config) const override;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_PARTITION_SPACE_KDTREE_H_

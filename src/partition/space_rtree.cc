@@ -1,0 +1,83 @@
+#include "partition/space_rtree.h"
+
+#include <algorithm>
+
+#include "partition/load_estimator.h"
+#include "spatial/rtree.h"
+
+namespace ps2 {
+
+PartitionPlan RTreeSpacePartitioner::Build(const WorkloadSample& sample,
+                                           const Vocabulary& /*vocab*/,
+                                           const PartitionConfig& config) const {
+  const GridSpec grid(sample.Bounds(), config.grid_k);
+  const CellLoadProfile profile = CellLoadProfile::Compute(grid, sample);
+  const int m = config.num_workers;
+
+  PartitionPlan plan;
+  plan.grid = grid;
+  plan.num_workers = m;
+  plan.cells.resize(grid.NumCells());
+
+  // Bulk-load the R-tree over the sampled insert-query rectangles.
+  std::vector<RTree::Entry> entries;
+  entries.reserve(sample.inserts.size());
+  for (uint64_t i = 0; i < sample.inserts.size(); ++i) {
+    entries.push_back(RTree::Entry{sample.inserts[i].region, i, 1.0});
+  }
+  if (entries.empty()) {
+    // No queries sampled: degrade to pure load-balanced cell assignment.
+    std::vector<double> weights(grid.NumCells());
+    for (CellId c = 0; c < grid.NumCells(); ++c) {
+      weights[c] = profile.CellLoad(config.cost, c);
+    }
+    const std::vector<int> bins = GreedyLpt(weights, m);
+    for (CellId c = 0; c < grid.NumCells(); ++c) {
+      plan.cells[c].worker = bins[c];
+    }
+    return plan;
+  }
+  RTree tree(leaf_capacity_);
+  tree.Build(std::move(entries));
+
+  // Distribute leaves over workers by weight (LPT).
+  const auto leaves = tree.Leaves();
+  std::vector<double> leaf_weights;
+  leaf_weights.reserve(leaves.size());
+  for (const auto& leaf : leaves) leaf_weights.push_back(leaf.weight);
+  const std::vector<int> leaf_worker = GreedyLpt(leaf_weights, m);
+
+  // Rasterize: each cell votes for the worker whose leaves overlap it with
+  // the largest total area.
+  std::vector<std::vector<double>> votes(grid.NumCells(),
+                                         std::vector<double>(m, 0.0));
+  for (size_t l = 0; l < leaves.size(); ++l) {
+    const int w = leaf_worker[l];
+    for (const CellId c : grid.CellsOverlapping(leaves[l].mbr)) {
+      votes[c][w] += grid.CellRect(c).Intersection(leaves[l].mbr).Area() +
+                     1e-12;  // epsilon so degenerate overlaps still count
+    }
+  }
+  // Cells covered by no leaf are packed onto workers by LPT on their load.
+  std::vector<CellId> orphan_cells;
+  std::vector<double> orphan_weights;
+  for (CellId c = 0; c < grid.NumCells(); ++c) {
+    const auto& v = votes[c];
+    const auto it = std::max_element(v.begin(), v.end());
+    if (*it > 0.0) {
+      plan.cells[c].worker = static_cast<WorkerId>(it - v.begin());
+    } else {
+      orphan_cells.push_back(c);
+      orphan_weights.push_back(profile.CellLoad(config.cost, c));
+    }
+  }
+  if (!orphan_cells.empty()) {
+    const std::vector<int> bins = GreedyLpt(orphan_weights, m);
+    for (size_t i = 0; i < orphan_cells.size(); ++i) {
+      plan.cells[orphan_cells[i]].worker = bins[i];
+    }
+  }
+  return plan;
+}
+
+}  // namespace ps2

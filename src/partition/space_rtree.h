@@ -1,0 +1,30 @@
+#ifndef PS2_PARTITION_SPACE_RTREE_H_
+#define PS2_PARTITION_SPACE_RTREE_H_
+
+#include "partition/plan.h"
+
+namespace ps2 {
+
+// R-tree space partitioning (baseline after SpatialHadoop [18]): an STR
+// R-tree is bulk-loaded over the sampled query rectangles; its leaf nodes
+// (clusters of spatially close queries) are distributed over workers by LPT
+// on leaf weight; finally the leaf->worker assignment is rasterized onto
+// the routing grid (each cell goes to the worker whose leaves overlap it
+// the most). Rasterization is required because R-tree leaves overlap and do
+// not tile the space, while dispatch routing needs a total per-cell rule.
+class RTreeSpacePartitioner : public Partitioner {
+ public:
+  explicit RTreeSpacePartitioner(size_t leaf_capacity = 64)
+      : leaf_capacity_(leaf_capacity) {}
+
+  std::string Name() const override { return "rtree"; }
+  PartitionPlan Build(const WorkloadSample& sample, const Vocabulary& vocab,
+                      const PartitionConfig& config) const override;
+
+ private:
+  size_t leaf_capacity_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_PARTITION_SPACE_RTREE_H_

@@ -1,0 +1,22 @@
+#ifndef PS2_PARTITION_TEXT_FREQUENCY_H_
+#define PS2_PARTITION_TEXT_FREQUENCY_H_
+
+#include "partition/plan.h"
+
+namespace ps2 {
+
+// Frequency-based text partitioning (baseline (1) of Section VI-B): terms
+// are weighed by their Definition-1 load contribution and distributed over
+// workers with the LPT greedy. Balances load well but ignores term
+// co-occurrence entirely, so objects containing popular term combinations
+// are duplicated to many workers — the paper's weakest text baseline.
+class FrequencyTextPartitioner : public Partitioner {
+ public:
+  std::string Name() const override { return "frequency"; }
+  PartitionPlan Build(const WorkloadSample& sample, const Vocabulary& vocab,
+                      const PartitionConfig& config) const override;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_PARTITION_TEXT_FREQUENCY_H_

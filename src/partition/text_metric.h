@@ -1,0 +1,35 @@
+#ifndef PS2_PARTITION_TEXT_METRIC_H_
+#define PS2_PARTITION_TEXT_METRIC_H_
+
+#include "partition/plan.h"
+
+namespace ps2 {
+
+// Metric-based text partitioning (baseline (3), after S3-TM [28]): each
+// term placement minimizes a metric function that *blends* the projected
+// worker load with the object-duplication cost of separating the term from
+// its co-occurring neighbours. Unlike the hypergraph baseline's hard load
+// cap + affinity priority, the metric trades the two continuously, which is
+// why it is the strongest text baseline in the paper's Figure 6.
+//
+// Metric for placing term t on worker w:
+//   M(t, w) = alpha * (load_w + weight_t) / cap
+//           + (1 - alpha) * (1 - affinity(t, w) / max_affinity(t))
+class MetricTextPartitioner : public Partitioner {
+ public:
+  explicit MetricTextPartitioner(double alpha = 0.7,
+                                 size_t max_terms_per_edge = 12)
+      : alpha_(alpha), max_terms_per_edge_(max_terms_per_edge) {}
+
+  std::string Name() const override { return "metric"; }
+  PartitionPlan Build(const WorkloadSample& sample, const Vocabulary& vocab,
+                      const PartitionConfig& config) const override;
+
+ private:
+  double alpha_;
+  size_t max_terms_per_edge_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_PARTITION_TEXT_METRIC_H_

@@ -1,0 +1,33 @@
+#ifndef PS2_PARTITION_TEXT_UTIL_H_
+#define PS2_PARTITION_TEXT_UTIL_H_
+
+#include <memory>
+#include <numeric>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "partition/plan.h"
+
+namespace ps2 {
+
+// Builds the PartitionPlan of a pure text partitioner: the whole space is a
+// single region whose terms are split across all m workers; every grid cell
+// shares one TermRouter (Si = S for all i, {Ti} a partition of T).
+inline PartitionPlan MakeWholeSpaceTextPlan(
+    const GridSpec& grid, int num_workers,
+    std::unordered_map<TermId, WorkerId> term_map) {
+  std::vector<WorkerId> workers(num_workers);
+  std::iota(workers.begin(), workers.end(), 0);
+  auto router = std::make_shared<const TermRouter>(std::move(term_map),
+                                                   std::move(workers));
+  PartitionPlan plan;
+  plan.grid = grid;
+  plan.num_workers = num_workers;
+  plan.cells.assign(grid.NumCells(), CellRoute{0, router});
+  return plan;
+}
+
+}  // namespace ps2
+
+#endif  // PS2_PARTITION_TEXT_UTIL_H_

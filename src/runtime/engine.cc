@@ -1,0 +1,291 @@
+#include "runtime/engine.h"
+
+#include <atomic>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+#include "common/stopwatch.h"
+#include "runtime/queue.h"
+
+namespace ps2 {
+
+Cluster::Cluster(PartitionPlan plan, const Vocabulary* vocab,
+                 ClusterOptions options)
+    : vocab_(vocab),
+      index_(std::move(plan), vocab),
+      dispatcher_(&index_),
+      merger_(options.merger_window) {
+  const int m = index_.plan().num_workers;
+  workers_.reserve(m);
+  for (int i = 0; i < m; ++i) {
+    workers_.emplace_back(index_.plan().grid, vocab, options.worker_index);
+  }
+  tallies_.assign(m, WorkerLoadTally{});
+}
+
+void Cluster::Process(const StreamTuple& tuple,
+                      std::vector<MatchResult>* delivered) {
+  dispatcher_.Route(tuple, &scratch_deliveries_);
+  for (const auto& d : scratch_deliveries_) {
+    Apply(tuple, d, delivered);
+  }
+}
+
+void Cluster::Apply(const StreamTuple& tuple,
+                    const Dispatcher::Delivery& d,
+                    std::vector<MatchResult>* delivered) {
+  switch (tuple.kind) {
+    case TupleKind::kObject: {
+      scratch_matches_.clear();
+      workers_[d.worker].Match(tuple.object, &scratch_matches_);
+      tallies_[d.worker].objects++;
+      for (const auto& m : scratch_matches_) {
+        if (merger_.Accept(m) && delivered != nullptr) {
+          delivered->push_back(m);
+        }
+      }
+      break;
+    }
+    case TupleKind::kQueryInsert:
+      workers_[d.worker].InsertIntoCells(tuple.query, d.cells);
+      tallies_[d.worker].inserts++;
+      break;
+    case TupleKind::kQueryDelete:
+      workers_[d.worker].Delete(tuple.query.id);
+      tallies_[d.worker].deletes++;
+      break;
+  }
+}
+
+std::vector<double> Cluster::WorkerLoads(const CostModel& cm) const {
+  std::vector<double> loads;
+  loads.reserve(tallies_.size());
+  for (const auto& t : tallies_) loads.push_back(WorkerLoad(cm, t));
+  return loads;
+}
+
+void Cluster::ResetLoadWindow() {
+  for (auto& t : tallies_) t.Clear();
+  for (auto& w : workers_) w.ResetObjectCounters();
+}
+
+Cluster::MigrationStats Cluster::MigrateCell(CellId cell, WorkerId from,
+                                             WorkerId to) {
+  MigrationStats stats;
+  if (from == to) return stats;
+  stats.bytes = workers_[from].CellMigrationBytes(cell);
+  std::vector<STSQuery> moved = workers_[from].ExtractCell(cell);
+  stats.queries_moved = moved.size();
+  const std::vector<CellId> cells{cell};
+  for (const auto& q : moved) {
+    workers_[to].InsertIntoCells(q, cells);
+  }
+  index_.RemapCellWorker(cell, from, to);
+  return stats;
+}
+
+Cluster::MigrationStats Cluster::TextSplitCell(
+    CellId cell, WorkerId keep, WorkerId to,
+    const std::unordered_map<TermId, WorkerId>& term_map) {
+  MigrationStats stats;
+  std::vector<STSQuery> queries = workers_[keep].ExtractCell(cell);
+  index_.SetCellTextRoute(cell, term_map, {keep, to});
+  const TermRouter& router = *index_.plan().cells[cell].text;
+  const std::vector<CellId> cells{cell};
+  for (const auto& q : queries) {
+    bool to_keep = false, to_other = false;
+    for (const TermId t : q.expr.RoutingTerms(*vocab_)) {
+      (router.Route(t) == keep ? to_keep : to_other) = true;
+      // The cell just became text-routed: its H2 entries must be rebuilt
+      // from the redistributed queries so objects keep reaching them.
+      index_.AddH2(cell, t, router.Route(t));
+    }
+    if (to_keep) workers_[keep].InsertIntoCells(q, cells);
+    if (to_other) {
+      workers_[to].InsertIntoCells(q, cells);
+      stats.queries_moved++;
+      stats.bytes += q.MemoryBytes();
+    }
+  }
+  return stats;
+}
+
+Cluster::MigrationStats Cluster::MergeCellTo(CellId cell, WorkerId to) {
+  MigrationStats stats;
+  const CellRoute& route = index_.plan().cells[cell];
+  std::vector<WorkerId> sources;
+  if (route.IsText()) {
+    sources = route.text->workers();
+  } else {
+    sources.push_back(route.worker);
+  }
+  const std::vector<CellId> cells{cell};
+  for (const WorkerId w : sources) {
+    if (w == to) continue;
+    stats.bytes += workers_[w].CellMigrationBytes(cell);
+    for (const auto& q : workers_[w].ExtractCell(cell)) {
+      workers_[to].InsertIntoCells(q, cells);
+      stats.queries_moved++;
+    }
+  }
+  index_.SetCellSpaceRoute(cell, to);
+  return stats;
+}
+
+namespace {
+
+// Work item delivered to a worker thread.
+struct WorkItem {
+  StreamTuple tuple;           // object or query update (cells filled below)
+  std::vector<CellId> cells;   // for query updates
+  int64_t enqueue_us = 0;
+};
+
+}  // namespace
+
+RunReport RunThreaded(Cluster& cluster, const std::vector<StreamTuple>& input,
+                      const EngineOptions& options) {
+  const int num_workers = cluster.num_workers();
+  const int num_dispatchers = std::max(1, options.num_dispatchers);
+
+  std::vector<std::unique_ptr<BoundedQueue<WorkItem>>> queues;
+  queues.reserve(num_workers);
+  for (int i = 0; i < num_workers; ++i) {
+    queues.push_back(
+        std::make_unique<BoundedQueue<WorkItem>>(options.queue_capacity));
+  }
+
+  std::shared_mutex route_mu;  // H2 writers exclusive, object routing shared
+  std::atomic<size_t> next_index{0};
+  std::atomic<uint64_t> discarded{0};
+
+  std::mutex merge_mu;
+  Merger& merger = cluster.merger();
+
+  std::vector<LatencyHistogram> worker_latency(num_workers);
+  std::vector<uint64_t> worker_tuples(num_workers, 0);
+
+  Stopwatch wall;
+  const int64_t start_us = NowMicros();
+
+  // --- dispatcher threads ---------------------------------------------------
+  auto dispatch_fn = [&](int /*dispatcher_id*/) {
+    std::vector<WorkerId> workers;
+    GridtIndex& index = cluster.router();
+    while (true) {
+      const size_t i = next_index.fetch_add(1);
+      if (i >= input.size()) break;
+      const StreamTuple& tuple = input[i];
+      if (options.input_rate_tps > 0.0) {
+        // Pace the stream: tuple i is due at i / rate seconds.
+        const int64_t due_us =
+            start_us + static_cast<int64_t>(1e6 * i / options.input_rate_tps);
+        while (NowMicros() < due_us) {
+          std::this_thread::yield();
+        }
+      }
+      const int64_t now = NowMicros();
+      if (tuple.kind == TupleKind::kObject) {
+        {
+          std::shared_lock<std::shared_mutex> lock(route_mu);
+          index.RouteObject(tuple.object, &workers);
+        }
+        if (workers.empty()) {
+          discarded.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        for (const WorkerId w : workers) {
+          queues[w]->Push(WorkItem{tuple, {}, now});
+        }
+      } else {
+        std::vector<PartitionPlan::QueryRoute> routes;
+        {
+          std::unique_lock<std::shared_mutex> lock(route_mu);
+          routes = tuple.kind == TupleKind::kQueryInsert
+                       ? index.RouteInsert(tuple.query)
+                       : index.RouteDelete(tuple.query);
+        }
+        for (auto& r : routes) {
+          queues[r.worker]->Push(WorkItem{tuple, std::move(r.cells), now});
+        }
+      }
+    }
+  };
+
+  // --- worker threads --------------------------------------------------------
+  auto worker_fn = [&](int w) {
+    Gi2Index& gi2 = cluster.worker(w);
+    std::vector<MatchResult> matches;
+    while (true) {
+      std::vector<WorkItem> batch = queues[w]->PopBatch(options.batch_size);
+      if (batch.empty()) break;  // closed and drained
+      for (WorkItem& item : batch) {
+        switch (item.tuple.kind) {
+          case TupleKind::kObject:
+            matches.clear();
+            gi2.Match(item.tuple.object, &matches);
+            if (!matches.empty()) {
+              std::lock_guard<std::mutex> lock(merge_mu);
+              for (const auto& m : matches) merger.Accept(m);
+            }
+            break;
+          case TupleKind::kQueryInsert:
+            gi2.InsertIntoCells(item.tuple.query, item.cells);
+            break;
+          case TupleKind::kQueryDelete:
+            gi2.Delete(item.tuple.query.id);
+            break;
+        }
+        worker_tuples[w]++;
+        worker_latency[w].Record(
+            static_cast<double>(NowMicros() - item.enqueue_us));
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(num_dispatchers + num_workers);
+  for (int w = 0; w < num_workers; ++w) {
+    threads.emplace_back(worker_fn, w);
+  }
+  std::vector<std::thread> dispatchers;
+  dispatchers.reserve(num_dispatchers);
+  for (int d = 0; d < num_dispatchers; ++d) {
+    dispatchers.emplace_back(dispatch_fn, d);
+  }
+  for (auto& t : dispatchers) t.join();
+  for (auto& q : queues) q->Close();
+  for (auto& t : threads) t.join();
+
+  RunReport report;
+  report.wall_seconds = wall.ElapsedSeconds();
+  report.tuples_processed = input.size();
+  for (const auto& t : input) {
+    switch (t.kind) {
+      case TupleKind::kObject:
+        report.objects++;
+        break;
+      case TupleKind::kQueryInsert:
+        report.inserts++;
+        break;
+      case TupleKind::kQueryDelete:
+        report.deletes++;
+        break;
+    }
+  }
+  report.throughput_tps =
+      report.wall_seconds > 0 ? input.size() / report.wall_seconds : 0.0;
+  report.matches_delivered = merger.delivered();
+  report.duplicates_suppressed = merger.duplicates();
+  report.objects_discarded = discarded.load();
+  for (int w = 0; w < num_workers; ++w) {
+    report.latency.Merge(worker_latency[w]);
+    report.per_worker_tuples.push_back(worker_tuples[w]);
+    report.worker_memory_bytes.push_back(cluster.WorkerMemoryBytes(w));
+  }
+  report.dispatcher_memory_bytes = cluster.DispatcherMemoryBytes();
+  return report;
+}
+
+}  // namespace ps2

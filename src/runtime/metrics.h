@@ -1,0 +1,65 @@
+#ifndef PS2_RUNTIME_METRICS_H_
+#define PS2_RUNTIME_METRICS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ps2 {
+
+// Latency histogram with logarithmic buckets from 1us to ~1000s. Tracks the
+// per-tuple dwell times the paper reports (Figure 8 averages, Figures 12c
+// and 15 bucket fractions).
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(double micros);
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double MeanMicros() const;
+  double MaxMicros() const { return max_micros_; }
+
+  // Approximate quantile (linear interpolation within log buckets).
+  double PercentileMicros(double p) const;
+
+  // Fraction of samples strictly below `micros`.
+  double FractionBelow(double micros) const;
+
+  std::string Summary() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  int BucketFor(double micros) const;
+  double BucketLow(int b) const;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_micros_ = 0.0;
+  double max_micros_ = 0.0;
+};
+
+// Result sheet of one runtime execution; benchmarks print these.
+struct RunReport {
+  uint64_t tuples_processed = 0;
+  uint64_t objects = 0;
+  uint64_t inserts = 0;
+  uint64_t deletes = 0;
+  uint64_t matches_delivered = 0;
+  uint64_t duplicates_suppressed = 0;
+  uint64_t objects_discarded = 0;
+  double wall_seconds = 0.0;
+  double throughput_tps = 0.0;  // tuples per second
+  LatencyHistogram latency;
+  std::vector<uint64_t> per_worker_tuples;
+  size_t dispatcher_memory_bytes = 0;
+  std::vector<size_t> worker_memory_bytes;
+
+  double AvgWorkerMemory() const;
+  double MaxWorkerShare() const;  // max per-worker tuples / total
+};
+
+}  // namespace ps2
+
+#endif  // PS2_RUNTIME_METRICS_H_

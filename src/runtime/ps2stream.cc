@@ -1,0 +1,114 @@
+#include "runtime/ps2stream.h"
+
+#include "partition/plan.h"
+
+namespace ps2 {
+
+PS2Stream::PS2Stream(PS2StreamOptions options)
+    : options_(std::move(options)),
+      adjuster_(std::make_unique<LocalLoadAdjuster>(options_.adjust)) {}
+
+PS2Stream::~PS2Stream() = default;
+
+void PS2Stream::Bootstrap(const WorkloadSample& sample) {
+  AccumulateVocabularyCounts(sample, vocab_);
+  auto partitioner = MakePartitioner(options_.partitioner);
+  PartitionPlan plan;
+  if (partitioner != nullptr && !sample.empty()) {
+    plan = partitioner->Build(sample, vocab_, options_.partition);
+  } else {
+    // No sample (or unknown partitioner): uniform grid assignment so the
+    // service still works; the first global adjustment can fix it later.
+    plan.grid = GridSpec(sample.empty() ? Rect(0, 0, 1, 1) : sample.Bounds(),
+                         options_.partition.grid_k);
+    plan.num_workers = options_.partition.num_workers;
+    plan.cells.resize(plan.grid.NumCells());
+    for (CellId c = 0; c < plan.grid.NumCells(); ++c) {
+      plan.cells[c].worker =
+          static_cast<WorkerId>(c % options_.partition.num_workers);
+    }
+  }
+  cluster_ = std::make_unique<Cluster>(std::move(plan), &vocab_,
+                                       options_.cluster);
+}
+
+QueryId PS2Stream::Subscribe(const std::string& expression,
+                             const Rect& region) {
+  BoolExpr expr = BoolExpr::Parse(expression, vocab_);
+  if (expr.has_error() || expr.empty()) return 0;
+  STSQuery q;
+  q.id = next_query_id_++;
+  q.expr = std::move(expr);
+  q.region = region;
+  Subscribe(q);
+  return q.id;
+}
+
+void PS2Stream::Subscribe(const STSQuery& query) {
+  subscriptions_[query.id] = query;
+  next_query_id_ = std::max(next_query_id_, query.id + 1);
+  const StreamTuple tuple = StreamTuple::OfInsert(query);
+  cluster_->Process(tuple);
+  Track(tuple);
+}
+
+void PS2Stream::Unsubscribe(QueryId id) {
+  auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) return;
+  const StreamTuple tuple = StreamTuple::OfDelete(it->second);
+  subscriptions_.erase(it);
+  cluster_->Process(tuple);
+  Track(tuple);
+}
+
+std::vector<MatchResult> PS2Stream::Publish(Point loc,
+                                            const std::string& text) {
+  SpatioTextualObject o = SpatioTextualObject::FromText(
+      next_object_id_++, loc, text, vocab_, tokenizer_);
+  for (const TermId t : o.terms) vocab_.AddCount(t);
+  return Publish(o);
+}
+
+std::vector<MatchResult> PS2Stream::Publish(
+    const SpatioTextualObject& object) {
+  std::vector<MatchResult> delivered;
+  const StreamTuple tuple = StreamTuple::OfObject(object);
+  cluster_->Process(tuple, &delivered);
+  next_object_id_ = std::max(next_object_id_, object.id + 1);
+  Track(tuple);
+  return delivered;
+}
+
+void PS2Stream::Track(const StreamTuple& tuple) {
+  if (!options_.auto_adjust) return;
+  window_.push_back(tuple);
+  if (window_.size() > options_.window_capacity) window_.pop_front();
+  if (++tuples_since_check_ >= options_.adjust_check_interval) {
+    tuples_since_check_ = 0;
+    MaybeAutoAdjust();
+  }
+}
+
+void PS2Stream::MaybeAutoAdjust() {
+  WorkloadSample sample;
+  for (const auto& t : window_) {
+    switch (t.kind) {
+      case TupleKind::kObject:
+        sample.objects.push_back(t.object);
+        break;
+      case TupleKind::kQueryInsert:
+        sample.inserts.push_back(t.query);
+        break;
+      case TupleKind::kQueryDelete:
+        sample.deletes.push_back(t.query);
+        break;
+    }
+  }
+  AdjustReport report = adjuster_->MaybeAdjust(*cluster_, sample);
+  if (report.triggered) {
+    adjustments_.push_back(std::move(report));
+    cluster_->ResetLoadWindow();
+  }
+}
+
+}  // namespace ps2

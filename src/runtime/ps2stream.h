@@ -1,0 +1,94 @@
+#ifndef PS2_RUNTIME_PS2STREAM_H_
+#define PS2_RUNTIME_PS2STREAM_H_
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "adjust/local_adjust.h"
+#include "core/workload_stats.h"
+#include "runtime/engine.h"
+
+namespace ps2 {
+
+// Top-level facade: the publish/subscribe service a downstream application
+// embeds. It owns the vocabulary, builds the partition plan from a bootstrap
+// sample (or a uniform default), runs the cluster synchronously, and can
+// keep the load balanced automatically via local adjustments.
+//
+//   PS2Stream ps2(PS2StreamOptions{...});
+//   ps2.Bootstrap(sample);                       // plan from historic data
+//   QueryId qid = ps2.Subscribe("pizza AND downtown", region);
+//   auto matches = ps2.Publish(loc, "best pizza downtown!");
+//   ps2.Unsubscribe(qid);
+//
+// For wall-clock benchmarking of a pre-generated stream, use RunThreaded on
+// the underlying cluster() instead.
+struct PS2StreamOptions {
+  std::string partitioner = "hybrid";
+  PartitionConfig partition;
+  ClusterOptions cluster;
+  // Automatic local load adjustment.
+  bool auto_adjust = false;
+  size_t adjust_check_interval = 100000;  // tuples between balance checks
+  LocalAdjustConfig adjust;
+  size_t window_capacity = 1 << 16;  // recent-tuple window for Phase I
+};
+
+class PS2Stream {
+ public:
+  explicit PS2Stream(PS2StreamOptions options = PS2StreamOptions());
+  ~PS2Stream();
+
+  PS2Stream(const PS2Stream&) = delete;
+  PS2Stream& operator=(const PS2Stream&) = delete;
+
+  // Builds the partition plan from a workload sample and starts the
+  // cluster. Must be called before any Subscribe/Publish. Also folds the
+  // sample's term occurrences into the vocabulary frequency profile.
+  void Bootstrap(const WorkloadSample& sample);
+
+  // Registers a subscription. The expression uses the BoolExpr grammar
+  // ("a AND (b OR c)"). Returns the assigned query id, or 0 when the
+  // expression fails to parse.
+  QueryId Subscribe(const std::string& expression, const Rect& region);
+  void Subscribe(const STSQuery& query);
+  void Unsubscribe(QueryId id);
+
+  // Publishes an object; returns the subscriptions it matched (after
+  // merger deduplication).
+  std::vector<MatchResult> Publish(Point loc, const std::string& text);
+  std::vector<MatchResult> Publish(const SpatioTextualObject& object);
+
+  // --- introspection --------------------------------------------------------
+  Vocabulary& vocabulary() { return vocab_; }
+  Cluster& cluster() { return *cluster_; }
+  const Cluster& cluster() const { return *cluster_; }
+  size_t num_subscriptions() const { return subscriptions_.size(); }
+  bool bootstrapped() const { return cluster_ != nullptr; }
+  const std::vector<AdjustReport>& adjustments() const {
+    return adjustments_;
+  }
+
+ private:
+  void Track(const StreamTuple& tuple);
+  void MaybeAutoAdjust();
+
+  PS2StreamOptions options_;
+  Vocabulary vocab_;
+  Tokenizer tokenizer_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<LocalLoadAdjuster> adjuster_;
+  std::unordered_map<QueryId, STSQuery> subscriptions_;
+  QueryId next_query_id_ = 1;
+  ObjectId next_object_id_ = 1;
+  // Recent tuples for adjustment statistics.
+  std::deque<StreamTuple> window_;
+  size_t tuples_since_check_ = 0;
+  std::vector<AdjustReport> adjustments_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_RUNTIME_PS2STREAM_H_

@@ -1,0 +1,84 @@
+#ifndef PS2_RUNTIME_QUEUE_H_
+#define PS2_RUNTIME_QUEUE_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace ps2 {
+
+// Bounded multi-producer multi-consumer blocking queue used between the
+// dispatcher and worker stages of the threaded runtime. Backpressure is by
+// blocking producers when full — the same flow control Storm applies
+// between bolts. Close() releases all waiters; consumers drain remaining
+// items before observing end-of-stream.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Blocks while full. Returns false if the queue was closed.
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Pops one item, blocking while empty. Returns nullopt when the queue is
+  // closed *and* drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return item;
+  }
+
+  // Pops up to `max_items` at once (reduces lock traffic for hot workers).
+  // Empty result means closed-and-drained.
+  std::vector<T> PopBatch(size_t max_items) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    std::vector<T> batch;
+    while (!items_.empty() && batch.size() < max_items) {
+      batch.push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    if (!batch.empty()) not_full_.notify_all();
+    return batch;
+  }
+
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_, not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_RUNTIME_QUEUE_H_

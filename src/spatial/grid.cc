@@ -1,0 +1,75 @@
+#include "spatial/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ps2 {
+
+GridSpec::GridSpec(const Rect& bounds, int k)
+    : bounds_(bounds), k_(k), side_(1u << k) {
+  // Guard against degenerate (zero-extent) bounds so division is safe.
+  const double w = std::max(bounds_.width(), 1e-12);
+  const double h = std::max(bounds_.height(), 1e-12);
+  cell_w_ = w / side_;
+  cell_h_ = h / side_;
+}
+
+CellId GridSpec::CellOf(Point p) const {
+  const auto clamp = [](double v, double lo, double hi) {
+    return std::min(std::max(v, lo), hi);
+  };
+  const double fx = (p.x - bounds_.min_x) / cell_w_;
+  const double fy = (p.y - bounds_.min_y) / cell_h_;
+  const uint32_t cx = static_cast<uint32_t>(
+      clamp(std::floor(fx), 0.0, static_cast<double>(side_ - 1)));
+  const uint32_t cy = static_cast<uint32_t>(
+      clamp(std::floor(fy), 0.0, static_cast<double>(side_ - 1)));
+  return ToId(cx, cy);
+}
+
+Rect GridSpec::CellRect(CellId id) const {
+  const uint32_t cx = CellX(id);
+  const uint32_t cy = CellY(id);
+  return Rect(bounds_.min_x + cx * cell_w_, bounds_.min_y + cy * cell_h_,
+              bounds_.min_x + (cx + 1) * cell_w_,
+              bounds_.min_y + (cy + 1) * cell_h_);
+}
+
+bool GridSpec::CellRange(const Rect& r, uint32_t* cx0, uint32_t* cy0,
+                         uint32_t* cx1, uint32_t* cy1) const {
+  if (r.empty()) return false;
+  const Rect clipped = r.Intersection(
+      Rect(bounds_.min_x, bounds_.min_y, bounds_.max_x, bounds_.max_y));
+  // Rectangles entirely outside clamp to the nearest border cells so that
+  // routing stays total (mirrors CellOf's clamping).
+  const Rect& use = clipped.empty() ? r : clipped;
+  const auto clampi = [this](double v) {
+    return static_cast<uint32_t>(std::min(
+        std::max(v, 0.0), static_cast<double>(side_ - 1)));
+  };
+  *cx0 = clampi(std::floor((use.min_x - bounds_.min_x) / cell_w_));
+  *cy0 = clampi(std::floor((use.min_y - bounds_.min_y) / cell_h_));
+  // Upper edge exactly on a cell boundary belongs to the lower cell, except
+  // when the rectangle is degenerate there; subtracting a hair avoids an
+  // extra row/column of spurious cells.
+  *cx1 = clampi(std::floor((use.max_x - bounds_.min_x) / cell_w_ - 1e-12));
+  *cy1 = clampi(std::floor((use.max_y - bounds_.min_y) / cell_h_ - 1e-12));
+  if (*cx1 < *cx0) *cx1 = *cx0;
+  if (*cy1 < *cy0) *cy1 = *cy0;
+  return true;
+}
+
+std::vector<CellId> GridSpec::CellsOverlapping(const Rect& r) const {
+  std::vector<CellId> out;
+  uint32_t cx0, cy0, cx1, cy1;
+  if (!CellRange(r, &cx0, &cy0, &cx1, &cy1)) return out;
+  out.reserve((cx1 - cx0 + 1) * (cy1 - cy0 + 1));
+  for (uint32_t cy = cy0; cy <= cy1; ++cy) {
+    for (uint32_t cx = cx0; cx <= cx1; ++cx) {
+      out.push_back(ToId(cx, cy));
+    }
+  }
+  return out;
+}
+
+}  // namespace ps2

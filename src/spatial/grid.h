@@ -1,0 +1,64 @@
+#ifndef PS2_SPATIAL_GRID_H_
+#define PS2_SPATIAL_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geo.h"
+
+namespace ps2 {
+
+using CellId = uint32_t;
+
+// A uniform 2^k x 2^k grid over a bounding rectangle. This is the common
+// spatial discretization of the whole system: the dispatcher's gridt index,
+// the workers' GI2 index, the grid/kd-tree/R-tree space partitioners and the
+// hybrid partitioner all operate on grid cells. The paper uses 2^6 x 2^6
+// ("we set its granularity as 2^6 x 2^6, as it performs best").
+class GridSpec {
+ public:
+  GridSpec() = default;
+
+  // `k` gives a 2^k x 2^k grid over `bounds`. `bounds` must be non-empty.
+  GridSpec(const Rect& bounds, int k);
+
+  int k() const { return k_; }
+  uint32_t side() const { return side_; }
+  uint32_t NumCells() const { return side_ * side_; }
+  const Rect& bounds() const { return bounds_; }
+
+  // Cell coordinates of the cell containing `p`. Points outside the bounds
+  // are clamped to the border cells (streams drift outside the sampled
+  // extent; clamping keeps routing total).
+  CellId CellOf(Point p) const;
+
+  // (cx, cy) <-> CellId. cy-major: id = cy * side + cx.
+  CellId ToId(uint32_t cx, uint32_t cy) const { return cy * side_ + cx; }
+  uint32_t CellX(CellId id) const { return id % side_; }
+  uint32_t CellY(CellId id) const { return id / side_; }
+
+  // Geometry of one cell.
+  Rect CellRect(CellId id) const;
+
+  // Ids of all cells intersecting `r` (clamped to the grid). Empty input
+  // rectangle yields no cells.
+  std::vector<CellId> CellsOverlapping(const Rect& r) const;
+
+  // Inclusive cell-coordinate ranges covered by `r` (clamped). Returns false
+  // for an empty rectangle or one entirely outside the bounds... boundary
+  // rectangles clamp inward, so callers always get at least one cell for a
+  // non-empty rect.
+  bool CellRange(const Rect& r, uint32_t* cx0, uint32_t* cy0, uint32_t* cx1,
+                 uint32_t* cy1) const;
+
+ private:
+  Rect bounds_;
+  int k_ = 0;
+  uint32_t side_ = 1;
+  double cell_w_ = 1.0;
+  double cell_h_ = 1.0;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_SPATIAL_GRID_H_

@@ -1,0 +1,157 @@
+#include "spatial/kdtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace ps2 {
+
+std::vector<CellId> CellBlock::Cells(const GridSpec& grid) const {
+  std::vector<CellId> out;
+  out.reserve(NumCells());
+  for (uint32_t cy = cy0; cy <= cy1; ++cy) {
+    for (uint32_t cx = cx0; cx <= cx1; ++cx) {
+      out.push_back(grid.ToId(cx, cy));
+    }
+  }
+  return out;
+}
+
+Rect CellBlock::Bounds(const GridSpec& grid) const {
+  Rect r = grid.CellRect(grid.ToId(cx0, cy0));
+  r.Expand(grid.CellRect(grid.ToId(cx1, cy1)));
+  return r;
+}
+
+namespace {
+
+// Cumulative weights of rows (axis == 1) or columns (axis == 0) of `block`.
+std::vector<double> AxisPrefix(
+    const CellBlock& b, int axis,
+    const std::function<double(uint32_t, uint32_t)>& w) {
+  const uint32_t extent = axis == 0 ? b.Width() : b.Height();
+  std::vector<double> prefix(extent, 0.0);
+  for (uint32_t cy = b.cy0; cy <= b.cy1; ++cy) {
+    for (uint32_t cx = b.cx0; cx <= b.cx1; ++cx) {
+      const uint32_t i = axis == 0 ? cx - b.cx0 : cy - b.cy0;
+      prefix[i] += w(cx, cy);
+    }
+  }
+  for (uint32_t i = 1; i < extent; ++i) prefix[i] += prefix[i - 1];
+  return prefix;
+}
+
+// Finds the cut index (number of leading rows/columns in the left part,
+// 1..extent-1) minimizing |left_weight - total/2|; returns the cut and the
+// imbalance through the out-parameter.
+uint32_t BestCut(const std::vector<double>& prefix, double* imbalance) {
+  const double total = prefix.back();
+  uint32_t best = 1;
+  double best_gap = std::abs(prefix[0] - total / 2);
+  for (uint32_t cut = 2; cut < prefix.size(); ++cut) {
+    const double gap = std::abs(prefix[cut - 1] - total / 2);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = cut;
+    }
+  }
+  if (prefix.size() == 1) best = 0;  // unsplittable on this axis
+  *imbalance = total > 0 ? best_gap / total : 0.0;
+  return best;
+}
+
+}  // namespace
+
+bool SplitBlockAxis(
+    const CellBlock& block, int axis,
+    const std::function<double(uint32_t, uint32_t)>& cell_weight,
+    CellBlock* left, CellBlock* right) {
+  const uint32_t extent = axis == 0 ? block.Width() : block.Height();
+  if (extent < 2) return false;
+  const auto prefix = AxisPrefix(block, axis, cell_weight);
+  double imbalance = 0.0;
+  uint32_t cut = BestCut(prefix, &imbalance);
+  if (cut == 0 || cut >= extent) cut = extent / 2;
+  *left = block;
+  *right = block;
+  if (axis == 0) {
+    left->cx1 = block.cx0 + cut - 1;
+    right->cx0 = block.cx0 + cut;
+  } else {
+    left->cy1 = block.cy0 + cut - 1;
+    right->cy0 = block.cy0 + cut;
+  }
+  return true;
+}
+
+bool SplitBlockWeighted(
+    const CellBlock& block,
+    const std::function<double(uint32_t, uint32_t)>& cell_weight,
+    CellBlock* left, CellBlock* right) {
+  if (!block.CanSplit()) return false;
+  // Evaluate both axes; pick the one with the smaller post-split imbalance,
+  // falling back to the longer axis when only one is splittable.
+  double imb_x = 1e18, imb_y = 1e18;
+  uint32_t cut_x = 0, cut_y = 0;
+  if (block.Width() > 1) {
+    const auto px = AxisPrefix(block, 0, cell_weight);
+    cut_x = BestCut(px, &imb_x);
+  }
+  if (block.Height() > 1) {
+    const auto py = AxisPrefix(block, 1, cell_weight);
+    cut_y = BestCut(py, &imb_y);
+  }
+  int axis;
+  if (cut_x == 0) {
+    axis = 1;
+  } else if (cut_y == 0) {
+    axis = 0;
+  } else if (imb_x != imb_y) {
+    axis = imb_x < imb_y ? 0 : 1;
+  } else {
+    axis = block.Width() >= block.Height() ? 0 : 1;
+  }
+  return SplitBlockAxis(block, axis, cell_weight, left, right);
+}
+
+std::vector<CellBlock> KdDecompose(
+    const GridSpec& grid, size_t n,
+    const std::function<double(uint32_t, uint32_t)>& cell_weight) {
+  CellBlock root{0, 0, grid.side() - 1, grid.side() - 1};
+  // Max-heap of (weight, leaf); split the heaviest splittable leaf until we
+  // have n leaves.
+  const auto weight_of = [&](const CellBlock& b) {
+    double w = 0.0;
+    for (uint32_t cy = b.cy0; cy <= b.cy1; ++cy) {
+      for (uint32_t cx = b.cx0; cx <= b.cx1; ++cx) {
+        w += cell_weight(cx, cy);
+      }
+    }
+    return w;
+  };
+  using Entry = std::pair<double, CellBlock>;
+  const auto cmp = [](const Entry& a, const Entry& b) {
+    return a.first < b.first;
+  };
+  std::priority_queue<Entry, std::vector<Entry>, decltype(cmp)> heap(cmp);
+  heap.push({weight_of(root), root});
+  std::vector<CellBlock> done;  // unsplittable leaves
+  while (heap.size() + done.size() < n && !heap.empty()) {
+    const auto [w, b] = heap.top();
+    heap.pop();
+    CellBlock l, r;
+    if (!SplitBlockWeighted(b, cell_weight, &l, &r)) {
+      done.push_back(b);
+      continue;
+    }
+    heap.push({weight_of(l), l});
+    heap.push({weight_of(r), r});
+  }
+  while (!heap.empty()) {
+    done.push_back(heap.top().second);
+    heap.pop();
+  }
+  return done;
+}
+
+}  // namespace ps2

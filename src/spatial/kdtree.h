@@ -1,0 +1,69 @@
+#ifndef PS2_SPATIAL_KDTREE_H_
+#define PS2_SPATIAL_KDTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "spatial/grid.h"
+
+namespace ps2 {
+
+// A kd-tree over *grid cell space*: nodes are axis-aligned blocks of grid
+// cells [cx0, cx1] x [cy0, cy1] (inclusive), split at cell boundaries by the
+// weighted median. Operating in cell space keeps every partitioner's output
+// expressible exactly as a per-cell assignment (the gridt index), which is
+// how the paper accelerates dispatching ("we transform the kd-tree to a grid
+// index"). Used by the kd-tree space partitioner [21][26] and as the spatial
+// skeleton of the hybrid algorithm's kdt-tree.
+struct CellBlock {
+  uint32_t cx0 = 0, cy0 = 0, cx1 = 0, cy1 = 0;  // inclusive
+
+  uint32_t Width() const { return cx1 - cx0 + 1; }
+  uint32_t Height() const { return cy1 - cy0 + 1; }
+  uint64_t NumCells() const {
+    return static_cast<uint64_t>(Width()) * Height();
+  }
+  bool CanSplit() const { return Width() > 1 || Height() > 1; }
+
+  // Enumerates the CellIds inside the block.
+  std::vector<CellId> Cells(const GridSpec& grid) const;
+
+  // The geometric rectangle this block covers.
+  Rect Bounds(const GridSpec& grid) const;
+
+  bool ContainsCell(uint32_t cx, uint32_t cy) const {
+    return cx >= cx0 && cx <= cx1 && cy >= cy0 && cy <= cy1;
+  }
+};
+
+// Splits `block` into two blocks at the weighted median along its longer
+// weighted axis; `cell_weight(cx, cy)` supplies per-cell weights. Chooses
+// the axis whose split is most balanced; the cut point is the prefix whose
+// cumulative weight is closest to half. Returns false when the block is a
+// single cell (unsplittable). When every cell has zero weight, splits at the
+// geometric middle.
+bool SplitBlockWeighted(
+    const CellBlock& block,
+    const std::function<double(uint32_t, uint32_t)>& cell_weight,
+    CellBlock* left, CellBlock* right);
+
+// Splits along a *given* axis (0 = x, 1 = y) at the weighted median. Returns
+// false when the block has extent 1 on that axis.
+bool SplitBlockAxis(
+    const CellBlock& block, int axis,
+    const std::function<double(uint32_t, uint32_t)>& cell_weight,
+    CellBlock* left, CellBlock* right);
+
+// Recursively kd-splits the full grid into exactly `n` leaf blocks by always
+// splitting the heaviest current leaf (weight = sum of cell weights). This
+// is the classic load-aware kd partitioning of AQWA [21] / Tornado [26].
+// Returns fewer than `n` blocks only when the grid has fewer cells.
+std::vector<CellBlock> KdDecompose(
+    const GridSpec& grid, size_t n,
+    const std::function<double(uint32_t, uint32_t)>& cell_weight);
+
+}  // namespace ps2
+
+#endif  // PS2_SPATIAL_KDTREE_H_

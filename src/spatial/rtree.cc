@@ -1,0 +1,131 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ps2 {
+
+void RTree::Build(std::vector<Entry> entries) {
+  nodes_.clear();
+  entries_ = std::move(entries);
+  num_entries_ = entries_.size();
+  height_ = 0;
+  if (entries_.empty()) return;
+
+  // --- STR leaf packing ---------------------------------------------------
+  // Sort by center x, slice into ~sqrt(n/M) vertical strips, sort each strip
+  // by center y, pack runs of M entries into leaves.
+  std::vector<uint32_t> order(entries_.size());
+  for (uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](uint32_t a, uint32_t b) {
+    return entries_[a].rect.Center().x < entries_[b].rect.Center().x;
+  });
+  const size_t n = order.size();
+  const size_t num_leaves = (n + max_entries_ - 1) / max_entries_;
+  const size_t num_strips =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  const size_t strip_size =
+      (n + num_strips - 1) / num_strips;  // entries per strip
+
+  std::vector<uint32_t> level;  // node ids of the current level
+  for (size_t s = 0; s < num_strips; ++s) {
+    const size_t lo = s * strip_size;
+    if (lo >= n) break;
+    const size_t hi = std::min(lo + strip_size, n);
+    std::sort(order.begin() + lo, order.begin() + hi,
+              [this](uint32_t a, uint32_t b) {
+                return entries_[a].rect.Center().y <
+                       entries_[b].rect.Center().y;
+              });
+    for (size_t i = lo; i < hi; i += max_entries_) {
+      Node leaf;
+      leaf.leaf = true;
+      for (size_t j = i; j < std::min(i + max_entries_, hi); ++j) {
+        leaf.children.push_back(order[j]);
+        leaf.mbr.Expand(entries_[order[j]].rect);
+      }
+      nodes_.push_back(std::move(leaf));
+      level.push_back(static_cast<uint32_t>(nodes_.size() - 1));
+    }
+  }
+  height_ = 1;
+
+  // --- Pack upper levels (same STR pass over node MBR centers) -----------
+  while (level.size() > 1) {
+    std::sort(level.begin(), level.end(), [this](uint32_t a, uint32_t b) {
+      return nodes_[a].mbr.Center().x < nodes_[b].mbr.Center().x;
+    });
+    const size_t ln = level.size();
+    const size_t parents = (ln + max_entries_ - 1) / max_entries_;
+    const size_t strips =
+        static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(parents))));
+    const size_t per_strip = (ln + strips - 1) / strips;
+    std::vector<uint32_t> next;
+    for (size_t s = 0; s < strips; ++s) {
+      const size_t lo = s * per_strip;
+      if (lo >= ln) break;
+      const size_t hi = std::min(lo + per_strip, ln);
+      std::sort(level.begin() + lo, level.begin() + hi,
+                [this](uint32_t a, uint32_t b) {
+                  return nodes_[a].mbr.Center().y < nodes_[b].mbr.Center().y;
+                });
+      for (size_t i = lo; i < hi; i += max_entries_) {
+        Node parent;
+        parent.leaf = false;
+        for (size_t j = i; j < std::min(i + max_entries_, hi); ++j) {
+          parent.children.push_back(level[j]);
+          parent.mbr.Expand(nodes_[level[j]].mbr);
+        }
+        nodes_.push_back(std::move(parent));
+        next.push_back(static_cast<uint32_t>(nodes_.size() - 1));
+      }
+    }
+    level = std::move(next);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+void RTree::QueryNode(uint32_t node_id, const Rect& r,
+                      std::vector<uint64_t>* out) const {
+  const Node& node = nodes_[node_id];
+  if (!node.mbr.Intersects(r)) return;
+  if (node.leaf) {
+    for (const uint32_t e : node.children) {
+      if (entries_[e].rect.Intersects(r)) out->push_back(entries_[e].id);
+    }
+    return;
+  }
+  for (const uint32_t c : node.children) QueryNode(c, r, out);
+}
+
+std::vector<uint64_t> RTree::Query(const Rect& r) const {
+  std::vector<uint64_t> out;
+  if (!nodes_.empty()) QueryNode(root_, r, &out);
+  return out;
+}
+
+std::vector<uint64_t> RTree::QueryPoint(Point p) const {
+  return Query(Rect(p.x, p.y, p.x, p.y));
+}
+
+std::vector<RTree::LeafGroup> RTree::Leaves() const {
+  std::vector<LeafGroup> out;
+  for (const Node& node : nodes_) {
+    if (!node.leaf) continue;
+    LeafGroup g;
+    g.mbr = node.mbr;
+    for (const uint32_t e : node.children) {
+      g.entry_ids.push_back(entries_[e].id);
+      g.weight += entries_[e].weight;
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+Rect RTree::Bounds() const {
+  return nodes_.empty() ? Rect() : nodes_[root_].mbr;
+}
+
+}  // namespace ps2

@@ -1,0 +1,76 @@
+#ifndef PS2_SPATIAL_RTREE_H_
+#define PS2_SPATIAL_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/geo.h"
+
+namespace ps2 {
+
+// A bulk-loaded R-tree using Sort-Tile-Recursive (STR) packing. The R-tree
+// space partitioner [18] builds one over the sampled query rectangles and
+// assigns its leaf nodes to workers; it is also a general-purpose rectangle
+// index (used by tests as a reference spatial filter).
+//
+// The tree is immutable after Build(): partitioners always reconstruct from
+// a fresh workload sample, so dynamic updates are unnecessary here (workers'
+// dynamic index is GI2, not this R-tree).
+class RTree {
+ public:
+  struct Entry {
+    Rect rect;
+    uint64_t id = 0;
+    double weight = 1.0;  // load weight used by the partitioner
+  };
+
+  explicit RTree(size_t max_node_entries = 16)
+      : max_entries_(max_node_entries < 2 ? 2 : max_node_entries) {}
+
+  // Builds the tree over `entries` (replacing any previous content).
+  void Build(std::vector<Entry> entries);
+
+  bool empty() const { return nodes_.empty(); }
+  size_t size() const { return num_entries_; }
+  int height() const { return height_; }
+
+  // Ids of all entries whose rectangle intersects `r`.
+  std::vector<uint64_t> Query(const Rect& r) const;
+
+  // Ids of all entries whose rectangle contains `p`.
+  std::vector<uint64_t> QueryPoint(Point p) const;
+
+  // One group of entry indices per leaf node, in leaf order, plus the leaf
+  // MBR and total weight. The space partitioner consumes these.
+  struct LeafGroup {
+    Rect mbr;
+    double weight = 0.0;
+    std::vector<uint64_t> entry_ids;
+  };
+  std::vector<LeafGroup> Leaves() const;
+
+  // Bounding box of everything in the tree.
+  Rect Bounds() const;
+
+ private:
+  struct Node {
+    Rect mbr;
+    bool leaf = false;
+    // For leaves: indices into entries_. For internal nodes: child node ids.
+    std::vector<uint32_t> children;
+  };
+
+  void QueryNode(uint32_t node, const Rect& r,
+                 std::vector<uint64_t>* out) const;
+
+  size_t max_entries_;
+  std::vector<Entry> entries_;
+  std::vector<Node> nodes_;
+  uint32_t root_ = 0;
+  int height_ = 0;
+  size_t num_entries_ = 0;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_SPATIAL_RTREE_H_

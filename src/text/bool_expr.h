@@ -1,0 +1,81 @@
+#ifndef PS2_TEXT_BOOL_EXPR_H_
+#define PS2_TEXT_BOOL_EXPR_H_
+
+#include <string>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace ps2 {
+
+// Boolean keyword expression of an STS query, stored in conjunctive normal
+// form (CNF): an AND of clauses, each clause an OR of terms.
+//
+//   "a AND b"        -> clauses {a}, {b}
+//   "a OR b"         -> clause  {a, b}
+//   "(a OR b) AND c" -> clauses {a, b}, {c}
+//
+// The paper's queries have 1-3 keywords connected by AND or OR; CNF covers
+// both and is exactly the shape GI2 and the gridt index key on ("the least
+// frequent keywords in each conjunctive norm form").
+class BoolExpr {
+ public:
+  BoolExpr() = default;
+
+  // Builds an AND-of-keywords expression (each keyword its own clause).
+  static BoolExpr And(std::vector<TermId> terms);
+
+  // Builds a single OR clause.
+  static BoolExpr Or(std::vector<TermId> terms);
+
+  // Builds a CNF from explicit clauses. Empty clauses are dropped; duplicate
+  // terms within a clause are deduplicated.
+  static BoolExpr Cnf(std::vector<std::vector<TermId>> clauses);
+
+  // Parses expressions like "kobe AND (retired OR lebron)" against `vocab`,
+  // interning unknown terms. Grammar (case-insensitive operators):
+  //   expr   := clause (AND clause)*
+  //   clause := atom (OR atom)*
+  //   atom   := TERM | '(' expr ')'
+  // Parenthesized sub-expressions are distributed into CNF. Returns an empty
+  // expression on syntax error (check has_error()).
+  static BoolExpr Parse(const std::string& text, Vocabulary& vocab);
+
+  bool has_error() const { return has_error_; }
+  bool empty() const { return clauses_.empty(); }
+  const std::vector<std::vector<TermId>>& clauses() const { return clauses_; }
+
+  // True when every clause contains at least one term of `object_terms`
+  // (which must be sorted ascending). An empty expression matches nothing.
+  bool Matches(const std::vector<TermId>& sorted_object_terms) const;
+
+  // All distinct terms across clauses, sorted ascending. This is q.K as a
+  // set, used for routing (q.K ∩ Ti ≠ ∅ tests).
+  std::vector<TermId> DistinctTerms() const;
+
+  // For each clause, the least frequent term per `vocab`.
+  std::vector<TermId> LeastFrequentPerClause(const Vocabulary& vocab) const;
+
+  // The terms GI2 and the gridt index key this query on: all terms of the
+  // *cheapest* clause (minimum total frequency). Any matching object must
+  // satisfy every clause, hence contains at least one term of the chosen
+  // clause, so indexing/routing a query under exactly these terms is
+  // complete. For AND-only queries (singleton clauses) this degenerates to
+  // the paper's "least frequent keyword". (Keying each clause's least
+  // frequent keyword alone — a literal reading of the paper — is incomplete
+  // for multi-clause OR queries; see bool_expr_test.)
+  std::vector<TermId> RoutingTerms(const Vocabulary& vocab) const;
+
+  // Number of stored term slots (for memory accounting).
+  size_t TermSlots() const;
+
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  std::vector<std::vector<TermId>> clauses_;
+  bool has_error_ = false;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_TEXT_BOOL_EXPR_H_

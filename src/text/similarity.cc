@@ -1,0 +1,43 @@
+#include "text/similarity.h"
+
+#include <cmath>
+
+namespace ps2 {
+
+void TermVector::Add(TermId term, double weight) {
+  weights_[term] += weight;
+  cached_norm_ = -1.0;
+}
+
+void TermVector::Merge(const TermVector& other) {
+  for (const auto& [term, w] : other.weights_) weights_[term] += w;
+  cached_norm_ = -1.0;
+}
+
+double TermVector::Weight(TermId term) const {
+  auto it = weights_.find(term);
+  return it == weights_.end() ? 0.0 : it->second;
+}
+
+double TermVector::Norm() const {
+  if (cached_norm_ >= 0.0) return cached_norm_;
+  double sum = 0.0;
+  for (const auto& [term, w] : weights_) sum += w * w;
+  cached_norm_ = std::sqrt(sum);
+  return cached_norm_;
+}
+
+double CosineSimilarity(const TermVector& a, const TermVector& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  // Iterate over the smaller map.
+  const TermVector& small = a.DistinctTerms() <= b.DistinctTerms() ? a : b;
+  const TermVector& large = a.DistinctTerms() <= b.DistinctTerms() ? b : a;
+  double dot = 0.0;
+  for (const auto& [term, w] : small.weights()) {
+    dot += w * large.Weight(term);
+  }
+  const double denom = a.Norm() * b.Norm();
+  return denom == 0.0 ? 0.0 : dot / denom;
+}
+
+}  // namespace ps2

@@ -1,0 +1,44 @@
+#ifndef PS2_TEXT_SIMILARITY_H_
+#define PS2_TEXT_SIMILARITY_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "text/vocabulary.h"
+
+namespace ps2 {
+
+// Sparse term-frequency vector. Hybrid partitioning (Algorithm 1) compares
+// the text distribution of the objects in a subspace against that of the
+// queries in the same subspace using cosine similarity; TermVector is the
+// accumulator for those distributions.
+class TermVector {
+ public:
+  TermVector() = default;
+
+  void Add(TermId term, double weight = 1.0);
+
+  // Merges another vector into this one (used when kd-nodes are merged).
+  void Merge(const TermVector& other);
+
+  double Weight(TermId term) const;
+  size_t DistinctTerms() const { return weights_.size(); }
+  bool empty() const { return weights_.empty(); }
+  double Norm() const;
+
+  const std::unordered_map<TermId, double>& weights() const {
+    return weights_;
+  }
+
+ private:
+  std::unordered_map<TermId, double> weights_;
+  mutable double cached_norm_ = -1.0;
+};
+
+// Cosine similarity in [0, 1]; 0 when either vector is empty. This is
+// simt(On, Qn) in Algorithm 1.
+double CosineSimilarity(const TermVector& a, const TermVector& b);
+
+}  // namespace ps2
+
+#endif  // PS2_TEXT_SIMILARITY_H_

@@ -1,0 +1,23 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace ps2 {
+
+std::vector<std::string> Tokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> terms;
+  std::string current;
+  for (const char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      if (current.size() >= min_term_length_) terms.push_back(current);
+      current.clear();
+    }
+  }
+  if (current.size() >= min_term_length_) terms.push_back(current);
+  return terms;
+}
+
+}  // namespace ps2

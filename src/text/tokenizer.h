@@ -1,0 +1,27 @@
+#ifndef PS2_TEXT_TOKENIZER_H_
+#define PS2_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ps2 {
+
+// Splits raw message text into lowercase terms. This mirrors the minimal
+// preprocessing a tweet-stream deployment would apply before indexing:
+// alphanumeric runs become terms, everything else is a separator, and terms
+// shorter than `min_term_length` are dropped.
+class Tokenizer {
+ public:
+  explicit Tokenizer(size_t min_term_length = 2)
+      : min_term_length_(min_term_length) {}
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+ private:
+  size_t min_term_length_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_TEXT_TOKENIZER_H_

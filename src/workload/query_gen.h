@@ -1,0 +1,78 @@
+#ifndef PS2_WORKLOAD_QUERY_GEN_H_
+#define PS2_WORKLOAD_QUERY_GEN_H_
+
+#include <vector>
+
+#include "core/query.h"
+#include "workload/synthetic_corpus.h"
+
+namespace ps2 {
+
+// The paper's three STS query families (Sections VI-A / VI-C):
+//   Q1 — sides 1..50km, keywords share the corpus term distribution
+//        (frequent keywords dominate: text partitioning suffers).
+//   Q2 — sides 1..100km, at least one keyword outside the top 1% most
+//        frequent terms (rare keywords + wide regions: space partitioning
+//        suffers).
+//   Q3 — the space is divided into a g x g mosaic of regions, each region
+//        fixed to Q1-style or Q2-style (mixed regimes: only hybrid
+//        partitioning fits everywhere). Region styles can be flipped at
+//        runtime to create the drifting workload of Figure 16.
+enum class QueryKind { kQ1, kQ2, kQ3 };
+
+struct QueryGenConfig {
+  QueryKind kind = QueryKind::kQ1;
+  // Rectangle side lengths as fractions of the extent's width/height.
+  // Q1's 1..50km on a ~4500km-wide extent is roughly 0.0002..0.011; we use
+  // slightly larger defaults so the scaled-down query counts still overlap
+  // objects at benchmark scale.
+  double q1_side_min_frac = 0.002;
+  double q1_side_max_frac = 0.02;
+  double q2_side_min_frac = 0.002;
+  double q2_side_max_frac = 0.04;
+  // Q2: keyword rank cutoff ("not in the top 1% most frequent terms").
+  double q2_excluded_top_fraction = 0.01;
+  // Keyword count is uniform in [1, max_keywords] (paper: 1..3).
+  int max_keywords = 3;
+  // Probability that a multi-keyword query uses OR instead of AND.
+  double or_probability = 0.3;
+  // Q3 mosaic granularity (paper: 100 regions = 10 x 10).
+  int q3_regions_per_axis = 10;
+  uint64_t seed = 99;
+};
+
+class QueryGenerator {
+ public:
+  // `corpus` supplies locations and term distributions; not owned.
+  QueryGenerator(const QueryGenConfig& config, const SyntheticCorpus* corpus);
+
+  STSQuery Next();
+  std::vector<STSQuery> Generate(size_t n);
+
+  // --- Q3 drift control (Figure 16) ----------------------------------------
+  int NumRegions() const {
+    return config_.q3_regions_per_axis * config_.q3_regions_per_axis;
+  }
+  // The style (true = Q1-like, false = Q2-like) of a mosaic region.
+  bool RegionIsQ1(int region) const { return region_is_q1_[region]; }
+  void FlipRegionStyle(int region) {
+    region_is_q1_[region] = !region_is_q1_[region];
+  }
+  // Flips `fraction` of the regions (chosen deterministically by the rng).
+  void FlipRandomRegions(double fraction);
+
+  int RegionOf(Point p) const;
+
+ private:
+  STSQuery MakeQuery(Point center, bool q1_style);
+
+  QueryGenConfig config_;
+  const SyntheticCorpus* corpus_;
+  Rng rng_;
+  QueryId next_id_ = 1;
+  std::vector<bool> region_is_q1_;  // Q3 mosaic styles
+};
+
+}  // namespace ps2
+
+#endif  // PS2_WORKLOAD_QUERY_GEN_H_

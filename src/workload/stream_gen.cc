@@ -1,0 +1,111 @@
+#include "workload/stream_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ps2 {
+namespace {
+
+// Draws a query lifetime (number of subsequent inserts before deletion)
+// from N(mu, (sigma_frac * mu)^2), truncated at >= 1.
+uint64_t DrawLifetime(Rng& rng, const StreamConfig& config) {
+  const double mu = static_cast<double>(config.mu);
+  const double draw = rng.NextGaussian(mu, config.sigma_frac * mu);
+  return static_cast<uint64_t>(std::max(1.0, std::round(draw)));
+}
+
+}  // namespace
+
+namespace {
+const auto kHeapGreater = [](const StreamState::LiveQuery& a,
+                             const StreamState::LiveQuery& b) {
+  return a.death_at > b.death_at;
+};
+}  // namespace
+
+StreamState InitStreamState(QueryGenerator& queries,
+                            const StreamConfig& config,
+                            std::vector<StreamTuple>* setup,
+                            WorkloadSample* sample) {
+  StreamState state;
+  state.rng = Rng(config.seed);
+  state.live_heap.reserve(config.mu);
+  for (size_t i = 0; i < config.mu; ++i) {
+    STSQuery q = queries.Next();
+    if (sample != nullptr) sample->inserts.push_back(q);
+    if (setup != nullptr) {
+      setup->push_back(StreamTuple::OfInsert(q, static_cast<int64_t>(i)));
+    }
+    // Stagger initial deaths uniformly over one lifetime so deletions begin
+    // immediately instead of in a burst after mu inserts.
+    const uint64_t lifetime = DrawLifetime(state.rng, config);
+    state.live_heap.push_back(StreamState::LiveQuery{
+        state.rng.NextBelow(lifetime) + 1, std::move(q)});
+    ++state.inserts_so_far;
+  }
+  std::make_heap(state.live_heap.begin(), state.live_heap.end(),
+                 kHeapGreater);
+  return state;
+}
+
+void AppendStreamPhase(SyntheticCorpus& corpus, QueryGenerator& queries,
+                       const StreamConfig& config, StreamState& state,
+                       size_t num_objects, std::vector<StreamTuple>* out,
+                       WorkloadSample* sample) {
+  // One "slot" pattern: R objects, then 1 update, R = object_update_ratio.
+  const double ratio = std::max(1.0, config.object_update_ratio);
+  size_t objects_emitted = 0;
+  double object_budget = 0.0;
+  int64_t t = out->empty() ? 0 : out->back().event_time_us + 1;
+  bool delete_turn = false;  // alternate insert/delete for equal rates
+  while (objects_emitted < num_objects) {
+    object_budget += ratio;
+    while (object_budget >= 1.0 && objects_emitted < num_objects) {
+      SpatioTextualObject o = corpus.NextObject();
+      o.timestamp_us = t++;
+      if (sample != nullptr &&
+          state.rng.NextBernoulli(config.sample_fraction)) {
+        sample->objects.push_back(o);
+      }
+      out->push_back(StreamTuple::OfObject(std::move(o)));
+      ++objects_emitted;
+      object_budget -= 1.0;
+    }
+    // One update slot: prefer a due deletion on delete turns; otherwise
+    // insert a fresh query with a drawn lifetime.
+    bool emitted_update = false;
+    if (delete_turn && !state.live_heap.empty() &&
+        state.live_heap.front().death_at <= state.inserts_so_far) {
+      std::pop_heap(state.live_heap.begin(), state.live_heap.end(),
+                    kHeapGreater);
+      out->push_back(
+          StreamTuple::OfDelete(std::move(state.live_heap.back().query), t++));
+      state.live_heap.pop_back();
+      emitted_update = true;
+    }
+    if (!emitted_update) {
+      STSQuery q = queries.Next();
+      if (sample != nullptr) sample->inserts.push_back(q);
+      out->push_back(StreamTuple::OfInsert(q, t++));
+      state.live_heap.push_back(StreamState::LiveQuery{
+          state.inserts_so_far + DrawLifetime(state.rng, config),
+          std::move(q)});
+      std::push_heap(state.live_heap.begin(), state.live_heap.end(),
+                     kHeapGreater);
+      ++state.inserts_so_far;
+    }
+    delete_turn = !delete_turn;
+  }
+}
+
+GeneratedStream GenerateStream(SyntheticCorpus& corpus,
+                               QueryGenerator& queries,
+                               const StreamConfig& config) {
+  GeneratedStream g;
+  StreamState state = InitStreamState(queries, config, &g.setup, &g.sample);
+  AppendStreamPhase(corpus, queries, config, state, config.num_objects,
+                    &g.stream, &g.sample);
+  return g;
+}
+
+}  // namespace ps2

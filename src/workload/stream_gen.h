@@ -1,0 +1,76 @@
+#ifndef PS2_WORKLOAD_STREAM_GEN_H_
+#define PS2_WORKLOAD_STREAM_GEN_H_
+
+#include <vector>
+
+#include "core/workload_stats.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic_corpus.h"
+
+namespace ps2 {
+
+// Stream composition following the paper's workload section: "the ratio of
+// processing a spatio-textual tweet to inserting or deleting an STS query is
+// approximately 5"; insert and delete rates are equal in steady state; the
+// lifetime of a query — the number of newly arrived queries between its
+// insertion and deletion — is N(mu, (0.2 mu)^2), so the number of live
+// queries stabilizes around mu.
+struct StreamConfig {
+  size_t num_objects = 100000;   // objects in the measured stream
+  double object_update_ratio = 5.0;
+  size_t mu = 50000;             // steady-state number of live queries
+  double sigma_frac = 0.2;       // lifetime stddev = sigma_frac * mu
+  // Fraction of the measured objects replicated into the partitioning
+  // sample (dispatcher-side reservoir in the real system).
+  double sample_fraction = 0.2;
+  uint64_t seed = 5;
+};
+
+// Output of the stream generator.
+struct GeneratedStream {
+  // Partitioning input: a sample of objects plus the initial query set.
+  WorkloadSample sample;
+  // Inserts of the initial mu queries (processed before measurement).
+  std::vector<StreamTuple> setup;
+  // The measured mixed stream (objects + query inserts/deletes, 5:1).
+  std::vector<StreamTuple> stream;
+};
+
+// Generates setup + measured stream. The generator inserts mu queries up
+// front, then mixes objects with query churn whose lifetimes follow the
+// Gaussian model. Event times are spaced uniformly (index order).
+GeneratedStream GenerateStream(SyntheticCorpus& corpus,
+                               QueryGenerator& queries,
+                               const StreamConfig& config);
+
+// Extends an existing stream with another phase of churn (used by the
+// Figure 16 drift experiment: flip Q3 region styles between phases, then
+// append a phase). Live-query bookkeeping is carried in `state`.
+struct StreamState {
+  // Min-heap (by death insert-count) of live queries, so the next due
+  // deletion is O(log n).
+  struct LiveQuery {
+    uint64_t death_at = 0;  // insert-count at which the query is dropped
+    STSQuery query;
+    bool operator>(const LiveQuery& o) const { return death_at > o.death_at; }
+  };
+  std::vector<LiveQuery> live_heap;
+  uint64_t inserts_so_far = 0;
+  Rng rng{0};
+};
+
+// Initializes state with mu live queries (also returned as setup inserts).
+StreamState InitStreamState(QueryGenerator& queries,
+                            const StreamConfig& config,
+                            std::vector<StreamTuple>* setup,
+                            WorkloadSample* sample);
+
+// Appends `num_objects` objects (plus proportional query churn) to `out`.
+void AppendStreamPhase(SyntheticCorpus& corpus, QueryGenerator& queries,
+                       const StreamConfig& config, StreamState& state,
+                       size_t num_objects, std::vector<StreamTuple>* out,
+                       WorkloadSample* sample = nullptr);
+
+}  // namespace ps2
+
+#endif  // PS2_WORKLOAD_STREAM_GEN_H_

@@ -1,0 +1,167 @@
+#include "workload/synthetic_corpus.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ps2 {
+
+CorpusConfig CorpusConfig::UsPreset() {
+  CorpusConfig c;
+  c.name = "US";
+  c.extent = Rect(-125.0, 24.0, -66.0, 49.0);
+  c.num_cities = 60;
+  c.vocab_size = 20000;
+  c.city_topic_skew = 0.55;
+  c.seed = 20170401;
+  return c;
+}
+
+CorpusConfig CorpusConfig::UkPreset() {
+  CorpusConfig c;
+  c.name = "UK";
+  c.extent = Rect(-8.0, 50.0, 2.0, 59.0);
+  c.num_cities = 22;
+  c.vocab_size = 12000;
+  // The UK stream is denser and more topically concentrated: fewer cities,
+  // stronger local topics — frequent keywords dominate more.
+  c.city_topic_skew = 0.65;
+  c.city_sigma_frac = 0.02;
+  c.seed = 20170402;
+  return c;
+}
+
+SyntheticCorpus::SyntheticCorpus(const CorpusConfig& config, Vocabulary* vocab)
+    : config_(config),
+      vocab_(vocab),
+      rng_(config.seed),
+      global_zipf_(config.vocab_size, config.zipf_exponent),
+      topic_zipf_(config.topic_terms_per_city, config.zipf_exponent) {
+  // Intern the vocabulary; rank r term is "<name>_t<r>".
+  rank_to_term_.reserve(config_.vocab_size);
+  char buf[64];
+  for (size_t r = 0; r < config_.vocab_size; ++r) {
+    std::snprintf(buf, sizeof(buf), "%s_t%zu", config_.name.c_str(), r);
+    rank_to_term_.push_back(vocab_->Intern(buf));
+  }
+  // Cities: random centers inside the extent, Zipf-ish weights, topic
+  // slices drawn from the mid-frequency band so topics are distinctive but
+  // not vanishingly rare.
+  const double diag = std::sqrt(config_.extent.width() * config_.extent.width() +
+                                config_.extent.height() * config_.extent.height());
+  cities_.reserve(config_.num_cities);
+  const size_t band_lo = config_.vocab_size / 50;  // skip the global head
+  const size_t band_hi =
+      config_.vocab_size - config_.topic_terms_per_city - 1;
+  double total_weight = 0.0;
+  for (int i = 0; i < config_.num_cities; ++i) {
+    City city;
+    city.center = Point{
+        rng_.NextUniform(config_.extent.min_x, config_.extent.max_x),
+        rng_.NextUniform(config_.extent.min_y, config_.extent.max_y)};
+    city.weight = 1.0 / (1.0 + i * 0.35);  // few big cities, many small
+    city.sigma = diag * config_.city_sigma_frac *
+                 rng_.NextUniform(0.5, 1.5);
+    city.topic_offset =
+        band_lo + rng_.NextBelow(std::max<size_t>(1, band_hi - band_lo));
+    total_weight += city.weight;
+    cities_.push_back(city);
+  }
+  city_cdf_.reserve(cities_.size());
+  double cum = 0.0;
+  for (const auto& c : cities_) {
+    cum += c.weight / total_weight;
+    city_cdf_.push_back(cum);
+  }
+}
+
+void SyntheticCorpus::ScaleCityWeight(int city, double factor) {
+  if (city < 0 || city >= static_cast<int>(cities_.size())) return;
+  cities_[city].weight *= factor;
+  double total = 0.0;
+  for (const auto& c : cities_) total += c.weight;
+  double cum = 0.0;
+  for (size_t i = 0; i < cities_.size(); ++i) {
+    cum += cities_[i].weight / total;
+    city_cdf_[i] = cum;
+  }
+}
+
+Point SyntheticCorpus::SampleLocation(Rng& rng) const {
+  const double u = rng.NextDouble();
+  const size_t city_idx =
+      std::lower_bound(city_cdf_.begin(), city_cdf_.end(), u) -
+      city_cdf_.begin();
+  const City& city = cities_[std::min(city_idx, cities_.size() - 1)];
+  const auto clamp = [](double v, double lo, double hi) {
+    return std::min(std::max(v, lo), hi);
+  };
+  return Point{
+      clamp(rng.NextGaussian(city.center.x, city.sigma), config_.extent.min_x,
+            config_.extent.max_x),
+      clamp(rng.NextGaussian(city.center.y, city.sigma), config_.extent.min_y,
+            config_.extent.max_y)};
+}
+
+int SyntheticCorpus::NearestCity(Point loc) const {
+  int best = 0;
+  double best_d = Distance(loc, cities_[0].center);
+  for (size_t i = 1; i < cities_.size(); ++i) {
+    const double d = Distance(loc, cities_[i].center);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+TermId SyntheticCorpus::SampleTermAt(Point loc, Rng& rng) const {
+  if (rng.NextDouble() < config_.city_topic_skew) {
+    const City& city = cities_[NearestCity(loc)];
+    const size_t rank = city.topic_offset + topic_zipf_.Sample(rng);
+    return rank_to_term_[std::min(rank, rank_to_term_.size() - 1)];
+  }
+  return rank_to_term_[global_zipf_.Sample(rng)];
+}
+
+TermId SyntheticCorpus::SampleRareTerm(double excluded_fraction,
+                                       Rng& rng) const {
+  const size_t cutoff = static_cast<size_t>(
+      excluded_fraction * static_cast<double>(rank_to_term_.size()));
+  // Zipf-shaped over the tail: sample the global Zipf until past the
+  // cutoff, with a uniform fallback to bound the loop.
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const size_t rank = global_zipf_.Sample(rng);
+    if (rank >= cutoff) return rank_to_term_[rank];
+  }
+  return rank_to_term_[cutoff +
+                       rng.NextBelow(rank_to_term_.size() - cutoff)];
+}
+
+SpatioTextualObject SyntheticCorpus::NextObject() {
+  const Point loc = SampleLocation(rng_);
+  // Term count: 1 + Poisson-ish via rounded exponential around the mean.
+  const double raw =
+      rng_.NextGaussian(config_.mean_terms_per_object,
+                        config_.mean_terms_per_object * 0.35);
+  const size_t k = static_cast<size_t>(std::max(1.0, std::round(raw)));
+  std::vector<TermId> terms;
+  terms.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    terms.push_back(SampleTermAt(loc, rng_));
+  }
+  SpatioTextualObject o =
+      SpatioTextualObject::FromTerms(next_id_++, loc, std::move(terms));
+  for (const TermId t : o.terms) vocab_->AddCount(t);
+  return o;
+}
+
+std::vector<SpatioTextualObject> SyntheticCorpus::Generate(size_t n) {
+  std::vector<SpatioTextualObject> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(NextObject());
+  return out;
+}
+
+}  // namespace ps2

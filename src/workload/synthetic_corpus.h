@@ -1,0 +1,102 @@
+#ifndef PS2_WORKLOAD_SYNTHETIC_CORPUS_H_
+#define PS2_WORKLOAD_SYNTHETIC_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/geo.h"
+#include "common/rng.h"
+#include "core/object.h"
+#include "text/vocabulary.h"
+
+namespace ps2 {
+
+// Configuration of the synthetic geo-tagged-message corpus that stands in
+// for the paper's TWEETS-US / TWEETS-UK datasets (see DESIGN.md §2). The
+// generator reproduces the two statistical properties the paper's results
+// rest on:
+//   1. power-law term frequencies (Zipf over a synthetic vocabulary), and
+//   2. spatially clustered messages ("cities" = Gaussian mixture) whose
+//      *topics differ by region* (each city boosts its own topic slice of
+//      the vocabulary), producing the regionally heterogeneous text
+//      distributions that motivate hybrid partitioning (Figure 2).
+struct CorpusConfig {
+  std::string name = "US";
+  Rect extent = Rect(-125.0, 24.0, -66.0, 49.0);
+  int num_cities = 60;
+  size_t vocab_size = 20000;
+  double zipf_exponent = 1.05;
+  double mean_terms_per_object = 8.0;
+  // Probability that a term is drawn from the local city's topic rather
+  // than the global distribution.
+  double city_topic_skew = 0.55;
+  size_t topic_terms_per_city = 400;
+  // City spread (standard deviation) as a fraction of the extent diagonal.
+  double city_sigma_frac = 0.015;
+  uint64_t seed = 1234;
+
+  // Presets mirroring the paper's two datasets: the US corpus is wide with
+  // many clusters, the UK corpus compact with fewer, denser clusters.
+  static CorpusConfig UsPreset();
+  static CorpusConfig UkPreset();
+};
+
+class SyntheticCorpus {
+ public:
+  // Interns the synthetic vocabulary into `vocab` (not owned; must outlive
+  // the corpus). Term frequencies accumulate into `vocab` as objects are
+  // generated, so routing decisions see the live frequency profile.
+  SyntheticCorpus(const CorpusConfig& config, Vocabulary* vocab);
+
+  // Generates the next object (fresh id, clustered location, mixed
+  // global/topic terms).
+  SpatioTextualObject NextObject();
+  std::vector<SpatioTextualObject> Generate(size_t n);
+
+  // A location distributed like object locations (for query centers).
+  Point SampleLocation(Rng& rng) const;
+
+  // Samples one term id: global Zipf, or the topic of the city nearest to
+  // `loc` with probability city_topic_skew.
+  TermId SampleTermAt(Point loc, Rng& rng) const;
+
+  // A term outside the top `excluded_fraction` most frequent ranks (the Q2
+  // "rare keyword" constraint), sampled Zipf-shaped over the tail.
+  TermId SampleRareTerm(double excluded_fraction, Rng& rng) const;
+
+  const CorpusConfig& config() const { return config_; }
+  const Vocabulary& vocab() const { return *vocab_; }
+  const Rect& extent() const { return config_.extent; }
+
+  // The city index whose center is nearest to `loc`.
+  int NearestCity(Point loc) const;
+  int num_cities() const { return static_cast<int>(cities_.size()); }
+
+  // Multiplies a city's message-volume weight by `factor` (and renormalizes
+  // the sampling distribution). Models the spatial drift of real streams —
+  // attention shifting between regions over days — which the Figure 16
+  // experiment needs to recreate the paper's changing workload.
+  void ScaleCityWeight(int city, double factor);
+
+ private:
+  struct City {
+    Point center;
+    double weight = 1.0;   // relative message volume
+    double sigma = 0.01;   // location spread
+    size_t topic_offset = 0;  // start rank of the topic slice
+  };
+
+  CorpusConfig config_;
+  Vocabulary* vocab_;
+  mutable Rng rng_;
+  std::vector<City> cities_;
+  std::vector<double> city_cdf_;
+  std::vector<TermId> rank_to_term_;  // vocab terms ordered by design rank
+  ZipfSampler global_zipf_;
+  ZipfSampler topic_zipf_;
+  ObjectId next_id_ = 1;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_WORKLOAD_SYNTHETIC_CORPUS_H_

@@ -1,0 +1,207 @@
+#include "workload/trace_io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+namespace ps2 {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'S', '2', 'T'};
+constexpr uint32_t kVersion = 1;
+
+struct Writer {
+  FILE* f;
+  bool ok = true;
+
+  void Bytes(const void* p, size_t n) {
+    if (ok && std::fwrite(p, 1, n, f) != n) ok = false;
+  }
+  template <typename T>
+  void Pod(T v) {
+    Bytes(&v, sizeof(T));
+  }
+};
+
+struct Reader {
+  FILE* f;
+  bool ok = true;
+
+  void Bytes(void* p, size_t n) {
+    if (ok && std::fread(p, 1, n, f) != n) ok = false;
+  }
+  template <typename T>
+  T Pod() {
+    T v{};
+    Bytes(&v, sizeof(T));
+    return v;
+  }
+};
+
+void WriteQuery(Writer& w, const STSQuery& q) {
+  w.Pod<uint64_t>(q.id);
+  w.Pod<double>(q.region.min_x);
+  w.Pod<double>(q.region.min_y);
+  w.Pod<double>(q.region.max_x);
+  w.Pod<double>(q.region.max_y);
+  const auto& clauses = q.expr.clauses();
+  w.Pod<uint32_t>(static_cast<uint32_t>(clauses.size()));
+  for (const auto& clause : clauses) {
+    w.Pod<uint32_t>(static_cast<uint32_t>(clause.size()));
+    for (const TermId t : clause) w.Pod<uint32_t>(t);
+  }
+}
+
+STSQuery ReadQuery(Reader& r, const std::vector<TermId>& remap) {
+  STSQuery q;
+  q.id = r.Pod<uint64_t>();
+  const double mnx = r.Pod<double>();
+  const double mny = r.Pod<double>();
+  const double mxx = r.Pod<double>();
+  const double mxy = r.Pod<double>();
+  q.region = Rect(mnx, mny, mxx, mxy);
+  const uint32_t num_clauses = r.Pod<uint32_t>();
+  std::vector<std::vector<TermId>> clauses;
+  clauses.reserve(num_clauses);
+  for (uint32_t c = 0; c < num_clauses && r.ok; ++c) {
+    const uint32_t n = r.Pod<uint32_t>();
+    std::vector<TermId> clause;
+    clause.reserve(n);
+    for (uint32_t i = 0; i < n && r.ok; ++i) {
+      const uint32_t file_id = r.Pod<uint32_t>();
+      if (file_id < remap.size()) clause.push_back(remap[file_id]);
+    }
+    clauses.push_back(std::move(clause));
+  }
+  q.expr = BoolExpr::Cnf(std::move(clauses));
+  return q;
+}
+
+}  // namespace
+
+bool WriteTrace(const std::string& path, const Vocabulary& vocab,
+                const std::vector<StreamTuple>& tuples) {
+  std::unique_ptr<FILE, int (*)(FILE*)> file(std::fopen(path.c_str(), "wb"),
+                                             &std::fclose);
+  if (file == nullptr) return false;
+  Writer w{file.get()};
+  w.Bytes(kMagic, 4);
+  w.Pod<uint32_t>(kVersion);
+  w.Pod<uint64_t>(vocab.size());
+  w.Pod<uint64_t>(tuples.size());
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    const std::string& term = vocab.TermString(static_cast<TermId>(i));
+    w.Pod<uint32_t>(static_cast<uint32_t>(term.size()));
+    w.Bytes(term.data(), term.size());
+  }
+  for (const auto& t : tuples) {
+    w.Pod<uint8_t>(static_cast<uint8_t>(t.kind));
+    w.Pod<int64_t>(t.event_time_us);
+    if (t.kind == TupleKind::kObject) {
+      w.Pod<uint64_t>(t.object.id);
+      w.Pod<double>(t.object.loc.x);
+      w.Pod<double>(t.object.loc.y);
+      w.Pod<uint32_t>(static_cast<uint32_t>(t.object.terms.size()));
+      for (const TermId term : t.object.terms) w.Pod<uint32_t>(term);
+    } else {
+      WriteQuery(w, t.query);
+    }
+  }
+  return w.ok;
+}
+
+bool ReadTrace(const std::string& path, Vocabulary& vocab,
+               std::vector<StreamTuple>* out) {
+  std::unique_ptr<FILE, int (*)(FILE*)> file(std::fopen(path.c_str(), "rb"),
+                                             &std::fclose);
+  if (file == nullptr) return false;
+  Reader r{file.get()};
+  char magic[4];
+  r.Bytes(magic, 4);
+  if (!r.ok || std::memcmp(magic, kMagic, 4) != 0) return false;
+  if (r.Pod<uint32_t>() != kVersion) return false;
+  const uint64_t num_terms = r.Pod<uint64_t>();
+  const uint64_t num_tuples = r.Pod<uint64_t>();
+  if (!r.ok) return false;
+
+  std::vector<TermId> remap;
+  remap.reserve(num_terms);
+  std::string buf;
+  for (uint64_t i = 0; i < num_terms && r.ok; ++i) {
+    const uint32_t len = r.Pod<uint32_t>();
+    if (!r.ok || len > (1u << 20)) return false;
+    buf.resize(len);
+    r.Bytes(buf.data(), len);
+    remap.push_back(vocab.Intern(buf));
+  }
+  for (uint64_t i = 0; i < num_tuples && r.ok; ++i) {
+    const uint8_t kind = r.Pod<uint8_t>();
+    const int64_t time_us = r.Pod<int64_t>();
+    if (kind == static_cast<uint8_t>(TupleKind::kObject)) {
+      const uint64_t id = r.Pod<uint64_t>();
+      const double x = r.Pod<double>();
+      const double y = r.Pod<double>();
+      const uint32_t n = r.Pod<uint32_t>();
+      if (!r.ok || n > (1u << 24)) return false;
+      std::vector<TermId> terms;
+      terms.reserve(n);
+      for (uint32_t j = 0; j < n && r.ok; ++j) {
+        const uint32_t file_id = r.Pod<uint32_t>();
+        if (file_id < remap.size()) terms.push_back(remap[file_id]);
+      }
+      auto o = SpatioTextualObject::FromTerms(id, Point{x, y},
+                                              std::move(terms));
+      o.timestamp_us = time_us;
+      out->push_back(StreamTuple::OfObject(std::move(o)));
+    } else if (kind == static_cast<uint8_t>(TupleKind::kQueryInsert) ||
+               kind == static_cast<uint8_t>(TupleKind::kQueryDelete)) {
+      STSQuery q = ReadQuery(r, remap);
+      out->push_back(kind == static_cast<uint8_t>(TupleKind::kQueryInsert)
+                         ? StreamTuple::OfInsert(std::move(q), time_us)
+                         : StreamTuple::OfDelete(std::move(q), time_us));
+    } else {
+      return false;  // unknown tuple kind
+    }
+  }
+  return r.ok;
+}
+
+bool WriteSample(const std::string& path, const Vocabulary& vocab,
+                 const WorkloadSample& sample) {
+  std::vector<StreamTuple> tuples;
+  tuples.reserve(sample.objects.size() + sample.inserts.size() +
+                 sample.deletes.size());
+  for (const auto& o : sample.objects) {
+    tuples.push_back(StreamTuple::OfObject(o));
+  }
+  for (const auto& q : sample.inserts) {
+    tuples.push_back(StreamTuple::OfInsert(q));
+  }
+  for (const auto& q : sample.deletes) {
+    tuples.push_back(StreamTuple::OfDelete(q));
+  }
+  return WriteTrace(path, vocab, tuples);
+}
+
+bool ReadSample(const std::string& path, Vocabulary& vocab,
+                WorkloadSample* out) {
+  std::vector<StreamTuple> tuples;
+  if (!ReadTrace(path, vocab, &tuples)) return false;
+  for (auto& t : tuples) {
+    switch (t.kind) {
+      case TupleKind::kObject:
+        out->objects.push_back(std::move(t.object));
+        break;
+      case TupleKind::kQueryInsert:
+        out->inserts.push_back(std::move(t.query));
+        break;
+      case TupleKind::kQueryDelete:
+        out->deletes.push_back(std::move(t.query));
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace ps2

@@ -1,0 +1,45 @@
+#ifndef PS2_WORKLOAD_TRACE_IO_H_
+#define PS2_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "core/workload_stats.h"
+#include "text/vocabulary.h"
+
+namespace ps2 {
+
+// Binary trace files: a portable, versioned serialization of a tuple
+// stream plus the vocabulary it references. Lets a generated workload be
+// frozen and replayed across machines/runs (the synthetic stand-in for the
+// paper's archived tweet datasets), and lets users feed their own streams
+// into the benchmarks.
+//
+// Format (little-endian):
+//   header:  magic "PS2T", u32 version, u64 #terms, u64 #tuples
+//   terms:   per term: u32 length, bytes (id = position)
+//   tuples:  per tuple: u8 kind, i64 event_time_us, payload
+//     object: u64 id, f64 x, f64 y, u32 #terms, u32 terms[]
+//     query:  u64 id, f64 min_x, min_y, max_x, max_y,
+//             u32 #clauses, per clause: u32 #terms, u32 terms[]
+//
+// All TermIds in the file are *file-local* (dense, in vocabulary order);
+// ReadTrace interns them into the target vocabulary and remaps.
+bool WriteTrace(const std::string& path, const Vocabulary& vocab,
+                const std::vector<StreamTuple>& tuples);
+
+// Appends the decoded tuples to `out`, interning terms into `vocab`.
+// Returns false on missing file, bad magic/version or truncation.
+bool ReadTrace(const std::string& path, Vocabulary& vocab,
+               std::vector<StreamTuple>* out);
+
+// Convenience wrappers for WorkloadSample (stored as inserts + objects).
+bool WriteSample(const std::string& path, const Vocabulary& vocab,
+                 const WorkloadSample& sample);
+bool ReadSample(const std::string& path, Vocabulary& vocab,
+                WorkloadSample* out);
+
+}  // namespace ps2
+
+#endif  // PS2_WORKLOAD_TRACE_IO_H_

@@ -1,0 +1,79 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ps2 {
+namespace {
+
+TEST(CostModelTest, Definition1Formula) {
+  CostModel cm;
+  cm.c1 = 2.0;
+  cm.c2 = 3.0;
+  cm.c3 = 5.0;
+  cm.c4 = 7.0;
+  WorkerLoadTally t;
+  t.objects = 10;
+  t.inserts = 4;
+  t.deletes = 3;
+  // 2*10*4 + 3*10 + 5*4 + 7*3 = 80 + 30 + 20 + 21 = 151.
+  EXPECT_DOUBLE_EQ(WorkerLoad(cm, t), 151.0);
+}
+
+TEST(CostModelTest, ZeroTallyZeroLoad) {
+  EXPECT_DOUBLE_EQ(WorkerLoad(CostModel{}, WorkerLoadTally{}), 0.0);
+}
+
+TEST(CostModelTest, TallyClear) {
+  WorkerLoadTally t;
+  t.objects = 5;
+  t.inserts = 5;
+  t.deletes = 5;
+  t.Clear();
+  EXPECT_EQ(t.objects, 0u);
+  EXPECT_EQ(t.inserts, 0u);
+  EXPECT_EQ(t.deletes, 0u);
+}
+
+TEST(CostModelTest, CellLoadDefinition3) {
+  EXPECT_DOUBLE_EQ(CellLoad(10, 2.5), 25.0);
+  EXPECT_DOUBLE_EQ(CellLoad(0, 100), 0.0);
+}
+
+TEST(BalanceTest, UniformIsOne) {
+  EXPECT_DOUBLE_EQ(BalanceFactor({3.0, 3.0, 3.0}), 1.0);
+  EXPECT_DOUBLE_EQ(BalanceFactor({}), 1.0);
+  EXPECT_DOUBLE_EQ(BalanceFactor({0.0, 0.0}), 1.0);
+}
+
+TEST(BalanceTest, Ratio) {
+  EXPECT_DOUBLE_EQ(BalanceFactor({2.0, 6.0}), 3.0);
+  EXPECT_DOUBLE_EQ(BalanceFactor({1.0, 5.0, 2.0}), 5.0);
+}
+
+TEST(BalanceTest, ZeroMinIsInfinite) {
+  EXPECT_TRUE(std::isinf(BalanceFactor({0.0, 4.0})));
+}
+
+TEST(BalanceTest, TotalLoad) {
+  EXPECT_DOUBLE_EQ(TotalLoad({1.0, 2.5, 3.5}), 7.0);
+  EXPECT_DOUBLE_EQ(TotalLoad({}), 0.0);
+}
+
+// The superadditivity that drives the whole partitioning story: splitting a
+// workload across workers *reduces* the Definition-1 matching term.
+TEST(CostModelTest, SplittingReducesMatchingCost) {
+  CostModel cm;  // c1 = 1
+  WorkerLoadTally whole;
+  whole.objects = 100;
+  whole.inserts = 100;
+  WorkerLoadTally half;
+  half.objects = 50;
+  half.inserts = 50;
+  EXPECT_GT(WorkerLoad(cm, whole), 2 * WorkerLoad(cm, half));
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,216 @@
+// Failure-injection and boundary-condition tests across the pipeline:
+// degenerate geometry, empty text, id collisions, single-worker clusters,
+// queries far outside the sampled extent — the inputs a production stream
+// will eventually contain.
+#include <gtest/gtest.h>
+
+#include "partition/plan.h"
+#include "runtime/engine.h"
+#include "test_util.h"
+
+namespace ps2 {
+namespace {
+
+class EdgeCaseTest : public ::testing::Test {
+ protected:
+  EdgeCaseTest() : grid_(Rect(0, 0, 100, 100), 4) {
+    a_ = vocab_.Intern("a");
+    b_ = vocab_.Intern("b");
+    PartitionPlan plan;
+    plan.grid = grid_;
+    plan.num_workers = 2;
+    plan.cells.resize(grid_.NumCells());
+    for (CellId c = 0; c < grid_.NumCells(); ++c) {
+      plan.cells[c].worker = static_cast<WorkerId>(c % 2);
+    }
+    cluster_ = std::make_unique<Cluster>(plan, &vocab_);
+  }
+
+  STSQuery Query(QueryId id, std::vector<TermId> terms, Rect region) {
+    STSQuery q;
+    q.id = id;
+    q.expr = BoolExpr::And(std::move(terms));
+    q.region = region;
+    return q;
+  }
+
+  GridSpec grid_;
+  Vocabulary vocab_;
+  TermId a_, b_;
+  std::unique_ptr<Cluster> cluster_;
+};
+
+TEST_F(EdgeCaseTest, ZeroAreaQueryRegionStillMatchesItsPoint) {
+  // A degenerate (point) region is legal: it matches objects exactly there.
+  cluster_->Process(
+      StreamTuple::OfInsert(Query(1, {a_}, Rect(50, 50, 50, 50))));
+  std::vector<MatchResult> out;
+  cluster_->Process(StreamTuple::OfObject(SpatioTextualObject::FromTerms(
+                        1, Point{50, 50}, {a_})),
+                    &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(EdgeCaseTest, QueryRegionOutsideGridClampsButStaysCorrect) {
+  // Region entirely outside the sampled extent: routing clamps to border
+  // cells; an object outside the extent clamps to the same cells, so the
+  // pair still rendezvous.
+  cluster_->Process(
+      StreamTuple::OfInsert(Query(1, {a_}, Rect(500, 500, 600, 600))));
+  std::vector<MatchResult> out;
+  cluster_->Process(StreamTuple::OfObject(SpatioTextualObject::FromTerms(
+                        1, Point{550, 550}, {a_})),
+                    &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(EdgeCaseTest, ObjectWithNoTermsNeverMatches) {
+  cluster_->Process(
+      StreamTuple::OfInsert(Query(1, {a_}, Rect(0, 0, 100, 100))));
+  std::vector<MatchResult> out;
+  cluster_->Process(StreamTuple::OfObject(SpatioTextualObject::FromTerms(
+                        1, Point{50, 50}, {})),
+                    &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(EdgeCaseTest, EmptyExpressionQueryIsInert) {
+  STSQuery q;
+  q.id = 1;
+  q.region = Rect(0, 0, 100, 100);
+  cluster_->Process(StreamTuple::OfInsert(q));
+  for (int w = 0; w < cluster_->num_workers(); ++w) {
+    EXPECT_EQ(cluster_->worker(w).NumActiveQueries(), 0u);
+  }
+}
+
+TEST_F(EdgeCaseTest, DuplicateQueryIdReinsertIsIdempotentForMatching) {
+  cluster_->Process(
+      StreamTuple::OfInsert(Query(7, {a_}, Rect(0, 0, 100, 100))));
+  cluster_->Process(
+      StreamTuple::OfInsert(Query(7, {a_}, Rect(0, 0, 100, 100))));
+  std::vector<MatchResult> out;
+  cluster_->Process(StreamTuple::OfObject(SpatioTextualObject::FromTerms(
+                        1, Point{10, 10}, {a_})),
+                    &out);
+  EXPECT_EQ(out.size(), 1u);  // one logical subscription, one delivery
+}
+
+TEST_F(EdgeCaseTest, DeleteBeforeInsertIsTolerated) {
+  cluster_->Process(
+      StreamTuple::OfDelete(Query(9, {a_}, Rect(0, 0, 10, 10))));
+  cluster_->Process(
+      StreamTuple::OfInsert(Query(9, {a_}, Rect(0, 0, 10, 10))));
+  std::vector<MatchResult> out;
+  cluster_->Process(StreamTuple::OfObject(SpatioTextualObject::FromTerms(
+                        1, Point{5, 5}, {a_})),
+                    &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST_F(EdgeCaseTest, ObjectOnExactCellBoundaryMatchesBoundaryQueries) {
+  // Point exactly on an internal cell boundary: belongs to exactly one
+  // cell, and a query covering both neighbour cells must still match.
+  const Rect cell0 = grid_.CellRect(grid_.ToId(3, 3));
+  const Point boundary{cell0.max_x, cell0.max_y};
+  cluster_->Process(StreamTuple::OfInsert(
+      Query(1, {a_},
+            Rect(cell0.min_x - 1, cell0.min_y - 1, cell0.max_x + 1,
+                 cell0.max_y + 1))));
+  std::vector<MatchResult> out;
+  cluster_->Process(StreamTuple::OfObject(SpatioTextualObject::FromTerms(
+                        1, boundary, {a_})),
+                    &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(SingleWorkerClusterTest, EverythingOnWorkerZero) {
+  auto w = testutil::MakeWorkload(901, 300, 100);
+  PartitionConfig cfg;
+  cfg.num_workers = 1;
+  cfg.grid_k = 3;
+  for (const char* name : {"metric", "kdtree", "hybrid"}) {
+    const PartitionPlan plan =
+        MakePartitioner(name)->Build(w.sample, w.vocab, cfg);
+    Cluster cluster(plan, &w.vocab);
+    ReferenceMatcher ref;
+    for (const auto& q : w.sample.inserts) {
+      cluster.Process(StreamTuple::OfInsert(q));
+      ref.Insert(q);
+    }
+    for (const auto& o : w.extra_objects) {
+      std::vector<MatchResult> got;
+      cluster.Process(StreamTuple::OfObject(o), &got);
+      ASSERT_EQ(testutil::Sorted(got), testutil::Sorted(ref.Match(o)))
+          << name;
+    }
+  }
+}
+
+TEST(DegenerateWorkloadTest, AllObjectsAtOnePoint) {
+  // Zero spatial spread: GridSpec guards against zero-extent bounds and
+  // every partitioner must still produce a working plan.
+  Vocabulary vocab;
+  const TermId t = vocab.Intern("x");
+  vocab.AddCount(t, 10);
+  WorkloadSample sample;
+  for (int i = 0; i < 100; ++i) {
+    sample.objects.push_back(
+        SpatioTextualObject::FromTerms(i + 1, Point{1, 1}, {t}));
+  }
+  STSQuery q;
+  q.id = 1;
+  q.expr = BoolExpr::And({t});
+  q.region = Rect(1, 1, 1, 1);
+  sample.inserts.push_back(q);
+  PartitionConfig cfg;
+  cfg.num_workers = 4;
+  cfg.grid_k = 3;
+  for (const char* name :
+       {"frequency", "hypergraph", "metric", "grid", "kdtree", "rtree",
+        "hybrid"}) {
+    const PartitionPlan plan =
+        MakePartitioner(name)->Build(sample, vocab, cfg);
+    Cluster cluster(plan, &vocab);
+    cluster.Process(StreamTuple::OfInsert(q));
+    std::vector<MatchResult> out;
+    cluster.Process(StreamTuple::OfObject(SpatioTextualObject::FromTerms(
+                        1000, Point{1, 1}, {t})),
+                    &out);
+    EXPECT_EQ(out.size(), 1u) << name;
+  }
+}
+
+TEST(MigrationEdgeTest, MigrateEmptyCellIsNoop) {
+  Vocabulary vocab;
+  PartitionPlan plan;
+  plan.grid = GridSpec(Rect(0, 0, 10, 10), 3);
+  plan.num_workers = 2;
+  plan.cells.assign(plan.grid.NumCells(), CellRoute{0, nullptr});
+  Cluster cluster(plan, &vocab);
+  const auto stats = cluster.MigrateCell(5, 0, 1);
+  EXPECT_EQ(stats.queries_moved, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+}
+
+TEST(MigrationEdgeTest, MigrateToSelfIsNoop) {
+  Vocabulary vocab;
+  const TermId t = vocab.Intern("x");
+  PartitionPlan plan;
+  plan.grid = GridSpec(Rect(0, 0, 10, 10), 3);
+  plan.num_workers = 2;
+  plan.cells.assign(plan.grid.NumCells(), CellRoute{0, nullptr});
+  Cluster cluster(plan, &vocab);
+  STSQuery q;
+  q.id = 1;
+  q.expr = BoolExpr::And({t});
+  q.region = Rect(0, 0, 1, 1);
+  cluster.Process(StreamTuple::OfInsert(q));
+  const auto stats =
+      cluster.MigrateCell(plan.grid.CellOf(Point{0.5, 0.5}), 0, 0);
+  EXPECT_EQ(stats.queries_moved, 0u);
+  EXPECT_EQ(cluster.worker(0).NumActiveQueries(), 1u);
+}
+
+}  // namespace
+}  // namespace ps2

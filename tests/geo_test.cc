@@ -1,0 +1,119 @@
+#include "common/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace ps2 {
+namespace {
+
+TEST(RectTest, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_EQ(r.width(), 0.0);
+}
+
+TEST(RectTest, BasicGeometry) {
+  Rect r(0, 0, 4, 2);
+  EXPECT_FALSE(r.empty());
+  EXPECT_DOUBLE_EQ(r.width(), 4.0);
+  EXPECT_DOUBLE_EQ(r.height(), 2.0);
+  EXPECT_DOUBLE_EQ(r.Area(), 8.0);
+  EXPECT_EQ(r.Center().x, 2.0);
+  EXPECT_EQ(r.Center().y, 1.0);
+}
+
+TEST(RectTest, CenteredConstruction) {
+  Rect r = Rect::Centered(Point{10, 20}, 4, 6);
+  EXPECT_DOUBLE_EQ(r.min_x, 8.0);
+  EXPECT_DOUBLE_EQ(r.max_x, 12.0);
+  EXPECT_DOUBLE_EQ(r.min_y, 17.0);
+  EXPECT_DOUBLE_EQ(r.max_y, 23.0);
+}
+
+TEST(RectTest, ContainsPointBoundariesInclusive) {
+  Rect r(0, 0, 1, 1);
+  EXPECT_TRUE(r.Contains(Point{0, 0}));
+  EXPECT_TRUE(r.Contains(Point{1, 1}));
+  EXPECT_TRUE(r.Contains(Point{0.5, 0.5}));
+  EXPECT_FALSE(r.Contains(Point{1.0001, 0.5}));
+  EXPECT_FALSE(r.Contains(Point{-0.0001, 0.5}));
+}
+
+TEST(RectTest, ContainsRect) {
+  Rect outer(0, 0, 10, 10);
+  EXPECT_TRUE(outer.Contains(Rect(1, 1, 9, 9)));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect(-1, 1, 9, 9)));
+  EXPECT_FALSE(outer.Contains(Rect()));  // empty rect contained nowhere
+}
+
+TEST(RectTest, Intersects) {
+  Rect a(0, 0, 2, 2);
+  EXPECT_TRUE(a.Intersects(Rect(1, 1, 3, 3)));
+  EXPECT_TRUE(a.Intersects(Rect(2, 2, 3, 3)));  // touching corner counts
+  EXPECT_FALSE(a.Intersects(Rect(2.1, 0, 3, 1)));
+  EXPECT_FALSE(a.Intersects(Rect()));
+  EXPECT_FALSE(Rect().Intersects(a));
+}
+
+TEST(RectTest, IntersectionGeometry) {
+  Rect a(0, 0, 2, 2);
+  Rect b(1, 1, 3, 3);
+  Rect i = a.Intersection(b);
+  EXPECT_EQ(i, Rect(1, 1, 2, 2));
+  EXPECT_TRUE(a.Intersection(Rect(5, 5, 6, 6)).empty());
+}
+
+TEST(RectTest, ExpandPoint) {
+  Rect r;
+  r.Expand(Point{1, 2});
+  EXPECT_EQ(r, Rect(1, 2, 1, 2));
+  r.Expand(Point{-1, 5});
+  EXPECT_EQ(r, Rect(-1, 2, 1, 5));
+}
+
+TEST(RectTest, ExpandRect) {
+  Rect r;
+  r.Expand(Rect(0, 0, 1, 1));
+  r.Expand(Rect(2, -1, 3, 0.5));
+  EXPECT_EQ(r, Rect(0, -1, 3, 1));
+  r.Expand(Rect());  // empty is a no-op
+  EXPECT_EQ(r, Rect(0, -1, 3, 1));
+}
+
+TEST(GeoTest, Distance) {
+  EXPECT_DOUBLE_EQ(Distance(Point{0, 0}, Point{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance(Point{1, 1}, Point{1, 1}), 0.0);
+}
+
+// Property sweep: intersection is commutative and contained in both.
+class RectPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RectPropertyTest, IntersectionContainedInBoth) {
+  const int seed = GetParam();
+  // Simple LCG-based rectangles.
+  auto next = [state = static_cast<uint32_t>(seed * 2654435761u)]() mutable {
+    state = state * 1664525u + 1013904223u;
+    return (state >> 8) % 1000 / 100.0;
+  };
+  for (int i = 0; i < 50; ++i) {
+    const double ax = next(), ay = next(), bx = next(), by = next();
+    Rect a(ax, ay, ax + next(), ay + next());
+    Rect b(bx, by, bx + next(), by + next());
+    const Rect i1 = a.Intersection(b);
+    const Rect i2 = b.Intersection(a);
+    EXPECT_EQ(i1, i2);
+    if (!i1.empty()) {
+      EXPECT_TRUE(a.Contains(i1));
+      EXPECT_TRUE(b.Contains(i1));
+      EXPECT_TRUE(a.Intersects(b));
+    } else {
+      EXPECT_FALSE(a.Intersects(b));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RectPropertyTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,269 @@
+#include "index/gi2.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.h"
+#include "index/reference_matcher.h"
+
+namespace ps2 {
+namespace {
+
+class Gi2Test : public ::testing::Test {
+ protected:
+  Gi2Test() : grid_(Rect(0, 0, 64, 64), 4) {}
+
+  TermId T(const std::string& s) { return vocab_.Intern(s); }
+
+  STSQuery MakeQuery(QueryId id, std::vector<TermId> terms, Rect region,
+                     bool is_or = false) {
+    STSQuery q;
+    q.id = id;
+    q.expr = is_or ? BoolExpr::Or(std::move(terms))
+                   : BoolExpr::And(std::move(terms));
+    q.region = region;
+    return q;
+  }
+
+  SpatioTextualObject MakeObject(ObjectId id, Point loc,
+                                 std::vector<TermId> terms) {
+    return SpatioTextualObject::FromTerms(id, loc, std::move(terms));
+  }
+
+  std::vector<MatchResult> Match(Gi2Index& idx,
+                                 const SpatioTextualObject& o) {
+    std::vector<MatchResult> out;
+    idx.Match(o, &out);
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  GridSpec grid_;
+  Vocabulary vocab_;
+};
+
+TEST_F(Gi2Test, BasicInsertAndMatch) {
+  Gi2Index idx(grid_, &vocab_);
+  idx.Insert(MakeQuery(1, {T("pizza")}, Rect(0, 0, 10, 10)));
+  const auto matches =
+      Match(idx, MakeObject(100, Point{5, 5}, {T("pizza"), T("good")}));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].query_id, 1u);
+  EXPECT_EQ(matches[0].object_id, 100u);
+}
+
+TEST_F(Gi2Test, SpatialFiltering) {
+  Gi2Index idx(grid_, &vocab_);
+  idx.Insert(MakeQuery(1, {T("pizza")}, Rect(0, 0, 10, 10)));
+  EXPECT_TRUE(Match(idx, MakeObject(1, Point{50, 50}, {T("pizza")})).empty());
+}
+
+TEST_F(Gi2Test, TextualFiltering) {
+  Gi2Index idx(grid_, &vocab_);
+  idx.Insert(MakeQuery(1, {T("pizza"), T("pasta")}, Rect(0, 0, 10, 10)));
+  EXPECT_TRUE(Match(idx, MakeObject(1, Point{5, 5}, {T("pizza")})).empty());
+  EXPECT_EQ(
+      Match(idx, MakeObject(2, Point{5, 5}, {T("pizza"), T("pasta")})).size(),
+      1u);
+}
+
+TEST_F(Gi2Test, OrQueryMatchedViaAnyDisjunct) {
+  Gi2Index idx(grid_, &vocab_);
+  vocab_.AddCount(T("a"), 5);
+  vocab_.AddCount(T("b"), 1);
+  idx.Insert(MakeQuery(1, {T("a"), T("b")}, Rect(0, 0, 10, 10), true));
+  EXPECT_EQ(Match(idx, MakeObject(1, Point{1, 1}, {T("a")})).size(), 1u);
+  EXPECT_EQ(Match(idx, MakeObject(2, Point{1, 1}, {T("b")})).size(), 1u);
+  // Object containing both must match exactly once.
+  EXPECT_EQ(Match(idx, MakeObject(3, Point{1, 1}, {T("a"), T("b")})).size(),
+            1u);
+}
+
+TEST_F(Gi2Test, DeleteStopsMatching) {
+  Gi2Index idx(grid_, &vocab_);
+  idx.Insert(MakeQuery(1, {T("x")}, Rect(0, 0, 64, 64)));
+  EXPECT_EQ(idx.NumActiveQueries(), 1u);
+  idx.Delete(1);
+  EXPECT_EQ(idx.NumActiveQueries(), 0u);
+  EXPECT_TRUE(Match(idx, MakeObject(1, Point{5, 5}, {T("x")})).empty());
+}
+
+TEST_F(Gi2Test, LazyDeletionPurgesTombstonesDuringTraversal) {
+  Gi2Index idx(grid_, &vocab_);
+  // Query confined to one cell so all postings are traversed by one match.
+  idx.Insert(MakeQuery(1, {T("x")}, Rect(1, 1, 2, 2)));
+  idx.Delete(1);
+  EXPECT_EQ(idx.NumTombstones(), 1u);
+  // Matching an object in the same cell with the same term purges it.
+  (void)Match(idx, MakeObject(1, Point{1.5, 1.5}, {T("x")}));
+  EXPECT_EQ(idx.NumTombstones(), 0u);
+}
+
+TEST_F(Gi2Test, EagerDeletionLeavesNoTombstones) {
+  Gi2Index::Options opts;
+  opts.lazy_deletion = false;
+  Gi2Index idx(grid_, &vocab_, opts);
+  idx.Insert(MakeQuery(1, {T("x")}, Rect(0, 0, 30, 30)));
+  idx.Delete(1);
+  EXPECT_EQ(idx.NumTombstones(), 0u);
+  EXPECT_TRUE(Match(idx, MakeObject(1, Point{5, 5}, {T("x")})).empty());
+}
+
+TEST_F(Gi2Test, DeleteUnknownIdIsNoop) {
+  Gi2Index idx(grid_, &vocab_);
+  idx.Delete(12345);
+  EXPECT_EQ(idx.NumActiveQueries(), 0u);
+}
+
+TEST_F(Gi2Test, ReinsertAfterDeleteWorks) {
+  Gi2Index idx(grid_, &vocab_);
+  idx.Insert(MakeQuery(1, {T("x")}, Rect(0, 0, 10, 10)));
+  idx.Delete(1);
+  idx.Insert(MakeQuery(1, {T("x")}, Rect(0, 0, 10, 10)));
+  EXPECT_EQ(Match(idx, MakeObject(1, Point{5, 5}, {T("x")})).size(), 1u);
+}
+
+TEST_F(Gi2Test, InsertIntoCellsRestrictsScope) {
+  Gi2Index idx(grid_, &vocab_);
+  const STSQuery q = MakeQuery(1, {T("x")}, Rect(0, 0, 64, 64));
+  const CellId cell = grid_.CellOf(Point{5, 5});
+  idx.InsertIntoCells(q, {cell});
+  EXPECT_EQ(Match(idx, MakeObject(1, Point{5, 5}, {T("x")})).size(), 1u);
+  // An object in a different (non-indexed) cell does not match even though
+  // the query region covers it — that cell belongs to another worker.
+  EXPECT_TRUE(Match(idx, MakeObject(2, Point{60, 60}, {T("x")})).empty());
+}
+
+TEST_F(Gi2Test, InsertIntoNonOverlappingCellProducesNoFalseMatches) {
+  // The worker trusts the dispatcher's cell list (required for clamped
+  // out-of-extent routing); the final region check still prevents false
+  // matches for objects in that cell but outside the query region.
+  Gi2Index idx(grid_, &vocab_);
+  const STSQuery q = MakeQuery(1, {T("x")}, Rect(0, 0, 3, 3));
+  const CellId far_cell = grid_.CellOf(Point{60, 60});
+  idx.InsertIntoCells(q, {far_cell});
+  EXPECT_TRUE(Match(idx, MakeObject(1, Point{60, 60}, {T("x")})).empty());
+}
+
+TEST_F(Gi2Test, EmptyExpressionNeverIndexed) {
+  Gi2Index idx(grid_, &vocab_);
+  STSQuery q;
+  q.id = 1;
+  q.region = Rect(0, 0, 10, 10);
+  idx.Insert(q);
+  EXPECT_EQ(idx.NumActiveQueries(), 0u);
+}
+
+TEST_F(Gi2Test, ExtractCellMovesQueries) {
+  Gi2Index idx(grid_, &vocab_);
+  idx.Insert(MakeQuery(1, {T("x")}, Rect(1, 1, 2, 2)));     // one cell
+  idx.Insert(MakeQuery(2, {T("x")}, Rect(0, 0, 20, 20)));   // many cells
+  const CellId cell = grid_.CellOf(Point{1.5, 1.5});
+  auto moved = idx.ExtractCell(cell);
+  ASSERT_EQ(moved.size(), 2u);
+  // Query 1 lived only in that cell: gone entirely.
+  EXPECT_TRUE(Match(idx, MakeObject(1, Point{1.5, 1.5}, {T("x")})).empty());
+  // Query 2 still lives in other cells.
+  EXPECT_EQ(Match(idx, MakeObject(2, Point{15, 15}, {T("x")})).size(), 1u);
+  EXPECT_EQ(idx.NumActiveQueries(), 1u);
+  // Re-inserting the extracted cell into another index restores matching.
+  Gi2Index other(grid_, &vocab_);
+  for (const auto& q : moved) other.InsertIntoCells(q, {cell});
+  EXPECT_EQ(Match(other, MakeObject(3, Point{1.5, 1.5}, {T("x")})).size(),
+            2u);
+}
+
+TEST_F(Gi2Test, CellStatsTrackQueriesAndObjects) {
+  Gi2Index idx(grid_, &vocab_);
+  idx.Insert(MakeQuery(1, {T("x")}, Rect(1, 1, 2, 2)));
+  const CellId cell = grid_.CellOf(Point{1.5, 1.5});
+  auto stats = idx.StatsFor(cell);
+  EXPECT_EQ(stats.num_queries, 1u);
+  EXPECT_GT(stats.query_bytes, 0u);
+  EXPECT_EQ(stats.objects_seen, 0u);
+  (void)Match(idx, MakeObject(1, Point{1.5, 1.5}, {T("y")}));
+  stats = idx.StatsFor(cell);
+  EXPECT_EQ(stats.objects_seen, 1u);
+  idx.ResetObjectCounters();
+  EXPECT_EQ(idx.StatsFor(cell).objects_seen, 0u);
+}
+
+TEST_F(Gi2Test, MemoryAccountingMonotone) {
+  Gi2Index idx(grid_, &vocab_);
+  const size_t before = idx.MemoryBytes();
+  for (int i = 0; i < 50; ++i) {
+    idx.Insert(MakeQuery(i + 1, {T("t" + std::to_string(i))},
+                         Rect(i % 8, i % 8, i % 8 + 5.0, i % 8 + 5.0)));
+  }
+  EXPECT_GT(idx.MemoryBytes(), before);
+}
+
+// Randomized equivalence with the brute-force reference under churn.
+class Gi2RandomizedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Gi2RandomizedTest, MatchesReferenceUnderChurn) {
+  const GridSpec grid(Rect(0, 0, 100, 100), 5);
+  Vocabulary vocab;
+  std::vector<TermId> terms;
+  for (int i = 0; i < 40; ++i) {
+    const TermId t = vocab.Intern("w" + std::to_string(i));
+    vocab.AddCount(t, 1 + i * 3);
+    terms.push_back(t);
+  }
+  Gi2Index idx(grid, &vocab);
+  ReferenceMatcher ref;
+  Rng rng(GetParam());
+  QueryId next_id = 1;
+  std::vector<QueryId> live;
+  for (int step = 0; step < 2000; ++step) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.25) {
+      // Insert a random query (1-3 terms, AND or OR).
+      std::vector<TermId> qterms;
+      const int k = 1 + rng.NextBelow(3);
+      for (int i = 0; i < k; ++i) {
+        qterms.push_back(terms[rng.NextBelow(terms.size())]);
+      }
+      const double x = rng.NextUniform(0, 90);
+      const double y = rng.NextUniform(0, 90);
+      STSQuery q;
+      q.id = next_id++;
+      q.expr = rng.NextBernoulli(0.4) ? BoolExpr::Or(qterms)
+                                      : BoolExpr::And(qterms);
+      q.region = Rect(x, y, x + rng.NextUniform(1, 20),
+                      y + rng.NextUniform(1, 20));
+      idx.Insert(q);
+      ref.Insert(q);
+      live.push_back(q.id);
+    } else if (dice < 0.35 && !live.empty()) {
+      const size_t i = rng.NextBelow(live.size());
+      idx.Delete(live[i]);
+      ref.Delete(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    } else {
+      std::vector<TermId> oterms;
+      const int k = 1 + rng.NextBelow(6);
+      for (int i = 0; i < k; ++i) {
+        oterms.push_back(terms[rng.NextBelow(terms.size())]);
+      }
+      const SpatioTextualObject o = SpatioTextualObject::FromTerms(
+          step, Point{rng.NextUniform(0, 100), rng.NextUniform(0, 100)},
+          oterms);
+      std::vector<MatchResult> got;
+      idx.Match(o, &got);
+      auto want = ref.Match(o);
+      std::sort(got.begin(), got.end());
+      std::sort(want.begin(), want.end());
+      ASSERT_EQ(got, want) << "step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Gi2RandomizedTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,145 @@
+#include "adjust/global_adjust.h"
+
+#include <gtest/gtest.h>
+
+#include "partition/text_util.h"
+#include "test_util.h"
+
+namespace ps2 {
+namespace {
+
+class DualRouterTest : public ::testing::Test {
+ protected:
+  DualRouterTest() : grid_(Rect(0, 0, 16, 16), 3) {
+    a_ = vocab_.Intern("a");
+    b_ = vocab_.Intern("b");
+    vocab_.AddCount(a_, 3);
+    vocab_.AddCount(b_, 2);
+  }
+
+  std::unique_ptr<GridtIndex> SpaceIndex(WorkerId left, WorkerId right) {
+    PartitionPlan plan;
+    plan.grid = grid_;
+    plan.num_workers = 4;
+    plan.cells.resize(grid_.NumCells());
+    for (uint32_t cy = 0; cy < grid_.side(); ++cy) {
+      for (uint32_t cx = 0; cx < grid_.side(); ++cx) {
+        plan.cells[grid_.ToId(cx, cy)].worker =
+            cx < grid_.side() / 2 ? left : right;
+      }
+    }
+    return std::make_unique<GridtIndex>(std::move(plan), &vocab_);
+  }
+
+  STSQuery Query(QueryId id, TermId t, Rect r) {
+    STSQuery q;
+    q.id = id;
+    q.expr = BoolExpr::And({t});
+    q.region = r;
+    return q;
+  }
+
+  GridSpec grid_;
+  Vocabulary vocab_;
+  TermId a_, b_;
+};
+
+TEST_F(DualRouterTest, SingleStrategyPassThrough) {
+  DualStrategyRouter router(SpaceIndex(0, 1));
+  EXPECT_FALSE(router.InTransition());
+  const auto routes = router.RouteInsert(Query(1, a_, Rect(0, 0, 2, 2)));
+  ASSERT_EQ(routes.size(), 1u);
+  EXPECT_EQ(routes[0].worker, 0);
+  std::vector<WorkerId> out;
+  router.RouteObject(SpatioTextualObject::FromTerms(1, Point{1, 1}, {a_}),
+                     &out);
+  EXPECT_EQ(out, (std::vector<WorkerId>{0}));
+}
+
+TEST_F(DualRouterTest, TransitionRoutesOldDeletesThroughOldPlan) {
+  DualStrategyRouter router(SpaceIndex(0, 1));
+  const STSQuery old_q = Query(1, a_, Rect(0, 0, 2, 2));
+  router.RouteInsert(old_q);  // lands on worker 0 under the old plan
+  router.InstallNewPlan(SpaceIndex(2, 3));
+  EXPECT_TRUE(router.InTransition());
+  EXPECT_EQ(router.OldQueryCount(), 1u);
+  // New query lands per the new plan.
+  const auto new_routes = router.RouteInsert(Query(2, a_, Rect(0, 0, 2, 2)));
+  ASSERT_EQ(new_routes.size(), 1u);
+  EXPECT_EQ(new_routes[0].worker, 2);
+  // Objects route through both strategies.
+  std::vector<WorkerId> out;
+  router.RouteObject(SpatioTextualObject::FromTerms(1, Point{1, 1}, {a_}),
+                     &out);
+  EXPECT_EQ(out, (std::vector<WorkerId>{0, 2}));
+  // Deleting the old query routes through the old plan (worker 0).
+  const auto del_routes = router.RouteDelete(old_q);
+  ASSERT_EQ(del_routes.size(), 1u);
+  EXPECT_EQ(del_routes[0].worker, 0);
+  EXPECT_EQ(router.OldQueryCount(), 0u);
+  EXPECT_TRUE(router.ReadyToRetire(0));
+}
+
+TEST_F(DualRouterTest, RetireReturnsStragglers) {
+  DualStrategyRouter router(SpaceIndex(0, 1));
+  router.RouteInsert(Query(1, a_, Rect(0, 0, 2, 2)));
+  router.RouteInsert(Query(2, b_, Rect(10, 10, 12, 12)));
+  router.InstallNewPlan(SpaceIndex(2, 3));
+  router.RouteDelete(Query(1, a_, Rect(0, 0, 2, 2)));
+  EXPECT_EQ(router.OldQueryCount(), 1u);
+  const auto stragglers = router.TakeOldQueriesAndRetire();
+  ASSERT_EQ(stragglers.size(), 1u);
+  EXPECT_EQ(stragglers[0].id, 2u);
+  EXPECT_FALSE(router.InTransition());
+  // After retirement the straggler counts as a new-generation query: its
+  // deletion routes through the primary.
+  const auto del = router.RouteDelete(stragglers[0]);
+  ASSERT_EQ(del.size(), 1u);
+  EXPECT_EQ(del[0].worker, 3);  // right half under the new plan
+}
+
+TEST_F(DualRouterTest, MemoryIncludesBothIndexesDuringTransition) {
+  DualStrategyRouter router(SpaceIndex(0, 1));
+  router.RouteInsert(Query(1, a_, Rect(0, 0, 2, 2)));
+  const size_t single = router.MemoryBytes();
+  router.InstallNewPlan(SpaceIndex(2, 3));
+  EXPECT_GT(router.MemoryBytes(), single);
+}
+
+TEST(EvaluateRepartitionTest, DetectsImprovableDistribution) {
+  auto w = testutil::MakeWorkload(501, 2000, 500);
+  PartitionConfig cfg;
+  cfg.num_workers = 8;
+  cfg.grid_k = 4;
+  // Terrible current plan: everything on one worker... actually a uniform
+  // round-robin by cell id, which scatters contiguous regions and inflates
+  // query duplication.
+  PartitionPlan bad;
+  bad.grid = GridSpec(w.sample.Bounds(), cfg.grid_k);
+  bad.num_workers = cfg.num_workers;
+  bad.cells.resize(bad.grid.NumCells());
+  for (CellId c = 0; c < bad.grid.NumCells(); ++c) {
+    bad.cells[c].worker = c % cfg.num_workers;
+  }
+  const auto decision =
+      EvaluateRepartition(bad, w.sample, w.vocab, cfg, 0.05);
+  EXPECT_GT(decision.current_load, 0.0);
+  EXPECT_GT(decision.candidate_load, 0.0);
+  EXPECT_TRUE(decision.repartition);
+  EXPECT_LT(decision.candidate_load, decision.current_load);
+}
+
+TEST(EvaluateRepartitionTest, KeepsGoodPlan) {
+  auto w = testutil::MakeWorkload(503, 1500, 400);
+  PartitionConfig cfg;
+  cfg.num_workers = 4;
+  cfg.grid_k = 4;
+  const PartitionPlan good =
+      MakePartitioner("hybrid")->Build(w.sample, w.vocab, cfg);
+  const auto decision =
+      EvaluateRepartition(good, w.sample, w.vocab, cfg, 0.10);
+  EXPECT_FALSE(decision.repartition);
+}
+
+}  // namespace
+}  // namespace ps2

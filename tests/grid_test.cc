@@ -1,0 +1,120 @@
+#include "spatial/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ps2 {
+namespace {
+
+TEST(GridTest, Dimensions) {
+  GridSpec g(Rect(0, 0, 10, 10), 3);
+  EXPECT_EQ(g.side(), 8u);
+  EXPECT_EQ(g.NumCells(), 64u);
+}
+
+TEST(GridTest, CellOfCorners) {
+  GridSpec g(Rect(0, 0, 8, 8), 3);
+  EXPECT_EQ(g.CellOf(Point{0.5, 0.5}), g.ToId(0, 0));
+  EXPECT_EQ(g.CellOf(Point{7.5, 7.5}), g.ToId(7, 7));
+  EXPECT_EQ(g.CellOf(Point{0.5, 7.5}), g.ToId(0, 7));
+}
+
+TEST(GridTest, CellOfClampsOutside) {
+  GridSpec g(Rect(0, 0, 8, 8), 3);
+  EXPECT_EQ(g.CellOf(Point{-5, -5}), g.ToId(0, 0));
+  EXPECT_EQ(g.CellOf(Point{100, 100}), g.ToId(7, 7));
+}
+
+TEST(GridTest, IdCoordinateRoundTrip) {
+  GridSpec g(Rect(0, 0, 1, 1), 4);
+  for (uint32_t cy = 0; cy < g.side(); ++cy) {
+    for (uint32_t cx = 0; cx < g.side(); ++cx) {
+      const CellId id = g.ToId(cx, cy);
+      EXPECT_EQ(g.CellX(id), cx);
+      EXPECT_EQ(g.CellY(id), cy);
+    }
+  }
+}
+
+TEST(GridTest, CellRectTilesBounds) {
+  GridSpec g(Rect(0, 0, 8, 4), 2);
+  double area = 0.0;
+  for (CellId c = 0; c < g.NumCells(); ++c) area += g.CellRect(c).Area();
+  EXPECT_NEAR(area, 32.0, 1e-9);
+  // A point in a cell's rect maps back to that cell.
+  for (CellId c = 0; c < g.NumCells(); ++c) {
+    EXPECT_EQ(g.CellOf(g.CellRect(c).Center()), c);
+  }
+}
+
+TEST(GridTest, CellsOverlappingFullBounds) {
+  GridSpec g(Rect(0, 0, 8, 8), 2);
+  const auto cells = g.CellsOverlapping(Rect(0, 0, 8, 8));
+  EXPECT_EQ(cells.size(), g.NumCells());
+}
+
+TEST(GridTest, CellsOverlappingSingleCellInterior) {
+  GridSpec g(Rect(0, 0, 8, 8), 3);  // cell size 1x1
+  const auto cells = g.CellsOverlapping(Rect(2.25, 3.25, 2.75, 3.75));
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], g.ToId(2, 3));
+}
+
+TEST(GridTest, CellsOverlappingEmptyRect) {
+  GridSpec g(Rect(0, 0, 8, 8), 3);
+  EXPECT_TRUE(g.CellsOverlapping(Rect()).empty());
+}
+
+TEST(GridTest, CellsOverlappingOutsideClampsToBorder) {
+  GridSpec g(Rect(0, 0, 8, 8), 3);
+  const auto cells = g.CellsOverlapping(Rect(20, 20, 21, 21));
+  ASSERT_EQ(cells.size(), 1u);
+  EXPECT_EQ(cells[0], g.ToId(7, 7));
+}
+
+// Property: for random rects and random points inside them, the point's
+// cell is among the overlapping cells.
+class GridPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridPropertyTest, PointCellWithinOverlapSet) {
+  GridSpec g(Rect(-10, -5, 30, 25), GetParam());
+  Rng rng(1234 + GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const double x0 = rng.NextUniform(-10, 28);
+    const double y0 = rng.NextUniform(-5, 23);
+    const Rect r(x0, y0, x0 + rng.NextUniform(0.01, 10),
+                 y0 + rng.NextUniform(0.01, 10));
+    const auto cells = g.CellsOverlapping(r);
+    ASSERT_FALSE(cells.empty());
+    for (int j = 0; j < 10; ++j) {
+      const Point p{rng.NextUniform(r.min_x, r.max_x),
+                    rng.NextUniform(r.min_y, r.max_y)};
+      const CellId pc = g.CellOf(p);
+      EXPECT_NE(std::find(cells.begin(), cells.end(), pc), cells.end())
+          << "point cell " << pc << " missing from overlap of "
+          << r.ToString();
+    }
+  }
+}
+
+// Property: every overlapping cell's rect really intersects the query rect.
+TEST_P(GridPropertyTest, OverlapCellsIntersect) {
+  GridSpec g(Rect(0, 0, 100, 60), GetParam());
+  Rng rng(77 + GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const double x0 = rng.NextUniform(0, 95);
+    const double y0 = rng.NextUniform(0, 55);
+    const Rect r(x0, y0, x0 + rng.NextUniform(0.1, 20),
+                 y0 + rng.NextUniform(0.1, 20));
+    for (const CellId c : g.CellsOverlapping(r)) {
+      EXPECT_TRUE(g.CellRect(c).Intersects(r));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, GridPropertyTest,
+                         ::testing::Values(1, 2, 4, 6));
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,137 @@
+#include "spatial/kdtree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace ps2 {
+namespace {
+
+double Uniform(uint32_t, uint32_t) { return 1.0; }
+
+TEST(CellBlockTest, Dimensions) {
+  CellBlock b{2, 3, 5, 7};
+  EXPECT_EQ(b.Width(), 4u);
+  EXPECT_EQ(b.Height(), 5u);
+  EXPECT_EQ(b.NumCells(), 20u);
+  EXPECT_TRUE(b.CanSplit());
+  EXPECT_TRUE(b.ContainsCell(2, 3));
+  EXPECT_TRUE(b.ContainsCell(5, 7));
+  EXPECT_FALSE(b.ContainsCell(6, 7));
+}
+
+TEST(CellBlockTest, SingleCellCannotSplit) {
+  CellBlock b{4, 4, 4, 4};
+  EXPECT_FALSE(b.CanSplit());
+  EXPECT_EQ(b.NumCells(), 1u);
+}
+
+TEST(CellBlockTest, CellsEnumeration) {
+  GridSpec g(Rect(0, 0, 8, 8), 3);
+  CellBlock b{1, 2, 2, 3};
+  const auto cells = b.Cells(g);
+  EXPECT_EQ(cells.size(), 4u);
+  EXPECT_EQ(cells[0], g.ToId(1, 2));
+  EXPECT_EQ(cells.back(), g.ToId(2, 3));
+}
+
+TEST(SplitTest, AxisSplitPartitionsBlock) {
+  CellBlock b{0, 0, 7, 7}, l, r;
+  ASSERT_TRUE(SplitBlockAxis(b, 0, Uniform, &l, &r));
+  EXPECT_EQ(l.cx0, 0u);
+  EXPECT_EQ(r.cx1, 7u);
+  EXPECT_EQ(l.cx1 + 1, r.cx0);
+  EXPECT_EQ(l.cy0, b.cy0);
+  EXPECT_EQ(l.NumCells() + r.NumCells(), b.NumCells());
+}
+
+TEST(SplitTest, UnsplittableAxis) {
+  CellBlock b{3, 0, 3, 7}, l, r;  // width 1
+  EXPECT_FALSE(SplitBlockAxis(b, 0, Uniform, &l, &r));
+  EXPECT_TRUE(SplitBlockAxis(b, 1, Uniform, &l, &r));
+}
+
+TEST(SplitTest, WeightedMedianBalances) {
+  // All weight on column 6: the x-split should isolate it tightly.
+  const auto w = [](uint32_t cx, uint32_t) {
+    return cx == 6 ? 100.0 : 1.0;
+  };
+  CellBlock b{0, 0, 7, 7}, l, r;
+  ASSERT_TRUE(SplitBlockAxis(b, 0, w, &l, &r));
+  // The cut should land next to the heavy column (left weight closest to
+  // half of total).
+  EXPECT_GE(r.cx0, 6u);
+}
+
+TEST(SplitTest, WeightedSplitHalvesUniformLoad) {
+  CellBlock b{0, 0, 7, 7}, l, r;
+  ASSERT_TRUE(SplitBlockWeighted(b, Uniform, &l, &r));
+  EXPECT_EQ(l.NumCells(), r.NumCells());
+}
+
+TEST(KdDecomposeTest, LeafCountAndDisjointCover) {
+  GridSpec g(Rect(0, 0, 16, 16), 4);
+  Rng rng(9);
+  std::vector<double> weights(g.NumCells());
+  for (auto& w : weights) w = rng.NextUniform(0.0, 10.0);
+  const auto weight = [&](uint32_t cx, uint32_t cy) {
+    return weights[g.ToId(cx, cy)];
+  };
+  for (size_t n : {1u, 2u, 5u, 8u, 16u, 32u}) {
+    const auto blocks = KdDecompose(g, n, weight);
+    EXPECT_EQ(blocks.size(), n);
+    // Disjoint and complete cover of all cells.
+    std::set<CellId> seen;
+    for (const auto& b : blocks) {
+      for (const CellId c : b.Cells(g)) {
+        EXPECT_TRUE(seen.insert(c).second) << "cell " << c << " duplicated";
+      }
+    }
+    EXPECT_EQ(seen.size(), g.NumCells());
+  }
+}
+
+TEST(KdDecomposeTest, CapsAtGridSize) {
+  GridSpec g(Rect(0, 0, 4, 4), 1);  // 4 cells
+  const auto blocks = KdDecompose(g, 10, Uniform);
+  EXPECT_EQ(blocks.size(), 4u);
+}
+
+TEST(KdDecomposeTest, BalancesSkewedLoad) {
+  GridSpec g(Rect(0, 0, 16, 16), 4);
+  // Heavy corner: 90% of weight in the lower-left quadrant.
+  const auto weight = [&](uint32_t cx, uint32_t cy) {
+    return (cx < 8 && cy < 8) ? 9.0 : 0.13;
+  };
+  const auto blocks = KdDecompose(g, 8, weight);
+  ASSERT_EQ(blocks.size(), 8u);
+  // Load-aware splitting should keep per-block weights near the mean (a
+  // geometric split would leave one block with ~90% of the weight).
+  double total = 0.0, max_block = 0.0;
+  for (const auto& b : blocks) {
+    double w = 0.0;
+    for (uint32_t cy = b.cy0; cy <= b.cy1; ++cy) {
+      for (uint32_t cx = b.cx0; cx <= b.cx1; ++cx) w += weight(cx, cy);
+    }
+    total += w;
+    max_block = std::max(max_block, w);
+  }
+  EXPECT_LE(max_block, 2.0 * total / 8.0);
+}
+
+TEST(KdDecomposeTest, ZeroWeightFallsBackToGeometric) {
+  GridSpec g(Rect(0, 0, 8, 8), 3);
+  const auto blocks =
+      KdDecompose(g, 4, [](uint32_t, uint32_t) { return 0.0; });
+  EXPECT_EQ(blocks.size(), 4u);
+  std::set<CellId> seen;
+  for (const auto& b : blocks) {
+    for (const CellId c : b.Cells(g)) seen.insert(c);
+  }
+  EXPECT_EQ(seen.size(), g.NumCells());
+}
+
+}  // namespace
+}  // namespace ps2

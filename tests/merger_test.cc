@@ -1,0 +1,61 @@
+#include "dispatch/merger.h"
+
+#include <gtest/gtest.h>
+
+namespace ps2 {
+namespace {
+
+TEST(MergerTest, FirstDeliverySecondSuppressed) {
+  Merger m;
+  EXPECT_TRUE(m.Accept(MatchResult{1, 10}));
+  EXPECT_FALSE(m.Accept(MatchResult{1, 10}));
+  EXPECT_EQ(m.delivered(), 1u);
+  EXPECT_EQ(m.duplicates(), 1u);
+}
+
+TEST(MergerTest, DistinctPairsAllDelivered) {
+  Merger m;
+  EXPECT_TRUE(m.Accept(MatchResult{1, 10}));
+  EXPECT_TRUE(m.Accept(MatchResult{1, 11}));
+  EXPECT_TRUE(m.Accept(MatchResult{2, 10}));
+  EXPECT_EQ(m.delivered(), 3u);
+  EXPECT_EQ(m.duplicates(), 0u);
+}
+
+TEST(MergerTest, WindowEviction) {
+  Merger m(/*window_capacity=*/4);
+  for (uint64_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(m.Accept(MatchResult{1, i}));
+  }
+  // Still remembered.
+  EXPECT_FALSE(m.Accept(MatchResult{1, 3}));
+  // Push the first entry out of the window.
+  EXPECT_TRUE(m.Accept(MatchResult{1, 100}));
+  EXPECT_TRUE(m.Accept(MatchResult{1, 101}));
+  // Pair (1, 0) was evicted: re-accepted (at-least-once semantics with a
+  // bounded window).
+  EXPECT_TRUE(m.Accept(MatchResult{1, 0}));
+}
+
+TEST(MergerTest, MemoryBounded) {
+  Merger m(/*window_capacity=*/100);
+  for (uint64_t i = 0; i < 10000; ++i) {
+    m.Accept(MatchResult{i, i});
+  }
+  // Window capacity bounds the dedup state.
+  EXPECT_LE(m.MemoryBytes(), 100 * (sizeof(uint64_t) * 2 + 16) + 1024);
+}
+
+TEST(MergerTest, HighFanoutDuplicates) {
+  Merger m;
+  // Simulate an object matched by the same query on 8 workers.
+  int delivered = 0;
+  for (int w = 0; w < 8; ++w) {
+    if (m.Accept(MatchResult{42, 7})) ++delivered;
+  }
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(m.duplicates(), 7u);
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,145 @@
+#include "adjust/migration.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace ps2 {
+namespace {
+
+std::vector<MigratableCell> RandomCells(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<MigratableCell> cells;
+  cells.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    MigratableCell c;
+    c.cell = static_cast<CellId>(i);
+    c.load = rng.NextUniform(1.0, 100.0);
+    c.size = rng.NextUniform(100.0, 10000.0);
+    cells.push_back(c);
+  }
+  return cells;
+}
+
+double TotalLoadOf(const std::vector<MigratableCell>& cells) {
+  double s = 0;
+  for (const auto& c : cells) s += c.load;
+  return s;
+}
+
+class SolverFeasibilityTest
+    : public ::testing::TestWithParam<std::tuple<std::string, uint64_t>> {};
+
+TEST_P(SolverFeasibilityTest, MeetsLoadRequirement) {
+  const auto [algo, seed] = GetParam();
+  const auto cells = RandomCells(60, seed);
+  const double total = TotalLoadOf(cells);
+  Rng rng(seed + 1);
+  for (const double frac : {0.1, 0.3, 0.6}) {
+    const double tau = total * frac;
+    const auto sel = SelectCells(algo, cells, tau, rng);
+    EXPECT_GE(sel.total_load, tau) << algo;
+    EXPECT_EQ(sel.algorithm, algo);
+    // Selected cells are distinct members of the input.
+    std::set<CellId> seen(sel.cells.begin(), sel.cells.end());
+    EXPECT_EQ(seen.size(), sel.cells.size());
+    EXPECT_GE(sel.selection_ms, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndSeeds, SolverFeasibilityTest,
+    ::testing::Combine(::testing::Values("DP", "GR", "SI", "RA"),
+                       ::testing::Values<uint64_t>(1, 2, 3)));
+
+TEST(SolverTest, InfeasibleTauTakesEverything) {
+  const auto cells = RandomCells(10, 9);
+  const double total = TotalLoadOf(cells);
+  Rng rng(1);
+  for (const char* algo : {"DP", "GR", "SI", "RA"}) {
+    const auto sel = SelectCells(algo, cells, total * 2, rng);
+    EXPECT_EQ(sel.cells.size(), cells.size()) << algo;
+  }
+}
+
+TEST(SolverTest, ZeroTauSelectsCheaply) {
+  const auto cells = RandomCells(10, 11);
+  const auto gr = SelectCellsGR(cells, 0.0);
+  // Any non-negative-load selection meeting tau=0 instantly: GR returns the
+  // single cheapest completer.
+  EXPECT_LE(gr.cells.size(), 1u);
+}
+
+// DP is (resolution-)optimal: never worse than GR, which is never much
+// worse than SI/RA on random instances.
+TEST(SolverTest, CostOrderingDpLeGr) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    const auto cells = RandomCells(40, seed * 13);
+    const double tau = TotalLoadOf(cells) * 0.35;
+    const auto dp = SelectCellsDP(cells, tau, /*size_resolution=*/16.0);
+    const auto gr = SelectCellsGR(cells, tau);
+    EXPECT_LE(dp.total_size, gr.total_size * 1.01) << "seed " << seed;
+  }
+}
+
+TEST(SolverTest, GrBeatsBaselinesOnAverage) {
+  double gr_total = 0, si_total = 0, ra_total = 0;
+  Rng rng(5);
+  for (uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto cells = RandomCells(50, seed * 7);
+    const double tau = TotalLoadOf(cells) * 0.3;
+    gr_total += SelectCellsGR(cells, tau).total_size;
+    si_total += SelectCellsSI(cells, tau).total_size;
+    ra_total += SelectCellsRA(cells, tau, rng).total_size;
+  }
+  EXPECT_LT(gr_total, si_total);
+  EXPECT_LT(gr_total, ra_total);
+}
+
+TEST(SolverTest, DpKnapsackExactOnTinyInstance) {
+  // Cells: (load, size) = (5, 10), (5, 10), (9, 25). tau = 10.
+  // Optimal: the two small cells, size 20 (single big cell has load 9 < 10).
+  std::vector<MigratableCell> cells = {
+      {0, 5, 10}, {1, 5, 10}, {2, 9, 25}};
+  const auto dp = SelectCellsDP(cells, 10.0, 1.0);
+  EXPECT_DOUBLE_EQ(dp.total_size, 20.0);
+  EXPECT_EQ(dp.cells.size(), 2u);
+}
+
+TEST(SolverTest, GrRelativeCostCounterExample) {
+  // GR is a heuristic: the greedy prefix may be beaten by a single cell.
+  // cells: A(load 6, size 2) rel 0.33; B(load 5, size 5) rel 1.0.
+  // tau = 10: GR accumulates A (6 < 10), B completes: {A, B} size 7.
+  std::vector<MigratableCell> cells = {{0, 6, 2}, {1, 5, 5}};
+  const auto gr = SelectCellsGR(cells, 10.0);
+  EXPECT_GE(gr.total_load, 10.0);
+  EXPECT_DOUBLE_EQ(gr.total_size, 7.0);
+}
+
+TEST(SolverTest, ZeroLoadCellsSortLast) {
+  std::vector<MigratableCell> cells = {
+      {0, 0.0, 1.0}, {1, 10.0, 5.0}, {2, 0.0, 1.0}};
+  const auto gr = SelectCellsGR(cells, 5.0);
+  ASSERT_EQ(gr.cells.size(), 1u);
+  EXPECT_EQ(gr.cells[0], 1u);
+}
+
+TEST(SolverTest, EmptyInput) {
+  std::vector<MigratableCell> none;
+  Rng rng(1);
+  for (const char* algo : {"DP", "GR", "SI", "RA"}) {
+    const auto sel = SelectCells(algo, none, 5.0, rng);
+    EXPECT_TRUE(sel.cells.empty()) << algo;
+  }
+}
+
+TEST(SolverTest, RaIsSeedDeterministic) {
+  const auto cells = RandomCells(30, 21);
+  Rng rng1(9), rng2(9);
+  const auto a = SelectCellsRA(cells, TotalLoadOf(cells) * 0.4, rng1);
+  const auto b = SelectCellsRA(cells, TotalLoadOf(cells) * 0.4, rng2);
+  EXPECT_EQ(a.cells, b.cells);
+}
+
+}  // namespace
+}  // namespace ps2

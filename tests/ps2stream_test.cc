@@ -1,0 +1,119 @@
+#include "runtime/ps2stream.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workload/stream_gen.h"
+#include "workload/synthetic_corpus.h"
+
+namespace ps2 {
+namespace {
+
+TEST(PS2StreamTest, QuickstartFlow) {
+  PS2StreamOptions opts;
+  opts.partition.num_workers = 4;
+  PS2Stream ps2(opts);
+
+  // Bootstrap from a tiny sample.
+  auto w = testutil::MakeWorkload(801, 500, 100);
+  WorkloadSample sample = w.sample;
+  // Re-express the sample in the facade's own vocabulary via text terms;
+  // simplest path: bootstrap with locations only (partitioning still
+  // works; vocabulary fills as traffic arrives).
+  ps2.Bootstrap(sample);
+  ASSERT_TRUE(ps2.bootstrapped());
+
+  const QueryId qid =
+      ps2.Subscribe("pizza AND downtown", Rect(0, 0, 50, 50));
+  ASSERT_NE(qid, 0u);
+  EXPECT_EQ(ps2.num_subscriptions(), 1u);
+
+  auto matches = ps2.Publish(Point{10, 10}, "best pizza in downtown!");
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].query_id, qid);
+
+  // Outside the region: no match.
+  EXPECT_TRUE(ps2.Publish(Point{90, 90}, "pizza downtown").empty());
+  // Missing a keyword: no match.
+  EXPECT_TRUE(ps2.Publish(Point{10, 10}, "pizza is great").empty());
+
+  ps2.Unsubscribe(qid);
+  EXPECT_EQ(ps2.num_subscriptions(), 0u);
+  EXPECT_TRUE(ps2.Publish(Point{10, 10}, "pizza downtown").empty());
+}
+
+TEST(PS2StreamTest, InvalidExpressionRejected) {
+  PS2Stream ps2;
+  ps2.Bootstrap(WorkloadSample{});
+  EXPECT_EQ(ps2.Subscribe("AND AND", Rect(0, 0, 1, 1)), 0u);
+  EXPECT_EQ(ps2.num_subscriptions(), 0u);
+}
+
+TEST(PS2StreamTest, OrExpressionMatchesEitherKeyword) {
+  PS2Stream ps2;
+  ps2.Bootstrap(WorkloadSample{});
+  const QueryId qid = ps2.Subscribe("fire OR smoke", Rect(0, 0, 1, 1));
+  ASSERT_NE(qid, 0u);
+  EXPECT_EQ(ps2.Publish(Point{0.5, 0.5}, "I smell smoke").size(), 1u);
+  EXPECT_EQ(ps2.Publish(Point{0.5, 0.5}, "forest fire nearby").size(), 1u);
+  EXPECT_TRUE(ps2.Publish(Point{0.5, 0.5}, "all clear").empty());
+}
+
+TEST(PS2StreamTest, BootstrapWithRealSampleUsesPartitioner) {
+  Vocabulary scratch;
+  SyntheticCorpus corpus(CorpusConfig::UkPreset(), &scratch);
+  // Build a sample stream, then bootstrap a hybrid-partitioned service.
+  PS2StreamOptions opts;
+  opts.partitioner = "hybrid";
+  opts.partition.num_workers = 4;
+  PS2Stream ps2(opts);
+  WorkloadSample sample;
+  Rng rng(5);
+  for (int i = 0; i < 800; ++i) {
+    // Objects via the facade vocabulary.
+    const Point loc = corpus.SampleLocation(rng);
+    sample.objects.push_back(SpatioTextualObject::FromTerms(
+        i + 1, loc,
+        {ps2.vocabulary().Intern("w" + std::to_string(rng.NextBelow(50)))}));
+  }
+  for (int i = 0; i < 200; ++i) {
+    STSQuery q;
+    q.id = i + 1;
+    q.expr = BoolExpr::And(
+        {ps2.vocabulary().Intern("w" + std::to_string(rng.NextBelow(50)))});
+    q.region = Rect::Centered(corpus.SampleLocation(rng), 1.0, 1.0);
+    sample.inserts.push_back(q);
+  }
+  ps2.Bootstrap(sample);
+  EXPECT_EQ(ps2.cluster().num_workers(), 4);
+}
+
+TEST(PS2StreamTest, AutoAdjustTriggersOnImbalance) {
+  PS2StreamOptions opts;
+  opts.partitioner = "unknown-so-uniform";  // uniform cell assignment
+  opts.partition.num_workers = 4;
+  opts.auto_adjust = true;
+  opts.adjust_check_interval = 500;
+  opts.adjust.sigma = 1.2;
+  PS2Stream ps2(opts);
+  // Bootstrap over a known extent.
+  WorkloadSample seed;
+  seed.objects.push_back(
+      SpatioTextualObject::FromTerms(1, Point{0, 0}, {0}));
+  seed.objects.push_back(
+      SpatioTextualObject::FromTerms(2, Point{100, 100}, {0}));
+  ps2.Bootstrap(seed);
+  // Hammer one tiny corner so one worker absorbs everything.
+  const TermId hot = ps2.vocabulary().Intern("hot");
+  (void)hot;
+  for (int i = 0; i < 50; ++i) {
+    ps2.Subscribe("hot", Rect(0, 0, 2, 2));
+  }
+  for (int i = 0; i < 3000; ++i) {
+    ps2.Publish(Point{1, 1}, "hot stuff");
+  }
+  EXPECT_FALSE(ps2.adjustments().empty());
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,124 @@
+#include "runtime/queue.h"
+
+#include "common/stopwatch.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace ps2 {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(10);
+  for (int i = 0; i < 5; ++i) q.Push(i);
+  for (int i = 0; i < 5; ++i) {
+    auto v = q.Pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+}
+
+TEST(BoundedQueueTest, CloseReleasesConsumers) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&] {
+    auto v = q.Pop();
+    EXPECT_FALSE(v.has_value());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, DrainsBeforeEndOfStream) {
+  BoundedQueue<int> q(4);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, PushAfterCloseFails) {
+  BoundedQueue<int> q(4);
+  q.Close();
+  EXPECT_FALSE(q.Push(1));
+}
+
+TEST(BoundedQueueTest, PopBatchRespectsLimit) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) q.Push(i);
+  auto batch = q.PopBatch(4);
+  EXPECT_EQ(batch.size(), 4u);
+  EXPECT_EQ(batch[0], 0);
+  batch = q.PopBatch(100);
+  EXPECT_EQ(batch.size(), 6u);
+}
+
+TEST(BoundedQueueTest, BackpressureBlocksProducer) {
+  BoundedQueue<int> q(2);
+  q.Push(1);
+  q.Push(2);
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    q.Push(3);  // blocks until a consumer pops
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.Pop().value(), 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersConsumersDeliverAll) {
+  BoundedQueue<int> q(64);
+  constexpr int kProducers = 4, kPerProducer = 2000, kConsumers = 3;
+  std::atomic<long> sum{0};
+  std::atomic<int> count{0};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        q.Push(p * kPerProducer + i);
+      }
+    });
+  }
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum += *v;
+        ++count;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  const int n = kProducers * kPerProducer;
+  EXPECT_EQ(count.load(), n);
+  EXPECT_EQ(sum.load(), static_cast<long>(n) * (n - 1) / 2);
+}
+
+TEST(StopwatchTest, MonotoneAndPositive) {
+  Stopwatch sw;
+  const int64_t a = sw.ElapsedNanos();
+  const int64_t b = sw.ElapsedNanos();
+  EXPECT_GE(a, 0);
+  EXPECT_GE(b, a);
+  sw.Restart();
+  EXPECT_LT(sw.ElapsedSeconds(), 1.0);
+}
+
+TEST(StopwatchTest, NowMicrosMonotone) {
+  const int64_t a = NowMicros();
+  const int64_t b = NowMicros();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace ps2

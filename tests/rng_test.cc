@@ -1,0 +1,125 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ps2 {
+namespace {
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.Next();
+    EXPECT_EQ(va, b.Next());
+    (void)c.Next();
+  }
+  Rng a2(42), c2(43);
+  EXPECT_NE(a2.Next(), c2.Next());
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(1);
+  for (uint64_t n : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.NextBelow(n), n);
+    }
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng rng(2);
+  bool seen[5] = {false};
+  for (int i = 0; i < 500; ++i) seen[rng.NextBelow(5)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double mn = 1.0, mx = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+    mn = std::min(mn, d);
+    mx = std::max(mx, d);
+  }
+  EXPECT_LT(mn, 0.01);
+  EXPECT_GT(mx, 0.99);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(4);
+  const double mean = 10.0, stddev = 2.0;
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.NextGaussian(mean, stddev);
+    sum += x;
+    sum2 += x * x;
+  }
+  const double m = sum / n;
+  const double var = sum2 / n - m * m;
+  EXPECT_NEAR(m, mean, 0.05);
+  EXPECT_NEAR(std::sqrt(var), stddev, 0.05);
+}
+
+TEST(RngTest, SplitIndependence) {
+  Rng a(5);
+  Rng b = a.Split();
+  // Streams should differ.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(ZipfTest, PmfSumsToOne) {
+  ZipfSampler z(100, 1.0);
+  double sum = 0.0;
+  for (size_t k = 0; k < 100; ++k) sum += z.Pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ZipfTest, HeadIsHeavy) {
+  ZipfSampler z(10000, 1.05);
+  // Rank 0 should dominate any deep-tail rank by orders of magnitude.
+  EXPECT_GT(z.Pmf(0), 100 * z.Pmf(5000));
+  // Monotone non-increasing.
+  for (size_t k = 1; k < 100; ++k) {
+    EXPECT_GE(z.Pmf(k - 1), z.Pmf(k));
+  }
+}
+
+TEST(ZipfTest, SampleMatchesPmf) {
+  ZipfSampler z(50, 1.0);
+  Rng rng(6);
+  std::vector<int> counts(50, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) counts[z.Sample(rng)]++;
+  for (size_t k = 0; k < 10; ++k) {
+    const double expected = z.Pmf(k) * n;
+    EXPECT_NEAR(counts[k], expected, expected * 0.1 + 50);
+  }
+}
+
+class ZipfRangeTest
+    : public ::testing::TestWithParam<std::tuple<size_t, double>> {};
+
+TEST_P(ZipfRangeTest, SamplesInRange) {
+  const auto [n, s] = GetParam();
+  ZipfSampler z(n, s);
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(z.Sample(rng), n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ZipfRangeTest,
+    ::testing::Combine(::testing::Values<size_t>(1, 2, 17, 1000),
+                       ::testing::Values(0.5, 1.0, 1.5)));
+
+}  // namespace
+}  // namespace ps2

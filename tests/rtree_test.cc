@@ -1,0 +1,143 @@
+#include "spatial/rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace ps2 {
+namespace {
+
+std::vector<RTree::Entry> RandomEntries(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RTree::Entry> entries;
+  entries.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.NextUniform(0, 100);
+    const double y = rng.NextUniform(0, 100);
+    entries.push_back(RTree::Entry{
+        Rect(x, y, x + rng.NextUniform(0.1, 5), y + rng.NextUniform(0.1, 5)),
+        i, 1.0});
+  }
+  return entries;
+}
+
+std::vector<uint64_t> BruteForce(const std::vector<RTree::Entry>& entries,
+                                 const Rect& q) {
+  std::vector<uint64_t> out;
+  for (const auto& e : entries) {
+    if (e.rect.Intersects(q)) out.push_back(e.id);
+  }
+  return out;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.Query(Rect(0, 0, 1, 1)).empty());
+  EXPECT_TRUE(tree.Leaves().empty());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree tree;
+  tree.Build({RTree::Entry{Rect(1, 1, 2, 2), 42, 1.0}});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.height(), 1);
+  const auto hits = tree.Query(Rect(0, 0, 3, 3));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 42u);
+  EXPECT_TRUE(tree.Query(Rect(5, 5, 6, 6)).empty());
+}
+
+TEST(RTreeTest, QueryPointHitsContainingRects) {
+  RTree tree;
+  tree.Build({RTree::Entry{Rect(0, 0, 10, 10), 1, 1.0},
+              RTree::Entry{Rect(5, 5, 15, 15), 2, 1.0},
+              RTree::Entry{Rect(20, 20, 30, 30), 3, 1.0}});
+  auto hits = tree.QueryPoint(Point{7, 7});
+  std::sort(hits.begin(), hits.end());
+  EXPECT_EQ(hits, (std::vector<uint64_t>{1, 2}));
+}
+
+class RTreeMatchesBruteForce
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(RTreeMatchesBruteForce, RandomWorkload) {
+  const auto [n, fanout] = GetParam();
+  const auto entries = RandomEntries(n, 1000 + n);
+  RTree tree(fanout);
+  tree.Build(entries);
+  EXPECT_EQ(tree.size(), n);
+  Rng rng(n * 7 + 3);
+  for (int q = 0; q < 100; ++q) {
+    const double x = rng.NextUniform(-5, 100);
+    const double y = rng.NextUniform(-5, 100);
+    const Rect query(x, y, x + rng.NextUniform(0.1, 20),
+                     y + rng.NextUniform(0.1, 20));
+    auto got = tree.Query(query);
+    auto want = BruteForce(entries, query);
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, RTreeMatchesBruteForce,
+    ::testing::Combine(::testing::Values<size_t>(1, 7, 64, 500, 3000),
+                       ::testing::Values<size_t>(4, 16)));
+
+TEST(RTreeTest, LeavesPartitionEntries) {
+  const auto entries = RandomEntries(500, 5);
+  RTree tree(16);
+  tree.Build(entries);
+  const auto leaves = tree.Leaves();
+  size_t total = 0;
+  std::vector<bool> seen(500, false);
+  for (const auto& leaf : leaves) {
+    EXPECT_LE(leaf.entry_ids.size(), 16u);
+    EXPECT_FALSE(leaf.mbr.empty());
+    total += leaf.entry_ids.size();
+    for (const uint64_t id : leaf.entry_ids) {
+      EXPECT_FALSE(seen[id]);
+      seen[id] = true;
+      // Entry is inside the leaf MBR.
+      EXPECT_TRUE(leaf.mbr.Contains(entries[id].rect));
+    }
+  }
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(RTreeTest, LeafWeightsSum) {
+  std::vector<RTree::Entry> entries;
+  for (size_t i = 0; i < 100; ++i) {
+    entries.push_back(
+        RTree::Entry{Rect(i, i, i + 1.0, i + 1.0), i, 2.5});
+  }
+  RTree tree(8);
+  tree.Build(entries);
+  double sum = 0.0;
+  for (const auto& leaf : tree.Leaves()) sum += leaf.weight;
+  EXPECT_NEAR(sum, 250.0, 1e-9);
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  RTree tree(4);
+  tree.Build(RandomEntries(1000, 11));
+  EXPECT_GE(tree.height(), 4);  // 4^5 = 1024
+  EXPECT_LE(tree.height(), 8);
+}
+
+TEST(RTreeTest, BoundsCoversAll) {
+  const auto entries = RandomEntries(200, 13);
+  RTree tree(16);
+  tree.Build(entries);
+  const Rect b = tree.Bounds();
+  for (const auto& e : entries) {
+    EXPECT_TRUE(b.Contains(e.rect));
+  }
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,130 @@
+#include "runtime/sim_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "partition/plan.h"
+#include "test_util.h"
+
+namespace ps2 {
+namespace {
+
+std::vector<StreamTuple> MakeInput(const testutil::TestWorkload& w) {
+  std::vector<StreamTuple> input;
+  for (const auto& q : w.sample.inserts) {
+    input.push_back(StreamTuple::OfInsert(q));
+  }
+  for (const auto& o : w.extra_objects) {
+    input.push_back(StreamTuple::OfObject(o));
+  }
+  for (const auto& o : w.sample.objects) {
+    input.push_back(StreamTuple::OfObject(o));
+  }
+  return input;
+}
+
+TEST(SimEngineTest, DeterministicAcrossRuns) {
+  auto w = testutil::MakeWorkload(701, 800, 250);
+  PartitionConfig cfg;
+  cfg.num_workers = 4;
+  cfg.grid_k = 4;
+  const PartitionPlan plan =
+      MakePartitioner("hybrid")->Build(w.sample, w.vocab, cfg);
+  const auto input = MakeInput(w);
+  SimOptions opts;
+  opts.adjust_check_interval = 500;
+  SimReport r1, r2;
+  {
+    Cluster c1(plan, &w.vocab);
+    r1 = RunSimulation(c1, input, opts);
+  }
+  {
+    Cluster c2(plan, &w.vocab);
+    r2 = RunSimulation(c2, input, opts);
+  }
+  EXPECT_EQ(r1.tuples, r2.tuples);
+  EXPECT_EQ(r1.matches_delivered, r2.matches_delivered);
+  EXPECT_EQ(r1.migrations.size(), r2.migrations.size());
+  // Virtual time is deterministic except for migration stalls, whose
+  // duration includes the *measured* selection wall time; allow 5%.
+  EXPECT_NEAR(r1.latency.MeanMicros(), r2.latency.MeanMicros(),
+              0.05 * r1.latency.MeanMicros() + 1e-9);
+}
+
+TEST(SimEngineTest, LatencyBucketsSumToOne) {
+  auto w = testutil::MakeWorkload(703, 600, 200);
+  PartitionConfig cfg;
+  cfg.num_workers = 4;
+  cfg.grid_k = 4;
+  const PartitionPlan plan =
+      MakePartitioner("metric")->Build(w.sample, w.vocab, cfg);
+  Cluster cluster(plan, &w.vocab);
+  const auto report = RunSimulation(cluster, MakeInput(w), SimOptions{});
+  EXPECT_NEAR(report.frac_below_100ms + report.frac_100_to_1000ms +
+                  report.frac_above_1000ms,
+              1.0, 1e-6);
+  EXPECT_GT(report.throughput_estimate_tps, 0.0);
+}
+
+TEST(SimEngineTest, ImbalancedClusterTriggersMigrations) {
+  auto w = testutil::MakeWorkload(705, 1500, 400);
+  // All load on worker 0.
+  PartitionPlan plan;
+  plan.grid = GridSpec(w.sample.Bounds(), 4);
+  plan.num_workers = 4;
+  plan.cells.assign(plan.grid.NumCells(), CellRoute{0, nullptr});
+  Cluster cluster(plan, &w.vocab);
+  SimOptions opts;
+  opts.adjust_check_interval = 400;
+  opts.adjust.sigma = 1.5;
+  const auto report = RunSimulation(cluster, MakeInput(w), opts);
+  EXPECT_FALSE(report.migrations.empty());
+  EXPECT_GT(report.num_migrations, 0);
+  EXPECT_GT(report.avg_migration_bytes, 0.0);
+  EXPECT_GT(report.avg_migration_seconds, 0.0);
+}
+
+TEST(SimEngineTest, AdjustDisabledMeansNoMigrations) {
+  auto w = testutil::MakeWorkload(707, 800, 200);
+  PartitionPlan plan;
+  plan.grid = GridSpec(w.sample.Bounds(), 4);
+  plan.num_workers = 4;
+  plan.cells.assign(plan.grid.NumCells(), CellRoute{0, nullptr});
+  Cluster cluster(plan, &w.vocab);
+  SimOptions opts;
+  opts.enable_adjust = false;
+  const auto report = RunSimulation(cluster, MakeInput(w), opts);
+  EXPECT_TRUE(report.migrations.empty());
+}
+
+TEST(SimEngineTest, MigrationStallInflatesLatencyTail) {
+  auto w = testutil::MakeWorkload(709, 1500, 400);
+  PartitionPlan plan;
+  plan.grid = GridSpec(w.sample.Bounds(), 4);
+  plan.num_workers = 4;
+  plan.cells.assign(plan.grid.NumCells(), CellRoute{0, nullptr});
+  const auto input = MakeInput(w);
+
+  SimOptions with;
+  with.adjust_check_interval = 400;
+  // Artificially slow network so stalls are visible.
+  with.adjust.bandwidth_bytes_per_sec = 1e5;
+  SimOptions without = with;
+  without.enable_adjust = false;
+
+  SimReport r_with, r_without;
+  {
+    Cluster c(plan, &w.vocab);
+    r_with = RunSimulation(c, input, with);
+  }
+  {
+    Cluster c(plan, &w.vocab);
+    r_without = RunSimulation(c, input, without);
+  }
+  ASSERT_GT(r_with.num_migrations, 0);
+  // Migration stalls push some tuples into the slow buckets.
+  EXPECT_GT(r_with.frac_above_1000ms + r_with.frac_100_to_1000ms,
+            r_without.frac_above_1000ms + r_without.frac_100_to_1000ms);
+}
+
+}  // namespace
+}  // namespace ps2

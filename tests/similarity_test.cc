@@ -1,0 +1,89 @@
+#include "text/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ps2 {
+namespace {
+
+TEST(TermVectorTest, AddAndWeight) {
+  TermVector v;
+  v.Add(1, 2.0);
+  v.Add(1, 3.0);
+  v.Add(2);
+  EXPECT_DOUBLE_EQ(v.Weight(1), 5.0);
+  EXPECT_DOUBLE_EQ(v.Weight(2), 1.0);
+  EXPECT_DOUBLE_EQ(v.Weight(3), 0.0);
+  EXPECT_EQ(v.DistinctTerms(), 2u);
+}
+
+TEST(TermVectorTest, NormAndMerge) {
+  TermVector v;
+  v.Add(1, 3.0);
+  v.Add(2, 4.0);
+  EXPECT_DOUBLE_EQ(v.Norm(), 5.0);
+  TermVector w;
+  w.Add(2, 4.0);
+  v.Merge(w);
+  EXPECT_DOUBLE_EQ(v.Weight(2), 8.0);
+}
+
+TEST(CosineTest, IdenticalVectorsAreOne) {
+  TermVector a;
+  a.Add(1, 2.0);
+  a.Add(7, 1.5);
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-12);
+}
+
+TEST(CosineTest, DisjointVectorsAreZero) {
+  TermVector a, b;
+  a.Add(1);
+  b.Add(2);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+}
+
+TEST(CosineTest, EmptyIsZero) {
+  TermVector a, b;
+  a.Add(1);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(b, b), 0.0);
+}
+
+TEST(CosineTest, SymmetricAndBounded) {
+  TermVector a, b;
+  a.Add(1, 1.0);
+  a.Add(2, 2.0);
+  a.Add(3, 0.5);
+  b.Add(2, 1.0);
+  b.Add(3, 3.0);
+  b.Add(4, 1.0);
+  const double s1 = CosineSimilarity(a, b);
+  const double s2 = CosineSimilarity(b, a);
+  EXPECT_DOUBLE_EQ(s1, s2);
+  EXPECT_GT(s1, 0.0);
+  EXPECT_LT(s1, 1.0);
+}
+
+TEST(CosineTest, KnownValue) {
+  // a = (1, 0), b = (1, 1): cos = 1/sqrt(2).
+  TermVector a, b;
+  a.Add(1, 1.0);
+  b.Add(1, 1.0);
+  b.Add(2, 1.0);
+  EXPECT_NEAR(CosineSimilarity(a, b), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(CosineTest, ScaleInvariant) {
+  TermVector a, b, b10;
+  a.Add(1, 1.0);
+  a.Add(2, 3.0);
+  b.Add(1, 2.0);
+  b.Add(2, 1.0);
+  b10.Add(1, 20.0);
+  b10.Add(2, 10.0);
+  EXPECT_NEAR(CosineSimilarity(a, b), CosineSimilarity(a, b10), 1e-12);
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,52 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace ps2 {
+namespace {
+
+TEST(TokenizerTest, BasicSplitAndLowercase) {
+  Tokenizer t;
+  const auto terms = t.Tokenize("Kobe has RETIRED!");
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms[0], "kobe");
+  EXPECT_EQ(terms[1], "has");
+  EXPECT_EQ(terms[2], "retired");
+}
+
+TEST(TokenizerTest, PunctuationAndDigits) {
+  Tokenizer t;
+  const auto terms = t.Tokenize("route66, exit-12; @user #tag");
+  EXPECT_EQ(terms, (std::vector<std::string>{"route66", "exit", "12", "user",
+                                             "tag"}));
+}
+
+TEST(TokenizerTest, MinLengthFilter) {
+  Tokenizer t(/*min_term_length=*/3);
+  const auto terms = t.Tokenize("I am in the NYC");
+  EXPECT_EQ(terms, (std::vector<std::string>{"the", "nyc"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnly) {
+  Tokenizer t;
+  EXPECT_TRUE(t.Tokenize("").empty());
+  EXPECT_TRUE(t.Tokenize("  ,.;!  ").empty());
+}
+
+TEST(TokenizerTest, TrailingTerm) {
+  Tokenizer t;
+  const auto terms = t.Tokenize("ends with word");
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_EQ(terms.back(), "word");
+}
+
+TEST(TokenizerTest, UnicodeBytesTreatedAsSeparators) {
+  Tokenizer t;
+  // Multi-byte UTF-8 is not alnum under the C locale; terms around it
+  // survive.
+  const auto terms = t.Tokenize("pizza\xC3\xA9 good");
+  EXPECT_EQ(terms, (std::vector<std::string>{"pizza", "good"}));
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,142 @@
+#include "workload/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workload/stream_gen.h"
+#include "workload/synthetic_corpus.h"
+
+namespace ps2 {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/ps2_trace_test.bin";
+};
+
+TEST_F(TraceIoTest, RoundTripStream) {
+  Vocabulary vocab;
+  SyntheticCorpus corpus(CorpusConfig::UkPreset(), &vocab);
+  QueryGenConfig qcfg;
+  QueryGenerator qgen(qcfg, &corpus);
+  StreamConfig scfg;
+  scfg.num_objects = 500;
+  scfg.mu = 100;
+  const GeneratedStream g = GenerateStream(corpus, qgen, scfg);
+
+  ASSERT_TRUE(WriteTrace(path_, vocab, g.stream));
+
+  Vocabulary vocab2;
+  std::vector<StreamTuple> loaded;
+  ASSERT_TRUE(ReadTrace(path_, vocab2, &loaded));
+  ASSERT_EQ(loaded.size(), g.stream.size());
+  for (size_t i = 0; i < loaded.size(); ++i) {
+    const StreamTuple& a = g.stream[i];
+    const StreamTuple& b = loaded[i];
+    ASSERT_EQ(a.kind, b.kind) << i;
+    EXPECT_EQ(a.event_time_us, b.event_time_us);
+    if (a.kind == TupleKind::kObject) {
+      EXPECT_EQ(a.object.id, b.object.id);
+      EXPECT_EQ(a.object.loc, b.object.loc);
+      // Term ids match because vocab2 interned in file order and the file
+      // was written from a densely-built vocabulary.
+      ASSERT_EQ(a.object.terms.size(), b.object.terms.size());
+      for (size_t t = 0; t < a.object.terms.size(); ++t) {
+        EXPECT_EQ(vocab.TermString(a.object.terms[t]),
+                  vocab2.TermString(b.object.terms[t]));
+      }
+    } else {
+      EXPECT_EQ(a.query.id, b.query.id);
+      EXPECT_EQ(a.query.region, b.query.region);
+      EXPECT_EQ(a.query.expr.clauses().size(), b.query.expr.clauses().size());
+    }
+  }
+}
+
+TEST_F(TraceIoTest, RoundTripIntoPrepopulatedVocabularyRemaps) {
+  Vocabulary vocab;
+  const TermId a = vocab.Intern("alpha");
+  const TermId b = vocab.Intern("beta");
+  std::vector<StreamTuple> tuples;
+  tuples.push_back(StreamTuple::OfObject(
+      SpatioTextualObject::FromTerms(1, Point{1, 2}, {a, b})));
+  ASSERT_TRUE(WriteTrace(path_, vocab, tuples));
+
+  // Target vocabulary already has other terms: ids must remap.
+  Vocabulary vocab2;
+  vocab2.Intern("zzz");
+  vocab2.Intern("beta");  // pre-existing shared term
+  std::vector<StreamTuple> loaded;
+  ASSERT_TRUE(ReadTrace(path_, vocab2, &loaded));
+  ASSERT_EQ(loaded.size(), 1u);
+  const auto& terms = loaded[0].object.terms;
+  ASSERT_EQ(terms.size(), 2u);
+  std::vector<std::string> names;
+  for (const TermId t : terms) names.push_back(vocab2.TermString(t));
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "beta"}));
+}
+
+TEST_F(TraceIoTest, SampleRoundTrip) {
+  Vocabulary vocab;
+  WorkloadSample s;
+  const TermId t = vocab.Intern("x");
+  s.objects.push_back(SpatioTextualObject::FromTerms(1, Point{3, 4}, {t}));
+  STSQuery q;
+  q.id = 9;
+  q.expr = BoolExpr::Or({t});
+  q.region = Rect(0, 0, 5, 5);
+  s.inserts.push_back(q);
+  s.deletes.push_back(q);
+  ASSERT_TRUE(WriteSample(path_, vocab, s));
+
+  Vocabulary vocab2;
+  WorkloadSample loaded;
+  ASSERT_TRUE(ReadSample(path_, vocab2, &loaded));
+  EXPECT_EQ(loaded.objects.size(), 1u);
+  EXPECT_EQ(loaded.inserts.size(), 1u);
+  EXPECT_EQ(loaded.deletes.size(), 1u);
+  EXPECT_EQ(loaded.inserts[0].region, q.region);
+}
+
+TEST_F(TraceIoTest, MissingFileFails) {
+  Vocabulary vocab;
+  std::vector<StreamTuple> out;
+  EXPECT_FALSE(ReadTrace("/nonexistent/path/trace.bin", vocab, &out));
+}
+
+TEST_F(TraceIoTest, CorruptMagicFails) {
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("JUNKJUNKJUNK", 1, 12, f);
+  std::fclose(f);
+  Vocabulary vocab;
+  std::vector<StreamTuple> out;
+  EXPECT_FALSE(ReadTrace(path_, vocab, &out));
+}
+
+TEST_F(TraceIoTest, TruncatedFileFails) {
+  Vocabulary vocab;
+  std::vector<StreamTuple> tuples;
+  tuples.push_back(StreamTuple::OfObject(SpatioTextualObject::FromTerms(
+      1, Point{0, 0}, {vocab.Intern("t")})));
+  ASSERT_TRUE(WriteTrace(path_, vocab, tuples));
+  // Truncate: keep only the first 16 bytes.
+  {
+    FILE* f = std::fopen(path_.c_str(), "rb");
+    char buf[16];
+    ASSERT_EQ(std::fread(buf, 1, 16, f), 16u);
+    std::fclose(f);
+    f = std::fopen(path_.c_str(), "wb");
+    std::fwrite(buf, 1, 16, f);
+    std::fclose(f);
+  }
+  Vocabulary vocab2;
+  std::vector<StreamTuple> out;
+  EXPECT_FALSE(ReadTrace(path_, vocab2, &out));
+}
+
+}  // namespace
+}  // namespace ps2

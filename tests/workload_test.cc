@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/query_gen.h"
+#include "workload/stream_gen.h"
+#include "workload/synthetic_corpus.h"
+
+namespace ps2 {
+namespace {
+
+TEST(CorpusTest, ObjectsInsideExtent) {
+  Vocabulary vocab;
+  SyntheticCorpus corpus(CorpusConfig::UsPreset(), &vocab);
+  for (const auto& o : corpus.Generate(2000)) {
+    EXPECT_TRUE(corpus.extent().Contains(o.loc));
+    EXPECT_FALSE(o.terms.empty());
+  }
+}
+
+TEST(CorpusTest, TermFrequenciesArePowerLaw) {
+  Vocabulary vocab;
+  CorpusConfig cfg = CorpusConfig::UsPreset();
+  cfg.vocab_size = 5000;
+  SyntheticCorpus corpus(cfg, &vocab);
+  corpus.Generate(20000);
+  const auto by_freq = vocab.TermsByFrequency();
+  // Top 1% of terms should carry a large share of total occurrences.
+  uint64_t top = 0;
+  for (size_t i = 0; i < by_freq.size() / 100; ++i) {
+    top += vocab.Count(by_freq[i]);
+  }
+  EXPECT_GT(static_cast<double>(top) / vocab.TotalCount(), 0.15);
+  // And the head must dominate the median term.
+  EXPECT_GT(vocab.Count(by_freq[0]),
+            50 * std::max<uint64_t>(1, vocab.Count(by_freq[2500])));
+}
+
+TEST(CorpusTest, LocationsAreClustered) {
+  Vocabulary vocab;
+  SyntheticCorpus corpus(CorpusConfig::UsPreset(), &vocab);
+  const auto objects = corpus.Generate(5000);
+  // Compare object dispersion against a uniform baseline: clustered data
+  // has most points near their city center. Count pairs of objects closer
+  // than 2% of the diagonal among a sample — clustered data has far more.
+  const Rect e = corpus.extent();
+  const double diag = std::sqrt(e.width() * e.width() +
+                                e.height() * e.height());
+  size_t close_pairs = 0;
+  for (size_t i = 0; i < 500; ++i) {
+    for (size_t j = i + 1; j < 500; ++j) {
+      if (Distance(objects[i].loc, objects[j].loc) < 0.02 * diag) {
+        ++close_pairs;
+      }
+    }
+  }
+  // Uniform would give ~pi*(0.02)^2 ~ 0.2% of ~125k pairs ~ 200.
+  EXPECT_GT(close_pairs, 1000u);
+}
+
+TEST(CorpusTest, RegionalTopicsDiffer) {
+  Vocabulary vocab;
+  SyntheticCorpus corpus(CorpusConfig::UsPreset(), &vocab);
+  corpus.Generate(1000);
+  Rng rng(3);
+  // Terms sampled near two different cities should differ substantially.
+  const Point p1 = corpus.SampleLocation(rng);
+  Point p2 = corpus.SampleLocation(rng);
+  for (int i = 0; i < 100 && corpus.NearestCity(p2) == corpus.NearestCity(p1);
+       ++i) {
+    p2 = corpus.SampleLocation(rng);
+  }
+  std::set<TermId> t1, t2;
+  for (int i = 0; i < 400; ++i) {
+    t1.insert(corpus.SampleTermAt(p1, rng));
+    t2.insert(corpus.SampleTermAt(p2, rng));
+  }
+  std::vector<TermId> common;
+  std::set_intersection(t1.begin(), t1.end(), t2.begin(), t2.end(),
+                        std::back_inserter(common));
+  // Some overlap (global head terms) but far from identical.
+  EXPECT_LT(common.size(), std::min(t1.size(), t2.size()) * 0.8);
+}
+
+TEST(CorpusTest, RareTermRespectsCutoff) {
+  Vocabulary vocab;
+  CorpusConfig cfg = CorpusConfig::UsPreset();
+  cfg.vocab_size = 1000;
+  SyntheticCorpus corpus(cfg, &vocab);
+  corpus.Generate(20000);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const TermId t = corpus.SampleRareTerm(0.01, rng);
+    EXPECT_FALSE(vocab.IsTopFraction(t, 0.005))
+        << "rare sample landed deep in the head";
+  }
+}
+
+TEST(QueryGenTest, Q1SidesWithinConfiguredRange) {
+  Vocabulary vocab;
+  SyntheticCorpus corpus(CorpusConfig::UkPreset(), &vocab);
+  corpus.Generate(2000);
+  QueryGenConfig qcfg;
+  qcfg.kind = QueryKind::kQ1;
+  QueryGenerator gen(qcfg, &corpus);
+  const Rect e = corpus.extent();
+  for (const auto& q : gen.Generate(500)) {
+    EXPECT_GE(q.region.width() / e.width(), qcfg.q1_side_min_frac * 0.99);
+    EXPECT_LE(q.region.width() / e.width(), qcfg.q1_side_max_frac * 1.01);
+    EXPECT_FALSE(q.expr.empty());
+    EXPECT_LE(q.expr.DistinctTerms().size(), 3u);
+  }
+}
+
+TEST(QueryGenTest, Q2HasRareKeyword) {
+  Vocabulary vocab;
+  SyntheticCorpus corpus(CorpusConfig::UsPreset(), &vocab);
+  corpus.Generate(30000);
+  QueryGenConfig qcfg;
+  qcfg.kind = QueryKind::kQ2;
+  QueryGenerator gen(qcfg, &corpus);
+  for (const auto& q : gen.Generate(300)) {
+    bool has_rare = false;
+    for (const TermId t : q.expr.DistinctTerms()) {
+      if (!vocab.IsTopFraction(t, 0.01)) has_rare = true;
+    }
+    EXPECT_TRUE(has_rare);
+  }
+}
+
+TEST(QueryGenTest, Q3MixesStylesByRegion) {
+  Vocabulary vocab;
+  SyntheticCorpus corpus(CorpusConfig::UsPreset(), &vocab);
+  corpus.Generate(2000);
+  QueryGenConfig qcfg;
+  qcfg.kind = QueryKind::kQ3;
+  QueryGenerator gen(qcfg, &corpus);
+  int q1_regions = 0;
+  for (int r = 0; r < gen.NumRegions(); ++r) {
+    q1_regions += gen.RegionIsQ1(r) ? 1 : 0;
+  }
+  EXPECT_GT(q1_regions, gen.NumRegions() / 4);
+  EXPECT_LT(q1_regions, gen.NumRegions() * 3 / 4);
+  // Flipping changes styles.
+  const bool before = gen.RegionIsQ1(0);
+  gen.FlipRegionStyle(0);
+  EXPECT_NE(before, gen.RegionIsQ1(0));
+}
+
+TEST(QueryGenTest, FlipRandomRegionsFlipsRequestedFraction) {
+  Vocabulary vocab;
+  SyntheticCorpus corpus(CorpusConfig::UsPreset(), &vocab);
+  QueryGenConfig qcfg;
+  qcfg.kind = QueryKind::kQ3;
+  QueryGenerator gen(qcfg, &corpus);
+  std::vector<bool> before;
+  for (int r = 0; r < gen.NumRegions(); ++r) {
+    before.push_back(gen.RegionIsQ1(r));
+  }
+  gen.FlipRandomRegions(0.10);
+  int changed = 0;
+  for (int r = 0; r < gen.NumRegions(); ++r) {
+    changed += before[r] != gen.RegionIsQ1(r) ? 1 : 0;
+  }
+  EXPECT_GE(changed, 1);
+  EXPECT_LE(changed, gen.NumRegions() / 5);
+}
+
+TEST(StreamGenTest, RatioAndComposition) {
+  Vocabulary vocab;
+  SyntheticCorpus corpus(CorpusConfig::UkPreset(), &vocab);
+  QueryGenConfig qcfg;
+  QueryGenerator gen(qcfg, &corpus);
+  StreamConfig scfg;
+  scfg.num_objects = 20000;
+  scfg.mu = 2000;
+  const GeneratedStream g = GenerateStream(corpus, gen, scfg);
+  EXPECT_EQ(g.setup.size(), scfg.mu);
+  size_t objects = 0, inserts = 0, deletes = 0;
+  for (const auto& t : g.stream) {
+    switch (t.kind) {
+      case TupleKind::kObject:
+        ++objects;
+        break;
+      case TupleKind::kQueryInsert:
+        ++inserts;
+        break;
+      case TupleKind::kQueryDelete:
+        ++deletes;
+        break;
+    }
+  }
+  EXPECT_EQ(objects, scfg.num_objects);
+  const double ratio =
+      static_cast<double>(objects) / static_cast<double>(inserts + deletes);
+  EXPECT_NEAR(ratio, scfg.object_update_ratio, 1.0);
+  // Insert and delete rates comparable in steady state.
+  EXPECT_GT(deletes, inserts / 4);
+  // Sample populated for partitioning.
+  EXPECT_GT(g.sample.objects.size(), scfg.num_objects / 10);
+  EXPECT_GE(g.sample.inserts.size(), scfg.mu);
+}
+
+TEST(StreamGenTest, EventTimesMonotone) {
+  Vocabulary vocab;
+  SyntheticCorpus corpus(CorpusConfig::UkPreset(), &vocab);
+  QueryGenConfig qcfg;
+  QueryGenerator gen(qcfg, &corpus);
+  StreamConfig scfg;
+  scfg.num_objects = 2000;
+  scfg.mu = 200;
+  const GeneratedStream g = GenerateStream(corpus, gen, scfg);
+  for (size_t i = 1; i < g.stream.size(); ++i) {
+    EXPECT_GE(g.stream[i].event_time_us, g.stream[i - 1].event_time_us);
+  }
+}
+
+TEST(StreamGenTest, MultiPhaseAppendsContinuously) {
+  Vocabulary vocab;
+  SyntheticCorpus corpus(CorpusConfig::UkPreset(), &vocab);
+  QueryGenConfig qcfg;
+  qcfg.kind = QueryKind::kQ3;
+  QueryGenerator gen(qcfg, &corpus);
+  StreamConfig scfg;
+  scfg.mu = 500;
+  std::vector<StreamTuple> setup;
+  StreamState state = InitStreamState(gen, scfg, &setup, nullptr);
+  std::vector<StreamTuple> stream;
+  AppendStreamPhase(corpus, gen, scfg, state, 3000, &stream);
+  const size_t after_phase1 = stream.size();
+  gen.FlipRandomRegions(0.10);  // the Figure 16 drift
+  AppendStreamPhase(corpus, gen, scfg, state, 3000, &stream);
+  EXPECT_GT(stream.size(), after_phase1);
+  // Unique query ids across phases (no id reuse).
+  std::set<QueryId> ids;
+  for (const auto& t : stream) {
+    if (t.kind == TupleKind::kQueryInsert) {
+      EXPECT_TRUE(ids.insert(t.query.id).second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ps2

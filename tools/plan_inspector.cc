@@ -1,0 +1,93 @@
+// plan_inspector: builds a partition plan with any algorithm over a
+// synthetic workload and prints a human-readable summary — an ASCII map of
+// the worker assignment, per-worker load estimates and the text/space mix.
+// Useful for eyeballing what a partitioner actually did.
+//
+//   plan_inspector [partitioner] [dataset] [workers] [queries Q1|Q2|Q3]
+//   e.g.  plan_inspector hybrid US 8 Q3
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "partition/plan.h"
+#include "workload/stream_gen.h"
+#include "workload/synthetic_corpus.h"
+
+using namespace ps2;
+
+int main(int argc, char** argv) {
+  const std::string algo = argc > 1 ? argv[1] : "hybrid";
+  const std::string dataset = argc > 2 ? argv[2] : "US";
+  const int workers = argc > 3 ? std::atoi(argv[3]) : 8;
+  const std::string qset = argc > 4 ? argv[4] : "Q3";
+
+  auto partitioner = MakePartitioner(algo);
+  if (partitioner == nullptr) {
+    std::fprintf(stderr,
+                 "unknown partitioner '%s' (try: frequency hypergraph "
+                 "metric grid kdtree rtree hybrid)\n",
+                 algo.c_str());
+    return 1;
+  }
+
+  Vocabulary vocab;
+  CorpusConfig ccfg = dataset == "UK" ? CorpusConfig::UkPreset()
+                                      : CorpusConfig::UsPreset();
+  SyntheticCorpus corpus(ccfg, &vocab);
+  corpus.Generate(20000);
+  QueryGenConfig qcfg;
+  qcfg.kind = qset == "Q1"   ? QueryKind::kQ1
+              : qset == "Q2" ? QueryKind::kQ2
+                             : QueryKind::kQ3;
+  QueryGenerator qgen(qcfg, &corpus);
+  StreamConfig scfg;
+  scfg.num_objects = 30000;
+  scfg.mu = 30000;
+  const GeneratedStream stream = GenerateStream(corpus, qgen, scfg);
+
+  PartitionConfig cfg;
+  cfg.num_workers = workers;
+  const PartitionPlan plan =
+      partitioner->Build(stream.sample, vocab, cfg);
+
+  std::printf("partitioner=%s dataset=%s workers=%d queries=%s\n",
+              algo.c_str(), dataset.c_str(), workers, qset.c_str());
+  std::printf("grid: %ux%u cells over %s\n", plan.grid.side(),
+              plan.grid.side(), plan.grid.bounds().ToString().c_str());
+  std::printf("text-routed cells: %zu / %u\n\n", plan.NumTextCells(),
+              plan.grid.NumCells());
+
+  // ASCII map (downsample to at most 32x32): digit = worker id of a
+  // space-routed cell, '#' = text-routed.
+  const uint32_t side = plan.grid.side();
+  const uint32_t step = side > 32 ? side / 32 : 1;
+  for (uint32_t cy = 0; cy < side; cy += step) {
+    for (uint32_t cx = 0; cx < side; cx += step) {
+      const CellRoute& r = plan.cells[plan.grid.ToId(cx, cy)];
+      if (r.IsText()) {
+        std::putchar('#');
+      } else {
+        std::putchar(r.worker < 10 ? '0' + r.worker
+                                   : 'a' + (r.worker - 10) % 26);
+      }
+    }
+    std::putchar('\n');
+  }
+
+  const PlanLoadReport report =
+      EstimatePlanLoad(plan, stream.sample, vocab, cfg.cost);
+  std::printf("\nestimated Definition-1 loads (sample of %zu objects, "
+              "%zu inserts):\n",
+              stream.sample.objects.size(), stream.sample.inserts.size());
+  for (int w = 0; w < workers; ++w) {
+    std::printf("  worker %2d: load %12.0f  (objects %llu, inserts %llu)\n",
+                w, report.loads[w],
+                (unsigned long long)report.tallies[w].objects,
+                (unsigned long long)report.tallies[w].inserts);
+  }
+  std::printf("total %.0f, balance Lmax/Lmin = %.2f\n", report.total_load,
+              report.balance);
+  std::printf("dispatcher plan footprint: %.2f MB\n",
+              plan.MemoryBytes() / 1048576.0);
+  return 0;
+}
