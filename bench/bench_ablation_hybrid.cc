@@ -11,6 +11,7 @@ using namespace ps2;
 using namespace ps2::bench;
 
 int main() {
+  InitBench("ablation_hybrid");
   std::printf("Hybrid partitioner ablations (STS-US-Q3, mu=60k, "
               "8 workers)\n");
   Env env = MakeEnv("US", QueryKind::kQ3, 60000, 40000);

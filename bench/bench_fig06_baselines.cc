@@ -39,6 +39,7 @@ void RunGroup(const char* title, const std::vector<std::string>& algos,
 }  // namespace
 
 int main() {
+  InitBench("fig06_baselines");
   std::printf("Figure 6 reproduction: baseline workload distribution "
               "algorithms (8 workers)\n");
   RunGroup("Fig 6(a)-like: text partitioning, Q1 (mu=50k)",

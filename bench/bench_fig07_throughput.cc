@@ -29,6 +29,7 @@ void RunSet(const char* title, QueryKind kind, size_t mu, size_t objects) {
 }  // namespace
 
 int main() {
+  InitBench("fig07_throughput");
   std::printf("Figure 7 reproduction: hybrid vs metric vs kd-tree "
               "(8 workers)\n");
   RunSet("Fig 7(a)-like: Q1 (mu=50k)", QueryKind::kQ1, 50000, 60000);

@@ -40,6 +40,7 @@ void RunSet(const char* title, QueryKind kind, size_t mu, size_t objects) {
 }  // namespace
 
 int main() {
+  InitBench("fig08_latency");
   std::printf("Figure 8 reproduction: latency at moderate input rate "
               "(8 workers)\n");
   RunSet("Fig 8(a)-like: Q1 (mu=50k)", QueryKind::kQ1, 50000, 60000);

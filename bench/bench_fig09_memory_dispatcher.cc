@@ -33,6 +33,7 @@ void RunSet(const char* title, QueryKind kind, size_t mu, size_t objects) {
 }  // namespace
 
 int main() {
+  InitBench("fig09_memory_dispatcher");
   std::printf("Figure 9 reproduction: dispatcher memory (8 workers)\n");
   RunSet("Fig 9(a)-like: Q1 (mu=50k)", QueryKind::kQ1, 50000, 40000);
   RunSet("Fig 9(b)-like: Q2 (mu=100k)", QueryKind::kQ2, 100000, 40000);

@@ -38,6 +38,7 @@ void RunSet(const char* title, QueryKind kind, size_t mu, size_t objects) {
 }  // namespace
 
 int main() {
+  InitBench("fig10_memory_worker");
   std::printf("Figure 10 reproduction: worker memory (8 workers)\n");
   RunSet("Fig 10(a)-like: Q1 (mu=50k)", QueryKind::kQ1, 50000, 40000);
   RunSet("Fig 10(b)-like: Q2 (mu=100k)", QueryKind::kQ2, 100000, 40000);

@@ -27,6 +27,7 @@ void RunSet(const char* title, QueryKind kind, size_t mu, size_t objects) {
 }  // namespace
 
 int main() {
+  InitBench("fig11_scalability");
   std::printf("Figure 11 reproduction: scalability with #workers "
               "(UK dataset)\n");
   RunSet("Fig 11(a)-like: STS-UK-Q1 (mu=20k)", QueryKind::kQ1, 20000,

@@ -11,6 +11,7 @@ using namespace ps2;
 using namespace ps2::bench;
 
 int main() {
+  InitBench("fig13_selection_time");
   std::printf("Figure 13 reproduction: selection time vs #queries "
               "(STS-US-Q1, 8 workers)\n");
   for (const size_t mu : {50000u, 100000u}) {

@@ -8,6 +8,7 @@ using namespace ps2;
 using namespace ps2::bench;
 
 int main() {
+  InitBench("fig14_migration_cost");
   std::printf("Figure 14 reproduction: migration cost and time "
               "(STS-US-Q1, 8 workers)\n");
   for (const size_t mu : {50000u, 100000u}) {

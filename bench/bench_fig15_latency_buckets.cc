@@ -8,6 +8,7 @@ using namespace ps2;
 using namespace ps2::bench;
 
 int main() {
+  InitBench("fig15_latency_buckets");
   std::printf("Figure 15 reproduction: latency buckets during migrations "
               "(STS-US-Q1, 8 workers)\n");
   for (const size_t mu : {50000u, 100000u}) {

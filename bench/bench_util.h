@@ -2,6 +2,7 @@
 #define PS2_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "partition/plan.h"
 #include "runtime/engine.h"
 #include "runtime/sim_engine.h"
+#include "runtime/threaded_engine.h"
 #include "workload/stream_gen.h"
 #include "workload/synthetic_corpus.h"
 
@@ -116,7 +118,118 @@ inline SimReport RunCapacity(Cluster& cluster, const Env& env,
   return RunSimulation(cluster, env.stream.stream, opts);
 }
 
-// ---- table printing --------------------------------------------------------
+// ---- table printing + machine-readable JSON mirror -------------------------
+//
+// Every PrintHeader/PrintCell/EndRow call is mirrored into an in-memory
+// table set; a bench that calls InitBench("figNN_x") at the top of main()
+// gets a BENCH_figNN_x.json dump (written at exit, into $PS2_BENCH_JSON_DIR
+// or the working directory) so CI and plotting scripts never have to parse
+// the human-oriented tables.
+
+namespace detail {
+
+struct JsonCell {
+  std::string text;
+  bool numeric = false;
+  double value = 0.0;
+};
+
+struct JsonTable {
+  std::string title;
+  std::vector<std::string> columns;
+  std::vector<std::vector<JsonCell>> rows;
+  std::vector<JsonCell> current;
+};
+
+struct JsonState {
+  std::string name;
+  bool enabled = false;
+  std::vector<JsonTable> tables;
+};
+
+inline JsonState& State() {
+  static JsonState state;
+  return state;
+}
+
+inline void JsonEscape(const std::string& in, std::string* out) {
+  for (const char c : in) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) >= 0x20) *out += c;
+    }
+  }
+}
+
+inline void DumpJson() {
+  JsonState& s = State();
+  if (!s.enabled) return;
+  std::string dir = ".";
+  if (const char* env = std::getenv("PS2_BENCH_JSON_DIR")) dir = env;
+  const std::string path = dir + "/BENCH_" + s.name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::string out = "{\n  \"bench\": \"";
+  JsonEscape(s.name, &out);
+  out += "\",\n  \"tables\": [\n";
+  for (size_t t = 0; t < s.tables.size(); ++t) {
+    const JsonTable& table = s.tables[t];
+    out += "    {\"title\": \"";
+    JsonEscape(table.title, &out);
+    out += "\",\n     \"columns\": [";
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      if (c > 0) out += ", ";
+      out += "\"";
+      JsonEscape(table.columns[c], &out);
+      out += "\"";
+    }
+    out += "],\n     \"rows\": [\n";
+    for (size_t r = 0; r < table.rows.size(); ++r) {
+      out += "       [";
+      for (size_t c = 0; c < table.rows[r].size(); ++c) {
+        if (c > 0) out += ", ";
+        const JsonCell& cell = table.rows[r][c];
+        if (cell.numeric) {
+          char buf[64];
+          std::snprintf(buf, sizeof(buf), "%.17g", cell.value);
+          out += buf;
+        } else {
+          out += "\"";
+          JsonEscape(cell.text, &out);
+          out += "\"";
+        }
+      }
+      out += r + 1 < table.rows.size() ? "],\n" : "]\n";
+    }
+    out += t + 1 < s.tables.size() ? "     ]},\n" : "     ]}\n";
+  }
+  out += "  ]\n}\n";
+  std::fwrite(out.data(), 1, out.size(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", path.c_str());
+}
+
+inline void RecordCell(JsonCell cell) {
+  JsonState& s = State();
+  if (s.tables.empty()) return;
+  s.tables.back().current.push_back(std::move(cell));
+}
+
+}  // namespace detail
+
+// Names the bench and arms the BENCH_<name>.json dump at process exit.
+inline void InitBench(const std::string& name) {
+  detail::JsonState& s = detail::State();
+  s.name = name;
+  if (!s.enabled) {
+    s.enabled = true;
+    std::atexit(detail::DumpJson);
+  }
+}
 
 inline void PrintHeader(const std::string& title,
                         const std::vector<std::string>& columns) {
@@ -125,15 +238,27 @@ inline void PrintHeader(const std::string& title,
   std::printf("\n");
   for (size_t i = 0; i < columns.size(); ++i) std::printf("%-22s", "------");
   std::printf("\n");
+  detail::State().tables.push_back(detail::JsonTable{title, columns, {}, {}});
 }
 
-inline void PrintCell(const std::string& v) { std::printf("%-22s", v.c_str()); }
+inline void PrintCell(const std::string& v) {
+  std::printf("%-22s", v.c_str());
+  detail::RecordCell(detail::JsonCell{v, false, 0.0});
+}
 inline void PrintCell(double v, const char* fmt = "%.1f") {
   char buf[64];
   std::snprintf(buf, sizeof(buf), fmt, v);
   std::printf("%-22s", buf);
+  detail::RecordCell(detail::JsonCell{buf, true, v});
 }
-inline void EndRow() { std::printf("\n"); }
+inline void EndRow() {
+  std::printf("\n");
+  detail::JsonState& s = detail::State();
+  if (!s.tables.empty()) {
+    s.tables.back().rows.push_back(std::move(s.tables.back().current));
+    s.tables.back().current.clear();
+  }
+}
 
 inline std::string Mb(size_t bytes) {
   char buf[32];

@@ -22,6 +22,7 @@ std::vector<MigratableCell> LocalLoadAdjuster::CollectCells(
 bool LocalLoadAdjuster::TryTextSplit(Cluster& cluster,
                                      const WorkloadSample& window, CellId cell,
                                      WorkerId wo, WorkerId wl,
+                                     MigrationExecutor& exec,
                                      AdjustReport* report) {
   const GridSpec& grid = cluster.router().plan().grid;
   const Rect cell_rect = grid.CellRect(cell);
@@ -100,14 +101,15 @@ bool LocalLoadAdjuster::TryTextSplit(Cluster& cluster,
   for (size_t i = 0; i < terms.size(); ++i) {
     term_map[terms[i]] = halves[i] == moving_half ? wl : wo;
   }
-  const auto stats = cluster.TextSplitCell(cell, wo, wl, term_map);
+  const auto stats = exec.TextSplitCell(cell, wo, wl, term_map);
   report->queries_moved += stats.queries_moved;
   report->bytes_migrated += stats.bytes;
   return true;
 }
 
 bool LocalLoadAdjuster::TryMerge(Cluster& cluster, CellId cell, WorkerId wo,
-                                 WorkerId wl, AdjustReport* report) {
+                                 WorkerId wl, MigrationExecutor& exec,
+                                 AdjustReport* report) {
   const CellRoute& route = cluster.router().plan().cells[cell];
   if (!route.IsText()) return false;
   const auto& workers = route.text->workers();
@@ -127,7 +129,7 @@ bool LocalLoadAdjuster::TryMerge(Cluster& cluster, CellId cell, WorkerId wo,
   }
   const double after = no_union * nq_total;
   if (after >= before) return false;
-  const auto stats = cluster.MergeCellTo(cell, wl);
+  const auto stats = exec.MergeCellTo(cell, wl);
   report->queries_moved += stats.queries_moved;
   report->bytes_migrated += stats.bytes;
   return true;
@@ -135,8 +137,15 @@ bool LocalLoadAdjuster::TryMerge(Cluster& cluster, CellId cell, WorkerId wo,
 
 AdjustReport LocalLoadAdjuster::MaybeAdjust(Cluster& cluster,
                                             const WorkloadSample& window) {
+  SyncMigrationExecutor exec(cluster);
+  return Adjust(cluster, window, cluster.WorkerLoads(config_.cost), exec);
+}
+
+AdjustReport LocalLoadAdjuster::Adjust(Cluster& cluster,
+                                       const WorkloadSample& window,
+                                       const std::vector<double>& loads,
+                                       MigrationExecutor& exec) {
   AdjustReport report;
-  const std::vector<double> loads = cluster.WorkerLoads(config_.cost);
   report.balance_before = BalanceFactor(loads);
   if (report.balance_before <= config_.sigma) {
     report.balance_after = report.balance_before;
@@ -161,11 +170,11 @@ AdjustReport LocalLoadAdjuster::MaybeAdjust(Cluster& cluster,
     const CellId cell = cells[i].cell;
     const CellRoute& route = cluster.router().plan().cells[cell];
     if (!route.IsText()) {
-      if (TryTextSplit(cluster, window, cell, wo, wl, &report)) {
+      if (TryTextSplit(cluster, window, cell, wo, wl, exec, &report)) {
         report.phase1_splits++;
       }
     } else {
-      if (TryMerge(cluster, cell, wo, wl, &report)) {
+      if (TryMerge(cluster, cell, wo, wl, exec, &report)) {
         report.phase1_merges++;
       }
     }
@@ -192,7 +201,7 @@ AdjustReport LocalLoadAdjuster::MaybeAdjust(Cluster& cluster,
     report.selection =
         SelectCells(config_.selector, remaining, tau, rng_);
     for (const CellId cell : report.selection.cells) {
-      const auto stats = cluster.MigrateCell(cell, wo, wl);
+      const auto stats = exec.MigrateCell(cell, wo, wl);
       report.queries_moved += stats.queries_moved;
       report.bytes_migrated += stats.bytes;
     }
@@ -203,7 +212,21 @@ AdjustReport LocalLoadAdjuster::MaybeAdjust(Cluster& cluster,
           config_.bandwidth_bytes_per_sec +
       static_cast<double>(report.queries_moved) *
           config_.per_query_reindex_us / 1e6;
-  report.balance_after = BalanceFactor(cluster.WorkerLoads(config_.cost));
+  // Post-adjust balance. The synchronous runtimes keep the cluster tallies
+  // current; the threaded engine does not (its tallies live in per-worker
+  // atomics), so fall back to the Definition-3 cell loads, which reflect
+  // the post-migration placement in both modes.
+  std::vector<double> after = cluster.WorkerLoads(config_.cost);
+  bool any = false;
+  for (const double l : after) any = any || l > 0.0;
+  if (!any) {
+    for (int w = 0; w < cluster.num_workers(); ++w) {
+      double l = 0.0;
+      for (const auto& c : CollectCells(cluster, w)) l += c.load;
+      after[w] = l;
+    }
+  }
+  report.balance_after = BalanceFactor(after);
   return report;
 }
 

@@ -2,10 +2,12 @@
 #define PS2_ADJUST_LOCAL_ADJUST_H_
 
 #include <string>
+#include <vector>
 
 #include "adjust/migration.h"
+#include "adjust/migration_executor.h"
 #include "core/workload_stats.h"
-#include "runtime/engine.h"
+#include "runtime/cluster.h"
 
 namespace ps2 {
 
@@ -50,6 +52,10 @@ struct AdjustReport {
 // Phase II, if the constraint is still violated, solves Minimum Cost
 // Migration (Definition 4) with the configured selector and migrates the
 // chosen cells from wo to wl.
+//
+// The adjuster only *decides*; every movement goes through a
+// MigrationExecutor, so the same logic drives both the synchronous runtime
+// (inline execution) and the threaded engine (staged live migration).
 class LocalLoadAdjuster {
  public:
   explicit LocalLoadAdjuster(const LocalAdjustConfig& config)
@@ -57,8 +63,16 @@ class LocalLoadAdjuster {
 
   // Checks the balance constraint over the cluster's current load window
   // and adjusts if necessary. `window` is a recent workload sample used to
-  // estimate term-level statistics for Phase I splits.
+  // estimate term-level statistics for Phase I splits. Loads are taken from
+  // the cluster's synchronous tallies; movements execute inline.
   AdjustReport MaybeAdjust(Cluster& cluster, const WorkloadSample& window);
+
+  // Core entry point: `loads` are the per-worker Definition-1 loads of the
+  // current accounting window (the threaded engine measures them with live
+  // per-worker tallies) and `exec` realizes the chosen movements.
+  AdjustReport Adjust(Cluster& cluster, const WorkloadSample& window,
+                      const std::vector<double>& loads,
+                      MigrationExecutor& exec);
 
   // Collects wo's migratable cells (load Lg per Definition 3 from GI2 cell
   // counters, size Sg = query bytes). Exposed for the migration benchmarks.
@@ -69,9 +83,9 @@ class LocalLoadAdjuster {
   // Phase I helpers; return true when they changed the cluster.
   bool TryTextSplit(Cluster& cluster, const WorkloadSample& window,
                     CellId cell, WorkerId wo, WorkerId wl,
-                    AdjustReport* report);
+                    MigrationExecutor& exec, AdjustReport* report);
   bool TryMerge(Cluster& cluster, CellId cell, WorkerId wo, WorkerId wl,
-                AdjustReport* report);
+                MigrationExecutor& exec, AdjustReport* report);
 
   LocalAdjustConfig config_;
   Rng rng_;

@@ -1,0 +1,55 @@
+#ifndef PS2_ADJUST_MIGRATION_EXECUTOR_H_
+#define PS2_ADJUST_MIGRATION_EXECUTOR_H_
+
+#include <unordered_map>
+
+#include "runtime/cluster.h"
+
+namespace ps2 {
+
+// The seam between load-adjustment *decisions* and their *execution*. The
+// adjusters (LocalLoadAdjuster, and the benches that drive migrations
+// directly) issue cell movements through this interface; how a movement is
+// realized depends on the runtime:
+//   - SyncMigrationExecutor applies it inline on the Cluster (the simulator,
+//     the synchronous PS2Stream facade and all unit tests),
+//   - ThreadedEngine's live executor stages it as copy -> snapshot publish
+//     -> drain -> remove so dispatcher and worker threads never observe a
+//     routing table pointing at a worker that lacks the queries.
+class MigrationExecutor {
+ public:
+  virtual ~MigrationExecutor() = default;
+
+  // Semantics mirror the Cluster primitives of the same names.
+  virtual MigrationStats MigrateCell(CellId cell, WorkerId from,
+                                     WorkerId to) = 0;
+  virtual MigrationStats TextSplitCell(
+      CellId cell, WorkerId keep, WorkerId to,
+      const std::unordered_map<TermId, WorkerId>& term_map) = 0;
+  virtual MigrationStats MergeCellTo(CellId cell, WorkerId to) = 0;
+};
+
+// Inline execution against the synchronous cluster.
+class SyncMigrationExecutor : public MigrationExecutor {
+ public:
+  explicit SyncMigrationExecutor(Cluster& cluster) : cluster_(cluster) {}
+
+  MigrationStats MigrateCell(CellId cell, WorkerId from, WorkerId to) override {
+    return cluster_.MigrateCell(cell, from, to);
+  }
+  MigrationStats TextSplitCell(
+      CellId cell, WorkerId keep, WorkerId to,
+      const std::unordered_map<TermId, WorkerId>& term_map) override {
+    return cluster_.TextSplitCell(cell, keep, to, term_map);
+  }
+  MigrationStats MergeCellTo(CellId cell, WorkerId to) override {
+    return cluster_.MergeCellTo(cell, to);
+  }
+
+ private:
+  Cluster& cluster_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_ADJUST_MIGRATION_EXECUTOR_H_

@@ -1,0 +1,38 @@
+#ifndef PS2_DISPATCH_DISPATCH_STATS_H_
+#define PS2_DISPATCH_DISPATCH_STATS_H_
+
+#include <cstdint>
+
+namespace ps2 {
+
+// Routing statistics of one dispatcher. In the threaded runtime every
+// dispatcher thread owns a private instance (no shared mutable counters on
+// the routing hot path); the engine merges them into the run report when the
+// threads are joined.
+struct DispatchStats {
+  uint64_t objects_routed = 0;
+  uint64_t objects_discarded = 0;
+  uint64_t inserts_routed = 0;
+  uint64_t deletes_routed = 0;
+  uint64_t object_deliveries = 0;  // sum of per-object fanout
+  uint64_t query_deliveries = 0;
+
+  double ObjectFanout() const {
+    return objects_routed == 0
+               ? 0.0
+               : static_cast<double>(object_deliveries) / objects_routed;
+  }
+
+  void Merge(const DispatchStats& o) {
+    objects_routed += o.objects_routed;
+    objects_discarded += o.objects_discarded;
+    inserts_routed += o.inserts_routed;
+    deletes_routed += o.deletes_routed;
+    object_deliveries += o.object_deliveries;
+    query_deliveries += o.query_deliveries;
+  }
+};
+
+}  // namespace ps2
+
+#endif  // PS2_DISPATCH_DISPATCH_STATS_H_

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "dispatch/dispatch_stats.h"
 #include "dispatch/gridt_index.h"
 
 namespace ps2 {
@@ -33,19 +34,9 @@ class Dispatcher {
   void Route(const StreamTuple& tuple, std::vector<Delivery>* out);
 
   // --- statistics ----------------------------------------------------------
-  struct Stats {
-    uint64_t objects_routed = 0;
-    uint64_t objects_discarded = 0;
-    uint64_t inserts_routed = 0;
-    uint64_t deletes_routed = 0;
-    uint64_t object_deliveries = 0;  // sum of per-object fanout
-    uint64_t query_deliveries = 0;
-    double ObjectFanout() const {
-      return objects_routed == 0
-                 ? 0.0
-                 : static_cast<double>(object_deliveries) / objects_routed;
-    }
-  };
+  // One Stats instance belongs to one thread; the threaded engine keeps a
+  // private copy per dispatcher thread and merges on stop.
+  using Stats = DispatchStats;
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
 

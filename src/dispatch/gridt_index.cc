@@ -182,6 +182,20 @@ std::vector<WorkerId> GridtIndex::H2Workers(CellId cell, TermId term) const {
   return out;
 }
 
+std::unordered_map<TermId, std::vector<WorkerId>> GridtIndex::H2CellMap(
+    CellId cell) const {
+  std::unordered_map<TermId, std::vector<WorkerId>> out;
+  auto cit = h2_.find(cell);
+  if (cit == h2_.end()) return out;
+  out.reserve(cit->second.entries.size());
+  for (const auto& [term, list] : cit->second.entries) {
+    std::vector<WorkerId>& workers = out[term];
+    workers.reserve(list.size());
+    for (const auto& [w, count] : list) workers.push_back(w);
+  }
+  return out;
+}
+
 size_t GridtIndex::MemoryBytes() const {
   size_t bytes = plan_.MemoryBytes();
   for (const auto& [cell, h2cell] : h2_) {

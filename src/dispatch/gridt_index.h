@@ -70,6 +70,11 @@ class GridtIndex {
   // Live H2 worker set of (cell, term) — exposed for tests.
   std::vector<WorkerId> H2Workers(CellId cell, TermId term) const;
 
+  // Full H2 content of one cell (term -> live worker set), used by the
+  // snapshot publisher to materialize immutable per-cell routing entries.
+  std::unordered_map<TermId, std::vector<WorkerId>> H2CellMap(
+      CellId cell) const;
+
   // Direct H2 maintenance, used when queries are physically moved outside
   // the insert/delete path (cell text splits during load adjustment).
   void AddH2(CellId cell, TermId term, WorkerId worker);

@@ -1,0 +1,153 @@
+#include "dispatch/routing_snapshot.h"
+
+#include <algorithm>
+
+namespace ps2 {
+
+void RoutingSnapshot::RouteObject(const SpatioTextualObject& o,
+                                  std::vector<WorkerId>* out) const {
+  out->clear();
+  const Cell& c = cell(grid.CellOf(o.loc));
+  if (!c.IsText()) {
+    out->push_back(c.worker);
+    return;
+  }
+  const auto& h2 = c.text->h2;
+  for (const TermId t : o.terms) {
+    auto it = h2.find(t);
+    if (it == h2.end()) continue;
+    out->insert(out->end(), it->second.begin(), it->second.end());
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+}
+
+size_t RoutingSnapshot::NumCells() const {
+  size_t n = 0;
+  for (const auto& chunk : chunks) n += chunk->size();
+  return n;
+}
+
+namespace {
+
+RoutingSnapshot::Cell BuildCell(const GridtIndex& master, CellId c) {
+  RoutingSnapshot::Cell out;
+  const CellRoute& route = master.plan().cells[c];
+  if (route.IsText()) {
+    auto text = std::make_shared<RoutingSnapshot::TextCell>();
+    text->h2 = master.H2CellMap(c);
+    out.text = std::move(text);
+  } else {
+    out.worker = route.worker;
+  }
+  return out;
+}
+
+}  // namespace
+
+SnapshotRouter::SnapshotRouter(GridtIndex* master) : master_(master) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto snap = BuildFull();
+  const uint64_t v = snap->version;
+  std::atomic_store(&current_, std::move(snap));
+  version_.store(v);  // seq_cst: pairs with the dispatchers' epoch handshake
+}
+
+std::shared_ptr<const RoutingSnapshot> SnapshotRouter::Current() const {
+  return std::atomic_load(&current_);
+}
+
+std::shared_ptr<const RoutingSnapshot> SnapshotRouter::BuildFull() const {
+  auto snap = std::make_shared<RoutingSnapshot>();
+  snap->grid = master_->plan().grid;
+  const size_t num_cells = master_->plan().cells.size();
+  const auto old = std::atomic_load(&current_);
+  snap->version = old == nullptr ? 1 : old->version + 1;
+  snap->chunks.reserve(
+      (num_cells + RoutingSnapshot::kCellsPerChunk - 1) /
+      RoutingSnapshot::kCellsPerChunk);
+  for (size_t base = 0; base < num_cells;
+       base += RoutingSnapshot::kCellsPerChunk) {
+    auto chunk = std::make_shared<RoutingSnapshot::Chunk>();
+    const size_t end =
+        std::min(base + RoutingSnapshot::kCellsPerChunk, num_cells);
+    chunk->reserve(end - base);
+    for (size_t c = base; c < end; ++c) {
+      chunk->push_back(BuildCell(*master_, static_cast<CellId>(c)));
+    }
+    snap->chunks.push_back(std::move(chunk));
+  }
+  return snap;
+}
+
+void SnapshotRouter::PublishCells(const std::vector<CellId>& cells) {
+  if (cells.empty()) return;
+  const auto old = std::atomic_load(&current_);
+  auto snap = std::make_shared<RoutingSnapshot>(*old);  // shares all chunks
+  snap->version = old->version + 1;
+  // Copy-on-write per chunk: rebuild only the touched cells, share the rest.
+  std::unordered_map<size_t, std::shared_ptr<RoutingSnapshot::Chunk>> cloned;
+  for (const CellId c : cells) {
+    const size_t chunk_idx =
+        static_cast<size_t>(c) / RoutingSnapshot::kCellsPerChunk;
+    auto it = cloned.find(chunk_idx);
+    if (it == cloned.end()) {
+      it = cloned
+               .emplace(chunk_idx, std::make_shared<RoutingSnapshot::Chunk>(
+                                       *snap->chunks[chunk_idx]))
+               .first;
+      snap->chunks[chunk_idx] = it->second;
+    }
+    (*it->second)[static_cast<size_t>(c) % RoutingSnapshot::kCellsPerChunk] =
+        BuildCell(*master_, c);
+  }
+  const uint64_t v = snap->version;
+  std::atomic_store(&current_,
+                    std::shared_ptr<const RoutingSnapshot>(std::move(snap)));
+  version_.store(v);  // seq_cst: pairs with the dispatchers' epoch handshake
+}
+
+namespace {
+
+// Cells whose snapshot entry a query update can change: the text-routed
+// cells overlapping its region (space-routed cells carry no H2).
+std::vector<CellId> TouchedTextCells(const GridtIndex& master,
+                                     const STSQuery& q) {
+  std::vector<CellId> touched;
+  for (const CellId c : master.plan().grid.CellsOverlapping(q.region)) {
+    if (master.plan().cells[c].IsText()) touched.push_back(c);
+  }
+  return touched;
+}
+
+}  // namespace
+
+std::vector<PartitionPlan::QueryRoute> SnapshotRouter::RouteInsert(
+    const STSQuery& q, std::atomic<int>* pending_pushes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto routes = master_->RouteInsert(q);
+  PublishCells(TouchedTextCells(*master_, q));
+  if (pending_pushes != nullptr) pending_pushes->fetch_add(1);
+  return routes;
+}
+
+std::vector<PartitionPlan::QueryRoute> SnapshotRouter::RouteDelete(
+    const STSQuery& q, std::atomic<int>* pending_pushes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto routes = master_->RouteDelete(q);
+  PublishCells(TouchedTextCells(*master_, q));
+  if (pending_pushes != nullptr) pending_pushes->fetch_add(1);
+  return routes;
+}
+
+bool SnapshotRouter::Mutate(const std::function<bool(GridtIndex&)>& fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!fn(*master_)) return false;
+  auto snap = BuildFull();
+  const uint64_t v = snap->version;
+  std::atomic_store(&current_, std::move(snap));
+  version_.store(v);  // seq_cst: pairs with the dispatchers' epoch handshake
+  return true;
+}
+
+}  // namespace ps2

@@ -1,0 +1,119 @@
+#ifndef PS2_DISPATCH_ROUTING_SNAPSHOT_H_
+#define PS2_DISPATCH_ROUTING_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "dispatch/gridt_index.h"
+
+namespace ps2 {
+
+// An immutable, epoch-published view of the gridt routing table. Object
+// routing in the threaded runtime happens exclusively against a snapshot —
+// no lock is taken on the hot path; readers pin the current epoch with one
+// atomic shared_ptr load and the snapshot they hold stays valid (and
+// internally consistent) for as long as they keep the pointer, even while a
+// newer epoch is being installed.
+//
+// Cells are grouped into fixed-size chunks that are shared structurally
+// between epochs: a query insert/delete that touches k cells republishes
+// only the chunks containing those cells (copy-on-write), so the cost of a
+// publication is proportional to the update's footprint, not to the table.
+struct RoutingSnapshot {
+  // Routing state of one text-routed cell: term -> live worker set (the H2
+  // view the dispatcher filters objects through). Space-routed cells carry a
+  // bare worker id and no text entry, exactly like the paper's gridt.
+  struct TextCell {
+    std::unordered_map<TermId, std::vector<WorkerId>> h2;
+  };
+
+  struct Cell {
+    WorkerId worker = 0;
+    std::shared_ptr<const TextCell> text;  // non-null => text-routed
+
+    bool IsText() const { return text != nullptr; }
+  };
+
+  static constexpr size_t kCellsPerChunk = 64;
+  using Chunk = std::vector<Cell>;  // kCellsPerChunk entries (last may be short)
+
+  GridSpec grid;
+  std::vector<std::shared_ptr<const Chunk>> chunks;
+  uint64_t version = 0;
+
+  const Cell& cell(CellId c) const {
+    return (*chunks[static_cast<size_t>(c) / kCellsPerChunk])
+        [static_cast<size_t>(c) % kCellsPerChunk];
+  }
+
+  // Same semantics as GridtIndex::RouteObject: space-routed cells forward
+  // unconditionally; text-routed cells route through H2 and an object whose
+  // terms hit no live key is discarded (empty result).
+  void RouteObject(const SpatioTextualObject& o,
+                   std::vector<WorkerId>* out) const;
+
+  size_t NumCells() const;
+};
+
+// Owns the master GridtIndex's concurrency story for the threaded runtime:
+// writers (query-update routing and the load controller) serialize on an
+// internal mutex and publish a fresh immutable RoutingSnapshot after every
+// mutation; readers (dispatcher threads routing objects) never block.
+class SnapshotRouter {
+ public:
+  // `master` is the cluster's routing index; not owned, must outlive the
+  // router. The initial epoch is built immediately.
+  explicit SnapshotRouter(GridtIndex* master);
+
+  // Lock-free read of the current epoch.
+  std::shared_ptr<const RoutingSnapshot> Current() const;
+  // Version of the latest published epoch, from a plain atomic counter that
+  // is advanced *after* the snapshot swap — so for any reader,
+  // CurrentVersion() <= Current()->version when called in that order (the
+  // stamp-before-pin invariant the engine's migration barrier relies on),
+  // and the hot path pays one integer load instead of a second shared_ptr
+  // atomic load.
+  uint64_t CurrentVersion() const {
+    return version_.load();  // seq_cst: pairs with the epoch handshake
+  }
+
+  // Query-update routing: routes through the master under the writer lock,
+  // maintains H2, and incrementally republishes the touched cells.
+  // When `pending_pushes` is non-null it is incremented *before* the writer
+  // lock is released; the caller decrements it once the returned deliveries
+  // are enqueued, so a concurrent Mutate() can wait until no routed update
+  // is still on its way to a worker queue.
+  std::vector<PartitionPlan::QueryRoute> RouteInsert(
+      const STSQuery& q, std::atomic<int>* pending_pushes = nullptr);
+  std::vector<PartitionPlan::QueryRoute> RouteDelete(
+      const STSQuery& q, std::atomic<int>* pending_pushes = nullptr);
+
+  // Controller seam: runs `fn` against the master under the writer lock;
+  // when it returns true the whole table is rebuilt off the dispatcher
+  // threads and installed with one atomic swap. Readers keep routing against
+  // the previous epoch until the swap.
+  bool Mutate(const std::function<bool(GridtIndex&)>& fn);
+
+  uint64_t version() const { return Current()->version; }
+
+  GridtIndex& master() { return *master_; }
+
+ private:
+  // Both require `mu_` to be held.
+  std::shared_ptr<const RoutingSnapshot> BuildFull() const;
+  void PublishCells(const std::vector<CellId>& cells);
+
+  GridtIndex* master_;
+  std::mutex mu_;  // serializes writers (query updates + controller)
+  std::shared_ptr<const RoutingSnapshot> current_;  // atomic_load/atomic_store
+  std::atomic<uint64_t> version_{0};  // == current_->version, set post-swap
+};
+
+}  // namespace ps2
+
+#endif  // PS2_DISPATCH_ROUTING_SNAPSHOT_H_

@@ -193,6 +193,18 @@ std::vector<STSQuery> Gi2Index::ExtractCell(CellId cell_id) {
   return out;
 }
 
+std::vector<STSQuery> Gi2Index::CellQueries(CellId cell_id) const {
+  std::vector<STSQuery> out;
+  auto cit = cells_.find(cell_id);
+  if (cit == cells_.end()) return out;
+  out.reserve(cit->second.members.size());
+  for (const QueryId qid : cit->second.members) {
+    auto qit = queries_.find(qid);
+    if (qit != queries_.end()) out.push_back(qit->second.query);
+  }
+  return out;
+}
+
 size_t Gi2Index::CellMigrationBytes(CellId cell) const {
   auto it = cells_.find(cell);
   return it == cells_.end() ? 0 : it->second.query_bytes;

@@ -86,6 +86,12 @@ class Gi2Index {
   // carries the full query so the receiving worker can index it.
   std::vector<STSQuery> ExtractCell(CellId cell);
 
+  // Copies of the live queries indexed in `cell`, without removing anything.
+  // The live-migration protocol first installs copies at the destination
+  // worker, republishes routing, and only then extracts the source cell —
+  // in-flight objects keep matching at the source in between.
+  std::vector<STSQuery> CellQueries(CellId cell) const;
+
   // Serialized size in bytes of a cell's content (what a migration of this
   // cell would ship over the network).
   size_t CellMigrationBytes(CellId cell) const;

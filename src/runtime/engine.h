@@ -1,101 +1,14 @@
 #ifndef PS2_RUNTIME_ENGINE_H_
 #define PS2_RUNTIME_ENGINE_H_
 
-#include <cstdint>
-#include <memory>
+#include <string>
 #include <vector>
 
-#include "core/cost_model.h"
-#include "core/query.h"
-#include "dispatch/dispatcher.h"
-#include "dispatch/gridt_index.h"
-#include "dispatch/merger.h"
-#include "index/gi2.h"
-#include "partition/plan.h"
+#include "adjust/load_controller.h"
+#include "runtime/cluster.h"
 #include "runtime/metrics.h"
 
 namespace ps2 {
-
-struct ClusterOptions {
-  Gi2Index::Options worker_index;
-  size_t merger_window = 1 << 20;
-};
-
-// The logical PS2Stream cluster: one routing index (shared by all
-// dispatchers), one GI2 per worker, one merger. This class is the
-// *synchronous* core — tuples are processed inline — used directly by
-// tests, the simulator and the load adjusters; ThreadedEngine runs the same
-// cluster across real threads for wall-clock throughput/latency.
-class Cluster {
- public:
-  Cluster(PartitionPlan plan, const Vocabulary* vocab,
-          ClusterOptions options = ClusterOptions());
-
-  int num_workers() const { return static_cast<int>(workers_.size()); }
-
-  // Processes one tuple end to end. For objects, newly delivered (deduped)
-  // matches are appended to `delivered` when non-null.
-  void Process(const StreamTuple& tuple,
-               std::vector<MatchResult>* delivered = nullptr);
-
-  // Applies one routed delivery to its worker (updating load tallies and,
-  // for objects, pushing matches through the merger). Callers that need
-  // per-delivery control (the simulator's service-time accounting) route
-  // via dispatcher() themselves and then Apply each delivery.
-  void Apply(const StreamTuple& tuple, const Dispatcher::Delivery& delivery,
-             std::vector<MatchResult>* delivered = nullptr);
-
-  // --- components ----------------------------------------------------------
-  GridtIndex& router() { return index_; }
-  const GridtIndex& router() const { return index_; }
-  Dispatcher& dispatcher() { return dispatcher_; }
-  Merger& merger() { return merger_; }
-  Gi2Index& worker(WorkerId w) { return workers_[w]; }
-  const Gi2Index& worker(WorkerId w) const { return workers_[w]; }
-  const Vocabulary& vocab() const { return *vocab_; }
-
-  // --- load accounting (Definition 1 window) -------------------------------
-  const std::vector<WorkerLoadTally>& tallies() const { return tallies_; }
-  std::vector<double> WorkerLoads(const CostModel& cm) const;
-  // Clears tallies and per-cell object counters (start of a new window).
-  void ResetLoadWindow();
-
-  // --- migration primitives (used by the load adjusters) -------------------
-  struct MigrationStats {
-    size_t queries_moved = 0;
-    size_t bytes = 0;
-  };
-
-  // Moves worker `from`'s share of `cell` to worker `to` (queries + routing).
-  MigrationStats MigrateCell(CellId cell, WorkerId from, WorkerId to);
-
-  // Turns the space-routed `cell` (owned by `keep`) into a text-routed cell
-  // split by `term_map` across {keep, to}; queries are redistributed.
-  // Returns the bytes shipped to `to`.
-  MigrationStats TextSplitCell(CellId cell, WorkerId keep, WorkerId to,
-                               const std::unordered_map<TermId, WorkerId>&
-                                   term_map);
-
-  // Collapses `cell` (text- or space-routed) onto a single worker `to`,
-  // moving every other worker's share there.
-  MigrationStats MergeCellTo(CellId cell, WorkerId to);
-
-  // --- memory ---------------------------------------------------------------
-  size_t DispatcherMemoryBytes() const { return index_.MemoryBytes(); }
-  size_t WorkerMemoryBytes(WorkerId w) const {
-    return workers_[w].MemoryBytes();
-  }
-
- private:
-  const Vocabulary* vocab_;
-  GridtIndex index_;
-  Dispatcher dispatcher_;
-  Merger merger_;
-  std::vector<Gi2Index> workers_;
-  std::vector<WorkerLoadTally> tallies_;
-  std::vector<Dispatcher::Delivery> scratch_deliveries_;
-  std::vector<MatchResult> scratch_matches_;
-};
 
 // Options of the threaded (wall-clock) engine.
 struct EngineOptions {
@@ -104,13 +17,41 @@ struct EngineOptions {
   size_t batch_size = 64;
   // Input pacing in tuples/second; 0 = unthrottled (throughput mode).
   double input_rate_tps = 0.0;
+  // Retain every merger-accepted match for later inspection (tests compare
+  // the exact deduped match set against the synchronous cluster).
+  bool collect_matches = false;
+  // Recent-tuple window kept for the controller's Phase-I term statistics
+  // (spread across dispatcher-local rings).
+  size_t window_capacity = 1 << 15;
+
+  // Online load-adjustment controller (disabled by default: the engine then
+  // executes a frozen plan, like the pre-controller runtime).
+  struct ControllerOptions {
+    bool enabled = false;
+    int interval_ms = 20;       // balance-check cadence
+    size_t min_tuples = 2000;   // skip checks until this many new tuples
+    LoadControllerConfig config;
+  };
+  ControllerOptions controller;
 };
 
-// Runs a pre-generated stream through `cluster` using real dispatcher and
-// worker threads (dispatchers share the routing index behind a
-// reader/writer lock; each worker's GI2 is single-consumer). Measures
-// wall-clock throughput and per-tuple latency — the measured counterpart of
-// the paper's Storm deployment.
+// A runtime that executes a tuple stream against a Cluster. The two
+// implementations share the cluster's components but differ in *time*:
+// ThreadedEngine measures wall-clock behavior across real dispatcher and
+// worker threads; SimEngine reproduces the paper's figures in deterministic
+// virtual time.
+class Engine {
+ public:
+  virtual ~Engine() = default;
+
+  virtual std::string name() const = 0;
+
+  // Executes the whole stream and reports the run's metrics.
+  virtual RunReport Run(const std::vector<StreamTuple>& input) = 0;
+};
+
+// Compatibility wrapper for the original free-function runtime: constructs
+// a ThreadedEngine over `cluster` and runs `input` through it.
 RunReport RunThreaded(Cluster& cluster, const std::vector<StreamTuple>& input,
                       const EngineOptions& options);
 

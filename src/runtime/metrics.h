@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "dispatch/dispatch_stats.h"
+
 namespace ps2 {
 
 // Latency histogram with logarithmic buckets from 1us to ~1000s. Tracks the
@@ -55,6 +57,17 @@ struct RunReport {
   std::vector<uint64_t> per_worker_tuples;
   size_t dispatcher_memory_bytes = 0;
   std::vector<size_t> worker_memory_bytes;
+
+  // Routing statistics aggregated across dispatcher threads.
+  DispatchStats dispatch;
+
+  // Online load adjustment (threaded engine's controller; zero when the
+  // controller is disabled or the run stayed balanced).
+  uint64_t adjustments = 0;        // checks that moved something
+  uint64_t cells_migrated = 0;
+  uint64_t queries_migrated = 0;
+  uint64_t bytes_migrated = 0;
+  uint64_t routing_epochs = 0;     // snapshot versions published
 
   double AvgWorkerMemory() const;
   double MaxWorkerShare() const;  // max per-worker tuples / total

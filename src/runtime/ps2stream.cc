@@ -5,10 +5,15 @@
 namespace ps2 {
 
 PS2Stream::PS2Stream(PS2StreamOptions options)
-    : options_(std::move(options)),
-      adjuster_(std::make_unique<LocalLoadAdjuster>(options_.adjust)) {}
+    : options_(std::move(options)) {
+  LoadControllerConfig config;
+  config.adjust = options_.adjust;
+  controller_ = std::make_unique<LoadController>(config);
+}
 
-PS2Stream::~PS2Stream() = default;
+PS2Stream::~PS2Stream() {
+  if (started()) engine_->Stop();
+}
 
 void PS2Stream::Bootstrap(const WorkloadSample& sample) {
   AccumulateVocabularyCounts(sample, vocab_);
@@ -32,6 +37,24 @@ void PS2Stream::Bootstrap(const WorkloadSample& sample) {
                                        options_.cluster);
 }
 
+void PS2Stream::Start() {
+  if (!bootstrapped() || started()) return;
+  EngineOptions opts = options_.engine;
+  opts.window_capacity = options_.window_capacity;
+  if (options_.auto_adjust) {
+    opts.controller.enabled = true;
+    opts.controller.config.adjust = options_.adjust;
+    opts.controller.min_tuples = options_.adjust_check_interval;
+  }
+  engine_ = std::make_unique<ThreadedEngine>(*cluster_, opts);
+  engine_->Start();
+}
+
+RunReport PS2Stream::Stop() {
+  if (!started()) return RunReport{};
+  return engine_->Stop();
+}
+
 QueryId PS2Stream::Subscribe(const std::string& expression,
                              const Rect& region) {
   BoolExpr expr = BoolExpr::Parse(expression, vocab_);
@@ -48,6 +71,10 @@ void PS2Stream::Subscribe(const STSQuery& query) {
   subscriptions_[query.id] = query;
   next_query_id_ = std::max(next_query_id_, query.id + 1);
   const StreamTuple tuple = StreamTuple::OfInsert(query);
+  if (started()) {
+    engine_->Submit(tuple);
+    return;
+  }
   cluster_->Process(tuple);
   Track(tuple);
 }
@@ -57,6 +84,10 @@ void PS2Stream::Unsubscribe(QueryId id) {
   if (it == subscriptions_.end()) return;
   const StreamTuple tuple = StreamTuple::OfDelete(it->second);
   subscriptions_.erase(it);
+  if (started()) {
+    engine_->Submit(tuple);
+    return;
+  }
   cluster_->Process(tuple);
   Track(tuple);
 }
@@ -71,10 +102,14 @@ std::vector<MatchResult> PS2Stream::Publish(Point loc,
 
 std::vector<MatchResult> PS2Stream::Publish(
     const SpatioTextualObject& object) {
-  std::vector<MatchResult> delivered;
-  const StreamTuple tuple = StreamTuple::OfObject(object);
-  cluster_->Process(tuple, &delivered);
   next_object_id_ = std::max(next_object_id_, object.id + 1);
+  const StreamTuple tuple = StreamTuple::OfObject(object);
+  if (started()) {
+    engine_->Submit(tuple);
+    return {};
+  }
+  std::vector<MatchResult> delivered;
+  cluster_->Process(tuple, &delivered);
   Track(tuple);
   return delivered;
 }
@@ -104,7 +139,7 @@ void PS2Stream::MaybeAutoAdjust() {
         break;
     }
   }
-  AdjustReport report = adjuster_->MaybeAdjust(*cluster_, sample);
+  AdjustReport report = controller_->Check(*cluster_, sample);
   if (report.triggered) {
     adjustments_.push_back(std::move(report));
     cluster_->ResetLoadWindow();

@@ -6,16 +6,17 @@
 #include <string>
 #include <unordered_map>
 
-#include "adjust/local_adjust.h"
+#include "adjust/load_controller.h"
 #include "core/workload_stats.h"
-#include "runtime/engine.h"
+#include "runtime/threaded_engine.h"
+#include "text/tokenizer.h"
 
 namespace ps2 {
 
 // Top-level facade: the publish/subscribe service a downstream application
 // embeds. It owns the vocabulary, builds the partition plan from a bootstrap
-// sample (or a uniform default), runs the cluster synchronously, and can
-// keep the load balanced automatically via local adjustments.
+// sample (or a uniform default), runs the cluster, and can keep the load
+// balanced automatically via local adjustments.
 //
 //   PS2Stream ps2(PS2StreamOptions{...});
 //   ps2.Bootstrap(sample);                       // plan from historic data
@@ -23,17 +24,26 @@ namespace ps2 {
 //   auto matches = ps2.Publish(loc, "best pizza downtown!");
 //   ps2.Unsubscribe(qid);
 //
-// For wall-clock benchmarking of a pre-generated stream, use RunThreaded on
-// the underlying cluster() instead.
+// Two execution modes:
+//   - synchronous (default): Publish processes the tuple inline and returns
+//     its matches; load adjustment piggy-backs on the caller's thread.
+//   - started (Start()/Stop()): a ThreadedEngine runs dispatcher, worker
+//     and controller threads; Subscribe/Publish submit tuples and return
+//     immediately (Publish returns no matches — deliveries are counted by
+//     the merger and reported by Stop()). Load adjustment happens online on
+//     the controller thread, with migrations installed live.
 struct PS2StreamOptions {
   std::string partitioner = "hybrid";
   PartitionConfig partition;
   ClusterOptions cluster;
-  // Automatic local load adjustment.
+  // Automatic local load adjustment (synchronous mode; the started engine
+  // uses engine.controller instead).
   bool auto_adjust = false;
   size_t adjust_check_interval = 100000;  // tuples between balance checks
   LocalAdjustConfig adjust;
   size_t window_capacity = 1 << 16;  // recent-tuple window for Phase I
+  // Threaded engine configuration used by Start().
+  EngineOptions engine;
 };
 
 class PS2Stream {
@@ -49,6 +59,17 @@ class PS2Stream {
   // sample's term occurrences into the vocabulary frequency profile.
   void Bootstrap(const WorkloadSample& sample);
 
+  // --- async engine ---------------------------------------------------------
+  // Spawns the threaded engine over the bootstrapped cluster. Requires
+  // Bootstrap() first. Subsequent Subscribe/Publish calls are submitted to
+  // the engine instead of being processed inline.
+  void Start();
+  // Drains the engine and returns its run report. No-op RunReport when the
+  // engine is not running.
+  RunReport Stop();
+  bool started() const { return engine_ != nullptr && engine_->running(); }
+  ThreadedEngine* engine() { return engine_.get(); }
+
   // Registers a subscription. The expression uses the BoolExpr grammar
   // ("a AND (b OR c)"). Returns the assigned query id, or 0 when the
   // expression fails to parse.
@@ -57,7 +78,8 @@ class PS2Stream {
   void Unsubscribe(QueryId id);
 
   // Publishes an object; returns the subscriptions it matched (after
-  // merger deduplication).
+  // merger deduplication). In started mode the result is always empty —
+  // matching happens asynchronously on the worker threads.
   std::vector<MatchResult> Publish(Point loc, const std::string& text);
   std::vector<MatchResult> Publish(const SpatioTextualObject& object);
 
@@ -79,7 +101,8 @@ class PS2Stream {
   Vocabulary vocab_;
   Tokenizer tokenizer_;
   std::unique_ptr<Cluster> cluster_;
-  std::unique_ptr<LocalLoadAdjuster> adjuster_;
+  std::unique_ptr<LoadController> controller_;
+  std::unique_ptr<ThreadedEngine> engine_;
   std::unordered_map<QueryId, STSQuery> subscriptions_;
   QueryId next_query_id_ = 1;
   ObjectId next_object_id_ = 1;

@@ -18,7 +18,10 @@ SimReport RunSimulation(Cluster& cluster,
   double window_max_util_sum = 0.0;
   size_t num_windows = 0;
   size_t window_pos = 0;
-  LocalLoadAdjuster adjuster(options.adjust);
+  LoadControllerConfig controller_config;
+  controller_config.adjust = options.adjust;
+  LoadController controller(controller_config);
+  SyncMigrationExecutor executor(cluster);
 
   // Sliding window of recent tuples for Phase I term statistics.
   std::deque<const StreamTuple*> window;
@@ -103,7 +106,8 @@ SimReport RunSimulation(Cluster& cluster,
             break;
         }
       }
-      AdjustReport adj = adjuster.MaybeAdjust(cluster, sample);
+      AdjustReport adj = controller.Check(
+          cluster, cluster.WorkerLoads(options.adjust.cost), sample, executor);
       if (adj.triggered &&
           (adj.bytes_migrated > 0 || adj.phase1_splits > 0 ||
            adj.phase1_merges > 0)) {
@@ -160,6 +164,50 @@ SimReport RunSimulation(Cluster& cluster,
   report.throughput_windowed_tps =
       mean_window_max > 0 ? options.arrival_rate_tps / mean_window_max
                           : options.arrival_rate_tps;
+  return report;
+}
+
+RunReport SimEngine::Run(const std::vector<StreamTuple>& input) {
+  sim_report_ = RunSimulation(cluster_, input, options_);
+  RunReport report;
+  report.tuples_processed = sim_report_.tuples;
+  for (const auto& t : input) {
+    switch (t.kind) {
+      case TupleKind::kObject:
+        report.objects++;
+        break;
+      case TupleKind::kQueryInsert:
+        report.inserts++;
+        break;
+      case TupleKind::kQueryDelete:
+        report.deletes++;
+        break;
+    }
+  }
+  report.wall_seconds = sim_report_.sim_seconds;
+  report.throughput_tps = sim_report_.throughput_windowed_tps;
+  report.latency = sim_report_.latency;
+  report.matches_delivered = sim_report_.matches_delivered;
+  report.duplicates_suppressed = cluster_.merger().duplicates();
+  report.objects_discarded = cluster_.dispatcher().stats().objects_discarded;
+  for (const auto& t : cluster_.tallies()) {
+    report.per_worker_tuples.push_back(t.objects + t.inserts + t.deletes);
+  }
+  report.adjustments = sim_report_.migrations.size();
+  uint64_t queries_moved = 0, bytes_moved = 0;
+  for (const auto& m : sim_report_.migrations) {
+    queries_moved += m.report.queries_moved;
+    bytes_moved += m.report.bytes_migrated;
+    report.cells_migrated += m.report.selection.cells.size() +
+                             m.report.phase1_splits + m.report.phase1_merges;
+  }
+  report.queries_migrated = queries_moved;
+  report.bytes_migrated = bytes_moved;
+  report.dispatcher_memory_bytes = cluster_.DispatcherMemoryBytes();
+  for (int w = 0; w < cluster_.num_workers(); ++w) {
+    report.worker_memory_bytes.push_back(cluster_.WorkerMemoryBytes(w));
+  }
+  report.dispatch = cluster_.dispatcher().stats();
   return report;
 }
 

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "adjust/load_controller.h"
 #include "adjust/local_adjust.h"
 #include "runtime/engine.h"
 #include "runtime/metrics.h"
@@ -86,6 +87,26 @@ struct SimReport {
 SimReport RunSimulation(Cluster& cluster,
                         const std::vector<StreamTuple>& input,
                         const SimOptions& options);
+
+// Engine-interface adapter over RunSimulation: the virtual-time twin of
+// ThreadedEngine. Run() maps the SimReport onto the common RunReport shape
+// (wall_seconds = simulated seconds, throughput = windowed capacity
+// estimate); the full simulation detail stays available via sim_report().
+class SimEngine : public Engine {
+ public:
+  SimEngine(Cluster& cluster, SimOptions options = SimOptions())
+      : cluster_(cluster), options_(std::move(options)) {}
+
+  std::string name() const override { return "sim"; }
+  RunReport Run(const std::vector<StreamTuple>& input) override;
+
+  const SimReport& sim_report() const { return sim_report_; }
+
+ private:
+  Cluster& cluster_;
+  SimOptions options_;
+  SimReport sim_report_;
+};
 
 }  // namespace ps2
 

@@ -1,0 +1,649 @@
+#include "runtime/threaded_engine.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/stopwatch.h"
+
+namespace ps2 {
+
+// ---------------------------------------------------------------------------
+// Internal types
+// ---------------------------------------------------------------------------
+
+struct ThreadedEngine::Latch {
+  explicit Latch(size_t n) : count(n) {}
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t count;
+
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (count > 0 && --count == 0) cv.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return count == 0; });
+  }
+};
+
+// Work item delivered to a worker thread. A non-null `marker` makes it a
+// control item: the worker acknowledges it and skips the payload — the
+// controller uses this to learn that everything enqueued before a routing
+// swap has drained.
+struct ThreadedEngine::WorkItem {
+  StreamTuple tuple;
+  std::vector<CellId> cells;  // for query updates
+  int64_t enqueue_us = 0;
+  std::shared_ptr<Latch> marker;
+};
+
+// Input-queue element: the tuple plus its update-ordering gate stamp.
+struct ThreadedEngine::SeqTuple {
+  StreamTuple tuple;
+  uint64_t updates_before = 0;
+};
+
+struct ThreadedEngine::WorkerState {
+  std::mutex mu;  // guards this worker's Gi2 (worker thread vs controller)
+  std::atomic<uint64_t> objects{0};
+  std::atomic<uint64_t> inserts{0};
+  std::atomic<uint64_t> deletes{0};
+  // Query-update flow accounting for the migration barrier: the controller
+  // only copies cell contents once every routed update has reached its
+  // worker's Gi2 (enqueued == applied).
+  std::atomic<uint64_t> query_items_enqueued{0};
+  std::atomic<uint64_t> query_items_applied{0};
+  uint64_t tuples = 0;        // worker-thread local, read after join
+  LatencyHistogram latency;   // worker-thread local, read after join
+};
+
+struct ThreadedEngine::DispatcherState {
+  DispatchStats stats;  // thread-local; merged into the report on Stop
+  std::vector<WorkerId> scratch;
+
+  // Version of the epoch this dispatcher is currently routing an object
+  // against; UINT64_MAX when between objects. Stamped *before* the snapshot
+  // is pinned, so the pinned snapshot's version is always >= the stamp —
+  // the controller waits until every dispatcher's stamp reaches the new
+  // epoch before it pushes drain markers, which guarantees that every
+  // delivery derived from an older epoch is already in a worker queue.
+  std::atomic<uint64_t> routing_epoch{UINT64_MAX};
+
+  // Pinned snapshot, re-pinned only when the published version moves past
+  // it — the steady-state object path pays one integer atomic load, not a
+  // shared_ptr atomic load (which libstdc++ backs with a spinlock pool).
+  std::shared_ptr<const RoutingSnapshot> snapshot;
+
+  // Recent-tuple ring for the controller's Phase-I term statistics. The
+  // mutex is dispatcher-local, so it is uncontended except while the
+  // controller snapshots the window.
+  std::mutex window_mu;
+  std::deque<StreamTuple> window;
+  size_t window_capacity = 0;
+
+  void RecordWindow(const StreamTuple& t) {
+    std::lock_guard<std::mutex> lock(window_mu);
+    window.push_back(t);
+    if (window.size() > window_capacity) window.pop_front();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Live migration executor: copy -> publish -> drain -> remove
+// ---------------------------------------------------------------------------
+
+// Runs inside ControllerCheck with the writer lock and every worker's Gi2
+// lock held. Each movement installs query *copies* at the destination and
+// rewrites the master routing; removal of the stale source copies is
+// deferred until the pre-swap queue contents have drained (FinishRemovals),
+// so an object routed against the old epoch still finds its queries.
+class ThreadedEngine::LiveMigrationExecutor : public MigrationExecutor {
+ public:
+  explicit LiveMigrationExecutor(ThreadedEngine& engine) : engine_(engine) {}
+
+  MigrationStats MigrateCell(CellId cell, WorkerId from,
+                             WorkerId to) override {
+    MigrationStats stats;
+    if (from == to) return stats;
+    Cluster& c = engine_.cluster_;
+    Gi2Index& src = c.worker(from);
+    stats.bytes = src.CellMigrationBytes(cell);
+    std::vector<STSQuery> queries = src.CellQueries(cell);
+    stats.queries_moved = queries.size();
+    const std::vector<CellId> cells{cell};
+    for (const auto& q : queries) c.worker(to).InsertIntoCells(q, cells);
+    c.router().RemapCellWorker(cell, from, to);
+    removals_.push_back({from, [cell](Gi2Index& g) { g.ExtractCell(cell); }});
+    changed_ = true;
+    return stats;
+  }
+
+  MigrationStats TextSplitCell(
+      CellId cell, WorkerId keep, WorkerId to,
+      const std::unordered_map<TermId, WorkerId>& term_map) override {
+    MigrationStats stats;
+    Cluster& c = engine_.cluster_;
+    GridtIndex& index = c.router();
+    std::vector<STSQuery> queries = c.worker(keep).CellQueries(cell);
+    index.SetCellTextRoute(cell, term_map, {keep, to});
+    std::shared_ptr<const TermRouter> router = index.plan().cells[cell].text;
+    const std::vector<CellId> cells{cell};
+    for (const auto& q : queries) {
+      bool to_other = false;
+      for (const TermId t : q.expr.RoutingTerms(c.vocab())) {
+        index.AddH2(cell, t, router->Route(t));
+        if (router->Route(t) != keep) to_other = true;
+      }
+      if (to_other) {
+        c.worker(to).InsertIntoCells(q, cells);
+        stats.queries_moved++;
+        stats.bytes += q.MemoryBytes();
+      }
+    }
+    const Vocabulary* vocab = &c.vocab();
+    removals_.push_back(
+        {keep, [cell, keep, router, vocab](Gi2Index& g) {
+           // Drop the half that moved: re-index only queries with a term
+           // still routed to `keep`.
+           const std::vector<CellId> cs{cell};
+           for (const auto& q : g.ExtractCell(cell)) {
+             for (const TermId t : q.expr.RoutingTerms(*vocab)) {
+               if (router->Route(t) == keep) {
+                 g.InsertIntoCells(q, cs);
+                 break;
+               }
+             }
+           }
+         }});
+    changed_ = true;
+    return stats;
+  }
+
+  MigrationStats MergeCellTo(CellId cell, WorkerId to) override {
+    MigrationStats stats;
+    Cluster& c = engine_.cluster_;
+    const CellRoute& route = c.router().plan().cells[cell];
+    std::vector<WorkerId> sources;
+    if (route.IsText()) {
+      sources = route.text->workers();
+    } else {
+      sources.push_back(route.worker);
+    }
+    const std::vector<CellId> cells{cell};
+    for (const WorkerId w : sources) {
+      if (w == to) continue;
+      Gi2Index& src = c.worker(w);
+      stats.bytes += src.CellMigrationBytes(cell);
+      for (const auto& q : src.CellQueries(cell)) {
+        c.worker(to).InsertIntoCells(q, cells);
+        stats.queries_moved++;
+      }
+      removals_.push_back({w, [cell](Gi2Index& g) { g.ExtractCell(cell); }});
+    }
+    c.router().SetCellSpaceRoute(cell, to);
+    changed_ = true;
+    return stats;
+  }
+
+  bool changed() const { return changed_; }
+
+  // Called after the new epoch is live and all locks are released.
+  void FinishRemovals() {
+    if (removals_.empty()) return;
+    std::vector<WorkerId> affected;
+    for (const auto& r : removals_) affected.push_back(r.worker);
+    std::sort(affected.begin(), affected.end());
+    affected.erase(std::unique(affected.begin(), affected.end()),
+                   affected.end());
+    auto latch = std::make_shared<Latch>(affected.size());
+    for (const WorkerId w : affected) {
+      WorkItem marker;
+      marker.marker = latch;
+      // A closed queue means the engine is tearing down: its workers have
+      // already drained, so the grace period is over by definition.
+      if (!engine_.queues_[w]->Push(std::move(marker))) latch->CountDown();
+    }
+    latch->Wait();
+    for (const auto& r : removals_) {
+      std::lock_guard<std::mutex> lock(engine_.workers_[r.worker]->mu);
+      r.fn(engine_.cluster_.worker(r.worker));
+    }
+    removals_.clear();
+  }
+
+ private:
+  struct Removal {
+    WorkerId worker;
+    std::function<void(Gi2Index&)> fn;
+  };
+  ThreadedEngine& engine_;
+  std::vector<Removal> removals_;
+  bool changed_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Engine lifecycle
+// ---------------------------------------------------------------------------
+
+ThreadedEngine::ThreadedEngine(Cluster& cluster, EngineOptions options)
+    : cluster_(cluster),
+      options_(std::move(options)),
+      router_(&cluster.router()) {}
+
+ThreadedEngine::~ThreadedEngine() {
+  if (running_) Stop();
+}
+
+void ThreadedEngine::Start() {
+  if (running_) return;
+  const int num_workers = cluster_.num_workers();
+  const int num_dispatchers = std::max(1, options_.num_dispatchers);
+
+  input_ = std::make_unique<BoundedQueue<SeqTuple>>(options_.queue_capacity);
+  queues_.clear();
+  workers_.clear();
+  dispatchers_.clear();
+  for (int w = 0; w < num_workers; ++w) {
+    queues_.push_back(
+        std::make_unique<BoundedQueue<WorkItem>>(options_.queue_capacity));
+    workers_.push_back(std::make_unique<WorkerState>());
+  }
+  for (int d = 0; d < num_dispatchers; ++d) {
+    auto ds = std::make_unique<DispatcherState>();
+    ds->window_capacity =
+        options_.window_capacity / static_cast<size_t>(num_dispatchers) + 1;
+    dispatchers_.push_back(std::move(ds));
+  }
+  controller_ = std::make_unique<LoadController>(options_.controller.config);
+
+  // Starting the engine opens a fresh load-accounting window: the threaded
+  // runtime tracks load in per-worker atomics, and stale synchronous
+  // tallies would otherwise masquerade as live loads (e.g. in the
+  // adjuster's post-migration balance estimate).
+  cluster_.ResetLoadWindow();
+
+  updates_submitted_.store(0);
+  updates_published_.store(0);
+  submitted_objects_ = submitted_inserts_ = submitted_deletes_ = 0;
+  last_check_tuples_ = 0;
+  collected_.clear();
+  ctl_stop_ = false;
+  start_us_ = NowMicros();
+  running_ = true;
+
+  for (int w = 0; w < num_workers; ++w) {
+    worker_threads_.emplace_back(&ThreadedEngine::WorkerLoop, this, w);
+  }
+  for (int d = 0; d < num_dispatchers; ++d) {
+    dispatcher_threads_.emplace_back(&ThreadedEngine::DispatchLoop, this,
+                                     std::ref(*dispatchers_[d]));
+  }
+  if (options_.controller.enabled) {
+    controller_thread_ = std::thread(&ThreadedEngine::ControllerLoop, this);
+  }
+}
+
+bool ThreadedEngine::Submit(const StreamTuple& tuple) {
+  if (!running_) return false;
+  SeqTuple st;
+  st.tuple = tuple;
+  if (tuple.kind == TupleKind::kObject) {
+    st.updates_before = updates_submitted_.load(std::memory_order_relaxed);
+    ++submitted_objects_;
+  } else {
+    st.updates_before =
+        updates_submitted_.fetch_add(1, std::memory_order_relaxed);
+    if (tuple.kind == TupleKind::kQueryInsert) {
+      ++submitted_inserts_;
+    } else {
+      ++submitted_deletes_;
+    }
+  }
+  return input_->Push(std::move(st));
+}
+
+RunReport ThreadedEngine::Stop() {
+  if (!running_) return RunReport{};
+  // Stop the controller first so no drain marker races the queue close.
+  if (controller_thread_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(ctl_mu_);
+      ctl_stop_ = true;
+    }
+    ctl_cv_.notify_all();
+    controller_thread_.join();
+  }
+  input_->Close();
+  for (auto& t : dispatcher_threads_) t.join();
+  dispatcher_threads_.clear();
+  for (auto& q : queues_) q->Close();
+  for (auto& t : worker_threads_) t.join();
+  worker_threads_.clear();
+  wall_seconds_ = static_cast<double>(NowMicros() - start_us_) / 1e6;
+  running_ = false;
+  return AssembleReport();
+}
+
+RunReport ThreadedEngine::Run(const std::vector<StreamTuple>& input) {
+  Start();
+  for (size_t i = 0; i < input.size(); ++i) {
+    if (options_.input_rate_tps > 0.0) {
+      // Pace the stream: tuple i is due at i / rate seconds.
+      const int64_t due_us =
+          start_us_ + static_cast<int64_t>(1e6 * i / options_.input_rate_tps);
+      while (NowMicros() < due_us) {
+        std::this_thread::yield();
+      }
+    }
+    Submit(input[i]);
+  }
+  return Stop();
+}
+
+std::vector<MatchResult> ThreadedEngine::TakeMatches() {
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  std::vector<MatchResult> out;
+  out.swap(collected_);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher threads
+// ---------------------------------------------------------------------------
+
+void ThreadedEngine::DispatchLoop(DispatcherState& ds) {
+  while (true) {
+    std::vector<SeqTuple> batch = input_->PopBatch(options_.batch_size);
+    if (batch.empty()) break;  // closed and drained
+    for (SeqTuple& st : batch) RouteOne(ds, st);
+  }
+}
+
+void ThreadedEngine::RouteOne(DispatcherState& ds, SeqTuple& st) {
+  const StreamTuple& tuple = st.tuple;
+  // Update-ordering gate: all query updates submitted before this tuple
+  // must be enqueued at their workers and published. Updates are a small
+  // fraction of the stream, so this spin is almost always a single load.
+  while (updates_published_.load(std::memory_order_acquire) <
+         st.updates_before) {
+    std::this_thread::yield();
+  }
+  const int64_t now = NowMicros();
+  if (tuple.kind == TupleKind::kObject) {
+    // Epoch handshake with the controller (Dekker pattern — the seq_cst
+    // ordering is load-bearing). First announce "routing, epoch unknown"
+    // (0), *then* read the version: if the controller's barrier scan saw
+    // our idle/newer stamp, this read is ordered after its version store
+    // and must observe the new epoch; otherwise the controller sees the 0
+    // (or a stale stamp) and waits for us. A plain stamp-after-read could
+    // let both sides miss each other through the store buffer, and a
+    // delivery routed against the dead epoch could be enqueued behind the
+    // drain markers.
+    ds.routing_epoch.store(0);
+    const uint64_t version = router_.CurrentVersion();
+    ds.routing_epoch.store(version, std::memory_order_release);
+    if (ds.snapshot == nullptr || ds.snapshot->version < version) {
+      ds.snapshot = router_.Current();
+    }
+    ds.snapshot->RouteObject(tuple.object, &ds.scratch);
+    if (ds.scratch.empty()) {
+      ++ds.stats.objects_discarded;
+    } else {
+      ++ds.stats.objects_routed;
+      ds.stats.object_deliveries += ds.scratch.size();
+      for (const WorkerId w : ds.scratch) {
+        WorkItem item;
+        item.tuple = tuple;
+        item.enqueue_us = now;
+        queues_[w]->Push(std::move(item));
+      }
+    }
+    ds.routing_epoch.store(UINT64_MAX, std::memory_order_release);
+  } else {
+    auto routes = tuple.kind == TupleKind::kQueryInsert
+                      ? router_.RouteInsert(tuple.query, &update_pushes_)
+                      : router_.RouteDelete(tuple.query, &update_pushes_);
+    if (tuple.kind == TupleKind::kQueryInsert) {
+      ++ds.stats.inserts_routed;
+    } else {
+      ++ds.stats.deletes_routed;
+    }
+    for (auto& r : routes) {
+      ++ds.stats.query_deliveries;
+      WorkItem item;
+      item.tuple = tuple;
+      item.cells = std::move(r.cells);
+      item.enqueue_us = now;
+      workers_[r.worker]->query_items_enqueued.fetch_add(1);
+      queues_[r.worker]->Push(std::move(item));
+    }
+    update_pushes_.fetch_sub(1);
+    updates_published_.fetch_add(1, std::memory_order_release);
+  }
+  if (options_.controller.enabled) ds.RecordWindow(tuple);
+}
+
+// ---------------------------------------------------------------------------
+// Worker threads
+// ---------------------------------------------------------------------------
+
+void ThreadedEngine::WorkerLoop(int w) {
+  WorkerState& ws = *workers_[w];
+  Gi2Index& gi2 = cluster_.worker(w);
+  Merger& merger = cluster_.merger();
+  std::vector<MatchResult> matches;
+  while (true) {
+    std::vector<WorkItem> batch = queues_[w]->PopBatch(options_.batch_size);
+    if (batch.empty()) break;  // closed and drained
+    for (WorkItem& item : batch) {
+      if (item.marker != nullptr) {
+        item.marker->CountDown();
+        continue;
+      }
+      switch (item.tuple.kind) {
+        case TupleKind::kObject: {
+          matches.clear();
+          {
+            std::lock_guard<std::mutex> lock(ws.mu);
+            gi2.Match(item.tuple.object, &matches);
+          }
+          ws.objects.fetch_add(1, std::memory_order_relaxed);
+          if (!matches.empty()) {
+            std::lock_guard<std::mutex> lock(merge_mu_);
+            for (const auto& m : matches) {
+              const bool fresh = merger.Accept(m);
+              if (fresh && options_.collect_matches) collected_.push_back(m);
+            }
+          }
+          break;
+        }
+        case TupleKind::kQueryInsert: {
+          {
+            std::lock_guard<std::mutex> lock(ws.mu);
+            gi2.InsertIntoCells(item.tuple.query, item.cells);
+          }
+          ws.inserts.fetch_add(1, std::memory_order_relaxed);
+          ws.query_items_applied.fetch_add(1);
+          break;
+        }
+        case TupleKind::kQueryDelete: {
+          {
+            std::lock_guard<std::mutex> lock(ws.mu);
+            gi2.Delete(item.tuple.query.id);
+          }
+          ws.deletes.fetch_add(1, std::memory_order_relaxed);
+          ws.query_items_applied.fetch_add(1);
+          break;
+        }
+      }
+      ws.tuples++;
+      ws.latency.Record(static_cast<double>(NowMicros() - item.enqueue_us));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Controller thread
+// ---------------------------------------------------------------------------
+
+void ThreadedEngine::ControllerLoop() {
+  std::unique_lock<std::mutex> lock(ctl_mu_);
+  while (!ctl_stop_) {
+    ctl_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.controller.interval_ms));
+    if (ctl_stop_) break;
+    lock.unlock();
+    ControllerCheck();
+    lock.lock();
+  }
+}
+
+void ThreadedEngine::ControllerCheck() {
+  const auto& ctl = options_.controller;
+  const CostModel& cm = ctl.config.adjust.cost;
+
+  // Live per-worker tallies -> Definition-1 loads.
+  uint64_t total_tuples = 0;
+  std::vector<double> loads;
+  std::vector<WorkerLoadTally> tallies;
+  loads.reserve(workers_.size());
+  tallies.reserve(workers_.size());
+  for (const auto& ws : workers_) {
+    WorkerLoadTally t;
+    t.objects = ws->objects.load(std::memory_order_relaxed);
+    t.inserts = ws->inserts.load(std::memory_order_relaxed);
+    t.deletes = ws->deletes.load(std::memory_order_relaxed);
+    total_tuples += t.objects + t.inserts + t.deletes;
+    loads.push_back(WorkerLoad(cm, t));
+    tallies.push_back(t);
+  }
+  if (total_tuples - last_check_tuples_ < ctl.min_tuples) return;
+  last_check_tuples_ = total_tuples;
+  if (BalanceFactor(loads) <= ctl.config.adjust.sigma) return;
+
+  // Phase-I statistics from the dispatcher-local windows.
+  WorkloadSample window;
+  for (const auto& ds : dispatchers_) {
+    std::lock_guard<std::mutex> lock(ds->window_mu);
+    for (const StreamTuple& t : ds->window) {
+      switch (t.kind) {
+        case TupleKind::kObject:
+          window.objects.push_back(t.object);
+          break;
+        case TupleKind::kQueryInsert:
+          window.inserts.push_back(t.query);
+          break;
+        case TupleKind::kQueryDelete:
+          window.deletes.push_back(t.query);
+          break;
+      }
+    }
+  }
+
+  // Decide + copy phase under the writer lock and every worker's Gi2 lock:
+  // dispatchers keep routing objects against the previous epoch, workers
+  // stall briefly (the paper models exactly this migration stall). The new
+  // table is then built off-thread and installed with one atomic swap.
+  LiveMigrationExecutor exec(*this);
+  const bool published = router_.Mutate([&](GridtIndex&) {
+    // Migration barrier, part 1: the writer lock (held here) blocks new
+    // query updates from routing; wait until the ones already routed are
+    // enqueued and applied, so the copy phase sees every query.
+    while (update_pushes_.load() != 0) std::this_thread::yield();
+    for (const auto& ws : workers_) {
+      while (ws->query_items_applied.load() !=
+             ws->query_items_enqueued.load()) {
+        std::this_thread::yield();
+      }
+    }
+    std::vector<std::unique_lock<std::mutex>> locks;
+    locks.reserve(workers_.size());
+    for (const auto& ws : workers_) locks.emplace_back(ws->mu);
+    controller_->Check(cluster_, loads, window, exec);
+    return exec.changed();
+  });
+  // Advisory global evaluation runs outside the critical section: it
+  // builds a whole candidate plan, far too slow to hold the routing writer
+  // lock and worker locks for. It reads only the plan (mutated solely by
+  // this thread) and the window copy.
+  controller_->MaybeEvaluateGlobal(cluster_, window);
+  if (!published) return;
+
+  // Migration barrier, part 2: wait until no dispatcher is still routing
+  // an object against an older epoch, so every old-epoch delivery is in a
+  // worker queue before the drain markers go in behind them.
+  const uint64_t version = router_.CurrentVersion();
+  for (const auto& ds : dispatchers_) {
+    // seq_cst load: the other half of the dispatchers' epoch handshake.
+    while (ds->routing_epoch.load() < version) {
+      std::this_thread::yield();
+    }
+  }
+
+  // Grace period: wait for everything routed against the old epoch to
+  // drain, then remove the stale source copies.
+  exec.FinishRemovals();
+
+  // Start a fresh load-accounting window, as after a paper migration.
+  // Subtract the counts this check observed rather than zeroing: the worker
+  // threads kept incrementing concurrently and those increments belong to
+  // the new window.
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    workers_[w]->objects.fetch_sub(tallies[w].objects,
+                                   std::memory_order_relaxed);
+    workers_[w]->inserts.fetch_sub(tallies[w].inserts,
+                                   std::memory_order_relaxed);
+    workers_[w]->deletes.fetch_sub(tallies[w].deletes,
+                                   std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(workers_[w]->mu);
+    cluster_.worker(static_cast<WorkerId>(w)).ResetObjectCounters();
+  }
+  last_check_tuples_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// Reporting
+// ---------------------------------------------------------------------------
+
+RunReport ThreadedEngine::AssembleReport() {
+  RunReport report;
+  report.wall_seconds = wall_seconds_;
+  wall_seconds_ = 0.0;
+  report.objects = submitted_objects_;
+  report.inserts = submitted_inserts_;
+  report.deletes = submitted_deletes_;
+  report.tuples_processed =
+      submitted_objects_ + submitted_inserts_ + submitted_deletes_;
+  report.throughput_tps = report.wall_seconds > 0
+                              ? report.tuples_processed / report.wall_seconds
+                              : 0.0;
+  report.matches_delivered = cluster_.merger().delivered();
+  report.duplicates_suppressed = cluster_.merger().duplicates();
+  for (const auto& ds : dispatchers_) report.dispatch.Merge(ds->stats);
+  report.objects_discarded = report.dispatch.objects_discarded;
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    report.latency.Merge(workers_[w]->latency);
+    report.per_worker_tuples.push_back(workers_[w]->tuples);
+    report.worker_memory_bytes.push_back(
+        cluster_.WorkerMemoryBytes(static_cast<WorkerId>(w)));
+  }
+  report.dispatcher_memory_bytes = cluster_.DispatcherMemoryBytes();
+  if (controller_ != nullptr) {
+    const LoadController::Totals& t = controller_->totals();
+    report.adjustments = t.adjustments;
+    report.cells_migrated = t.cells_moved;
+    report.queries_migrated = t.queries_moved;
+    report.bytes_migrated = t.bytes_moved;
+  }
+  report.routing_epochs = router_.version();
+  return report;
+}
+
+RunReport RunThreaded(Cluster& cluster, const std::vector<StreamTuple>& input,
+                      const EngineOptions& options) {
+  ThreadedEngine engine(cluster, options);
+  return engine.Run(input);
+}
+
+}  // namespace ps2

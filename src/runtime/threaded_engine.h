@@ -1,0 +1,130 @@
+#ifndef PS2_RUNTIME_THREADED_ENGINE_H_
+#define PS2_RUNTIME_THREADED_ENGINE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dispatch/routing_snapshot.h"
+#include "runtime/engine.h"
+#include "runtime/queue.h"
+
+namespace ps2 {
+
+// The wall-clock runtime: real dispatcher and worker threads over one
+// Cluster — the measured counterpart of the paper's Storm deployment.
+//
+// Concurrency story:
+//   - Object routing is lock-free: dispatcher threads route against the
+//     current immutable RoutingSnapshot (one atomic shared_ptr load).
+//   - Query inserts/deletes serialize on the SnapshotRouter's writer lock,
+//     mutate the master gridt index and incrementally republish the cells
+//     they touched.
+//   - An *update-ordering gate* keeps routing causally consistent with the
+//     submission order: every tuple is stamped with the number of query
+//     updates submitted before it, and no tuple routes until that many
+//     updates have been enqueued to workers and published. Objects
+//     therefore never miss a query that was inserted earlier in the stream
+//     (updates are rare, so the gate is almost always already open).
+//   - The optional controller thread runs the LoadController against live
+//     per-worker tallies. Migrations install live: query copies are placed
+//     at the destination first, the post-migration routing table is built
+//     off-thread and swapped in atomically, drain markers flush the
+//     source's in-flight queue, and only then are the stale source copies
+//     removed — no delivery is lost, transient duplicates die in the
+//     merger.
+class ThreadedEngine : public Engine {
+ public:
+  explicit ThreadedEngine(Cluster& cluster,
+                          EngineOptions options = EngineOptions());
+  ~ThreadedEngine() override;
+
+  ThreadedEngine(const ThreadedEngine&) = delete;
+  ThreadedEngine& operator=(const ThreadedEngine&) = delete;
+
+  std::string name() const override { return "threaded"; }
+
+  // Start + paced Submit of the whole stream + Stop.
+  RunReport Run(const std::vector<StreamTuple>& input) override;
+
+  // --- async facade (PS2Stream::Start/Stop build on these) ------------------
+  // Spawns dispatcher, worker and (if configured) controller threads.
+  void Start();
+  // Enqueues one tuple; blocks under backpressure. Single producer. Returns
+  // false once the engine stopped.
+  bool Submit(const StreamTuple& tuple);
+  // Drains in-flight work, joins all threads and reports the run.
+  RunReport Stop();
+  bool running() const { return running_; }
+
+  // --- introspection --------------------------------------------------------
+  std::shared_ptr<const RoutingSnapshot> routing_snapshot() const {
+    return router_.Current();
+  }
+  // Valid after Start(); survives Stop() for post-run inspection.
+  const LoadController* controller() const { return controller_.get(); }
+  // Matches accepted by the merger (requires options.collect_matches).
+  std::vector<MatchResult> TakeMatches();
+
+ private:
+  struct Latch;
+  struct WorkItem;
+  struct SeqTuple;
+  struct WorkerState;
+  struct DispatcherState;
+  class LiveMigrationExecutor;
+
+  void DispatchLoop(DispatcherState& ds);
+  void RouteOne(DispatcherState& ds, SeqTuple& st);
+  void WorkerLoop(int w);
+  void ControllerLoop();
+  void ControllerCheck();
+  RunReport AssembleReport();
+
+  Cluster& cluster_;
+  EngineOptions options_;
+  SnapshotRouter router_;
+  std::unique_ptr<LoadController> controller_;
+
+  std::unique_ptr<BoundedQueue<SeqTuple>> input_;
+  std::vector<std::unique_ptr<BoundedQueue<WorkItem>>> queues_;
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::vector<std::unique_ptr<DispatcherState>> dispatchers_;
+  std::vector<std::thread> worker_threads_;
+  std::vector<std::thread> dispatcher_threads_;
+  std::thread controller_thread_;
+
+  // Update-ordering gate (see class comment).
+  std::atomic<uint64_t> updates_submitted_{0};
+  std::atomic<uint64_t> updates_published_{0};
+  // Query updates routed but whose deliveries are not yet all enqueued;
+  // part of the controller's migration barrier.
+  std::atomic<int> update_pushes_{0};
+
+  // Submit-side counters (single producer).
+  uint64_t submitted_objects_ = 0;
+  uint64_t submitted_inserts_ = 0;
+  uint64_t submitted_deletes_ = 0;
+
+  std::mutex merge_mu_;
+  std::vector<MatchResult> collected_;
+
+  std::mutex ctl_mu_;
+  std::condition_variable ctl_cv_;
+  bool ctl_stop_ = false;
+  uint64_t last_check_tuples_ = 0;
+
+  // Atomic: the facade's producer thread may call Submit()/running() while
+  // another thread drives Stop().
+  std::atomic<bool> running_{false};
+  int64_t start_us_ = 0;
+  double wall_seconds_ = 0.0;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_RUNTIME_THREADED_ENGINE_H_

@@ -74,6 +74,47 @@ TEST(BoundedQueueTest, BackpressureBlocksProducer) {
   EXPECT_TRUE(pushed.load());
 }
 
+TEST(BoundedQueueTest, CloseReleasesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  q.Push(1);
+  std::atomic<bool> returned{false};
+  std::atomic<bool> result{true};
+  std::thread producer([&] {
+    result = q.Push(2);  // blocks: queue is full
+    returned = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  q.Close();
+  producer.join();
+  EXPECT_TRUE(returned.load());
+  EXPECT_FALSE(result.load());  // Push on a closed queue reports failure
+}
+
+TEST(BoundedQueueTest, PopBatchDrainsAfterClose) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 6; ++i) q.Push(i);
+  q.Close();
+  auto b1 = q.PopBatch(4);
+  ASSERT_EQ(b1.size(), 4u);
+  EXPECT_EQ(b1.front(), 0);
+  auto b2 = q.PopBatch(4);
+  ASSERT_EQ(b2.size(), 2u);
+  EXPECT_EQ(b2.back(), 5);
+  EXPECT_TRUE(q.PopBatch(4).empty());  // closed and drained
+}
+
+TEST(BoundedQueueTest, CloseReleasesBlockedBatchConsumer) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&] {
+    auto batch = q.PopBatch(8);  // blocks: queue is empty
+    EXPECT_TRUE(batch.empty());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  consumer.join();
+}
+
 TEST(BoundedQueueTest, ConcurrentProducersConsumersDeliverAll) {
   BoundedQueue<int> q(64);
   constexpr int kProducers = 4, kPerProducer = 2000, kConsumers = 3;
