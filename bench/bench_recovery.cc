@@ -1,0 +1,129 @@
+// Durability benchmark: WAL append throughput, checkpoint size/time, WAL
+// replay rate and time-to-first-match after a restart, at 100k and 1M
+// subscriptions (override: bench_recovery <subs> [<subs> ...]). Mirrors its
+// tables to BENCH_recovery.json like the figure benches.
+//
+// The "restart" here is a full crash restart: the service is killed without
+// a clean stop, then a fresh PS2Stream Restore()s the directory — loading
+// the latest checkpoint, replaying the WAL tail (the subscriptions that
+// arrived after the checkpoint), rebuilding the GI2 worker indexes and
+// serving its first Publish.
+#include <filesystem>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "persist/durability.h"
+#include "runtime/ps2stream.h"
+
+using namespace ps2;
+using namespace ps2::bench;
+
+namespace {
+
+size_t DirBytes(const std::string& dir, const char* prefix) {
+  size_t total = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) {
+      total += static_cast<size_t>(entry.file_size());
+    }
+  }
+  return total;
+}
+
+void RunOne(size_t num_subs) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ps2_bench_recovery").string();
+  std::filesystem::remove_all(dir);
+
+  Env env = MakeEnv("US", QueryKind::kQ3, /*mu=*/5000,
+                    /*num_objects=*/20000);
+  // The measured subscription load: num_subs standing queries plus a 10%
+  // WAL tail subscribed after the checkpoint.
+  std::vector<STSQuery> subs = env.qgen->Generate(num_subs);
+  const size_t tail = num_subs / 10;
+  std::vector<STSQuery> tail_subs = env.qgen->Generate(tail);
+
+  PS2StreamOptions opts;
+  opts.partition.num_workers = 8;
+  opts.durability.enabled = true;
+  opts.durability.dir = dir;
+  // Group-commit pipeline mode: appends are acknowledged by the flusher in
+  // batches. kFlush would fsync-pace a single-threaded subscribe loop to
+  // disk latency, which measures the disk, not the log.
+  opts.durability.wal_sync = Wal::SyncMode::kAsync;
+
+  PS2Stream service(opts);
+  service.Bootstrap(env.stream.sample);
+
+  Stopwatch sw;
+  for (const auto& q : subs) service.Subscribe(q);
+  service.durable();  // keep the optimizer honest
+  const double subscribe_s = sw.ElapsedSeconds();
+
+  sw.Restart();
+  const bool ckpt_ok = service.Checkpoint();
+  const double checkpoint_s = sw.ElapsedSeconds();
+  const size_t checkpoint_bytes = DirBytes(dir, "checkpoint-");
+
+  sw.Restart();
+  for (const auto& q : tail_subs) service.Subscribe(q);
+  const double tail_s = sw.ElapsedSeconds();
+  service.Kill();  // crash: no clean stop, no final checkpoint
+  const size_t wal_bytes = DirBytes(dir, "wal-");
+
+  sw.Restart();
+  PS2Stream restarted;
+  const bool restored = restarted.Restore(dir);
+  const double restore_s = sw.ElapsedSeconds();
+
+  // Time to first match after restart: one object in a known subscription's
+  // region, published synchronously.
+  const STSQuery& probe = subs.front();
+  SpatioTextualObject o;
+  o.id = 1;
+  o.loc = Point{(probe.region.min_x + probe.region.max_x) / 2,
+                (probe.region.min_y + probe.region.max_y) / 2};
+  o.terms = probe.expr.clauses().front();
+  std::sort(o.terms.begin(), o.terms.end());
+  sw.Restart();
+  const size_t first_matches = restarted.Publish(o).size();
+  const double first_match_s = sw.ElapsedSeconds();
+
+  const uint64_t replayed =
+      restored ? restarted.recovered()->wal.records : 0;
+  PrintCell(static_cast<double>(num_subs), "%.0f");
+  PrintCell(ckpt_ok && restored ? "ok" : "FAILED");
+  PrintCell(subscribe_s > 0 ? (num_subs / subscribe_s) : 0.0, "%.0f");
+  PrintCell(checkpoint_s * 1e3, "%.1f");
+  PrintCell(checkpoint_bytes / 1048576.0, "%.2f");
+  PrintCell(tail_s > 0 ? (tail / tail_s) : 0.0, "%.0f");
+  PrintCell(wal_bytes / 1048576.0, "%.2f");
+  PrintCell(restore_s, "%.3f");
+  PrintCell(restore_s > 0 ? (replayed / restore_s) : 0.0, "%.0f");
+  PrintCell(static_cast<double>(restarted.num_subscriptions()), "%.0f");
+  PrintCell(first_match_s * 1e6, "%.1f");
+  PrintCell(static_cast<double>(first_matches), "%.0f");
+  EndRow();
+
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitBench("recovery");
+  std::vector<size_t> sizes;
+  for (int i = 1; i < argc; ++i) {
+    sizes.push_back(static_cast<size_t>(std::atoll(argv[i])));
+  }
+  if (sizes.empty()) sizes = {100000, 1000000};
+
+  PrintHeader("durability: checkpoint + WAL replay + restart",
+              {"subscriptions", "status", "wal append/s", "ckpt ms",
+               "ckpt MB", "tail append/s", "wal MB", "restore s",
+               "replay rec/s", "recovered subs", "first match us",
+               "matches"});
+  for (const size_t n : sizes) RunOne(n);
+  return 0;
+}

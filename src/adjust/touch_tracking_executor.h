@@ -1,0 +1,51 @@
+#ifndef PS2_ADJUST_TOUCH_TRACKING_EXECUTOR_H_
+#define PS2_ADJUST_TOUCH_TRACKING_EXECUTOR_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "adjust/migration_executor.h"
+
+namespace ps2 {
+
+// Decorator recording which cells an adjustment rewrote, in operation
+// order, deduplicated. Both runtimes wrap their executor in one of these
+// and journal the touched cells' resulting routes to the WAL afterwards —
+// keeping the "every installed migration reaches the log" invariant in one
+// place instead of per-executor.
+class TouchTrackingExecutor : public MigrationExecutor {
+ public:
+  explicit TouchTrackingExecutor(MigrationExecutor& inner) : inner_(inner) {}
+
+  MigrationStats MigrateCell(CellId cell, WorkerId from,
+                             WorkerId to) override {
+    Touch(cell);
+    return inner_.MigrateCell(cell, from, to);
+  }
+  MigrationStats TextSplitCell(
+      CellId cell, WorkerId keep, WorkerId to,
+      const std::unordered_map<TermId, WorkerId>& term_map) override {
+    Touch(cell);
+    return inner_.TextSplitCell(cell, keep, to, term_map);
+  }
+  MigrationStats MergeCellTo(CellId cell, WorkerId to) override {
+    Touch(cell);
+    return inner_.MergeCellTo(cell, to);
+  }
+
+  const std::vector<CellId>& touched_cells() const { return touched_; }
+
+ private:
+  void Touch(CellId cell) {
+    if (std::find(touched_.begin(), touched_.end(), cell) == touched_.end()) {
+      touched_.push_back(cell);
+    }
+  }
+
+  MigrationExecutor& inner_;
+  std::vector<CellId> touched_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_ADJUST_TOUCH_TRACKING_EXECUTOR_H_

@@ -140,6 +140,11 @@ std::vector<PartitionPlan::QueryRoute> SnapshotRouter::RouteDelete(
   return routes;
 }
 
+PartitionPlan SnapshotRouter::PlanCopy() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return master_->plan();
+}
+
 bool SnapshotRouter::Mutate(const std::function<bool(GridtIndex&)>& fn) {
   std::lock_guard<std::mutex> lock(mu_);
   if (!fn(*master_)) return false;

@@ -101,6 +101,11 @@ class SnapshotRouter {
 
   uint64_t version() const { return Current()->version; }
 
+  // Consistent copy of the master's PartitionPlan (H1 + installed
+  // migrations), taken under the writer lock so it never interleaves with a
+  // controller mutation. Checkpoints capture plans through this.
+  PartitionPlan PlanCopy();
+
   GridtIndex& master() { return *master_; }
 
  private:

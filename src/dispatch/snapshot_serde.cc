@@ -1,0 +1,82 @@
+#include "dispatch/snapshot_serde.h"
+
+#include <algorithm>
+
+namespace ps2 {
+
+void WriteSnapshot(ByteWriter& w, const RoutingSnapshot& snapshot) {
+  const Rect& b = snapshot.grid.bounds();
+  w.Pod<double>(b.min_x);
+  w.Pod<double>(b.min_y);
+  w.Pod<double>(b.max_x);
+  w.Pod<double>(b.max_y);
+  w.Pod<int32_t>(snapshot.grid.k());
+  w.Pod<uint64_t>(snapshot.version);
+  w.Pod<uint32_t>(static_cast<uint32_t>(snapshot.NumCells()));
+  for (CellId c = 0; c < snapshot.NumCells(); ++c) {
+    const RoutingSnapshot::Cell& cell = snapshot.cell(c);
+    w.Pod<int32_t>(cell.worker);
+    w.Pod<uint8_t>(cell.IsText() ? 1 : 0);
+    if (!cell.IsText()) continue;
+    w.Pod<uint32_t>(static_cast<uint32_t>(cell.text->h2.size()));
+    for (const auto& [term, workers] : cell.text->h2) {
+      w.Pod<uint32_t>(term);
+      w.Pod<uint32_t>(static_cast<uint32_t>(workers.size()));
+      for (const WorkerId worker : workers) w.Pod<int32_t>(worker);
+    }
+  }
+}
+
+bool ReadSnapshot(ByteReader& r, const std::vector<TermId>& remap,
+                  RoutingSnapshot* out) {
+  const double mnx = r.Pod<double>();
+  const double mny = r.Pod<double>();
+  const double mxx = r.Pod<double>();
+  const double mxy = r.Pod<double>();
+  const int32_t k = r.Pod<int32_t>();
+  const uint64_t version = r.Pod<uint64_t>();
+  if (!r.ok() || k < 0 || k > 15) return false;
+  out->grid = GridSpec(Rect(mnx, mny, mxx, mxy), k);
+  out->version = version;
+
+  const uint32_t num_cells = r.Pod<uint32_t>();
+  if (!r.FitsCount(num_cells, sizeof(int32_t) + 1)) return false;
+  if (num_cells != out->grid.NumCells()) return false;
+  out->chunks.clear();
+  std::shared_ptr<RoutingSnapshot::Chunk> chunk;
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    if (c % RoutingSnapshot::kCellsPerChunk == 0) {
+      chunk = std::make_shared<RoutingSnapshot::Chunk>();
+      chunk->reserve(std::min<size_t>(RoutingSnapshot::kCellsPerChunk,
+                                      num_cells - c));
+      out->chunks.push_back(chunk);
+    }
+    RoutingSnapshot::Cell cell;
+    cell.worker = r.Pod<int32_t>();
+    const uint8_t is_text = r.Pod<uint8_t>();
+    if (is_text != 0) {
+      const uint32_t num_terms = r.Pod<uint32_t>();
+      if (!r.FitsCount(num_terms, 2 * sizeof(uint32_t))) return false;
+      auto text = std::make_shared<RoutingSnapshot::TextCell>();
+      text->h2.reserve(num_terms);
+      for (uint32_t t = 0; t < num_terms && r.ok(); ++t) {
+        const uint32_t file_term = r.Pod<uint32_t>();
+        const uint32_t num_workers = r.Pod<uint32_t>();
+        if (!r.FitsCount(num_workers, sizeof(int32_t))) return false;
+        // Ids beyond the remap table are raw-id-world terms; pass through.
+        std::vector<WorkerId>& workers =
+            text->h2[file_term < remap.size() ? remap[file_term] : file_term];
+        workers.reserve(num_workers);
+        for (uint32_t i = 0; i < num_workers && r.ok(); ++i) {
+          workers.push_back(r.Pod<int32_t>());
+        }
+      }
+      cell.text = std::move(text);
+    }
+    if (!r.ok()) return false;
+    chunk->push_back(std::move(cell));
+  }
+  return r.ok();
+}
+
+}  // namespace ps2

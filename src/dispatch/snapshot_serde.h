@@ -1,0 +1,33 @@
+#ifndef PS2_DISPATCH_SNAPSHOT_SERDE_H_
+#define PS2_DISPATCH_SNAPSHOT_SERDE_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "dispatch/routing_snapshot.h"
+
+namespace ps2 {
+
+// Binary serialization of a RoutingSnapshot — the live (H2) half of the
+// routing state: which terms currently key live queries, per cell, and the
+// workers holding them. Checkpoints embed one so inspection tools and
+// recovery diagnostics can see exactly what the dispatchers were routing
+// against, without re-deriving it from the query set.
+//
+// Term ids are file-relative like in plan_serde: the surrounding format
+// serializes the vocabulary and hands ReadSnapshot the remap table.
+//
+// Layout (little-endian):
+//   bounds f64 x4, k i32, u64 version
+//   u32 #cells, per cell: i32 worker, u8 is_text,
+//     text: u32 #terms, per term: u32 term, u32 #workers, i32 workers[]
+void WriteSnapshot(ByteWriter& w, const RoutingSnapshot& snapshot);
+
+// Decodes into `out`, rebuilding the chunked copy-on-write layout. Returns
+// false on malformed input.
+bool ReadSnapshot(ByteReader& r, const std::vector<TermId>& remap,
+                  RoutingSnapshot* out);
+
+}  // namespace ps2
+
+#endif  // PS2_DISPATCH_SNAPSHOT_SERDE_H_

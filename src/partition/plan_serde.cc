@@ -1,0 +1,108 @@
+#include "partition/plan_serde.h"
+
+#include <unordered_map>
+
+namespace ps2 {
+namespace {
+
+constexpr uint32_t kNoRouter = ~uint32_t{0};
+
+}  // namespace
+
+void WritePlan(ByteWriter& w, const PartitionPlan& plan) {
+  const Rect& b = plan.grid.bounds();
+  w.Pod<double>(b.min_x);
+  w.Pod<double>(b.min_y);
+  w.Pod<double>(b.max_x);
+  w.Pod<double>(b.max_y);
+  w.Pod<int32_t>(plan.grid.k());
+  w.Pod<int32_t>(plan.num_workers);
+
+  // Deduplicate shared TermRouters by identity.
+  std::unordered_map<const TermRouter*, uint32_t> router_index;
+  std::vector<const TermRouter*> routers;
+  for (const CellRoute& c : plan.cells) {
+    if (c.IsText() && router_index.emplace(c.text.get(),
+                                           routers.size()).second) {
+      routers.push_back(c.text.get());
+    }
+  }
+  w.Pod<uint32_t>(static_cast<uint32_t>(routers.size()));
+  for (const TermRouter* router : routers) {
+    w.Pod<uint32_t>(static_cast<uint32_t>(router->workers().size()));
+    for (const WorkerId worker : router->workers()) w.Pod<int32_t>(worker);
+    w.Pod<uint32_t>(static_cast<uint32_t>(router->term_map().size()));
+    for (const auto& [term, worker] : router->term_map()) {
+      w.Pod<uint32_t>(term);
+      w.Pod<int32_t>(worker);
+    }
+  }
+  w.Pod<uint32_t>(static_cast<uint32_t>(plan.cells.size()));
+  for (const CellRoute& c : plan.cells) {
+    w.Pod<int32_t>(c.worker);
+    w.Pod<uint32_t>(c.IsText() ? router_index[c.text.get()] : kNoRouter);
+  }
+}
+
+bool ReadPlan(ByteReader& r, const std::vector<TermId>& remap,
+              PartitionPlan* out) {
+  const double mnx = r.Pod<double>();
+  const double mny = r.Pod<double>();
+  const double mxx = r.Pod<double>();
+  const double mxy = r.Pod<double>();
+  const int32_t k = r.Pod<int32_t>();
+  const int32_t num_workers = r.Pod<int32_t>();
+  if (!r.ok() || k < 0 || k > 15 || num_workers < 0) return false;
+  out->grid = GridSpec(Rect(mnx, mny, mxx, mxy), k);
+  out->num_workers = num_workers;
+
+  const uint32_t num_routers = r.Pod<uint32_t>();
+  if (!r.FitsCount(num_routers, 8)) return false;
+  std::vector<std::shared_ptr<const TermRouter>> routers;
+  routers.reserve(num_routers);
+  for (uint32_t i = 0; i < num_routers && r.ok(); ++i) {
+    const uint32_t num_router_workers = r.Pod<uint32_t>();
+    if (!r.FitsCount(num_router_workers, sizeof(int32_t))) return false;
+    std::vector<WorkerId> workers;
+    workers.reserve(num_router_workers);
+    for (uint32_t j = 0; j < num_router_workers && r.ok(); ++j) {
+      workers.push_back(r.Pod<int32_t>());
+    }
+    const uint32_t num_terms = r.Pod<uint32_t>();
+    if (!r.FitsCount(num_terms, sizeof(uint32_t) + sizeof(int32_t))) {
+      return false;
+    }
+    std::unordered_map<TermId, WorkerId> term_map;
+    term_map.reserve(num_terms);
+    for (uint32_t j = 0; j < num_terms && r.ok(); ++j) {
+      const uint32_t file_term = r.Pod<uint32_t>();
+      const int32_t worker = r.Pod<int32_t>();
+      // Ids beyond the remap table belong to the raw-id world (terms the
+      // writing vocabulary never interned); they pass through verbatim.
+      term_map[file_term < remap.size() ? remap[file_term] : file_term] =
+          worker;
+    }
+    if (!r.ok()) return false;
+    routers.push_back(std::make_shared<const TermRouter>(std::move(term_map),
+                                                         std::move(workers)));
+  }
+
+  const uint32_t num_cells = r.Pod<uint32_t>();
+  if (!r.FitsCount(num_cells, sizeof(int32_t) + sizeof(uint32_t))) {
+    return false;
+  }
+  if (num_cells != out->grid.NumCells()) return false;
+  out->cells.clear();
+  out->cells.resize(num_cells);
+  for (uint32_t c = 0; c < num_cells && r.ok(); ++c) {
+    out->cells[c].worker = r.Pod<int32_t>();
+    const uint32_t router = r.Pod<uint32_t>();
+    if (router != kNoRouter) {
+      if (router >= routers.size()) return false;
+      out->cells[c].text = routers[router];
+    }
+  }
+  return r.ok();
+}
+
+}  // namespace ps2

@@ -1,0 +1,38 @@
+#ifndef PS2_PARTITION_PLAN_SERDE_H_
+#define PS2_PARTITION_PLAN_SERDE_H_
+
+#include <vector>
+
+#include "common/bytes.h"
+#include "partition/plan.h"
+
+namespace ps2 {
+
+// Binary serialization of a PartitionPlan (the durable half of the gridt
+// routing state — H1). Term ids are written as-is; they reference whatever
+// vocabulary the plan was built against, so a surrounding format (the
+// checkpoint) must serialize that vocabulary first and hand ReadPlan the
+// file-id -> target-id remap table produced by re-interning it.
+//
+// TermRouters are shared across the cells of one kdt-tree leaf; the encoding
+// preserves that sharing (distinct routers are written once, cells reference
+// them by index), so a round trip neither balloons memory nor severs the
+// structural identity the adjusters rely on.
+//
+// Layout (little-endian, via ByteWriter):
+//   bounds f64 x4, k i32, num_workers i32
+//   u32 #routers, per router: u32 #workers, i32 workers[],
+//                             u32 #terms, (u32 term, i32 worker)[]
+//   u32 #cells, per cell: i32 worker, u32 router_index (kNoRouter = space)
+void WritePlan(ByteWriter& w, const PartitionPlan& plan);
+
+// Decodes into `out`, mapping every term id through `remap` (file id ->
+// target vocabulary id); ids beyond the table pass through verbatim (terms
+// the writing vocabulary never interned — raw-id embeddings). Returns false
+// on malformed input (reader poisoned, out-of-range router indexes).
+bool ReadPlan(ByteReader& r, const std::vector<TermId>& remap,
+              PartitionPlan* out);
+
+}  // namespace ps2
+
+#endif  // PS2_PARTITION_PLAN_SERDE_H_

@@ -1,0 +1,148 @@
+#include "persist/checkpoint.h"
+
+#include <cstdio>
+#include <memory>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/bytes.h"
+#include "dispatch/snapshot_serde.h"
+#include "partition/plan_serde.h"
+#include "persist/record_codec.h"
+
+namespace ps2 {
+namespace {
+
+constexpr char kCheckpointMagic[4] = {'P', 'S', '2', 'C'};
+constexpr uint32_t kCheckpointVersion = 1;
+
+}  // namespace
+
+bool WriteCheckpointFile(const std::string& path, const CheckpointView& view) {
+  ByteWriter p;
+  p.Pod<uint64_t>(view.seq);
+  p.Pod<uint64_t>(view.last_lsn);
+  p.Pod<uint64_t>(view.next_query_id);
+  p.Pod<uint64_t>(view.next_object_id);
+
+  const Vocabulary& vocab = *view.vocab;
+  p.Pod<uint64_t>(vocab.size());
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    const TermId t = static_cast<TermId>(i);
+    p.Str(vocab.TermString(t));
+    p.Pod<uint64_t>(vocab.Count(t));
+  }
+
+  WritePlan(p, *view.plan);
+
+  p.Pod<uint8_t>(view.snapshot != nullptr ? 1 : 0);
+  if (view.snapshot != nullptr) WriteSnapshot(p, *view.snapshot);
+
+  p.Pod<uint64_t>(view.queries.size());
+  for (const STSQuery* q : view.queries) {
+    WriteQueryRecord(
+        p, *q, [](ByteWriter& out, TermId t) { out.Pod<uint32_t>(t); });
+  }
+
+  ByteWriter header;
+  header.Bytes(kCheckpointMagic, 4);
+  header.Pod<uint32_t>(kCheckpointVersion);
+  header.Pod<uint64_t>(p.size());
+  header.Pod<uint32_t>(Crc32(p.buffer()));
+
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (file == nullptr) return false;
+  if (std::fwrite(header.buffer().data(), 1, header.size(), file.get()) !=
+          header.size() ||
+      std::fwrite(p.buffer().data(), 1, p.size(), file.get()) != p.size()) {
+    return false;
+  }
+  if (std::fflush(file.get()) != 0) return false;
+#if defined(__unix__) || defined(__APPLE__)
+  // The previous checkpoint generation is garbage-collected right after the
+  // commit, so this file must actually be on disk — not just in the page
+  // cache — before CURRENT can point at it.
+  if (::fdatasync(::fileno(file.get())) != 0) return false;
+#endif
+  return true;
+}
+
+bool ReadCheckpointFile(const std::string& path, CheckpointData* out) {
+  std::string data;
+  {
+    std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+        std::fopen(path.c_str(), "rb"), &std::fclose);
+    if (file == nullptr) return false;
+    std::fseek(file.get(), 0, SEEK_END);
+    const long size = std::ftell(file.get());
+    std::fseek(file.get(), 0, SEEK_SET);
+    if (size < 0) return false;
+    data.resize(static_cast<size_t>(size));
+    if (std::fread(data.data(), 1, data.size(), file.get()) != data.size()) {
+      return false;
+    }
+  }
+
+  ByteReader h(data);
+  char magic[4];
+  h.Bytes(magic, 4);
+  if (!h.ok() || std::memcmp(magic, kCheckpointMagic, 4) != 0) return false;
+  if (h.Pod<uint32_t>() != kCheckpointVersion) return false;
+  const uint64_t payload_len = h.Pod<uint64_t>();
+  const uint32_t crc = h.Pod<uint32_t>();
+  if (!h.ok() || payload_len != h.remaining()) return false;
+  const char* payload = data.data() + h.pos();
+  if (Crc32(payload, payload_len) != crc) return false;
+
+  ByteReader r(payload, payload_len);
+  out->seq = r.Pod<uint64_t>();
+  out->last_lsn = r.Pod<uint64_t>();
+  out->next_query_id = r.Pod<uint64_t>();
+  out->next_object_id = r.Pod<uint64_t>();
+
+  const uint64_t num_terms = r.Pod<uint64_t>();
+  if (!r.FitsCount(num_terms, sizeof(uint32_t) + sizeof(uint64_t))) {
+    return false;
+  }
+  std::vector<TermId> remap;
+  remap.reserve(num_terms);
+  for (uint64_t i = 0; i < num_terms && r.ok(); ++i) {
+    const std::string term = r.Str();
+    const uint64_t count = r.Pod<uint64_t>();
+    if (!r.ok()) return false;
+    const TermId id = out->vocab.Intern(term);
+    if (count > 0) out->vocab.AddCount(id, count);
+    remap.push_back(id);
+  }
+
+  if (!ReadPlan(r, remap, &out->plan)) return false;
+
+  const uint8_t has_snapshot = r.Pod<uint8_t>();
+  out->has_snapshot = has_snapshot != 0;
+  if (out->has_snapshot && !ReadSnapshot(r, remap, &out->snapshot)) {
+    return false;
+  }
+
+  const uint64_t num_queries = r.Pod<uint64_t>();
+  if (!r.FitsCount(num_queries, sizeof(uint64_t) + 4 * sizeof(double))) {
+    return false;
+  }
+  out->queries.clear();
+  out->queries.reserve(num_queries);
+  for (uint64_t i = 0; i < num_queries && r.ok(); ++i) {
+    STSQuery q;
+    const bool ok = ReadQueryRecord(r, &q, [&](ByteReader& in) {
+      const uint32_t file_term = in.Pod<uint32_t>();
+      // Raw-id-world terms (no string ever interned) pass through.
+      return file_term < remap.size() ? remap[file_term] : file_term;
+    });
+    if (!ok) return false;
+    out->queries.push_back(std::move(q));
+  }
+  return r.ok();
+}
+
+}  // namespace ps2

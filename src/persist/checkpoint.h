@@ -1,0 +1,74 @@
+#ifndef PS2_PERSIST_CHECKPOINT_H_
+#define PS2_PERSIST_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "dispatch/routing_snapshot.h"
+#include "partition/plan.h"
+#include "text/vocabulary.h"
+
+namespace ps2 {
+
+// A checkpoint is one self-contained file capturing everything needed to
+// stand the service back up: the vocabulary (terms + frequency counts), the
+// PartitionPlan (H1 — including every migration installed so far), the
+// current RoutingSnapshot (H2 — informational/diagnostic), all live
+// subscriptions, and the id high-waters. Together with the WAL segment
+// started at the same moment it forms one recovery point.
+//
+// File layout (little-endian):
+//   magic "PS2C", u32 version, u64 payload_len, u32 crc32(payload), payload
+// The payload is rejected wholesale on CRC mismatch — a checkpoint is only
+// ever referenced by CURRENT after it was fully written and flushed, so a
+// bad CRC means disk corruption, not a torn write.
+//
+// Payload sections:
+//   u64 seq, u64 last_lsn (WAL high-water covered by this checkpoint)
+//   u64 next_query_id, u64 next_object_id
+//   vocab:    u64 #terms, per term: str, u64 count   (id = position)
+//   plan:     plan_serde (term ids are vocab positions)
+//   snapshot: u8 present, snapshot_serde             (optional)
+//   queries:  u64 #queries, per query: u64 id, region f64 x4,
+//             u32 #clauses, per clause: u32 #terms, u32 terms[]
+
+// Borrowed view of the state to capture (nothing is copied until
+// serialization).
+struct CheckpointView {
+  uint64_t seq = 0;
+  uint64_t last_lsn = 0;
+  QueryId next_query_id = 1;
+  ObjectId next_object_id = 1;
+  const Vocabulary* vocab = nullptr;
+  const PartitionPlan* plan = nullptr;
+  const RoutingSnapshot* snapshot = nullptr;  // optional
+  std::vector<const STSQuery*> queries;
+};
+
+// Decoded checkpoint. The vocabulary is rebuilt by interning in file order,
+// so term ids inside `plan`, `snapshot` and `queries` are valid against it.
+struct CheckpointData {
+  uint64_t seq = 0;
+  uint64_t last_lsn = 0;
+  QueryId next_query_id = 1;
+  ObjectId next_object_id = 1;
+  Vocabulary vocab;
+  PartitionPlan plan;
+  bool has_snapshot = false;
+  RoutingSnapshot snapshot;
+  std::vector<STSQuery> queries;
+};
+
+// Writes (and flushes) the checkpoint file at `path`. Returns false on I/O
+// failure; a partial file is left behind but is harmless — it is never
+// referenced until the caller commits it via CURRENT.
+bool WriteCheckpointFile(const std::string& path, const CheckpointView& view);
+
+// Loads and validates (magic, version, CRC) the checkpoint at `path`.
+bool ReadCheckpointFile(const std::string& path, CheckpointData* out);
+
+}  // namespace ps2
+
+#endif  // PS2_PERSIST_CHECKPOINT_H_

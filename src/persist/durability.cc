@@ -1,0 +1,286 @@
+#include "persist/durability.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <unordered_map>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+namespace ps2 {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Makes renames/creations/unlinks inside `dir` durable: without an fsync of
+// the directory itself, an OS crash can persist a file's data but not its
+// directory entry (or a rename), leaving CURRENT pointing at nothing.
+void SyncDirectory(const std::string& dir) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)dir;
+#endif
+}
+
+}  // namespace
+
+DurabilityManager::DurabilityManager(DurabilityConfig config)
+    : config_(std::move(config)), wal_(Wal::Options{config_.wal_sync}) {}
+
+DurabilityManager::~DurabilityManager() { wal_.Close(); }
+
+std::string DurabilityManager::CheckpointPath(const std::string& dir,
+                                              uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/checkpoint-%06llu.ps2c",
+                static_cast<unsigned long long>(seq));
+  return dir + buf;
+}
+
+std::string DurabilityManager::WalPath(const std::string& dir, uint64_t seq) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "/wal-%06llu.log",
+                static_cast<unsigned long long>(seq));
+  return dir + buf;
+}
+
+std::string DurabilityManager::CurrentPath(const std::string& dir) {
+  return dir + "/CURRENT";
+}
+
+uint64_t DurabilityManager::ReadCurrentSeq(const std::string& dir) {
+  std::FILE* f = std::fopen(CurrentPath(dir).c_str(), "rb");
+  if (f == nullptr) return 0;
+  char buf[32] = {0};
+  const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  if (n == 0) return 0;
+  return std::strtoull(buf, nullptr, 10);
+}
+
+bool DurabilityManager::Initialize(const CheckpointView& view) {
+  std::error_code ec;
+  fs::create_directories(config_.dir, ec);
+  if (ec) return false;
+  // Never initialize over existing durable state: rewriting CURRENT and
+  // appending to an old WAL segment with restarted LSNs would interleave
+  // two incarnations' records. The caller either Restore()s this
+  // directory or wipes it explicitly.
+  if (ReadCurrentSeq(config_.dir) != 0) return false;
+  CheckpointView v = view;
+  v.seq = 1;
+  v.last_lsn = 0;
+  if (!WriteCheckpointFile(CheckpointPath(config_.dir, 1), v)) return false;
+  if (!CommitCurrent(1)) return false;
+  if (!wal_.Open(WalPath(config_.dir, 1), 1, 1)) return false;
+  seq_ = 1;
+  last_checkpoint_lsn_ = 0;
+  return true;
+}
+
+bool DurabilityManager::Resume(uint64_t seq, uint64_t next_lsn) {
+  // Recovery's timeline ends at segment `seq` (a torn record cuts the
+  // chain there). Any segment beyond it holds records of the previous
+  // incarnation that recovery did NOT apply — if one survived, a later
+  // rotation would append this incarnation's records after the stale ones
+  // and the next recovery would resurrect them. Remove them first.
+  std::error_code ec;
+  for (uint64_t s = seq + 1;; ++s) {
+    const std::string stale = WalPath(config_.dir, s);
+    if (!fs::exists(stale, ec) || ec) break;
+    fs::remove(stale, ec);
+    if (ec) return false;
+  }
+  if (!wal_.Open(WalPath(config_.dir, seq), seq, next_lsn)) return false;
+  seq_ = seq;
+  // Resume counts records toward the next automatic checkpoint from here;
+  // the backlog already replayed is the caller's cue to checkpoint early.
+  last_checkpoint_lsn_ = next_lsn - 1;
+  return true;
+}
+
+bool DurabilityManager::ShouldCheckpoint() const {
+  return config_.checkpoint_every > 0 &&
+         wal_.next_lsn() - 1 >= last_checkpoint_lsn_ + config_.checkpoint_every;
+}
+
+uint64_t DurabilityManager::BeginCheckpoint() {
+  if (!wal_.open()) return 0;
+  const uint64_t next_seq = seq_ + 1;
+  pending_last_lsn_ = wal_.next_lsn() - 1;
+  if (!wal_.Rotate(WalPath(config_.dir, next_seq), next_seq)) return 0;
+  return next_seq;
+}
+
+bool DurabilityManager::CommitCheckpoint(uint64_t seq, CheckpointView view) {
+  view.seq = seq;
+  view.last_lsn = pending_last_lsn_;
+  if (!WriteCheckpointFile(CheckpointPath(config_.dir, seq), view)) {
+    return false;
+  }
+  if (!CommitCurrent(seq)) return false;
+  seq_ = seq;
+  last_checkpoint_lsn_ = pending_last_lsn_;
+  GarbageCollect(seq);
+  return true;
+}
+
+bool DurabilityManager::CommitCurrent(uint64_t seq) {
+  const std::string tmp = CurrentPath(config_.dir) + ".tmp";
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) return false;
+    char buf[32];
+    const int n = std::snprintf(buf, sizeof(buf), "%llu\n",
+                                static_cast<unsigned long long>(seq));
+    bool ok = std::fwrite(buf, 1, n, f) == static_cast<size_t>(n) &&
+              std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+    ok = ok && ::fdatasync(::fileno(f)) == 0;
+#endif
+    std::fclose(f);
+    if (!ok) return false;
+  }
+  // The new checkpoint file's directory entry must be durable before
+  // CURRENT references it.
+  SyncDirectory(config_.dir);
+  std::error_code ec;
+  fs::rename(tmp, CurrentPath(config_.dir), ec);  // atomic commit point
+  if (ec) return false;
+  SyncDirectory(config_.dir);
+  return true;
+}
+
+void DurabilityManager::GarbageCollect(uint64_t keep_seq) {
+  // Everything below gc_floor_ was already removed by earlier passes (the
+  // first pass of a process sweeps from 1, also catching leftovers of a
+  // predecessor that crashed before its GC) — without the floor, a
+  // long-lived service would pay O(total checkpoints ever) no-op unlinks
+  // per checkpoint, inline on the subscribe path.
+  std::error_code ec;
+  for (uint64_t s = gc_floor_; s < keep_seq; ++s) {
+    fs::remove(CheckpointPath(config_.dir, s), ec);
+    fs::remove(WalPath(config_.dir, s), ec);
+  }
+  gc_floor_ = std::max(gc_floor_, keep_seq);
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+bool RecoverState(const std::string& dir, RecoveredState* out,
+                  bool truncate_torn) {
+  const uint64_t seq = DurabilityManager::ReadCurrentSeq(dir);
+  if (seq == 0) return false;
+  CheckpointData ckpt;
+  if (!ReadCheckpointFile(DurabilityManager::CheckpointPath(dir, seq),
+                          &ckpt)) {
+    return false;
+  }
+  out->vocab = std::move(ckpt.vocab);
+  out->plan = std::move(ckpt.plan);
+  out->checkpoint_seq = seq;
+  out->last_lsn = ckpt.last_lsn;
+  out->next_query_id = ckpt.next_query_id;
+  out->next_object_id = ckpt.next_object_id;
+  out->had_snapshot = ckpt.has_snapshot;
+  if (ckpt.has_snapshot) out->snapshot = std::move(ckpt.snapshot);
+
+  // Live set: checkpointed queries + WAL subscribe/unsubscribe deltas.
+  // Insertion order is preserved so recovery re-inserts queries in the
+  // order they originally arrived.
+  std::vector<STSQuery> live = std::move(ckpt.queries);
+  // Unsubscribed entries are marked dead in place (not by mangling the id:
+  // id 0 is a legal query id) and compacted at the end.
+  std::vector<char> dead(live.size(), 0);
+  std::unordered_map<QueryId, size_t> index;
+  index.reserve(live.size());
+  for (size_t i = 0; i < live.size(); ++i) index[live[i].id] = i;
+
+  // Replay the WAL segment chain from the committed checkpoint forward. A
+  // crash between BeginCheckpoint and CommitCheckpoint leaves records of
+  // the *next* (uncommitted) segment live — walking the chain picks them
+  // up; LSN filtering makes overlaps harmless.
+  uint64_t after_lsn = ckpt.last_lsn;
+  for (uint64_t s = seq;; ++s) {
+    const std::string wal_path = DurabilityManager::WalPath(dir, s);
+    std::error_code ec;
+    if (!std::filesystem::exists(wal_path, ec) || ec) break;
+    WalReplayStats stats;
+    const bool ok = ReplayWal(
+        wal_path, after_lsn, out->vocab,
+        [&](WalRecordView& rec) {
+          switch (rec.type) {
+            case Wal::RecordType::kSubscribe: {
+              // Every replayed id advances the high-water, even if a later
+              // unsubscribe kills the query — reissuing a dead id would
+              // cross-wire a client still holding it.
+              out->next_query_id =
+                  std::max(out->next_query_id, rec.query.id + 1);
+              auto it = index.find(rec.query.id);
+              if (it != index.end()) {
+                live[it->second] = std::move(rec.query);
+                dead[it->second] = 0;
+              } else {
+                index[rec.query.id] = live.size();
+                live.push_back(std::move(rec.query));
+                dead.push_back(0);
+              }
+              break;
+            }
+            case Wal::RecordType::kUnsubscribe: {
+              auto it = index.find(rec.query_id);
+              if (it != index.end()) {
+                dead[it->second] = 1;
+                index.erase(it);
+              }
+              break;
+            }
+            case Wal::RecordType::kCellRoute:
+              if (rec.cell < out->plan.cells.size()) {
+                out->plan.cells[rec.cell] = rec.route;
+              }
+              break;
+          }
+        },
+        &stats, truncate_torn);
+    if (!ok) break;  // unreadable segment ends the chain, keep what we have
+    ++out->wal_segments;
+    out->wal.records += stats.records;
+    out->wal.subscribes += stats.subscribes;
+    out->wal.unsubscribes += stats.unsubscribes;
+    out->wal.cell_routes += stats.cell_routes;
+    out->wal.bytes_replayed += stats.bytes_replayed;
+    out->wal.truncated |= stats.truncated;
+    out->wal.truncated_bytes += stats.truncated_bytes;
+    if (stats.last_lsn > 0) {
+      out->wal.last_lsn = stats.last_lsn;
+      out->last_lsn = std::max(out->last_lsn, stats.last_lsn);
+      after_lsn = std::max(after_lsn, stats.last_lsn);
+    }
+    if (stats.truncated) break;  // nothing after a torn tail is trustworthy
+  }
+
+  out->queries.clear();
+  out->queries.reserve(index.size());
+  for (size_t i = 0; i < live.size(); ++i) {
+    if (!dead[i]) {
+      out->next_query_id = std::max(out->next_query_id, live[i].id + 1);
+      out->queries.push_back(std::move(live[i]));
+    }
+  }
+  return true;
+}
+
+}  // namespace ps2

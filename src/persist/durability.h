@@ -1,0 +1,138 @@
+#ifndef PS2_PERSIST_DURABILITY_H_
+#define PS2_PERSIST_DURABILITY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "persist/checkpoint.h"
+#include "persist/wal.h"
+
+namespace ps2 {
+
+// Knobs of the durability subsystem, embedded in PS2StreamOptions.
+struct DurabilityConfig {
+  bool enabled = false;
+  std::string dir;
+  Wal::SyncMode wal_sync = Wal::SyncMode::kFlush;
+  // WAL records between automatic checkpoints; 0 = explicit Checkpoint()
+  // calls only.
+  uint64_t checkpoint_every = 0;
+  // Embed the live RoutingSnapshot (H2) in checkpoints. Recovery rebuilds
+  // H2 from the queries either way — the *assignment* (plan + installed
+  // migrations) is always captured — so the embedded copy only feeds
+  // inspection tooling and diagnostics. Off by default: at millions of
+  // subscriptions it roughly doubles checkpoint size and, on the
+  // synchronous path, adds a full routing-table snapshot build per
+  // checkpoint.
+  bool include_snapshot = false;
+};
+
+// Owns the on-disk layout of one durable service directory:
+//
+//   dir/
+//     CURRENT                  "<seq>\n" — the committed checkpoint, updated
+//                              by atomic rename; always names a fully
+//                              written, CRC-valid checkpoint
+//     checkpoint-<seq>.ps2c    state at the start of WAL segment <seq>
+//     wal-<seq>.log            mutations after checkpoint <seq>
+//
+// Checkpoint protocol (caller = the facade thread; appends may continue
+// concurrently from the controller thread):
+//   1. BeginCheckpoint()   — flush + rotate the WAL to segment seq+1; every
+//                            later mutation lands in the new segment
+//   2. caller captures state (subscriptions map, plan copy, snapshot)
+//   3. CommitCheckpoint()  — write checkpoint-<seq+1>, fsync-via-flush,
+//                            commit CURRENT by rename, GC older files
+// A crash between 1 and 3 is benign: CURRENT still names the old
+// checkpoint, and recovery replays the *chain* of WAL segments from that
+// seq forward, so records that already landed in the new segment are not
+// lost.
+class DurabilityManager {
+ public:
+  explicit DurabilityManager(DurabilityConfig config);
+  ~DurabilityManager();
+
+  // Fresh directory: writes checkpoint 1 from `view` (seq/last_lsn fields
+  // are overridden) and opens wal-1.log. Creates `dir` if absent. Refuses
+  // (returns false) when the directory already holds committed durable
+  // state — that state belongs to a previous incarnation and must be
+  // Restore()d or explicitly wiped, never silently overwritten.
+  bool Initialize(const CheckpointView& view);
+
+  // Recovered directory: reopens wal-<seq>.log for appending after
+  // recovery truncated any torn tail. `next_lsn` continues the LSN
+  // sequence past everything replayed.
+  bool Resume(uint64_t seq, uint64_t next_lsn);
+
+  Wal& wal() { return wal_; }
+  bool open() const { return wal_.open(); }
+  // Open and no sticky WAL I/O error — appends are actually being made
+  // durable.
+  bool healthy() const { return wal_.healthy(); }
+  // Crash simulation: discards the WAL's unwritten batch and closes
+  // without the graceful final drain (see Wal::Abandon).
+  void Abandon() { wal_.Abandon(); }
+  uint64_t seq() const { return seq_; }
+
+  // True when `checkpoint_every` WAL records accumulated since the last
+  // checkpoint.
+  bool ShouldCheckpoint() const;
+
+  // Phase 1: rotates the WAL; returns the new checkpoint seq (0 on error).
+  uint64_t BeginCheckpoint();
+  // Phase 3: writes + commits the checkpoint file and GCs predecessors.
+  // `view`'s seq/last_lsn are filled in by the manager.
+  bool CommitCheckpoint(uint64_t seq, CheckpointView view);
+
+  const DurabilityConfig& config() const { return config_; }
+
+  // --- directory layout helpers --------------------------------------------
+  static std::string CheckpointPath(const std::string& dir, uint64_t seq);
+  static std::string WalPath(const std::string& dir, uint64_t seq);
+  static std::string CurrentPath(const std::string& dir);
+  // Reads CURRENT; 0 when missing/invalid.
+  static uint64_t ReadCurrentSeq(const std::string& dir);
+
+ private:
+  bool CommitCurrent(uint64_t seq);
+  void GarbageCollect(uint64_t keep_seq);
+
+  DurabilityConfig config_;
+  Wal wal_;
+  uint64_t seq_ = 0;
+  uint64_t last_checkpoint_lsn_ = 0;  // WAL high-water at the last checkpoint
+  uint64_t pending_last_lsn_ = 0;     // set by BeginCheckpoint
+  uint64_t gc_floor_ = 1;             // seqs below this are already GC'd
+};
+
+// Everything recovery reconstructed from a durable directory: the latest
+// committed checkpoint plus the replayed WAL chain, torn tail truncated.
+struct RecoveredState {
+  Vocabulary vocab;
+  PartitionPlan plan;
+  std::vector<STSQuery> queries;  // live subscriptions, insertion order
+  QueryId next_query_id = 1;
+  ObjectId next_object_id = 1;
+  uint64_t checkpoint_seq = 0;
+  uint64_t last_lsn = 0;  // LSN high-water across checkpoint + WAL replay
+  bool had_snapshot = false;
+  RoutingSnapshot snapshot;  // checkpoint-time H2 (diagnostic)
+  WalReplayStats wal;        // aggregated over the replayed segment chain
+  int wal_segments = 0;
+};
+
+// Loads the latest valid checkpoint at `dir`, replays the WAL segment chain
+// (applying subscriptions, unsubscriptions and cell-route rewrites), and —
+// when `truncate_torn` is set — physically truncates a torn trailing
+// record so logging can resume on the segment. Pass false for read-only
+// inspection (plan_inspector does): the directory is then never mutated
+// and the corrupt tail bytes stay available as evidence. Returns false
+// when the directory holds no committed checkpoint or the committed
+// checkpoint fails validation.
+bool RecoverState(const std::string& dir, RecoveredState* out,
+                  bool truncate_torn = true);
+
+}  // namespace ps2
+
+#endif  // PS2_PERSIST_DURABILITY_H_

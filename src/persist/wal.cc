@@ -1,0 +1,457 @@
+#include "persist/wal.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+#include "common/bytes.h"
+#include "persist/record_codec.h"
+
+namespace ps2 {
+namespace {
+
+constexpr char kWalMagic[4] = {'P', 'S', '2', 'W'};
+constexpr uint32_t kWalVersion = 1;
+// Frame header: u32 payload length + u32 payload crc.
+constexpr size_t kFrameHeader = 2 * sizeof(uint32_t);
+// A single mutation record is small; anything bigger is corruption.
+constexpr uint32_t kMaxRecordBytes = 1u << 24;
+
+// Hybrid term encoding: a term the vocabulary knows by string travels as
+// its string (stable across vocabulary drift between checkpoint and
+// replay); a term the service only ever saw as a raw id (embeddings that
+// tokenize externally and Subscribe/Publish with pre-assigned TermIds — the
+// facade's vocabulary then holds no strings at all) travels as the id
+// itself, which recovery preserves verbatim.
+void WriteTerm(ByteWriter& w, TermId t, const Vocabulary& vocab) {
+  if (t < vocab.size()) {
+    w.Pod<uint8_t>(1);
+    w.Str(vocab.TermString(t));
+  } else {
+    w.Pod<uint8_t>(0);
+    w.Pod<uint32_t>(t);
+  }
+}
+
+TermId ReadTerm(ByteReader& r, Vocabulary& vocab) {
+  if (r.Pod<uint8_t>() != 0) return vocab.Intern(r.Str());
+  return r.Pod<uint32_t>();
+}
+
+void WriteQueryBody(ByteWriter& w, const STSQuery& q,
+                    const Vocabulary& vocab) {
+  WriteQueryRecord(
+      w, q, [&](ByteWriter& out, TermId t) { WriteTerm(out, t, vocab); });
+}
+
+bool ReadQueryBody(ByteReader& r, Vocabulary& vocab, STSQuery* q) {
+  return ReadQueryRecord(
+      r, q, [&](ByteReader& in) { return ReadTerm(in, vocab); });
+}
+
+}  // namespace
+
+Wal::Wal() : Wal(Options{}) {}
+
+Wal::Wal(Options options) : options_(options) {}
+
+Wal::~Wal() { Close(); }
+
+constexpr size_t kSegmentHeaderBytes = 4 + sizeof(uint32_t) + sizeof(uint64_t);
+
+std::FILE* Wal::OpenSegment(const std::string& path, uint64_t seq) {
+  // Append, never truncate a valid segment: the target may be an existing
+  // one — an orphan from a checkpoint whose commit failed (a retried
+  // checkpoint reuses the same seq) or a recovered segment being resumed —
+  // and its records were acknowledged durable.
+  std::FILE* f = std::fopen(path.c_str(), "ab+");
+  if (f == nullptr) return nullptr;
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  if (size > 0 && static_cast<size_t>(size) < kSegmentHeaderBytes) {
+    // A crash tore the header write itself: nothing after it could ever
+    // replay, so restart the segment from scratch.
+    std::fclose(f);
+    std::error_code ec;
+    std::filesystem::resize_file(path, 0, ec);
+    if (ec) return nullptr;
+    f = std::fopen(path.c_str(), "ab+");
+    if (f == nullptr) return nullptr;
+    size = 0;
+  }
+  if (size == 0) {
+    ByteWriter header;
+    header.Bytes(kWalMagic, 4);
+    header.Pod<uint32_t>(kWalVersion);
+    header.Pod<uint64_t>(seq);
+    if (std::fwrite(header.buffer().data(), 1, header.size(), f) !=
+            header.size() ||
+        std::fflush(f) != 0) {
+      std::fclose(f);
+      return nullptr;
+    }
+  } else {
+    // Appending after a corrupt header would make every new record
+    // unreplayable while still acknowledging it — refuse instead.
+    char magic[4];
+    std::fseek(f, 0, SEEK_SET);
+    const bool header_ok =
+        std::fread(magic, 1, 4, f) == 4 &&
+        std::memcmp(magic, kWalMagic, 4) == 0;
+    std::fseek(f, 0, SEEK_END);
+    if (!header_ok) {
+      std::fclose(f);
+      return nullptr;
+    }
+  }
+  return f;
+}
+
+bool Wal::Open(const std::string& path, uint64_t seq, uint64_t next_lsn) {
+  std::lock_guard<std::mutex> io(io_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) return false;
+  std::FILE* f = OpenSegment(path, seq);
+  if (f == nullptr) return false;
+  file_ = f;
+  path_ = path;
+  next_lsn_ = next_lsn;
+  durable_lsn_ = next_lsn - 1;
+  pending_hi_ = durable_lsn_;
+  stop_ = false;
+  io_error_ = false;
+  if (!flusher_.joinable()) {
+    flusher_ = std::thread(&Wal::FlusherLoop, this);
+  }
+  return true;
+}
+
+bool Wal::Rotate(const std::string& path, uint64_t seq) {
+  Flush();
+  std::lock_guard<std::mutex> io(io_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return false;
+  // Drain any record that raced in between Flush() and the locks — the old
+  // segment must be complete before the checkpoint captures state.
+  if (!pending_.empty()) {
+    if (!WriteLocked(pending_)) io_error_ = true;
+    durable_lsn_ = std::max(durable_lsn_, pending_hi_);
+    pending_.clear();
+    durable_cv_.notify_all();
+  }
+  std::fclose(file_);
+  file_ = nullptr;
+  std::FILE* f = OpenSegment(path, seq);
+  if (f == nullptr) return false;
+  file_ = f;
+  path_ = path;
+  return true;
+}
+
+uint64_t Wal::AppendSubscribe(const STSQuery& q, const Vocabulary& vocab) {
+  ByteWriter body;
+  WriteQueryBody(body, q, vocab);
+  return Append(RecordType::kSubscribe, body.buffer());
+}
+
+uint64_t Wal::AppendUnsubscribe(QueryId id) {
+  ByteWriter body;
+  body.Pod<uint64_t>(id);
+  return Append(RecordType::kUnsubscribe, body.buffer());
+}
+
+uint64_t Wal::AppendCellRoute(CellId cell, const CellRoute& route,
+                              const Vocabulary& vocab) {
+  ByteWriter body;
+  body.Pod<uint32_t>(cell);
+  body.Pod<uint8_t>(route.IsText() ? 1 : 0);
+  if (!route.IsText()) {
+    body.Pod<int32_t>(route.worker);
+  } else {
+    body.Pod<uint32_t>(static_cast<uint32_t>(route.text->workers().size()));
+    for (const WorkerId w : route.text->workers()) body.Pod<int32_t>(w);
+    body.Pod<uint32_t>(static_cast<uint32_t>(route.text->term_map().size()));
+    for (const auto& [term, worker] : route.text->term_map()) {
+      WriteTerm(body, term, vocab);
+      body.Pod<int32_t>(worker);
+    }
+  }
+  return Append(RecordType::kCellRoute, body.buffer(),
+                /*wait_durable=*/false);
+}
+
+void Wal::AppendCellRoutes(const std::vector<CellId>& cells,
+                           const PartitionPlan& plan,
+                           const Vocabulary& vocab) {
+  for (const CellId cell : cells) {
+    if (cell < plan.cells.size()) {
+      AppendCellRoute(cell, plan.cells[cell], vocab);
+    }
+  }
+}
+
+uint64_t Wal::Append(RecordType type, const std::string& body,
+                     bool wait_durable) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if ((file_ == nullptr && path_.empty()) || io_error_) return 0;
+  const uint64_t lsn = next_lsn_++;
+  ByteWriter payload;
+  payload.Pod<uint8_t>(static_cast<uint8_t>(type));
+  payload.Pod<uint64_t>(lsn);
+  payload.Bytes(body.data(), body.size());
+  ByteWriter frame;
+  frame.Pod<uint32_t>(static_cast<uint32_t>(payload.size()));
+  frame.Pod<uint32_t>(Crc32(payload.buffer()));
+  pending_ += frame.buffer();
+  pending_ += payload.buffer();
+  pending_hi_ = lsn;
+  pending_cv_.notify_one();
+  if (wait_durable && options_.sync != SyncMode::kAsync) {
+    durable_cv_.wait(lock, [&] {
+      return durable_lsn_ >= lsn || stop_ || io_error_;
+    });
+    if (io_error_) return 0;  // released by a failed flush: not durable
+  }
+  return lsn;
+}
+
+void Wal::Flush() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t target = pending_hi_;
+  pending_cv_.notify_one();
+  durable_cv_.wait(lock, [&] {
+    return durable_lsn_ >= target || stop_ || io_error_;
+  });
+}
+
+void Wal::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && file_ == nullptr) return;
+    stop_ = true;
+    pending_cv_.notify_all();
+  }
+  if (flusher_.joinable()) flusher_.join();
+  std::lock_guard<std::mutex> io(io_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!pending_.empty()) {
+    WriteLocked(pending_);
+    durable_lsn_ = std::max(durable_lsn_, pending_hi_);
+    pending_.clear();
+  }
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  durable_cv_.notify_all();
+}
+
+void Wal::Abandon() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    pending_.clear();  // crash: unacknowledged batch dies
+    durable_lsn_ = std::max(durable_lsn_, pending_hi_);
+    pending_cv_.notify_all();
+    durable_cv_.notify_all();
+  }
+  if (flusher_.joinable()) flusher_.join();
+  std::lock_guard<std::mutex> io(io_mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool Wal::open() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return file_ != nullptr;
+}
+
+bool Wal::io_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return io_error_;
+}
+
+uint64_t Wal::next_lsn() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_lsn_;
+}
+
+const std::string Wal::path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return path_;
+}
+
+void Wal::FlusherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    pending_cv_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    std::string batch;
+    batch.swap(pending_);
+    const uint64_t hi = pending_hi_;
+    lock.unlock();
+    bool ok;
+    {
+      std::lock_guard<std::mutex> io(io_mu_);
+      ok = WriteLocked(batch);
+    }
+    lock.lock();
+    if (!ok) io_error_ = true;
+    // Advance even on error so blocked appenders are released; the error is
+    // sticky and observable.
+    durable_lsn_ = std::max(durable_lsn_, hi);
+    durable_cv_.notify_all();
+    if (stop_ && pending_.empty()) return;
+  }
+}
+
+bool Wal::WriteLocked(const std::string& bytes) {
+  if (file_ == nullptr) return false;
+  if (std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size()) {
+    return false;
+  }
+  if (std::fflush(file_) != 0) return false;
+#if defined(__unix__) || defined(__APPLE__)
+  if (options_.sync == SyncMode::kSync) {
+    if (::fdatasync(::fileno(file_)) != 0) return false;
+  }
+#endif
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------------
+
+bool ReplayWal(const std::string& path, uint64_t after_lsn, Vocabulary& vocab,
+               const std::function<void(WalRecordView&)>& fn,
+               WalReplayStats* stats, bool truncate_torn) {
+  std::string data;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return false;
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    if (size < 0) {
+      std::fclose(f);
+      return false;
+    }
+    data.resize(static_cast<size_t>(size));
+    const size_t read = std::fread(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    if (read != data.size()) return false;
+  }
+
+  ByteReader r(data);
+  char magic[4];
+  r.Bytes(magic, 4);
+  if (!r.ok() || std::memcmp(magic, kWalMagic, 4) != 0) return false;
+  if (r.Pod<uint32_t>() != kWalVersion) return false;
+  r.Pod<uint64_t>();  // segment seq (informational)
+  if (!r.ok()) return false;
+
+  size_t good = r.pos();
+  while (r.remaining() > 0) {
+    if (r.remaining() < kFrameHeader) break;  // torn frame header
+    const uint32_t len = r.Pod<uint32_t>();
+    const uint32_t crc = r.Pod<uint32_t>();
+    if (!r.ok() || len > kMaxRecordBytes || len > r.remaining()) break;
+    const char* payload = data.data() + r.pos();
+    if (Crc32(payload, len) != crc) break;  // torn or bit-flipped record
+    r.Skip(len);
+
+    ByteReader pr(payload, len);
+    WalRecordView view;
+    view.type = static_cast<Wal::RecordType>(pr.Pod<uint8_t>());
+    view.lsn = pr.Pod<uint64_t>();
+    bool decoded = pr.ok();
+    if (decoded) {
+      switch (view.type) {
+        case Wal::RecordType::kSubscribe:
+          decoded = ReadQueryBody(pr, vocab, &view.query);
+          stats->subscribes += decoded ? 1 : 0;
+          break;
+        case Wal::RecordType::kUnsubscribe:
+          view.query_id = pr.Pod<uint64_t>();
+          decoded = pr.ok();
+          stats->unsubscribes += decoded ? 1 : 0;
+          break;
+        case Wal::RecordType::kCellRoute: {
+          view.cell = pr.Pod<uint32_t>();
+          const uint8_t is_text = pr.Pod<uint8_t>();
+          if (is_text == 0) {
+            view.route.worker = pr.Pod<int32_t>();
+          } else {
+            const uint32_t num_workers = pr.Pod<uint32_t>();
+            if (!pr.FitsCount(num_workers, sizeof(int32_t))) {
+              decoded = false;
+              break;
+            }
+            std::vector<WorkerId> workers;
+            workers.reserve(num_workers);
+            for (uint32_t i = 0; i < num_workers && pr.ok(); ++i) {
+              workers.push_back(pr.Pod<int32_t>());
+            }
+            const uint32_t num_terms = pr.Pod<uint32_t>();
+            if (!pr.FitsCount(num_terms,
+                              sizeof(uint32_t) + sizeof(int32_t))) {
+              decoded = false;
+              break;
+            }
+            std::unordered_map<TermId, WorkerId> term_map;
+            term_map.reserve(num_terms);
+            for (uint32_t i = 0; i < num_terms && pr.ok(); ++i) {
+              const TermId term = ReadTerm(pr, vocab);
+              const int32_t worker = pr.Pod<int32_t>();
+              term_map[term] = worker;
+            }
+            if (!pr.ok()) {
+              decoded = false;
+              break;
+            }
+            view.route.text = std::make_shared<const TermRouter>(
+                std::move(term_map), std::move(workers));
+            if (!view.route.text->workers().empty()) {
+              view.route.worker = view.route.text->workers().front();
+            }
+          }
+          decoded = decoded && pr.ok();
+          stats->cell_routes += decoded ? 1 : 0;
+          break;
+        }
+        default:
+          decoded = false;
+      }
+    }
+    if (!decoded) break;  // corrupt payload that still passed CRC length
+    ++stats->records;
+    stats->last_lsn = view.lsn;
+    good = r.pos();
+    if (view.lsn > after_lsn) fn(view);
+  }
+
+  stats->bytes_replayed = good;
+  if (good < data.size()) {
+    stats->truncated = true;
+    stats->truncated_bytes = data.size() - good;
+    if (truncate_torn) {
+      std::error_code ec;
+      std::filesystem::resize_file(path, good, ec);
+      if (ec) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ps2

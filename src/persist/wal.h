@@ -1,0 +1,189 @@
+#ifndef PS2_PERSIST_WAL_H_
+#define PS2_PERSIST_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "core/query.h"
+#include "partition/plan.h"
+#include "text/vocabulary.h"
+
+namespace ps2 {
+
+// Append-only write-ahead log of the durable mutations of a PS2Stream
+// service: subscription inserts/deletes and the cell-route rewrites the load
+// controller installs. Object publications are deliberately *not* logged —
+// they are ephemeral stream data; durability covers the subscriber base and
+// where it lives.
+//
+// File layout (little-endian):
+//   header:  magic "PS2W", u32 version, u64 segment seq
+//   records: u32 payload_len, u32 crc32(payload), payload
+//   payload: u8 type, u64 lsn, body
+//
+// Record bodies are *self-contained*: a term the vocabulary knows by
+// string is stored as its string (u8 tag 1), so a record written long
+// after the last checkpoint replays correctly into a recovered vocabulary
+// that never saw the terms interned in between; a term the service only
+// ever handled as a raw TermId (externally tokenized embeddings — the
+// facade vocabulary then has no strings) is stored as the id (u8 tag 0)
+// and preserved verbatim.
+//   kSubscribe:   u64 qid, region f64 x4, u32 #clauses,
+//                 per clause: u32 #terms, term[]
+//   kUnsubscribe: u64 qid
+//   kCellRoute:   u32 cell, u8 is_text,
+//                 space: i32 worker
+//                 text:  u32 #workers, i32 workers[],
+//                        u32 #terms, (term, i32 worker)[]
+//   term:         u8 tag, tag=1: str, tag=0: u32 id
+//
+// kCellRoute records the *absolute resulting route* of a cell after a
+// migration (reassign, text split or merge), so replay is idempotent and
+// insensitive to whether the pre-migration state was checkpointed.
+//
+// Concurrency: appends are thread-safe (facade thread + controller thread)
+// and cheap — they serialize the record into an in-memory batch and hand it
+// to a dedicated flusher thread, which group-commits everything accumulated
+// since its last write with one fwrite + fflush (+ fdatasync in kSync).
+// Under SyncMode::kFlush/kSync an append blocks until its record is
+// durable; one flush acknowledges every record in the batch.
+class Wal {
+ public:
+  enum class SyncMode : uint8_t {
+    kAsync = 0,  // append returns immediately; flusher writes behind
+    kFlush = 1,  // append blocks until written + fflushed (libc -> kernel)
+    kSync = 2,   // additionally fdatasync — survives OS crash, not just
+                 // process crash
+  };
+  struct Options {
+    SyncMode sync = SyncMode::kFlush;
+  };
+
+  enum class RecordType : uint8_t {
+    kSubscribe = 1,
+    kUnsubscribe = 2,
+    kCellRoute = 3,
+  };
+
+  Wal();  // default Options
+  explicit Wal(Options options);
+  ~Wal();
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // Opens (creating or appending to) the segment at `path`. `next_lsn` seeds
+  // the sequence counter — LSNs are monotonic across segments for the
+  // lifetime of the log directory.
+  bool Open(const std::string& path, uint64_t seq, uint64_t next_lsn);
+
+  // Atomically redirects subsequent appends to a fresh segment at `path`
+  // (the checkpoint protocol rotates before capturing state). Everything
+  // pending is flushed to the old segment first.
+  bool Rotate(const std::string& path, uint64_t seq);
+
+  // --- appends (return the record's LSN; 0 when the log is closed) ---------
+  uint64_t AppendSubscribe(const STSQuery& q, const Vocabulary& vocab);
+  uint64_t AppendUnsubscribe(QueryId id);
+  // Never waits for durability regardless of sync mode: cell routes are
+  // journaled while the routing writer lock (and every worker's index lock)
+  // is held, and they are idempotent performance state — losing an
+  // unflushed one in a crash recovers a pre-migration plan, not data. The
+  // record is in the in-memory batch before this returns, which is all the
+  // checkpoint rotation invariant needs (Rotate drains the batch into the
+  // old segment).
+  uint64_t AppendCellRoute(CellId cell, const CellRoute& route,
+                           const Vocabulary& vocab);
+  // Journals the *current* route of each cell in `cells` from `plan` — the
+  // one call both runtimes make after an adjustment installed migrations.
+  void AppendCellRoutes(const std::vector<CellId>& cells,
+                        const PartitionPlan& plan, const Vocabulary& vocab);
+
+  // Blocks until every appended record is durable per the sync mode.
+  void Flush();
+  void Close();
+  // Crash simulation: joins the flusher, *discards* any batch it had not
+  // written yet, and closes the file without the final drain Close()
+  // performs — on-disk state is exactly what the sync mode had already
+  // guaranteed at this instant. Appenders must be quiescent.
+  void Abandon();
+
+  bool open() const;
+  // Sticky: a write/flush/sync failure occurred. Blocked appends are
+  // released when it trips (and return 0), and healthy() goes false —
+  // records appended afterwards are NOT durable.
+  bool io_error() const;
+  bool healthy() const { return open() && !io_error(); }
+  uint64_t next_lsn() const;
+  const std::string path() const;
+
+ private:
+  uint64_t Append(RecordType type, const std::string& body,
+                  bool wait_durable = true);
+  void FlusherLoop();
+  bool WriteLocked(const std::string& bytes);  // io_mu_ held
+  // Opens (appending — see Rotate) the segment at `path`, writing the file
+  // header when it is empty. Both locks held. nullptr on I/O failure.
+  std::FILE* OpenSegment(const std::string& path, uint64_t seq);
+
+  const Options options_;
+
+  // Lock order: io_mu_ before mu_; never acquire io_mu_ while holding mu_.
+  mutable std::mutex io_mu_;  // guards file_
+  std::FILE* file_ = nullptr;
+
+  mutable std::mutex mu_;  // guards everything below
+  std::condition_variable pending_cv_;  // appenders -> flusher
+  std::condition_variable durable_cv_;  // flusher -> blocked appenders
+  std::string path_;
+  std::string pending_;        // framed records awaiting the flusher
+  uint64_t pending_hi_ = 0;    // highest LSN inside pending_
+  uint64_t durable_lsn_ = 0;   // highest LSN written (+synced) to the file
+  uint64_t next_lsn_ = 1;
+  bool stop_ = false;
+  bool io_error_ = false;
+  std::thread flusher_;
+};
+
+// One decoded WAL record, yielded to the replay callback. Only the fields of
+// the record's type are meaningful.
+struct WalRecordView {
+  Wal::RecordType type = Wal::RecordType::kSubscribe;
+  uint64_t lsn = 0;
+  STSQuery query;      // kSubscribe (terms interned into the replay vocab)
+  QueryId query_id;    // kUnsubscribe
+  CellId cell = 0;     // kCellRoute
+  CellRoute route;     // kCellRoute
+};
+
+struct WalReplayStats {
+  uint64_t records = 0;
+  uint64_t subscribes = 0;
+  uint64_t unsubscribes = 0;
+  uint64_t cell_routes = 0;
+  uint64_t last_lsn = 0;
+  uint64_t bytes_replayed = 0;
+  // Torn/corrupt tail handling: bytes dropped from the end of the segment
+  // (the file is physically truncated when `truncate_torn` is set).
+  uint64_t truncated_bytes = 0;
+  bool truncated = false;
+};
+
+// Replays the segment at `path`, interning record terms into `vocab` and
+// invoking `fn` for records with lsn > `after_lsn` in file order. A torn or
+// corrupt trailing record ends the replay; when `truncate_torn` is set the
+// file is truncated back to the last valid record so the segment can be
+// reopened for appending. Returns false only when the file cannot be read
+// or its header is invalid — a torn tail is a *successful* recovery.
+bool ReplayWal(const std::string& path, uint64_t after_lsn, Vocabulary& vocab,
+               const std::function<void(WalRecordView&)>& fn,
+               WalReplayStats* stats, bool truncate_torn = true);
+
+}  // namespace ps2
+
+#endif  // PS2_PERSIST_WAL_H_

@@ -1,0 +1,11 @@
+#include "runtime/engine.h"
+
+#include "persist/durability.h"
+
+namespace ps2 {
+
+bool Engine::Recover(const std::string& dir, RecoveredState* out) {
+  return RecoverState(dir, out);
+}
+
+}  // namespace ps2

@@ -10,6 +10,9 @@
 
 namespace ps2 {
 
+class Wal;
+struct RecoveredState;
+
 // Options of the threaded (wall-clock) engine.
 struct EngineOptions {
   int num_dispatchers = 4;
@@ -33,6 +36,12 @@ struct EngineOptions {
     LoadControllerConfig config;
   };
   ControllerOptions controller;
+
+  // When non-null, the controller journals every installed migration (as
+  // absolute cell-route records) to this write-ahead log, so crash recovery
+  // lands on the post-migration plan. Not owned; must outlive the engine.
+  // Subscription mutations are journaled by the facade before submission.
+  Wal* wal = nullptr;
 };
 
 // A runtime that executes a tuple stream against a Cluster. The two
@@ -48,6 +57,13 @@ class Engine {
 
   // Executes the whole stream and reports the run's metrics.
   virtual RunReport Run(const std::vector<StreamTuple>& input) = 0;
+
+  // Loads the durable state at `dir`: the latest committed checkpoint plus
+  // a replay of the WAL segment chain, truncating any torn trailing record.
+  // The caller stands a Cluster up from the state and constructs an engine
+  // over it — PS2Stream::Restore() does exactly that. Forwards to
+  // RecoverState() in persist/durability.h.
+  static bool Recover(const std::string& dir, RecoveredState* out);
 };
 
 // Compatibility wrapper for the original free-function runtime: constructs

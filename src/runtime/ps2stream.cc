@@ -1,5 +1,8 @@
 #include "runtime/ps2stream.h"
 
+#include <algorithm>
+
+#include "adjust/touch_tracking_executor.h"
 #include "partition/plan.h"
 
 namespace ps2 {
@@ -35,6 +38,131 @@ void PS2Stream::Bootstrap(const WorkloadSample& sample) {
   }
   cluster_ = std::make_unique<Cluster>(std::move(plan), &vocab_,
                                        options_.cluster);
+  if (options_.durability.enabled && !options_.durability.dir.empty()) {
+    // The bootstrap state (vocab + plan, no queries yet) is recovery point
+    // zero; every later mutation reaches the WAL before it takes effect.
+    durability_ = std::make_unique<DurabilityManager>(options_.durability);
+    CheckpointView view;
+    view.next_query_id = next_query_id_;
+    view.next_object_id = next_object_id_;
+    view.vocab = &vocab_;
+    const PartitionPlan& current = cluster_->router().plan();
+    view.plan = &current;
+    std::shared_ptr<const RoutingSnapshot> snapshot;
+    if (options_.durability.include_snapshot) {
+      SnapshotRouter router(&cluster_->router());
+      snapshot = router.Current();
+      view.snapshot = snapshot.get();
+    }
+    if (!durability_->Initialize(view)) durability_.reset();
+  }
+}
+
+bool PS2Stream::Restore(const std::string& dir) {
+  if (bootstrapped()) return false;
+  DurabilityConfig config = options_.durability;
+  if (!dir.empty()) config.dir = dir;
+  if (config.dir.empty()) return false;
+  config.enabled = true;
+
+  auto state = std::make_unique<RecoveredState>();
+  if (!RecoverState(config.dir, state.get())) return false;
+
+  vocab_ = std::move(state->vocab);
+  cluster_ = std::make_unique<Cluster>(state->plan, &vocab_,
+                                       options_.cluster);
+  next_query_id_ = state->next_query_id;
+  next_object_id_ = state->next_object_id;
+  subscriptions_.clear();
+  for (const STSQuery& q : state->queries) {
+    subscriptions_[q.id] = q;
+    // Re-inserting through the recovered plan rebuilds the gridt H2 entries
+    // and the per-worker GI2 indexes in one pass.
+    cluster_->Process(StreamTuple::OfInsert(q));
+  }
+  cluster_->ResetLoadWindow();
+
+  durability_ = std::make_unique<DurabilityManager>(config);
+  // Resume logging on the *last* segment of the replayed chain, not the
+  // committed checkpoint's: a crash between WAL rotation and checkpoint
+  // commit leaves an orphan later segment, and appending to an earlier one
+  // would let the next recovery's LSN high-water filter the orphan's
+  // records out.
+  const uint64_t resume_seq =
+      state->checkpoint_seq +
+      (state->wal_segments > 0
+           ? static_cast<uint64_t>(state->wal_segments) - 1
+           : 0);
+  if (!durability_->Resume(resume_seq, state->last_lsn + 1)) {
+    // Recovery loaded but logging cannot continue: succeeding here would
+    // leave a service that silently loses every post-restore mutation.
+    // Fail wholesale; the caller keeps a virgin instance.
+    durability_.reset();
+    cluster_.reset();
+    subscriptions_.clear();
+    vocab_ = Vocabulary();
+    next_query_id_ = 1;
+    next_object_id_ = 1;
+    return false;
+  }
+  options_.durability = config;
+  recovered_ = std::move(state);
+  return true;
+}
+
+bool PS2Stream::Checkpoint() {
+  if (durability_ == nullptr || !bootstrapped()) return false;
+  const uint64_t seq = durability_->BeginCheckpoint();
+  if (seq == 0) return false;
+  return CommitCheckpointLocked(seq);
+}
+
+bool PS2Stream::CommitCheckpointLocked(uint64_t seq) {
+  // Ordering matters: the WAL was already rotated (BeginCheckpoint), so any
+  // migration the controller installs from here on lands in the new
+  // segment; the plan copy below is taken under the routing writer lock and
+  // therefore sees every migration journaled to the *old* segment. Either
+  // way nothing is lost, and replaying an already-captured route is
+  // idempotent.
+  CheckpointView view;
+  view.next_query_id = next_query_id_;
+  view.next_object_id = next_object_id_;
+  view.vocab = &vocab_;
+  PartitionPlan plan = started() ? engine_->PlanCopy()
+                                 : cluster_->router().plan();
+  view.plan = &plan;
+  std::shared_ptr<const RoutingSnapshot> snapshot;
+  std::unique_ptr<SnapshotRouter> sync_router;
+  if (options_.durability.include_snapshot) {
+    if (started()) {
+      snapshot = engine_->routing_snapshot();
+    } else {
+      sync_router = std::make_unique<SnapshotRouter>(&cluster_->router());
+      snapshot = sync_router->Current();
+    }
+    view.snapshot = snapshot.get();
+  }
+  view.queries.reserve(subscriptions_.size());
+  for (const auto& [id, q] : subscriptions_) view.queries.push_back(&q);
+  return durability_->CommitCheckpoint(seq, std::move(view));
+}
+
+void PS2Stream::MaybeCheckpoint() {
+  if (durability_ != nullptr && durability_->ShouldCheckpoint()) {
+    Checkpoint();
+  }
+}
+
+void PS2Stream::Kill() {
+  if (engine_ != nullptr && engine_->running()) engine_->Abort();
+  engine_.reset();
+  // Abandon, not Close: a graceful close would flush the WAL's pending
+  // batch, making the "crash" more durable than the sync mode guaranteed.
+  if (durability_ != nullptr) durability_->Abandon();
+  durability_.reset();
+  // The in-memory cluster and subscription map are left readable for
+  // post-mortem inspection (tests compare them against what recovery
+  // reconstructs), but the service must not be used again.
 }
 
 void PS2Stream::Start() {
@@ -46,6 +174,7 @@ void PS2Stream::Start() {
     opts.controller.config.adjust = options_.adjust;
     opts.controller.min_tuples = options_.adjust_check_interval;
   }
+  if (durability_ != nullptr) opts.wal = &durability_->wal();
   engine_ = std::make_unique<ThreadedEngine>(*cluster_, opts);
   engine_->Start();
 }
@@ -68,28 +197,40 @@ QueryId PS2Stream::Subscribe(const std::string& expression,
 }
 
 void PS2Stream::Subscribe(const STSQuery& query) {
+  // WAL-before-apply: once the append returns (durable per the configured
+  // sync mode), a crash at any later point recovers this subscription.
+  if (durability_ != nullptr) {
+    durability_->wal().AppendSubscribe(query, vocab_);
+  }
   subscriptions_[query.id] = query;
   next_query_id_ = std::max(next_query_id_, query.id + 1);
   const StreamTuple tuple = StreamTuple::OfInsert(query);
   if (started()) {
     engine_->Submit(tuple);
+    MaybeCheckpoint();
     return;
   }
   cluster_->Process(tuple);
   Track(tuple);
+  MaybeCheckpoint();
 }
 
 void PS2Stream::Unsubscribe(QueryId id) {
   auto it = subscriptions_.find(id);
   if (it == subscriptions_.end()) return;
+  if (durability_ != nullptr) {
+    durability_->wal().AppendUnsubscribe(id);
+  }
   const StreamTuple tuple = StreamTuple::OfDelete(it->second);
   subscriptions_.erase(it);
   if (started()) {
     engine_->Submit(tuple);
+    MaybeCheckpoint();
     return;
   }
   cluster_->Process(tuple);
   Track(tuple);
+  MaybeCheckpoint();
 }
 
 std::vector<MatchResult> PS2Stream::Publish(Point loc,
@@ -139,7 +280,16 @@ void PS2Stream::MaybeAutoAdjust() {
         break;
     }
   }
-  AdjustReport report = controller_->Check(*cluster_, sample);
+  SyncMigrationExecutor sync_exec(*cluster_);
+  TouchTrackingExecutor exec(sync_exec);
+  AdjustReport report = controller_->Check(
+      *cluster_, cluster_->WorkerLoads(controller_->config().adjust.cost),
+      sample, exec);
+  controller_->MaybeEvaluateGlobal(*cluster_, sample);
+  if (durability_ != nullptr) {
+    durability_->wal().AppendCellRoutes(exec.touched_cells(),
+                                        cluster_->router().plan(), vocab_);
+  }
   if (report.triggered) {
     adjustments_.push_back(std::move(report));
     cluster_->ResetLoadWindow();

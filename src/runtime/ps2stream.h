@@ -8,6 +8,7 @@
 
 #include "adjust/load_controller.h"
 #include "core/workload_stats.h"
+#include "persist/durability.h"
 #include "runtime/threaded_engine.h"
 #include "text/tokenizer.h"
 
@@ -32,6 +33,15 @@ namespace ps2 {
 //     immediately (Publish returns no matches — deliveries are counted by
 //     the merger and reported by Stop()). Load adjustment happens online on
 //     the controller thread, with migrations installed live.
+//
+// Durability (options.durability.enabled): subscription mutations are
+// journaled to a write-ahead log *before* they take effect, installed
+// migrations are journaled by whichever runtime performs them, and
+// Bootstrap/Checkpoint() capture the full state (vocabulary, plan, routing
+// snapshot, live queries) as an atomic checkpoint. A crashed service is
+// stood back up with Restore(), which loads the latest checkpoint, replays
+// the WAL tail (truncating a torn final record), rebuilds the per-worker
+// GI2 indexes and resumes serving — and logging — where it left off.
 struct PS2StreamOptions {
   std::string partitioner = "hybrid";
   PartitionConfig partition;
@@ -44,6 +54,8 @@ struct PS2StreamOptions {
   size_t window_capacity = 1 << 16;  // recent-tuple window for Phase I
   // Threaded engine configuration used by Start().
   EngineOptions engine;
+  // Subscription WAL + checkpoints + crash recovery.
+  DurabilityConfig durability;
 };
 
 class PS2Stream {
@@ -57,7 +69,45 @@ class PS2Stream {
   // Builds the partition plan from a workload sample and starts the
   // cluster. Must be called before any Subscribe/Publish. Also folds the
   // sample's term occurrences into the vocabulary frequency profile.
+  // With durability enabled this writes the initial checkpoint and opens
+  // the WAL; a Bootstrap that cannot persist leaves the service
+  // non-durable (check durable()).
   void Bootstrap(const WorkloadSample& sample);
+
+  // --- durability -----------------------------------------------------------
+  // Rebuilds the service from the durable directory (options.durability.dir
+  // unless `dir` is given): latest checkpoint + WAL tail replay. Replaces
+  // Bootstrap() on restart. Returns false when the directory holds no
+  // usable checkpoint; the service is then untouched. On success the
+  // service is bootstrapped, all subscriptions are live, and the WAL
+  // continues at `dir` (durability is enabled even if the options left it
+  // off — calling Restore() is the opt-in).
+  bool Restore(const std::string& dir = std::string());
+
+  // Writes a checkpoint now (also called automatically every
+  // durability.checkpoint_every WAL records). Works in both modes; in
+  // started mode the plan is captured under the routing writer lock, so
+  // live migrations never interleave. Returns false when durability is off.
+  bool Checkpoint();
+
+  // Statistics of the last Restore() on this instance.
+  const RecoveredState* recovered() const { return recovered_.get(); }
+  // True while mutations are actually being journaled: the WAL is open and
+  // has hit no I/O error. Goes false (sticky) if the log ever fails to
+  // write — mutations after that point would not survive a crash.
+  bool durable() const {
+    return durability_ != nullptr && durability_->healthy();
+  }
+  // The durability manager (nullptr when durability is off) — exposed for
+  // tooling and tests (e.g. forcing a WAL flush before a simulated crash).
+  DurabilityManager* durability() { return durability_.get(); }
+
+  // Crash simulation (tests and failure drills): tears down the engine
+  // without draining, skips every graceful-shutdown step and drops the
+  // durability manager without a final flush beyond what the WAL's sync
+  // mode already guaranteed. The service is unusable afterwards — stand a
+  // new one up with Restore().
+  void Kill();
 
   // --- async engine ---------------------------------------------------------
   // Spawns the threaded engine over the bootstrapped cluster. Requires
@@ -88,6 +138,9 @@ class PS2Stream {
   Cluster& cluster() { return *cluster_; }
   const Cluster& cluster() const { return *cluster_; }
   size_t num_subscriptions() const { return subscriptions_.size(); }
+  const std::unordered_map<QueryId, STSQuery>& subscriptions() const {
+    return subscriptions_;
+  }
   bool bootstrapped() const { return cluster_ != nullptr; }
   const std::vector<AdjustReport>& adjustments() const {
     return adjustments_;
@@ -96,6 +149,10 @@ class PS2Stream {
  private:
   void Track(const StreamTuple& tuple);
   void MaybeAutoAdjust();
+  void MaybeCheckpoint();
+  // Captures the current state (vocab, plan, snapshot, live queries) for a
+  // checkpoint committed under `seq`.
+  bool CommitCheckpointLocked(uint64_t seq);
 
   PS2StreamOptions options_;
   Vocabulary vocab_;
@@ -103,6 +160,8 @@ class PS2Stream {
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<LoadController> controller_;
   std::unique_ptr<ThreadedEngine> engine_;
+  std::unique_ptr<DurabilityManager> durability_;
+  std::unique_ptr<RecoveredState> recovered_;
   std::unordered_map<QueryId, STSQuery> subscriptions_;
   QueryId next_query_id_ = 1;
   ObjectId next_object_id_ = 1;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <functional>
 
+#include "adjust/touch_tracking_executor.h"
 #include "common/stopwatch.h"
+#include "persist/wal.h"
 
 namespace ps2 {
 
@@ -217,6 +219,7 @@ class ThreadedEngine::LiveMigrationExecutor : public MigrationExecutor {
     WorkerId worker;
     std::function<void(Gi2Index&)> fn;
   };
+
   ThreadedEngine& engine_;
   std::vector<Removal> removals_;
   bool changed_ = false;
@@ -265,10 +268,12 @@ void ThreadedEngine::Start() {
 
   updates_submitted_.store(0);
   updates_published_.store(0);
+  migrations_installed_.store(0, std::memory_order_relaxed);
   submitted_objects_ = submitted_inserts_ = submitted_deletes_ = 0;
   last_check_tuples_ = 0;
   collected_.clear();
   ctl_stop_ = false;
+  discard_.store(false, std::memory_order_relaxed);
   start_us_ = NowMicros();
   running_ = true;
 
@@ -303,9 +308,7 @@ bool ThreadedEngine::Submit(const StreamTuple& tuple) {
   return input_->Push(std::move(st));
 }
 
-RunReport ThreadedEngine::Stop() {
-  if (!running_) return RunReport{};
-  // Stop the controller first so no drain marker races the queue close.
+void ThreadedEngine::JoinAll() {
   if (controller_thread_.joinable()) {
     {
       std::lock_guard<std::mutex> lock(ctl_mu_);
@@ -320,9 +323,25 @@ RunReport ThreadedEngine::Stop() {
   for (auto& q : queues_) q->Close();
   for (auto& t : worker_threads_) t.join();
   worker_threads_.clear();
+}
+
+RunReport ThreadedEngine::Stop() {
+  if (!running_) return RunReport{};
+  JoinAll();
   wall_seconds_ = static_cast<double>(NowMicros() - start_us_) / 1e6;
   running_ = false;
   return AssembleReport();
+}
+
+void ThreadedEngine::Abort() {
+  if (!running_) return;
+  // From here on dispatchers and workers drop what they pop: the queues
+  // still drain (so joins cannot hang on a full queue's backpressure), but
+  // nothing is processed — queued tuples die as they would in a crash.
+  discard_.store(true, std::memory_order_release);
+  JoinAll();
+  running_ = false;
+  discard_.store(false, std::memory_order_release);
 }
 
 RunReport ThreadedEngine::Run(const std::vector<StreamTuple>& input) {
@@ -368,6 +387,14 @@ void ThreadedEngine::RouteOne(DispatcherState& ds, SeqTuple& st) {
   while (updates_published_.load(std::memory_order_acquire) <
          st.updates_before) {
     std::this_thread::yield();
+  }
+  if (discard_.load(std::memory_order_acquire)) {
+    // Aborting: drop the tuple, but keep the update-ordering gate moving so
+    // dispatchers spinning on it still drain.
+    if (tuple.kind != TupleKind::kObject) {
+      updates_published_.fetch_add(1, std::memory_order_release);
+    }
+    return;
   }
   const int64_t now = NowMicros();
   if (tuple.kind == TupleKind::kObject) {
@@ -439,6 +466,16 @@ void ThreadedEngine::WorkerLoop(int w) {
     for (WorkItem& item : batch) {
       if (item.marker != nullptr) {
         item.marker->CountDown();
+        continue;
+      }
+      if (discard_.load(std::memory_order_acquire)) {
+        // Aborting: drop the item, but a query update was counted as
+        // enqueued when it was routed — the controller's migration barrier
+        // spins on applied == enqueued, and Abort() joins the controller
+        // first, so the counter must keep moving or the join deadlocks.
+        if (item.tuple.kind != TupleKind::kObject) {
+          ws.query_items_applied.fetch_add(1);
+        }
         continue;
       }
       switch (item.tuple.kind) {
@@ -546,7 +583,8 @@ void ThreadedEngine::ControllerCheck() {
   // stall briefly (the paper models exactly this migration stall). The new
   // table is then built off-thread and installed with one atomic swap.
   LiveMigrationExecutor exec(*this);
-  const bool published = router_.Mutate([&](GridtIndex&) {
+  TouchTrackingExecutor tracked(exec);
+  const bool published = router_.Mutate([&](GridtIndex& m) {
     // Migration barrier, part 1: the writer lock (held here) blocks new
     // query updates from routing; wait until the ones already routed are
     // enqueued and applied, so the copy phase sees every query.
@@ -560,7 +598,17 @@ void ThreadedEngine::ControllerCheck() {
     std::vector<std::unique_lock<std::mutex>> locks;
     locks.reserve(workers_.size());
     for (const auto& ws : workers_) locks.emplace_back(ws->mu);
-    controller_->Check(cluster_, loads, window, exec);
+    controller_->Check(cluster_, loads, window, tracked);
+    // Journal the installed migrations before the writer lock is released:
+    // a concurrent checkpoint (which rotates the WAL, then copies the plan
+    // under this same lock) then either sees the new routes in its plan
+    // copy or finds these records in its WAL segment — never neither. The
+    // records are absolute resulting routes, so replaying them onto an
+    // already-migrated plan is idempotent.
+    if (exec.changed() && options_.wal != nullptr) {
+      options_.wal->AppendCellRoutes(tracked.touched_cells(), m.plan(),
+                                     cluster_.vocab());
+    }
     return exec.changed();
   });
   // Advisory global evaluation runs outside the critical section: it
@@ -569,6 +617,7 @@ void ThreadedEngine::ControllerCheck() {
   // this thread) and the window copy.
   controller_->MaybeEvaluateGlobal(cluster_, window);
   if (!published) return;
+  migrations_installed_.fetch_add(1, std::memory_order_relaxed);
 
   // Migration barrier, part 2: wait until no dispatcher is still routing
   // an object against an older epoch, so every old-epoch delivery is in a

@@ -59,14 +59,32 @@ class ThreadedEngine : public Engine {
   bool Submit(const StreamTuple& tuple);
   // Drains in-flight work, joins all threads and reports the run.
   RunReport Stop();
+  // Hard stop: tears the engine down *without* draining — queued tuples are
+  // discarded, no report is assembled. This models a crash for the
+  // durability subsystem (recovery must reconstruct everything from the WAL
+  // and checkpoints alone); threads are still joined so the process stays
+  // sane.
+  void Abort();
   bool running() const { return running_; }
 
   // --- introspection --------------------------------------------------------
   std::shared_ptr<const RoutingSnapshot> routing_snapshot() const {
     return router_.Current();
   }
-  // Valid after Start(); survives Stop() for post-run inspection.
+  // Consistent copy of the live routing plan (H1 + installed migrations),
+  // taken under the routing writer lock; the facade checkpoints through
+  // this.
+  PartitionPlan PlanCopy() { return router_.PlanCopy(); }
+  // Valid after Start(); survives Stop() for post-run inspection. The
+  // controller's own totals are only safe to read after Stop()/Abort()
+  // joined the controller thread; while running, poll
+  // migrations_installed() instead.
   const LoadController* controller() const { return controller_.get(); }
+  // Number of controller checks that installed (and published) migrations,
+  // readable from any thread while the engine runs.
+  uint64_t migrations_installed() const {
+    return migrations_installed_.load(std::memory_order_relaxed);
+  }
   // Matches accepted by the merger (requires options.collect_matches).
   std::vector<MatchResult> TakeMatches();
 
@@ -83,6 +101,10 @@ class ThreadedEngine : public Engine {
   void WorkerLoop(int w);
   void ControllerLoop();
   void ControllerCheck();
+  // Shared Stop()/Abort() teardown: stops the controller first (so no
+  // drain marker races the queue close), then closes and joins the
+  // dispatcher and worker stages in pipeline order.
+  void JoinAll();
   RunReport AssembleReport();
 
   Cluster& cluster_;
@@ -104,6 +126,7 @@ class ThreadedEngine : public Engine {
   // Query updates routed but whose deliveries are not yet all enqueued;
   // part of the controller's migration barrier.
   std::atomic<int> update_pushes_{0};
+  std::atomic<uint64_t> migrations_installed_{0};
 
   // Submit-side counters (single producer).
   uint64_t submitted_objects_ = 0;
@@ -121,6 +144,9 @@ class ThreadedEngine : public Engine {
   // Atomic: the facade's producer thread may call Submit()/running() while
   // another thread drives Stop().
   std::atomic<bool> running_{false};
+  // Set by Abort(): dispatcher and worker loops drop items instead of
+  // processing them so teardown is immediate.
+  std::atomic<bool> discard_{false};
   int64_t start_us_ = 0;
   double wall_seconds_ = 0.0;
 };

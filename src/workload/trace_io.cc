@@ -26,6 +26,7 @@ struct Writer {
 
 struct Reader {
   FILE* f;
+  long file_size = 0;
   bool ok = true;
 
   void Bytes(void* p, size_t n) {
@@ -36,6 +37,25 @@ struct Reader {
     T v{};
     Bytes(&v, sizeof(T));
     return v;
+  }
+
+  // Sanity-cap a declared element count before the caller reserves for it:
+  // `count` elements of at least `min_bytes_each` cannot outsize what is
+  // left of the file, so a flipped length field fails the read cleanly
+  // instead of attempting a multi-GB allocation.
+  bool FitsCount(uint64_t count, size_t min_bytes_each) {
+    if (!ok) return false;
+    const long pos = std::ftell(f);
+    if (pos < 0 || pos > file_size) {
+      ok = false;
+      return false;
+    }
+    const uint64_t remaining = static_cast<uint64_t>(file_size - pos);
+    if (count <= remaining / (min_bytes_each == 0 ? 1 : min_bytes_each)) {
+      return true;
+    }
+    ok = false;
+    return false;
   }
 };
 
@@ -62,10 +82,12 @@ STSQuery ReadQuery(Reader& r, const std::vector<TermId>& remap) {
   const double mxy = r.Pod<double>();
   q.region = Rect(mnx, mny, mxx, mxy);
   const uint32_t num_clauses = r.Pod<uint32_t>();
+  if (!r.FitsCount(num_clauses, sizeof(uint32_t))) return q;
   std::vector<std::vector<TermId>> clauses;
   clauses.reserve(num_clauses);
   for (uint32_t c = 0; c < num_clauses && r.ok; ++c) {
     const uint32_t n = r.Pod<uint32_t>();
+    if (!r.FitsCount(n, sizeof(uint32_t))) return q;
     std::vector<TermId> clause;
     clause.reserve(n);
     for (uint32_t i = 0; i < n && r.ok; ++i) {
@@ -117,20 +139,29 @@ bool ReadTrace(const std::string& path, Vocabulary& vocab,
                                              &std::fclose);
   if (file == nullptr) return false;
   Reader r{file.get()};
+  std::fseek(file.get(), 0, SEEK_END);
+  r.file_size = std::ftell(file.get());
+  std::fseek(file.get(), 0, SEEK_SET);
+  if (r.file_size < 0) return false;
   char magic[4];
   r.Bytes(magic, 4);
   if (!r.ok || std::memcmp(magic, kMagic, 4) != 0) return false;
   if (r.Pod<uint32_t>() != kVersion) return false;
   const uint64_t num_terms = r.Pod<uint64_t>();
   const uint64_t num_tuples = r.Pod<uint64_t>();
-  if (!r.ok) return false;
+  // Each term costs at least its u32 length; each tuple at least a kind
+  // byte + timestamp.
+  if (!r.FitsCount(num_terms, sizeof(uint32_t)) ||
+      !r.FitsCount(num_tuples, sizeof(uint8_t) + sizeof(int64_t))) {
+    return false;
+  }
 
   std::vector<TermId> remap;
   remap.reserve(num_terms);
   std::string buf;
   for (uint64_t i = 0; i < num_terms && r.ok; ++i) {
     const uint32_t len = r.Pod<uint32_t>();
-    if (!r.ok || len > (1u << 20)) return false;
+    if (!r.ok || len > (1u << 20) || !r.FitsCount(len, 1)) return false;
     buf.resize(len);
     r.Bytes(buf.data(), len);
     remap.push_back(vocab.Intern(buf));
@@ -143,7 +174,7 @@ bool ReadTrace(const std::string& path, Vocabulary& vocab,
       const double x = r.Pod<double>();
       const double y = r.Pod<double>();
       const uint32_t n = r.Pod<uint32_t>();
-      if (!r.ok || n > (1u << 24)) return false;
+      if (!r.ok || !r.FitsCount(n, sizeof(uint32_t))) return false;
       std::vector<TermId> terms;
       terms.reserve(n);
       for (uint32_t j = 0; j < n && r.ok; ++j) {

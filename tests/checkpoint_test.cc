@@ -1,0 +1,317 @@
+#include "persist/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "dispatch/gridt_index.h"
+#include "partition/plan.h"
+#include "persist/durability.h"
+#include "test_util.h"
+
+namespace ps2 {
+namespace {
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test: ctest runs gtest cases in parallel.
+    dir_ = ::testing::TempDir() + "/ps2_checkpoint_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+// Full state round trip: vocabulary (with counts), a hybrid plan (which
+// contains shared TermRouters), a routing snapshot with live H2 entries,
+// and the query set.
+TEST_F(CheckpointTest, RoundTripFullState) {
+  auto w = testutil::MakeWorkload(1101, 800, 200);
+  PartitionConfig cfg;
+  cfg.num_workers = 4;
+  cfg.grid_k = 4;
+  const PartitionPlan plan =
+      MakePartitioner("hybrid")->Build(w.sample, w.vocab, cfg);
+  GridtIndex master(plan, &w.vocab);
+  for (const auto& q : w.sample.inserts) master.RouteInsert(q);
+  SnapshotRouter router(&master);
+  auto snapshot = router.Current();
+
+  CheckpointView view;
+  view.seq = 3;
+  view.last_lsn = 42;
+  view.next_query_id = 1234;
+  view.next_object_id = 5678;
+  view.vocab = &w.vocab;
+  view.plan = &plan;
+  view.snapshot = snapshot.get();
+  for (const auto& q : w.sample.inserts) view.queries.push_back(&q);
+
+  const std::string path = dir_ + "/ckpt.ps2c";
+  ASSERT_TRUE(WriteCheckpointFile(path, view));
+
+  CheckpointData data;
+  ASSERT_TRUE(ReadCheckpointFile(path, &data));
+  EXPECT_EQ(data.seq, 3u);
+  EXPECT_EQ(data.last_lsn, 42u);
+  EXPECT_EQ(data.next_query_id, 1234u);
+  EXPECT_EQ(data.next_object_id, 5678u);
+
+  ASSERT_EQ(data.vocab.size(), w.vocab.size());
+  for (size_t i = 0; i < w.vocab.size(); ++i) {
+    const TermId t = static_cast<TermId>(i);
+    EXPECT_EQ(data.vocab.TermString(t), w.vocab.TermString(t));
+    EXPECT_EQ(data.vocab.Count(t), w.vocab.Count(t));
+  }
+
+  ASSERT_EQ(data.plan.cells.size(), plan.cells.size());
+  EXPECT_EQ(data.plan.num_workers, plan.num_workers);
+  EXPECT_EQ(data.plan.grid.NumCells(), plan.grid.NumCells());
+  for (size_t c = 0; c < plan.cells.size(); ++c) {
+    EXPECT_EQ(data.plan.cells[c].worker, plan.cells[c].worker) << c;
+    ASSERT_EQ(data.plan.cells[c].IsText(), plan.cells[c].IsText()) << c;
+    if (plan.cells[c].IsText()) {
+      EXPECT_EQ(data.plan.cells[c].text->term_map().size(),
+                plan.cells[c].text->term_map().size());
+      EXPECT_EQ(data.plan.cells[c].text->workers(),
+                plan.cells[c].text->workers());
+    }
+  }
+  // Structural sharing survives: cells of one kdt leaf still reference one
+  // router object after the round trip.
+  std::set<const TermRouter*> original_routers, decoded_routers;
+  for (size_t c = 0; c < plan.cells.size(); ++c) {
+    if (plan.cells[c].IsText()) {
+      original_routers.insert(plan.cells[c].text.get());
+      decoded_routers.insert(data.plan.cells[c].text.get());
+    }
+  }
+  EXPECT_EQ(decoded_routers.size(), original_routers.size());
+
+  ASSERT_TRUE(data.has_snapshot);
+  EXPECT_EQ(data.snapshot.NumCells(), snapshot->NumCells());
+  EXPECT_EQ(data.snapshot.version, snapshot->version);
+  for (CellId c = 0; c < snapshot->NumCells(); ++c) {
+    const auto& a = snapshot->cell(c);
+    const auto& b = data.snapshot.cell(c);
+    ASSERT_EQ(a.IsText(), b.IsText()) << c;
+    if (a.IsText()) {
+      EXPECT_EQ(a.text->h2.size(), b.text->h2.size()) << c;
+    } else {
+      EXPECT_EQ(a.worker, b.worker) << c;
+    }
+  }
+
+  ASSERT_EQ(data.queries.size(), w.sample.inserts.size());
+  for (size_t i = 0; i < data.queries.size(); ++i) {
+    EXPECT_EQ(data.queries[i].id, w.sample.inserts[i].id);
+    EXPECT_EQ(data.queries[i].region, w.sample.inserts[i].region);
+    EXPECT_EQ(data.queries[i].expr.clauses(),
+              w.sample.inserts[i].expr.clauses());
+  }
+}
+
+TEST_F(CheckpointTest, CorruptPayloadFailsCrc) {
+  Vocabulary vocab;
+  vocab.Intern("x");
+  PartitionPlan plan;
+  plan.grid = GridSpec(Rect(0, 0, 1, 1), 2);
+  plan.num_workers = 2;
+  plan.cells.resize(plan.grid.NumCells());
+  CheckpointView view;
+  view.vocab = &vocab;
+  view.plan = &plan;
+  const std::string path = dir_ + "/ckpt.ps2c";
+  ASSERT_TRUE(WriteCheckpointFile(path, view));
+
+  // Flip a byte in the middle of the payload.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, 64, SEEK_SET);
+    const int c = std::fgetc(f);
+    std::fseek(f, 64, SEEK_SET);
+    std::fputc(c ^ 0x55, f);
+    std::fclose(f);
+  }
+  CheckpointData data;
+  EXPECT_FALSE(ReadCheckpointFile(path, &data));
+}
+
+TEST_F(CheckpointTest, MissingFileFails) {
+  CheckpointData data;
+  EXPECT_FALSE(ReadCheckpointFile(dir_ + "/nope.ps2c", &data));
+}
+
+// The manager's directory protocol: Initialize -> mutate -> checkpoint ->
+// mutate -> recover picks the committed checkpoint and replays only the
+// newest segment chain; predecessors are garbage collected.
+TEST_F(CheckpointTest, ManagerCheckpointProtocolAndRecovery) {
+  Vocabulary vocab;
+  const TermId t = vocab.Intern("pizza");
+  PartitionPlan plan;
+  plan.grid = GridSpec(Rect(0, 0, 10, 10), 2);
+  plan.num_workers = 2;
+  plan.cells.resize(plan.grid.NumCells());
+
+  DurabilityConfig config;
+  config.enabled = true;
+  config.dir = dir_;
+  config.wal_sync = Wal::SyncMode::kFlush;
+
+  auto make_query = [&](QueryId id) {
+    STSQuery q;
+    q.id = id;
+    q.expr = BoolExpr::And({t});
+    q.region = Rect(0, 0, 10, 10);
+    return q;
+  };
+
+  std::vector<STSQuery> live;
+  {
+    DurabilityManager mgr(config);
+    CheckpointView view;
+    view.vocab = &vocab;
+    view.plan = &plan;
+    ASSERT_TRUE(mgr.Initialize(view));
+    EXPECT_EQ(mgr.seq(), 1u);
+    EXPECT_EQ(DurabilityManager::ReadCurrentSeq(dir_), 1u);
+
+    // Segment 1: queries 1..3 subscribed, 2 unsubscribed.
+    for (QueryId id = 1; id <= 3; ++id) {
+      live.push_back(make_query(id));
+      mgr.wal().AppendSubscribe(live.back(), vocab);
+    }
+    mgr.wal().AppendUnsubscribe(2);
+
+    // Checkpoint 2 captures {1, 3}.
+    const uint64_t seq = mgr.BeginCheckpoint();
+    ASSERT_EQ(seq, 2u);
+    CheckpointView view2;
+    view2.vocab = &vocab;
+    view2.plan = &plan;
+    view2.next_query_id = 4;
+    view2.queries.push_back(&live[0]);
+    view2.queries.push_back(&live[2]);
+    ASSERT_TRUE(mgr.CommitCheckpoint(seq, view2));
+    EXPECT_EQ(DurabilityManager::ReadCurrentSeq(dir_), 2u);
+    // Predecessor files are gone.
+    EXPECT_FALSE(std::filesystem::exists(
+        DurabilityManager::CheckpointPath(dir_, 1)));
+    EXPECT_FALSE(std::filesystem::exists(DurabilityManager::WalPath(dir_, 1)));
+
+    // Segment 2: query 4 subscribed after the checkpoint.
+    live.push_back(make_query(4));
+    mgr.wal().AppendSubscribe(live.back(), vocab);
+  }
+
+  RecoveredState state;
+  ASSERT_TRUE(RecoverState(dir_, &state));
+  EXPECT_EQ(state.checkpoint_seq, 2u);
+  EXPECT_EQ(state.wal_segments, 1);
+  EXPECT_EQ(state.wal.records, 1u);
+  ASSERT_EQ(state.queries.size(), 3u);
+  EXPECT_EQ(state.queries[0].id, 1u);
+  EXPECT_EQ(state.queries[1].id, 3u);
+  EXPECT_EQ(state.queries[2].id, 4u);
+  EXPECT_EQ(state.next_query_id, 5u);
+  EXPECT_EQ(state.plan.cells.size(), plan.cells.size());
+}
+
+// A crash between BeginCheckpoint (WAL rotated) and CommitCheckpoint
+// (CURRENT updated) must lose nothing: recovery starts from the old
+// committed checkpoint and walks the segment chain across the rotation.
+TEST_F(CheckpointTest, CrashBetweenRotateAndCommitReplaysSegmentChain) {
+  Vocabulary vocab;
+  const TermId t = vocab.Intern("crash");
+  PartitionPlan plan;
+  plan.grid = GridSpec(Rect(0, 0, 1, 1), 1);
+  plan.num_workers = 1;
+  plan.cells.resize(plan.grid.NumCells());
+
+  DurabilityConfig config;
+  config.enabled = true;
+  config.dir = dir_;
+
+  {
+    DurabilityManager mgr(config);
+    CheckpointView view;
+    view.vocab = &vocab;
+    view.plan = &plan;
+    ASSERT_TRUE(mgr.Initialize(view));
+    STSQuery q1;
+    q1.id = 1;
+    q1.expr = BoolExpr::And({t});
+    q1.region = Rect(0, 0, 1, 1);
+    mgr.wal().AppendSubscribe(q1, vocab);
+    // Rotate (as a checkpoint would)... and crash before commit.
+    ASSERT_EQ(mgr.BeginCheckpoint(), 2u);
+    STSQuery q2 = q1;
+    q2.id = 2;
+    mgr.wal().AppendSubscribe(q2, vocab);  // lands in segment 2
+  }
+
+  RecoveredState state;
+  ASSERT_TRUE(RecoverState(dir_, &state));
+  EXPECT_EQ(state.checkpoint_seq, 1u);  // CURRENT never moved
+  EXPECT_EQ(state.wal_segments, 2);     // both segments replayed
+  ASSERT_EQ(state.queries.size(), 2u);
+  EXPECT_EQ(state.queries[0].id, 1u);
+  EXPECT_EQ(state.queries[1].id, 2u);
+}
+
+// A checkpoint whose commit failed leaves an orphan segment that already
+// holds acknowledged records; the retried checkpoint reuses the same seq
+// and its rotation must *append* to that segment, never truncate it.
+TEST_F(CheckpointTest, RetriedCheckpointRotationPreservesOrphanSegment) {
+  Vocabulary vocab;
+  const TermId t = vocab.Intern("retry");
+  PartitionPlan plan;
+  plan.grid = GridSpec(Rect(0, 0, 1, 1), 1);
+  plan.num_workers = 1;
+  plan.cells.resize(plan.grid.NumCells());
+
+  DurabilityConfig config;
+  config.enabled = true;
+  config.dir = dir_;
+
+  auto make_query = [&](QueryId id) {
+    STSQuery q;
+    q.id = id;
+    q.expr = BoolExpr::And({t});
+    q.region = Rect(0, 0, 1, 1);
+    return q;
+  };
+
+  {
+    DurabilityManager mgr(config);
+    CheckpointView view;
+    view.vocab = &vocab;
+    view.plan = &plan;
+    ASSERT_TRUE(mgr.Initialize(view));
+    mgr.wal().AppendSubscribe(make_query(1), vocab);
+    ASSERT_EQ(mgr.BeginCheckpoint(), 2u);  // rotate to wal-2
+    mgr.wal().AppendSubscribe(make_query(2), vocab);  // lands in wal-2
+    // The commit "failed"; a retry begins again and reuses seq 2.
+    ASSERT_EQ(mgr.BeginCheckpoint(), 2u);
+    mgr.wal().AppendSubscribe(make_query(3), vocab);
+    // Crash without ever committing.
+  }
+
+  RecoveredState state;
+  ASSERT_TRUE(RecoverState(dir_, &state));
+  EXPECT_EQ(state.checkpoint_seq, 1u);
+  ASSERT_EQ(state.queries.size(), 3u);  // query 2 survived the re-rotation
+  EXPECT_EQ(state.queries[0].id, 1u);
+  EXPECT_EQ(state.queries[1].id, 2u);
+  EXPECT_EQ(state.queries[2].id, 3u);
+}
+
+}  // namespace
+}  // namespace ps2

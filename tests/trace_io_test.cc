@@ -117,6 +117,117 @@ TEST_F(TraceIoTest, CorruptMagicFails) {
   EXPECT_FALSE(ReadTrace(path_, vocab, &out));
 }
 
+// Bit-flipped length/count fields must fail cleanly — the declared counts
+// are sanity-capped against the file size before any resize/reserve, so a
+// corrupt header cannot drive a multi-GB allocation attempt.
+class TraceIoCorruptionTest : public TraceIoTest {
+ protected:
+  // Writes one object tuple (1 term) and one insert-query tuple.
+  void WriteSmallTrace() {
+    Vocabulary vocab;
+    const TermId t = vocab.Intern("t");
+    std::vector<StreamTuple> tuples;
+    tuples.push_back(StreamTuple::OfObject(
+        SpatioTextualObject::FromTerms(1, Point{0, 0}, {t})));
+    STSQuery q;
+    q.id = 2;
+    q.expr = BoolExpr::And({t});
+    q.region = Rect(0, 0, 1, 1);
+    tuples.push_back(StreamTuple::OfInsert(q));
+    ASSERT_TRUE(WriteTrace(path_, vocab, tuples));
+  }
+
+  void CorruptU32At(long offset, uint32_t value) {
+    FILE* f = std::fopen(path_.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, offset, SEEK_SET);
+    std::fwrite(&value, sizeof(value), 1, f);
+    std::fclose(f);
+  }
+
+  bool Read() {
+    Vocabulary vocab;
+    std::vector<StreamTuple> out;
+    return ReadTrace(path_, vocab, &out);
+  }
+
+  // File layout offsets of the small trace (see trace_io.h):
+  //   0 magic, 4 version, 8 #terms (u64), 16 #tuples (u64)
+  //   24 term "t": u32 len + 1 byte                       -> tuple 0 at 29
+  //   29 object: u8 kind, i64 time, u64 id, f64 x, f64 y  -> #terms at 62
+  //   66 term[0]                                          -> tuple 1 at 70
+  //   70 query: u8 kind, i64 time, u64 id, 4x f64 region  -> #clauses at 119
+  //   123 clause 0: u32 #terms (at 123), u32 term
+  static constexpr long kNumTermsOffset = 8;
+  static constexpr long kNumTuplesOffset = 16;
+  static constexpr long kTermLenOffset = 24;
+  static constexpr long kObjectTermCountOffset = 62;
+  static constexpr long kClauseCountOffset = 119;
+  static constexpr long kClauseTermCountOffset = 123;
+};
+
+TEST_F(TraceIoCorruptionTest, FlippedVocabularyCountFails) {
+  WriteSmallTrace();
+  CorruptU32At(kNumTermsOffset, 0xFFFFFFFFu);  // ~4G declared terms
+  EXPECT_FALSE(Read());
+}
+
+TEST_F(TraceIoCorruptionTest, FlippedTupleCountFails) {
+  WriteSmallTrace();
+  CorruptU32At(kNumTuplesOffset, 0x7FFFFFFFu);
+  EXPECT_FALSE(Read());
+}
+
+TEST_F(TraceIoCorruptionTest, FlippedTermLengthFails) {
+  WriteSmallTrace();
+  CorruptU32At(kTermLenOffset, 0x40000000u);
+  EXPECT_FALSE(Read());
+}
+
+TEST_F(TraceIoCorruptionTest, FlippedObjectTermCountFails) {
+  WriteSmallTrace();
+  CorruptU32At(kObjectTermCountOffset, 0x00FFFFFFu);
+  EXPECT_FALSE(Read());
+}
+
+TEST_F(TraceIoCorruptionTest, FlippedClauseCountFails) {
+  WriteSmallTrace();
+  CorruptU32At(kClauseCountOffset, 0xEFFFFFFFu);
+  EXPECT_FALSE(Read());
+}
+
+TEST_F(TraceIoCorruptionTest, FlippedClauseTermCountFails) {
+  WriteSmallTrace();
+  CorruptU32At(kClauseTermCountOffset, 0xEFFFFFFFu);
+  EXPECT_FALSE(Read());
+}
+
+TEST_F(TraceIoCorruptionTest, EveryFlippedBytePositionFailsOrRoundTrips) {
+  // Sweep: flipping any single byte must either still parse (payload-only
+  // damage) or fail cleanly — never crash or over-allocate.
+  WriteSmallTrace();
+  std::string original;
+  {
+    FILE* f = std::fopen(path_.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      original.append(buf, n);
+    }
+    std::fclose(f);
+  }
+  for (size_t i = 0; i < original.size(); ++i) {
+    std::string corrupted = original;
+    corrupted[i] = static_cast<char>(corrupted[i] ^ 0xFF);
+    FILE* f = std::fopen(path_.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(corrupted.data(), 1, corrupted.size(), f);
+    std::fclose(f);
+    Read();  // must terminate without crashing; result may be either way
+  }
+}
+
 TEST_F(TraceIoTest, TruncatedFileFails) {
   Vocabulary vocab;
   std::vector<StreamTuple> tuples;

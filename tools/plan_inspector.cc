@@ -5,17 +5,110 @@
 //
 //   plan_inspector [partitioner] [dataset] [workers] [queries Q1|Q2|Q3]
 //   e.g.  plan_inspector hybrid US 8 Q3
+//
+// It can also open a durability directory and dump what a recovery would
+// load: the checkpointed plan, query count, vocabulary size and the WAL
+// tail.
+//
+//   plan_inspector --checkpoint <dir>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "partition/plan.h"
+#include "persist/durability.h"
 #include "workload/stream_gen.h"
 #include "workload/synthetic_corpus.h"
 
 using namespace ps2;
 
+namespace {
+
+// ASCII map (downsample to at most 32x32): digit = worker id of a
+// space-routed cell, '#' = text-routed.
+void PrintPlanMap(const PartitionPlan& plan) {
+  const uint32_t side = plan.grid.side();
+  const uint32_t step = side > 32 ? side / 32 : 1;
+  for (uint32_t cy = 0; cy < side; cy += step) {
+    for (uint32_t cx = 0; cx < side; cx += step) {
+      const CellRoute& r = plan.cells[plan.grid.ToId(cx, cy)];
+      if (r.IsText()) {
+        std::putchar('#');
+      } else {
+        std::putchar(r.worker < 10 ? '0' + r.worker
+                                   : 'a' + (r.worker - 10) % 26);
+      }
+    }
+    std::putchar('\n');
+  }
+}
+
+int InspectCheckpoint(const std::string& dir) {
+  RecoveredState state;
+  // Read-only: inspection must not truncate a torn WAL tail — that is the
+  // actual recovery's job, and the corrupt bytes are forensic evidence.
+  if (!RecoverState(dir, &state, /*truncate_torn=*/false)) {
+    std::fprintf(stderr,
+                 "no usable checkpoint at '%s' (missing CURRENT, or the "
+                 "committed checkpoint failed validation)\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::printf("durable state at %s\n", dir.c_str());
+  std::printf("checkpoint: seq %llu, lsn high-water %llu\n",
+              (unsigned long long)state.checkpoint_seq,
+              (unsigned long long)state.last_lsn);
+  std::printf("wal tail:   %llu records replayed across %d segment(s) "
+              "(%llu subscribe, %llu unsubscribe, %llu cell-route), "
+              "%llu bytes\n",
+              (unsigned long long)state.wal.records, state.wal_segments,
+              (unsigned long long)state.wal.subscribes,
+              (unsigned long long)state.wal.unsubscribes,
+              (unsigned long long)state.wal.cell_routes,
+              (unsigned long long)state.wal.bytes_replayed);
+  if (state.wal.truncated) {
+    std::printf("            torn tail: recovery would truncate %llu "
+                "trailing bytes (left untouched by this inspection)\n",
+                (unsigned long long)state.wal.truncated_bytes);
+  }
+  std::printf("vocabulary: %zu terms (%llu occurrences)\n",
+              state.vocab.size(),
+              (unsigned long long)state.vocab.TotalCount());
+  std::printf("queries:    %zu live (next id %llu), next object id %llu\n",
+              state.queries.size(),
+              (unsigned long long)state.next_query_id,
+              (unsigned long long)state.next_object_id);
+  std::printf("plan: %ux%u grid over %s, %d workers, "
+              "%zu / %u text-routed cells\n",
+              state.plan.grid.side(), state.plan.grid.side(),
+              state.plan.grid.bounds().ToString().c_str(),
+              state.plan.num_workers, state.plan.NumTextCells(),
+              state.plan.grid.NumCells());
+  if (state.had_snapshot) {
+    size_t h2_terms = 0;
+    for (CellId c = 0; c < state.snapshot.NumCells(); ++c) {
+      const RoutingSnapshot::Cell& cell = state.snapshot.cell(c);
+      if (cell.IsText()) h2_terms += cell.text->h2.size();
+    }
+    std::printf("snapshot:   version %llu, %zu live H2 term entries\n",
+                (unsigned long long)state.snapshot.version, h2_terms);
+  }
+  std::printf("\n");
+  PrintPlanMap(state.plan);
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--checkpoint") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: plan_inspector --checkpoint <dir>\n");
+      return 1;
+    }
+    return InspectCheckpoint(argv[2]);
+  }
+
   const std::string algo = argc > 1 ? argv[1] : "hybrid";
   const std::string dataset = argc > 2 ? argv[2] : "US";
   const int workers = argc > 3 ? std::atoi(argv[3]) : 8;
@@ -57,22 +150,7 @@ int main(int argc, char** argv) {
   std::printf("text-routed cells: %zu / %u\n\n", plan.NumTextCells(),
               plan.grid.NumCells());
 
-  // ASCII map (downsample to at most 32x32): digit = worker id of a
-  // space-routed cell, '#' = text-routed.
-  const uint32_t side = plan.grid.side();
-  const uint32_t step = side > 32 ? side / 32 : 1;
-  for (uint32_t cy = 0; cy < side; cy += step) {
-    for (uint32_t cx = 0; cx < side; cx += step) {
-      const CellRoute& r = plan.cells[plan.grid.ToId(cx, cy)];
-      if (r.IsText()) {
-        std::putchar('#');
-      } else {
-        std::putchar(r.worker < 10 ? '0' + r.worker
-                                   : 'a' + (r.worker - 10) % 26);
-      }
-    }
-    std::putchar('\n');
-  }
+  PrintPlanMap(plan);
 
   const PlanLoadReport report =
       EstimatePlanLoad(plan, stream.sample, vocab, cfg.cost);
