@@ -1,0 +1,137 @@
+// Worker hot-path benchmark: single-object vs batched matching against one
+// GI2 index at 100k and 1M live subscriptions. Reports objects/sec and
+// p50/p99 per-object *service time* for both paths and mirrors the table
+// into BENCH_hotpath.json; CI runs `--smoke` and gates on the batched
+// throughput via tools/check_bench_threshold.py against the committed
+// bench/hotpath_baseline.json.
+//
+// Latency semantics: single rows time each Match() call, so p50/p99 are true
+// per-object times. Batched rows divide each MatchBatch duration by the
+// batch size — the *amortized* per-object service cost, which is the number
+// a capacity plan needs. An object's completion latency inside a batch is
+// the whole batch duration (~batch_size * the amortized cost); end-to-end
+// queueing latency is what the engine benches (fig08/fig15) measure.
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "index/gi2.h"
+#include "runtime/metrics.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic_corpus.h"
+
+namespace ps2 {
+namespace {
+
+struct PathResult {
+  double objs_per_sec = 0.0;
+  uint64_t matches = 0;
+  LatencyHistogram latency;
+};
+
+PathResult RunSingle(Gi2Index& idx,
+                     const std::vector<SpatioTextualObject>& objects) {
+  PathResult r;
+  std::vector<MatchResult> out;
+  const int64_t begin = NowMicros();
+  for (const auto& o : objects) {
+    const int64_t t0 = NowMicros();
+    out.clear();
+    idx.Match(o, &out);
+    r.latency.Record(static_cast<double>(NowMicros() - t0));
+    r.matches += out.size();
+  }
+  const double secs = static_cast<double>(NowMicros() - begin) / 1e6;
+  r.objs_per_sec = secs > 0 ? objects.size() / secs : 0.0;
+  return r;
+}
+
+PathResult RunBatched(Gi2Index& idx,
+                      const std::vector<SpatioTextualObject>& objects,
+                      size_t batch_size) {
+  PathResult r;
+  std::vector<const SpatioTextualObject*> ptrs;
+  std::vector<MatchResult> out;
+  const int64_t begin = NowMicros();
+  for (size_t i = 0; i < objects.size(); i += batch_size) {
+    const size_t n = std::min(batch_size, objects.size() - i);
+    ptrs.clear();
+    for (size_t k = 0; k < n; ++k) ptrs.push_back(&objects[i + k]);
+    const int64_t t0 = NowMicros();
+    out.clear();
+    idx.MatchBatch(ptrs.data(), n, &out);
+    const double per_object =
+        static_cast<double>(NowMicros() - t0) / static_cast<double>(n);
+    for (size_t k = 0; k < n; ++k) r.latency.Record(per_object);
+    r.matches += out.size();
+  }
+  const double secs = static_cast<double>(NowMicros() - begin) / 1e6;
+  r.objs_per_sec = secs > 0 ? objects.size() / secs : 0.0;
+  return r;
+}
+
+void EmitRow(const std::string& path, size_t subs, size_t objects,
+             const PathResult& r) {
+  bench::PrintCell(path);
+  bench::PrintCell(static_cast<double>(subs), "%.0f");
+  bench::PrintCell(static_cast<double>(objects), "%.0f");
+  bench::PrintCell(static_cast<double>(r.matches), "%.0f");
+  bench::PrintCell(r.objs_per_sec, "%.0f");
+  bench::PrintCell(r.latency.PercentileMicros(0.50), "%.2f");
+  bench::PrintCell(r.latency.PercentileMicros(0.99), "%.2f");
+  bench::EndRow();
+}
+
+}  // namespace
+}  // namespace ps2
+
+int main(int argc, char** argv) {
+  using namespace ps2;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  bench::InitBench("hotpath");
+
+  const std::vector<size_t> sub_levels =
+      smoke ? std::vector<size_t>{20000}
+            : std::vector<size_t>{100000, 1000000};
+  const size_t num_objects = smoke ? 30000 : 200000;
+  const size_t batch_size = 64;
+
+  Vocabulary vocab;
+  CorpusConfig cfg = CorpusConfig::UsPreset();
+  cfg.vocab_size = smoke ? 40000 : 150000;
+  SyntheticCorpus corpus(cfg, &vocab);
+  corpus.Generate(smoke ? 20000 : 50000);
+  QueryGenConfig qcfg;
+  QueryGenerator qgen(qcfg, &corpus);
+  const GridSpec grid(cfg.extent, 6);
+
+  bench::PrintHeader("worker hot path: single vs batched matching",
+                     {"path", "subscriptions", "objects", "matches",
+                      "objs_per_sec", "p50_svc_us", "p99_svc_us"});
+  for (const size_t subs : sub_levels) {
+    Gi2Index idx(grid, &vocab);
+    for (const auto& q : qgen.Generate(subs)) idx.Insert(q);
+    const auto objects = corpus.Generate(num_objects);
+    // One untimed warm-up pass over a prefix so both measured paths start
+    // from the same cache and buffer state.
+    {
+      std::vector<MatchResult> warm;
+      const size_t prefix = std::min<size_t>(objects.size(), 2000);
+      for (size_t i = 0; i < prefix; ++i) {
+        warm.clear();
+        idx.Match(objects[i], &warm);
+      }
+    }
+    const PathResult single = RunSingle(idx, objects);
+    EmitRow("single", subs, objects.size(), single);
+    const PathResult batched = RunBatched(idx, objects, batch_size);
+    EmitRow("batched", subs, objects.size(), batched);
+  }
+  return 0;
+}

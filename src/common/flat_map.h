@@ -1,0 +1,168 @@
+#ifndef PS2_COMMON_FLAT_MAP_H_
+#define PS2_COMMON_FLAT_MAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ps2 {
+
+// Open-addressing hash map with linear probing over one contiguous entry
+// array — the cache-friendly replacement for the nested unordered_maps on
+// the worker hot path (GI2 postings, query-id -> slot). A lookup touches one
+// cache line per probe step instead of chasing a bucket list, and the whole
+// table is two allocations (entries + states) regardless of size.
+//
+// Restricted by design to trivially copyable keys and values (ids, offsets,
+// posting-list heads): entries are moved with plain assignment during rehash
+// and erase leaves tombstones without destructor bookkeeping. Erased slots
+// are reclaimed on the next rehash.
+template <typename K, typename V>
+class FlatMap {
+  static_assert(std::is_trivially_copyable<K>::value,
+                "FlatMap keys must be trivially copyable");
+  static_assert(std::is_trivially_copyable<V>::value,
+                "FlatMap values must be trivially copyable");
+
+ public:
+  FlatMap() = default;
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return entries_.size(); }
+
+  // Pointer to the value for `key`, or nullptr. Never allocates.
+  V* Find(K key) {
+    if (entries_.empty()) return nullptr;
+    const size_t mask = entries_.size() - 1;
+    for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
+      if (states_[i] == kEmpty) return nullptr;
+      if (states_[i] == kFull && entries_[i].key == key) {
+        return &entries_[i].value;
+      }
+    }
+  }
+  const V* Find(K key) const {
+    return const_cast<FlatMap*>(this)->Find(key);
+  }
+
+  // Value for `key`, default-constructed and inserted if absent.
+  V& operator[](K key) {
+    if (entries_.empty() || (used_ + 1) * 8 > entries_.size() * 7) {
+      Rehash(NextCapacity());
+    }
+    const size_t mask = entries_.size() - 1;
+    size_t insert_at = SIZE_MAX;
+    for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
+      if (states_[i] == kFull) {
+        if (entries_[i].key == key) return entries_[i].value;
+        continue;
+      }
+      if (states_[i] == kTombstone) {
+        if (insert_at == SIZE_MAX) insert_at = i;
+        continue;
+      }
+      // Empty: the key is definitely absent.
+      if (insert_at == SIZE_MAX) {
+        insert_at = i;
+        ++used_;  // tombstone reuse does not consume a fresh slot
+      }
+      break;
+    }
+    states_[insert_at] = kFull;
+    entries_[insert_at].key = key;
+    entries_[insert_at].value = V{};
+    ++size_;
+    return entries_[insert_at].value;
+  }
+
+  // Removes `key`; returns whether it was present. Leaves a tombstone that
+  // the next rehash reclaims.
+  bool Erase(K key) {
+    if (entries_.empty()) return false;
+    const size_t mask = entries_.size() - 1;
+    for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
+      if (states_[i] == kEmpty) return false;
+      if (states_[i] == kFull && entries_[i].key == key) {
+        states_[i] = kTombstone;
+        --size_;
+        return true;
+      }
+    }
+  }
+
+  void Clear() {
+    states_.assign(states_.size(), kEmpty);
+    size_ = used_ = 0;
+  }
+
+  // Calls f(key, value&) for every live entry, in table order.
+  template <typename F>
+  void ForEach(F&& f) {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (states_[i] == kFull) f(entries_[i].key, entries_[i].value);
+    }
+  }
+  template <typename F>
+  void ForEach(F&& f) const {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      if (states_[i] == kFull) f(entries_[i].key, entries_[i].value);
+    }
+  }
+
+  size_t MemoryBytes() const {
+    return entries_.capacity() * sizeof(Entry) + states_.capacity();
+  }
+
+ private:
+  struct Entry {
+    K key;
+    V value;
+  };
+  enum : uint8_t { kEmpty = 0, kFull = 1, kTombstone = 2 };
+
+  // splitmix64 finalizer: integer keys here are dense ids, so identity
+  // hashing would cluster badly under linear probing.
+  static size_t Hash(K key) {
+    uint64_t x = static_cast<uint64_t>(key);
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+
+  size_t NextCapacity() const {
+    // Size for the live entries only: rehash drops tombstones, so a table
+    // churning through Erase does not grow without bound.
+    size_t cap = 8;
+    while ((size_ + 1) * 8 > cap * 7) cap *= 2;
+    return cap < entries_.size() ? entries_.size() : cap;
+  }
+
+  void Rehash(size_t new_capacity) {
+    std::vector<Entry> old_entries = std::move(entries_);
+    std::vector<uint8_t> old_states = std::move(states_);
+    entries_.assign(new_capacity, Entry{});
+    states_.assign(new_capacity, kEmpty);
+    used_ = size_;
+    const size_t mask = new_capacity - 1;
+    for (size_t i = 0; i < old_entries.size(); ++i) {
+      if (old_states[i] != kFull) continue;
+      size_t j = Hash(old_entries[i].key) & mask;
+      while (states_[j] == kFull) j = (j + 1) & mask;
+      states_[j] = kFull;
+      entries_[j] = old_entries[i];
+    }
+  }
+
+  std::vector<Entry> entries_;
+  std::vector<uint8_t> states_;  // kEmpty / kFull / kTombstone per entry
+  size_t size_ = 0;  // live entries
+  size_t used_ = 0;  // live + tombstoned slots (probe-chain occupancy)
+};
+
+}  // namespace ps2
+
+#endif  // PS2_COMMON_FLAT_MAP_H_

@@ -39,11 +39,13 @@ void GridtIndex::RemoveH2(CellId cell, TermId term, WorkerId worker) {
 std::vector<PartitionPlan::QueryRoute> GridtIndex::RouteInsert(
     const STSQuery& q) {
   std::vector<PartitionPlan::QueryRoute> routes;
-  plan_.RouteQuery(q, *vocab_, &routes);
+  // RouteQuery leaves q.region's overlapping cells in the scratch; the H2
+  // maintenance below walks the same list instead of recomputing it.
+  plan_.RouteQuery(q, *vocab_, &routes, &route_cells_scratch_);
   // H2 is maintained only for text-routed cells (space-routed cells in the
   // paper's gridt carry a bare worker id — Figure 4).
   const std::vector<TermId> terms = q.expr.RoutingTerms(*vocab_);
-  for (const CellId cell : plan_.grid.CellsOverlapping(q.region)) {
+  for (const CellId cell : route_cells_scratch_) {
     const CellRoute& route = plan_.cells[cell];
     if (!route.IsText()) continue;
     for (const TermId t : terms) {
@@ -56,9 +58,9 @@ std::vector<PartitionPlan::QueryRoute> GridtIndex::RouteInsert(
 std::vector<PartitionPlan::QueryRoute> GridtIndex::RouteDelete(
     const STSQuery& q) {
   std::vector<PartitionPlan::QueryRoute> routes;
-  plan_.RouteQuery(q, *vocab_, &routes);
+  plan_.RouteQuery(q, *vocab_, &routes, &route_cells_scratch_);
   const std::vector<TermId> terms = q.expr.RoutingTerms(*vocab_);
-  for (const CellId cell : plan_.grid.CellsOverlapping(q.region)) {
+  for (const CellId cell : route_cells_scratch_) {
     const CellRoute& route = plan_.cells[cell];
     if (!route.IsText()) continue;
     for (const TermId t : terms) {

@@ -97,6 +97,11 @@ class GridtIndex {
   PartitionPlan plan_;
   const Vocabulary* vocab_;
   std::unordered_map<CellId, H2Cell> h2_;
+  // Reused overlap scratch: filled by RouteQuery during RouteInsert /
+  // RouteDelete and walked again by their H2 maintenance loops. Callers
+  // already serialize mutations (the SnapshotRouter writer lock in the
+  // threaded runtime), which also covers this scratch.
+  std::vector<CellId> route_cells_scratch_;
 };
 
 }  // namespace ps2

@@ -107,26 +107,20 @@ void SnapshotRouter::PublishCells(const std::vector<CellId>& cells) {
   version_.store(v);  // seq_cst: pairs with the dispatchers' epoch handshake
 }
 
-namespace {
-
-// Cells whose snapshot entry a query update can change: the text-routed
-// cells overlapping its region (space-routed cells carry no H2).
-std::vector<CellId> TouchedTextCells(const GridtIndex& master,
-                                     const STSQuery& q) {
-  std::vector<CellId> touched;
-  for (const CellId c : master.plan().grid.CellsOverlapping(q.region)) {
-    if (master.plan().cells[c].IsText()) touched.push_back(c);
+void SnapshotRouter::CollectTouchedTextCells(const STSQuery& q) {
+  touched_cells_scratch_.clear();
+  master_->plan().grid.CellsOverlapping(q.region, &overlap_scratch_);
+  for (const CellId c : overlap_scratch_) {
+    if (master_->plan().cells[c].IsText()) touched_cells_scratch_.push_back(c);
   }
-  return touched;
 }
-
-}  // namespace
 
 std::vector<PartitionPlan::QueryRoute> SnapshotRouter::RouteInsert(
     const STSQuery& q, std::atomic<int>* pending_pushes) {
   std::lock_guard<std::mutex> lock(mu_);
   auto routes = master_->RouteInsert(q);
-  PublishCells(TouchedTextCells(*master_, q));
+  CollectTouchedTextCells(q);
+  PublishCells(touched_cells_scratch_);
   if (pending_pushes != nullptr) pending_pushes->fetch_add(1);
   return routes;
 }
@@ -135,7 +129,8 @@ std::vector<PartitionPlan::QueryRoute> SnapshotRouter::RouteDelete(
     const STSQuery& q, std::atomic<int>* pending_pushes) {
   std::lock_guard<std::mutex> lock(mu_);
   auto routes = master_->RouteDelete(q);
-  PublishCells(TouchedTextCells(*master_, q));
+  CollectTouchedTextCells(q);
+  PublishCells(touched_cells_scratch_);
   if (pending_pushes != nullptr) pending_pushes->fetch_add(1);
   return routes;
 }

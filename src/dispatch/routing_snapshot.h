@@ -109,14 +109,22 @@ class SnapshotRouter {
   GridtIndex& master() { return *master_; }
 
  private:
-  // Both require `mu_` to be held.
+  // All three require `mu_` to be held.
   std::shared_ptr<const RoutingSnapshot> BuildFull() const;
   void PublishCells(const std::vector<CellId>& cells);
+  // Fills touched_cells_scratch_ with the cells whose snapshot entry a
+  // query update for `q` can change: the text-routed cells overlapping its
+  // region (space-routed cells carry no H2).
+  void CollectTouchedTextCells(const STSQuery& q);
 
   GridtIndex* master_;
   std::mutex mu_;  // serializes writers (query updates + controller)
   std::shared_ptr<const RoutingSnapshot> current_;  // atomic_load/atomic_store
   std::atomic<uint64_t> version_{0};  // == current_->version, set post-swap
+  // Reused per-update scratch (guarded by mu_): region overlap and the
+  // text-routed subset handed to PublishCells.
+  std::vector<CellId> overlap_scratch_;
+  std::vector<CellId> touched_cells_scratch_;
 };
 
 }  // namespace ps2

@@ -6,208 +6,358 @@ namespace ps2 {
 
 Gi2Index::Gi2Index(const GridSpec& grid, const Vocabulary* vocab,
                    const Options& options)
-    : grid_(grid), vocab_(vocab), options_(options) {}
+    : grid_(grid), vocab_(vocab), options_(options) {
+  cell_dir_.assign(grid_.NumCells(), kNone);
+}
 
-void Gi2Index::IndexInCell(const STSQuery& q, StoredQuery& stored,
-                           CellId cell) {
-  Cell& c = cells_[cell];
-  if (!c.members.insert(q.id).second) return;  // already indexed here
-  for (const TermId t : q.expr.RoutingTerms(*vocab_)) {
-    c.postings[t].push_back(q.id);
-    ++stored.posting_slots;
+Gi2Index::Cell* Gi2Index::FindCell(CellId cell) {
+  if (cell >= cell_dir_.size() || cell_dir_[cell] == kNone) return nullptr;
+  return &cell_pool_[cell_dir_[cell]];
+}
+
+const Gi2Index::Cell* Gi2Index::FindCell(CellId cell) const {
+  if (cell >= cell_dir_.size() || cell_dir_[cell] == kNone) return nullptr;
+  return &cell_pool_[cell_dir_[cell]];
+}
+
+Gi2Index::Cell& Gi2Index::CellFor(CellId cell) {
+  uint32_t& rec = cell_dir_[cell];
+  if (rec == kNone) {
+    if (!free_cell_recs_.empty()) {
+      rec = free_cell_recs_.back();
+      free_cell_recs_.pop_back();
+    } else {
+      cell_pool_.emplace_back();
+      rec = static_cast<uint32_t>(cell_pool_.size() - 1);
+    }
   }
-  stored.cells.push_back(cell);
-  c.query_bytes += q.MemoryBytes();
+  return cell_pool_[rec];
+}
+
+uint32_t Gi2Index::AllocSlot() {
+  if (free_slot_head_ != kNone) {
+    const uint32_t slot = free_slot_head_;
+    free_slot_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNone;
+    return slot;
+  }
+  slots_.emplace_back();
+  return static_cast<uint32_t>(slots_.size() - 1);
+}
+
+void Gi2Index::FreeSlot(uint32_t slot) {
+  QuerySlot& qs = slots_[slot];
+  qs.query = STSQuery{};
+  qs.cells.clear();
+  qs.postings = 0;
+  qs.mark_epoch = 0;
+  qs.state = SlotState::kFree;
+  qs.next_free = free_slot_head_;
+  free_slot_head_ = slot;
+}
+
+void Gi2Index::ReleaseTombstone(uint32_t slot) {
+  --num_tombstones_;
+  FreeSlot(slot);
+}
+
+void Gi2Index::IndexInCell(const STSQuery& q, uint32_t slot,
+                          const std::vector<TermId>& routing_terms,
+                          CellId cell_id) {
+  QuerySlot& qs = slots_[slot];
+  const auto it =
+      std::lower_bound(qs.cells.begin(), qs.cells.end(), cell_id);
+  if (it != qs.cells.end() && *it == cell_id) return;  // already indexed here
+  Cell& cell = CellFor(cell_id);
+  for (const TermId t : routing_terms) {
+    arena_.Push(cell.postings[t], slot);
+  }
+  qs.postings += static_cast<uint32_t>(routing_terms.size());
+  qs.cells.insert(it, cell_id);
+  ++cell.num_queries;
+  cell.query_bytes += q.MemoryBytes();
 }
 
 void Gi2Index::Insert(const STSQuery& q) {
-  InsertIntoCells(q, grid_.CellsOverlapping(q.region));
+  grid_.CellsOverlapping(q.region, &insert_cells_scratch_);
+  InsertIntoCells(q, insert_cells_scratch_);
 }
 
 void Gi2Index::InsertIntoCells(const STSQuery& q,
                                const std::vector<CellId>& cells) {
   if (q.expr.empty()) return;  // matches nothing; never index
-  // Re-inserting an id that is currently tombstoned would confuse lazy
-  // purging; finish the logical delete eagerly first.
-  if (tombstones_.count(q.id)) {
-    for (auto& [cell_id, cell] : cells_) {
-      if (!cell.members.erase(q.id)) continue;
-      for (auto& [term, list] : cell.postings) {
-        list.erase(std::remove(list.begin(), list.end(), q.id), list.end());
-      }
-    }
-    tombstones_.erase(q.id);
+  // Re-inserting an id whose previous incarnation is still a draining
+  // tombstone needs no scrub: stale postings reference the old *slot* (which
+  // keeps purging lazily) while the fresh insert binds the id to a new one.
+  uint32_t slot;
+  const uint32_t* existing = id_to_slot_.Find(q.id);
+  const bool fresh = existing == nullptr;
+  if (fresh) {
+    slot = AllocSlot();
+    QuerySlot& qs = slots_[slot];
+    qs.query = q;
+    qs.state = SlotState::kLive;
+  } else {
+    slot = *existing;
   }
-  auto [it, inserted] = queries_.try_emplace(q.id);
-  if (inserted) it->second.query = q;
+  const std::vector<TermId> routing_terms = q.expr.RoutingTerms(*vocab_);
   // The dispatcher is the routing authority; cells are indexed as given.
   // In particular, geometry outside the grid extent clamps to border cells
   // on both the query and the object path, so the pair still rendezvous.
   for (const CellId cell : cells) {
-    IndexInCell(q, it->second, cell);
+    if (cell >= cell_dir_.size()) continue;  // outside this index's grid
+    IndexInCell(q, slot, routing_terms, cell);
   }
-  if (it->second.cells.empty()) queries_.erase(it);  // indexed nowhere
+  if (slots_[slot].cells.empty()) {
+    if (fresh) FreeSlot(slot);  // indexed nowhere
+    return;
+  }
+  if (fresh) {
+    id_to_slot_[q.id] = slot;
+    ++num_live_;
+  }
 }
 
 void Gi2Index::Delete(QueryId id) {
-  auto it = queries_.find(id);
-  if (it == queries_.end()) return;
-  const size_t q_bytes = it->second.query.MemoryBytes();
+  const uint32_t* slot_ptr = id_to_slot_.Find(id);
+  if (slot_ptr == nullptr) return;
+  const uint32_t slot = *slot_ptr;
+  QuerySlot& qs = slots_[slot];
+  const size_t q_bytes = qs.query.MemoryBytes();
+  for (const CellId cell_id : qs.cells) {
+    Cell* cell = FindCell(cell_id);
+    if (cell == nullptr) continue;
+    if (cell->num_queries > 0) --cell->num_queries;
+    cell->query_bytes -= std::min(cell->query_bytes, q_bytes);
+  }
+  id_to_slot_.Erase(id);
+  --num_live_;
   if (options_.lazy_deletion) {
-    tombstones_[id] = it->second.posting_slots;
-    // The stored query itself is dropped now; only posting slots linger in
-    // the inverted lists until matching traversals purge them.
-    for (const CellId cell_id : it->second.cells) {
-      auto cit = cells_.find(cell_id);
-      if (cit == cells_.end()) continue;
-      if (cit->second.members.erase(id)) {
-        cit->second.query_bytes -= std::min(cit->second.query_bytes, q_bytes);
-      }
+    if (qs.postings == 0) {
+      FreeSlot(slot);
+      return;
     }
-    queries_.erase(it);
+    // The stored query itself is dropped now; only the posting counter
+    // lingers until matching traversals purge the slot's stale postings.
+    qs.query = STSQuery{};
+    qs.cells.clear();
+    qs.state = SlotState::kTombstone;
+    ++num_tombstones_;
     return;
   }
-  // Eager deletion: scrub postings in the query's cells immediately.
-  for (const CellId cell_id : it->second.cells) {
-    auto cit = cells_.find(cell_id);
-    if (cit == cells_.end()) continue;
-    Cell& cell = cit->second;
-    if (!cell.members.erase(id)) continue;
-    cell.query_bytes -= std::min(cell.query_bytes, q_bytes);
-    for (auto& [term, list] : cell.postings) {
-      list.erase(std::remove(list.begin(), list.end(), id), list.end());
-    }
+  // Eager deletion: scrub this query's postings from its own cells. Routing
+  // terms are not re-derived (vocabulary frequencies may have drifted since
+  // insertion), so every list of the cell is swept for the slot.
+  for (const CellId cell_id : qs.cells) {
+    Cell* cell = FindCell(cell_id);
+    if (cell == nullptr) continue;
+    std::vector<TermId> dead_terms;
+    cell->postings.ForEach([&](TermId t, PostingArena::List& list) {
+      arena_.RemoveMatching(list, [slot](uint32_t s) { return s == slot; });
+      if (list.head == PostingArena::kNull) dead_terms.push_back(t);
+    });
+    for (const TermId t : dead_terms) cell->postings.Erase(t);
   }
-  queries_.erase(it);
+  FreeSlot(slot);
+}
+
+void Gi2Index::BumpEpoch() {
+  if (++match_epoch_ == 0) {
+    // Wraparound (once per 2^32 objects): every stamp could collide with
+    // the restarted counter, so clear them all and skip epoch 0.
+    for (QuerySlot& s : slots_) s.mark_epoch = 0;
+    match_epoch_ = 1;
+  }
+}
+
+void Gi2Index::MatchInCell(Cell& cell, const SpatioTextualObject& o,
+                           std::vector<MatchResult>* out) {
+  ++cell.objects_seen;
+  // A query is indexed under every term of its routing clause; an object may
+  // contain several of them, so dedup by stamping the slot with this
+  // object's epoch.
+  BumpEpoch();
+  const uint32_t epoch = match_epoch_;
+  for (const TermId t : o.terms) {
+    PostingArena::List* list = cell.postings.Find(t);
+    if (list == nullptr) continue;
+    uint32_t ci = list->head;
+    while (ci != PostingArena::kNull) {
+      // Captured up front: a purge can free the head chunk (overwriting its
+      // next field with a freelist link), but never relinks any other
+      // chunk, so the successor seen on entry stays correct.
+      const uint32_t next = arena_.chunk(ci).next;
+      uint32_t i = 0;
+      while (i < arena_.chunk(ci).count) {
+        const uint32_t slot = arena_.chunk(ci).slots[i];
+        QuerySlot& qs = slots_[slot];
+        if (qs.state == SlotState::kTombstone) {
+          // Lazy purge: swap-remove the stale posting (backfilled from the
+          // head chunk; the entry now at `i` is re-examined).
+          arena_.SwapRemove(*list, ci, i);
+          if (--qs.postings == 0) ReleaseTombstone(slot);
+          continue;
+        }
+        if (qs.mark_epoch != epoch && qs.query.Matches(o)) {
+          qs.mark_epoch = epoch;
+          out->push_back(MatchResult{qs.query.id, o.id});
+        }
+        ++i;
+      }
+      ci = next;
+    }
+    if (list->head == PostingArena::kNull) cell.postings.Erase(t);
+  }
 }
 
 void Gi2Index::Match(const SpatioTextualObject& o,
                      std::vector<MatchResult>* out) {
-  const CellId cell_id = grid_.CellOf(o.loc);
-  auto cit = cells_.find(cell_id);
-  if (cit == cells_.end()) return;
-  Cell& cell = cit->second;
-  ++cell.objects_seen;
-
-  // A query is indexed under every term of its routing clause; an object may
-  // contain several of them, so dedup within this call.
-  std::unordered_set<QueryId> emitted;
-  for (const TermId t : o.terms) {
-    auto pit = cell.postings.find(t);
-    if (pit == cell.postings.end()) continue;
-    std::vector<QueryId>& list = pit->second;
-    for (size_t i = 0; i < list.size();) {
-      const QueryId qid = list[i];
-      auto tomb = tombstones_.find(qid);
-      if (tomb != tombstones_.end()) {
-        // Lazy purge: swap-remove the stale posting.
-        PurgePosting(list, i);
-        if (--tomb->second == 0) tombstones_.erase(tomb);
-        continue;
-      }
-      auto qit = queries_.find(qid);
-      if (qit != queries_.end() && !emitted.count(qid) &&
-          qit->second.query.Matches(o)) {
-        emitted.insert(qid);
-        out->push_back(MatchResult{qid, o.id});
-      }
-      ++i;
-    }
-    if (list.empty()) cell.postings.erase(pit);
-  }
+  Cell* cell = FindCell(grid_.CellOf(o.loc));
+  if (cell == nullptr) return;
+  MatchInCell(*cell, o, out);
 }
 
-void Gi2Index::PurgePosting(std::vector<QueryId>& list, size_t index) {
-  list[index] = list.back();
-  list.pop_back();
+void Gi2Index::MatchBatch(const SpatioTextualObject* const* objects,
+                          size_t count, std::vector<MatchResult>* out) {
+  if (count == 0) return;
+  // Group by cell with one sort over packed (cell, position) keys: cell
+  // lookups amortize across the group and a cell's postings stay hot in
+  // cache, while the low half keeps stream order within each cell.
+  batch_keys_.clear();
+  for (size_t i = 0; i < count; ++i) {
+    const CellId cell = grid_.CellOf(objects[i]->loc);
+    batch_keys_.push_back((static_cast<uint64_t>(cell) << 32) | i);
+  }
+  std::sort(batch_keys_.begin(), batch_keys_.end());
+  size_t i = 0;
+  while (i < count) {
+    const CellId cell_id = static_cast<CellId>(batch_keys_[i] >> 32);
+    size_t j = i;
+    while (j < count && static_cast<CellId>(batch_keys_[j] >> 32) == cell_id) {
+      ++j;
+    }
+    Cell* cell = FindCell(cell_id);
+    if (cell != nullptr) {
+      for (size_t k = i; k < j; ++k) {
+        const size_t pos = static_cast<size_t>(batch_keys_[k] & 0xffffffffu);
+        MatchInCell(*cell, *objects[pos], out);
+      }
+    }
+    i = j;
+  }
 }
 
 size_t Gi2Index::MemoryBytes() const {
   size_t bytes = sizeof(Gi2Index);
-  for (const auto& [id, cell] : cells_) {
-    bytes += sizeof(Cell) + 32;
-    for (const auto& [term, list] : cell.postings) {
-      bytes += sizeof(TermId) + 32 + list.capacity() * sizeof(QueryId);
-    }
-    bytes += cell.members.size() * (sizeof(QueryId) + 16);
+  bytes += cell_dir_.capacity() * sizeof(uint32_t);
+  bytes += free_cell_recs_.capacity() * sizeof(uint32_t);
+  bytes += arena_.MemoryBytes();
+  for (const Cell& cell : cell_pool_) {
+    bytes += sizeof(Cell) + cell.postings.MemoryBytes();
   }
-  for (const auto& [id, stored] : queries_) {
-    bytes += stored.query.MemoryBytes() + 32;
+  bytes += slots_.capacity() * sizeof(QuerySlot);
+  for (const QuerySlot& qs : slots_) {
+    bytes += qs.cells.capacity() * sizeof(CellId);
+    if (qs.state == SlotState::kLive) bytes += qs.query.MemoryBytes();
   }
-  bytes += tombstones_.size() * (sizeof(QueryId) + sizeof(uint32_t) + 16);
+  bytes += id_to_slot_.MemoryBytes();
+  bytes += batch_keys_.capacity() * sizeof(uint64_t);
   return bytes;
 }
 
 std::vector<Gi2Index::CellStats> Gi2Index::AllCellStats() const {
   std::vector<CellStats> out;
-  out.reserve(cells_.size());
-  for (const auto& [id, cell] : cells_) {
-    out.push_back(CellStats{id, static_cast<uint32_t>(cell.members.size()),
-                            cell.objects_seen, cell.query_bytes});
+  out.reserve(cell_pool_.size() - free_cell_recs_.size());
+  for (CellId c = 0; c < cell_dir_.size(); ++c) {
+    if (cell_dir_[c] == kNone) continue;
+    const Cell& cell = cell_pool_[cell_dir_[c]];
+    out.push_back(
+        CellStats{c, cell.num_queries, cell.objects_seen, cell.query_bytes});
   }
   return out;
 }
 
-Gi2Index::CellStats Gi2Index::StatsFor(CellId cell) const {
-  auto it = cells_.find(cell);
-  if (it == cells_.end()) return CellStats{cell, 0, 0, 0};
-  return CellStats{cell, static_cast<uint32_t>(it->second.members.size()),
-                   it->second.objects_seen, it->second.query_bytes};
+Gi2Index::CellStats Gi2Index::StatsFor(CellId cell_id) const {
+  const Cell* cell = FindCell(cell_id);
+  if (cell == nullptr) return CellStats{cell_id, 0, 0, 0};
+  return CellStats{cell_id, cell->num_queries, cell->objects_seen,
+                   cell->query_bytes};
 }
 
 void Gi2Index::ResetObjectCounters() {
-  for (auto& [id, cell] : cells_) cell.objects_seen = 0;
+  for (Cell& cell : cell_pool_) cell.objects_seen = 0;
+}
+
+std::vector<uint32_t> Gi2Index::LiveSlotsInCell(const Cell& cell) const {
+  std::vector<uint32_t> slots;
+  cell.postings.ForEach([&](TermId, const PostingArena::List& list) {
+    arena_.ForEachEntry(list, [&](uint32_t s) {
+      if (slots_[s].state == SlotState::kLive) slots.push_back(s);
+    });
+  });
+  std::sort(slots.begin(), slots.end());
+  slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  return slots;
 }
 
 std::vector<STSQuery> Gi2Index::ExtractCell(CellId cell_id) {
   std::vector<STSQuery> out;
-  auto cit = cells_.find(cell_id);
-  if (cit == cells_.end()) return out;
-  Cell& cell = cit->second;
-  // Count the postings this cell holds per query so tombstone budgets and
+  Cell* cell = FindCell(cell_id);
+  if (cell == nullptr) return out;
+  // Count the postings this cell holds per slot so tombstone budgets and
   // posting totals stay consistent after removal.
-  std::unordered_map<QueryId, uint32_t> cell_postings;
-  for (const auto& [term, list] : cell.postings) {
-    for (const QueryId qid : list) cell_postings[qid]++;
-  }
-  for (const auto& [qid, count] : cell_postings) {
-    auto tomb = tombstones_.find(qid);
-    if (tomb != tombstones_.end()) {
-      if (tomb->second <= count) {
-        tombstones_.erase(tomb);
-      } else {
-        tomb->second -= count;
-      }
+  std::vector<uint32_t> posting_slots;
+  cell->postings.ForEach([&](TermId, const PostingArena::List& list) {
+    arena_.ForEachEntry(list,
+                        [&](uint32_t s) { posting_slots.push_back(s); });
+  });
+  std::sort(posting_slots.begin(), posting_slots.end());
+  for (size_t i = 0; i < posting_slots.size();) {
+    const uint32_t slot = posting_slots[i];
+    size_t j = i;
+    while (j < posting_slots.size() && posting_slots[j] == slot) ++j;
+    const uint32_t count = static_cast<uint32_t>(j - i);
+    i = j;
+    QuerySlot& qs = slots_[slot];
+    qs.postings -= std::min(qs.postings, count);
+    if (qs.state == SlotState::kTombstone) {
+      if (qs.postings == 0) ReleaseTombstone(slot);
       continue;
     }
-    auto qit = queries_.find(qid);
-    if (qit == queries_.end()) continue;
-    out.push_back(qit->second.query);
-    qit->second.posting_slots -= count;
-    auto& qcells = qit->second.cells;
-    qcells.erase(std::remove(qcells.begin(), qcells.end(), cell_id),
-                 qcells.end());
-    if (qcells.empty()) queries_.erase(qit);
+    out.push_back(qs.query);
+    const auto it =
+        std::lower_bound(qs.cells.begin(), qs.cells.end(), cell_id);
+    if (it != qs.cells.end() && *it == cell_id) qs.cells.erase(it);
+    if (qs.cells.empty()) {
+      id_to_slot_.Erase(qs.query.id);
+      --num_live_;
+      FreeSlot(slot);
+    }
   }
-  cells_.erase(cit);
+  cell->postings.ForEach(
+      [&](TermId, PostingArena::List& list) { arena_.FreeList(list); });
+  cell->postings.Clear();
+  cell->num_queries = 0;
+  cell->objects_seen = 0;
+  cell->query_bytes = 0;
+  free_cell_recs_.push_back(cell_dir_[cell_id]);
+  cell_dir_[cell_id] = kNone;
   return out;
 }
 
 std::vector<STSQuery> Gi2Index::CellQueries(CellId cell_id) const {
   std::vector<STSQuery> out;
-  auto cit = cells_.find(cell_id);
-  if (cit == cells_.end()) return out;
-  out.reserve(cit->second.members.size());
-  for (const QueryId qid : cit->second.members) {
-    auto qit = queries_.find(qid);
-    if (qit != queries_.end()) out.push_back(qit->second.query);
-  }
+  const Cell* cell = FindCell(cell_id);
+  if (cell == nullptr) return out;
+  const std::vector<uint32_t> live = LiveSlotsInCell(*cell);
+  out.reserve(live.size());
+  for (const uint32_t slot : live) out.push_back(slots_[slot].query);
   return out;
 }
 
-size_t Gi2Index::CellMigrationBytes(CellId cell) const {
-  auto it = cells_.find(cell);
-  return it == cells_.end() ? 0 : it->second.query_bytes;
+size_t Gi2Index::CellMigrationBytes(CellId cell_id) const {
+  const Cell* cell = FindCell(cell_id);
+  return cell == nullptr ? 0 : cell->query_bytes;
 }
 
 }  // namespace ps2

@@ -2,11 +2,11 @@
 #define PS2_INDEX_GI2_H_
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_map.h"
 #include "core/query.h"
+#include "index/posting_arena.h"
 #include "spatial/grid.h"
 #include "text/vocabulary.h"
 
@@ -20,9 +20,25 @@ namespace ps2 {
 // term of the cheapest clause (see BoolExpr::RoutingTerms for why this is
 // the completeness-preserving reading of the paper).
 //
+// Layout (the worker hot path is allocation-free in steady state):
+//   * Queries live in a slot-indexed dense vector; a flat QueryId -> slot
+//     map resolves ids. Posting lists store 32-bit slots, not ids.
+//   * Per cell, a flat open-addressing table maps TermId -> posting list;
+//     lists are chains of 64-byte chunks from a per-index PostingArena
+//     (swap-remove purge, freelist recycling — see posting_arena.h).
+//   * Per-object dedup ("a query indexed under several of the object's
+//     terms must match once") is an epoch stamp per query slot: each object
+//     bumps the index's match epoch and a slot is emitted only when its
+//     stamp trails the epoch. No per-Match heap set; wraparound clears all
+//     stamps once per 2^32 objects.
+//
 // Deletion is lazy (Section IV-D): a deletion request tombstones the query
-// id; stale postings are purged as inverted lists are traversed during
-// matching. Eager deletion is available for the ablation benchmark.
+// *slot*; stale postings are purged as inverted lists are traversed during
+// matching. Because postings reference slots and a tombstoned slot is never
+// reused until its last posting is purged, re-inserting a recently deleted
+// QueryId simply binds the id to a fresh slot — the index-wide scrub the
+// old id-keyed layout needed on re-insert is gone entirely. Eager deletion
+// is available for the ablation benchmark.
 //
 // The grid granularity matches the dispatcher's gridt index, so dynamic load
 // adjustment can migrate whole cells between workers via ExtractCell /
@@ -59,12 +75,24 @@ class Gi2Index {
   // encountered along the way when lazy deletion is enabled.
   void Match(const SpatioTextualObject& o, std::vector<MatchResult>* out);
 
+  // Batched matching: the objects are grouped by grid cell (stream order
+  // preserved within a cell) so each cell's posting table is resolved once
+  // and its postings stay hot across the group, then matched exactly like
+  // repeated Match() calls. Results are appended to `out` grouped by
+  // object; the cell grouping reorders objects, so callers needing global
+  // stream order must not batch across ordering boundaries. Steady-state
+  // cost is allocation-free: grouping scratch and `out` capacity are
+  // reused across calls.
+  void MatchBatch(const SpatioTextualObject* const* objects, size_t count,
+                  std::vector<MatchResult>* out);
+
   // --- introspection -------------------------------------------------------
-  size_t NumActiveQueries() const { return queries_.size(); }
-  size_t NumTombstones() const { return tombstones_.size(); }
+  size_t NumActiveQueries() const { return num_live_; }
+  size_t NumTombstones() const { return num_tombstones_; }
   const GridSpec& grid() const { return grid_; }
 
-  // Approximate heap footprint: postings + stored queries + tables.
+  // Approximate heap footprint: arena chunks + flat tables + stored queries
+  // + the cell directory (see README "Worker hot path").
   size_t MemoryBytes() const;
 
   struct CellStats {
@@ -96,30 +124,73 @@ class Gi2Index {
   // cell would ship over the network).
   size_t CellMigrationBytes(CellId cell) const;
 
+  // --- test hooks ----------------------------------------------------------
+  // Forces the dedup epoch counter so tests can drive it across the 2^32
+  // wraparound without 4 billion matches.
+  void SetMatchEpochForTest(uint32_t epoch) { match_epoch_ = epoch; }
+  uint32_t MatchEpochForTest() const { return match_epoch_; }
+
  private:
-  struct StoredQuery {
+  static constexpr uint32_t kNone = UINT32_MAX;
+
+  enum class SlotState : uint8_t { kFree = 0, kLive = 1, kTombstone = 2 };
+
+  struct QuerySlot {
     STSQuery query;
-    std::vector<CellId> cells;   // cells holding postings for this query
-    uint32_t posting_slots = 0;  // total postings across cells (for purge)
+    std::vector<CellId> cells;  // cells holding postings, sorted ascending
+    uint32_t postings = 0;      // live posting entries across cells
+    uint32_t mark_epoch = 0;    // dedup stamp: emitted during this epoch
+    uint32_t next_free = kNone;
+    SlotState state = SlotState::kFree;
   };
+
   struct Cell {
-    // term -> posting list of query ids.
-    std::unordered_map<TermId, std::vector<QueryId>> postings;
-    std::unordered_set<QueryId> members;  // live queries in this cell
+    FlatMap<TermId, PostingArena::List> postings;
+    uint32_t num_queries = 0;  // live queries indexed in this cell
     uint64_t objects_seen = 0;
     size_t query_bytes = 0;
   };
 
-  void IndexInCell(const STSQuery& q, StoredQuery& stored, CellId cell);
-  void PurgePosting(std::vector<QueryId>& list, size_t index);
+  Cell* FindCell(CellId cell);
+  const Cell* FindCell(CellId cell) const;
+  Cell& CellFor(CellId cell);
+  uint32_t AllocSlot();
+  void FreeSlot(uint32_t slot);
+  // Called when the last posting of a tombstoned slot is purged.
+  void ReleaseTombstone(uint32_t slot);
+  void IndexInCell(const STSQuery& q, uint32_t slot,
+                   const std::vector<TermId>& routing_terms, CellId cell);
+  // The shared hot loop: matches one object against one cell's postings.
+  void MatchInCell(Cell& cell, const SpatioTextualObject& o,
+                   std::vector<MatchResult>* out);
+  // Advances the dedup epoch, clearing all stamps on 2^32 wraparound.
+  void BumpEpoch();
+  // Distinct live slots holding postings in `cell`, sorted ascending.
+  std::vector<uint32_t> LiveSlotsInCell(const Cell& cell) const;
 
   GridSpec grid_;
   const Vocabulary* vocab_;
   Options options_;
-  std::unordered_map<CellId, Cell> cells_;
-  std::unordered_map<QueryId, StoredQuery> queries_;
-  // Tombstoned query id -> remaining posting slots to purge.
-  std::unordered_map<QueryId, uint32_t> tombstones_;
+
+  PostingArena arena_;
+  std::vector<Cell> cell_pool_;
+  std::vector<uint32_t> free_cell_recs_;
+  // CellId -> index into cell_pool_, kNone when the cell holds nothing. The
+  // grid is fixed at construction, so this is a perfect (direct) cell table.
+  std::vector<uint32_t> cell_dir_;
+
+  std::vector<QuerySlot> slots_;
+  uint32_t free_slot_head_ = kNone;
+  FlatMap<QueryId, uint32_t> id_to_slot_;  // live queries only
+  size_t num_live_ = 0;
+  size_t num_tombstones_ = 0;
+
+  uint32_t match_epoch_ = 0;
+
+  // Reused scratch (never shrunk): batch grouping keys and Insert's cell
+  // overlap list.
+  std::vector<uint64_t> batch_keys_;
+  std::vector<CellId> insert_cells_scratch_;
 };
 
 }  // namespace ps2

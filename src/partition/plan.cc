@@ -47,12 +47,17 @@ void PartitionPlan::RouteObject(const SpatioTextualObject& o,
 }
 
 void PartitionPlan::RouteQuery(const STSQuery& q, const Vocabulary& vocab,
-                               std::vector<QueryRoute>* out) const {
+                               std::vector<QueryRoute>* out,
+                               std::vector<CellId>* overlap_scratch) const {
   out->clear();
+  std::vector<CellId> local_overlap;
+  std::vector<CellId>& overlap =
+      overlap_scratch != nullptr ? *overlap_scratch : local_overlap;
+  grid.CellsOverlapping(q.region, &overlap);
   std::unordered_map<WorkerId, std::vector<CellId>> per_worker;
   std::vector<TermId> routing_terms;  // computed lazily, once
   bool have_terms = false;
-  for (const CellId cell : grid.CellsOverlapping(q.region)) {
+  for (const CellId cell : overlap) {
     const CellRoute& route = cells[cell];
     if (!route.IsText()) {
       per_worker[route.worker].push_back(cell);

@@ -75,8 +75,13 @@ struct PartitionPlan {
     WorkerId worker = 0;
     std::vector<CellId> cells;
   };
+  // `overlap_scratch`, when non-null, is used for the cell-overlap list and
+  // holds q.region's overlapping cells on return — callers that need the
+  // overlap anyway (H2 maintenance) reuse it instead of recomputing, and
+  // repeated routing stops reallocating the list.
   void RouteQuery(const STSQuery& q, const Vocabulary& vocab,
-                  std::vector<QueryRoute>* out) const;
+                  std::vector<QueryRoute>* out,
+                  std::vector<CellId>* overlap_scratch = nullptr) const;
 
   // Approximate dispatcher-side footprint of the routing structure.
   size_t MemoryBytes() const;

@@ -91,6 +91,20 @@ double RunReport::AvgWorkerMemory() const {
   return sum / worker_memory_bytes.size();
 }
 
+std::string RunReport::Summary() const {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "tuples=%llu tps=%.0f emitted=%llu delivered=%llu "
+                "dups=%llu lat{%s}",
+                static_cast<unsigned long long>(tuples_processed),
+                throughput_tps,
+                static_cast<unsigned long long>(matches_emitted),
+                static_cast<unsigned long long>(matches_delivered),
+                static_cast<unsigned long long>(duplicates_suppressed),
+                latency.Summary().c_str());
+  return buf;
+}
+
 double RunReport::MaxWorkerShare() const {
   if (per_worker_tuples.empty()) return 0.0;
   uint64_t total = 0, mx = 0;

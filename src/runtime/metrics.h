@@ -50,6 +50,10 @@ struct RunReport {
   uint64_t deletes = 0;
   uint64_t matches_delivered = 0;
   uint64_t duplicates_suppressed = 0;
+  // Matches emitted by worker indexes before merger dedup (>= delivered;
+  // the gap is cross-worker duplicates plus matches found after Stop()'s
+  // drain cutoff in aborted runs).
+  uint64_t matches_emitted = 0;
   uint64_t objects_discarded = 0;
   double wall_seconds = 0.0;
   double throughput_tps = 0.0;  // tuples per second
@@ -71,6 +75,9 @@ struct RunReport {
 
   double AvgWorkerMemory() const;
   double MaxWorkerShare() const;  // max per-worker tuples / total
+
+  // One-line digest (throughput, match counters, latency) for bench logs.
+  std::string Summary() const;
 };
 
 }  // namespace ps2

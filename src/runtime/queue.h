@@ -48,15 +48,23 @@ class BoundedQueue {
   // Pops up to `max_items` at once (reduces lock traffic for hot workers).
   // Empty result means closed-and-drained.
   std::vector<T> PopBatch(size_t max_items) {
+    std::vector<T> batch;
+    PopBatch(max_items, &batch);
+    return batch;
+  }
+
+  // Allocation-reusing variant: clears `out` (keeping its capacity) and
+  // fills it with up to `max_items`. Consumer loops pass the same vector
+  // every drain so the steady state stops reallocating batch storage.
+  void PopBatch(size_t max_items, std::vector<T>* out) {
+    out->clear();
     std::unique_lock<std::mutex> lock(mu_);
     not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
-    std::vector<T> batch;
-    while (!items_.empty() && batch.size() < max_items) {
-      batch.push_back(std::move(items_.front()));
+    while (!items_.empty() && out->size() < max_items) {
+      out->push_back(std::move(items_.front()));
       items_.pop_front();
     }
-    if (!batch.empty()) not_full_.notify_all();
-    return batch;
+    if (!out->empty()) not_full_.notify_all();
   }
 
   void Close() {

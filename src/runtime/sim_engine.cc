@@ -189,6 +189,10 @@ RunReport SimEngine::Run(const std::vector<StreamTuple>& input) {
   report.latency = sim_report_.latency;
   report.matches_delivered = sim_report_.matches_delivered;
   report.duplicates_suppressed = cluster_.merger().duplicates();
+  // Every sim-side match flows through Merger::Accept, so worker-emitted
+  // matches are exactly delivered + suppressed duplicates.
+  report.matches_emitted =
+      sim_report_.matches_delivered + report.duplicates_suppressed;
   report.objects_discarded = cluster_.dispatcher().stats().objects_discarded;
   for (const auto& t : cluster_.tallies()) {
     report.per_worker_tuples.push_back(t.objects + t.inserts + t.deletes);

@@ -51,6 +51,9 @@ struct ThreadedEngine::WorkerState {
   std::atomic<uint64_t> objects{0};
   std::atomic<uint64_t> inserts{0};
   std::atomic<uint64_t> deletes{0};
+  // Matches produced by this worker's Gi2, pre-merger (duplicates across
+  // workers still included); exported as RunReport::matches_emitted.
+  std::atomic<uint64_t> matches_emitted{0};
   // Query-update flow accounting for the migration barrier: the controller
   // only copies cell contents once every routed update has reached its
   // worker's Gi2 (enqueued == applied).
@@ -361,10 +364,18 @@ RunReport ThreadedEngine::Run(const std::vector<StreamTuple>& input) {
 }
 
 std::vector<MatchResult> ThreadedEngine::TakeMatches() {
-  std::lock_guard<std::mutex> lock(merge_mu_);
   std::vector<MatchResult> out;
-  out.swap(collected_);
+  TakeMatches(&out);
   return out;
+}
+
+void ThreadedEngine::TakeMatches(std::vector<MatchResult>* out) {
+  out->clear();
+  std::lock_guard<std::mutex> lock(merge_mu_);
+  // Swap rather than copy: the caller's (cleared) buffer becomes the new
+  // collection target, so a consumer draining in a loop ping-pongs two
+  // warmed buffers instead of reallocating per drain.
+  collected_.swap(*out);
 }
 
 // ---------------------------------------------------------------------------
@@ -372,8 +383,9 @@ std::vector<MatchResult> ThreadedEngine::TakeMatches() {
 // ---------------------------------------------------------------------------
 
 void ThreadedEngine::DispatchLoop(DispatcherState& ds) {
+  std::vector<SeqTuple> batch;  // reused across drains
   while (true) {
-    std::vector<SeqTuple> batch = input_->PopBatch(options_.batch_size);
+    input_->PopBatch(options_.batch_size, &batch);
     if (batch.empty()) break;  // closed and drained
     for (SeqTuple& st : batch) RouteOne(ds, st);
   }
@@ -459,13 +471,21 @@ void ThreadedEngine::WorkerLoop(int w) {
   WorkerState& ws = *workers_[w];
   Gi2Index& gi2 = cluster_.worker(w);
   Merger& merger = cluster_.merger();
+  // All reused across drains: batch storage, the object-run pointer list
+  // and the match buffer keep their capacity, so the steady-state object
+  // path performs no heap allocation in this loop.
+  std::vector<WorkItem> batch;
+  std::vector<const SpatioTextualObject*> run;
   std::vector<MatchResult> matches;
   while (true) {
-    std::vector<WorkItem> batch = queues_[w]->PopBatch(options_.batch_size);
+    queues_[w]->PopBatch(options_.batch_size, &batch);
     if (batch.empty()) break;  // closed and drained
-    for (WorkItem& item : batch) {
+    size_t i = 0;
+    while (i < batch.size()) {
+      WorkItem& item = batch[i];
       if (item.marker != nullptr) {
         item.marker->CountDown();
+        ++i;
         continue;
       }
       if (discard_.load(std::memory_order_acquire)) {
@@ -476,46 +496,63 @@ void ThreadedEngine::WorkerLoop(int w) {
         if (item.tuple.kind != TupleKind::kObject) {
           ws.query_items_applied.fetch_add(1);
         }
+        ++i;
         continue;
       }
-      switch (item.tuple.kind) {
-        case TupleKind::kObject: {
-          matches.clear();
-          {
-            std::lock_guard<std::mutex> lock(ws.mu);
-            gi2.Match(item.tuple.object, &matches);
-          }
-          ws.objects.fetch_add(1, std::memory_order_relaxed);
-          if (!matches.empty()) {
-            std::lock_guard<std::mutex> lock(merge_mu_);
-            for (const auto& m : matches) {
-              const bool fresh = merger.Accept(m);
-              if (fresh && options_.collect_matches) collected_.push_back(m);
-            }
-          }
-          break;
+      if (item.tuple.kind == TupleKind::kObject) {
+        // Gather the run of consecutive objects and match them as one
+        // batch: one Gi2 lock acquisition, one cell-grouped index pass.
+        // Runs never cross a query update or drain marker — those are
+        // ordering boundaries within this worker's queue.
+        run.clear();
+        size_t end = i;
+        while (end < batch.size() && batch[end].marker == nullptr &&
+               batch[end].tuple.kind == TupleKind::kObject) {
+          run.push_back(&batch[end].tuple.object);
+          ++end;
         }
-        case TupleKind::kQueryInsert: {
-          {
-            std::lock_guard<std::mutex> lock(ws.mu);
-            gi2.InsertIntoCells(item.tuple.query, item.cells);
-          }
-          ws.inserts.fetch_add(1, std::memory_order_relaxed);
-          ws.query_items_applied.fetch_add(1);
-          break;
+        matches.clear();
+        {
+          std::lock_guard<std::mutex> lock(ws.mu);
+          gi2.MatchBatch(run.data(), run.size(), &matches);
         }
-        case TupleKind::kQueryDelete: {
-          {
-            std::lock_guard<std::mutex> lock(ws.mu);
-            gi2.Delete(item.tuple.query.id);
+        ws.objects.fetch_add(run.size(), std::memory_order_relaxed);
+        ws.matches_emitted.fetch_add(matches.size(),
+                                     std::memory_order_relaxed);
+        if (!matches.empty()) {
+          std::lock_guard<std::mutex> lock(merge_mu_);
+          for (const auto& m : matches) {
+            const bool fresh = merger.Accept(m);
+            if (fresh && options_.collect_matches) collected_.push_back(m);
           }
-          ws.deletes.fetch_add(1, std::memory_order_relaxed);
-          ws.query_items_applied.fetch_add(1);
-          break;
         }
+        const int64_t done_us = NowMicros();
+        for (size_t k = i; k < end; ++k) {
+          ws.tuples++;
+          ws.latency.Record(
+              static_cast<double>(done_us - batch[k].enqueue_us));
+        }
+        i = end;
+        continue;
+      }
+      if (item.tuple.kind == TupleKind::kQueryInsert) {
+        {
+          std::lock_guard<std::mutex> lock(ws.mu);
+          gi2.InsertIntoCells(item.tuple.query, item.cells);
+        }
+        ws.inserts.fetch_add(1, std::memory_order_relaxed);
+        ws.query_items_applied.fetch_add(1);
+      } else {
+        {
+          std::lock_guard<std::mutex> lock(ws.mu);
+          gi2.Delete(item.tuple.query.id);
+        }
+        ws.deletes.fetch_add(1, std::memory_order_relaxed);
+        ws.query_items_applied.fetch_add(1);
       }
       ws.tuples++;
       ws.latency.Record(static_cast<double>(NowMicros() - item.enqueue_us));
+      ++i;
     }
   }
 }
@@ -669,6 +706,10 @@ RunReport ThreadedEngine::AssembleReport() {
                               : 0.0;
   report.matches_delivered = cluster_.merger().delivered();
   report.duplicates_suppressed = cluster_.merger().duplicates();
+  for (const auto& ws : workers_) {
+    report.matches_emitted +=
+        ws->matches_emitted.load(std::memory_order_relaxed);
+  }
   for (const auto& ds : dispatchers_) report.dispatch.Merge(ds->stats);
   report.objects_discarded = report.dispatch.objects_discarded;
   for (size_t w = 0; w < workers_.size(); ++w) {

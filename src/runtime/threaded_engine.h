@@ -87,6 +87,9 @@ class ThreadedEngine : public Engine {
   }
   // Matches accepted by the merger (requires options.collect_matches).
   std::vector<MatchResult> TakeMatches();
+  // Allocation-reusing variant: swaps the collected matches into `out`
+  // (cleared first), so a draining consumer reuses capacity across calls.
+  void TakeMatches(std::vector<MatchResult>* out);
 
  private:
   struct Latch;

@@ -61,15 +61,21 @@ bool GridSpec::CellRange(const Rect& r, uint32_t* cx0, uint32_t* cy0,
 
 std::vector<CellId> GridSpec::CellsOverlapping(const Rect& r) const {
   std::vector<CellId> out;
+  CellsOverlapping(r, &out);
+  return out;
+}
+
+void GridSpec::CellsOverlapping(const Rect& r,
+                                std::vector<CellId>* out) const {
+  out->clear();
   uint32_t cx0, cy0, cx1, cy1;
-  if (!CellRange(r, &cx0, &cy0, &cx1, &cy1)) return out;
-  out.reserve((cx1 - cx0 + 1) * (cy1 - cy0 + 1));
+  if (!CellRange(r, &cx0, &cy0, &cx1, &cy1)) return;
+  out->reserve((cx1 - cx0 + 1) * (cy1 - cy0 + 1));
   for (uint32_t cy = cy0; cy <= cy1; ++cy) {
     for (uint32_t cx = cx0; cx <= cx1; ++cx) {
-      out.push_back(ToId(cx, cy));
+      out->push_back(ToId(cx, cy));
     }
   }
-  return out;
 }
 
 }  // namespace ps2

@@ -44,6 +44,11 @@ class GridSpec {
   // rectangle yields no cells.
   std::vector<CellId> CellsOverlapping(const Rect& r) const;
 
+  // Allocation-reusing variant: clears `out` and fills it with the same
+  // ids. Routing and index paths that run per query pass a scratch vector
+  // so steady-state inserts stop reallocating the overlap list.
+  void CellsOverlapping(const Rect& r, std::vector<CellId>* out) const;
+
   // Inclusive cell-coordinate ranges covered by `r` (clamped). Returns false
   // for an empty rectangle or one entirely outside the bounds... boundary
   // rectangles clamp inward, so callers always get at least one cell for a

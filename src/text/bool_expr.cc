@@ -136,6 +136,22 @@ BoolExpr BoolExpr::Cnf(std::vector<std::vector<TermId>> clauses) {
     Normalize(clause);
     e.clauses_.push_back(std::move(clause));
   }
+  // Arm the inline AND fast path when every clause is a singleton and the
+  // distinct terms fit the inline array (duplicate singleton clauses
+  // collapse: "a AND a" requires the same single term).
+  if (!e.clauses_.empty() && e.clauses_.size() <= 2 * kInlineAndTerms) {
+    std::vector<TermId> terms;
+    terms.reserve(e.clauses_.size());
+    for (const auto& clause : e.clauses_) {
+      if (clause.size() != 1) return e;
+      terms.push_back(clause[0]);
+    }
+    Normalize(terms);
+    if (terms.size() <= kInlineAndTerms) {
+      for (size_t i = 0; i < terms.size(); ++i) e.and_terms_[i] = terms[i];
+      e.num_and_terms_ = static_cast<uint8_t>(terms.size());
+    }
+  }
   return e;
 }
 
@@ -151,7 +167,8 @@ BoolExpr BoolExpr::Parse(const std::string& text, Vocabulary& vocab) {
   return Cnf(std::move(cnf));
 }
 
-bool BoolExpr::Matches(const std::vector<TermId>& sorted_object_terms) const {
+bool BoolExpr::MatchesCnf(
+    const std::vector<TermId>& sorted_object_terms) const {
   if (clauses_.empty()) return false;
   for (const auto& clause : clauses_) {
     bool clause_sat = false;

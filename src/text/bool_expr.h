@@ -1,6 +1,8 @@
 #ifndef PS2_TEXT_BOOL_EXPR_H_
 #define PS2_TEXT_BOOL_EXPR_H_
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -47,7 +49,26 @@ class BoolExpr {
 
   // True when every clause contains at least one term of `object_terms`
   // (which must be sorted ascending). An empty expression matches nothing.
-  bool Matches(const std::vector<TermId>& sorted_object_terms) const;
+  //
+  // The common case — AND-only with few keywords (the paper's queries have
+  // 1-3) — is evaluated entirely from an inline sorted term array by a
+  // two-pointer merge against the object's sorted terms, without touching
+  // the heap-allocated clause vectors. Defined here so the worker hot loop
+  // can inline it.
+  bool Matches(const std::vector<TermId>& sorted_object_terms) const {
+    if (num_and_terms_ > 0) {
+      size_t i = 0;
+      const size_t n = sorted_object_terms.size();
+      for (uint8_t k = 0; k < num_and_terms_; ++k) {
+        const TermId t = and_terms_[k];
+        while (i < n && sorted_object_terms[i] < t) ++i;
+        if (i == n || sorted_object_terms[i] != t) return false;
+        ++i;
+      }
+      return true;
+    }
+    return MatchesCnf(sorted_object_terms);
+  }
 
   // All distinct terms across clauses, sorted ascending. This is q.K as a
   // set, used for routing (q.K ∩ Ti ≠ ∅ tests).
@@ -72,7 +93,20 @@ class BoolExpr {
   std::string ToString(const Vocabulary& vocab) const;
 
  private:
+  // Largest AND-only expression kept inline (covers the paper's 1-3
+  // keywords with headroom).
+  static constexpr uint8_t kInlineAndTerms = 4;
+
+  // General CNF evaluation; the clause-vector slow path of Matches().
+  bool MatchesCnf(const std::vector<TermId>& sorted_object_terms) const;
+
   std::vector<std::vector<TermId>> clauses_;
+  // Inline fast-path mirror, set by Cnf() when every clause is a singleton
+  // and there are at most kInlineAndTerms of them: the distinct terms,
+  // sorted ascending. num_and_terms_ == 0 means "use clauses_".
+  // clauses_ stays authoritative for routing, serialization and accounting.
+  std::array<TermId, kInlineAndTerms> and_terms_{};
+  uint8_t num_and_terms_ = 0;
   bool has_error_ = false;
 };
 

@@ -1,0 +1,110 @@
+#include "common/flat_map.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ps2 {
+namespace {
+
+TEST(FlatMapTest, InsertFindErase) {
+  FlatMap<uint32_t, uint32_t> map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.Find(7), nullptr);
+  map[7] = 70;
+  map[9] = 90;
+  EXPECT_EQ(map.size(), 2u);
+  ASSERT_NE(map.Find(7), nullptr);
+  EXPECT_EQ(*map.Find(7), 70u);
+  EXPECT_FALSE(map.Erase(8));
+  EXPECT_TRUE(map.Erase(7));
+  EXPECT_EQ(map.Find(7), nullptr);
+  EXPECT_EQ(map.size(), 1u);
+  // Re-inserting an erased key reuses its tombstone.
+  map[7] = 71;
+  EXPECT_EQ(*map.Find(7), 71u);
+}
+
+TEST(FlatMapTest, OperatorBracketDefaultConstructs) {
+  FlatMap<uint64_t, uint32_t> map;
+  EXPECT_EQ(map[42], 0u);
+  map[42] = 5;
+  EXPECT_EQ(map[42], 5u);
+}
+
+TEST(FlatMapTest, GrowsThroughRehash) {
+  FlatMap<uint32_t, uint32_t> map;
+  for (uint32_t i = 0; i < 1000; ++i) map[i] = i * 3;
+  EXPECT_EQ(map.size(), 1000u);
+  for (uint32_t i = 0; i < 1000; ++i) {
+    ASSERT_NE(map.Find(i), nullptr) << i;
+    EXPECT_EQ(*map.Find(i), i * 3);
+  }
+}
+
+TEST(FlatMapTest, ChurnDoesNotGrowUnbounded) {
+  // Erase leaves tombstones; rehash must reclaim them or a steady
+  // insert/erase cycle would expand the table forever.
+  FlatMap<uint32_t, uint32_t> map;
+  for (uint32_t round = 0; round < 200; ++round) {
+    for (uint32_t i = 0; i < 64; ++i) map[round * 64 + i] = i;
+    for (uint32_t i = 0; i < 64; ++i) map.Erase(round * 64 + i);
+  }
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_LE(map.capacity(), 1024u);
+}
+
+TEST(FlatMapTest, ForEachVisitsExactlyLiveEntries) {
+  FlatMap<uint32_t, uint32_t> map;
+  for (uint32_t i = 0; i < 50; ++i) map[i] = i;
+  for (uint32_t i = 0; i < 50; i += 2) map.Erase(i);
+  std::vector<uint32_t> seen;
+  map.ForEach([&](uint32_t k, uint32_t& v) {
+    EXPECT_EQ(k, v);
+    seen.push_back(k);
+  });
+  EXPECT_EQ(seen.size(), 25u);
+  for (const uint32_t k : seen) EXPECT_EQ(k % 2, 1u);
+}
+
+TEST(FlatMapTest, RandomizedAgainstUnorderedMap) {
+  FlatMap<uint64_t, uint64_t> map;
+  std::unordered_map<uint64_t, uint64_t> ref;
+  Rng rng(1234);
+  for (int step = 0; step < 20000; ++step) {
+    const uint64_t key = rng.NextBelow(512);
+    const double dice = rng.NextDouble();
+    if (dice < 0.5) {
+      const uint64_t value = rng.NextBelow(1 << 20);
+      map[key] = value;
+      ref[key] = value;
+    } else if (dice < 0.75) {
+      EXPECT_EQ(map.Erase(key), ref.erase(key) > 0) << "step " << step;
+    } else {
+      const uint64_t* found = map.Find(key);
+      auto it = ref.find(key);
+      if (it == ref.end()) {
+        EXPECT_EQ(found, nullptr) << "step " << step;
+      } else {
+        ASSERT_NE(found, nullptr) << "step " << step;
+        EXPECT_EQ(*found, it->second) << "step " << step;
+      }
+    }
+    ASSERT_EQ(map.size(), ref.size()) << "step " << step;
+  }
+  size_t visited = 0;
+  map.ForEach([&](uint64_t k, uint64_t& v) {
+    auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+    ++visited;
+  });
+  EXPECT_EQ(visited, ref.size());
+}
+
+}  // namespace
+}  // namespace ps2

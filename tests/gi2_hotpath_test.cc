@@ -1,0 +1,289 @@
+// Hot-path coverage for the arena/slot GI2 layout: batched-vs-single-vs-
+// reference equivalence under churn and migration, epoch-dedup wraparound,
+// tombstone slot recycling, and the steady-state zero-allocation guarantee
+// of the batched match path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/gi2.h"
+#include "index/reference_matcher.h"
+
+// ---------------------------------------------------------------------------
+// Allocation-counting hook: replaces the global allocator for this test
+// binary with a malloc passthrough that counts while armed. Disabled under
+// sanitizers (they interpose the allocator themselves).
+// ---------------------------------------------------------------------------
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define PS2_ALLOC_HOOK_DISABLED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define PS2_ALLOC_HOOK_DISABLED 1
+#endif
+#endif
+
+static std::atomic<bool> g_count_allocs{false};
+static std::atomic<uint64_t> g_alloc_count{0};
+
+#ifndef PS2_ALLOC_HOOK_DISABLED
+void* operator new(std::size_t size) {
+  if (g_count_allocs.load(std::memory_order_relaxed)) {
+    g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = std::malloc(size ? size : 1);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // PS2_ALLOC_HOOK_DISABLED
+
+namespace ps2 {
+namespace {
+
+std::vector<MatchResult> Sorted(std::vector<MatchResult> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Batched vs single vs reference equivalence under insert/delete/migrate
+// ---------------------------------------------------------------------------
+
+class Gi2BatchEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Gi2BatchEquivalenceTest, BatchSingleReferenceAgreeUnderChurn) {
+  const GridSpec grid(Rect(0, 0, 100, 100), 4);
+  Vocabulary vocab;
+  std::vector<TermId> terms;
+  for (int i = 0; i < 40; ++i) {
+    const TermId t = vocab.Intern("w" + std::to_string(i));
+    vocab.AddCount(t, 1 + i * 3);
+    terms.push_back(t);
+  }
+  // batched (A) and single-object (B) indexes see the identical operation
+  // stream; the brute-force matcher is the ground truth for both.
+  Gi2Index batched(grid, &vocab);
+  Gi2Index single(grid, &vocab);
+  ReferenceMatcher ref;
+  Rng rng(GetParam());
+  QueryId next_id = 1;
+  ObjectId next_obj = 1;
+  std::vector<QueryId> live;
+  std::vector<SpatioTextualObject> objs;
+  std::vector<const SpatioTextualObject*> ptrs;
+  std::vector<MatchResult> got_batched, got_single, want;
+  for (int step = 0; step < 1200; ++step) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.22) {
+      std::vector<TermId> qterms;
+      const int k = 1 + static_cast<int>(rng.NextBelow(3));
+      for (int i = 0; i < k; ++i) {
+        qterms.push_back(terms[rng.NextBelow(terms.size())]);
+      }
+      const double x = rng.NextUniform(0, 90);
+      const double y = rng.NextUniform(0, 90);
+      STSQuery q;
+      q.id = next_id++;
+      q.expr = rng.NextBernoulli(0.4) ? BoolExpr::Or(qterms)
+                                      : BoolExpr::And(qterms);
+      q.region = Rect(x, y, x + rng.NextUniform(1, 25),
+                      y + rng.NextUniform(1, 25));
+      batched.Insert(q);
+      single.Insert(q);
+      ref.Insert(q);
+      live.push_back(q.id);
+    } else if (dice < 0.32 && !live.empty()) {
+      const size_t i = rng.NextBelow(live.size());
+      batched.Delete(live[i]);
+      single.Delete(live[i]);
+      ref.Delete(live[i]);
+      live[i] = live.back();
+      live.pop_back();
+    } else if (dice < 0.40) {
+      // Migration round trip: extract a random cell and re-install the
+      // moved queries, exercising ExtractCell / InsertIntoCells on the
+      // slot layout mid-churn (a real migration does exactly this across
+      // two workers).
+      const CellId cell = static_cast<CellId>(rng.NextBelow(grid.NumCells()));
+      const std::vector<CellId> cells{cell};
+      for (const auto& q : batched.ExtractCell(cell)) {
+        batched.InsertIntoCells(q, cells);
+      }
+      for (const auto& q : single.ExtractCell(cell)) {
+        single.InsertIntoCells(q, cells);
+      }
+    } else {
+      const size_t n = 1 + rng.NextBelow(48);
+      objs.clear();
+      for (size_t i = 0; i < n; ++i) {
+        std::vector<TermId> oterms;
+        const int k = 1 + static_cast<int>(rng.NextBelow(6));
+        for (int j = 0; j < k; ++j) {
+          oterms.push_back(terms[rng.NextBelow(terms.size())]);
+        }
+        objs.push_back(SpatioTextualObject::FromTerms(
+            next_obj++, Point{rng.NextUniform(0, 100), rng.NextUniform(0, 100)},
+            std::move(oterms)));
+      }
+      ptrs.clear();
+      for (const auto& o : objs) ptrs.push_back(&o);
+      got_batched.clear();
+      batched.MatchBatch(ptrs.data(), ptrs.size(), &got_batched);
+      got_single.clear();
+      want.clear();
+      for (const auto& o : objs) {
+        single.Match(o, &got_single);
+        const auto w = ref.Match(o);
+        want.insert(want.end(), w.begin(), w.end());
+      }
+      ASSERT_EQ(Sorted(got_batched), Sorted(want)) << "step " << step;
+      ASSERT_EQ(Sorted(got_single), Sorted(want)) << "step " << step;
+    }
+  }
+  EXPECT_EQ(batched.NumActiveQueries(), ref.size());
+  EXPECT_EQ(single.NumActiveQueries(), ref.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Gi2BatchEquivalenceTest,
+                         ::testing::Values(11, 12, 13));
+
+// ---------------------------------------------------------------------------
+// Epoch dedup
+// ---------------------------------------------------------------------------
+
+TEST(Gi2EpochTest, WraparoundKeepsDedupExact) {
+  const GridSpec grid(Rect(0, 0, 64, 64), 4);
+  Vocabulary vocab;
+  const TermId a = vocab.Intern("a");
+  const TermId b = vocab.Intern("b");
+  vocab.AddCount(a, 5);
+  vocab.AddCount(b, 1);
+  Gi2Index idx(grid, &vocab);
+  // OR query indexed under both terms: an object carrying both exercises
+  // the dedup mark on every match.
+  STSQuery q;
+  q.id = 1;
+  q.expr = BoolExpr::Or({a, b});
+  q.region = Rect(0, 0, 10, 10);
+  idx.Insert(q);
+  const SpatioTextualObject o =
+      SpatioTextualObject::FromTerms(7, Point{5, 5}, {a, b});
+  std::vector<MatchResult> out;
+  idx.SetMatchEpochForTest(UINT32_MAX - 3);
+  for (int i = 0; i < 10; ++i) {
+    out.clear();
+    idx.Match(o, &out);
+    ASSERT_EQ(out.size(), 1u) << "iteration " << i << " (epoch "
+                              << idx.MatchEpochForTest() << ")";
+    EXPECT_EQ(out[0].query_id, 1u);
+  }
+  // The counter wrapped during the loop and must have skipped epoch 0.
+  EXPECT_LT(idx.MatchEpochForTest(), UINT32_MAX - 3);
+  EXPECT_NE(idx.MatchEpochForTest(), 0u);
+}
+
+TEST(Gi2EpochTest, ReinsertWhileTombstoneDrainsMatchesExactlyOnce) {
+  // Re-inserting a lazily deleted id must not require scrubbing the old
+  // postings first: they reference the old (tombstoned) slot and keep
+  // draining, while the fresh insert binds the id to a new slot.
+  const GridSpec grid(Rect(0, 0, 64, 64), 4);
+  Vocabulary vocab;
+  const TermId x = vocab.Intern("x");
+  Gi2Index idx(grid, &vocab);
+  STSQuery q;
+  q.id = 1;
+  q.expr = BoolExpr::And({x});
+  q.region = Rect(1, 1, 2, 2);  // single cell
+  idx.Insert(q);
+  idx.Delete(1);
+  EXPECT_EQ(idx.NumTombstones(), 1u);
+  idx.Insert(q);
+  EXPECT_EQ(idx.NumActiveQueries(), 1u);
+  std::vector<MatchResult> out;
+  idx.Match(SpatioTextualObject::FromTerms(9, Point{1.5, 1.5}, {x}), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].query_id, 1u);
+  // The traversal purged the stale posting of the old slot.
+  EXPECT_EQ(idx.NumTombstones(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state allocation freedom of the batched path
+// ---------------------------------------------------------------------------
+
+TEST(Gi2AllocTest, SteadyStateBatchedMatchIsAllocationFree) {
+#ifdef PS2_ALLOC_HOOK_DISABLED
+  GTEST_SKIP() << "allocation hook disabled under sanitizers";
+#else
+  const GridSpec grid(Rect(0, 0, 100, 100), 5);
+  Vocabulary vocab;
+  std::vector<TermId> terms;
+  for (int i = 0; i < 60; ++i) {
+    const TermId t = vocab.Intern("t" + std::to_string(i));
+    vocab.AddCount(t, 1 + i);
+    terms.push_back(t);
+  }
+  Gi2Index idx(grid, &vocab);
+  Rng rng(77);
+  for (QueryId id = 1; id <= 3000; ++id) {
+    std::vector<TermId> qterms;
+    const int k = 1 + static_cast<int>(rng.NextBelow(3));
+    for (int i = 0; i < k; ++i) {
+      qterms.push_back(terms[rng.NextBelow(terms.size())]);
+    }
+    const double x = rng.NextUniform(0, 90);
+    const double y = rng.NextUniform(0, 90);
+    STSQuery q;
+    q.id = id;
+    q.expr = rng.NextBernoulli(0.3) ? BoolExpr::Or(qterms)
+                                    : BoolExpr::And(qterms);
+    q.region =
+        Rect(x, y, x + rng.NextUniform(1, 15), y + rng.NextUniform(1, 15));
+    idx.Insert(q);
+  }
+  std::vector<SpatioTextualObject> objs;
+  for (ObjectId id = 1; id <= 256; ++id) {
+    std::vector<TermId> oterms;
+    const int k = 1 + static_cast<int>(rng.NextBelow(5));
+    for (int i = 0; i < k; ++i) {
+      oterms.push_back(terms[rng.NextBelow(terms.size())]);
+    }
+    objs.push_back(SpatioTextualObject::FromTerms(
+        id, Point{rng.NextUniform(0, 100), rng.NextUniform(0, 100)},
+        std::move(oterms)));
+  }
+  std::vector<const SpatioTextualObject*> ptrs;
+  for (const auto& o : objs) ptrs.push_back(&o);
+  std::vector<MatchResult> out;
+  // Two identical warm-up passes size every reused buffer (grouping keys,
+  // result capacity); the measured pass is the steady state.
+  for (int warm = 0; warm < 2; ++warm) {
+    out.clear();
+    idx.MatchBatch(ptrs.data(), ptrs.size(), &out);
+  }
+  const size_t expected = out.size();
+  out.clear();
+  g_alloc_count.store(0);
+  g_count_allocs.store(true);
+  idx.MatchBatch(ptrs.data(), ptrs.size(), &out);
+  g_count_allocs.store(false);
+  EXPECT_EQ(out.size(), expected);
+  EXPECT_EQ(g_alloc_count.load(), 0u)
+      << "steady-state batched matching must not touch the heap";
+#endif  // PS2_ALLOC_HOOK_DISABLED
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""CI gate for the worker hot-path benchmark.
+
+Usage: check_bench_threshold.py BENCH_hotpath.json bench/hotpath_baseline.json
+
+Reads the measured BENCH_hotpath.json (written by bench_hotpath) and fails
+(exit 1) when the best batched throughput drops more than `allowed_drop`
+(default 20%) below the committed baseline's batched_objects_per_sec.
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(sys.argv[1]) as f:
+        measured = json.load(f)
+    with open(sys.argv[2]) as f:
+        baseline = json.load(f)
+
+    # Gate on the batched rows at the baseline's subscription level only,
+    # and take the *minimum* across matching rows: a regression must not be
+    # masked by a healthy number at a different (easier) configuration.
+    subs = float(baseline["subscriptions"])
+    worst = None
+    for table in measured.get("tables", []):
+        cols = table.get("columns", [])
+        if not {"path", "subscriptions", "objs_per_sec"} <= set(cols):
+            continue
+        path_i = cols.index("path")
+        subs_i = cols.index("subscriptions")
+        tput_i = cols.index("objs_per_sec")
+        for row in table.get("rows", []):
+            if row[path_i] == "batched" and float(row[subs_i]) == subs:
+                tput = float(row[tput_i])
+                worst = tput if worst is None else min(worst, tput)
+    if worst is None:
+        print(
+            f"FAIL: no batched row at {subs:.0f} subscriptions in measured "
+            "bench JSON (was the bench run in the baseline's mode?)"
+        )
+        return 1
+
+    committed = float(baseline["batched_objects_per_sec"])
+    allowed_drop = float(baseline.get("allowed_drop", 0.20))
+    floor = committed * (1.0 - allowed_drop)
+    verdict = "OK" if worst >= floor else "FAIL"
+    print(
+        f"{verdict}: batched objects/sec at {subs:.0f} subs "
+        f"measured={worst:.0f} baseline={committed:.0f} floor={floor:.0f} "
+        f"(allowed drop {allowed_drop:.0%})"
+    )
+    return 0 if worst >= floor else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
