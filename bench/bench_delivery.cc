@@ -1,0 +1,166 @@
+// End-to-end delivery benchmark: publish -> session-delivery latency and
+// delivery throughput through the full client API (facade -> engine ->
+// merger -> DeliveryRouter -> SubscriberSession), at 100k and 1M live
+// subscriptions (20k in --smoke). Two paths:
+//
+//   sync      Post() processes inline; matches land in the session before
+//             Post returns (latency = matching + routing cost).
+//   threaded  Start()ed engine; worker threads deliver asynchronously
+//             while a consumer thread drains the session (latency includes
+//             queueing, so this is the number a capacity plan needs).
+//
+// Mirrors the table into BENCH_delivery.json; CI runs `--smoke` and gates
+// the threaded deliveries/sec via tools/check_bench_threshold.py against
+// the committed bench/delivery_baseline.json.
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "runtime/ps2stream.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic_corpus.h"
+
+namespace ps2 {
+namespace {
+
+struct PathResult {
+  uint64_t deliveries = 0;
+  uint64_t drops = 0;
+  double publishes_per_sec = 0.0;
+  double deliveries_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+void EmitRow(const std::string& path, size_t subs, size_t objects,
+             const PathResult& r) {
+  bench::PrintCell(path);
+  bench::PrintCell(static_cast<double>(subs), "%.0f");
+  bench::PrintCell(static_cast<double>(objects), "%.0f");
+  bench::PrintCell(static_cast<double>(r.deliveries), "%.0f");
+  bench::PrintCell(static_cast<double>(r.drops), "%.0f");
+  bench::PrintCell(r.publishes_per_sec, "%.0f");
+  bench::PrintCell(r.deliveries_per_sec, "%.0f");
+  bench::PrintCell(r.p50_us, "%.2f");
+  bench::PrintCell(r.p99_us, "%.2f");
+  bench::EndRow();
+}
+
+PathResult RunSync(PS2Stream& service, const PS2Stream::SessionPtr& session,
+                   const std::vector<SpatioTextualObject>& objects) {
+  PathResult r;
+  const int64_t begin = NowMicros();
+  for (const auto& o : objects) service.Post(o);
+  const double secs = static_cast<double>(NowMicros() - begin) / 1e6;
+  const SessionStats stats = session->stats();
+  r.deliveries = stats.delivered;
+  r.drops = stats.dropped;
+  r.publishes_per_sec = secs > 0 ? objects.size() / secs : 0.0;
+  r.deliveries_per_sec = secs > 0 ? stats.delivered / secs : 0.0;
+  r.p50_us = stats.latency.PercentileMicros(0.50);
+  r.p99_us = stats.latency.PercentileMicros(0.99);
+  return r;
+}
+
+PathResult RunThreaded(PS2Stream& service,
+                       const PS2Stream::SessionPtr& session,
+                       const std::vector<SpatioTextualObject>& objects) {
+  PathResult r;
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> consumed{0};
+  std::thread consumer([&] {
+    std::vector<Delivery> batch;
+    while (!done.load(std::memory_order_acquire)) {
+      batch.clear();
+      consumed.fetch_add(
+          session->TakeBatch(&batch, 4096, std::chrono::milliseconds(2)),
+          std::memory_order_relaxed);
+    }
+    batch.clear();
+    while (session->TakeBatch(&batch, 4096, std::chrono::milliseconds(0)) >
+           0) {
+      consumed.fetch_add(batch.size(), std::memory_order_relaxed);
+      batch.clear();
+    }
+  });
+  service.Start();
+  const int64_t begin = NowMicros();
+  for (const auto& o : objects) service.Post(o);
+  const RunReport report = service.Stop();
+  const double secs = static_cast<double>(NowMicros() - begin) / 1e6;
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  r.deliveries = report.session_deliveries;
+  r.drops = report.session_drops;
+  r.publishes_per_sec = secs > 0 ? objects.size() / secs : 0.0;
+  r.deliveries_per_sec =
+      secs > 0 ? report.session_deliveries / secs : 0.0;
+  r.p50_us = report.delivery_latency.PercentileMicros(0.50);
+  r.p99_us = report.delivery_latency.PercentileMicros(0.99);
+  return r;
+}
+
+}  // namespace
+}  // namespace ps2
+
+int main(int argc, char** argv) {
+  using namespace ps2;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  bench::InitBench("delivery");
+
+  const std::vector<size_t> sub_levels =
+      smoke ? std::vector<size_t>{20000}
+            : std::vector<size_t>{100000, 1000000};
+  const size_t num_objects = smoke ? 30000 : 200000;
+
+  bench::PrintHeader(
+      "end-to-end delivery: publish -> session (sync vs threaded)",
+      {"path", "subscriptions", "objects", "deliveries", "drops",
+       "publishes_per_sec", "deliveries_per_sec", "p50_us", "p99_us"});
+
+  for (const size_t subs : sub_levels) {
+    for (const bool threaded : {false, true}) {
+      PS2StreamOptions opts;
+      opts.partitioner = "hybrid";
+      opts.partition.num_workers = 8;
+      opts.engine.num_dispatchers = 2;
+      PS2Stream service(opts);
+      // The corpus shares the service's vocabulary so subscription
+      // keywords and message terms line up.
+      CorpusConfig cfg = CorpusConfig::UsPreset();
+      cfg.vocab_size = smoke ? 40000 : 150000;
+      SyntheticCorpus corpus(cfg, &service.vocabulary());
+      corpus.Generate(smoke ? 20000 : 50000);
+      QueryGenConfig qcfg;
+      QueryGenerator qgen(qcfg, &corpus);
+      {
+        WorkloadSample sample;
+        sample.objects = corpus.Generate(20000);
+        sample.inserts = qgen.Generate(4000);  // plan-building stats only
+        service.Bootstrap(sample);
+      }
+
+      SessionOptions sopts;
+      sopts.queue_capacity = 1 << 16;
+      sopts.backpressure = BackpressurePolicy::kBlock;
+      auto session = service.OpenSession(sopts);
+      for (const auto& q : qgen.Generate(subs)) {
+        auto sub = service.Subscribe(session, q);
+        if (sub.ok()) sub->Release();
+      }
+      const auto objects = corpus.Generate(num_objects);
+      const PathResult r = threaded
+                               ? RunThreaded(service, session, objects)
+                               : RunSync(service, session, objects);
+      EmitRow(threaded ? "threaded" : "sync", subs, objects.size(), r);
+    }
+  }
+  return 0;
+}

@@ -2,11 +2,15 @@
 // campaigns ("restaurant diners in a target zone") as STS queries with
 // boolean keyword expressions; the stream of spatio-textual messages
 // identifies potential customers in real time. Campaigns churn (short
-// promotions get registered and dropped), exercising insert/delete routing.
+// promotions get registered and dropped), exercising insert/delete routing
+// and RAII subscription handles; impressions are counted by a MatchSink in
+// push mode.
 //
 //   $ ./ad_targeting
+#include <algorithm>
 #include <cstdio>
 #include <map>
+#include <vector>
 
 #include "runtime/ps2stream.h"
 #include "workload/synthetic_corpus.h"
@@ -26,11 +30,27 @@ int main() {
   sample.objects = corpus.Generate(15000);
   service.Bootstrap(sample);
 
+  // Push consumption: every delivery bumps its campaign's impression count
+  // on the delivering thread — no pull loop to keep up with.
+  struct ImpressionCounter : MatchSink {
+    std::map<QueryId, uint64_t> impressions;
+    uint64_t total = 0;
+    void OnMatch(const Delivery& d) override {
+      auto it = impressions.find(d.query_id);
+      if (it != impressions.end()) {
+        ++it->second;
+        ++total;
+      }
+    }
+  } counter;
+  PS2Stream::SessionPtr session = service.OpenSession();
+  session->SetSink(&counter);
+
   // Campaigns: OR-expressions over a small product vocabulary targeting a
-  // zone around a city. Track per-campaign impression counts.
+  // zone around a city. The RAII Subscription handle *is* the campaign's
+  // lifetime: dropping it ends the campaign.
   Rng rng(7);
-  std::map<QueryId, uint64_t> impressions;
-  std::vector<STSQuery> campaigns;
+  std::vector<Subscription> campaigns;
   QueryId next_id = 1;
   auto launch_campaign = [&]() {
     const Point center = corpus.SampleLocation(rng);
@@ -44,41 +64,37 @@ int main() {
     q.expr = BoolExpr::Or(kws);
     q.region = Rect::Centered(center, corpus.extent().width() * 0.03,
                               corpus.extent().height() * 0.03);
-    service.Subscribe(q);
-    impressions[q.id] = 0;
-    campaigns.push_back(q);
+    StatusOr<Subscription> sub = service.Subscribe(session, q);
+    if (!sub.ok()) {
+      std::printf("launch failed: %s\n", sub.status().ToString().c_str());
+      return;
+    }
+    counter.impressions[sub->id()] = 0;
+    campaigns.push_back(std::move(*sub));
   };
   for (int i = 0; i < 2000; ++i) launch_campaign();
   std::printf("launched %zu campaigns\n", campaigns.size());
 
-  // Stream with campaign churn: every 50 messages one campaign ends and a
-  // new one launches (the paper's dynamic subscription workload).
-  uint64_t total_impressions = 0;
+  // Stream with campaign churn: every 50 messages one campaign ends (its
+  // Subscription handle is destroyed, which unsubscribes) and a new one
+  // launches (the paper's dynamic subscription workload).
   for (int step = 0; step < 30000; ++step) {
-    const auto matches = service.Publish(corpus.NextObject());
-    for (const auto& m : matches) {
-      auto it = impressions.find(m.query_id);
-      if (it != impressions.end()) {
-        ++it->second;
-        ++total_impressions;
-      }
-    }
+    service.Post(corpus.NextObject());
     if (step % 50 == 49 && !campaigns.empty()) {
       const size_t victim = rng.NextBelow(campaigns.size());
-      service.Unsubscribe(campaigns[victim].id);
-      campaigns[victim] = campaigns.back();
-      campaigns.pop_back();
+      std::swap(campaigns[victim], campaigns.back());
+      campaigns.pop_back();  // ~Subscription unsubscribes the victim
       launch_campaign();
     }
   }
 
   // Report the top campaigns by impressions.
   std::vector<std::pair<uint64_t, QueryId>> top;
-  for (const auto& [id, count] : impressions) top.push_back({count, id});
+  for (const auto& [id, count] : counter.impressions) top.push_back({count, id});
   std::sort(top.rbegin(), top.rend());
   std::printf("total impressions: %llu across %zu campaigns "
               "(%zu still live)\n",
-              (unsigned long long)total_impressions, impressions.size(),
+              (unsigned long long)counter.total, counter.impressions.size(),
               service.num_subscriptions());
   std::printf("top campaigns:\n");
   for (size_t i = 0; i < 5 && i < top.size(); ++i) {
@@ -86,5 +102,6 @@ int main() {
                 (unsigned long long)top[i].second,
                 (unsigned long long)top[i].first);
   }
-  return 0;
+  const SessionStats sstats = service.delivery_stats();
+  return counter.total == sstats.delivered && sstats.dropped == 0 ? 0 : 1;
 }

@@ -2,10 +2,14 @@
 // A flash-crowd event concentrates traffic on one region; the auto
 // adjuster detects the balance violation and migrates gridt cells (GR
 // selector) from the hot worker to the coolest one, restoring balance with
-// a small migration cost.
+// a small migration cost. Deliveries are consumed through a
+// SubscriberSession in both modes — including live from the worker threads
+// while the threaded engine rebalances under load.
 //
 //   $ ./elastic_rebalance
+#include <atomic>
 #include <cstdio>
+#include <vector>
 
 #include "runtime/ps2stream.h"
 #include "workload/synthetic_corpus.h"
@@ -24,6 +28,16 @@ void PrintLoads(const char* label, const ps2::Cluster& cluster) {
   }
   std::printf("   (balance %.2f)\n", mn > 0 ? mx / mn : -1.0);
 }
+
+// Counts deliveries; safe to share between modes (invocations are
+// serialized per session, but the counter is read from the main thread
+// while workers deliver, so keep it atomic).
+struct CountingSink : ps2::MatchSink {
+  std::atomic<uint64_t> count{0};
+  void OnMatch(const ps2::Delivery&) override {
+    count.fetch_add(1, std::memory_order_relaxed);
+  }
+};
 
 }  // namespace
 
@@ -46,8 +60,14 @@ int main() {
   sample.objects = corpus.Generate(15000);
   service.Bootstrap(sample);
 
-  // Normal traffic: subscriptions and messages everywhere.
+  CountingSink sink;
+  PS2Stream::SessionPtr session = service.OpenSession();
+  session->SetSink(&sink);
+
+  // Normal traffic: subscriptions and messages everywhere. Handles go into
+  // a vector so the subscriptions survive this scope.
   Rng rng(11);
+  std::vector<Subscription> subs;
   for (int i = 0; i < 3000; ++i) {
     const Point c = corpus.SampleLocation(rng);
     STSQuery q;
@@ -55,9 +75,10 @@ int main() {
     q.expr = BoolExpr::And({corpus.SampleTermAt(c, rng)});
     q.region = Rect::Centered(c, corpus.extent().width() * 0.02,
                               corpus.extent().height() * 0.02);
-    service.Subscribe(q);
+    StatusOr<Subscription> sub = service.Subscribe(session, q);
+    if (sub.ok()) subs.push_back(std::move(*sub));
   }
-  for (const auto& o : corpus.Generate(10000)) service.Publish(o);
+  for (const auto& o : corpus.Generate(10000)) service.Post(o);
   PrintLoads("steady state ", service.cluster());
 
   // Flash crowd: traffic hammers one spot (and thus one worker). Several
@@ -75,9 +96,10 @@ int main() {
     q.expr = BoolExpr::And({buzz[rng.NextBelow(buzz.size())]});
     q.region = Rect::Centered(hotspot, corpus.extent().width() * 0.05,
                               corpus.extent().height() * 0.05);
-    service.Subscribe(q);
+    StatusOr<Subscription> sub = service.Subscribe(session, q);
+    if (sub.ok()) subs.push_back(std::move(*sub));
   }
-  uint64_t deliveries = 0;
+  const uint64_t before_crowd = sink.count.load();
   for (int i = 0; i < 15000; ++i) {
     SpatioTextualObject o;
     o.id = 500000 + i;
@@ -85,12 +107,12 @@ int main() {
                   hotspot.y + rng.NextGaussian(0, 1.2)};
     o.terms = {buzz[rng.NextBelow(buzz.size())]};
     std::sort(o.terms.begin(), o.terms.end());
-    deliveries += service.Publish(o).size();
+    service.Post(o);
   }
   PrintLoads("flash crowd  ", service.cluster());
 
   std::printf("deliveries during flash crowd: %llu\n",
-              (unsigned long long)deliveries);
+              (unsigned long long)(sink.count.load() - before_crowd));
   std::printf("automatic adjustments performed: %zu\n",
               service.adjustments().size());
   for (const auto& adj : service.adjustments()) {
@@ -102,10 +124,11 @@ int main() {
                 adj.balance_after);
   }
 
-  // The same service can run *online*: Start() spawns the threaded engine
-  // (dispatcher + worker + controller threads); publications are submitted
-  // asynchronously and migrations install live through routing-snapshot
-  // swaps while the stream keeps flowing.
+  // The same service — and the same session and sink — can run *online*:
+  // Start() spawns the threaded engine (dispatcher + worker + controller
+  // threads); publications are submitted asynchronously, migrations
+  // install live through routing-snapshot swaps while the stream keeps
+  // flowing, and the worker threads deliver matches through the session.
   service.Start();
   for (int i = 0; i < 20000; ++i) {
     SpatioTextualObject o;
@@ -114,7 +137,7 @@ int main() {
                   hotspot.y + rng.NextGaussian(0, 1.2)};
     o.terms = {buzz[rng.NextBelow(buzz.size())]};
     std::sort(o.terms.begin(), o.terms.end());
-    service.Publish(o);  // async: matches flow through the merger
+    service.Post(o);  // async: matches reach the session from the workers
   }
   const RunReport report = service.Stop();
   std::printf(
@@ -124,5 +147,14 @@ int main() {
       (unsigned long long)report.adjustments,
       (unsigned long long)report.queries_migrated,
       (unsigned long long)report.routing_epochs);
-  return 0;
+  std::printf(
+      "online delivery: %llu session deliveries, %llu dropped, "
+      "publish->deliver p50 %.0f us p99 %.0f us\n",
+      (unsigned long long)report.session_deliveries,
+      (unsigned long long)report.session_drops,
+      report.delivery_latency.PercentileMicros(0.50),
+      report.delivery_latency.PercentileMicros(0.99));
+  // The report's session counters cover both phases (they aggregate the
+  // session's lifetime); the sink saw every one of them.
+  return sink.count.load() == report.session_deliveries ? 0 : 1;
 }

@@ -1,8 +1,11 @@
-// Quickstart: the smallest end-to-end PS2Stream program.
+// Quickstart: the smallest end-to-end PS2Stream program, on the client API.
 //
-// Subscribers register continuous queries with a keyword expression and a
-// region of interest; publishers push geo-tagged messages; the system
-// delivers each message to every matching subscription exactly once.
+// Subscribers open a SubscriberSession (a bounded delivery queue), register
+// continuous queries with a keyword expression and a region of interest,
+// and consume matches either by pulling (Poll/Take) or by installing a
+// MatchSink. Publishers push geo-tagged messages with Post; the system
+// delivers each message to every matching subscription exactly once, in
+// both the synchronous and the Start()ed threaded mode.
 //
 //   $ ./quickstart
 #include <cstdio>
@@ -27,18 +30,39 @@ int main() {
       2, Point{100, 100}, {}));
   service.Bootstrap(bootstrap);
 
+  // One session multiplexes any number of subscriptions into one bounded
+  // queue; kDropOldest keeps the freshest matches if we fall behind.
+  SessionOptions sopts;
+  sopts.queue_capacity = 64;
+  sopts.backpressure = BackpressurePolicy::kDropOldest;
+  PS2Stream::SessionPtr session = service.OpenSession(sopts);
+
   // Three subscriptions: a downtown foodie, a traffic watcher with an OR
-  // expression, and one that should never fire.
+  // expression, and one that should never fire. Errors are real Status
+  // values now — a syntax error names the problem instead of returning 0.
   const Rect downtown(10, 10, 30, 30);
   const Rect highway(0, 0, 100, 20);
-  const QueryId food = service.Subscribe("pizza AND deal", downtown);
-  const QueryId traffic =
-      service.Subscribe("accident OR congestion", highway);
-  const QueryId nope = service.Subscribe("snow", Rect(90, 90, 99, 99));
-  std::printf("subscriptions: food=%llu traffic=%llu nope=%llu\n",
-              (unsigned long long)food, (unsigned long long)traffic,
-              (unsigned long long)nope);
+  StatusOr<Subscription> food =
+      service.Subscribe(session, "pizza AND deal", downtown);
+  StatusOr<Subscription> traffic =
+      service.Subscribe(session, "accident OR congestion", highway);
+  StatusOr<Subscription> nope =
+      service.Subscribe(session, "snow", Rect(90, 90, 99, 99));
+  if (!food.ok() || !traffic.ok() || !nope.ok()) {
+    std::printf("subscribe failed: %s\n", food.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("subscriptions: food=q%llu traffic=q%llu nope=q%llu\n",
+              (unsigned long long)food->id(),
+              (unsigned long long)traffic->id(),
+              (unsigned long long)nope->id());
 
+  StatusOr<Subscription> bad =
+      service.Subscribe(session, "pizza AND AND", downtown);
+  std::printf("malformed expression -> %s\n",
+              bad.status().ToString().c_str());
+
+  // --- pull consumption -----------------------------------------------------
   struct Msg {
     Point loc;
     const char* text;
@@ -51,17 +75,46 @@ int main() {
       {{95, 95}, "sunny all week"},
   };
   for (const Msg& m : messages) {
-    const auto matches = service.Publish(m.loc, m.text);
-    std::printf("publish (%.0f,%.0f) \"%s\" -> %zu match(es):",
-                m.loc.x, m.loc.y, m.text, matches.size());
-    for (const auto& match : matches) {
-      std::printf(" q%llu", (unsigned long long)match.query_id);
-    }
-    std::printf("\n");
+    service.Post(m.loc, m.text);
   }
+  std::printf("pull: ");
+  Delivery d;
+  while (session->Poll(&d)) {
+    std::printf("(q%llu<-o%llu) ", (unsigned long long)d.query_id,
+                (unsigned long long)d.object_id);
+  }
+  std::printf("\n");
 
-  service.Unsubscribe(traffic);
-  const auto after = service.Publish(Point{50, 10}, "another accident");
-  std::printf("after unsubscribe, accident matches: %zu\n", after.size());
-  return 0;
+  // --- push consumption -----------------------------------------------------
+  // A sink receives every delivery on the publishing thread (synchronous
+  // mode) or a worker thread (started mode); queued backlog is flushed to
+  // it first, so switching modes never loses a match.
+  struct PrintSink : MatchSink {
+    uint64_t count = 0;
+    void OnMatch(const Delivery& delivery) override {
+      ++count;
+      std::printf("push: q%llu matched o%llu (%.0fus after publish)\n",
+                  (unsigned long long)delivery.query_id,
+                  (unsigned long long)delivery.object_id,
+                  delivery.LatencyMicros());
+    }
+  } sink;
+  session->SetSink(&sink);
+  service.Post(Point{20, 20}, "one more pizza deal downtown");
+  service.Post(Point{10, 5}, "congestion cleared, accident ahead");
+
+  // RAII: cancelling (or destroying) the handle unsubscribes.
+  traffic->Cancel();
+  service.Post(Point{50, 10}, "another accident");
+  std::printf("sink received %llu deliveries "
+              "(none from the cancelled traffic watcher)\n",
+              (unsigned long long)sink.count);
+
+  const SessionStats stats = service.delivery_stats();
+  std::printf("session stats: delivered=%llu dropped=%llu\n",
+              (unsigned long long)stats.delivered,
+              (unsigned long long)stats.dropped);
+  // Expected: the pizza-deal post and the congestion/accident post each
+  // reached the sink once; the post after Cancel() did not.
+  return sink.count == 2 ? 0 : 1;
 }

@@ -1,0 +1,98 @@
+#include "api/delivery_router.h"
+
+#include <algorithm>
+
+namespace ps2 {
+
+template <typename Fn>
+void DeliveryRouter::MutateShard(size_t shard, Fn&& fn) {
+  Shard& s = shards_[shard];
+  std::lock_guard<std::mutex> lock(s.writer_mu);
+  auto next = s.map != nullptr ? std::make_shared<Map>(*s.map)
+                               : std::make_shared<Map>();
+  fn(*next);
+  std::atomic_store(&s.map, std::shared_ptr<const Map>(std::move(next)));
+}
+
+void DeliveryRouter::Route(QueryId id,
+                           std::shared_ptr<SubscriberSession> session) {
+  if (session == nullptr) {
+    Unroute(id);
+    return;
+  }
+  MutateShard(ShardOf(id), [&](Map& m) { m[id] = std::move(session); });
+}
+
+void DeliveryRouter::Unroute(QueryId id) {
+  const size_t shard = ShardOf(id);
+  {
+    // Cheap pre-check against the published map: unsubscribing a query that
+    // never had a session (the common case for the legacy API) must not pay
+    // a shard copy.
+    const auto current = std::atomic_load(&shards_[shard].map);
+    if (current == nullptr || current->find(id) == current->end()) return;
+  }
+  MutateShard(shard, [&](Map& m) { m.erase(id); });
+}
+
+void DeliveryRouter::RegisterSession(
+    const std::shared_ptr<SubscriberSession>& session) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  // Compact expired registrations opportunistically so a long-lived service
+  // opening many short-lived sessions stays bounded.
+  sessions_.erase(std::remove_if(sessions_.begin(), sessions_.end(),
+                                 [](const std::weak_ptr<SubscriberSession>& w) {
+                                   return w.expired();
+                                 }),
+                  sessions_.end());
+  sessions_.push_back(session);
+}
+
+void DeliveryRouter::SetDraining(bool draining) {
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (const auto& w : sessions_) {
+    if (auto s = w.lock()) s->SetDraining(draining);
+  }
+}
+
+std::shared_ptr<SubscriberSession> DeliveryRouter::Lookup(QueryId id) const {
+  const auto map = std::atomic_load(&shards_[ShardOf(id)].map);
+  if (map == nullptr) return nullptr;
+  const auto it = map->find(id);
+  return it != map->end() ? it->second : nullptr;
+}
+
+void DeliveryRouter::Deliver(const MatchResult& m, int64_t publish_us) {
+  const auto session = Lookup(m.query_id);
+  if (session == nullptr) {
+    unrouted_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Delivery d;
+  d.query_id = m.query_id;
+  d.object_id = m.object_id;
+  d.publish_us = publish_us;
+  session->Enqueue(d);
+}
+
+void DeliveryRouter::DeliverBatch(const Delivery* pending, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    const auto session = Lookup(pending[i].query_id);
+    if (session == nullptr) {
+      unrouted_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    session->Enqueue(pending[i]);
+  }
+}
+
+SessionStats DeliveryRouter::AggregateStats() const {
+  SessionStats total;
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (const auto& w : sessions_) {
+    if (const auto s = w.lock()) total.Merge(s->stats());
+  }
+  return total;
+}
+
+}  // namespace ps2

@@ -1,0 +1,101 @@
+#ifndef PS2_API_DELIVERY_ROUTER_H_
+#define PS2_API_DELIVERY_ROUTER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "api/delivery.h"
+#include "api/subscriber_session.h"
+
+namespace ps2 {
+
+// Routes merger-accepted matches to subscriber sessions. Sits between the
+// merger and the sessions in both execution modes: the threaded engine's
+// worker threads deliver through it after deduplication, and the
+// synchronous facade feeds it from Publish/Post — one delivery semantics
+// for both modes.
+//
+// Concurrency follows the RoutingSnapshot pattern: the QueryId -> session
+// map is sharded, and each shard is an *immutable* map republished with one
+// atomic shared_ptr swap per mutation. Delivering threads resolve a query
+// with a single atomic load and never block on subscribe / unsubscribe /
+// session churn; writers serialize per shard and pay a copy proportional to
+// the shard (1/kShards of the table), not the table.
+class DeliveryRouter {
+ public:
+  DeliveryRouter() = default;
+
+  DeliveryRouter(const DeliveryRouter&) = delete;
+  DeliveryRouter& operator=(const DeliveryRouter&) = delete;
+
+  // --- control plane (facade) ----------------------------------------------
+  // Points `id` at `session` (replacing any previous route). The router
+  // shares ownership, so a session stays deliverable while any of its
+  // subscriptions is live even if the application dropped its handle.
+  void Route(QueryId id, std::shared_ptr<SubscriberSession> session);
+  void Unroute(QueryId id);
+
+  // Tracks a session for draining and stats aggregation (weak: the registry
+  // never keeps a session alive).
+  void RegisterSession(const std::shared_ptr<SubscriberSession>& session);
+
+  // Engine-drain mode, forwarded to every live session: while draining, a
+  // full kBlock queue drops instead of blocking (see BackpressurePolicy).
+  void SetDraining(bool draining);
+
+  // --- data plane (workers / synchronous publish) --------------------------
+  // Delivers one merger-fresh match. `publish_us` is the publish timestamp
+  // carried from the facade/engine. Thread-safe, lock-free lookup.
+  void Deliver(const MatchResult& m, int64_t publish_us);
+
+  // Batch variant for the worker loop: `pending` carries query/object ids
+  // and publish_us; deliver_us is stamped by each session.
+  void DeliverBatch(const Delivery* pending, size_t n);
+
+  // --- introspection --------------------------------------------------------
+  std::shared_ptr<SubscriberSession> Lookup(QueryId id) const;
+  // Matches that arrived for a query with no routed session (subscriptions
+  // made without a session, or in-flight matches after an unsubscribe).
+  uint64_t unrouted() const {
+    return unrouted_.load(std::memory_order_relaxed);
+  }
+  // Sum of every live session's counters (latency histograms merged).
+  SessionStats AggregateStats() const;
+
+ private:
+  using Map =
+      std::unordered_map<QueryId, std::shared_ptr<SubscriberSession>>;
+
+  static constexpr size_t kShards = 64;
+  static size_t ShardOf(QueryId id) {
+    // Mix before masking: sequential ids otherwise stripe shards unevenly
+    // under small id ranges.
+    uint64_t h = id * 0x9E3779B97F4A7C15ULL;
+    return static_cast<size_t>(h >> 58);  // top 6 bits -> 64 shards
+  }
+
+  struct Shard {
+    std::mutex writer_mu;
+    // Read with std::atomic_load, republished with std::atomic_store; a
+    // null pointer means "empty" (saves allocating 64 empty maps up front).
+    std::shared_ptr<const Map> map;
+  };
+
+  // Copy-on-write update of one shard under its writer lock.
+  template <typename Fn>
+  void MutateShard(size_t shard, Fn&& fn);
+
+  mutable Shard shards_[kShards];
+  std::atomic<uint64_t> unrouted_{0};
+
+  mutable std::mutex sessions_mu_;
+  std::vector<std::weak_ptr<SubscriberSession>> sessions_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_API_DELIVERY_ROUTER_H_

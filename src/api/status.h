@@ -1,0 +1,110 @@
+#ifndef PS2_API_STATUS_H_
+#define PS2_API_STATUS_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ps2 {
+
+// Canonical error space of the client API. Every fallible facade operation
+// reports one of these instead of a sentinel value (the legacy "QueryId 0
+// means parse failure" contract is kept only as a deprecated shim).
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,      // malformed input (e.g. expression syntax error)
+  kFailedPrecondition,   // call sequencing (e.g. Subscribe before Bootstrap)
+  kNotFound,             // unknown id
+  kAlreadyExists,        // duplicate id
+  kResourceExhausted,    // bounded buffer full and policy forbids waiting
+  kUnavailable,          // service stopped / killed
+  kDeadlineExceeded,     // timed wait expired
+  kInternal,             // invariant violation (bug)
+};
+
+const char* StatusCodeName(StatusCode code);
+
+// Value-type success-or-error result: a code plus a human-readable message.
+// Ok statuses carry no message and are cheap to copy.
+class Status {
+ public:
+  Status() = default;  // Ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m) {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "INVALID_ARGUMENT: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A Status or a value of type T. `ok()` implies `value()` is live; accessing
+// the value of a failed StatusOr is undefined (asserted in debug builds).
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit from error Status
+      : status_(std::move(status)) {
+    // An Ok status without a value is a caller bug; surface it as an error
+    // instead of leaving ok() and status().ok() disagreeing.
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from Ok status");
+    }
+  }
+  StatusOr(T value)  // NOLINT: implicit from value
+      : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() { return *value_; }
+  const T& value() const { return *value_; }
+  T& operator*() { return *value_; }
+  const T& operator*() const { return *value_; }
+  T* operator->() { return &*value_; }
+  const T* operator->() const { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_API_STATUS_H_

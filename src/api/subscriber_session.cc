@@ -1,0 +1,158 @@
+#include "api/subscriber_session.h"
+
+#include "common/stopwatch.h"
+
+namespace ps2 {
+
+const char* BackpressurePolicyName(BackpressurePolicy policy) {
+  switch (policy) {
+    case BackpressurePolicy::kBlock: return "block";
+    case BackpressurePolicy::kDropOldest: return "drop-oldest";
+    case BackpressurePolicy::kDropNewest: return "drop-newest";
+  }
+  return "unknown";
+}
+
+SubscriberSession::SubscriberSession(SessionOptions options)
+    : options_(options) {}
+
+SubscriberSession::~SubscriberSession() { Close(); }
+
+bool SubscriberSession::Poll(Delivery* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (queue_.empty()) return false;
+  *out = queue_.front();
+  queue_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+Status SubscriberSession::Take(Delivery* out,
+                               std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (sink_ != nullptr) {
+    return Status::FailedPrecondition(
+        "session is in push mode (sink installed)");
+  }
+  not_empty_.wait_for(lock, timeout, [this] {
+    return !queue_.empty() || closed_.load(std::memory_order_relaxed);
+  });
+  if (!queue_.empty()) {
+    *out = queue_.front();
+    queue_.pop_front();
+    not_full_.notify_one();
+    return Status::Ok();
+  }
+  if (closed_.load(std::memory_order_relaxed)) {
+    return Status::Unavailable("session closed");
+  }
+  return Status::DeadlineExceeded("no delivery within timeout");
+}
+
+size_t SubscriberSession::TakeBatch(std::vector<Delivery>* out, size_t max,
+                                    std::chrono::milliseconds timeout) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (sink_ != nullptr || max == 0) return 0;
+  not_empty_.wait_for(lock, timeout, [this] {
+    return !queue_.empty() || closed_.load(std::memory_order_relaxed);
+  });
+  size_t n = 0;
+  while (!queue_.empty() && n < max) {
+    out->push_back(queue_.front());
+    queue_.pop_front();
+    ++n;
+  }
+  if (n > 0) not_full_.notify_all();
+  return n;
+}
+
+Status SubscriberSession::SetSink(MatchSink* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink != nullptr) {
+    // Flush the backlog in order before live traffic reaches the sink.
+    while (!queue_.empty()) {
+      sink->OnMatch(queue_.front());
+      queue_.pop_front();
+    }
+    not_full_.notify_all();
+  }
+  sink_ = sink;
+  return Status::Ok();
+}
+
+void SubscriberSession::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_.store(true, std::memory_order_release);
+  }
+  not_empty_.notify_all();
+  not_full_.notify_all();
+}
+
+size_t SubscriberSession::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+SessionStats SubscriberSession::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool SubscriberSession::Enqueue(Delivery delivery) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (closed_.load(std::memory_order_relaxed)) {
+    ++stats_.dropped;
+    return false;
+  }
+  if (sink_ == nullptr && queue_.size() >= options_.queue_capacity) {
+    switch (options_.backpressure) {
+      case BackpressurePolicy::kBlock:
+        // Block the delivering thread until the consumer frees a slot —
+        // unless the session closes, enters engine-drain mode, or flips to
+        // push mode while we wait.
+        not_full_.wait(lock, [this] {
+          return queue_.size() < options_.queue_capacity ||
+                 closed_.load(std::memory_order_relaxed) ||
+                 draining_.load(std::memory_order_relaxed) ||
+                 sink_ != nullptr;
+        });
+        if (closed_.load(std::memory_order_relaxed)) {
+          ++stats_.dropped;
+          return false;
+        }
+        if (sink_ == nullptr && queue_.size() >= options_.queue_capacity) {
+          ++stats_.dropped;  // draining: degrade to drop-newest
+          return false;
+        }
+        break;
+      case BackpressurePolicy::kDropOldest:
+        // The evicted delivery was counted delivered when it was queued;
+        // it now also counts dropped (handed to the session, never seen by
+        // the consumer).
+        queue_.pop_front();
+        ++stats_.dropped;
+        break;
+      case BackpressurePolicy::kDropNewest:
+        ++stats_.dropped;
+        return false;
+    }
+  }
+  // Virtual-time producers (SimEngine) pre-stamp deliver_us; wall-clock
+  // producers leave it 0 and the session stamps the enqueue instant.
+  if (delivery.deliver_us == 0) delivery.deliver_us = NowMicros();
+  ++stats_.delivered;
+  stats_.latency.Record(delivery.LatencyMicros());
+  if (sink_ != nullptr) {
+    // Invoked under the session lock: per-session sink calls stay
+    // serialized and ordered after any SetSink backlog flush. Sinks must be
+    // fast and must not call back into the session.
+    sink_->OnMatch(delivery);
+    return true;
+  }
+  queue_.push_back(delivery);
+  not_empty_.notify_one();
+  return true;
+}
+
+}  // namespace ps2

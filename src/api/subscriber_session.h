@@ -1,0 +1,116 @@
+#ifndef PS2_API_SUBSCRIBER_SESSION_H_
+#define PS2_API_SUBSCRIBER_SESSION_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "api/delivery.h"
+#include "api/status.h"
+
+namespace ps2 {
+
+// One subscriber's delivery endpoint: a bounded queue that multiplexes the
+// matches of every subscription routed to it, with a selectable policy for
+// what happens when the consumer falls behind (BackpressurePolicy) and two
+// consumption styles:
+//
+//   pull:  Poll() (non-blocking) / Take(timeout) / TakeBatch(timeout)
+//   push:  SetSink(sink) — deliveries invoke the sink on the delivering
+//          thread; anything already queued is flushed to the sink first.
+//
+// Thread safety: producers are the runtime's worker threads (started mode)
+// or the publisher's thread (synchronous mode); any number of consumer
+// threads may pull concurrently. All public methods are thread-safe.
+//
+// Lifecycle: sessions are created by PS2Stream::OpenSession and shared with
+// the delivery router. Close() (also run by the destructor) wakes every
+// blocked producer and consumer; deliveries arriving after Close() are
+// counted as dropped.
+class SubscriberSession {
+ public:
+  explicit SubscriberSession(SessionOptions options = SessionOptions());
+  ~SubscriberSession();
+
+  SubscriberSession(const SubscriberSession&) = delete;
+  SubscriberSession& operator=(const SubscriberSession&) = delete;
+
+  // --- consumption ----------------------------------------------------------
+  // Non-blocking: pops the oldest queued delivery. False when empty (or
+  // closed-and-drained, or in push mode).
+  bool Poll(Delivery* out);
+
+  // Blocks up to `timeout` for a delivery. Ok on success; kDeadlineExceeded
+  // when the wait expired; kUnavailable once the session is closed and
+  // drained; kFailedPrecondition in push mode.
+  Status Take(Delivery* out, std::chrono::milliseconds timeout);
+
+  // Drains up to `max` deliveries, waiting up to `timeout` for the first.
+  // Returns the number appended to `out` (0 on timeout or closed-and-
+  // drained). `out` is not cleared, so a consumer can accumulate.
+  size_t TakeBatch(std::vector<Delivery>* out, size_t max,
+                   std::chrono::milliseconds timeout);
+
+  // --- push mode ------------------------------------------------------------
+  // Installs (or, with nullptr, removes) the sink. Queued deliveries are
+  // flushed to the new sink before it starts receiving live traffic, so no
+  // delivery is lost or reordered by the switch. The sink must outlive the
+  // session or a SetSink(nullptr) call.
+  Status SetSink(MatchSink* sink);
+
+  // --- lifecycle ------------------------------------------------------------
+  // Idempotent: stops accepting deliveries (further ones count as dropped),
+  // wakes blocked producers and consumers. Pending queued deliveries remain
+  // consumable until drained.
+  void Close();
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  // Engine drain mode (set by the facade around Stop()): while draining, a
+  // full kBlock queue drops instead of blocking, so a stalled consumer
+  // cannot wedge engine shutdown. The flag flips under the session lock:
+  // a producer evaluating the kBlock wait predicate either sees the new
+  // value or is already parked when the notify fires — no lost wakeup.
+  void SetDraining(bool draining) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      draining_.store(draining, std::memory_order_release);
+    }
+    if (draining) not_full_.notify_all();
+  }
+
+  // --- introspection --------------------------------------------------------
+  size_t pending() const;
+  const SessionOptions& options() const { return options_; }
+  // Snapshot of the per-session counters (thread-safe, taken under the
+  // session lock).
+  SessionStats stats() const;
+
+  // --- producer side (DeliveryRouter / facade) ------------------------------
+  // Hands one match to the session: stamps deliver_us, records latency and
+  // either queues it, evicts per the backpressure policy, or pushes it to
+  // the sink. Returns false when the delivery was dropped.
+  bool Enqueue(Delivery delivery);
+
+ private:
+  // Requires mu_ held. Applies the backpressure policy; returns true when
+  // `d` was placed in the queue (possibly after evicting).
+  bool EnqueueLocked(std::unique_lock<std::mutex>& lock, Delivery& d);
+
+  const SessionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Delivery> queue_;
+  MatchSink* sink_ = nullptr;
+  SessionStats stats_;
+  std::atomic<bool> closed_{false};
+  std::atomic<bool> draining_{false};
+};
+
+}  // namespace ps2
+
+#endif  // PS2_API_SUBSCRIBER_SESSION_H_

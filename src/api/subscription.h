@@ -1,0 +1,89 @@
+#ifndef PS2_API_SUBSCRIPTION_H_
+#define PS2_API_SUBSCRIPTION_H_
+
+#include <memory>
+#include <utility>
+
+#include "core/query.h"
+
+namespace ps2 {
+
+// Seam the RAII handle cancels through; implemented privately by PS2Stream.
+// Kept abstract so api/ never includes the facade (no header cycle).
+class SubscriptionBackend {
+ public:
+  virtual ~SubscriptionBackend() = default;
+  virtual void CancelSubscription(QueryId id) = 0;
+};
+
+// Move-only RAII handle for one live subscription: destruction (or an
+// explicit Cancel()) unsubscribes. Obtained from the Status-based
+// PS2Stream::Subscribe overloads.
+//
+// The handle holds a weak token to the facade, so a Subscription that
+// outlives its PS2Stream destructs into a harmless no-op instead of calling
+// into a dead service. Like the rest of the control plane
+// (Subscribe/Cancel/Post ordering), handles belong to the facade's control
+// thread: destroying one *concurrently* with the facade's destructor is
+// not synchronized. Release() detaches the handle, leaving the
+// subscription live under the returned id (the legacy shim uses this).
+class Subscription {
+ public:
+  Subscription() = default;
+  Subscription(QueryId id, SubscriptionBackend* backend,
+               std::weak_ptr<void> backend_alive)
+      : id_(id), backend_(backend),
+        backend_alive_(std::move(backend_alive)) {}
+
+  ~Subscription() { Cancel(); }
+
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+
+  Subscription(Subscription&& other) noexcept { *this = std::move(other); }
+  Subscription& operator=(Subscription&& other) noexcept {
+    if (this != &other) {
+      Cancel();
+      id_ = other.id_;
+      backend_ = other.backend_;
+      backend_alive_ = std::move(other.backend_alive_);
+      other.id_ = 0;
+      other.backend_ = nullptr;
+      other.backend_alive_.reset();
+    }
+    return *this;
+  }
+
+  QueryId id() const { return id_; }
+  // True while this handle still owns a live subscription.
+  bool active() const { return id_ != 0 && !backend_alive_.expired(); }
+
+  // Unsubscribes now (idempotent). Safe after the facade is gone.
+  void Cancel() {
+    if (id_ == 0 || backend_ == nullptr) return;
+    if (const auto alive = backend_alive_.lock()) {
+      backend_->CancelSubscription(id_);
+    }
+    id_ = 0;
+    backend_ = nullptr;
+    backend_alive_.reset();
+  }
+
+  // Detaches without unsubscribing; the caller owns the id from here on.
+  QueryId Release() {
+    const QueryId id = id_;
+    id_ = 0;
+    backend_ = nullptr;
+    backend_alive_.reset();
+    return id;
+  }
+
+ private:
+  QueryId id_ = 0;
+  SubscriptionBackend* backend_ = nullptr;
+  std::weak_ptr<void> backend_alive_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_API_SUBSCRIPTION_H_

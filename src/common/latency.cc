@@ -1,0 +1,87 @@
+#include "common/latency.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ps2 {
+
+LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
+
+int LatencyHistogram::BucketFor(double micros) const {
+  if (micros <= 1.0) return 0;
+  // ~2.3 buckets per decade: bucket = floor(log2(us) * 2) capped.
+  const int b = static_cast<int>(std::log2(micros) * 2.0);
+  return std::min(b, kBuckets - 1);
+}
+
+double LatencyHistogram::BucketLow(int b) const {
+  return std::pow(2.0, b / 2.0);
+}
+
+void LatencyHistogram::Record(double micros) {
+  micros = std::max(micros, 0.0);
+  buckets_[BucketFor(micros)]++;
+  ++count_;
+  sum_micros_ += micros;
+  max_micros_ = std::max(max_micros_, micros);
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_micros_ += other.sum_micros_;
+  max_micros_ = std::max(max_micros_, other.max_micros_);
+}
+
+double LatencyHistogram::MeanMicros() const {
+  return count_ == 0 ? 0.0 : sum_micros_ / static_cast<double>(count_);
+}
+
+double LatencyHistogram::PercentileMicros(double p) const {
+  if (count_ == 0) return 0.0;
+  const double target = p * static_cast<double>(count_);
+  uint64_t cum = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    if (cum + buckets_[b] >= target) {
+      const double lo = BucketLow(b);
+      const double hi = BucketLow(b + 1);
+      const double within =
+          buckets_[b] == 0
+              ? 0.0
+              : (target - static_cast<double>(cum)) / buckets_[b];
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    cum += buckets_[b];
+  }
+  return max_micros_;
+}
+
+double LatencyHistogram::FractionBelow(double micros) const {
+  if (count_ == 0) return 0.0;
+  uint64_t below = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    const double hi = BucketLow(b + 1);
+    if (hi <= micros) {
+      below += buckets_[b];
+    } else if (BucketLow(b) < micros) {
+      // Partial bucket: assume uniform within.
+      const double frac = (micros - BucketLow(b)) / (hi - BucketLow(b));
+      below += static_cast<uint64_t>(buckets_[b] * frac);
+    }
+  }
+  return static_cast<double>(below) / static_cast<double>(count_);
+}
+
+std::string LatencyHistogram::Summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus "
+                "max=%.1fus",
+                static_cast<unsigned long long>(count_), MeanMicros(),
+                PercentileMicros(0.50), PercentileMicros(0.95),
+                PercentileMicros(0.99), max_micros_);
+  return buf;
+}
+
+}  // namespace ps2

@@ -1,0 +1,47 @@
+#ifndef PS2_COMMON_LATENCY_H_
+#define PS2_COMMON_LATENCY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ps2 {
+
+// Latency histogram with logarithmic buckets from 1us to ~1000s. Tracks the
+// per-tuple dwell times the paper reports (Figure 8 averages, Figures 12c
+// and 15 bucket fractions) and the client API's publish->deliver latency.
+// Lives in common/ because both the runtime report (RunReport) and the api
+// layer (SessionStats) record into it; runtime/metrics.h re-exports it.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  void Record(double micros);
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double MeanMicros() const;
+  double MaxMicros() const { return max_micros_; }
+
+  // Approximate quantile (linear interpolation within log buckets).
+  double PercentileMicros(double p) const;
+
+  // Fraction of samples strictly below `micros`.
+  double FractionBelow(double micros) const;
+
+  std::string Summary() const;
+
+ private:
+  static constexpr int kBuckets = 64;
+  int BucketFor(double micros) const;
+  double BucketLow(int b) const;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_micros_ = 0.0;
+  double max_micros_ = 0.0;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_COMMON_LATENCY_H_

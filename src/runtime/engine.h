@@ -10,6 +10,7 @@
 
 namespace ps2 {
 
+class DeliveryRouter;
 class Wal;
 struct RecoveredState;
 
@@ -42,6 +43,12 @@ struct EngineOptions {
   // lands on the post-migration plan. Not owned; must outlive the engine.
   // Subscription mutations are journaled by the facade before submission.
   Wal* wal = nullptr;
+
+  // When non-null, worker threads deliver every merger-fresh match through
+  // this router to the subscriber sessions (see api/delivery_router.h).
+  // Not owned; must outlive the engine. PS2Stream::Start() wires its own
+  // router here so started-mode delivery matches the synchronous facade.
+  DeliveryRouter* delivery = nullptr;
 };
 
 // A runtime that executes a tuple stream against a Cluster. The two

@@ -6,84 +6,6 @@
 
 namespace ps2 {
 
-LatencyHistogram::LatencyHistogram() : buckets_(kBuckets, 0) {}
-
-int LatencyHistogram::BucketFor(double micros) const {
-  if (micros <= 1.0) return 0;
-  // ~2.3 buckets per decade: bucket = floor(log2(us) * 2) capped.
-  const int b = static_cast<int>(std::log2(micros) * 2.0);
-  return std::min(b, kBuckets - 1);
-}
-
-double LatencyHistogram::BucketLow(int b) const {
-  return std::pow(2.0, b / 2.0);
-}
-
-void LatencyHistogram::Record(double micros) {
-  micros = std::max(micros, 0.0);
-  buckets_[BucketFor(micros)]++;
-  ++count_;
-  sum_micros_ += micros;
-  max_micros_ = std::max(max_micros_, micros);
-}
-
-void LatencyHistogram::Merge(const LatencyHistogram& other) {
-  for (int i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
-  count_ += other.count_;
-  sum_micros_ += other.sum_micros_;
-  max_micros_ = std::max(max_micros_, other.max_micros_);
-}
-
-double LatencyHistogram::MeanMicros() const {
-  return count_ == 0 ? 0.0 : sum_micros_ / static_cast<double>(count_);
-}
-
-double LatencyHistogram::PercentileMicros(double p) const {
-  if (count_ == 0) return 0.0;
-  const double target = p * static_cast<double>(count_);
-  uint64_t cum = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    if (cum + buckets_[b] >= target) {
-      const double lo = BucketLow(b);
-      const double hi = BucketLow(b + 1);
-      const double within =
-          buckets_[b] == 0
-              ? 0.0
-              : (target - static_cast<double>(cum)) / buckets_[b];
-      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
-    }
-    cum += buckets_[b];
-  }
-  return max_micros_;
-}
-
-double LatencyHistogram::FractionBelow(double micros) const {
-  if (count_ == 0) return 0.0;
-  uint64_t below = 0;
-  for (int b = 0; b < kBuckets; ++b) {
-    const double hi = BucketLow(b + 1);
-    if (hi <= micros) {
-      below += buckets_[b];
-    } else if (BucketLow(b) < micros) {
-      // Partial bucket: assume uniform within.
-      const double frac = (micros - BucketLow(b)) / (hi - BucketLow(b));
-      below += static_cast<uint64_t>(buckets_[b] * frac);
-    }
-  }
-  return static_cast<double>(below) / static_cast<double>(count_);
-}
-
-std::string LatencyHistogram::Summary() const {
-  char buf[160];
-  std::snprintf(buf, sizeof(buf),
-                "n=%llu mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus "
-                "max=%.1fus",
-                static_cast<unsigned long long>(count_), MeanMicros(),
-                PercentileMicros(0.50), PercentileMicros(0.95),
-                PercentileMicros(0.99), max_micros_);
-  return buf;
-}
-
 double RunReport::AvgWorkerMemory() const {
   if (worker_memory_bytes.empty()) return 0.0;
   double sum = 0.0;
@@ -92,7 +14,7 @@ double RunReport::AvgWorkerMemory() const {
 }
 
 std::string RunReport::Summary() const {
-  char buf[224];
+  char buf[448];
   std::snprintf(buf, sizeof(buf),
                 "tuples=%llu tps=%.0f emitted=%llu delivered=%llu "
                 "dups=%llu lat{%s}",
@@ -102,7 +24,18 @@ std::string RunReport::Summary() const {
                 static_cast<unsigned long long>(matches_delivered),
                 static_cast<unsigned long long>(duplicates_suppressed),
                 latency.Summary().c_str());
-  return buf;
+  std::string out = buf;
+  if (session_deliveries > 0 || session_drops > 0 || matches_unrouted > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " sessions{delivered=%llu dropped=%llu unrouted=%llu "
+                  "lat{%s}}",
+                  static_cast<unsigned long long>(session_deliveries),
+                  static_cast<unsigned long long>(session_drops),
+                  static_cast<unsigned long long>(matches_unrouted),
+                  delivery_latency.Summary().c_str());
+    out += buf;
+  }
+  return out;
 }
 
 double RunReport::MaxWorkerShare() const {

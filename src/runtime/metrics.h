@@ -5,42 +5,10 @@
 #include <string>
 #include <vector>
 
+#include "common/latency.h"
 #include "dispatch/dispatch_stats.h"
 
 namespace ps2 {
-
-// Latency histogram with logarithmic buckets from 1us to ~1000s. Tracks the
-// per-tuple dwell times the paper reports (Figure 8 averages, Figures 12c
-// and 15 bucket fractions).
-class LatencyHistogram {
- public:
-  LatencyHistogram();
-
-  void Record(double micros);
-  void Merge(const LatencyHistogram& other);
-
-  uint64_t count() const { return count_; }
-  double MeanMicros() const;
-  double MaxMicros() const { return max_micros_; }
-
-  // Approximate quantile (linear interpolation within log buckets).
-  double PercentileMicros(double p) const;
-
-  // Fraction of samples strictly below `micros`.
-  double FractionBelow(double micros) const;
-
-  std::string Summary() const;
-
- private:
-  static constexpr int kBuckets = 64;
-  int BucketFor(double micros) const;
-  double BucketLow(int b) const;
-
-  std::vector<uint64_t> buckets_;
-  uint64_t count_ = 0;
-  double sum_micros_ = 0.0;
-  double max_micros_ = 0.0;
-};
 
 // Result sheet of one runtime execution; benchmarks print these.
 struct RunReport {
@@ -55,9 +23,19 @@ struct RunReport {
   // drain cutoff in aborted runs).
   uint64_t matches_emitted = 0;
   uint64_t objects_discarded = 0;
+  // Session delivery (api/ layer, aggregated across sessions by
+  // PS2Stream::Stop): deliveries handed to subscriber sessions, deliveries
+  // lost to backpressure/closed sessions, and merger-fresh matches whose
+  // query had no routed session.
+  uint64_t session_deliveries = 0;
+  uint64_t session_drops = 0;
+  uint64_t matches_unrouted = 0;
   double wall_seconds = 0.0;
   double throughput_tps = 0.0;  // tuples per second
   LatencyHistogram latency;
+  // Publish -> session-delivery latency (stamped at engine Submit / facade
+  // Post, recorded when the match reaches its session).
+  LatencyHistogram delivery_latency;
   std::vector<uint64_t> per_worker_tuples;
   size_t dispatcher_memory_bytes = 0;
   std::vector<size_t> worker_memory_bytes;

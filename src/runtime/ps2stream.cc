@@ -1,21 +1,34 @@
 #include "runtime/ps2stream.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "adjust/touch_tracking_executor.h"
+#include "common/stopwatch.h"
 #include "partition/plan.h"
 
 namespace ps2 {
 
 PS2Stream::PS2Stream(PS2StreamOptions options)
-    : options_(std::move(options)) {
+    : options_(std::move(options)),
+      delivery_(std::make_unique<DeliveryRouter>()),
+      alive_(std::make_shared<int>(0)) {
   LoadControllerConfig config;
   config.adjust = options_.adjust;
   controller_ = std::make_unique<LoadController>(config);
 }
 
 PS2Stream::~PS2Stream() {
-  if (started()) engine_->Stop();
+  // Invalidate RAII Subscription handles first: a handle destroyed (on
+  // this thread) after this point no-ops instead of re-entering a dying
+  // facade. The token orders handle-vs-facade *destruction order*, not
+  // cross-thread teardown — like the rest of the control plane, handles
+  // and the facade must be destroyed from one thread.
+  alive_.reset();
+  // Through Stop(), not engine_->Stop(): the facade variant puts sessions
+  // into draining mode first, so a worker parked on a full kBlock session
+  // cannot wedge the join.
+  if (started()) Stop();
 }
 
 void PS2Stream::Bootstrap(const WorkloadSample& sample) {
@@ -154,12 +167,16 @@ void PS2Stream::MaybeCheckpoint() {
 }
 
 void PS2Stream::Kill() {
+  // A crash tears sessions down with the process: release any worker
+  // blocked on a full kBlock queue so Abort() can join the threads.
+  delivery_->SetDraining(true);
   if (engine_ != nullptr && engine_->running()) engine_->Abort();
   engine_.reset();
   // Abandon, not Close: a graceful close would flush the WAL's pending
   // batch, making the "crash" more durable than the sync mode guaranteed.
   if (durability_ != nullptr) durability_->Abandon();
   durability_.reset();
+  killed_ = true;
   // The in-memory cluster and subscription map are left readable for
   // post-mortem inspection (tests compare them against what recovery
   // reconstructs), but the service must not be used again.
@@ -175,28 +192,159 @@ void PS2Stream::Start() {
     opts.controller.min_tuples = options_.adjust_check_interval;
   }
   if (durability_ != nullptr) opts.wal = &durability_->wal();
+  opts.delivery = delivery_.get();
   engine_ = std::make_unique<ThreadedEngine>(*cluster_, opts);
   engine_->Start();
 }
 
 RunReport PS2Stream::Stop() {
   if (!started()) return RunReport{};
-  return engine_->Stop();
+  // Drain mode: from here until the engine is down, a full kBlock session
+  // drops instead of blocking the worker that delivers to it — otherwise a
+  // consumer that stopped pulling would park a worker thread forever and
+  // Stop() could never join it.
+  delivery_->SetDraining(true);
+  RunReport report = engine_->Stop();
+  delivery_->SetDraining(false);
+  const SessionStats sessions = delivery_->AggregateStats();
+  report.session_deliveries = sessions.delivered;
+  report.session_drops = sessions.dropped;
+  report.matches_unrouted = delivery_->unrouted();
+  report.delivery_latency = sessions.latency;
+  return report;
 }
 
-QueryId PS2Stream::Subscribe(const std::string& expression,
-                             const Rect& region) {
-  BoolExpr expr = BoolExpr::Parse(expression, vocab_);
-  if (expr.has_error() || expr.empty()) return 0;
+// --- client API --------------------------------------------------------------
+
+PS2Stream::SessionPtr PS2Stream::OpenSession(SessionOptions options) {
+  auto session = std::make_shared<SubscriberSession>(options);
+  delivery_->RegisterSession(session);
+  return session;
+}
+
+StatusOr<Subscription> PS2Stream::Subscribe(const SessionPtr& session,
+                                            const std::string& expression,
+                                            const Rect& region) {
+  if (killed_) return Status::Unavailable("service was killed");
+  if (!bootstrapped()) {
+    return Status::FailedPrecondition(
+        "Bootstrap() or Restore() must succeed before Subscribe");
+  }
+  std::string parse_error;
+  BoolExpr expr = BoolExpr::Parse(expression, vocab_, &parse_error);
+  if (expr.has_error()) {
+    return Status::InvalidArgument("expression \"" + expression +
+                                   "\": " + parse_error);
+  }
+  if (expr.empty()) {
+    return Status::InvalidArgument("expression \"" + expression +
+                                   "\" has no keywords");
+  }
   STSQuery q;
   q.id = next_query_id_++;
   q.expr = std::move(expr);
   q.region = region;
-  Subscribe(q);
-  return q.id;
+  ApplySubscribe(q, session);
+  return Subscription(q.id, this, alive_);
+}
+
+StatusOr<Subscription> PS2Stream::Subscribe(const SessionPtr& session,
+                                            const STSQuery& query) {
+  if (killed_) return Status::Unavailable("service was killed");
+  if (!bootstrapped()) {
+    return Status::FailedPrecondition(
+        "Bootstrap() or Restore() must succeed before Subscribe");
+  }
+  if (query.id == 0) {
+    return Status::InvalidArgument("query id 0 is reserved");
+  }
+  if (query.expr.empty()) {
+    return Status::InvalidArgument("query has an empty expression");
+  }
+  if (subscriptions_.count(query.id) != 0) {
+    return Status::AlreadyExists("query id " + std::to_string(query.id) +
+                                 " is already subscribed");
+  }
+  ApplySubscribe(query, session);
+  return Subscription(query.id, this, alive_);
+}
+
+Status PS2Stream::Cancel(QueryId id) {
+  if (killed_) return Status::Unavailable("service was killed");
+  if (subscriptions_.find(id) == subscriptions_.end()) {
+    return Status::NotFound("no live subscription with id " +
+                            std::to_string(id));
+  }
+  Unsubscribe(id);
+  return Status::Ok();
+}
+
+void PS2Stream::CancelSubscription(QueryId id) {
+  if (killed_) return;
+  Unsubscribe(id);
+}
+
+Status PS2Stream::Post(Point loc, const std::string& text) {
+  if (killed_) return Status::Unavailable("service was killed");
+  if (!bootstrapped()) {
+    return Status::FailedPrecondition(
+        "Bootstrap() or Restore() must succeed before Post");
+  }
+  SpatioTextualObject o = SpatioTextualObject::FromText(
+      next_object_id_++, loc, text, vocab_, tokenizer_);
+  for (const TermId t : o.terms) vocab_.AddCount(t);
+  return PostInternal(o, nullptr);
+}
+
+Status PS2Stream::Post(const SpatioTextualObject& object) {
+  if (killed_) return Status::Unavailable("service was killed");
+  if (!bootstrapped()) {
+    return Status::FailedPrecondition(
+        "Bootstrap() or Restore() must succeed before Post");
+  }
+  return PostInternal(object, nullptr);
+}
+
+Status PS2Stream::PostInternal(const SpatioTextualObject& object,
+                               std::vector<MatchResult>* delivered) {
+  next_object_id_ = std::max(next_object_id_, object.id + 1);
+  const StreamTuple tuple = StreamTuple::OfObject(object);
+  if (started()) {
+    // The engine stamps the publish time at Submit and its workers deliver
+    // to the routed sessions after merger dedup.
+    if (!engine_->Submit(tuple)) {
+      return Status::Unavailable("engine stopped while submitting");
+    }
+    return Status::Ok();
+  }
+  const int64_t publish_us = NowMicros();
+  std::vector<MatchResult> fresh;
+  cluster_->Process(tuple, &fresh);
+  for (const auto& m : fresh) delivery_->Deliver(m, publish_us);
+  if (delivered != nullptr) *delivered = std::move(fresh);
+  Track(tuple);
+  return Status::Ok();
+}
+
+// --- deprecated facade shims --------------------------------------------------
+
+QueryId PS2Stream::Subscribe(const std::string& expression,
+                             const Rect& region) {
+  StatusOr<Subscription> sub = Subscribe(nullptr, expression, region);
+  if (!sub.ok()) {
+    std::fprintf(stderr, "PS2Stream::Subscribe: %s\n",
+                 sub.status().ToString().c_str());
+    return 0;
+  }
+  return sub->Release();
 }
 
 void PS2Stream::Subscribe(const STSQuery& query) {
+  ApplySubscribe(query, nullptr);
+}
+
+void PS2Stream::ApplySubscribe(const STSQuery& query,
+                               const SessionPtr& session) {
   // WAL-before-apply: once the append returns (durable per the configured
   // sync mode), a crash at any later point recovers this subscription.
   if (durability_ != nullptr) {
@@ -204,6 +352,10 @@ void PS2Stream::Subscribe(const STSQuery& query) {
   }
   subscriptions_[query.id] = query;
   next_query_id_ = std::max(next_query_id_, query.id + 1);
+  // Route deliveries before the insert can reach a worker: a match can only
+  // be produced after the insert is applied, so the session never misses
+  // one.
+  if (session != nullptr) delivery_->Route(query.id, session);
   const StreamTuple tuple = StreamTuple::OfInsert(query);
   if (started()) {
     engine_->Submit(tuple);
@@ -223,6 +375,10 @@ void PS2Stream::Unsubscribe(QueryId id) {
   }
   const StreamTuple tuple = StreamTuple::OfDelete(it->second);
   subscriptions_.erase(it);
+  // Unroute immediately: no delivery reaches the session after Unsubscribe
+  // returns. A match already in flight in the started engine lands in the
+  // router's `unrouted` counter instead.
+  delivery_->Unroute(id);
   if (started()) {
     engine_->Submit(tuple);
     MaybeCheckpoint();
@@ -235,6 +391,7 @@ void PS2Stream::Unsubscribe(QueryId id) {
 
 std::vector<MatchResult> PS2Stream::Publish(Point loc,
                                             const std::string& text) {
+  if (killed_ || !bootstrapped()) return {};
   SpatioTextualObject o = SpatioTextualObject::FromText(
       next_object_id_++, loc, text, vocab_, tokenizer_);
   for (const TermId t : o.terms) vocab_.AddCount(t);
@@ -243,15 +400,13 @@ std::vector<MatchResult> PS2Stream::Publish(Point loc,
 
 std::vector<MatchResult> PS2Stream::Publish(
     const SpatioTextualObject& object) {
-  next_object_id_ = std::max(next_object_id_, object.id + 1);
-  const StreamTuple tuple = StreamTuple::OfObject(object);
-  if (started()) {
-    engine_->Submit(tuple);
-    return {};
-  }
+  if (killed_ || !bootstrapped()) return {};
   std::vector<MatchResult> delivered;
-  cluster_->Process(tuple, &delivered);
-  Track(tuple);
+  const Status status = PostInternal(object, &delivered);
+  if (!status.ok()) {
+    std::fprintf(stderr, "PS2Stream::Publish: %s\n",
+                 status.ToString().c_str());
+  }
   return delivered;
 }
 

@@ -7,6 +7,10 @@
 #include <unordered_map>
 
 #include "adjust/load_controller.h"
+#include "api/delivery_router.h"
+#include "api/status.h"
+#include "api/subscriber_session.h"
+#include "api/subscription.h"
 #include "core/workload_stats.h"
 #include "persist/durability.h"
 #include "runtime/threaded_engine.h"
@@ -20,19 +24,31 @@ namespace ps2 {
 // balanced automatically via local adjustments.
 //
 //   PS2Stream ps2(PS2StreamOptions{...});
-//   ps2.Bootstrap(sample);                       // plan from historic data
-//   QueryId qid = ps2.Subscribe("pizza AND downtown", region);
-//   auto matches = ps2.Publish(loc, "best pizza downtown!");
-//   ps2.Unsubscribe(qid);
+//   ps2.Bootstrap(sample);                        // plan from historic data
+//   auto session = ps2.OpenSession({.queue_capacity = 4096});
+//   auto sub = ps2.Subscribe(session, "pizza AND downtown", region);
+//   if (!sub.ok()) log(sub.status().ToString()); // e.g. expression errors
+//   ps2.Post(loc, "best pizza downtown!");
+//   Delivery d;
+//   while (session->Poll(&d)) consume(d);        // or Take() / a MatchSink
+//   // sub goes out of scope -> unsubscribes
 //
-// Two execution modes:
-//   - synchronous (default): Publish processes the tuple inline and returns
-//     its matches; load adjustment piggy-backs on the caller's thread.
+// Two execution modes, one delivery contract:
+//   - synchronous (default): Post processes the tuple inline; matches reach
+//     the routed sessions before Post returns. Load adjustment piggy-backs
+//     on the caller's thread.
 //   - started (Start()/Stop()): a ThreadedEngine runs dispatcher, worker
-//     and controller threads; Subscribe/Publish submit tuples and return
-//     immediately (Publish returns no matches — deliveries are counted by
-//     the merger and reported by Stop()). Load adjustment happens online on
-//     the controller thread, with migrations installed live.
+//     and controller threads; Subscribe/Post submit tuples and return
+//     immediately, and matches reach the routed sessions asynchronously
+//     from the worker threads (after merger deduplication — exactly the
+//     synchronous mode's deduped match set). Load adjustment happens online
+//     on the controller thread, with migrations installed live.
+//
+// Sessions & backpressure: a SubscriberSession is a bounded delivery queue
+// multiplexing any number of subscriptions, with kBlock / kDropOldest /
+// kDropNewest overflow policies and pull (Poll/Take) or push (MatchSink)
+// consumption. Subscribing without a session is allowed — matches are then
+// only counted (merger + RunReport), not delivered.
 //
 // Durability (options.durability.enabled): subscription mutations are
 // journaled to a write-ahead log *before* they take effect, installed
@@ -58,21 +74,71 @@ struct PS2StreamOptions {
   DurabilityConfig durability;
 };
 
-class PS2Stream {
+class PS2Stream : private SubscriptionBackend {
  public:
+  using SessionPtr = std::shared_ptr<SubscriberSession>;
+
   explicit PS2Stream(PS2StreamOptions options = PS2StreamOptions());
-  ~PS2Stream();
+  ~PS2Stream() override;
 
   PS2Stream(const PS2Stream&) = delete;
   PS2Stream& operator=(const PS2Stream&) = delete;
 
   // Builds the partition plan from a workload sample and starts the
-  // cluster. Must be called before any Subscribe/Publish. Also folds the
+  // cluster. Must be called before any Subscribe/Post. Also folds the
   // sample's term occurrences into the vocabulary frequency profile.
   // With durability enabled this writes the initial checkpoint and opens
   // the WAL; a Bootstrap that cannot persist leaves the service
   // non-durable (check durable()).
   void Bootstrap(const WorkloadSample& sample);
+
+  // --- client API: sessions -------------------------------------------------
+  // Creates a delivery session. Sessions are independent of Bootstrap and
+  // of the execution mode; close order vs. the facade is free (shared
+  // ownership with the delivery router).
+  SessionPtr OpenSession(SessionOptions options = SessionOptions());
+
+  // --- client API: subscribe ------------------------------------------------
+  // Registers a subscription whose matches are delivered to `session`
+  // (nullptr: matches are counted but not delivered). The expression uses
+  // the BoolExpr grammar ("a AND (b OR c)").
+  // Errors: kInvalidArgument (expression syntax, with the parser's
+  // message), kFailedPrecondition (not bootstrapped), kUnavailable (service
+  // killed). The returned RAII handle unsubscribes on destruction; call
+  // Release() to manage the id manually.
+  StatusOr<Subscription> Subscribe(const SessionPtr& session,
+                                   const std::string& expression,
+                                   const Rect& region);
+  // Same, for a pre-built query (the id must be unused: kAlreadyExists).
+  StatusOr<Subscription> Subscribe(const SessionPtr& session,
+                                   const STSQuery& query);
+
+  // Cancels a subscription by id. kNotFound when the id is not live.
+  Status Cancel(QueryId id);
+
+  // --- client API: publish --------------------------------------------------
+  // Publishes an object; matches flow to the routed sessions in both
+  // execution modes (inline here in synchronous mode, from the worker
+  // threads in started mode). Errors: kFailedPrecondition (not
+  // bootstrapped), kUnavailable (engine stopped mid-submit).
+  Status Post(Point loc, const std::string& text);
+  Status Post(const SpatioTextualObject& object);
+
+  // --- deprecated facade (one release; see README "Client API") -------------
+  // DEPRECATED: use Subscribe(session, expression, region). Returns the
+  // assigned query id; on any error logs the Status to stderr and returns
+  // 0 (the legacy sentinel).
+  QueryId Subscribe(const std::string& expression, const Rect& region);
+  // DEPRECATED: use Subscribe(session, query) — this overload keeps the
+  // pre-session semantics (no delivery routing, duplicate ids overwrite).
+  void Subscribe(const STSQuery& query);
+  // DEPRECATED: use Cancel(id) (or let the Subscription handle do it).
+  void Unsubscribe(QueryId id);
+  // DEPRECATED: use Post(). Still feeds routed sessions; additionally
+  // returns the deduped matches in synchronous mode (always empty in
+  // started mode — consume through a session instead).
+  std::vector<MatchResult> Publish(Point loc, const std::string& text);
+  std::vector<MatchResult> Publish(const SpatioTextualObject& object);
 
   // --- durability -----------------------------------------------------------
   // Rebuilds the service from the durable directory (options.durability.dir
@@ -81,7 +147,8 @@ class PS2Stream {
   // usable checkpoint; the service is then untouched. On success the
   // service is bootstrapped, all subscriptions are live, and the WAL
   // continues at `dir` (durability is enabled even if the options left it
-  // off — calling Restore() is the opt-in).
+  // off — calling Restore() is the opt-in). Delivery routes are not
+  // persisted: reattach sessions by re-routing ids after Restore().
   bool Restore(const std::string& dir = std::string());
 
   // Writes a checkpoint now (also called automatically every
@@ -111,27 +178,18 @@ class PS2Stream {
 
   // --- async engine ---------------------------------------------------------
   // Spawns the threaded engine over the bootstrapped cluster. Requires
-  // Bootstrap() first. Subsequent Subscribe/Publish calls are submitted to
+  // Bootstrap() first. Subsequent Subscribe/Post calls are submitted to
   // the engine instead of being processed inline.
   void Start();
-  // Drains the engine and returns its run report. No-op RunReport when the
-  // engine is not running.
+  // Drains the engine and returns its run report (including the session
+  // delivery counters and publish->deliver latency; sessions accumulate
+  // over their lifetime, so a report after several Start/Stop cycles — or
+  // after synchronous traffic — covers all of it). While the drain runs,
+  // kBlock sessions degrade to drop-newest so a stalled consumer cannot
+  // wedge shutdown. No-op RunReport when the engine is not running.
   RunReport Stop();
   bool started() const { return engine_ != nullptr && engine_->running(); }
   ThreadedEngine* engine() { return engine_.get(); }
-
-  // Registers a subscription. The expression uses the BoolExpr grammar
-  // ("a AND (b OR c)"). Returns the assigned query id, or 0 when the
-  // expression fails to parse.
-  QueryId Subscribe(const std::string& expression, const Rect& region);
-  void Subscribe(const STSQuery& query);
-  void Unsubscribe(QueryId id);
-
-  // Publishes an object; returns the subscriptions it matched (after
-  // merger deduplication). In started mode the result is always empty —
-  // matching happens asynchronously on the worker threads.
-  std::vector<MatchResult> Publish(Point loc, const std::string& text);
-  std::vector<MatchResult> Publish(const SpatioTextualObject& object);
 
   // --- introspection --------------------------------------------------------
   Vocabulary& vocabulary() { return vocab_; }
@@ -145,8 +203,22 @@ class PS2Stream {
   const std::vector<AdjustReport>& adjustments() const {
     return adjustments_;
   }
+  // The delivery router (always live) and the aggregate session counters —
+  // the synchronous-mode counterpart of the RunReport delivery fields.
+  DeliveryRouter& delivery() { return *delivery_; }
+  SessionStats delivery_stats() const { return delivery_->AggregateStats(); }
 
  private:
+  // SubscriptionBackend (RAII Subscription handles cancel through this).
+  void CancelSubscription(QueryId id) override;
+
+  // Shared subscribe path: WAL-before-apply, delivery routing, engine
+  // submit or inline processing.
+  void ApplySubscribe(const STSQuery& query, const SessionPtr& session);
+  // Shared publish path; `delivered` non-null collects the deduped matches
+  // (synchronous mode only).
+  Status PostInternal(const SpatioTextualObject& object,
+                      std::vector<MatchResult>* delivered);
   void Track(const StreamTuple& tuple);
   void MaybeAutoAdjust();
   void MaybeCheckpoint();
@@ -162,6 +234,11 @@ class PS2Stream {
   std::unique_ptr<ThreadedEngine> engine_;
   std::unique_ptr<DurabilityManager> durability_;
   std::unique_ptr<RecoveredState> recovered_;
+  std::unique_ptr<DeliveryRouter> delivery_;
+  // Liveness token for RAII Subscription handles: reset first in the
+  // destructor so a handle outliving the facade cancels into a no-op.
+  std::shared_ptr<void> alive_;
+  bool killed_ = false;
   std::unordered_map<QueryId, STSQuery> subscriptions_;
   QueryId next_query_id_ = 1;
   ObjectId next_object_id_ = 1;

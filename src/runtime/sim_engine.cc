@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "api/delivery_router.h"
 #include "common/stopwatch.h"
 
 namespace ps2 {
@@ -72,6 +73,16 @@ SimReport RunSimulation(Cluster& cluster,
       report.matches_delivered += matches.size();
       const double start = std::max(arrival, busy_until[d.worker]);
       const double finish = start + service_us * 1e-6;
+      if (options.delivery != nullptr) {
+        for (const auto& m : matches) {
+          Delivery dv;
+          dv.query_id = m.query_id;
+          dv.object_id = m.object_id;
+          dv.publish_us = static_cast<int64_t>(arrival * 1e6);
+          dv.deliver_us = static_cast<int64_t>(finish * 1e6);
+          options.delivery->DeliverBatch(&dv, 1);
+        }
+      }
       busy_until[d.worker] = finish;
       busy_total[d.worker] += service_us * 1e-6;
       busy_window[d.worker] += service_us * 1e-6;

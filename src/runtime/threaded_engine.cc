@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "adjust/touch_tracking_executor.h"
+#include "api/delivery_router.h"
 #include "common/stopwatch.h"
 #include "persist/wal.h"
 
@@ -37,6 +38,9 @@ struct ThreadedEngine::WorkItem {
   StreamTuple tuple;
   std::vector<CellId> cells;  // for query updates
   int64_t enqueue_us = 0;
+  // Publish timestamp stamped at Submit(); session delivery latency is
+  // measured from here (enqueue_us only covers the worker-queue dwell).
+  int64_t submit_us = 0;
   std::shared_ptr<Latch> marker;
 };
 
@@ -44,6 +48,7 @@ struct ThreadedEngine::WorkItem {
 struct ThreadedEngine::SeqTuple {
   StreamTuple tuple;
   uint64_t updates_before = 0;
+  int64_t submit_us = 0;
 };
 
 struct ThreadedEngine::WorkerState {
@@ -296,6 +301,7 @@ bool ThreadedEngine::Submit(const StreamTuple& tuple) {
   if (!running_) return false;
   SeqTuple st;
   st.tuple = tuple;
+  st.submit_us = NowMicros();
   if (tuple.kind == TupleKind::kObject) {
     st.updates_before = updates_submitted_.load(std::memory_order_relaxed);
     ++submitted_objects_;
@@ -435,6 +441,7 @@ void ThreadedEngine::RouteOne(DispatcherState& ds, SeqTuple& st) {
         WorkItem item;
         item.tuple = tuple;
         item.enqueue_us = now;
+        item.submit_us = st.submit_us;
         queues_[w]->Push(std::move(item));
       }
     }
@@ -477,6 +484,7 @@ void ThreadedEngine::WorkerLoop(int w) {
   std::vector<WorkItem> batch;
   std::vector<const SpatioTextualObject*> run;
   std::vector<MatchResult> matches;
+  std::vector<Delivery> pending;  // session deliveries staged per run
   while (true) {
     queues_[w]->PopBatch(options_.batch_size, &batch);
     if (batch.empty()) break;  // closed and drained
@@ -520,10 +528,42 @@ void ThreadedEngine::WorkerLoop(int w) {
         ws.matches_emitted.fetch_add(matches.size(),
                                      std::memory_order_relaxed);
         if (!matches.empty()) {
-          std::lock_guard<std::mutex> lock(merge_mu_);
-          for (const auto& m : matches) {
-            const bool fresh = merger.Accept(m);
-            if (fresh && options_.collect_matches) collected_.push_back(m);
+          pending.clear();
+          // Resolves a match's publish timestamp from the run items.
+          // MatchBatch groups output by cell, so consecutive matches tend
+          // to repeat objects: memoize the last hit and scan circularly.
+          size_t probe = i;
+          const auto submit_of = [&](ObjectId id) {
+            const size_t n = end - i;
+            for (size_t k = 0; k < n; ++k) {
+              const size_t idx = i + (probe - i + k) % n;
+              if (batch[idx].tuple.object.id == id) {
+                probe = idx;
+                return batch[idx].submit_us;
+              }
+            }
+            return batch[i].submit_us;  // unreachable: every match's object is in the run
+          };
+          {
+            std::lock_guard<std::mutex> lock(merge_mu_);
+            for (const auto& m : matches) {
+              const bool fresh = merger.Accept(m);
+              if (!fresh) continue;
+              if (options_.collect_matches) collected_.push_back(m);
+              if (options_.delivery != nullptr) {
+                Delivery d;
+                d.query_id = m.query_id;
+                d.object_id = m.object_id;
+                d.publish_us = submit_of(m.object_id);
+                pending.push_back(d);
+              }
+            }
+          }
+          // Deliver outside merge_mu_: a kBlock session may block this
+          // worker on a full queue, and holding the merge lock there would
+          // stall every other worker instead of just this one.
+          if (!pending.empty()) {
+            options_.delivery->DeliverBatch(pending.data(), pending.size());
           }
         }
         const int64_t done_us = NowMicros();

@@ -19,6 +19,14 @@ struct Parser {
   Vocabulary& vocab;
   size_t pos = 0;
   bool error = false;
+  std::string error_msg;
+
+  // Records the first error only: later failures are cascades of it.
+  void Fail(const std::string& msg) {
+    if (error) return;
+    error = true;
+    error_msg = msg + " at position " + std::to_string(pos);
+  }
 
   void SkipSpace() {
     while (pos < text.size() &&
@@ -96,16 +104,19 @@ struct Parser {
   }
 
   std::vector<std::vector<TermId>> ParseAtom() {
+    SkipSpace();
     const std::string tok = Peek();
     if (tok.empty() || tok == ")" || tok == "AND" || tok == "OR") {
-      error = true;
+      Fail(tok.empty() ? "expected keyword or '(', got end of input"
+                       : "expected keyword or '(', got '" + tok + "'");
       return {};
     }
     if (tok == "(") {
       Consume(tok);
       auto inner = ParseExpr();
+      SkipSpace();
       if (Peek() != ")") {
-        error = true;
+        Fail("expected ')'");
         return {};
       }
       Consume(")");
@@ -155,11 +166,17 @@ BoolExpr BoolExpr::Cnf(std::vector<std::vector<TermId>> clauses) {
   return e;
 }
 
-BoolExpr BoolExpr::Parse(const std::string& text, Vocabulary& vocab) {
-  Parser p{text, vocab};
+BoolExpr BoolExpr::Parse(const std::string& text, Vocabulary& vocab,
+                         std::string* error) {
+  if (error != nullptr) error->clear();
+  Parser p{text, vocab, /*pos=*/0, /*error=*/false, /*error_msg=*/{}};
   auto cnf = p.ParseExpr();
   p.SkipSpace();
-  if (p.error || p.pos != text.size()) {
+  if (!p.error && p.pos != text.size()) {
+    p.Fail("unexpected '" + std::string(1, text[p.pos]) + "'");
+  }
+  if (p.error) {
+    if (error != nullptr) *error = p.error_msg;
     BoolExpr e;
     e.has_error_ = true;
     return e;

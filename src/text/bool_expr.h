@@ -40,8 +40,14 @@ class BoolExpr {
   //   clause := atom (OR atom)*
   //   atom   := TERM | '(' expr ')'
   // Parenthesized sub-expressions are distributed into CNF. Returns an empty
-  // expression on syntax error (check has_error()).
-  static BoolExpr Parse(const std::string& text, Vocabulary& vocab);
+  // expression on syntax error (check has_error()); when `error` is non-null
+  // it receives a human-readable description of the first syntax error
+  // ("expected keyword or '(' at position 4, got 'AND'"), or is cleared on
+  // success. The message is an out-parameter rather than a member so
+  // BoolExpr itself stays lean — millions of parsed subscriptions should
+  // not each carry an empty std::string.
+  static BoolExpr Parse(const std::string& text, Vocabulary& vocab,
+                        std::string* error = nullptr);
 
   bool has_error() const { return has_error_; }
   bool empty() const { return clauses_.empty(); }

@@ -1,0 +1,377 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "api/delivery_router.h"
+#include "api/status.h"
+#include "api/subscriber_session.h"
+#include "api/subscription.h"
+#include "runtime/ps2stream.h"
+#include "test_util.h"
+
+namespace ps2 {
+namespace {
+
+using std::chrono::milliseconds;
+
+// ---------------------------------------------------------------------------
+// Status / StatusOr
+// ---------------------------------------------------------------------------
+
+TEST(StatusTest, OkAndErrors) {
+  EXPECT_TRUE(Status::Ok().ok());
+  EXPECT_EQ(Status::Ok().ToString(), "OK");
+  const Status s = Status::InvalidArgument("bad expression");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad expression");
+  EXPECT_EQ(s.ToString(), "INVALID_ARGUMENT: bad expression");
+}
+
+TEST(StatusTest, StatusOrHoldsValueOrError) {
+  StatusOr<int> ok = 42;
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  StatusOr<int> err = Status::NotFound("nope");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kNotFound);
+  // Constructing from an Ok status (a caller bug) degrades to kInternal
+  // instead of a half-ok object.
+  StatusOr<int> confused = Status::Ok();
+  EXPECT_FALSE(confused.ok());
+  EXPECT_EQ(confused.status().code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// SubscriberSession: queueing and backpressure policies
+// ---------------------------------------------------------------------------
+
+Delivery MakeDelivery(QueryId q, ObjectId o) {
+  Delivery d;
+  d.query_id = q;
+  d.object_id = o;
+  d.publish_us = 1;
+  return d;
+}
+
+TEST(SubscriberSessionTest, PollAndTake) {
+  SubscriberSession session({/*queue_capacity=*/4,
+                             BackpressurePolicy::kBlock});
+  Delivery d;
+  EXPECT_FALSE(session.Poll(&d));
+  EXPECT_EQ(session.Take(&d, milliseconds(1)).code(),
+            StatusCode::kDeadlineExceeded);
+
+  EXPECT_TRUE(session.Enqueue(MakeDelivery(7, 100)));
+  EXPECT_TRUE(session.Enqueue(MakeDelivery(8, 101)));
+  EXPECT_EQ(session.pending(), 2u);
+  ASSERT_TRUE(session.Poll(&d));
+  EXPECT_EQ(d.query_id, 7u);
+  EXPECT_GT(d.deliver_us, 0);  // stamped at enqueue
+  ASSERT_TRUE(session.Take(&d, milliseconds(100)).ok());
+  EXPECT_EQ(d.query_id, 8u);
+
+  const SessionStats stats = session.stats();
+  EXPECT_EQ(stats.delivered, 2u);
+  EXPECT_EQ(stats.dropped, 0u);
+  EXPECT_EQ(stats.latency.count(), 2u);
+
+  session.Close();
+  EXPECT_EQ(session.Take(&d, milliseconds(1)).code(),
+            StatusCode::kUnavailable);
+}
+
+TEST(SubscriberSessionTest, DropOldestKeepsFreshest) {
+  SubscriberSession session({/*queue_capacity=*/2,
+                             BackpressurePolicy::kDropOldest});
+  for (ObjectId o = 1; o <= 5; ++o) {
+    EXPECT_TRUE(session.Enqueue(MakeDelivery(1, o)));
+  }
+  Delivery d;
+  ASSERT_TRUE(session.Poll(&d));
+  EXPECT_EQ(d.object_id, 4u);
+  ASSERT_TRUE(session.Poll(&d));
+  EXPECT_EQ(d.object_id, 5u);
+  EXPECT_FALSE(session.Poll(&d));
+  EXPECT_EQ(session.stats().delivered, 5u);
+  EXPECT_EQ(session.stats().dropped, 3u);
+}
+
+TEST(SubscriberSessionTest, DropNewestKeepsBacklog) {
+  SubscriberSession session({/*queue_capacity=*/2,
+                             BackpressurePolicy::kDropNewest});
+  EXPECT_TRUE(session.Enqueue(MakeDelivery(1, 1)));
+  EXPECT_TRUE(session.Enqueue(MakeDelivery(1, 2)));
+  EXPECT_FALSE(session.Enqueue(MakeDelivery(1, 3)));  // dropped
+  Delivery d;
+  ASSERT_TRUE(session.Poll(&d));
+  EXPECT_EQ(d.object_id, 1u);
+  ASSERT_TRUE(session.Poll(&d));
+  EXPECT_EQ(d.object_id, 2u);
+  EXPECT_EQ(session.stats().dropped, 1u);
+}
+
+TEST(SubscriberSessionTest, BlockWaitsForConsumerAndHonorsClose) {
+  SubscriberSession session({/*queue_capacity=*/1,
+                             BackpressurePolicy::kBlock});
+  EXPECT_TRUE(session.Enqueue(MakeDelivery(1, 1)));
+  std::atomic<bool> second_done{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(session.Enqueue(MakeDelivery(1, 2)));  // blocks: queue full
+    second_done.store(true);
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  EXPECT_FALSE(second_done.load());  // still blocked
+  Delivery d;
+  ASSERT_TRUE(session.Poll(&d));  // frees a slot
+  producer.join();
+  EXPECT_TRUE(second_done.load());
+  ASSERT_TRUE(session.Poll(&d));
+  EXPECT_EQ(d.object_id, 2u);
+
+  // A producer blocked on a full queue must be released by Close(), with
+  // the delivery counted as dropped.
+  EXPECT_TRUE(session.Enqueue(MakeDelivery(1, 3)));
+  std::thread blocked([&] {
+    EXPECT_FALSE(session.Enqueue(MakeDelivery(1, 4)));
+  });
+  std::this_thread::sleep_for(milliseconds(20));
+  session.Close();
+  blocked.join();
+  EXPECT_EQ(session.stats().dropped, 1u);
+}
+
+TEST(SubscriberSessionTest, DrainingDegradesBlockToDrop) {
+  SubscriberSession session({/*queue_capacity=*/1,
+                             BackpressurePolicy::kBlock});
+  EXPECT_TRUE(session.Enqueue(MakeDelivery(1, 1)));
+  session.SetDraining(true);
+  // Would block forever without draining; must return (dropped) instead.
+  EXPECT_FALSE(session.Enqueue(MakeDelivery(1, 2)));
+  session.SetDraining(false);
+  EXPECT_EQ(session.stats().dropped, 1u);
+  // The queued delivery is still consumable.
+  Delivery d;
+  EXPECT_TRUE(session.Poll(&d));
+}
+
+TEST(SubscriberSessionTest, SinkFlushesBacklogThenReceivesLive) {
+  struct Recorder : MatchSink {
+    std::vector<ObjectId> seen;
+    void OnMatch(const Delivery& d) override { seen.push_back(d.object_id); }
+  } sink;
+  SubscriberSession session({/*queue_capacity=*/8,
+                             BackpressurePolicy::kBlock});
+  session.Enqueue(MakeDelivery(1, 1));
+  session.Enqueue(MakeDelivery(1, 2));
+  ASSERT_TRUE(session.SetSink(&sink).ok());
+  EXPECT_EQ(session.pending(), 0u);  // backlog flushed in order
+  session.Enqueue(MakeDelivery(1, 3));
+  ASSERT_EQ(sink.seen.size(), 3u);
+  EXPECT_EQ(sink.seen[0], 1u);
+  EXPECT_EQ(sink.seen[1], 2u);
+  EXPECT_EQ(sink.seen[2], 3u);
+  // Pull is rejected in push mode.
+  Delivery d;
+  EXPECT_EQ(session.Take(&d, milliseconds(1)).code(),
+            StatusCode::kFailedPrecondition);
+  // Removing the sink restores pull mode.
+  ASSERT_TRUE(session.SetSink(nullptr).ok());
+  session.Enqueue(MakeDelivery(1, 4));
+  EXPECT_TRUE(session.Poll(&d));
+  EXPECT_EQ(d.object_id, 4u);
+}
+
+// ---------------------------------------------------------------------------
+// DeliveryRouter: snapshot-published QueryId -> session map
+// ---------------------------------------------------------------------------
+
+TEST(DeliveryRouterTest, RoutesUnroutesAndCountsUnrouted) {
+  DeliveryRouter router;
+  auto session = std::make_shared<SubscriberSession>();
+  router.RegisterSession(session);
+  router.Route(42, session);
+  EXPECT_EQ(router.Lookup(42), session);
+  EXPECT_EQ(router.Lookup(43), nullptr);
+
+  MatchResult m;
+  m.query_id = 42;
+  m.object_id = 7;
+  router.Deliver(m, /*publish_us=*/5);
+  EXPECT_EQ(session->pending(), 1u);
+  m.query_id = 43;
+  router.Deliver(m, /*publish_us=*/5);
+  EXPECT_EQ(router.unrouted(), 1u);
+
+  router.Unroute(42);
+  EXPECT_EQ(router.Lookup(42), nullptr);
+  m.query_id = 42;
+  router.Deliver(m, /*publish_us=*/5);
+  EXPECT_EQ(router.unrouted(), 2u);
+  EXPECT_EQ(session->pending(), 1u);
+
+  const SessionStats stats = router.AggregateStats();
+  EXPECT_EQ(stats.delivered, 1u);
+}
+
+TEST(DeliveryRouterTest, ConcurrentRouteAndDeliver) {
+  // Writers republish shard snapshots while delivering threads look up
+  // lock-free; TSan (CI) verifies the absence of data races, this test the
+  // absence of lost routes.
+  DeliveryRouter router;
+  auto session = std::make_shared<SubscriberSession>(
+      SessionOptions{/*queue_capacity=*/1 << 20,
+                     BackpressurePolicy::kBlock});
+  router.RegisterSession(session);
+  constexpr QueryId kQueries = 512;
+  std::thread writer([&] {
+    for (QueryId q = 1; q <= kQueries; ++q) router.Route(q, session);
+  });
+  std::atomic<uint64_t> delivered{0};
+  std::thread deliverer([&] {
+    MatchResult m;
+    m.object_id = 1;
+    for (int round = 0; round < 64; ++round) {
+      for (QueryId q = 1; q <= kQueries; ++q) {
+        m.query_id = q;
+        router.Deliver(m, 1);
+        ++delivered;
+      }
+    }
+  });
+  writer.join();
+  deliverer.join();
+  // Every delivery either reached the session or was counted unrouted.
+  EXPECT_EQ(session->stats().delivered + router.unrouted(),
+            delivered.load());
+  // After the writer finished, every id resolves.
+  for (QueryId q = 1; q <= kQueries; ++q) {
+    EXPECT_NE(router.Lookup(q), nullptr);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Facade: Status-based Subscribe / Post and the RAII Subscription handle
+// ---------------------------------------------------------------------------
+
+TEST(PS2StreamApiTest, SubscribeReportsParseErrorsAsStatus) {
+  PS2Stream ps2;
+  // Before Bootstrap: precondition failure, not a crash.
+  EXPECT_EQ(ps2.Subscribe(nullptr, "pizza", Rect(0, 0, 1, 1)).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ps2.Post(Point{0, 0}, "hi").code(),
+            StatusCode::kFailedPrecondition);
+
+  ps2.Bootstrap(WorkloadSample{});
+  const auto bad = ps2.Subscribe(nullptr, "AND AND", Rect(0, 0, 1, 1));
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  // The parser's message (not a bare sentinel) reaches the caller.
+  EXPECT_NE(bad.status().message().find("expected keyword"),
+            std::string::npos);
+  EXPECT_EQ(ps2.num_subscriptions(), 0u);
+
+  const auto unbalanced = ps2.Subscribe(nullptr, "(a OR b", Rect(0, 0, 1, 1));
+  ASSERT_FALSE(unbalanced.ok());
+  EXPECT_NE(unbalanced.status().message().find("expected ')'"),
+            std::string::npos);
+}
+
+TEST(PS2StreamApiTest, LegacySubscribeShimLogsAndReturnsZero) {
+  PS2Stream ps2;
+  ps2.Bootstrap(WorkloadSample{});
+  EXPECT_EQ(ps2.Subscribe("AND AND", Rect(0, 0, 1, 1)), 0u);
+  EXPECT_EQ(ps2.num_subscriptions(), 0u);
+  // And keeps working for valid input, without a session.
+  const QueryId qid = ps2.Subscribe("pizza", Rect(0, 0, 1, 1));
+  EXPECT_NE(qid, 0u);
+  EXPECT_EQ(ps2.num_subscriptions(), 1u);
+}
+
+TEST(PS2StreamApiTest, SubscriptionHandleUnsubscribesOnDestruction) {
+  PS2Stream ps2;
+  ps2.Bootstrap(WorkloadSample{});
+  auto session = ps2.OpenSession();
+  {
+    auto sub = ps2.Subscribe(session, "fire", Rect(0, 0, 1, 1));
+    ASSERT_TRUE(sub.ok());
+    EXPECT_TRUE(sub->active());
+    EXPECT_EQ(ps2.num_subscriptions(), 1u);
+    ASSERT_TRUE(ps2.Post(Point{0.5, 0.5}, "fire nearby").ok());
+    Delivery d;
+    ASSERT_TRUE(session->Poll(&d));
+    EXPECT_EQ(d.query_id, sub->id());
+  }  // ~Subscription
+  EXPECT_EQ(ps2.num_subscriptions(), 0u);
+  ASSERT_TRUE(ps2.Post(Point{0.5, 0.5}, "fire again").ok());
+  Delivery d;
+  EXPECT_FALSE(session->Poll(&d));
+}
+
+TEST(PS2StreamApiTest, SubscriptionMoveAndReleaseAndCancel) {
+  PS2Stream ps2;
+  ps2.Bootstrap(WorkloadSample{});
+  auto sub = ps2.Subscribe(nullptr, "smoke", Rect(0, 0, 1, 1));
+  ASSERT_TRUE(sub.ok());
+  const QueryId id = sub->id();
+
+  Subscription moved = std::move(*sub);
+  EXPECT_EQ(moved.id(), id);
+  EXPECT_TRUE(moved.active());
+
+  // Release detaches: destruction must not unsubscribe.
+  EXPECT_EQ(moved.Release(), id);
+  EXPECT_FALSE(moved.active());
+  moved.Cancel();  // no-op
+  EXPECT_EQ(ps2.num_subscriptions(), 1u);
+
+  // Explicit cancel by id.
+  EXPECT_TRUE(ps2.Cancel(id).ok());
+  EXPECT_EQ(ps2.Cancel(id).code(), StatusCode::kNotFound);
+  EXPECT_EQ(ps2.num_subscriptions(), 0u);
+}
+
+TEST(PS2StreamApiTest, SubscriptionOutlivingFacadeIsANoOp) {
+  Subscription orphan;
+  {
+    PS2Stream ps2;
+    ps2.Bootstrap(WorkloadSample{});
+    auto sub = ps2.Subscribe(nullptr, "late", Rect(0, 0, 1, 1));
+    ASSERT_TRUE(sub.ok());
+    orphan = std::move(*sub);
+    EXPECT_TRUE(orphan.active());
+  }  // facade destroyed first
+  EXPECT_FALSE(orphan.active());
+  orphan.Cancel();  // must not touch the dead facade
+}
+
+TEST(PS2StreamApiTest, DuplicateQueryIdRejected) {
+  PS2Stream ps2;
+  ps2.Bootstrap(WorkloadSample{});
+  STSQuery q;
+  q.id = 9;
+  q.expr = BoolExpr::And({ps2.vocabulary().Intern("x")});
+  q.region = Rect(0, 0, 1, 1);
+  auto first = ps2.Subscribe(nullptr, q);
+  ASSERT_TRUE(first.ok());
+  auto second = ps2.Subscribe(nullptr, q);
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+  first->Release();  // keep q subscribed past this scope (exercises Release)
+}
+
+TEST(PS2StreamApiTest, KilledServiceReportsUnavailable) {
+  PS2Stream ps2;
+  ps2.Bootstrap(WorkloadSample{});
+  auto sub = ps2.Subscribe(nullptr, "alive", Rect(0, 0, 1, 1));
+  ASSERT_TRUE(sub.ok());
+  ps2.Kill();
+  EXPECT_EQ(ps2.Subscribe(nullptr, "dead", Rect(0, 0, 1, 1)).status().code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(ps2.Post(Point{0, 0}, "dead").code(), StatusCode::kUnavailable);
+  sub->Cancel();  // safe no-op against a killed service
+}
+
+}  // namespace
+}  // namespace ps2

@@ -162,6 +162,30 @@ TEST_F(BoolExprTest, RoutingTermsCompletenessExhaustive) {
   }
 }
 
+TEST_F(BoolExprTest, ParseReportsDescriptiveErrors) {
+  std::string error;
+  // Operator where a keyword is expected, with its position.
+  BoolExpr e = BoolExpr::Parse("pizza AND AND", vocab_, &error);
+  EXPECT_TRUE(e.has_error());
+  EXPECT_EQ(error, "expected keyword or '(', got 'AND' at position 10");
+  // Unbalanced parenthesis.
+  e = BoolExpr::Parse("(a OR b", vocab_, &error);
+  EXPECT_TRUE(e.has_error());
+  EXPECT_EQ(error, "expected ')' at position 7");
+  // Trailing input after a complete expression.
+  e = BoolExpr::Parse("a OR b)", vocab_, &error);
+  EXPECT_TRUE(e.has_error());
+  EXPECT_EQ(error, "unexpected ')' at position 6");
+  // Empty input.
+  e = BoolExpr::Parse("", vocab_, &error);
+  EXPECT_TRUE(e.has_error());
+  EXPECT_EQ(error, "expected keyword or '(', got end of input at position 0");
+  // Success clears the message.
+  e = BoolExpr::Parse("a AND b", vocab_, &error);
+  EXPECT_FALSE(e.has_error());
+  EXPECT_TRUE(error.empty());
+}
+
 TEST_F(BoolExprTest, ToStringRoundTrips) {
   const BoolExpr e = BoolExpr::Parse("aa AND (bb OR cc)", vocab_);
   const std::string s = e.ToString(vocab_);

@@ -1,11 +1,23 @@
 #!/usr/bin/env python3
-"""CI gate for the worker hot-path benchmark.
+"""CI gate for throughput benchmarks.
 
-Usage: check_bench_threshold.py BENCH_hotpath.json bench/hotpath_baseline.json
+Usage: check_bench_threshold.py BENCH_<name>.json bench/<name>_baseline.json
 
-Reads the measured BENCH_hotpath.json (written by bench_hotpath) and fails
-(exit 1) when the best batched throughput drops more than `allowed_drop`
-(default 20%) below the committed baseline's batched_objects_per_sec.
+Reads a measured BENCH_*.json (written by a bench via bench_util's JSON
+mirror) and fails (exit 1) when the gated throughput drops more than
+`allowed_drop` (default 20%) below the committed baseline.
+
+The baseline JSON selects what is gated:
+  subscriptions   row filter: the subscription level to gate at
+  path            row filter: value of the "path" column (default "batched")
+  metric          column holding the gated throughput
+                  (default "objs_per_sec")
+  baseline_value  committed floor reference (falls back to the legacy
+                  "batched_objects_per_sec" key)
+  allowed_drop    tolerated relative drop (default 0.20)
+
+The *minimum* across matching rows is gated: a regression must not be
+masked by a healthy number at a different (easier) configuration.
 """
 
 import json
@@ -21,35 +33,41 @@ def main() -> int:
     with open(sys.argv[2]) as f:
         baseline = json.load(f)
 
-    # Gate on the batched rows at the baseline's subscription level only,
-    # and take the *minimum* across matching rows: a regression must not be
-    # masked by a healthy number at a different (easier) configuration.
     subs = float(baseline["subscriptions"])
+    path = baseline.get("path", "batched")
+    metric = baseline.get("metric", "objs_per_sec")
     worst = None
     for table in measured.get("tables", []):
         cols = table.get("columns", [])
-        if not {"path", "subscriptions", "objs_per_sec"} <= set(cols):
+        if not {"path", "subscriptions", metric} <= set(cols):
             continue
         path_i = cols.index("path")
         subs_i = cols.index("subscriptions")
-        tput_i = cols.index("objs_per_sec")
+        tput_i = cols.index(metric)
         for row in table.get("rows", []):
-            if row[path_i] == "batched" and float(row[subs_i]) == subs:
+            if row[path_i] == path and float(row[subs_i]) == subs:
                 tput = float(row[tput_i])
                 worst = tput if worst is None else min(worst, tput)
     if worst is None:
         print(
-            f"FAIL: no batched row at {subs:.0f} subscriptions in measured "
-            "bench JSON (was the bench run in the baseline's mode?)"
+            f"FAIL: no '{path}' row at {subs:.0f} subscriptions with a "
+            f"'{metric}' column in measured bench JSON (was the bench run "
+            "in the baseline's mode?)"
         )
         return 1
 
-    committed = float(baseline["batched_objects_per_sec"])
+    # No silent default: a baseline missing both keys must fail the gate
+    # loudly (KeyError -> nonzero exit), not degrade into an always-pass
+    # floor of 0.
+    if "baseline_value" in baseline:
+        committed = float(baseline["baseline_value"])
+    else:
+        committed = float(baseline["batched_objects_per_sec"])
     allowed_drop = float(baseline.get("allowed_drop", 0.20))
     floor = committed * (1.0 - allowed_drop)
     verdict = "OK" if worst >= floor else "FAIL"
     print(
-        f"{verdict}: batched objects/sec at {subs:.0f} subs "
+        f"{verdict}: {path} {metric} at {subs:.0f} subs "
         f"measured={worst:.0f} baseline={committed:.0f} floor={floor:.0f} "
         f"(allowed drop {allowed_drop:.0%})"
     )
