@@ -9,9 +9,15 @@
 //             while a consumer thread drains the session (latency includes
 //             queueing, so this is the number a capacity plan needs).
 //
-// Mirrors the table into BENCH_delivery.json; CI runs `--smoke` and gates
-// the threaded deliveries/sec via tools/check_bench_threshold.py against
-// the committed bench/delivery_baseline.json.
+// A second table sweeps offered load: the threaded path again, but with the
+// publish loop paced to fixed rates (threaded_paced rows) on a lean
+// adaptive-spin topology — the latency-vs-load curve (p50/p99/p999) that
+// shows where queueing delay takes over from processing delay.
+//
+// Mirrors the tables into BENCH_delivery.json; CI runs `--smoke` and gates
+// the threaded deliveries/sec floor plus the paced p50 ceiling via
+// tools/check_bench_threshold.py against bench/delivery_baseline.json.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstring>
@@ -34,6 +40,7 @@ struct PathResult {
   double deliveries_per_sec = 0.0;
   double p50_us = 0.0;
   double p99_us = 0.0;
+  double p999_us = 0.0;
 };
 
 void EmitRow(const std::string& path, size_t subs, size_t objects,
@@ -104,6 +111,49 @@ PathResult RunThreaded(PS2Stream& service,
   return r;
 }
 
+// Threaded path with the publish loop paced to `rate_tps`: below
+// saturation, latency is processing delay rather than queue dwell, so the
+// percentiles answer "what does a subscriber see at this offered load".
+PathResult RunThreadedPaced(PS2Stream& service,
+                            const PS2Stream::SessionPtr& session,
+                            const std::vector<SpatioTextualObject>& objects,
+                            double rate_tps) {
+  PathResult r;
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    std::vector<Delivery> batch;
+    while (!done.load(std::memory_order_acquire)) {
+      batch.clear();
+      session->TakeBatch(&batch, 4096, std::chrono::milliseconds(2));
+    }
+    batch.clear();
+    while (session->TakeBatch(&batch, 4096, std::chrono::milliseconds(0)) >
+           0) {
+      batch.clear();
+    }
+  });
+  service.Start();
+  const int64_t begin = NowMicros();
+  for (size_t i = 0; i < objects.size(); ++i) {
+    const int64_t due_us =
+        begin + static_cast<int64_t>(1e6 * static_cast<double>(i) / rate_tps);
+    while (NowMicros() < due_us) std::this_thread::yield();
+    service.Post(objects[i]);
+  }
+  const RunReport report = service.Stop();
+  const double secs = static_cast<double>(NowMicros() - begin) / 1e6;
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  r.deliveries = report.session_deliveries;
+  r.drops = report.session_drops;
+  r.publishes_per_sec = secs > 0 ? objects.size() / secs : 0.0;
+  r.deliveries_per_sec = secs > 0 ? report.session_deliveries / secs : 0.0;
+  r.p50_us = report.delivery_latency.PercentileMicros(0.50);
+  r.p99_us = report.delivery_latency.PercentileMicros(0.99);
+  r.p999_us = report.delivery_latency.PercentileMicros(0.999);
+  return r;
+}
+
 }  // namespace
 }  // namespace ps2
 
@@ -160,6 +210,64 @@ int main(int argc, char** argv) {
                                ? RunThreaded(service, session, objects)
                                : RunSync(service, session, objects);
       EmitRow(threaded ? "threaded" : "sync", subs, objects.size(), r);
+    }
+  }
+
+  // Latency vs offered load: the paced threaded path on the low-latency
+  // topology (1 dispatcher, 2 workers, adaptive-spin engine + session).
+  // Each rate Start()s, paces the publish loop, and Stop()s — the report's
+  // histogram covers exactly that run.
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{2000, 5000, 10000}
+            : std::vector<double>{5000, 20000, 50000};
+  bench::PrintHeader(
+      "latency vs offered load: paced threaded publish -> session",
+      {"path", "subscriptions", "rate_tps", "objects", "deliveries", "drops",
+       "p50_us", "p99_us", "p999_us"});
+  for (const size_t subs : sub_levels) {
+    PS2StreamOptions opts;
+    opts.partitioner = "hybrid";
+    opts.partition.num_workers = 2;
+    opts.engine.num_dispatchers = 1;
+    opts.engine.wait_strategy = WaitStrategy::kAdaptiveSpin;
+    PS2Stream service(opts);
+    CorpusConfig cfg = CorpusConfig::UsPreset();
+    cfg.vocab_size = smoke ? 40000 : 150000;
+    SyntheticCorpus corpus(cfg, &service.vocabulary());
+    corpus.Generate(smoke ? 20000 : 50000);
+    QueryGenConfig qcfg;
+    QueryGenerator qgen(qcfg, &corpus);
+    {
+      WorkloadSample sample;
+      sample.objects = corpus.Generate(20000);
+      sample.inserts = qgen.Generate(4000);
+      service.Bootstrap(sample);
+    }
+    SessionOptions sopts;
+    sopts.queue_capacity = 1 << 16;
+    sopts.backpressure = BackpressurePolicy::kBlock;
+    sopts.wait_strategy = WaitStrategy::kAdaptiveSpin;
+    auto session = service.OpenSession(sopts);
+    for (const auto& q : qgen.Generate(subs)) {
+      auto sub = service.Subscribe(session, q);
+      if (sub.ok()) sub->Release();
+    }
+    for (const double rate : rates) {
+      // ~2 seconds of stream per point, bounded so the sweep stays quick.
+      const size_t count =
+          std::min(num_objects, static_cast<size_t>(rate * 2));
+      const auto objects = corpus.Generate(count);
+      const PathResult r = RunThreadedPaced(service, session, objects, rate);
+      bench::PrintCell("threaded_paced");
+      bench::PrintCell(static_cast<double>(subs), "%.0f");
+      bench::PrintCell(rate, "%.0f");
+      bench::PrintCell(static_cast<double>(objects.size()), "%.0f");
+      bench::PrintCell(static_cast<double>(r.deliveries), "%.0f");
+      bench::PrintCell(static_cast<double>(r.drops), "%.0f");
+      bench::PrintCell(r.p50_us, "%.2f");
+      bench::PrintCell(r.p99_us, "%.2f");
+      bench::PrintCell(r.p999_us, "%.2f");
+      bench::EndRow();
     }
   }
   return 0;

@@ -57,7 +57,10 @@ void RunOne(size_t num_subs) {
   service.Bootstrap(env.stream.sample);
 
   Stopwatch sw;
-  for (const auto& q : subs) service.Subscribe(q);
+  for (const auto& q : subs) {
+    auto sub = service.Subscribe(nullptr, q);
+    if (sub.ok()) sub->Release();
+  }
   service.durable();  // keep the optimizer honest
   const double subscribe_s = sw.ElapsedSeconds();
 
@@ -67,7 +70,10 @@ void RunOne(size_t num_subs) {
   const size_t checkpoint_bytes = DirBytes(dir, "checkpoint-");
 
   sw.Restart();
-  for (const auto& q : tail_subs) service.Subscribe(q);
+  for (const auto& q : tail_subs) {
+    auto sub = service.Subscribe(nullptr, q);
+    if (sub.ok()) sub->Release();
+  }
   const double tail_s = sw.ElapsedSeconds();
   service.Kill();  // crash: no clean stop, no final checkpoint
   const size_t wal_bytes = DirBytes(dir, "wal-");
@@ -86,8 +92,16 @@ void RunOne(size_t num_subs) {
                 (probe.region.min_y + probe.region.max_y) / 2};
   o.terms = probe.expr.clauses().front();
   std::sort(o.terms.begin(), o.terms.end());
+  // Deliveries flow through a session in the session-only API: route the
+  // probe query to one and count what arrives.
+  auto session = restarted.OpenSession();
+  restarted.delivery().Route(probe.id, session);
   sw.Restart();
-  const size_t first_matches = restarted.Publish(o).size();
+  size_t first_matches = 0;
+  if (restarted.Post(o).ok()) {
+    Delivery d;
+    while (session->Poll(&d)) ++first_matches;
+  }
   const double first_match_s = sw.ElapsedSeconds();
 
   const uint64_t replayed =

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "common/latency.h"
+#include "common/wait_strategy.h"
 #include "core/query.h"
 
 namespace ps2 {
@@ -54,6 +55,11 @@ const char* BackpressurePolicyName(BackpressurePolicy policy);
 struct SessionOptions {
   size_t queue_capacity = 1024;
   BackpressurePolicy backpressure = BackpressurePolicy::kBlock;
+  // Latency class of this session's consumer: kBlocking parks on the
+  // condition variable immediately; kAdaptiveSpin / kBusyPoll sessions spin
+  // on the queue counter before (or instead of) parking, shaving the futex
+  // wakeup off the delivery tail at the price of consumer CPU.
+  WaitStrategy wait_strategy = WaitStrategy::kBlocking;
 };
 
 // Per-session delivery accounting; aggregated across sessions into

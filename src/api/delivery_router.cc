@@ -76,13 +76,20 @@ void DeliveryRouter::Deliver(const MatchResult& m, int64_t publish_us) {
 }
 
 void DeliveryRouter::DeliverBatch(const Delivery* pending, size_t n) {
-  for (size_t i = 0; i < n; ++i) {
+  // Group contiguous runs bound for the same session: matches arrive
+  // cell-clustered, so neighbours usually share a session, and a run
+  // enqueues under a single session lock.
+  size_t i = 0;
+  while (i < n) {
     const auto session = Lookup(pending[i].query_id);
+    size_t j = i + 1;
+    while (j < n && Lookup(pending[j].query_id) == session) ++j;
     if (session == nullptr) {
-      unrouted_.fetch_add(1, std::memory_order_relaxed);
-      continue;
+      unrouted_.fetch_add(j - i, std::memory_order_relaxed);
+    } else {
+      session->EnqueueBatch(pending + i, j - i);
     }
-    session->Enqueue(pending[i]);
+    i = j;
   }
 }
 

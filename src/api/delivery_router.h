@@ -10,14 +10,17 @@
 
 #include "api/delivery.h"
 #include "api/subscriber_session.h"
+#include "common/dedup_window.h"
 
 namespace ps2 {
 
-// Routes merger-accepted matches to subscriber sessions. Sits between the
-// merger and the sessions in both execution modes: the threaded engine's
-// worker threads deliver through it after deduplication, and the
-// synchronous facade feeds it from Publish/Post — one delivery semantics
-// for both modes.
+// Routes dedup-fresh matches to subscriber sessions, and owns the sharded
+// (query, object) duplicate window both execution modes filter through: the
+// threaded engine's worker threads call AcceptFresh + DeliverBatch straight
+// from the match path (no merger hop), and the synchronous facade feeds
+// Deliver from Publish/Post — one dedup window, one delivery semantics, so
+// a facade restarted between modes never re-delivers a pair it already
+// delivered.
 //
 // Concurrency follows the RoutingSnapshot pattern: the QueryId -> session
 // map is sharded, and each shard is an *immutable* map republished with one
@@ -48,12 +51,21 @@ class DeliveryRouter {
   void SetDraining(bool draining);
 
   // --- data plane (workers / synchronous publish) --------------------------
-  // Delivers one merger-fresh match. `publish_us` is the publish timestamp
-  // carried from the facade/engine. Thread-safe, lock-free lookup.
+  // Duplicate filter: true when (query, object) was not delivered within
+  // the window. Worker threads gate every match on this before staging a
+  // delivery. Thread-safe (lock-striped).
+  bool AcceptFresh(QueryId query_id, ObjectId object_id) {
+    return dedup_.AcceptFresh(query_id, object_id);
+  }
+
+  // Delivers one already-deduplicated match. `publish_us` is the publish
+  // timestamp carried from the facade/engine. Thread-safe, lock-free
+  // lookup.
   void Deliver(const MatchResult& m, int64_t publish_us);
 
   // Batch variant for the worker loop: `pending` carries query/object ids
-  // and publish_us; deliver_us is stamped by each session.
+  // and publish_us; deliver_us is stamped by each session. Contiguous runs
+  // for the same session enqueue under one session lock.
   void DeliverBatch(const Delivery* pending, size_t n);
 
   // --- introspection --------------------------------------------------------
@@ -63,6 +75,9 @@ class DeliveryRouter {
   uint64_t unrouted() const {
     return unrouted_.load(std::memory_order_relaxed);
   }
+  // Dedup-window counters (see common/dedup_window.h).
+  uint64_t dedup_fresh() const { return dedup_.fresh(); }
+  uint64_t dedup_kills() const { return dedup_.duplicates(); }
   // Sum of every live session's counters (latency histograms merged).
   SessionStats AggregateStats() const;
 
@@ -90,6 +105,7 @@ class DeliveryRouter {
   void MutateShard(size_t shard, Fn&& fn);
 
   mutable Shard shards_[kShards];
+  ShardedDedupWindow dedup_;
   std::atomic<uint64_t> unrouted_{0};
 
   mutable std::mutex sessions_mu_;

@@ -18,17 +18,37 @@ SubscriberSession::SubscriberSession(SessionOptions options)
 
 SubscriberSession::~SubscriberSession() { Close(); }
 
+void SubscriberSession::SpinForDelivery() const {
+  if (options_.wait_strategy == WaitStrategy::kBlocking) return;
+  // Bounded lock-free spin on the mirror counter: a delivery in flight is
+  // caught here without paying the condvar wakeup. The bound keeps a
+  // kBusyPoll consumer from starving producers on an oversubscribed box.
+  for (int i = 0; i < 4096; ++i) {
+    if (queued_.load(std::memory_order_acquire) > 0 ||
+        closed_.load(std::memory_order_acquire)) {
+      return;
+    }
+    if ((i & 63) == 63) {
+      std::this_thread::yield();
+    } else {
+      CpuRelax();
+    }
+  }
+}
+
 bool SubscriberSession::Poll(Delivery* out) {
   std::lock_guard<std::mutex> lock(mu_);
   if (queue_.empty()) return false;
   *out = queue_.front();
   queue_.pop_front();
+  queued_.store(queue_.size(), std::memory_order_release);
   not_full_.notify_one();
   return true;
 }
 
 Status SubscriberSession::Take(Delivery* out,
                                std::chrono::milliseconds timeout) {
+  SpinForDelivery();
   std::unique_lock<std::mutex> lock(mu_);
   if (sink_ != nullptr) {
     return Status::FailedPrecondition(
@@ -40,6 +60,7 @@ Status SubscriberSession::Take(Delivery* out,
   if (!queue_.empty()) {
     *out = queue_.front();
     queue_.pop_front();
+    queued_.store(queue_.size(), std::memory_order_release);
     not_full_.notify_one();
     return Status::Ok();
   }
@@ -51,8 +72,10 @@ Status SubscriberSession::Take(Delivery* out,
 
 size_t SubscriberSession::TakeBatch(std::vector<Delivery>* out, size_t max,
                                     std::chrono::milliseconds timeout) {
+  if (max == 0) return 0;
+  SpinForDelivery();
   std::unique_lock<std::mutex> lock(mu_);
-  if (sink_ != nullptr || max == 0) return 0;
+  if (sink_ != nullptr) return 0;
   not_empty_.wait_for(lock, timeout, [this] {
     return !queue_.empty() || closed_.load(std::memory_order_relaxed);
   });
@@ -62,7 +85,10 @@ size_t SubscriberSession::TakeBatch(std::vector<Delivery>* out, size_t max,
     queue_.pop_front();
     ++n;
   }
-  if (n > 0) not_full_.notify_all();
+  if (n > 0) {
+    queued_.store(queue_.size(), std::memory_order_release);
+    not_full_.notify_all();
+  }
   return n;
 }
 
@@ -74,6 +100,7 @@ Status SubscriberSession::SetSink(MatchSink* sink) {
       sink->OnMatch(queue_.front());
       queue_.pop_front();
     }
+    queued_.store(0, std::memory_order_release);
     not_full_.notify_all();
   }
   sink_ = sink;
@@ -99,8 +126,8 @@ SessionStats SubscriberSession::stats() const {
   return stats_;
 }
 
-bool SubscriberSession::Enqueue(Delivery delivery) {
-  std::unique_lock<std::mutex> lock(mu_);
+bool SubscriberSession::EnqueueLocked(std::unique_lock<std::mutex>& lock,
+                                      Delivery d) {
   if (closed_.load(std::memory_order_relaxed)) {
     ++stats_.dropped;
     return false;
@@ -140,19 +167,44 @@ bool SubscriberSession::Enqueue(Delivery delivery) {
   }
   // Virtual-time producers (SimEngine) pre-stamp deliver_us; wall-clock
   // producers leave it 0 and the session stamps the enqueue instant.
-  if (delivery.deliver_us == 0) delivery.deliver_us = NowMicros();
+  if (d.deliver_us == 0) d.deliver_us = NowMicros();
   ++stats_.delivered;
-  stats_.latency.Record(delivery.LatencyMicros());
+  stats_.latency.Record(d.LatencyMicros());
   if (sink_ != nullptr) {
     // Invoked under the session lock: per-session sink calls stay
     // serialized and ordered after any SetSink backlog flush. Sinks must be
     // fast and must not call back into the session.
-    sink_->OnMatch(delivery);
+    sink_->OnMatch(d);
     return true;
   }
-  queue_.push_back(delivery);
-  not_empty_.notify_one();
+  queue_.push_back(d);
   return true;
+}
+
+bool SubscriberSession::Enqueue(Delivery delivery) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool ok = EnqueueLocked(lock, delivery);
+  if (ok && sink_ == nullptr) {
+    queued_.store(queue_.size(), std::memory_order_release);
+    not_empty_.notify_one();
+  }
+  return ok;
+}
+
+void SubscriberSession::EnqueueBatch(const Delivery* deliveries, size_t n) {
+  if (n == 0) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  size_t queued = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (EnqueueLocked(lock, deliveries[i]) && sink_ == nullptr) ++queued;
+  }
+  if (queued > 0) {
+    queued_.store(queue_.size(), std::memory_order_release);
+    // One wakeup for the whole run: a batch consumer (TakeBatch) drains
+    // everything it finds, and single-Take consumers re-check the queue
+    // under the lock anyway.
+    not_empty_.notify_all();
+  }
 }
 
 }  // namespace ps2

@@ -95,16 +95,28 @@ class SubscriberSession {
   // the sink. Returns false when the delivery was dropped.
   bool Enqueue(Delivery delivery);
 
+  // Batch variant for the worker threads' delivery path: one lock
+  // acquisition and one consumer notify for the whole run.
+  void EnqueueBatch(const Delivery* deliveries, size_t n);
+
  private:
-  // Requires mu_ held. Applies the backpressure policy; returns true when
-  // `d` was placed in the queue (possibly after evicting).
-  bool EnqueueLocked(std::unique_lock<std::mutex>& lock, Delivery& d);
+  // Requires mu_ (via `lock`) held. Applies the backpressure policy;
+  // returns true when `d` was queued or pushed to the sink.
+  bool EnqueueLocked(std::unique_lock<std::mutex>& lock, Delivery d);
+
+  // Consumer-side pre-lock spin (kAdaptiveSpin / kBusyPoll sessions):
+  // bounded wait on the queued_ counter before falling back to the
+  // condition-variable path, trading consumer CPU for wakeup latency.
+  void SpinForDelivery() const;
 
   const SessionOptions options_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
   std::deque<Delivery> queue_;
+  // Mirror of queue_.size(), maintained under mu_ but readable without it:
+  // the spin phase polls this instead of bouncing the session lock.
+  std::atomic<size_t> queued_{0};
   MatchSink* sink_ = nullptr;
   SessionStats stats_;
   std::atomic<bool> closed_{false};

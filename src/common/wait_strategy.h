@@ -1,0 +1,162 @@
+#ifndef PS2_COMMON_WAIT_STRATEGY_H_
+#define PS2_COMMON_WAIT_STRATEGY_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace ps2 {
+
+// How a producer or consumer waits when its queue is full / empty.
+//
+//   kBlocking      Park on a condition variable immediately: today's CPU
+//                  profile (idle stages cost nothing), wake-up latency in
+//                  the scheduler's hands.
+//   kAdaptiveSpin  Spin briefly before parking, with a budget that doubles
+//                  after a successful spin and halves after a park — bursty
+//                  traffic is absorbed without a single futex round-trip,
+//                  idle periods degrade to kBlocking's profile.
+//   kBusyPoll      Bounded spin, never park. Lowest latency, one core per
+//                  polling stage; only for deployments that can pin cores.
+enum class WaitStrategy : uint8_t {
+  kBlocking = 0,
+  kAdaptiveSpin,
+  kBusyPoll,
+};
+
+inline const char* WaitStrategyName(WaitStrategy strategy) {
+  switch (strategy) {
+    case WaitStrategy::kBlocking: return "blocking";
+    case WaitStrategy::kAdaptiveSpin: return "adaptive-spin";
+    case WaitStrategy::kBusyPoll: return "busy-poll";
+  }
+  return "unknown";
+}
+
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+// Folly-style event count: lets a waiter park on a condition that lock-free
+// producers update, without taking a lock on the producers' fast path.
+//
+//   waiter:   seen = PrepareWait(); if (ready()) CancelWait();
+//             else CommitWait(seen);
+//   notifier: make ready() true, then Notify().
+//
+// The seq_cst ordering between the waiter registration (an RMW) and the
+// notifier's epoch bump is load-bearing: either the waiter's post-Prepare
+// re-check observes the state change, or the notifier observes the waiter
+// and bumps the epoch it is about to sleep on — a lost wakeup would need
+// both sides to miss each other, which the total order forbids.
+class EventCount {
+ public:
+  uint64_t PrepareWait() {
+    waiters_.fetch_add(1, std::memory_order_seq_cst);
+    return epoch_.load(std::memory_order_seq_cst);
+  }
+
+  void CancelWait() { waiters_.fetch_sub(1, std::memory_order_release); }
+
+  void CommitWait(uint64_t seen) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [&] {
+        return epoch_.load(std::memory_order_relaxed) != seen;
+      });
+    }
+    waiters_.fetch_sub(1, std::memory_order_release);
+  }
+
+  void Notify() {
+    epoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (waiters_.load(std::memory_order_seq_cst) != 0) {
+      // The lock orders this notify after a committing waiter's predicate
+      // check, so the notify cannot fire in the window between the check
+      // and the sleep.
+      std::lock_guard<std::mutex> lock(mu_);
+      cv_.notify_all();
+    }
+  }
+
+ private:
+  std::atomic<uint64_t> epoch_{0};
+  std::atomic<uint64_t> waiters_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+// Per-thread wait loop implementing one WaitStrategy, with the adaptive
+// budget and the spin/park counters the RunReport exports. Await() returns
+// once `ready()` was observed true — except under kBusyPoll, which returns
+// after a bounded spin regardless, so callers re-check their own condition
+// in a loop:
+//
+//   while (!cond()) ctx.Await(ec, cond);
+//
+// Not thread-safe: one WaitContext per waiting thread (and the counters are
+// read only after that thread is joined).
+class WaitContext {
+ public:
+  explicit WaitContext(WaitStrategy strategy) : strategy_(strategy) {}
+
+  template <typename Pred>
+  void Await(EventCount& ec, Pred&& ready) {
+    const int limit =
+        strategy_ == WaitStrategy::kBlocking ? 1 : budget_;
+    for (int i = 0; i < limit; ++i) {
+      if (ready()) {
+        spins_ += static_cast<uint64_t>(i);
+        if (strategy_ == WaitStrategy::kAdaptiveSpin && i > 0) {
+          budget_ = budget_ * 2 > kMaxBudget ? kMaxBudget : budget_ * 2;
+        }
+        return;
+      }
+      // Yield periodically: on a box with fewer cores than runnable
+      // threads, a pure pause loop would spin against the very thread it
+      // is waiting for.
+      if ((i & 63) == 63) {
+        std::this_thread::yield();
+      } else {
+        CpuRelax();
+      }
+    }
+    spins_ += static_cast<uint64_t>(limit);
+    if (strategy_ == WaitStrategy::kBusyPoll) return;
+    if (strategy_ == WaitStrategy::kAdaptiveSpin) {
+      budget_ = budget_ / 2 < kMinBudget ? kMinBudget : budget_ / 2;
+    }
+    const uint64_t seen = ec.PrepareWait();
+    if (ready()) {
+      ec.CancelWait();
+      return;
+    }
+    ++parks_;
+    ec.CommitWait(seen);
+  }
+
+  uint64_t spins() const { return spins_; }
+  uint64_t parks() const { return parks_; }
+  WaitStrategy strategy() const { return strategy_; }
+
+ private:
+  static constexpr int kMinBudget = 64;
+  static constexpr int kMaxBudget = 4096;
+
+  WaitStrategy strategy_;
+  int budget_ = 256;
+  uint64_t spins_ = 0;
+  uint64_t parks_ = 0;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_COMMON_WAIT_STRATEGY_H_

@@ -14,6 +14,13 @@ namespace ps2 {
 // workers (wide regions under space partitioning, multi-term routing under
 // text partitioning) and an object reaches more than one of them.
 //
+// Role today: the synchronous cluster still dedups through this component
+// inline, but the threaded engine's workers filter through the sharded
+// ShardedDedupWindow (common/dedup_window.h) instead — the merger is off
+// the threaded hot path and serves only as the reference filter that
+// EngineOptions::merger_audit replays matches through to cross-check the
+// sharded window's verdicts.
+//
 // Deduplication state is bounded: (query, object) keys are remembered in a
 // FIFO window of `window_capacity` entries. The stream is roughly ordered by
 // object id, so duplicates of a pair arrive close together and a window far

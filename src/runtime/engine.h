@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "adjust/load_controller.h"
+#include "common/wait_strategy.h"
 #include "runtime/cluster.h"
 #include "runtime/metrics.h"
 
@@ -21,9 +22,17 @@ struct EngineOptions {
   size_t batch_size = 64;
   // Input pacing in tuples/second; 0 = unthrottled (throughput mode).
   double input_rate_tps = 0.0;
-  // Retain every merger-accepted match for later inspection (tests compare
-  // the exact deduped match set against the synchronous cluster).
+  // Retain every dedup-fresh match for later inspection (tests compare the
+  // exact deduped match set against the synchronous cluster).
   bool collect_matches = false;
+  // How engine threads wait on empty/full rings (see common/wait_strategy.h):
+  // park immediately, spin adaptively before parking, or busy-poll.
+  WaitStrategy wait_strategy = WaitStrategy::kBlocking;
+  // Audit mode: replay every worker match through the classic merger (under
+  // a global lock, as the pre-ring engine did) and count verdicts that
+  // disagree with the sharded dedup window. Serializes the match path —
+  // for equivalence tests only, never production runs.
+  bool merger_audit = false;
   // Recent-tuple window kept for the controller's Phase-I term statistics
   // (spread across dispatcher-local rings).
   size_t window_capacity = 1 << 15;
@@ -44,8 +53,9 @@ struct EngineOptions {
   // Subscription mutations are journaled by the facade before submission.
   Wal* wal = nullptr;
 
-  // When non-null, worker threads deliver every merger-fresh match through
-  // this router to the subscriber sessions (see api/delivery_router.h).
+  // When non-null, worker threads deduplicate through this router's shared
+  // (query, object) window and deliver every fresh match straight to the
+  // subscriber sessions (see api/delivery_router.h) — no merger hop.
   // Not owned; must outlive the engine. PS2Stream::Start() wires its own
   // router here so started-mode delivery matches the synchronous facade.
   DeliveryRouter* delivery = nullptr;

@@ -35,6 +35,23 @@ std::string RunReport::Summary() const {
                   delivery_latency.Summary().c_str());
     out += buf;
   }
+  if (wait_spins > 0 || wait_parks > 0) {
+    uint64_t ring_hw = 0;
+    for (const uint64_t h : worker_ring_highwater) {
+      ring_hw = std::max(ring_hw, h);
+    }
+    std::snprintf(buf, sizeof(buf),
+                  " rings{hw=%llu spins=%llu parks=%llu}",
+                  static_cast<unsigned long long>(ring_hw),
+                  static_cast<unsigned long long>(wait_spins),
+                  static_cast<unsigned long long>(wait_parks));
+    out += buf;
+  }
+  if (audit_mismatches > 0) {
+    std::snprintf(buf, sizeof(buf), " AUDIT_MISMATCHES=%llu",
+                  static_cast<unsigned long long>(audit_mismatches));
+    out += buf;
+  }
   return out;
 }
 

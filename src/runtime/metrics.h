@@ -51,6 +51,15 @@ struct RunReport {
   uint64_t bytes_migrated = 0;
   uint64_t routing_epochs = 0;     // snapshot versions published
 
+  // Threaded data-plane internals (zero for synchronous/sim runs).
+  uint64_t dedup_kills = 0;        // duplicates the sharded window suppressed
+  uint64_t wait_spins = 0;         // spin iterations across all WaitContexts
+  uint64_t wait_parks = 0;         // futex parks across all WaitContexts
+  uint64_t audit_mismatches = 0;   // merger-audit verdict disagreements
+  // Deepest any of a worker's SPSC data rings ever got (one entry per
+  // worker; producer-side estimate).
+  std::vector<uint64_t> worker_ring_highwater;
+
   double AvgWorkerMemory() const;
   double MaxWorkerShare() const;  // max per-worker tuples / total
 

@@ -1,7 +1,6 @@
 #include "runtime/ps2stream.h"
 
 #include <algorithm>
-#include <cstdio>
 
 #include "adjust/touch_tracking_executor.h"
 #include "common/stopwatch.h"
@@ -275,13 +274,13 @@ Status PS2Stream::Cancel(QueryId id) {
     return Status::NotFound("no live subscription with id " +
                             std::to_string(id));
   }
-  Unsubscribe(id);
+  ApplyUnsubscribe(id);
   return Status::Ok();
 }
 
 void PS2Stream::CancelSubscription(QueryId id) {
   if (killed_) return;
-  Unsubscribe(id);
+  ApplyUnsubscribe(id);
 }
 
 Status PS2Stream::Post(Point loc, const std::string& text) {
@@ -293,7 +292,7 @@ Status PS2Stream::Post(Point loc, const std::string& text) {
   SpatioTextualObject o = SpatioTextualObject::FromText(
       next_object_id_++, loc, text, vocab_, tokenizer_);
   for (const TermId t : o.terms) vocab_.AddCount(t);
-  return PostInternal(o, nullptr);
+  return PostInternal(o);
 }
 
 Status PS2Stream::Post(const SpatioTextualObject& object) {
@@ -302,16 +301,15 @@ Status PS2Stream::Post(const SpatioTextualObject& object) {
     return Status::FailedPrecondition(
         "Bootstrap() or Restore() must succeed before Post");
   }
-  return PostInternal(object, nullptr);
+  return PostInternal(object);
 }
 
-Status PS2Stream::PostInternal(const SpatioTextualObject& object,
-                               std::vector<MatchResult>* delivered) {
+Status PS2Stream::PostInternal(const SpatioTextualObject& object) {
   next_object_id_ = std::max(next_object_id_, object.id + 1);
   const StreamTuple tuple = StreamTuple::OfObject(object);
   if (started()) {
     // The engine stamps the publish time at Submit and its workers deliver
-    // to the routed sessions after merger dedup.
+    // to the routed sessions through the router's dedup window.
     if (!engine_->Submit(tuple)) {
       return Status::Unavailable("engine stopped while submitting");
     }
@@ -320,27 +318,17 @@ Status PS2Stream::PostInternal(const SpatioTextualObject& object,
   const int64_t publish_us = NowMicros();
   std::vector<MatchResult> fresh;
   cluster_->Process(tuple, &fresh);
-  for (const auto& m : fresh) delivery_->Deliver(m, publish_us);
-  if (delivered != nullptr) *delivered = std::move(fresh);
+  // Gate on the router's window even though the cluster's merger already
+  // deduplicated: the router window is the one the started-mode workers
+  // filter through, so sharing it here keeps a facade that alternates
+  // between modes from re-delivering a pair across the transition.
+  for (const auto& m : fresh) {
+    if (delivery_->AcceptFresh(m.query_id, m.object_id)) {
+      delivery_->Deliver(m, publish_us);
+    }
+  }
   Track(tuple);
   return Status::Ok();
-}
-
-// --- deprecated facade shims --------------------------------------------------
-
-QueryId PS2Stream::Subscribe(const std::string& expression,
-                             const Rect& region) {
-  StatusOr<Subscription> sub = Subscribe(nullptr, expression, region);
-  if (!sub.ok()) {
-    std::fprintf(stderr, "PS2Stream::Subscribe: %s\n",
-                 sub.status().ToString().c_str());
-    return 0;
-  }
-  return sub->Release();
-}
-
-void PS2Stream::Subscribe(const STSQuery& query) {
-  ApplySubscribe(query, nullptr);
 }
 
 void PS2Stream::ApplySubscribe(const STSQuery& query,
@@ -367,7 +355,7 @@ void PS2Stream::ApplySubscribe(const STSQuery& query,
   MaybeCheckpoint();
 }
 
-void PS2Stream::Unsubscribe(QueryId id) {
+void PS2Stream::ApplyUnsubscribe(QueryId id) {
   auto it = subscriptions_.find(id);
   if (it == subscriptions_.end()) return;
   if (durability_ != nullptr) {
@@ -387,27 +375,6 @@ void PS2Stream::Unsubscribe(QueryId id) {
   cluster_->Process(tuple);
   Track(tuple);
   MaybeCheckpoint();
-}
-
-std::vector<MatchResult> PS2Stream::Publish(Point loc,
-                                            const std::string& text) {
-  if (killed_ || !bootstrapped()) return {};
-  SpatioTextualObject o = SpatioTextualObject::FromText(
-      next_object_id_++, loc, text, vocab_, tokenizer_);
-  for (const TermId t : o.terms) vocab_.AddCount(t);
-  return Publish(o);
-}
-
-std::vector<MatchResult> PS2Stream::Publish(
-    const SpatioTextualObject& object) {
-  if (killed_ || !bootstrapped()) return {};
-  std::vector<MatchResult> delivered;
-  const Status status = PostInternal(object, &delivered);
-  if (!status.ok()) {
-    std::fprintf(stderr, "PS2Stream::Publish: %s\n",
-                 status.ToString().c_str());
-  }
-  return delivered;
 }
 
 void PS2Stream::Track(const StreamTuple& tuple) {

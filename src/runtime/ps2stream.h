@@ -40,15 +40,16 @@ namespace ps2 {
 //   - started (Start()/Stop()): a ThreadedEngine runs dispatcher, worker
 //     and controller threads; Subscribe/Post submit tuples and return
 //     immediately, and matches reach the routed sessions asynchronously
-//     from the worker threads (after merger deduplication — exactly the
-//     synchronous mode's deduped match set). Load adjustment happens online
-//     on the controller thread, with migrations installed live.
+//     from the worker threads (deduplicated through the delivery router's
+//     shared window — exactly the synchronous mode's deduped match set).
+//     Load adjustment happens online on the controller thread, with
+//     migrations installed live.
 //
 // Sessions & backpressure: a SubscriberSession is a bounded delivery queue
 // multiplexing any number of subscriptions, with kBlock / kDropOldest /
 // kDropNewest overflow policies and pull (Poll/Take) or push (MatchSink)
 // consumption. Subscribing without a session is allowed — matches are then
-// only counted (merger + RunReport), not delivered.
+// only counted (dedup window + RunReport), not delivered.
 //
 // Durability (options.durability.enabled): subscription mutations are
 // journaled to a write-ahead log *before* they take effect, installed
@@ -123,22 +124,6 @@ class PS2Stream : private SubscriptionBackend {
   // bootstrapped), kUnavailable (engine stopped mid-submit).
   Status Post(Point loc, const std::string& text);
   Status Post(const SpatioTextualObject& object);
-
-  // --- deprecated facade (one release; see README "Client API") -------------
-  // DEPRECATED: use Subscribe(session, expression, region). Returns the
-  // assigned query id; on any error logs the Status to stderr and returns
-  // 0 (the legacy sentinel).
-  QueryId Subscribe(const std::string& expression, const Rect& region);
-  // DEPRECATED: use Subscribe(session, query) — this overload keeps the
-  // pre-session semantics (no delivery routing, duplicate ids overwrite).
-  void Subscribe(const STSQuery& query);
-  // DEPRECATED: use Cancel(id) (or let the Subscription handle do it).
-  void Unsubscribe(QueryId id);
-  // DEPRECATED: use Post(). Still feeds routed sessions; additionally
-  // returns the deduped matches in synchronous mode (always empty in
-  // started mode — consume through a session instead).
-  std::vector<MatchResult> Publish(Point loc, const std::string& text);
-  std::vector<MatchResult> Publish(const SpatioTextualObject& object);
 
   // --- durability -----------------------------------------------------------
   // Rebuilds the service from the durable directory (options.durability.dir
@@ -215,10 +200,11 @@ class PS2Stream : private SubscriptionBackend {
   // Shared subscribe path: WAL-before-apply, delivery routing, engine
   // submit or inline processing.
   void ApplySubscribe(const STSQuery& query, const SessionPtr& session);
-  // Shared publish path; `delivered` non-null collects the deduped matches
-  // (synchronous mode only).
-  Status PostInternal(const SpatioTextualObject& object,
-                      std::vector<MatchResult>* delivered);
+  // Shared unsubscribe path (Cancel and the RAII handles funnel here):
+  // WAL-before-apply, unroute, engine submit or inline processing.
+  void ApplyUnsubscribe(QueryId id);
+  // Shared publish path.
+  Status PostInternal(const SpatioTextualObject& object);
   void Track(const StreamTuple& tuple);
   void MaybeAutoAdjust();
   void MaybeCheckpoint();

@@ -7,6 +7,7 @@
 #include "api/delivery_router.h"
 #include "common/stopwatch.h"
 #include "persist/wal.h"
+#include "runtime/spsc_ring.h"
 
 namespace ps2 {
 
@@ -30,21 +31,23 @@ struct ThreadedEngine::Latch {
   }
 };
 
-// Work item delivered to a worker thread. A non-null `marker` makes it a
-// control item: the worker acknowledges it and skips the payload — the
-// controller uses this to learn that everything enqueued before a routing
-// swap has drained.
+// Work item delivered to a worker thread through one of its data rings.
 struct ThreadedEngine::WorkItem {
   StreamTuple tuple;
   std::vector<CellId> cells;  // for query updates
   int64_t enqueue_us = 0;
   // Publish timestamp stamped at Submit(); session delivery latency is
-  // measured from here (enqueue_us only covers the worker-queue dwell).
+  // measured from here (enqueue_us only covers the worker-ring dwell).
   int64_t submit_us = 0;
-  std::shared_ptr<Latch> marker;
+  // Objects only: the target worker's query_items_enqueued count read just
+  // before the push. The worker must not match this object until it has
+  // applied that many updates — data rings from different dispatchers
+  // would otherwise reorder an object ahead of an update submitted before
+  // it.
+  uint64_t updates_before = 0;
 };
 
-// Input-queue element: the tuple plus its update-ordering gate stamp.
+// Input-ring element: the tuple plus its update-ordering gate stamp.
 struct ThreadedEngine::SeqTuple {
   StreamTuple tuple;
   uint64_t updates_before = 0;
@@ -53,31 +56,48 @@ struct ThreadedEngine::SeqTuple {
 
 struct ThreadedEngine::WorkerState {
   std::mutex mu;  // guards this worker's Gi2 (worker thread vs controller)
+  // Parked-worker wakeup, shared by every ring this worker drains.
+  EventCount ready;
+  // One SPSC data ring per dispatcher, plus a control ring the controller
+  // pushes drain markers through.
+  std::vector<std::unique_ptr<SpscRing<WorkItem>>> rings;
+  std::unique_ptr<SpscRing<std::shared_ptr<Latch>>> control;
   std::atomic<uint64_t> objects{0};
   std::atomic<uint64_t> inserts{0};
   std::atomic<uint64_t> deletes{0};
-  // Matches produced by this worker's Gi2, pre-merger (duplicates across
+  // Matches produced by this worker's Gi2, pre-dedup (duplicates across
   // workers still included); exported as RunReport::matches_emitted.
   std::atomic<uint64_t> matches_emitted{0};
-  // Query-update flow accounting for the migration barrier: the controller
-  // only copies cell contents once every routed update has reached its
-  // worker's Gi2 (enqueued == applied).
+  // Query-update flow accounting for the migration barrier and the
+  // per-worker object stamps: enqueued counts updates whose ring push
+  // completed, applied counts updates this worker's Gi2 absorbed.
   std::atomic<uint64_t> query_items_enqueued{0};
   std::atomic<uint64_t> query_items_applied{0};
   uint64_t tuples = 0;        // worker-thread local, read after join
+  uint64_t dedup_fresh = 0;   // matches this worker delivered (post-dedup)
+  uint64_t dedup_kills = 0;   // duplicates the dedup window suppressed
+  uint64_t wait_spins = 0;    // flushed from the WaitContext at loop exit
+  uint64_t wait_parks = 0;
   LatencyHistogram latency;   // worker-thread local, read after join
 };
 
 struct ThreadedEngine::DispatcherState {
+  int index = 0;        // which per-worker data ring this dispatcher feeds
   DispatchStats stats;  // thread-local; merged into the report on Stop
   std::vector<WorkerId> scratch;
+
+  // This dispatcher's input ring and its parked-consumer wakeup.
+  EventCount ready;
+  std::unique_ptr<SpscRing<SeqTuple>> input;
+  uint64_t wait_spins = 0;  // flushed from the WaitContexts at loop exit
+  uint64_t wait_parks = 0;
 
   // Version of the epoch this dispatcher is currently routing an object
   // against; UINT64_MAX when between objects. Stamped *before* the snapshot
   // is pinned, so the pinned snapshot's version is always >= the stamp —
   // the controller waits until every dispatcher's stamp reaches the new
   // epoch before it pushes drain markers, which guarantees that every
-  // delivery derived from an older epoch is already in a worker queue.
+  // delivery derived from an older epoch is already in a worker ring.
   std::atomic<uint64_t> routing_epoch{UINT64_MAX};
 
   // Pinned snapshot, re-pinned only when the published version moves past
@@ -106,7 +126,7 @@ struct ThreadedEngine::DispatcherState {
 // Runs inside ControllerCheck with the writer lock and every worker's Gi2
 // lock held. Each movement installs query *copies* at the destination and
 // rewrites the master routing; removal of the stale source copies is
-// deferred until the pre-swap queue contents have drained (FinishRemovals),
+// deferred until the pre-swap ring contents have drained (FinishRemovals),
 // so an object routed against the old epoch still finds its queries.
 class ThreadedEngine::LiveMigrationExecutor : public MigrationExecutor {
  public:
@@ -207,12 +227,15 @@ class ThreadedEngine::LiveMigrationExecutor : public MigrationExecutor {
     affected.erase(std::unique(affected.begin(), affected.end()),
                    affected.end());
     auto latch = std::make_shared<Latch>(affected.size());
+    WaitContext push_wait(WaitStrategy::kBlocking);
     for (const WorkerId w : affected) {
-      WorkItem marker;
-      marker.marker = latch;
-      // A closed queue means the engine is tearing down: its workers have
+      std::shared_ptr<Latch> marker = latch;
+      // A closed ring means the engine is tearing down: its workers have
       // already drained, so the grace period is over by definition.
-      if (!engine_.queues_[w]->Push(std::move(marker))) latch->CountDown();
+      if (!engine_.workers_[w]->control->Push(std::move(marker),
+                                              push_wait)) {
+        latch->CountDown();
+      }
     }
     latch->Wait();
     for (const auto& r : removals_) {
@@ -250,23 +273,36 @@ void ThreadedEngine::Start() {
   if (running_) return;
   const int num_workers = cluster_.num_workers();
   const int num_dispatchers = std::max(1, options_.num_dispatchers);
+  // Per-dispatcher data rings split the configured capacity, so a worker's
+  // total buffered backlog stays at queue_capacity regardless of the
+  // dispatcher count.
+  const size_t per_ring = std::max<size_t>(
+      64, options_.queue_capacity / static_cast<size_t>(num_dispatchers));
 
-  input_ = std::make_unique<BoundedQueue<SeqTuple>>(options_.queue_capacity);
-  queues_.clear();
   workers_.clear();
   dispatchers_.clear();
   for (int w = 0; w < num_workers; ++w) {
-    queues_.push_back(
-        std::make_unique<BoundedQueue<WorkItem>>(options_.queue_capacity));
-    workers_.push_back(std::make_unique<WorkerState>());
+    auto ws = std::make_unique<WorkerState>();
+    ws->rings.reserve(num_dispatchers);
+    for (int d = 0; d < num_dispatchers; ++d) {
+      ws->rings.push_back(
+          std::make_unique<SpscRing<WorkItem>>(per_ring, &ws->ready));
+    }
+    ws->control = std::make_unique<SpscRing<std::shared_ptr<Latch>>>(
+        64, &ws->ready);
+    workers_.push_back(std::move(ws));
   }
   for (int d = 0; d < num_dispatchers; ++d) {
     auto ds = std::make_unique<DispatcherState>();
+    ds->index = d;
+    ds->input = std::make_unique<SpscRing<SeqTuple>>(
+        std::max<size_t>(64, options_.queue_capacity), &ds->ready);
     ds->window_capacity =
         options_.window_capacity / static_cast<size_t>(num_dispatchers) + 1;
     dispatchers_.push_back(std::move(ds));
   }
   controller_ = std::make_unique<LoadController>(options_.controller.config);
+  dedup_ = std::make_unique<ShardedDedupWindow>();
 
   // Starting the engine opens a fresh load-accounting window: the threaded
   // runtime tracks load in per-worker atomics, and stale synchronous
@@ -277,7 +313,10 @@ void ThreadedEngine::Start() {
   updates_submitted_.store(0);
   updates_published_.store(0);
   migrations_installed_.store(0, std::memory_order_relaxed);
+  audit_mismatches_.store(0, std::memory_order_relaxed);
   submitted_objects_ = submitted_inserts_ = submitted_deletes_ = 0;
+  submit_rr_ = 0;
+  submit_wait_ = WaitContext(options_.wait_strategy);
   last_check_tuples_ = 0;
   collected_.clear();
   ctl_stop_ = false;
@@ -314,7 +353,20 @@ bool ThreadedEngine::Submit(const StreamTuple& tuple) {
       ++submitted_deletes_;
     }
   }
-  return input_->Push(std::move(st));
+  // Objects round-robin across the per-dispatcher input rings; query
+  // updates all flow through dispatcher 0. Pinning the control plane to one
+  // dispatcher keeps updates FIFO end-to-end: the ordering gate never spins
+  // for an update (everything it waits on is ahead of it in the same ring),
+  // and two updates for the same query land in the same per-worker ring, so
+  // the worker applies them in submit order. Striping updates instead would
+  // serialize them through a cross-dispatcher ping-pong on the gate — and
+  // let a same-query insert/delete pair race through different rings.
+  if (tuple.kind != TupleKind::kObject) {
+    return dispatchers_[0]->input->Push(std::move(st), submit_wait_);
+  }
+  DispatcherState& ds = *dispatchers_[submit_rr_];
+  if (++submit_rr_ == dispatchers_.size()) submit_rr_ = 0;
+  return ds.input->Push(std::move(st), submit_wait_);
 }
 
 void ThreadedEngine::JoinAll() {
@@ -326,10 +378,13 @@ void ThreadedEngine::JoinAll() {
     ctl_cv_.notify_all();
     controller_thread_.join();
   }
-  input_->Close();
+  for (auto& ds : dispatchers_) ds->input->Close();
   for (auto& t : dispatcher_threads_) t.join();
   dispatcher_threads_.clear();
-  for (auto& q : queues_) q->Close();
+  for (auto& ws : workers_) {
+    for (auto& ring : ws->rings) ring->Close();
+    ws->control->Close();
+  }
   for (auto& t : worker_threads_) t.join();
   worker_threads_.clear();
 }
@@ -344,8 +399,8 @@ RunReport ThreadedEngine::Stop() {
 
 void ThreadedEngine::Abort() {
   if (!running_) return;
-  // From here on dispatchers and workers drop what they pop: the queues
-  // still drain (so joins cannot hang on a full queue's backpressure), but
+  // From here on dispatchers and workers drop what they pop: the rings
+  // still drain (so joins cannot hang on a full ring's backpressure), but
   // nothing is processed — queued tuples die as they would in a crash.
   discard_.store(true, std::memory_order_release);
   JoinAll();
@@ -390,14 +445,25 @@ void ThreadedEngine::TakeMatches(std::vector<MatchResult>* out) {
 
 void ThreadedEngine::DispatchLoop(DispatcherState& ds) {
   std::vector<SeqTuple> batch;  // reused across drains
+  WaitContext pop_wait(options_.wait_strategy);
+  WaitContext push_wait(options_.wait_strategy);
   while (true) {
-    input_->PopBatch(options_.batch_size, &batch);
-    if (batch.empty()) break;  // closed and drained
-    for (SeqTuple& st : batch) RouteOne(ds, st);
+    batch.clear();
+    if (ds.input->PopBatch(options_.batch_size, &batch) == 0) {
+      if (ds.input->closed_and_drained()) break;
+      pop_wait.Await(ds.ready, [&ds] {
+        return !ds.input->Empty() || ds.input->closed();
+      });
+      continue;
+    }
+    for (SeqTuple& st : batch) RouteOne(ds, st, push_wait);
   }
+  ds.wait_spins = pop_wait.spins() + push_wait.spins();
+  ds.wait_parks = pop_wait.parks() + push_wait.parks();
 }
 
-void ThreadedEngine::RouteOne(DispatcherState& ds, SeqTuple& st) {
+void ThreadedEngine::RouteOne(DispatcherState& ds, SeqTuple& st,
+                              WaitContext& push_wait) {
   const StreamTuple& tuple = st.tuple;
   // Update-ordering gate: all query updates submitted before this tuple
   // must be enqueued at their workers and published. Updates are a small
@@ -442,7 +508,14 @@ void ThreadedEngine::RouteOne(DispatcherState& ds, SeqTuple& st) {
         item.tuple = tuple;
         item.enqueue_us = now;
         item.submit_us = st.submit_us;
-        queues_[w]->Push(std::move(item));
+        // Per-worker stamp: how many updates had completed their push to
+        // this worker when this object was pushed. The worker defers the
+        // object until it has applied that many — every update counted
+        // here is already in one of its rings (push before increment), so
+        // the deferral always resolves.
+        item.updates_before =
+            workers_[w]->query_items_enqueued.load(std::memory_order_acquire);
+        workers_[w]->rings[ds.index]->Push(std::move(item), push_wait);
       }
     }
     ds.routing_epoch.store(UINT64_MAX, std::memory_order_release);
@@ -461,8 +534,15 @@ void ThreadedEngine::RouteOne(DispatcherState& ds, SeqTuple& st) {
       item.tuple = tuple;
       item.cells = std::move(r.cells);
       item.enqueue_us = now;
-      workers_[r.worker]->query_items_enqueued.fetch_add(1);
-      queues_[r.worker]->Push(std::move(item));
+      // Increment *after* the push completes: an object stamped with this
+      // count must find the update already in a ring, and the migration
+      // barrier (enqueued == applied) must not run ahead of a push still
+      // parked on a full ring.
+      if (workers_[r.worker]->rings[ds.index]->Push(std::move(item),
+                                                    push_wait)) {
+        workers_[r.worker]->query_items_enqueued.fetch_add(
+            1, std::memory_order_release);
+      }
     }
     update_pushes_.fetch_sub(1);
     updates_published_.fetch_add(1, std::memory_order_release);
@@ -477,25 +557,71 @@ void ThreadedEngine::RouteOne(DispatcherState& ds, SeqTuple& st) {
 void ThreadedEngine::WorkerLoop(int w) {
   WorkerState& ws = *workers_[w];
   Gi2Index& gi2 = cluster_.worker(w);
-  Merger& merger = cluster_.merger();
-  // All reused across drains: batch storage, the object-run pointer list
-  // and the match buffer keep their capacity, so the steady-state object
-  // path performs no heap allocation in this loop.
-  std::vector<WorkItem> batch;
+  DeliveryRouter* delivery = options_.delivery;
+  const size_t nsrc = ws.rings.size();
+
+  // Per-ring staging: the popped batch plus a cursor. Items are consumed
+  // front-to-back (ring FIFO order); a stalled object stays at the cursor
+  // while the other rings make progress.
+  struct Source {
+    std::vector<WorkItem> buf;
+    size_t cur = 0;
+    size_t left() const { return buf.size() - cur; }
+  };
+  std::vector<Source> sources(nsrc);
+
+  // Drain markers in flight: each captured, at receipt, how many data
+  // items were pending per ring; it acknowledges once those exact items
+  // (per-ring FIFO makes them identifiable by count) are consumed. A
+  // global count would not do — consuming *newer* items from an already-
+  // drained ring must not stand in for older items still queued elsewhere.
+  struct PendingMarker {
+    std::shared_ptr<Latch> latch;
+    std::vector<size_t> targets;
+    size_t total = 0;
+  };
+  std::vector<PendingMarker> pending_markers;
+  std::vector<std::shared_ptr<Latch>> ctl_buf;
+
+  // All reused across drains: the object-run pointer list, the match and
+  // delivery buffers keep their capacity, so the steady-state object path
+  // performs no heap allocation in this loop.
   std::vector<const SpatioTextualObject*> run;
   std::vector<MatchResult> matches;
-  std::vector<Delivery> pending;  // session deliveries staged per run
-  while (true) {
-    queues_[w]->PopBatch(options_.batch_size, &batch);
-    if (batch.empty()) break;  // closed and drained
-    size_t i = 0;
-    while (i < batch.size()) {
-      WorkItem& item = batch[i];
-      if (item.marker != nullptr) {
-        item.marker->CountDown();
-        ++i;
-        continue;
+  std::vector<Delivery> pending;
+  WaitContext wait(options_.wait_strategy);
+
+  const auto consumed_from = [&](size_t s, size_t n) {
+    for (size_t p = 0; p < pending_markers.size();) {
+      PendingMarker& pm = pending_markers[p];
+      const size_t dec = std::min(pm.targets[s], n);
+      pm.targets[s] -= dec;
+      pm.total -= dec;
+      if (pm.total == 0) {
+        pm.latch->CountDown();
+        pending_markers.erase(pending_markers.begin() +
+                              static_cast<ptrdiff_t>(p));
+      } else {
+        ++p;
       }
+    }
+  };
+
+  // Dedup verdict for one match: the delivery router's sharded window when
+  // one is wired, the engine-local fallback otherwise.
+  const auto accept_fresh = [&](const MatchResult& m) {
+    return delivery != nullptr
+               ? delivery->AcceptFresh(m.query_id, m.object_id)
+               : dedup_->AcceptFresh(m.query_id, m.object_id);
+  };
+
+  // Processes staged items of source `s` until it runs dry or stalls on an
+  // unsatisfied update stamp. Returns the number of items consumed.
+  const auto process_source = [&](size_t s) -> size_t {
+    Source& sc = sources[s];
+    const size_t start = sc.cur;
+    while (sc.cur < sc.buf.size()) {
+      WorkItem& item = sc.buf[sc.cur];
       if (discard_.load(std::memory_order_acquire)) {
         // Aborting: drop the item, but a query update was counted as
         // enqueued when it was routed — the controller's migration barrier
@@ -504,19 +630,23 @@ void ThreadedEngine::WorkerLoop(int w) {
         if (item.tuple.kind != TupleKind::kObject) {
           ws.query_items_applied.fetch_add(1);
         }
-        ++i;
+        ++sc.cur;
         continue;
       }
       if (item.tuple.kind == TupleKind::kObject) {
-        // Gather the run of consecutive objects and match them as one
-        // batch: one Gi2 lock acquisition, one cell-grouped index pass.
-        // Runs never cross a query update or drain marker — those are
-        // ordering boundaries within this worker's queue.
+        const uint64_t applied =
+            ws.query_items_applied.load(std::memory_order_relaxed);
+        if (item.updates_before > applied) break;  // stall: sweep others
+        // Gather the run of consecutive satisfiable objects and match them
+        // as one batch: one Gi2 lock acquisition, one cell-grouped index
+        // pass. Runs never cross a query update or an unsatisfied stamp —
+        // those are ordering boundaries within this ring.
         run.clear();
-        size_t end = i;
-        while (end < batch.size() && batch[end].marker == nullptr &&
-               batch[end].tuple.kind == TupleKind::kObject) {
-          run.push_back(&batch[end].tuple.object);
+        size_t end = sc.cur;
+        while (end < sc.buf.size() &&
+               sc.buf[end].tuple.kind == TupleKind::kObject &&
+               sc.buf[end].updates_before <= applied) {
+          run.push_back(&sc.buf[end].tuple.object);
           ++end;
         }
         matches.clear();
@@ -532,47 +662,74 @@ void ThreadedEngine::WorkerLoop(int w) {
           // Resolves a match's publish timestamp from the run items.
           // MatchBatch groups output by cell, so consecutive matches tend
           // to repeat objects: memoize the last hit and scan circularly.
-          size_t probe = i;
+          const size_t i0 = sc.cur;
+          size_t probe = i0;
           const auto submit_of = [&](ObjectId id) {
-            const size_t n = end - i;
+            const size_t n = end - i0;
             for (size_t k = 0; k < n; ++k) {
-              const size_t idx = i + (probe - i + k) % n;
-              if (batch[idx].tuple.object.id == id) {
+              const size_t idx = i0 + (probe - i0 + k) % n;
+              if (sc.buf[idx].tuple.object.id == id) {
                 probe = idx;
-                return batch[idx].submit_us;
+                return sc.buf[idx].submit_us;
               }
             }
-            return batch[i].submit_us;  // unreachable: every match's object is in the run
+            return sc.buf[i0].submit_us;  // unreachable: every match's object is in the run
           };
-          {
-            std::lock_guard<std::mutex> lock(merge_mu_);
+          const auto stage_delivery = [&](const MatchResult& m) {
+            if (delivery == nullptr) return;
+            Delivery d;
+            d.query_id = m.query_id;
+            d.object_id = m.object_id;
+            d.publish_us = submit_of(m.object_id);
+            pending.push_back(d);
+          };
+          if (!options_.merger_audit && !options_.collect_matches) {
+            // Hot path: per-shard dedup, no global lock.
             for (const auto& m : matches) {
-              const bool fresh = merger.Accept(m);
-              if (!fresh) continue;
-              if (options_.collect_matches) collected_.push_back(m);
-              if (options_.delivery != nullptr) {
-                Delivery d;
-                d.query_id = m.query_id;
-                d.object_id = m.object_id;
-                d.publish_us = submit_of(m.object_id);
-                pending.push_back(d);
+              if (!accept_fresh(m)) {
+                ++ws.dedup_kills;
+                continue;
               }
+              ++ws.dedup_fresh;
+              stage_delivery(m);
+            }
+          } else {
+            // Audit / collection path: serialize so the merger replay sees
+            // matches in the same order the dedup window judged them (a
+            // cross-worker duplicate would otherwise be charged to
+            // different workers by the two filters and miscount as two
+            // mismatches).
+            std::lock_guard<std::mutex> lock(merge_mu_);
+            Merger& merger = cluster_.merger();
+            for (const auto& m : matches) {
+              const bool is_fresh = accept_fresh(m);
+              if (options_.merger_audit &&
+                  merger.Accept(m) != is_fresh) {
+                audit_mismatches_.fetch_add(1, std::memory_order_relaxed);
+              }
+              if (!is_fresh) {
+                ++ws.dedup_kills;
+                continue;
+              }
+              ++ws.dedup_fresh;
+              if (options_.collect_matches) collected_.push_back(m);
+              stage_delivery(m);
             }
           }
-          // Deliver outside merge_mu_: a kBlock session may block this
-          // worker on a full queue, and holding the merge lock there would
-          // stall every other worker instead of just this one.
+          // Deliver outside all engine locks: a kBlock session may block
+          // this worker on a full queue, and that must stall only this
+          // worker.
           if (!pending.empty()) {
-            options_.delivery->DeliverBatch(pending.data(), pending.size());
+            delivery->DeliverBatch(pending.data(), pending.size());
           }
         }
         const int64_t done_us = NowMicros();
-        for (size_t k = i; k < end; ++k) {
+        for (size_t k = sc.cur; k < end; ++k) {
           ws.tuples++;
           ws.latency.Record(
-              static_cast<double>(done_us - batch[k].enqueue_us));
+              static_cast<double>(done_us - sc.buf[k].enqueue_us));
         }
-        i = end;
+        sc.cur = end;
         continue;
       }
       if (item.tuple.kind == TupleKind::kQueryInsert) {
@@ -581,20 +738,92 @@ void ThreadedEngine::WorkerLoop(int w) {
           gi2.InsertIntoCells(item.tuple.query, item.cells);
         }
         ws.inserts.fetch_add(1, std::memory_order_relaxed);
-        ws.query_items_applied.fetch_add(1);
       } else {
         {
           std::lock_guard<std::mutex> lock(ws.mu);
           gi2.Delete(item.tuple.query.id);
         }
         ws.deletes.fetch_add(1, std::memory_order_relaxed);
-        ws.query_items_applied.fetch_add(1);
       }
+      ws.query_items_applied.fetch_add(1);
       ws.tuples++;
       ws.latency.Record(static_cast<double>(NowMicros() - item.enqueue_us));
-      ++i;
+      ++sc.cur;
     }
+    const size_t consumed = sc.cur - start;
+    if (consumed > 0 && !pending_markers.empty()) {
+      consumed_from(s, consumed);
+    }
+    return consumed;
+  };
+
+  while (true) {
+    bool progress = false;
+    // Control ring first: a drain marker captures the currently pending
+    // data counts, so handling it before the data sweep keeps the captured
+    // window tight.
+    ctl_buf.clear();
+    if (ws.control->PopBatch(8, &ctl_buf) > 0) {
+      progress = true;
+      for (auto& latch : ctl_buf) {
+        PendingMarker pm;
+        pm.latch = std::move(latch);
+        pm.targets.resize(nsrc);
+        for (size_t s = 0; s < nsrc; ++s) {
+          pm.targets[s] = sources[s].left() + ws.rings[s]->pending();
+          pm.total += pm.targets[s];
+        }
+        if (pm.total == 0) {
+          pm.latch->CountDown();
+        } else {
+          pending_markers.push_back(std::move(pm));
+        }
+      }
+    }
+    for (size_t s = 0; s < nsrc; ++s) {
+      Source& sc = sources[s];
+      if (sc.cur == sc.buf.size()) {
+        sc.buf.clear();
+        sc.cur = 0;
+        if (ws.rings[s]->PopBatch(options_.batch_size, &sc.buf) == 0) {
+          continue;
+        }
+      }
+      if (process_source(s) > 0) progress = true;
+    }
+    if (progress) continue;
+    bool buffered = false;
+    for (const auto& sc : sources) {
+      if (sc.left() > 0) buffered = true;
+    }
+    if (buffered) {
+      // Every staged head is an object stalled on an update stamp. The
+      // pending update is in one of this worker's rings (pushes complete
+      // before they are counted), so the next sweep will reach it; yield
+      // rather than park so its arrival in a pop is not missed.
+      std::this_thread::yield();
+      continue;
+    }
+    // Nothing staged, nothing popped: exit once every ring is closed and
+    // drained, otherwise park until a producer pushes or closes.
+    bool all_done = ws.control->closed_and_drained();
+    for (size_t s = 0; all_done && s < nsrc; ++s) {
+      if (!ws.rings[s]->closed_and_drained()) all_done = false;
+    }
+    if (all_done) break;
+    wait.Await(ws.ready, [&] {
+      if (!ws.control->Empty() || ws.control->closed()) return true;
+      for (size_t s = 0; s < nsrc; ++s) {
+        if (!ws.rings[s]->Empty() || ws.rings[s]->closed()) return true;
+      }
+      return false;
+    });
   }
+  // Defensive: a marker whose remaining targets died with discarded items
+  // must still acknowledge, or Abort() could wedge a waiting controller.
+  for (auto& pm : pending_markers) pm.latch->CountDown();
+  ws.wait_spins = wait.spins();
+  ws.wait_parks = wait.parks();
 }
 
 // ---------------------------------------------------------------------------
@@ -698,7 +927,7 @@ void ThreadedEngine::ControllerCheck() {
 
   // Migration barrier, part 2: wait until no dispatcher is still routing
   // an object against an older epoch, so every old-epoch delivery is in a
-  // worker queue before the drain markers go in behind them.
+  // worker ring before the drain markers go in behind them.
   const uint64_t version = router_.CurrentVersion();
   for (const auto& ds : dispatchers_) {
     // seq_cst load: the other half of the dispatchers' epoch handshake.
@@ -744,19 +973,35 @@ RunReport ThreadedEngine::AssembleReport() {
   report.throughput_tps = report.wall_seconds > 0
                               ? report.tuples_processed / report.wall_seconds
                               : 0.0;
-  report.matches_delivered = cluster_.merger().delivered();
-  report.duplicates_suppressed = cluster_.merger().duplicates();
+  report.wait_spins = submit_wait_.spins();
+  report.wait_parks = submit_wait_.parks();
+  report.audit_mismatches =
+      audit_mismatches_.load(std::memory_order_relaxed);
   for (const auto& ws : workers_) {
     report.matches_emitted +=
         ws->matches_emitted.load(std::memory_order_relaxed);
+    report.matches_delivered += ws->dedup_fresh;
+    report.duplicates_suppressed += ws->dedup_kills;
+    report.dedup_kills += ws->dedup_kills;
+    report.wait_spins += ws->wait_spins;
+    report.wait_parks += ws->wait_parks;
   }
-  for (const auto& ds : dispatchers_) report.dispatch.Merge(ds->stats);
+  for (const auto& ds : dispatchers_) {
+    report.dispatch.Merge(ds->stats);
+    report.wait_spins += ds->wait_spins;
+    report.wait_parks += ds->wait_parks;
+  }
   report.objects_discarded = report.dispatch.objects_discarded;
   for (size_t w = 0; w < workers_.size(); ++w) {
     report.latency.Merge(workers_[w]->latency);
     report.per_worker_tuples.push_back(workers_[w]->tuples);
     report.worker_memory_bytes.push_back(
         cluster_.WorkerMemoryBytes(static_cast<WorkerId>(w)));
+    uint64_t highwater = 0;
+    for (const auto& ring : workers_[w]->rings) {
+      highwater = std::max(highwater, ring->highwater());
+    }
+    report.worker_ring_highwater.push_back(highwater);
   }
   report.dispatcher_memory_bytes = cluster_.DispatcherMemoryBytes();
   if (controller_ != nullptr) {

@@ -3,15 +3,15 @@
 
 #include <atomic>
 #include <condition_variable>
-#include <deque>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/dedup_window.h"
+#include "common/wait_strategy.h"
 #include "dispatch/routing_snapshot.h"
 #include "runtime/engine.h"
-#include "runtime/queue.h"
 
 namespace ps2 {
 
@@ -19,6 +19,11 @@ namespace ps2 {
 // Cluster — the measured counterpart of the paper's Storm deployment.
 //
 // Concurrency story:
+//   - Every queue hop is a lock-free SPSC ring (runtime/spsc_ring.h):
+//     Submit() round-robins tuples across per-dispatcher input rings, and
+//     each worker owns one data ring per dispatcher plus a control ring for
+//     the controller's drain markers. Idle stages park through EventCounts
+//     per the configured WaitStrategy (block / adaptive-spin / busy-poll).
 //   - Object routing is lock-free: dispatcher threads route against the
 //     current immutable RoutingSnapshot (one atomic shared_ptr load).
 //   - Query inserts/deletes serialize on the SnapshotRouter's writer lock,
@@ -27,16 +32,29 @@ namespace ps2 {
 //   - An *update-ordering gate* keeps routing causally consistent with the
 //     submission order: every tuple is stamped with the number of query
 //     updates submitted before it, and no tuple routes until that many
-//     updates have been enqueued to workers and published. Objects
-//     therefore never miss a query that was inserted earlier in the stream
-//     (updates are rare, so the gate is almost always already open).
+//     updates have been enqueued to workers and published. On top of that,
+//     each object work item carries a per-worker stamp (that worker's
+//     query-items-enqueued count at push time) so the worker never matches
+//     an object before applying the updates that preceded it — rings from
+//     different dispatchers would otherwise reorder updates vs. objects.
+//     A worker that hits an unsatisfied stamp leaves the item at its ring's
+//     head and sweeps its other rings; the pending update is always
+//     reachable there (a blocked cycle would require an update pushed
+//     before itself), so the stall resolves without spinning.
+//   - The match path is merger-free: each worker deduplicates its fresh
+//     matches through the delivery router's sharded (query, object) window
+//     (or an engine-local one when no router is wired) and delivers
+//     straight to the subscriber sessions — no cross-worker serialization
+//     point. EngineOptions::merger_audit additionally replays every match
+//     through the classic merger and counts disagreements, as an
+//     equivalence audit.
 //   - The optional controller thread runs the LoadController against live
 //     per-worker tallies. Migrations install live: query copies are placed
 //     at the destination first, the post-migration routing table is built
 //     off-thread and swapped in atomically, drain markers flush the
-//     source's in-flight queue, and only then are the stale source copies
+//     source's in-flight rings, and only then are the stale source copies
 //     removed — no delivery is lost, transient duplicates die in the
-//     merger.
+//     delivery-router window.
 class ThreadedEngine : public Engine {
  public:
   explicit ThreadedEngine(Cluster& cluster,
@@ -85,7 +103,7 @@ class ThreadedEngine : public Engine {
   uint64_t migrations_installed() const {
     return migrations_installed_.load(std::memory_order_relaxed);
   }
-  // Matches accepted by the merger (requires options.collect_matches).
+  // Matches accepted by the dedup window (requires options.collect_matches).
   std::vector<MatchResult> TakeMatches();
   // Allocation-reusing variant: swaps the collected matches into `out`
   // (cleared first), so a draining consumer reuses capacity across calls.
@@ -100,12 +118,12 @@ class ThreadedEngine : public Engine {
   class LiveMigrationExecutor;
 
   void DispatchLoop(DispatcherState& ds);
-  void RouteOne(DispatcherState& ds, SeqTuple& st);
+  void RouteOne(DispatcherState& ds, SeqTuple& st, WaitContext& push_wait);
   void WorkerLoop(int w);
   void ControllerLoop();
   void ControllerCheck();
   // Shared Stop()/Abort() teardown: stops the controller first (so no
-  // drain marker races the queue close), then closes and joins the
+  // drain marker races the ring close), then closes and joins the
   // dispatcher and worker stages in pipeline order.
   void JoinAll();
   RunReport AssembleReport();
@@ -115,13 +133,16 @@ class ThreadedEngine : public Engine {
   SnapshotRouter router_;
   std::unique_ptr<LoadController> controller_;
 
-  std::unique_ptr<BoundedQueue<SeqTuple>> input_;
-  std::vector<std::unique_ptr<BoundedQueue<WorkItem>>> queues_;
   std::vector<std::unique_ptr<WorkerState>> workers_;
   std::vector<std::unique_ptr<DispatcherState>> dispatchers_;
   std::vector<std::thread> worker_threads_;
   std::vector<std::thread> dispatcher_threads_;
   std::thread controller_thread_;
+
+  // Fallback (query, object) dedup window used when no delivery router is
+  // wired (bench/test engines); with a router, dedup lives in the router so
+  // synchronous and threaded traffic share one window.
+  std::unique_ptr<ShardedDedupWindow> dedup_;
 
   // Update-ordering gate (see class comment).
   std::atomic<uint64_t> updates_submitted_{0};
@@ -130,11 +151,14 @@ class ThreadedEngine : public Engine {
   // part of the controller's migration barrier.
   std::atomic<int> update_pushes_{0};
   std::atomic<uint64_t> migrations_installed_{0};
+  std::atomic<uint64_t> audit_mismatches_{0};
 
-  // Submit-side counters (single producer).
+  // Submit-side state (single producer).
   uint64_t submitted_objects_ = 0;
   uint64_t submitted_inserts_ = 0;
   uint64_t submitted_deletes_ = 0;
+  size_t submit_rr_ = 0;
+  WaitContext submit_wait_{WaitStrategy::kBlocking};
 
   std::mutex merge_mu_;
   std::vector<MatchResult> collected_;

@@ -279,17 +279,6 @@ TEST(PS2StreamApiTest, SubscribeReportsParseErrorsAsStatus) {
             std::string::npos);
 }
 
-TEST(PS2StreamApiTest, LegacySubscribeShimLogsAndReturnsZero) {
-  PS2Stream ps2;
-  ps2.Bootstrap(WorkloadSample{});
-  EXPECT_EQ(ps2.Subscribe("AND AND", Rect(0, 0, 1, 1)), 0u);
-  EXPECT_EQ(ps2.num_subscriptions(), 0u);
-  // And keeps working for valid input, without a session.
-  const QueryId qid = ps2.Subscribe("pizza", Rect(0, 0, 1, 1));
-  EXPECT_NE(qid, 0u);
-  EXPECT_EQ(ps2.num_subscriptions(), 1u);
-}
-
 TEST(PS2StreamApiTest, SubscriptionHandleUnsubscribesOnDestruction) {
   PS2Stream ps2;
   ps2.Bootstrap(WorkloadSample{});

@@ -55,6 +55,37 @@ std::vector<Action> MakeActions(const testutil::TestWorkload& w,
   return actions;
 }
 
+// Subscribes without a session or RAII handle: the subscription stays live
+// until cancelled, which is the lifecycle these durability tests model.
+void SubscribeRaw(PS2Stream& ps2, const STSQuery& q) {
+  auto sub = ps2.Subscribe(nullptr, q);
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  sub->Release();
+}
+
+// Routes every live subscription of `ps2` to `session` (the documented
+// post-Restore reattach flow — delivery routes are not persisted).
+void RouteAll(PS2Stream& ps2,
+              const std::shared_ptr<SubscriberSession>& session) {
+  for (const auto& [id, q] : ps2.subscriptions()) {
+    ps2.delivery().Route(id, session);
+  }
+}
+
+// Posts `o` synchronously and returns the matches delivered to `session`
+// (which must be drained, i.e. empty, on entry).
+std::vector<MatchResult> PostAndDrain(
+    PS2Stream& ps2, const std::shared_ptr<SubscriberSession>& session,
+    const SpatioTextualObject& o) {
+  EXPECT_TRUE(ps2.Post(o).ok());
+  std::vector<MatchResult> out;
+  Delivery d;
+  while (session->Poll(&d)) {
+    out.push_back(MatchResult{d.query_id, d.object_id});
+  }
+  return out;
+}
+
 // Highest-numbered WAL segment in the durable directory (where a torn tail
 // would land).
 std::string NewestWalSegment(const std::string& dir) {
@@ -140,15 +171,15 @@ TEST_F(CrashRecoveryTest, KillThreadedEngineAtRandomPointsRecoversExactly) {
         const Action& a = actions[i];
         switch (a.kind) {
           case Action::kSubscribe:
-            ps2.Subscribe(a.query);
+            SubscribeRaw(ps2, a.query);
             expected_live[a.query.id] = a.query;
             break;
           case Action::kUnsubscribe:
-            ps2.Unsubscribe(a.query_id);
+            EXPECT_TRUE(ps2.Cancel(a.query_id).ok());
             expected_live.erase(a.query_id);
             break;
           case Action::kPublish:
-            ps2.Publish(a.object);
+            EXPECT_TRUE(ps2.Post(a.object).ok());
             break;
         }
       }
@@ -180,10 +211,12 @@ TEST_F(CrashRecoveryTest, KillThreadedEngineAtRandomPointsRecoversExactly) {
 
     // Replayed object stream: the recovered engine must deliver exactly the
     // synchronous reference engine's match set.
+    auto session = recovered.OpenSession({.queue_capacity = 1 << 16});
+    RouteAll(recovered, session);
     ReferenceMatcher ref;
     for (const auto& [id, q] : expected_live) ref.Insert(q);
     for (const auto& o : w.extra_objects) {
-      EXPECT_EQ(testutil::Sorted(recovered.Publish(o)),
+      EXPECT_EQ(testutil::Sorted(PostAndDrain(recovered, session, o)),
                 testutil::Sorted(ref.Match(o)))
           << "seed " << seed << " object " << o.id;
     }
@@ -209,9 +242,9 @@ TEST_F(CrashRecoveryTest, SyncModeMigrationsSurviveCrash) {
   PS2Stream ps2(opts);
   ps2.Bootstrap(w.sample);
   ASSERT_TRUE(ps2.durable());
-  for (const auto& q : w.sample.inserts) ps2.Subscribe(q);
-  for (const auto& o : w.sample.objects) ps2.Publish(o);
-  for (const auto& o : w.extra_objects) ps2.Publish(o);
+  for (const auto& q : w.sample.inserts) SubscribeRaw(ps2, q);
+  for (const auto& o : w.sample.objects) ASSERT_TRUE(ps2.Post(o).ok());
+  for (const auto& o : w.extra_objects) ASSERT_TRUE(ps2.Post(o).ok());
   ASSERT_GE(ps2.adjustments().size(), 1u)
       << "workload did not trigger an adjustment; tune the test";
   const PartitionPlan plan_at_crash = ps2.cluster().router().plan();
@@ -251,14 +284,14 @@ TEST_F(CrashRecoveryTest, LiveMigrationsSurviveCrash) {
   PS2Stream ps2(opts);
   ps2.Bootstrap(w.sample);
   ps2.Start();
-  for (const auto& q : w.sample.inserts) ps2.Subscribe(q);
+  for (const auto& q : w.sample.inserts) SubscribeRaw(ps2, q);
   // Keep publishing (re-used object streams are fine — load is what
   // matters) until the controller has installed at least one migration, so
   // the crash provably covers journaled live migrations.
   bool migrated = false;
   for (int round = 0; round < 100 && !migrated; ++round) {
-    for (const auto& o : w.sample.objects) ps2.Publish(o);
-    for (const auto& o : w.extra_objects) ps2.Publish(o);
+    for (const auto& o : w.sample.objects) ASSERT_TRUE(ps2.Post(o).ok());
+    for (const auto& o : w.extra_objects) ASSERT_TRUE(ps2.Post(o).ok());
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
     migrated = ps2.engine()->migrations_installed() > 0;
   }
@@ -279,10 +312,12 @@ TEST_F(CrashRecoveryTest, LiveMigrationsSurviveCrash) {
   EXPECT_GT(recovered.recovered()->wal.cell_routes, 0u);
   ExpectSamePlanRoutes(plan_at_crash, recovered.cluster().router().plan());
 
+  auto session = recovered.OpenSession({.queue_capacity = 1 << 16});
+  RouteAll(recovered, session);
   ReferenceMatcher ref;
   for (const auto& q : w.sample.inserts) ref.Insert(q);
   for (const auto& o : w.extra_objects) {
-    EXPECT_EQ(testutil::Sorted(recovered.Publish(o)),
+    EXPECT_EQ(testutil::Sorted(PostAndDrain(recovered, session, o)),
               testutil::Sorted(ref.Match(o)));
   }
 }
@@ -302,7 +337,9 @@ TEST_F(CrashRecoveryTest, RestoredServiceKeepsLoggingAcrossSecondCrash) {
   {
     PS2Stream ps2(opts);
     ps2.Bootstrap(w.sample);
-    for (size_t i = 0; i < half; ++i) ps2.Subscribe(w.sample.inserts[i]);
+    for (size_t i = 0; i < half; ++i) {
+      SubscribeRaw(ps2, w.sample.inserts[i]);
+    }
     ps2.Kill();
   }
   {
@@ -311,7 +348,7 @@ TEST_F(CrashRecoveryTest, RestoredServiceKeepsLoggingAcrossSecondCrash) {
     ASSERT_TRUE(ps2.durable());
     EXPECT_EQ(ps2.num_subscriptions(), half);
     for (size_t i = half; i < w.sample.inserts.size(); ++i) {
-      ps2.Subscribe(w.sample.inserts[i]);
+      SubscribeRaw(ps2, w.sample.inserts[i]);
     }
     ps2.Kill();
   }
@@ -319,10 +356,12 @@ TEST_F(CrashRecoveryTest, RestoredServiceKeepsLoggingAcrossSecondCrash) {
   ASSERT_TRUE(recovered.Restore(dir_));
   EXPECT_EQ(recovered.num_subscriptions(), w.sample.inserts.size());
 
+  auto session = recovered.OpenSession({.queue_capacity = 1 << 16});
+  RouteAll(recovered, session);
   ReferenceMatcher ref;
   for (const auto& q : w.sample.inserts) ref.Insert(q);
   for (const auto& o : w.extra_objects) {
-    EXPECT_EQ(testutil::Sorted(recovered.Publish(o)),
+    EXPECT_EQ(testutil::Sorted(PostAndDrain(recovered, session, o)),
               testutil::Sorted(ref.Match(o)));
   }
 }
@@ -345,7 +384,9 @@ TEST_F(CrashRecoveryTest, OrphanSegmentSurvivesResumeAndSecondCrash) {
   {
     PS2Stream a(opts);
     a.Bootstrap(w.sample);
-    for (size_t i = 0; i < third; ++i) a.Subscribe(w.sample.inserts[i]);
+    for (size_t i = 0; i < third; ++i) {
+      SubscribeRaw(a, w.sample.inserts[i]);
+    }
     a.Kill();
   }
   {
@@ -364,7 +405,7 @@ TEST_F(CrashRecoveryTest, OrphanSegmentSurvivesResumeAndSecondCrash) {
     ASSERT_TRUE(b.Restore());
     EXPECT_EQ(b.num_subscriptions(), third + 1);  // orphan record replayed
     for (size_t i = third + 1; i < w.sample.inserts.size(); ++i) {
-      b.Subscribe(w.sample.inserts[i]);
+      SubscribeRaw(b, w.sample.inserts[i]);
     }
     b.Kill();
   }
@@ -372,10 +413,13 @@ TEST_F(CrashRecoveryTest, OrphanSegmentSurvivesResumeAndSecondCrash) {
   ASSERT_TRUE(c.Restore(dir_));
   EXPECT_EQ(c.num_subscriptions(), w.sample.inserts.size());
 
+  auto session = c.OpenSession({.queue_capacity = 1 << 16});
+  RouteAll(c, session);
   ReferenceMatcher ref;
   for (const auto& q : w.sample.inserts) ref.Insert(q);
   for (const auto& o : w.extra_objects) {
-    EXPECT_EQ(testutil::Sorted(c.Publish(o)), testutil::Sorted(ref.Match(o)));
+    EXPECT_EQ(testutil::Sorted(PostAndDrain(c, session, o)),
+              testutil::Sorted(ref.Match(o)));
   }
 }
 
@@ -395,7 +439,9 @@ TEST_F(CrashRecoveryTest, StaleSegmentBeyondTornTailIsDiscardedOnResume) {
   {
     PS2Stream a(opts);
     a.Bootstrap(w.sample);
-    for (size_t i = 0; i < half; ++i) a.Subscribe(w.sample.inserts[i]);
+    for (size_t i = 0; i < half; ++i) {
+      SubscribeRaw(a, w.sample.inserts[i]);
+    }
     a.Kill();
   }
   {
@@ -423,7 +469,7 @@ TEST_F(CrashRecoveryTest, StaleSegmentBeyondTornTailIsDiscardedOnResume) {
     EXPECT_EQ(b.num_subscriptions(), half);  // timeline cut at the tear
     EXPECT_FALSE(std::filesystem::exists(
         DurabilityManager::WalPath(dir_, 2)));  // stale orphan removed
-    b.Subscribe(w.sample.inserts[half + 1]);
+    SubscribeRaw(b, w.sample.inserts[half + 1]);
     b.Kill();
   }
   PS2Stream c;
@@ -449,16 +495,19 @@ TEST_F(CrashRecoveryTest, DeadReplayedSubscriptionsStillAdvanceQueryIds) {
   {
     PS2Stream a(opts);
     a.Bootstrap(w.sample);
-    last_id = a.Subscribe("alpha AND beta", Rect(0, 0, 10, 10));
+    auto sub = a.Subscribe(nullptr, "alpha AND beta", Rect(0, 0, 10, 10));
+    ASSERT_TRUE(sub.ok());
+    last_id = sub->Release();
     ASSERT_GT(last_id, 0u);
-    a.Unsubscribe(last_id);
+    ASSERT_TRUE(a.Cancel(last_id).ok());
     a.Kill();
   }
   PS2Stream b(opts);
   ASSERT_TRUE(b.Restore());
   EXPECT_EQ(b.num_subscriptions(), 0u);
-  const QueryId reissued = b.Subscribe("alpha", Rect(0, 0, 10, 10));
-  EXPECT_GT(reissued, last_id);
+  auto reissue = b.Subscribe(nullptr, "alpha", Rect(0, 0, 10, 10));
+  ASSERT_TRUE(reissue.ok());
+  EXPECT_GT(reissue->Release(), last_id);
 }
 
 // Bootstrapping into a directory that already holds durable state must not
@@ -476,7 +525,7 @@ TEST_F(CrashRecoveryTest, BootstrapRefusesExistingDurableDirectory) {
     PS2Stream a(opts);
     a.Bootstrap(w.sample);
     ASSERT_TRUE(a.durable());
-    for (const auto& q : w.sample.inserts) a.Subscribe(q);
+    for (const auto& q : w.sample.inserts) SubscribeRaw(a, q);
     a.Kill();
   }
   {
@@ -484,7 +533,7 @@ TEST_F(CrashRecoveryTest, BootstrapRefusesExistingDurableDirectory) {
     PS2Stream b(opts);
     b.Bootstrap(w.sample);
     EXPECT_FALSE(b.durable());  // refused — service runs, but non-durable
-    b.Subscribe(w.sample.inserts.front());
+    SubscribeRaw(b, w.sample.inserts.front());
     b.Kill();
   }
   PS2Stream c;
@@ -506,7 +555,7 @@ TEST_F(CrashRecoveryTest, CheckpointThenEngineRecover) {
 
   PS2Stream ps2(opts);
   ps2.Bootstrap(w.sample);
-  for (const auto& q : w.sample.inserts) ps2.Subscribe(q);
+  for (const auto& q : w.sample.inserts) SubscribeRaw(ps2, q);
   ASSERT_TRUE(ps2.Checkpoint());
   ps2.Kill();
 

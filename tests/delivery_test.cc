@@ -165,6 +165,70 @@ TEST(DeliveryLiveMigrationTest, SessionSetSurvivesLiveMigration) {
   EXPECT_EQ(session->stats().dropped, 0u);
 }
 
+// Merger audit: with EngineOptions::merger_audit the workers replay every
+// match verdict through the retired merger and count disagreements with the
+// router's dedup window. Under live migration — where cell moves re-emit
+// matches from two workers and the window is what keeps them unique — the
+// two filters must agree verdict-for-verdict, and the audited run must
+// still deliver exactly the reference set the merger-free run delivers.
+TEST(DeliveryLiveMigrationTest, MergerAuditAgreesWithDedupWindow) {
+  auto w = testutil::MakeWorkload(1213, 1600, 400);
+  PartitionPlan plan;
+  plan.grid = GridSpec(w.sample.Bounds(), 4);
+  plan.num_workers = 4;
+  plan.cells.resize(plan.grid.NumCells());  // CellRoute{} -> worker 0
+
+  ReferenceMatcher ref;
+  std::vector<StreamTuple> input;
+  for (const auto& q : w.sample.inserts) {
+    input.push_back(StreamTuple::OfInsert(q));
+    ref.Insert(q);
+  }
+  for (const auto& o : w.sample.objects) {
+    input.push_back(StreamTuple::OfObject(o));
+  }
+  for (const auto& o : w.extra_objects) {
+    input.push_back(StreamTuple::OfObject(o));
+  }
+  std::vector<MatchResult> expected;
+  for (const auto& t : input) {
+    if (t.kind != TupleKind::kObject) continue;
+    const auto ms = ref.Match(t.object);
+    expected.insert(expected.end(), ms.begin(), ms.end());
+  }
+
+  auto run = [&](bool audit) {
+    DeliveryRouter router;
+    SessionOptions sopts;
+    sopts.queue_capacity = 1 << 20;  // never overflows: exact-set comparison
+    auto session = std::make_shared<SubscriberSession>(sopts);
+    router.RegisterSession(session);
+    for (const auto& q : w.sample.inserts) router.Route(q.id, session);
+
+    Cluster cluster(plan, &w.vocab);
+    EngineOptions opts;
+    opts.num_dispatchers = 2;
+    opts.delivery = &router;
+    opts.merger_audit = audit;
+    opts.controller.enabled = true;
+    opts.controller.interval_ms = 2;
+    opts.controller.min_tuples = 400;
+    opts.controller.config.adjust.sigma = 1.3;
+    ThreadedEngine engine(cluster, opts);
+    const RunReport report = engine.Run(input);
+
+    EXPECT_EQ(report.audit_mismatches, 0u) << (audit ? "audit" : "merger-free");
+    EXPECT_EQ(report.matches_delivered, expected.size());
+    return testutil::Sorted(ToMatches(DrainAll(*session)));
+  };
+
+  const auto merger_free = run(false);
+  const auto audited = run(true);
+  ASSERT_FALSE(merger_free.empty());
+  EXPECT_EQ(merger_free, testutil::Sorted(expected));
+  EXPECT_EQ(audited, merger_free);
+}
+
 // Subscription churn while the engine runs and a consumer drains: the
 // stable subscriptions (live for the whole run) must receive exactly the
 // reference set; churned ones must deliver nothing after their cancel

@@ -23,40 +23,52 @@ TEST(PS2StreamTest, QuickstartFlow) {
   ps2.Bootstrap(sample);
   ASSERT_TRUE(ps2.bootstrapped());
 
-  const QueryId qid =
-      ps2.Subscribe("pizza AND downtown", Rect(0, 0, 50, 50));
-  ASSERT_NE(qid, 0u);
+  auto session = ps2.OpenSession();
+  auto sub = ps2.Subscribe(session, "pizza AND downtown", Rect(0, 0, 50, 50));
+  ASSERT_TRUE(sub.ok());
   EXPECT_EQ(ps2.num_subscriptions(), 1u);
 
-  auto matches = ps2.Publish(Point{10, 10}, "best pizza in downtown!");
-  ASSERT_EQ(matches.size(), 1u);
-  EXPECT_EQ(matches[0].query_id, qid);
+  ASSERT_TRUE(ps2.Post(Point{10, 10}, "best pizza in downtown!").ok());
+  Delivery d;
+  ASSERT_TRUE(session->Poll(&d));
+  EXPECT_EQ(d.query_id, sub->id());
+  EXPECT_FALSE(session->Poll(&d));
 
   // Outside the region: no match.
-  EXPECT_TRUE(ps2.Publish(Point{90, 90}, "pizza downtown").empty());
+  ASSERT_TRUE(ps2.Post(Point{90, 90}, "pizza downtown").ok());
+  EXPECT_FALSE(session->Poll(&d));
   // Missing a keyword: no match.
-  EXPECT_TRUE(ps2.Publish(Point{10, 10}, "pizza is great").empty());
+  ASSERT_TRUE(ps2.Post(Point{10, 10}, "pizza is great").ok());
+  EXPECT_FALSE(session->Poll(&d));
 
-  ps2.Unsubscribe(qid);
+  ASSERT_TRUE(ps2.Cancel(sub->Release()).ok());
   EXPECT_EQ(ps2.num_subscriptions(), 0u);
-  EXPECT_TRUE(ps2.Publish(Point{10, 10}, "pizza downtown").empty());
+  ASSERT_TRUE(ps2.Post(Point{10, 10}, "pizza downtown").ok());
+  EXPECT_FALSE(session->Poll(&d));
 }
 
 TEST(PS2StreamTest, InvalidExpressionRejected) {
   PS2Stream ps2;
   ps2.Bootstrap(WorkloadSample{});
-  EXPECT_EQ(ps2.Subscribe("AND AND", Rect(0, 0, 1, 1)), 0u);
+  const auto sub = ps2.Subscribe(nullptr, "AND AND", Rect(0, 0, 1, 1));
+  EXPECT_FALSE(sub.ok());
+  EXPECT_EQ(sub.status().code(), StatusCode::kInvalidArgument);
   EXPECT_EQ(ps2.num_subscriptions(), 0u);
 }
 
 TEST(PS2StreamTest, OrExpressionMatchesEitherKeyword) {
   PS2Stream ps2;
   ps2.Bootstrap(WorkloadSample{});
-  const QueryId qid = ps2.Subscribe("fire OR smoke", Rect(0, 0, 1, 1));
-  ASSERT_NE(qid, 0u);
-  EXPECT_EQ(ps2.Publish(Point{0.5, 0.5}, "I smell smoke").size(), 1u);
-  EXPECT_EQ(ps2.Publish(Point{0.5, 0.5}, "forest fire nearby").size(), 1u);
-  EXPECT_TRUE(ps2.Publish(Point{0.5, 0.5}, "all clear").empty());
+  auto session = ps2.OpenSession();
+  auto sub = ps2.Subscribe(session, "fire OR smoke", Rect(0, 0, 1, 1));
+  ASSERT_TRUE(sub.ok());
+  Delivery d;
+  ASSERT_TRUE(ps2.Post(Point{0.5, 0.5}, "I smell smoke").ok());
+  EXPECT_TRUE(session->Poll(&d));
+  ASSERT_TRUE(ps2.Post(Point{0.5, 0.5}, "forest fire nearby").ok());
+  EXPECT_TRUE(session->Poll(&d));
+  ASSERT_TRUE(ps2.Post(Point{0.5, 0.5}, "all clear").ok());
+  EXPECT_FALSE(session->Poll(&d));
 }
 
 TEST(PS2StreamTest, BootstrapWithRealSampleUsesPartitioner) {
@@ -107,10 +119,12 @@ TEST(PS2StreamTest, AutoAdjustTriggersOnImbalance) {
   const TermId hot = ps2.vocabulary().Intern("hot");
   (void)hot;
   for (int i = 0; i < 50; ++i) {
-    ps2.Subscribe("hot", Rect(0, 0, 2, 2));
+    auto sub = ps2.Subscribe(nullptr, "hot", Rect(0, 0, 2, 2));
+    ASSERT_TRUE(sub.ok());
+    sub->Release();  // keep the subscription live for the whole run
   }
   for (int i = 0; i < 3000; ++i) {
-    ps2.Publish(Point{1, 1}, "hot stuff");
+    ASSERT_TRUE(ps2.Post(Point{1, 1}, "hot stuff").ok());
   }
   EXPECT_FALSE(ps2.adjustments().empty());
 }

@@ -173,12 +173,14 @@ TEST(PS2StreamAsyncTest, StartSubscribePublishStop) {
 
   ReferenceMatcher ref;
   for (const auto& q : w.sample.inserts) {
-    ps2.Subscribe(q);
+    auto sub = ps2.Subscribe(nullptr, q);
+    ASSERT_TRUE(sub.ok());
+    sub->Release();
     ref.Insert(q);
   }
   size_t expected = 0;
   for (const auto& o : w.extra_objects) {
-    EXPECT_TRUE(ps2.Publish(o).empty());  // async: no inline matches
+    EXPECT_TRUE(ps2.Post(o).ok());  // async: matches arrive via sessions
     expected += ref.Match(o).size();
   }
   const RunReport report = ps2.Stop();

@@ -1,27 +1,106 @@
 #!/usr/bin/env python3
-"""CI gate for throughput benchmarks.
+"""CI gate for benchmark metrics.
 
 Usage: check_bench_threshold.py BENCH_<name>.json bench/<name>_baseline.json
 
 Reads a measured BENCH_*.json (written by a bench via bench_util's JSON
-mirror) and fails (exit 1) when the gated throughput drops more than
-`allowed_drop` (default 20%) below the committed baseline.
+mirror) and checks it against the committed baseline. Exit 1 on any gate
+failure.
 
-The baseline JSON selects what is gated:
+Two baseline formats:
+
+Multi-gate (preferred) — a "gates" list, each entry:
+  path            row filter: value of the "path" column
   subscriptions   row filter: the subscription level to gate at
-  path            row filter: value of the "path" column (default "batched")
-  metric          column holding the gated throughput
-                  (default "objs_per_sec")
-  baseline_value  committed floor reference (falls back to the legacy
-                  "batched_objects_per_sec" key)
-  allowed_drop    tolerated relative drop (default 0.20)
+  filters         optional {column: value} extra row filters
+  metric          column holding the gated value
+  direction       "floor" (throughput must not drop) or "ceiling"
+                  (latency must not rise); default "floor"
+  baseline_value  committed reference value
+  allowed_drop    floor gates: tolerated relative drop (default 0.20)
+  allowed_rise    ceiling gates: tolerated relative rise (default 0.0 —
+                  baseline_value IS the ceiling)
 
-The *minimum* across matching rows is gated: a regression must not be
-masked by a healthy number at a different (easier) configuration.
+Legacy single-gate — top-level subscriptions/path/metric/baseline_value/
+allowed_drop keys, gating a throughput floor exactly as before.
+
+Floor gates take the *minimum* across matching rows, ceiling gates the
+*maximum*: a regression must not be masked by a healthy number at a
+different (easier) configuration.
 """
 
 import json
 import sys
+
+
+def matching_values(measured, gate):
+    """Yields the gated metric from every row matching the gate's filters."""
+    subs = float(gate["subscriptions"])
+    path = gate.get("path", "batched")
+    metric = gate.get("metric", "objs_per_sec")
+    extra = gate.get("filters", {})
+    for table in measured.get("tables", []):
+        cols = table.get("columns", [])
+        needed = {"path", "subscriptions", metric} | set(extra)
+        if not needed <= set(cols):
+            continue
+        path_i = cols.index("path")
+        subs_i = cols.index("subscriptions")
+        value_i = cols.index(metric)
+        extra_i = {c: cols.index(c) for c in extra}
+        for row in table.get("rows", []):
+            if row[path_i] != path or float(row[subs_i]) != subs:
+                continue
+            if any(
+                float(row[i]) != float(v) for c, v in extra.items()
+                for i in [extra_i[c]]
+            ):
+                continue
+            yield float(row[value_i])
+
+
+def check_gate(measured, gate) -> bool:
+    subs = float(gate["subscriptions"])
+    path = gate.get("path", "batched")
+    metric = gate.get("metric", "objs_per_sec")
+    direction = gate.get("direction", "floor")
+    values = list(matching_values(measured, gate))
+    if not values:
+        print(
+            f"FAIL: no '{path}' row at {subs:.0f} subscriptions with a "
+            f"'{metric}' column in measured bench JSON (was the bench run "
+            "in the baseline's mode?)"
+        )
+        return False
+
+    # No silent default: a gate missing both keys must fail loudly
+    # (KeyError -> nonzero exit), not degrade into an always-pass bound.
+    if "baseline_value" in gate:
+        committed = float(gate["baseline_value"])
+    else:
+        committed = float(gate["batched_objects_per_sec"])
+
+    if direction == "ceiling":
+        worst = max(values)
+        allowed_rise = float(gate.get("allowed_rise", 0.0))
+        limit = committed * (1.0 + allowed_rise)
+        ok = worst <= limit
+        print(
+            f"{'OK' if ok else 'FAIL'}: {path} {metric} at {subs:.0f} subs "
+            f"measured={worst:.2f} ceiling={limit:.2f} "
+            f"(baseline {committed:.2f}, allowed rise {allowed_rise:.0%})"
+        )
+    else:
+        worst = min(values)
+        allowed_drop = float(gate.get("allowed_drop", 0.20))
+        floor = committed * (1.0 - allowed_drop)
+        ok = worst >= floor
+        print(
+            f"{'OK' if ok else 'FAIL'}: {path} {metric} at {subs:.0f} subs "
+            f"measured={worst:.0f} baseline={committed:.0f} "
+            f"floor={floor:.0f} (allowed drop {allowed_drop:.0%})"
+        )
+    return ok
 
 
 def main() -> int:
@@ -33,45 +112,9 @@ def main() -> int:
     with open(sys.argv[2]) as f:
         baseline = json.load(f)
 
-    subs = float(baseline["subscriptions"])
-    path = baseline.get("path", "batched")
-    metric = baseline.get("metric", "objs_per_sec")
-    worst = None
-    for table in measured.get("tables", []):
-        cols = table.get("columns", [])
-        if not {"path", "subscriptions", metric} <= set(cols):
-            continue
-        path_i = cols.index("path")
-        subs_i = cols.index("subscriptions")
-        tput_i = cols.index(metric)
-        for row in table.get("rows", []):
-            if row[path_i] == path and float(row[subs_i]) == subs:
-                tput = float(row[tput_i])
-                worst = tput if worst is None else min(worst, tput)
-    if worst is None:
-        print(
-            f"FAIL: no '{path}' row at {subs:.0f} subscriptions with a "
-            f"'{metric}' column in measured bench JSON (was the bench run "
-            "in the baseline's mode?)"
-        )
-        return 1
-
-    # No silent default: a baseline missing both keys must fail the gate
-    # loudly (KeyError -> nonzero exit), not degrade into an always-pass
-    # floor of 0.
-    if "baseline_value" in baseline:
-        committed = float(baseline["baseline_value"])
-    else:
-        committed = float(baseline["batched_objects_per_sec"])
-    allowed_drop = float(baseline.get("allowed_drop", 0.20))
-    floor = committed * (1.0 - allowed_drop)
-    verdict = "OK" if worst >= floor else "FAIL"
-    print(
-        f"{verdict}: {path} {metric} at {subs:.0f} subs "
-        f"measured={worst:.0f} baseline={committed:.0f} floor={floor:.0f} "
-        f"(allowed drop {allowed_drop:.0%})"
-    )
-    return 0 if worst >= floor else 1
+    gates = baseline.get("gates", [baseline])
+    ok = all([check_gate(measured, g) for g in gates])
+    return 0 if ok else 1
 
 
 if __name__ == "__main__":
