@@ -1,0 +1,150 @@
+// Shard-fabric scaling curve: end-to-end session delivery throughput and
+// publish -> deliver latency through the PS2Stream facade at 1, 2 and 4
+// engine shards (same per-shard topology, so each added shard adds a full
+// dispatcher+worker fleet). The single-shard row runs the classic
+// non-fabric engine — the fabric's loopback/serde overhead is visible as
+// the gap between it and the 1-shard baseline, and the scaling win as the
+// 2- and 4-shard speedups (expect >1.5x at 4 shards on a multi-core
+// runner; a 1-core container serializes the fleets and shows ~1x).
+//
+// Mirrors the table into BENCH_shard.json; CI runs `--smoke` and gates
+// absolute deliveries/sec floors via tools/check_bench_threshold.py
+// against bench/shard_baseline.json.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "runtime/ps2stream.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic_corpus.h"
+
+namespace ps2 {
+namespace {
+
+struct ShardResult {
+  uint64_t deliveries = 0;
+  uint64_t drops = 0;
+  double publishes_per_sec = 0.0;
+  double deliveries_per_sec = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  uint64_t dedup_kills = 0;
+};
+
+ShardResult RunStarted(PS2Stream& service,
+                       const PS2Stream::SessionPtr& session,
+                       const std::vector<SpatioTextualObject>& objects) {
+  ShardResult r;
+  std::atomic<bool> done{false};
+  std::thread consumer([&] {
+    std::vector<Delivery> batch;
+    while (!done.load(std::memory_order_acquire)) {
+      batch.clear();
+      session->TakeBatch(&batch, 4096, std::chrono::milliseconds(2));
+    }
+    batch.clear();
+    while (session->TakeBatch(&batch, 4096, std::chrono::milliseconds(0)) >
+           0) {
+      batch.clear();
+    }
+  });
+  service.Start();
+  const int64_t begin = NowMicros();
+  for (const auto& o : objects) service.Post(o);
+  const RunReport report = service.Stop();
+  const double secs = static_cast<double>(NowMicros() - begin) / 1e6;
+  done.store(true, std::memory_order_release);
+  consumer.join();
+  r.deliveries = report.session_deliveries;
+  r.drops = report.session_drops;
+  r.publishes_per_sec = secs > 0 ? objects.size() / secs : 0.0;
+  r.deliveries_per_sec = secs > 0 ? report.session_deliveries / secs : 0.0;
+  r.p50_us = report.delivery_latency.PercentileMicros(0.50);
+  r.p99_us = report.delivery_latency.PercentileMicros(0.99);
+  r.dedup_kills = report.dedup_kills;
+  if (report.shards > 1) {
+    std::printf("%s\n",
+                FleetSummary(service.fabric()->shard_reports(), report)
+                    .c_str());
+  }
+  return r;
+}
+
+}  // namespace
+}  // namespace ps2
+
+int main(int argc, char** argv) {
+  using namespace ps2;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  bench::InitBench("shard");
+
+  const size_t subs = smoke ? 10000 : 50000;
+  const size_t num_objects = smoke ? 20000 : 100000;
+
+  bench::PrintHeader(
+      "shard fabric scaling: started delivery path at 1/2/4 shards",
+      {"path", "shards", "subscriptions", "objects", "deliveries", "drops",
+       "dedup_kills", "publishes_per_sec", "deliveries_per_sec", "p50_us",
+       "p99_us", "speedup"});
+
+  double base_dps = 0.0;
+  for (const int shards : {1, 2, 4}) {
+    PS2StreamOptions opts;
+    opts.partitioner = "hybrid";
+    // Fixed per-shard topology: every added shard brings its own
+    // dispatcher + 2 workers, which is the whole point of the fabric.
+    opts.partition.num_workers = 2;
+    opts.engine.num_dispatchers = 1;
+    opts.sharding.num_shards = shards;
+    PS2Stream service(opts);
+    CorpusConfig cfg = CorpusConfig::UsPreset();
+    cfg.vocab_size = smoke ? 40000 : 150000;
+    SyntheticCorpus corpus(cfg, &service.vocabulary());
+    corpus.Generate(smoke ? 20000 : 50000);
+    QueryGenConfig qcfg;
+    QueryGenerator qgen(qcfg, &corpus);
+    {
+      WorkloadSample sample;
+      sample.objects = corpus.Generate(20000);
+      sample.inserts = qgen.Generate(4000);  // plan-building stats only
+      service.Bootstrap(sample);
+    }
+
+    SessionOptions sopts;
+    sopts.queue_capacity = 1 << 16;
+    sopts.backpressure = BackpressurePolicy::kBlock;
+    auto session = service.OpenSession(sopts);
+    for (const auto& q : qgen.Generate(subs)) {
+      auto sub = service.Subscribe(session, q);
+      if (sub.ok()) sub->Release();
+    }
+    const auto objects = corpus.Generate(num_objects);
+    const ShardResult r = RunStarted(service, session, objects);
+    const double speedup =
+        base_dps > 0 ? r.deliveries_per_sec / base_dps : 1.0;
+    if (shards == 1) base_dps = r.deliveries_per_sec;
+
+    bench::PrintCell("sharded");
+    bench::PrintCell(static_cast<double>(shards), "%.0f");
+    bench::PrintCell(static_cast<double>(subs), "%.0f");
+    bench::PrintCell(static_cast<double>(objects.size()), "%.0f");
+    bench::PrintCell(static_cast<double>(r.deliveries), "%.0f");
+    bench::PrintCell(static_cast<double>(r.drops), "%.0f");
+    bench::PrintCell(static_cast<double>(r.dedup_kills), "%.0f");
+    bench::PrintCell(r.publishes_per_sec, "%.0f");
+    bench::PrintCell(r.deliveries_per_sec, "%.0f");
+    bench::PrintCell(r.p50_us, "%.2f");
+    bench::PrintCell(r.p99_us, "%.2f");
+    bench::PrintCell(speedup, "%.2f");
+    bench::EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,65 @@
+#include "adjust/shard_balancer.h"
+
+#include <algorithm>
+
+#include "core/cost_model.h"
+
+namespace ps2 {
+
+std::vector<ShardMove> ShardBalancer::Plan(
+    const ShardMap& map, const std::vector<uint64_t>& cell_objects,
+    size_t max_moves) const {
+  std::vector<ShardMove> moves;
+  if (map.num_shards < 2) return moves;
+
+  // Working copies the greedy loop mutates as it commits moves.
+  std::vector<ShardId> owner = map.cell_shard;
+  std::vector<double> loads(static_cast<size_t>(map.num_shards), 0.0);
+  std::vector<size_t> cells_owned(static_cast<size_t>(map.num_shards), 0);
+  for (CellId c = 0; c < owner.size(); ++c) {
+    const uint64_t n = c < cell_objects.size() ? cell_objects[c] : 0;
+    loads[static_cast<size_t>(owner[c])] += static_cast<double>(n);
+    ++cells_owned[static_cast<size_t>(owner[c])];
+  }
+
+  while (moves.size() < max_moves && BalanceFactor(loads) > sigma_) {
+    const size_t hot = static_cast<size_t>(
+        std::max_element(loads.begin(), loads.end()) - loads.begin());
+    const size_t cool = static_cast<size_t>(
+        std::min_element(loads.begin(), loads.end()) - loads.begin());
+    if (hot == cool || cells_owned[hot] <= 1) break;
+
+    // Hottest cell of the hot shard; a zero-traffic cell cannot reduce the
+    // imbalance, so bail if nothing loaded is movable.
+    CellId best_cell = 0;
+    uint64_t best_n = 0;
+    bool found = false;
+    for (CellId c = 0; c < owner.size(); ++c) {
+      if (static_cast<size_t>(owner[c]) != hot) continue;
+      const uint64_t n = c < cell_objects.size() ? cell_objects[c] : 0;
+      if (!found || n > best_n) {
+        best_cell = c;
+        best_n = n;
+        found = true;
+      }
+    }
+    if (!found || best_n == 0) break;
+
+    // Only commit a move that strictly improves the max of the two shards
+    // involved — otherwise the greedy loop would bounce a dominant cell
+    // back and forth forever.
+    const double shipped = static_cast<double>(best_n);
+    if (loads[cool] + shipped >= loads[hot]) break;
+
+    moves.push_back(ShardMove{best_cell, static_cast<ShardId>(hot),
+                              static_cast<ShardId>(cool)});
+    owner[best_cell] = static_cast<ShardId>(cool);
+    loads[hot] -= shipped;
+    loads[cool] += shipped;
+    --cells_owned[hot];
+    ++cells_owned[cool];
+  }
+  return moves;
+}
+
+}  // namespace ps2

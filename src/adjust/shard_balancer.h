@@ -1,0 +1,52 @@
+#ifndef PS2_ADJUST_SHARD_BALANCER_H_
+#define PS2_ADJUST_SHARD_BALANCER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "shard/shard_map.h"
+
+namespace ps2 {
+
+// One planned cross-shard cell move: hand `cell` from its current owner to
+// `to`. The fabric executes it with the WAL'd copy -> publish -> drain ->
+// remove migration.
+struct ShardMove {
+  CellId cell = 0;
+  ShardId from = 0;
+  ShardId to = 0;
+};
+
+// Cross-shard counterpart of the in-shard LocalAdjuster, one level up the
+// hierarchy: where the local adjuster moves cells between *workers inside
+// one engine* using the Definition 1 cost model, this balancer moves cells
+// between *shards* using observed per-cell object traffic (the front
+// counts every routed object, so the signal is exact, not sampled).
+//
+// Greedy and deliberately conservative: while the balance factor
+// (Lmax/Lmin, the paper's sigma constraint applied to shard loads) exceeds
+// sigma, ship the hottest cell of the hottest shard to the coolest shard —
+// but only when that actually helps (the move must not just swap which
+// shard is overloaded). Cross-shard migrations copy queries over the
+// transport, so fewer, bigger-impact moves beat many marginal ones.
+class ShardBalancer {
+ public:
+  explicit ShardBalancer(double sigma = 1.5) : sigma_(sigma) {}
+
+  // Plans up to `max_moves` moves given the current map and the per-cell
+  // object counts for the elapsed window. Returns an empty plan when the
+  // load is within sigma, a shard would be left empty of cells, or no
+  // single-cell move improves the imbalance.
+  std::vector<ShardMove> Plan(const ShardMap& map,
+                              const std::vector<uint64_t>& cell_objects,
+                              size_t max_moves = 4) const;
+
+  double sigma() const { return sigma_; }
+
+ private:
+  double sigma_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_ADJUST_SHARD_BALANCER_H_

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "api/delivery.h"
+#include "api/delivery_sink.h"
 #include "api/subscriber_session.h"
 #include "common/dedup_window.h"
 
@@ -28,7 +29,7 @@ namespace ps2 {
 // with a single atomic load and never block on subscribe / unsubscribe /
 // session churn; writers serialize per shard and pay a copy proportional to
 // the shard (1/kShards of the table), not the table.
-class DeliveryRouter {
+class DeliveryRouter final : public DeliverySink {
  public:
   DeliveryRouter() = default;
 
@@ -54,19 +55,19 @@ class DeliveryRouter {
   // Duplicate filter: true when (query, object) was not delivered within
   // the window. Worker threads gate every match on this before staging a
   // delivery. Thread-safe (lock-striped).
-  bool AcceptFresh(QueryId query_id, ObjectId object_id) {
+  bool AcceptFresh(QueryId query_id, ObjectId object_id) override {
     return dedup_.AcceptFresh(query_id, object_id);
   }
 
   // Delivers one already-deduplicated match. `publish_us` is the publish
   // timestamp carried from the facade/engine. Thread-safe, lock-free
   // lookup.
-  void Deliver(const MatchResult& m, int64_t publish_us);
+  void Deliver(const MatchResult& m, int64_t publish_us) override;
 
   // Batch variant for the worker loop: `pending` carries query/object ids
   // and publish_us; deliver_us is stamped by each session. Contiguous runs
   // for the same session enqueue under one session lock.
-  void DeliverBatch(const Delivery* pending, size_t n);
+  void DeliverBatch(const Delivery* pending, size_t n) override;
 
   // --- introspection --------------------------------------------------------
   std::shared_ptr<SubscriberSession> Lookup(QueryId id) const;

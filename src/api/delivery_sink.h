@@ -1,0 +1,38 @@
+#ifndef PS2_API_DELIVERY_SINK_H_
+#define PS2_API_DELIVERY_SINK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "api/delivery.h"
+#include "core/query.h"
+
+namespace ps2 {
+
+// Where an engine's dedup-fresh matches go. The two implementations are the
+// in-process DeliveryRouter (matches land directly in subscriber sessions)
+// and the shard fabric's per-shard egress (matches are serialized onto the
+// transport and delivered by the front-end router) — the engine hot path is
+// identical either way, so a single-process deployment and an N-shard one
+// run the same worker code.
+//
+// Contract (what ThreadedEngine's workers rely on):
+//   - AcceptFresh is the (query, object) duplicate filter; a match is
+//     delivered at most once per window. Thread-safe.
+//   - Deliver/DeliverBatch receive only matches AcceptFresh approved;
+//     `publish_us` carries the publish timestamp end to end so
+//     publish->deliver latency stays honest across any number of hops.
+//     Called concurrently from worker threads; may block (session
+//     backpressure) but must only stall the calling worker.
+class DeliverySink {
+ public:
+  virtual ~DeliverySink() = default;
+
+  virtual bool AcceptFresh(QueryId query_id, ObjectId object_id) = 0;
+  virtual void Deliver(const MatchResult& m, int64_t publish_us) = 0;
+  virtual void DeliverBatch(const Delivery* pending, size_t n) = 0;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_API_DELIVERY_SINK_H_

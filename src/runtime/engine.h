@@ -11,7 +11,7 @@
 
 namespace ps2 {
 
-class DeliveryRouter;
+class DeliverySink;
 class Wal;
 struct RecoveredState;
 
@@ -53,12 +53,14 @@ struct EngineOptions {
   // Subscription mutations are journaled by the facade before submission.
   Wal* wal = nullptr;
 
-  // When non-null, worker threads deduplicate through this router's shared
-  // (query, object) window and deliver every fresh match straight to the
-  // subscriber sessions (see api/delivery_router.h) — no merger hop.
-  // Not owned; must outlive the engine. PS2Stream::Start() wires its own
-  // router here so started-mode delivery matches the synchronous facade.
-  DeliveryRouter* delivery = nullptr;
+  // When non-null, worker threads deduplicate through this sink's shared
+  // (query, object) window and deliver every fresh match straight through
+  // it — no merger hop. In-process the sink is a DeliveryRouter (matches
+  // land in subscriber sessions); in the shard fabric it is a per-shard
+  // egress that serializes matches onto the transport. Not owned; must
+  // outlive the engine. PS2Stream::Start() wires its own router here so
+  // started-mode delivery matches the synchronous facade.
+  DeliverySink* delivery = nullptr;
 };
 
 // A runtime that executes a tuple stream against a Cluster. The two

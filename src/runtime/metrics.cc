@@ -13,8 +13,71 @@ double RunReport::AvgWorkerMemory() const {
   return sum / worker_memory_bytes.size();
 }
 
+void RunReport::MergeShard(const RunReport& shard) {
+  tuples_processed += shard.tuples_processed;
+  objects += shard.objects;
+  inserts += shard.inserts;
+  deletes += shard.deletes;
+  matches_delivered += shard.matches_delivered;
+  duplicates_suppressed += shard.duplicates_suppressed;
+  matches_emitted += shard.matches_emitted;
+  objects_discarded += shard.objects_discarded;
+  session_deliveries += shard.session_deliveries;
+  session_drops += shard.session_drops;
+  matches_unrouted += shard.matches_unrouted;
+  // Shards ran concurrently: the fleet's wall time is the slowest shard's,
+  // and throughput is the merged totals over that time — summing per-shard
+  // rates would double-count the overlap.
+  wall_seconds = std::max(wall_seconds, shard.wall_seconds);
+  throughput_tps =
+      wall_seconds > 0 ? tuples_processed / wall_seconds : 0.0;
+  latency.Merge(shard.latency);
+  delivery_latency.Merge(shard.delivery_latency);
+  per_worker_tuples.insert(per_worker_tuples.end(),
+                           shard.per_worker_tuples.begin(),
+                           shard.per_worker_tuples.end());
+  dispatcher_memory_bytes += shard.dispatcher_memory_bytes;
+  worker_memory_bytes.insert(worker_memory_bytes.end(),
+                             shard.worker_memory_bytes.begin(),
+                             shard.worker_memory_bytes.end());
+  dispatch.Merge(shard.dispatch);
+  adjustments += shard.adjustments;
+  cells_migrated += shard.cells_migrated;
+  queries_migrated += shard.queries_migrated;
+  bytes_migrated += shard.bytes_migrated;
+  routing_epochs += shard.routing_epochs;
+  dedup_kills += shard.dedup_kills;
+  wait_spins += shard.wait_spins;
+  wait_parks += shard.wait_parks;
+  audit_mismatches += shard.audit_mismatches;
+  worker_ring_highwater.insert(worker_ring_highwater.end(),
+                               shard.worker_ring_highwater.begin(),
+                               shard.worker_ring_highwater.end());
+  shards += shard.shards;
+}
+
+std::string FleetSummary(const std::vector<RunReport>& shard_reports,
+                         const RunReport& fleet) {
+  std::string out;
+  char buf[64];
+  for (size_t i = 0; i < shard_reports.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "shard %zu: ", i);
+    out += buf;
+    out += shard_reports[i].Summary();
+    out += '\n';
+  }
+  out += "fleet:   ";
+  out += fleet.Summary();
+  return out;
+}
+
 std::string RunReport::Summary() const {
   char buf[448];
+  std::string out;
+  if (shards > 1) {
+    std::snprintf(buf, sizeof(buf), "shards=%d ", shards);
+    out = buf;
+  }
   std::snprintf(buf, sizeof(buf),
                 "tuples=%llu tps=%.0f emitted=%llu delivered=%llu "
                 "dups=%llu lat{%s}",
@@ -24,7 +87,7 @@ std::string RunReport::Summary() const {
                 static_cast<unsigned long long>(matches_delivered),
                 static_cast<unsigned long long>(duplicates_suppressed),
                 latency.Summary().c_str());
-  std::string out = buf;
+  out += buf;
   if (session_deliveries > 0 || session_drops > 0 || matches_unrouted > 0) {
     std::snprintf(buf, sizeof(buf),
                   " sessions{delivered=%llu dropped=%llu unrouted=%llu "

@@ -60,12 +60,31 @@ struct RunReport {
   // worker; producer-side estimate).
   std::vector<uint64_t> worker_ring_highwater;
 
+  // Engine shards this report covers: 1 for a single engine, N after
+  // MergeShard folded a fleet together (the shard fabric's Stop()).
+  int shards = 1;
+
   double AvgWorkerMemory() const;
   double MaxWorkerShare() const;  // max per-worker tuples / total
 
-  // One-line digest (throughput, match counters, latency) for bench logs.
+  // Folds one shard's report into this fleet report: counters sum,
+  // histograms and dispatch stats merge, per-worker vectors append (so the
+  // fleet report lists every worker of every shard), wall time is the
+  // slowest shard's (they ran concurrently), and throughput is recomputed
+  // over the merged totals.
+  void MergeShard(const RunReport& shard);
+
+  // One-line digest (throughput, match counters, latency) for bench logs;
+  // prefixed with the shard count when the report covers a fleet.
   std::string Summary() const;
 };
+
+// Per-shard sections followed by the fleet-total Summary() line — what a
+// multi-shard bench or test prints to show both the balance across shards
+// and the aggregate. `shard_reports` are the individual engines' reports,
+// `fleet` the MergeShard() fold of them.
+std::string FleetSummary(const std::vector<RunReport>& shard_reports,
+                         const RunReport& fleet);
 
 }  // namespace ps2
 

@@ -1,12 +1,31 @@
 #include "runtime/ps2stream.h"
 
 #include <algorithm>
+#include <filesystem>
 
 #include "adjust/touch_tracking_executor.h"
 #include "common/stopwatch.h"
 #include "partition/plan.h"
 
 namespace ps2 {
+
+namespace {
+
+// Gathers the per-shard option subset the fabric consumes out of the
+// facade's option block.
+ShardedEngineConfig FabricConfig(const PS2StreamOptions& options) {
+  ShardedEngineConfig config;
+  config.fabric = options.sharding;
+  config.partitioner = options.partitioner;
+  config.partition = options.partition;
+  config.cluster = options.cluster;
+  config.engine = options.engine;
+  config.engine.window_capacity = options.window_capacity;
+  config.durability = options.durability;
+  return config;
+}
+
+}  // namespace
 
 PS2Stream::PS2Stream(PS2StreamOptions options)
     : options_(std::move(options)),
@@ -32,6 +51,15 @@ PS2Stream::~PS2Stream() {
 
 void PS2Stream::Bootstrap(const WorkloadSample& sample) {
   AccumulateVocabularyCounts(sample, vocab_);
+  if (options_.sharding.num_shards > 1) {
+    // Multi-shard mode: the fabric owns plan building, the engine fleet and
+    // per-shard durability; the facade keeps the vocabulary, the delivery
+    // router and the subscription registry — the client API is unchanged.
+    fabric_ = std::make_unique<ShardedEngine>(FabricConfig(options_),
+                                              &vocab_, delivery_.get());
+    fabric_->Bootstrap(sample);
+    return;
+  }
   auto partitioner = MakePartitioner(options_.partitioner);
   PartitionPlan plan;
   if (partitioner != nullptr && !sample.empty()) {
@@ -76,6 +104,29 @@ bool PS2Stream::Restore(const std::string& dir) {
   if (!dir.empty()) config.dir = dir;
   if (config.dir.empty()) return false;
   config.enabled = true;
+
+  // A SHARDMAP file marks the directory as a fabric root; restore then
+  // reassembles the whole fleet (the shard count comes from the file, not
+  // the options, so a facade configured for 1 shard still restores an
+  // N-shard directory correctly).
+  if (std::filesystem::exists(ShardMapPath(config.dir))) {
+    PS2StreamOptions fabric_options = options_;
+    fabric_options.durability = config;
+    auto fabric = std::make_unique<ShardedEngine>(
+        FabricConfig(fabric_options), &vocab_, delivery_.get());
+    ShardedEngine::Recovery recovery;
+    if (!fabric->Restore(config.dir, &recovery)) {
+      vocab_ = Vocabulary();
+      return false;
+    }
+    fabric_ = std::move(fabric);
+    subscriptions_.clear();
+    for (const STSQuery& q : recovery.queries) subscriptions_[q.id] = q;
+    next_query_id_ = recovery.next_query_id;
+    next_object_id_ = recovery.next_object_id;
+    options_.durability = config;
+    return true;
+  }
 
   auto state = std::make_unique<RecoveredState>();
   if (!RecoverState(config.dir, state.get())) return false;
@@ -123,6 +174,9 @@ bool PS2Stream::Restore(const std::string& dir) {
 }
 
 bool PS2Stream::Checkpoint() {
+  if (fabric_ != nullptr) {
+    return fabric_->Checkpoint(next_query_id_, next_object_id_);
+  }
   if (durability_ == nullptr || !bootstrapped()) return false;
   const uint64_t seq = durability_->BeginCheckpoint();
   if (seq == 0) return false;
@@ -160,6 +214,10 @@ bool PS2Stream::CommitCheckpointLocked(uint64_t seq) {
 }
 
 void PS2Stream::MaybeCheckpoint() {
+  if (fabric_ != nullptr) {
+    if (fabric_->ShouldCheckpoint()) Checkpoint();
+    return;
+  }
   if (durability_ != nullptr && durability_->ShouldCheckpoint()) {
     Checkpoint();
   }
@@ -169,6 +227,7 @@ void PS2Stream::Kill() {
   // A crash tears sessions down with the process: release any worker
   // blocked on a full kBlock queue so Abort() can join the threads.
   delivery_->SetDraining(true);
+  if (fabric_ != nullptr) fabric_->Kill();
   if (engine_ != nullptr && engine_->running()) engine_->Abort();
   engine_.reset();
   // Abandon, not Close: a graceful close would flush the WAL's pending
@@ -183,6 +242,10 @@ void PS2Stream::Kill() {
 
 void PS2Stream::Start() {
   if (!bootstrapped() || started()) return;
+  if (fabric_ != nullptr) {
+    fabric_->Start();
+    return;
+  }
   EngineOptions opts = options_.engine;
   opts.window_capacity = options_.window_capacity;
   if (options_.auto_adjust) {
@@ -203,7 +266,8 @@ RunReport PS2Stream::Stop() {
   // consumer that stopped pulling would park a worker thread forever and
   // Stop() could never join it.
   delivery_->SetDraining(true);
-  RunReport report = engine_->Stop();
+  RunReport report =
+      fabric_ != nullptr ? fabric_->Stop() : engine_->Stop();
   delivery_->SetDraining(false);
   const SessionStats sessions = delivery_->AggregateStats();
   report.session_deliveries = sessions.delivered;
@@ -306,6 +370,13 @@ Status PS2Stream::Post(const SpatioTextualObject& object) {
 
 Status PS2Stream::PostInternal(const SpatioTextualObject& object) {
   next_object_id_ = std::max(next_object_id_, object.id + 1);
+  if (fabric_ != nullptr) {
+    // The fabric routes the object to its cell's owner shard and carries
+    // this publish stamp through the wire, so delivery latency covers the
+    // whole cross-shard path.
+    fabric_->Post(object, NowMicros());
+    return Status::Ok();
+  }
   const StreamTuple tuple = StreamTuple::OfObject(object);
   if (started()) {
     // The engine stamps the publish time at Submit and its workers deliver
@@ -333,6 +404,17 @@ Status PS2Stream::PostInternal(const SpatioTextualObject& object) {
 
 void PS2Stream::ApplySubscribe(const STSQuery& query,
                                const SessionPtr& session) {
+  if (fabric_ != nullptr) {
+    subscriptions_[query.id] = query;
+    next_query_id_ = std::max(next_query_id_, query.id + 1);
+    // Route before any shard can index the query, same as below.
+    if (session != nullptr) delivery_->Route(query.id, session);
+    // Per-shard WAL-before-apply happens inside: every shard journals the
+    // insert to its own log before indexing it.
+    fabric_->Subscribe(query);
+    MaybeCheckpoint();
+    return;
+  }
   // WAL-before-apply: once the append returns (durable per the configured
   // sync mode), a crash at any later point recovers this subscription.
   if (durability_ != nullptr) {
@@ -358,6 +440,13 @@ void PS2Stream::ApplySubscribe(const STSQuery& query,
 void PS2Stream::ApplyUnsubscribe(QueryId id) {
   auto it = subscriptions_.find(id);
   if (it == subscriptions_.end()) return;
+  if (fabric_ != nullptr) {
+    subscriptions_.erase(it);
+    delivery_->Unroute(id);
+    fabric_->Unsubscribe(id);
+    MaybeCheckpoint();
+    return;
+  }
   if (durability_ != nullptr) {
     durability_->wal().AppendUnsubscribe(id);
   }

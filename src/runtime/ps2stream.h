@@ -14,6 +14,7 @@
 #include "core/workload_stats.h"
 #include "persist/durability.h"
 #include "runtime/threaded_engine.h"
+#include "shard/sharded_engine.h"
 #include "text/tokenizer.h"
 
 namespace ps2 {
@@ -73,6 +74,12 @@ struct PS2StreamOptions {
   EngineOptions engine;
   // Subscription WAL + checkpoints + crash recovery.
   DurabilityConfig durability;
+  // Shard fabric: num_shards > 1 runs N engine shards behind this facade
+  // (see shard/sharded_engine.h). The client API, delivery contract and
+  // dedup semantics are unchanged at any shard count; partition/cluster/
+  // engine/durability options above apply per shard, with durability.dir
+  // becoming the fabric root (<dir>/SHARDMAP + <dir>/shard-<i>/).
+  ShardFabricOptions sharding;
 };
 
 class PS2Stream : private SubscriptionBackend {
@@ -148,6 +155,7 @@ class PS2Stream : private SubscriptionBackend {
   // has hit no I/O error. Goes false (sticky) if the log ever fails to
   // write — mutations after that point would not survive a crash.
   bool durable() const {
+    if (fabric_ != nullptr) return fabric_->durable();
     return durability_ != nullptr && durability_->healthy();
   }
   // The durability manager (nullptr when durability is off) — exposed for
@@ -173,8 +181,13 @@ class PS2Stream : private SubscriptionBackend {
   // kBlock sessions degrade to drop-newest so a stalled consumer cannot
   // wedge shutdown. No-op RunReport when the engine is not running.
   RunReport Stop();
-  bool started() const { return engine_ != nullptr && engine_->running(); }
+  bool started() const {
+    return (engine_ != nullptr && engine_->running()) ||
+           (fabric_ != nullptr && fabric_->started());
+  }
   ThreadedEngine* engine() { return engine_.get(); }
+  // The shard fabric (nullptr when sharding.num_shards <= 1).
+  ShardedEngine* fabric() { return fabric_.get(); }
 
   // --- introspection --------------------------------------------------------
   Vocabulary& vocabulary() { return vocab_; }
@@ -184,7 +197,12 @@ class PS2Stream : private SubscriptionBackend {
   const std::unordered_map<QueryId, STSQuery>& subscriptions() const {
     return subscriptions_;
   }
-  bool bootstrapped() const { return cluster_ != nullptr; }
+  // Note: cluster() is only meaningful in single-engine mode; use fabric()
+  // for per-shard access when sharding is on.
+  bool bootstrapped() const {
+    return cluster_ != nullptr ||
+           (fabric_ != nullptr && fabric_->bootstrapped());
+  }
   const std::vector<AdjustReport>& adjustments() const {
     return adjustments_;
   }
@@ -218,6 +236,10 @@ class PS2Stream : private SubscriptionBackend {
   std::unique_ptr<Cluster> cluster_;
   std::unique_ptr<LoadController> controller_;
   std::unique_ptr<ThreadedEngine> engine_;
+  // Multi-shard mode (sharding.num_shards > 1): the fabric replaces
+  // cluster_/engine_/durability_ wholesale; exactly one of the two stacks
+  // is ever live.
+  std::unique_ptr<ShardedEngine> fabric_;
   std::unique_ptr<DurabilityManager> durability_;
   std::unique_ptr<RecoveredState> recovered_;
   std::unique_ptr<DeliveryRouter> delivery_;

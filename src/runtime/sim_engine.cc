@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <deque>
 
-#include "api/delivery_router.h"
+#include "api/delivery_sink.h"
 #include "common/stopwatch.h"
 
 namespace ps2 {

@@ -18,15 +18,16 @@ namespace ps2 {
 // two involved workers for the modeled migration duration. This reproduces
 // the paper's Figures 12(b,c), 14, 15 and 16 without the nondeterminism of
 // wall-clock scheduling.
-class DeliveryRouter;
+class DeliverySink;
 
 struct SimOptions {
   double arrival_rate_tps = 50000.0;
-  // When non-null, every merger-fresh match is delivered to the routed
-  // subscriber session with *virtual* timestamps (publish = arrival,
-  // deliver = the worker's service finish), so session latency histograms
-  // report simulated publish->deliver time. Not owned.
-  DeliveryRouter* delivery = nullptr;
+  // When non-null, every merger-fresh match is delivered through this sink
+  // (in-process: a DeliveryRouter, so matches reach the routed subscriber
+  // sessions) with *virtual* timestamps (publish = arrival, deliver = the
+  // worker's service finish), so session latency histograms report
+  // simulated publish->deliver time. Not owned.
+  DeliverySink* delivery = nullptr;
   // Per-delivery service times. With measure_service = true, the *measured*
   // CPU time of the actual GI2 operation is used and these constants become
   // the fixed per-delivery overhead (queueing/serialization/network) added

@@ -4,7 +4,7 @@
 #include <functional>
 
 #include "adjust/touch_tracking_executor.h"
-#include "api/delivery_router.h"
+#include "api/delivery_sink.h"
 #include "common/stopwatch.h"
 #include "persist/wal.h"
 #include "runtime/spsc_ring.h"
@@ -73,6 +73,12 @@ struct ThreadedEngine::WorkerState {
   // completed, applied counts updates this worker's Gi2 absorbed.
   std::atomic<uint64_t> query_items_enqueued{0};
   std::atomic<uint64_t> query_items_applied{0};
+  // Object flow accounting for Quiesce(): enqueued counts object items
+  // whose ring push completed; done counts items this worker fully
+  // processed *including* the delivery-sink handoff, so done == enqueued
+  // means every pre-barrier match has left the engine.
+  std::atomic<uint64_t> object_items_enqueued{0};
+  std::atomic<uint64_t> object_items_done{0};
   uint64_t tuples = 0;        // worker-thread local, read after join
   uint64_t dedup_fresh = 0;   // matches this worker delivered (post-dedup)
   uint64_t dedup_kills = 0;   // duplicates the dedup window suppressed
@@ -85,6 +91,11 @@ struct ThreadedEngine::DispatcherState {
   int index = 0;        // which per-worker data ring this dispatcher feeds
   DispatchStats stats;  // thread-local; merged into the report on Stop
   std::vector<WorkerId> scratch;
+
+  // Tuples this dispatcher finished routing (incremented after every
+  // worker-ring push for the tuple completed); paired with the submit
+  // side's per-dispatcher push counter by Quiesce().
+  std::atomic<uint64_t> tuples_routed{0};
 
   // This dispatcher's input ring and its parked-consumer wakeup.
   EventCount ready;
@@ -315,6 +326,7 @@ void ThreadedEngine::Start() {
   migrations_installed_.store(0, std::memory_order_relaxed);
   audit_mismatches_.store(0, std::memory_order_relaxed);
   submitted_objects_ = submitted_inserts_ = submitted_deletes_ = 0;
+  submit_pushed_.assign(static_cast<size_t>(num_dispatchers), 0);
   submit_rr_ = 0;
   submit_wait_ = WaitContext(options_.wait_strategy);
   last_check_tuples_ = 0;
@@ -336,11 +348,11 @@ void ThreadedEngine::Start() {
   }
 }
 
-bool ThreadedEngine::Submit(const StreamTuple& tuple) {
+bool ThreadedEngine::Submit(const StreamTuple& tuple, int64_t publish_us) {
   if (!running_) return false;
   SeqTuple st;
   st.tuple = tuple;
-  st.submit_us = NowMicros();
+  st.submit_us = publish_us != 0 ? publish_us : NowMicros();
   if (tuple.kind == TupleKind::kObject) {
     st.updates_before = updates_submitted_.load(std::memory_order_relaxed);
     ++submitted_objects_;
@@ -362,11 +374,42 @@ bool ThreadedEngine::Submit(const StreamTuple& tuple) {
   // serialize them through a cross-dispatcher ping-pong on the gate — and
   // let a same-query insert/delete pair race through different rings.
   if (tuple.kind != TupleKind::kObject) {
-    return dispatchers_[0]->input->Push(std::move(st), submit_wait_);
+    const bool ok = dispatchers_[0]->input->Push(std::move(st), submit_wait_);
+    if (ok) ++submit_pushed_[0];
+    return ok;
   }
-  DispatcherState& ds = *dispatchers_[submit_rr_];
+  const size_t d = submit_rr_;
+  DispatcherState& ds = *dispatchers_[d];
   if (++submit_rr_ == dispatchers_.size()) submit_rr_ = 0;
-  return ds.input->Push(std::move(st), submit_wait_);
+  const bool ok = ds.input->Push(std::move(st), submit_wait_);
+  if (ok) ++submit_pushed_[d];
+  return ok;
+}
+
+void ThreadedEngine::Quiesce() {
+  if (!running_) return;
+  // Stage 1: every submitted tuple has been routed. tuples_routed is
+  // incremented after the last worker-ring push for the tuple (and after
+  // the per-worker enqueued counters moved), so once it catches up with
+  // the submit-side counter, every downstream enqueue is visible.
+  for (size_t d = 0; d < dispatchers_.size(); ++d) {
+    while (dispatchers_[d]->tuples_routed.load(std::memory_order_acquire) <
+           submit_pushed_[d]) {
+      std::this_thread::yield();
+    }
+  }
+  // Stage 2: every enqueued item has been fully processed. For objects,
+  // "done" includes the DeliverBatch handoff to the sink, so in-process
+  // deliveries are in their sessions and fabric deliveries are on the
+  // transport when this returns.
+  for (const auto& ws : workers_) {
+    while (ws->query_items_applied.load(std::memory_order_acquire) !=
+               ws->query_items_enqueued.load(std::memory_order_acquire) ||
+           ws->object_items_done.load(std::memory_order_acquire) !=
+               ws->object_items_enqueued.load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
 }
 
 void ThreadedEngine::JoinAll() {
@@ -478,6 +521,7 @@ void ThreadedEngine::RouteOne(DispatcherState& ds, SeqTuple& st,
     if (tuple.kind != TupleKind::kObject) {
       updates_published_.fetch_add(1, std::memory_order_release);
     }
+    ds.tuples_routed.fetch_add(1, std::memory_order_release);
     return;
   }
   const int64_t now = NowMicros();
@@ -515,7 +559,10 @@ void ThreadedEngine::RouteOne(DispatcherState& ds, SeqTuple& st,
         // the deferral always resolves.
         item.updates_before =
             workers_[w]->query_items_enqueued.load(std::memory_order_acquire);
-        workers_[w]->rings[ds.index]->Push(std::move(item), push_wait);
+        if (workers_[w]->rings[ds.index]->Push(std::move(item), push_wait)) {
+          workers_[w]->object_items_enqueued.fetch_add(
+              1, std::memory_order_release);
+        }
       }
     }
     ds.routing_epoch.store(UINT64_MAX, std::memory_order_release);
@@ -547,6 +594,7 @@ void ThreadedEngine::RouteOne(DispatcherState& ds, SeqTuple& st,
     update_pushes_.fetch_sub(1);
     updates_published_.fetch_add(1, std::memory_order_release);
   }
+  ds.tuples_routed.fetch_add(1, std::memory_order_release);
   if (options_.controller.enabled) ds.RecordWindow(tuple);
 }
 
@@ -557,7 +605,7 @@ void ThreadedEngine::RouteOne(DispatcherState& ds, SeqTuple& st,
 void ThreadedEngine::WorkerLoop(int w) {
   WorkerState& ws = *workers_[w];
   Gi2Index& gi2 = cluster_.worker(w);
-  DeliveryRouter* delivery = options_.delivery;
+  DeliverySink* delivery = options_.delivery;
   const size_t nsrc = ws.rings.size();
 
   // Per-ring staging: the popped batch plus a cursor. Items are consumed
@@ -629,6 +677,8 @@ void ThreadedEngine::WorkerLoop(int w) {
         // first, so the counter must keep moving or the join deadlocks.
         if (item.tuple.kind != TupleKind::kObject) {
           ws.query_items_applied.fetch_add(1);
+        } else {
+          ws.object_items_done.fetch_add(1, std::memory_order_release);
         }
         ++sc.cur;
         continue;
@@ -729,6 +779,10 @@ void ThreadedEngine::WorkerLoop(int w) {
           ws.latency.Record(
               static_cast<double>(done_us - sc.buf[k].enqueue_us));
         }
+        // After the sink handoff: Quiesce()'s done == enqueued then implies
+        // every pre-barrier match has left the engine.
+        ws.object_items_done.fetch_add(end - sc.cur,
+                                       std::memory_order_release);
         sc.cur = end;
         continue;
       }

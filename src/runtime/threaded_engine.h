@@ -73,8 +73,19 @@ class ThreadedEngine : public Engine {
   // Spawns dispatcher, worker and (if configured) controller threads.
   void Start();
   // Enqueues one tuple; blocks under backpressure. Single producer. Returns
-  // false once the engine stopped.
-  bool Submit(const StreamTuple& tuple);
+  // false once the engine stopped. `publish_us` is the publish timestamp
+  // delivery latency is measured from; 0 (the default) stamps the current
+  // time — the shard fabric passes the front-end's stamp through so the
+  // metric covers the whole cross-shard path.
+  bool Submit(const StreamTuple& tuple, int64_t publish_us = 0);
+  // Blocks until everything submitted before this call is fully processed:
+  // routed by the dispatchers, applied by the workers, and (for matches)
+  // handed to the delivery sink. The engine keeps running. Must be called
+  // from the submitting thread (single producer — a concurrent Submit would
+  // make "everything submitted before" a moving target); safe against the
+  // controller thread. The shard fabric's cross-shard migration uses this
+  // as its drain barrier before removing a migrated cell's source copies.
+  void Quiesce();
   // Drains in-flight work, joins all threads and reports the run.
   RunReport Stop();
   // Hard stop: tears the engine down *without* draining — queued tuples are
@@ -157,6 +168,9 @@ class ThreadedEngine : public Engine {
   uint64_t submitted_objects_ = 0;
   uint64_t submitted_inserts_ = 0;
   uint64_t submitted_deletes_ = 0;
+  // Tuples pushed per dispatcher; paired with each dispatcher's
+  // tuples_routed counter by Quiesce(). Plain (submit thread only).
+  std::vector<uint64_t> submit_pushed_;
   size_t submit_rr_ = 0;
   WaitContext submit_wait_{WaitStrategy::kBlocking};
 

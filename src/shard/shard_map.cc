@@ -1,0 +1,128 @@
+#include "shard/shard_map.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/bytes.h"
+
+namespace ps2 {
+
+namespace {
+constexpr char kMagic[4] = {'P', 'S', '2', 'M'};
+constexpr uint32_t kFormatVersion = 1;
+}  // namespace
+
+ShardMap ShardMap::Uniform(uint32_t num_cells, int num_shards) {
+  ShardMap map;
+  map.num_shards = num_shards < 1 ? 1 : num_shards;
+  map.cell_shard.resize(num_cells);
+  for (uint32_t c = 0; c < num_cells; ++c) {
+    map.cell_shard[c] = static_cast<ShardId>(c % map.num_shards);
+  }
+  return map;
+}
+
+ShardMapPublisher::ShardMapPublisher(ShardMap initial)
+    : map_(std::make_shared<const ShardMap>(std::move(initial))) {}
+
+std::shared_ptr<const ShardMap> ShardMapPublisher::Current() const {
+  return std::atomic_load(&map_);
+}
+
+void ShardMapPublisher::Publish(ShardMap next) {
+  next.version = Current()->version + 1;
+  std::atomic_store(&map_,
+                    std::shared_ptr<const ShardMap>(
+                        std::make_shared<const ShardMap>(std::move(next))));
+}
+
+std::string EncodeShardMap(const ShardMap& map) {
+  ByteWriter w;
+  w.Bytes(kMagic, sizeof(kMagic));
+  w.Pod<uint32_t>(kFormatVersion);
+  w.Pod<uint64_t>(map.version);
+  w.Pod<uint32_t>(static_cast<uint32_t>(map.num_shards));
+  w.Pod<uint32_t>(static_cast<uint32_t>(map.cell_shard.size()));
+  for (const ShardId s : map.cell_shard) w.Pod<int32_t>(s);
+  std::string out = w.TakeBuffer();
+  const uint32_t crc = Crc32(out.data(), out.size());
+  ByteWriter tail;
+  tail.Pod<uint32_t>(crc);
+  out += tail.buffer();
+  return out;
+}
+
+bool DecodeShardMap(const std::string& bytes, ShardMap* out) {
+  if (bytes.size() < sizeof(kMagic) + 4 * sizeof(uint32_t) +
+                         sizeof(uint64_t)) {
+    return false;
+  }
+  const uint32_t crc = Crc32(bytes.data(), bytes.size() - sizeof(uint32_t));
+  ByteReader r(bytes.data(), bytes.size());
+  char magic[4];
+  r.Bytes(magic, sizeof(magic));
+  if (!r.ok() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return false;
+  }
+  if (r.Pod<uint32_t>() != kFormatVersion) return false;
+  ShardMap map;
+  map.version = r.Pod<uint64_t>();
+  map.num_shards = static_cast<int>(r.Pod<uint32_t>());
+  const uint32_t num_cells = r.Pod<uint32_t>();
+  if (!r.FitsCount(num_cells, sizeof(int32_t))) return false;
+  map.cell_shard.reserve(num_cells);
+  for (uint32_t c = 0; c < num_cells && r.ok(); ++c) {
+    map.cell_shard.push_back(r.Pod<int32_t>());
+  }
+  if (!r.ok() || r.remaining() != sizeof(uint32_t)) return false;
+  if (r.Pod<uint32_t>() != crc) return false;
+  if (map.num_shards < 1) return false;
+  for (const ShardId s : map.cell_shard) {
+    if (s < 0 || s >= map.num_shards) return false;
+  }
+  *out = std::move(map);
+  return true;
+}
+
+bool WriteShardMapFile(const std::string& path, const ShardMap& map) {
+  const std::string bytes = EncodeShardMap(map);
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool written =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!written) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  // Atomic commit: a crash leaves either the old complete file or the new
+  // one, never a torn assignment.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool ReadShardMapFile(const std::string& path, ShardMap* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::string bytes;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return DecodeShardMap(bytes, out);
+}
+
+std::string ShardMapPath(const std::string& root_dir) {
+  return root_dir + "/SHARDMAP";
+}
+
+std::string ShardDirPath(const std::string& root_dir, ShardId shard) {
+  return root_dir + "/shard-" + std::to_string(shard);
+}
+
+}  // namespace ps2

@@ -1,0 +1,79 @@
+#ifndef PS2_SHARD_SHARD_MAP_H_
+#define PS2_SHARD_SHARD_MAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spatial/grid.h"
+
+namespace ps2 {
+
+// Which engine shard owns each grid cell. The fabric's analogue of the
+// partition plan one level up: the plan maps cells to *workers inside a
+// shard*, the ShardMap maps cells to *shards*. An object is routed to
+// exactly one shard (the owner of the cell containing its location); a
+// query lives on every shard owning at least one cell its region overlaps.
+using ShardId = int32_t;
+
+struct ShardMap {
+  // Monotone publish version (the fabric's ShardMapPublisher stamps it).
+  uint64_t version = 1;
+  int num_shards = 1;
+  std::vector<ShardId> cell_shard;  // size == grid.NumCells()
+
+  ShardId OwnerOf(CellId c) const {
+    return c < cell_shard.size() ? cell_shard[c] : 0;
+  }
+
+  // Initial assignment: cells striped uniformly across shards. Load
+  // imbalance is the balancer's job (hot cells migrate between shards),
+  // exactly as the in-shard plan starts uniform before local adjustment.
+  static ShardMap Uniform(uint32_t num_cells, int num_shards);
+};
+
+// Snapshot-published ShardMap, following the RoutingSnapshot pattern: the
+// current map is an immutable shared_ptr swapped atomically on publish, so
+// the routing path pays one atomic load and never blocks a migration.
+// Publishes are serialized by the fabric's control plane (the facade
+// thread); readers may be anywhere.
+class ShardMapPublisher {
+ public:
+  explicit ShardMapPublisher(ShardMap initial);
+
+  std::shared_ptr<const ShardMap> Current() const;
+
+  // Installs `next` as the current map with version = current + 1.
+  void Publish(ShardMap next);
+
+ private:
+  std::shared_ptr<const ShardMap> map_;  // std::atomic_load/store
+};
+
+// --- on-disk format ----------------------------------------------------------
+// The fabric's root durable directory holds one SHARDMAP file next to the
+// per-shard subdirectories:
+//
+//   <root>/SHARDMAP        cell -> shard assignment (this format)
+//   <root>/shard-<i>/      one DurabilityManager directory per shard
+//
+// Layout (little-endian): magic "PS2M", u32 format version, u64 map
+// version, u32 num_shards, u32 num_cells, i32 cell_shard[], u32 crc32 over
+// everything before it. Rewritten via temp-file + atomic rename after every
+// cross-shard migration, so a crash always leaves a complete, CRC-valid
+// assignment (the pre- or post-migration one — both are safe, because a
+// migration's copy phase runs before the publish).
+std::string EncodeShardMap(const ShardMap& map);
+bool DecodeShardMap(const std::string& bytes, ShardMap* out);
+
+bool WriteShardMapFile(const std::string& path, const ShardMap& map);
+bool ReadShardMapFile(const std::string& path, ShardMap* out);
+
+// Path helpers for the fabric's durable layout.
+std::string ShardMapPath(const std::string& root_dir);
+std::string ShardDirPath(const std::string& root_dir, ShardId shard);
+
+}  // namespace ps2
+
+#endif  // PS2_SHARD_SHARD_MAP_H_

@@ -1,0 +1,673 @@
+#include "shard/sharded_engine.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "partition/plan.h"
+
+namespace ps2 {
+
+namespace {
+
+// Remaps a term id minted against `from` onto the fabric vocabulary `to`.
+// Every term that ever reached a WAL or checkpoint carries its string, so
+// the string is the cross-shard identity; ids whose string is unknown
+// (never materialized in `from`) are kept verbatim — they can only come
+// from positional codecs whose ids agree by construction.
+TermId RemapTerm(TermId t, const Vocabulary& from, Vocabulary& to) {
+  if (t >= from.size()) return t;
+  const std::string& s = from.TermString(t);
+  if (s.empty()) return t;
+  return to.Intern(s);
+}
+
+STSQuery RemapQuery(const STSQuery& q, const Vocabulary& from,
+                    Vocabulary& to) {
+  STSQuery out;
+  out.id = q.id;
+  out.region = q.region;
+  std::vector<std::vector<TermId>> clauses;
+  clauses.reserve(q.expr.clauses().size());
+  for (const auto& clause : q.expr.clauses()) {
+    std::vector<TermId> mapped;
+    mapped.reserve(clause.size());
+    for (const TermId t : clause) mapped.push_back(RemapTerm(t, from, to));
+    clauses.push_back(std::move(mapped));
+  }
+  out.expr = BoolExpr::Cnf(std::move(clauses));
+  return out;
+}
+
+// Rebuilds a recovered plan's text routers with term ids remapped onto the
+// fabric vocabulary. Routers are shared across the cells of one kdt leaf;
+// preserve that sharing so the remapped plan keeps the original footprint.
+PartitionPlan RemapPlan(PartitionPlan plan, const Vocabulary& from,
+                        Vocabulary& to) {
+  std::unordered_map<const TermRouter*, std::shared_ptr<const TermRouter>>
+      remapped;
+  for (CellRoute& route : plan.cells) {
+    if (route.text == nullptr) continue;
+    auto it = remapped.find(route.text.get());
+    if (it == remapped.end()) {
+      std::unordered_map<TermId, WorkerId> map;
+      map.reserve(route.text->term_map().size());
+      for (const auto& [t, w] : route.text->term_map()) {
+        map[RemapTerm(t, from, to)] = w;
+      }
+      it = remapped
+               .emplace(route.text.get(),
+                        std::make_shared<const TermRouter>(
+                            std::move(map), route.text->workers()))
+               .first;
+    }
+    route.text = it->second;
+  }
+  return plan;
+}
+
+uint64_t ShardBit(ShardId s) { return uint64_t{1} << s; }
+
+}  // namespace
+
+// --- ShardEgress -------------------------------------------------------------
+
+void ShardedEngine::ShardEgress::Deliver(const MatchResult& m,
+                                         int64_t publish_us) {
+  WireMatch wm;
+  wm.query_id = m.query_id;
+  wm.object_id = m.object_id;
+  wm.publish_us = publish_us;
+  transport_->Send(shard_, kFrontEndpoint, EncodeMatchBatchFrame(&wm, 1));
+}
+
+void ShardedEngine::ShardEgress::DeliverBatch(const Delivery* pending,
+                                              size_t n) {
+  if (n == 0) return;
+  std::vector<WireMatch> wire(n);
+  for (size_t i = 0; i < n; ++i) {
+    wire[i].query_id = pending[i].query_id;
+    wire[i].object_id = pending[i].object_id;
+    wire[i].publish_us = pending[i].publish_us;
+  }
+  transport_->Send(shard_, kFrontEndpoint,
+                   EncodeMatchBatchFrame(wire.data(), wire.size()));
+}
+
+// --- construction / bootstrap ------------------------------------------------
+
+ShardedEngine::ShardedEngine(ShardedEngineConfig config, Vocabulary* vocab,
+                             DeliverySink* front_sink, Transport* transport)
+    : config_(std::move(config)),
+      vocab_(vocab),
+      front_sink_(front_sink),
+      balancer_(config_.fabric.rebalance_sigma) {
+  if (config_.fabric.num_shards < 1) config_.fabric.num_shards = 1;
+  if (config_.fabric.num_shards > 64) config_.fabric.num_shards = 64;
+  if (transport != nullptr) {
+    transport_ = transport;
+  } else {
+    owned_transport_ = std::make_unique<LoopbackTransport>();
+    transport_ = owned_transport_.get();
+  }
+  transport_->RegisterEndpoint(
+      kFrontEndpoint, [this](ShardId from, const std::string& frame) {
+        FrontReceive(from, frame);
+      });
+}
+
+ShardedEngine::~ShardedEngine() {
+  if (started_) Stop();
+}
+
+void ShardedEngine::Bootstrap(const WorkloadSample& sample) {
+  if (bootstrapped()) return;
+  // Same plan construction as the single-engine facade: every shard indexes
+  // against the identical plan, so cell ownership is the only thing that
+  // distinguishes them.
+  auto partitioner = MakePartitioner(config_.partitioner);
+  PartitionPlan plan;
+  if (partitioner != nullptr && !sample.empty()) {
+    plan = partitioner->Build(sample, *vocab_, config_.partition);
+  } else {
+    plan.grid = GridSpec(sample.empty() ? Rect(0, 0, 1, 1) : sample.Bounds(),
+                         config_.partition.grid_k);
+    plan.num_workers = config_.partition.num_workers;
+    plan.cells.resize(plan.grid.NumCells());
+    for (CellId c = 0; c < plan.grid.NumCells(); ++c) {
+      plan.cells[c].worker =
+          static_cast<WorkerId>(c % config_.partition.num_workers);
+    }
+  }
+
+  map_ = std::make_unique<ShardMapPublisher>(
+      ShardMap::Uniform(plan.grid.NumCells(), config_.fabric.num_shards));
+  StandUpShards(std::move(plan), config_.fabric.num_shards);
+
+  if (config_.durability.enabled && !config_.durability.dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.durability.dir, ec);
+    durable_root_ =
+        !ec && WriteShardMapFile(ShardMapPath(config_.durability.dir),
+                                 *map_->Current());
+    if (durable_root_) {
+      for (auto& shard : shards_) InitShardDurability(*shard);
+    }
+  }
+}
+
+void ShardedEngine::StandUpShards(PartitionPlan plan, int num_shards) {
+  cell_queries_.assign(plan.grid.NumCells(), {});
+  cell_objects_.assign(plan.grid.NumCells(), 0);
+  shards_.reserve(static_cast<size_t>(num_shards));
+  for (int i = 0; i < num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->id = static_cast<ShardId>(i);
+    // Every shard gets a copy of the plan (CellRoute text routers are
+    // shared_ptr, so the copies share the heavy term maps).
+    shard->cluster =
+        std::make_unique<Cluster>(plan, vocab_, config_.cluster);
+    shard->egress = std::make_unique<ShardEgress>(
+        shard->id, transport_, config_.dedup_window_capacity);
+    Shard* raw = shard.get();
+    transport_->RegisterEndpoint(
+        shard->id, [this, raw](ShardId from, const std::string& frame) {
+          ShardReceive(*raw, from, frame);
+        });
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void ShardedEngine::InitShardDurability(Shard& shard) {
+  DurabilityConfig config = config_.durability;
+  config.dir = ShardDirPath(config_.durability.dir, shard.id);
+  shard.durability = std::make_unique<DurabilityManager>(config);
+  CheckpointView view;
+  view.next_query_id = 1;
+  view.next_object_id = 1;
+  view.vocab = vocab_;
+  const PartitionPlan& current = shard.cluster->router().plan();
+  view.plan = &current;
+  if (!shard.durability->Initialize(view)) shard.durability.reset();
+}
+
+// --- restore -----------------------------------------------------------------
+
+bool ShardedEngine::Restore(const std::string& dir, Recovery* out) {
+  if (bootstrapped() || dir.empty()) return false;
+  ShardMap disk_map;
+  if (!ReadShardMapFile(ShardMapPath(dir), &disk_map)) return false;
+
+  std::vector<std::unique_ptr<RecoveredState>> states;
+  states.reserve(static_cast<size_t>(disk_map.num_shards));
+  for (int i = 0; i < disk_map.num_shards; ++i) {
+    auto state = std::make_unique<RecoveredState>();
+    if (!RecoverState(ShardDirPath(dir, static_cast<ShardId>(i)),
+                      state.get())) {
+      return false;
+    }
+    states.push_back(std::move(state));
+  }
+
+  // Shard 0's recovered vocabulary becomes the fabric's; the other shards'
+  // queries and plans are remapped onto it by term string (ids minted by
+  // WAL replay after the last checkpoint can differ per shard).
+  *vocab_ = std::move(states[0]->vocab);
+
+  config_.durability.enabled = true;
+  config_.durability.dir = dir;
+  map_ = std::make_unique<ShardMapPublisher>(disk_map);
+  durable_root_ = true;
+
+  Recovery recovery;
+  StandUpShards(states[0]->plan, disk_map.num_shards);
+  for (int i = 0; i < disk_map.num_shards; ++i) {
+    Shard& shard = *shards_[static_cast<size_t>(i)];
+    RecoveredState& state = *states[static_cast<size_t>(i)];
+    if (i > 0) {
+      // Re-seat shard i on its own recovered plan, remapped to the fabric
+      // vocabulary (installed in-shard migrations may differ per shard).
+      shard.cluster = std::make_unique<Cluster>(
+          RemapPlan(std::move(state.plan), state.vocab, *vocab_), vocab_,
+          config_.cluster);
+    }
+    for (const STSQuery& recovered : state.queries) {
+      const STSQuery q = i == 0
+                             ? recovered
+                             : RemapQuery(recovered, state.vocab, *vocab_);
+      shard.cluster->Process(StreamTuple::OfInsert(q));
+      auto it = queries_.find(q.id);
+      if (it == queries_.end()) {
+        RegisterPlacement(q, ShardBit(shard.id));
+      } else {
+        query_shards_[q.id] |= ShardBit(shard.id);
+      }
+    }
+    shard.cluster->ResetLoadWindow();
+
+    DurabilityConfig config = config_.durability;
+    config.dir = ShardDirPath(dir, shard.id);
+    shard.durability = std::make_unique<DurabilityManager>(config);
+    const uint64_t resume_seq =
+        state.checkpoint_seq +
+        (state.wal_segments > 0
+             ? static_cast<uint64_t>(state.wal_segments) - 1
+             : 0);
+    if (!shard.durability->Resume(resume_seq, state.last_lsn + 1)) {
+      // A shard that recovered but cannot log again would silently lose
+      // every post-restore mutation; fail the whole fleet restore.
+      shards_.clear();
+      queries_.clear();
+      query_shards_.clear();
+      map_.reset();
+      durable_root_ = false;
+      return false;
+    }
+    recovery.next_query_id =
+        std::max(recovery.next_query_id, state.next_query_id);
+    recovery.next_object_id =
+        std::max(recovery.next_object_id, state.next_object_id);
+  }
+
+  recovery.queries.reserve(queries_.size());
+  for (const auto& [id, q] : queries_) recovery.queries.push_back(q);
+  recovery.shardmap_version = disk_map.version;
+  if (out != nullptr) *out = std::move(recovery);
+  return true;
+}
+
+// --- control plane -----------------------------------------------------------
+
+void ShardedEngine::RegisterPlacement(const STSQuery& query, uint64_t mask) {
+  queries_[query.id] = query;
+  query_shards_[query.id] = mask;
+  const GridSpec& grid = shards_[0]->cluster->router().plan().grid;
+  grid.CellsOverlapping(query.region, &overlap_scratch_);
+  for (const CellId c : overlap_scratch_) {
+    cell_queries_[c].push_back(query.id);
+  }
+}
+
+void ShardedEngine::ForgetPlacement(QueryId id) {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) return;
+  const GridSpec& grid = shards_[0]->cluster->router().plan().grid;
+  grid.CellsOverlapping(it->second.region, &overlap_scratch_);
+  for (const CellId c : overlap_scratch_) {
+    auto& list = cell_queries_[c];
+    list.erase(std::remove(list.begin(), list.end(), id), list.end());
+  }
+  queries_.erase(it);
+  query_shards_.erase(id);
+}
+
+uint64_t ShardedEngine::query_shard_mask(QueryId id) const {
+  auto it = query_shards_.find(id);
+  return it == query_shards_.end() ? 0 : it->second;
+}
+
+void ShardedEngine::Subscribe(const STSQuery& query) {
+  const auto map = map_->Current();
+  const GridSpec& grid = shards_[0]->cluster->router().plan().grid;
+  grid.CellsOverlapping(query.region, &overlap_scratch_);
+  uint64_t mask = 0;
+  for (const CellId c : overlap_scratch_) mask |= ShardBit(map->OwnerOf(c));
+  if (mask == 0 && !shards_.empty()) mask = ShardBit(0);
+  RegisterPlacement(query, mask);
+  const std::string frame = EncodeQueryFrame(FrameKind::kQueryInsert, query);
+  for (auto& shard : shards_) {
+    if (mask & ShardBit(shard->id)) SendToShard(shard->id, frame);
+  }
+}
+
+void ShardedEngine::Unsubscribe(QueryId id) {
+  auto it = queries_.find(id);
+  if (it == queries_.end()) return;
+  const uint64_t mask = query_shards_[id];
+  const std::string frame =
+      EncodeQueryFrame(FrameKind::kQueryDelete, it->second);
+  ForgetPlacement(id);
+  for (auto& shard : shards_) {
+    if (mask & ShardBit(shard->id)) SendToShard(shard->id, frame);
+  }
+}
+
+void ShardedEngine::Post(const SpatioTextualObject& object,
+                         int64_t publish_us) {
+  const auto map = map_->Current();
+  const GridSpec& grid = shards_[0]->cluster->router().plan().grid;
+  const CellId cell = grid.CellOf(object.loc);
+  const ShardId owner = map->OwnerOf(cell);
+  if (cell < cell_objects_.size()) ++cell_objects_[cell];
+  SendToShard(owner, EncodeObjectFrame(object, publish_us));
+  if (config_.fabric.auto_rebalance &&
+      ++posts_since_rebalance_ >= config_.fabric.rebalance_check_interval) {
+    posts_since_rebalance_ = 0;
+    MaybeRebalance();
+  }
+}
+
+void ShardedEngine::SendToShard(ShardId shard, const std::string& frame) {
+  transport_->Send(kFrontEndpoint, shard, frame);
+}
+
+// --- transport receive paths -------------------------------------------------
+
+void ShardedEngine::ShardReceive(Shard& shard, ShardId from,
+                                 const std::string& frame) {
+  (void)from;
+  Frame f;
+  if (!DecodeFrame(frame, &f)) {
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (f.kind == FrameKind::kDrain) {
+    // Flush barrier for migrations: everything submitted to this shard
+    // before the marker must be fully processed (including match handoff)
+    // before the ack. With the loopback transport this handler runs on the
+    // facade thread — the shard engine's single submitting thread — which
+    // is exactly what Quiesce() requires.
+    if (shard.engine != nullptr) shard.engine->Quiesce();
+    transport_->Send(shard.id, kFrontEndpoint,
+                     EncodeDrainFrame(FrameKind::kDrainAck, f.drain_token));
+    return;
+  }
+  ShardApply(shard, f);
+}
+
+void ShardedEngine::ShardApply(Shard& shard, const Frame& f) {
+  switch (f.kind) {
+    case FrameKind::kObject: {
+      const StreamTuple tuple = StreamTuple::OfObject(f.object);
+      if (shard.engine != nullptr) {
+        shard.engine->Submit(tuple, f.publish_us);
+        return;
+      }
+      std::vector<MatchResult> fresh;
+      shard.cluster->Process(tuple, &fresh);
+      std::vector<Delivery> accepted;
+      accepted.reserve(fresh.size());
+      for (const MatchResult& m : fresh) {
+        if (shard.egress->AcceptFresh(m.query_id, m.object_id)) {
+          Delivery d;
+          d.query_id = m.query_id;
+          d.object_id = m.object_id;
+          d.publish_us = f.publish_us;
+          accepted.push_back(d);
+        }
+      }
+      if (!accepted.empty()) {
+        shard.egress->DeliverBatch(accepted.data(), accepted.size());
+      }
+      return;
+    }
+    case FrameKind::kQueryInsert: {
+      // WAL-before-apply, against this shard's own log: the copy phase of a
+      // cross-shard migration is durable the same way a fresh subscribe is.
+      if (shard.durability != nullptr) {
+        shard.durability->wal().AppendSubscribe(f.query, *vocab_);
+      }
+      const StreamTuple tuple = StreamTuple::OfInsert(f.query);
+      if (shard.engine != nullptr) {
+        shard.engine->Submit(tuple);
+      } else {
+        shard.cluster->Process(tuple);
+      }
+      return;
+    }
+    case FrameKind::kQueryDelete: {
+      if (shard.durability != nullptr) {
+        shard.durability->wal().AppendUnsubscribe(f.query.id);
+      }
+      const StreamTuple tuple = StreamTuple::OfDelete(f.query);
+      if (shard.engine != nullptr) {
+        shard.engine->Submit(tuple);
+      } else {
+        shard.cluster->Process(tuple);
+      }
+      return;
+    }
+    default:
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+  }
+}
+
+void ShardedEngine::FrontReceive(ShardId from, const std::string& frame) {
+  (void)from;
+  Frame f;
+  if (!DecodeFrame(frame, &f)) {
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  switch (f.kind) {
+    case FrameKind::kMatchBatch:
+      // Concurrent path: worker threads of every shard land here. The
+      // front sink (DeliveryRouter) is thread-safe, and its dedup window is
+      // the fleet-wide belt-and-braces filter — a match double-produced
+      // around a migration (old and new owner both matched it) dies here.
+      for (const WireMatch& wm : f.matches) {
+        MatchResult m;
+        m.query_id = wm.query_id;
+        m.object_id = wm.object_id;
+        if (front_sink_->AcceptFresh(m.query_id, m.object_id)) {
+          front_sink_->Deliver(m, wm.publish_us);
+        }
+      }
+      return;
+    case FrameKind::kDrainAck:
+      last_drain_ack_.store(f.drain_token, std::memory_order_release);
+      return;
+    default:
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+  }
+}
+
+// --- engines -----------------------------------------------------------------
+
+void ShardedEngine::Start() {
+  if (!bootstrapped() || started_) return;
+  for (auto& shard : shards_) {
+    EngineOptions opts = config_.engine;
+    if (shard->durability != nullptr) {
+      opts.wal = &shard->durability->wal();
+    }
+    opts.delivery = shard->egress.get();
+    shard->engine =
+        std::make_unique<ThreadedEngine>(*shard->cluster, opts);
+    shard->engine->Start();
+  }
+  started_ = true;
+}
+
+RunReport ShardedEngine::Stop() {
+  RunReport fleet;
+  if (!started_) return fleet;
+  shard_reports_.clear();
+  for (auto& shard : shards_) {
+    shard_reports_.push_back(shard->engine->Stop());
+    shard->engine.reset();
+  }
+  started_ = false;
+  fleet = shard_reports_[0];
+  for (size_t i = 1; i < shard_reports_.size(); ++i) {
+    fleet.MergeShard(shard_reports_[i]);
+  }
+  return fleet;
+}
+
+// --- durability --------------------------------------------------------------
+
+bool ShardedEngine::durable() const {
+  if (!durable_root_) return false;
+  for (const auto& shard : shards_) {
+    if (shard->durability == nullptr || !shard->durability->healthy()) {
+      return false;
+    }
+  }
+  return !shards_.empty();
+}
+
+bool ShardedEngine::Checkpoint(QueryId next_query_id,
+                               ObjectId next_object_id) {
+  if (!durable_root_ || !bootstrapped()) return false;
+  bool ok = true;
+  for (auto& shard : shards_) {
+    if (shard->durability == nullptr) {
+      ok = false;
+      continue;
+    }
+    const uint64_t seq = shard->durability->BeginCheckpoint();
+    if (seq == 0) {
+      ok = false;
+      continue;
+    }
+    CheckpointView view;
+    view.next_query_id = next_query_id;
+    view.next_object_id = next_object_id;
+    view.vocab = vocab_;
+    PartitionPlan plan = shard->engine != nullptr
+                             ? shard->engine->PlanCopy()
+                             : shard->cluster->router().plan();
+    view.plan = &plan;
+    const uint64_t bit = ShardBit(shard->id);
+    for (const auto& [id, q] : queries_) {
+      if (query_shards_[id] & bit) view.queries.push_back(&q);
+    }
+    ok = shard->durability->CommitCheckpoint(seq, std::move(view)) && ok;
+  }
+  ok = WriteShardMapFile(ShardMapPath(config_.durability.dir),
+                         *map_->Current()) &&
+       ok;
+  return ok;
+}
+
+bool ShardedEngine::ShouldCheckpoint() const {
+  for (const auto& shard : shards_) {
+    if (shard->durability != nullptr &&
+        shard->durability->ShouldCheckpoint()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ShardedEngine::Kill() {
+  for (auto& shard : shards_) {
+    if (shard->engine != nullptr && shard->engine->running()) {
+      shard->engine->Abort();
+    }
+    shard->engine.reset();
+    if (shard->durability != nullptr) shard->durability->Abandon();
+    shard->durability.reset();
+  }
+  started_ = false;
+}
+
+// --- migration ---------------------------------------------------------------
+
+void ShardedEngine::DrainShard(ShardId shard) {
+  const uint64_t token = next_drain_token_++;
+  SendToShard(shard, EncodeDrainFrame(FrameKind::kDrain, token));
+  // Loopback answers before Send returns; an async transport delivers the
+  // ack from another thread, so spin on the token (control plane only —
+  // never on the data path).
+  while (last_drain_ack_.load(std::memory_order_acquire) < token) {
+  }
+}
+
+ShardMigrationStats ShardedEngine::MigrateCell(CellId cell, ShardId from,
+                                               ShardId to) {
+  ShardMigrationStats stats;
+  if (!bootstrapped() || from == to) return stats;
+  if (from < 0 || to < 0 || from >= num_shards() || to >= num_shards()) {
+    return stats;
+  }
+  const auto map = map_->Current();
+  if (map->OwnerOf(cell) != from) return stats;
+
+  // Phase 1 — copy: the new owner gets every query indexed in the cell it
+  // doesn't already hold. The shard WALs each insert before applying, so a
+  // crash mid-copy recovers a harmless superset (the map still names
+  // `from`; the extra copies at `to` produce no deliveries because no
+  // object routes there yet).
+  const uint64_t to_bit = ShardBit(to);
+  for (const QueryId id : cell_queries_[cell]) {
+    uint64_t& mask = query_shards_[id];
+    if (mask & to_bit) continue;
+    const std::string frame =
+        EncodeQueryFrame(FrameKind::kQueryInsert, queries_[id]);
+    SendToShard(to, frame);
+    mask |= to_bit;
+    ++stats.queries_copied;
+    stats.bytes += frame.size();
+  }
+
+  // Phase 2 — publish: objects for the cell now route to `to`. Persist the
+  // new assignment before the source sheds anything.
+  ShardMap next = *map;
+  next.cell_shard[cell] = to;
+  map_->Publish(std::move(next));
+  if (durable_root_) {
+    WriteShardMapFile(ShardMapPath(config_.durability.dir),
+                      *map_->Current());
+  }
+
+  // Phase 3 — drain: flush everything in flight at the old owner. Objects
+  // routed under the old map finish matching (and their matches reach the
+  // front) before any source copy disappears.
+  DrainShard(from);
+
+  // Phase 4 — remove: retire source copies whose query no longer overlaps
+  // any `from`-owned cell under the new map. In-flight duplicates this
+  // window can still produce die in the front router's dedup window.
+  const auto published = map_->Current();
+  const GridSpec& grid = shards_[0]->cluster->router().plan().grid;
+  const uint64_t from_bit = ShardBit(from);
+  std::vector<QueryId> shed = cell_queries_[cell];
+  for (const QueryId id : shed) {
+    auto it = queries_.find(id);
+    if (it == queries_.end()) continue;
+    uint64_t& mask = query_shards_[id];
+    if (!(mask & from_bit)) continue;
+    grid.CellsOverlapping(it->second.region, &overlap_scratch_);
+    bool still_needed = false;
+    for (const CellId c : overlap_scratch_) {
+      if (published->OwnerOf(c) == from) {
+        still_needed = true;
+        break;
+      }
+    }
+    if (still_needed) continue;
+    SendToShard(from,
+                EncodeQueryFrame(FrameKind::kQueryDelete, it->second));
+    mask &= ~from_bit;
+    ++stats.queries_removed;
+  }
+  ++cells_migrated_;
+  return stats;
+}
+
+size_t ShardedEngine::MaybeRebalance() {
+  if (!bootstrapped() || num_shards() < 2) return 0;
+  const std::vector<ShardMove> moves =
+      balancer_.Plan(*map_->Current(), cell_objects_,
+                     config_.fabric.rebalance_max_moves);
+  size_t migrated = 0;
+  for (const ShardMove& move : moves) {
+    const ShardMigrationStats stats =
+        MigrateCell(move.cell, move.from, move.to);
+    if (stats.queries_copied > 0 || stats.queries_removed > 0 ||
+        map_->Current()->OwnerOf(move.cell) == move.to) {
+      ++migrated;
+    }
+  }
+  // New observation window after acting (same policy as ResetLoadWindow).
+  if (!moves.empty()) {
+    std::fill(cell_objects_.begin(), cell_objects_.end(), 0);
+  }
+  return migrated;
+}
+
+}  // namespace ps2

@@ -1,0 +1,274 @@
+#ifndef PS2_SHARD_SHARDED_ENGINE_H_
+#define PS2_SHARD_SHARDED_ENGINE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adjust/shard_balancer.h"
+#include "api/delivery_sink.h"
+#include "common/dedup_window.h"
+#include "core/workload_stats.h"
+#include "persist/durability.h"
+#include "runtime/metrics.h"
+#include "runtime/threaded_engine.h"
+#include "shard/shard_map.h"
+#include "shard/transport.h"
+#include "shard/wire.h"
+
+namespace ps2 {
+
+// Fabric-level knobs, embedded in PS2StreamOptions. num_shards > 1 turns
+// the facade's single engine into a ShardedEngine fleet; everything else
+// (partitioner, cluster, engine, durability config) is reused from the
+// facade's existing options, applied per shard.
+struct ShardFabricOptions {
+  // Engine shards behind the facade. 1 (the default) = no fabric, the
+  // facade runs its classic single engine. Capped at 64 (the front tracks
+  // query placement as a 64-bit shard mask).
+  int num_shards = 1;
+  // Cross-shard auto-rebalancing: every `rebalance_check_interval` posts,
+  // plan hot-cell migrations whenever the per-shard object-load balance
+  // factor exceeds `rebalance_sigma`, and execute them inline on the
+  // posting thread (the fabric's control plane).
+  bool auto_rebalance = false;
+  size_t rebalance_check_interval = 100000;
+  double rebalance_sigma = 1.5;
+  size_t rebalance_max_moves = 4;
+};
+
+// Everything the fabric needs from the facade's option set.
+struct ShardedEngineConfig {
+  ShardFabricOptions fabric;
+  std::string partitioner = "hybrid";
+  PartitionConfig partition;
+  ClusterOptions cluster;
+  EngineOptions engine;          // per-shard threaded engine
+  DurabilityConfig durability;   // dir = fabric root; shard-<i>/ underneath
+  size_t dedup_window_capacity = 1 << 16;  // per-shard egress dedup
+};
+
+// Cross-shard migration outcome (the fabric analogue of MigrationStats).
+struct ShardMigrationStats {
+  size_t queries_copied = 0;   // insert frames shipped to the new owner
+  size_t queries_removed = 0;  // source copies retired after the drain
+  size_t bytes = 0;            // wire bytes of the copy phase
+};
+
+// N engine shards behind the unchanged PS2Stream facade. Each shard is a
+// full Cluster over the *complete* partition plan (and, in started mode, a
+// ThreadedEngine running it); ownership is defined solely by the ShardMap:
+//
+//   front (facade thread)                         shard i
+//   ─────────────────────                         ───────
+//   Post ── ShardMap.OwnerOf(cell) ──► object frame ──► Submit/Process
+//   Subscribe ─ overlap owners ──────► insert frame ──► WAL + index
+//                                                  ▼
+//   DeliveryRouter ◄──────────────── match batch frames (worker threads)
+//
+// The invariant that makes this correct at any shard count: a query sent to
+// a shard is indexed there in *all* plan cells overlapping its region, and
+// an object is routed to exactly one shard (the owner of its location's
+// cell). So a shard produces exactly the matches for the cells it owns or
+// acquires, no shard double-delivers, and migrating a cell needs only
+// "make sure the new owner has the cell's queries" — not a re-index.
+//
+// All inter-shard traffic is wire frames (shard/wire.h) through the
+// Transport seam; with the in-process loopback, control-plane frames run
+// synchronously on the facade thread (preserving the engines'
+// single-producer contract) and match frames flow from worker threads into
+// the thread-safe DeliveryRouter.
+//
+// Cross-shard live migration reuses the engine's proven shape, WAL'd at
+// every step: copy (insert frames to the new owner, journaled
+// before-apply) -> publish (ShardMap swap + SHARDMAP rewrite) -> drain
+// (marker through the old owner's engine, Quiesce barrier) -> remove
+// (delete frames retire source copies no longer reachable). A crash at any
+// point recovers to a superset of the needed placement; the delivery
+// router's dedup window kills the transient cross-shard duplicates.
+//
+// Durability composes per shard: <root>/SHARDMAP plus one DurabilityManager
+// directory <root>/shard-<i> each with its own WAL and checkpoints.
+// Restore() reassembles the fleet: reads the SHARDMAP, recovers every
+// shard, adopts shard 0's vocabulary and remaps the others' term ids onto
+// it (WAL replay interns strings in arrival order, so shards can disagree
+// on ids minted after the last checkpoint), and rebuilds the front's
+// placement registries from the recovered per-shard query sets.
+//
+// Threading contract: every control-plane method (Subscribe, Post,
+// MigrateCell, Checkpoint, Start/Stop, ...) is facade-thread-only, exactly
+// like PS2Stream itself. Only the match-frame receive path is concurrent.
+class ShardedEngine {
+ public:
+  // What Restore() hands back to the facade so it can rebuild its
+  // subscription registry and id counters.
+  struct Recovery {
+    std::vector<STSQuery> queries;  // union across shards, fabric vocab ids
+    QueryId next_query_id = 1;
+    ObjectId next_object_id = 1;
+    uint64_t shardmap_version = 0;
+  };
+
+  // `vocab` and `front_sink` are the facade's vocabulary and delivery
+  // router; the fabric shares both. `transport` overrides the in-process
+  // loopback (nullptr = own one) — the seam a networked deployment swaps.
+  ShardedEngine(ShardedEngineConfig config, Vocabulary* vocab,
+                DeliverySink* front_sink, Transport* transport = nullptr);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  // Builds one partition plan from the sample (same construction as the
+  // single-engine facade) and stands up every shard over it. With
+  // durability enabled, writes <root>/SHARDMAP and initializes each
+  // shard's durable directory.
+  void Bootstrap(const WorkloadSample& sample);
+
+  // Rebuilds the fleet from a fabric root directory. Returns false (fabric
+  // untouched) when the directory holds no usable SHARDMAP or any shard
+  // fails recovery.
+  bool Restore(const std::string& dir, Recovery* out);
+
+  bool bootstrapped() const { return !shards_.empty(); }
+
+  // --- control plane (facade thread) ---------------------------------------
+  // Sends the query to every shard owning a cell its region overlaps and
+  // records the placement. The facade routes the delivery session first.
+  void Subscribe(const STSQuery& query);
+  void Unsubscribe(QueryId id);
+  // Routes the object to its cell's owner. `publish_us` is the facade's
+  // publish stamp, carried through the wire so delivery latency covers the
+  // full cross-shard path.
+  void Post(const SpatioTextualObject& object, int64_t publish_us);
+
+  // --- engines --------------------------------------------------------------
+  void Start();
+  bool started() const { return started_; }
+  // Stops every shard engine and returns the fleet report (per-shard
+  // reports merged via RunReport::MergeShard; shard_reports() keeps the
+  // individual ones).
+  RunReport Stop();
+
+  // --- durability -----------------------------------------------------------
+  bool durable() const;
+  // Checkpoints every shard (the facade's id counters are embedded in each
+  // shard's checkpoint so any single shard can restore them).
+  bool Checkpoint(QueryId next_query_id, ObjectId next_object_id);
+  bool ShouldCheckpoint() const;
+  // Crash simulation: aborts engines, abandons WALs. Fleet unusable after.
+  void Kill();
+
+  // --- migration ------------------------------------------------------------
+  // Moves cell ownership `from` -> `to` with the copy/publish/drain/remove
+  // protocol. No-op stats when the cell is not currently owned by `from`.
+  ShardMigrationStats MigrateCell(CellId cell, ShardId from, ShardId to);
+  // Runs the balancer over the window's per-cell object counts and executes
+  // the planned moves. Returns the number of cells migrated.
+  size_t MaybeRebalance();
+
+  // --- introspection --------------------------------------------------------
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  std::shared_ptr<const ShardMap> shard_map() const {
+    return map_->Current();
+  }
+  Cluster& shard_cluster(ShardId s) { return *shards_[s]->cluster; }
+  ThreadedEngine* shard_engine(ShardId s) {
+    return shards_[s]->engine.get();
+  }
+  const std::vector<RunReport>& shard_reports() const {
+    return shard_reports_;
+  }
+  uint64_t query_shard_mask(QueryId id) const;
+  uint64_t cells_migrated() const { return cells_migrated_; }
+  uint64_t decode_errors() const {
+    return decode_errors_.load(std::memory_order_relaxed);
+  }
+  Transport& transport() { return *transport_; }
+
+ private:
+  // Per-shard delivery sink: worker threads (or the sync Process path)
+  // dedup through a shard-local window, then ship match-batch frames to
+  // the front. Lives next to its shard, not inside the engine — the seam
+  // the engines already expose (EngineOptions::delivery) is all the fabric
+  // needs.
+  class ShardEgress final : public DeliverySink {
+   public:
+    ShardEgress(ShardId shard, Transport* transport, size_t window_capacity)
+        : shard_(shard), transport_(transport), dedup_(window_capacity) {}
+
+    bool AcceptFresh(QueryId query_id, ObjectId object_id) override {
+      return dedup_.AcceptFresh(query_id, object_id);
+    }
+    void Deliver(const MatchResult& m, int64_t publish_us) override;
+    void DeliverBatch(const Delivery* pending, size_t n) override;
+
+   private:
+    ShardId shard_;
+    Transport* transport_;
+    ShardedDedupWindow dedup_;
+  };
+
+  struct Shard {
+    ShardId id = 0;
+    std::unique_ptr<Cluster> cluster;
+    std::unique_ptr<ThreadedEngine> engine;
+    std::unique_ptr<DurabilityManager> durability;
+    std::unique_ptr<ShardEgress> egress;
+  };
+
+  void StandUpShards(PartitionPlan plan, int num_shards);
+  void InitShardDurability(Shard& shard);
+  // Transport receive handlers.
+  void ShardReceive(Shard& shard, ShardId from, const std::string& frame);
+  void FrontReceive(ShardId from, const std::string& frame);
+  // Applies a decoded control frame on a shard (WAL-before-apply; Submit in
+  // started mode, inline Process otherwise).
+  void ShardApply(Shard& shard, const Frame& f);
+  void SendToShard(ShardId shard, const std::string& frame);
+  // Registry maintenance.
+  void RegisterPlacement(const STSQuery& query, uint64_t mask);
+  void ForgetPlacement(QueryId id);
+  // Drain barrier: flushes everything in flight at `shard`.
+  void DrainShard(ShardId shard);
+
+  ShardedEngineConfig config_;
+  Vocabulary* vocab_;
+  DeliverySink* front_sink_;
+  std::unique_ptr<Transport> owned_transport_;
+  Transport* transport_;
+
+  std::unique_ptr<ShardMapPublisher> map_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  bool started_ = false;
+  bool durable_root_ = false;  // SHARDMAP file is being maintained
+
+  // Front placement registries (facade thread only).
+  std::unordered_map<QueryId, uint64_t> query_shards_;  // shard bitmask
+  std::vector<std::vector<QueryId>> cell_queries_;
+  std::unordered_map<QueryId, STSQuery> queries_;
+
+  // Balancer signal: objects routed per cell since the last window reset.
+  std::vector<uint64_t> cell_objects_;
+  size_t posts_since_rebalance_ = 0;
+  ShardBalancer balancer_;
+
+  // Drain handshake (loopback answers synchronously; the atomic keeps the
+  // handshake correct for an async transport delivering acks from another
+  // thread).
+  uint64_t next_drain_token_ = 1;
+  std::atomic<uint64_t> last_drain_ack_{0};
+
+  std::atomic<uint64_t> decode_errors_{0};
+  uint64_t cells_migrated_ = 0;
+  std::vector<RunReport> shard_reports_;
+
+  std::vector<CellId> overlap_scratch_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_SHARD_SHARDED_ENGINE_H_

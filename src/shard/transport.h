@@ -1,0 +1,77 @@
+#ifndef PS2_SHARD_TRANSPORT_H_
+#define PS2_SHARD_TRANSPORT_H_
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "shard/shard_map.h"
+
+namespace ps2 {
+
+// The fabric's only inter-shard channel. Every byte between the front and
+// an engine shard — objects, query updates, match batches, drain markers —
+// is an encoded wire frame (shard/wire.h) pushed through Send(), so
+// swapping the in-process loopback for sockets is a transport change, not
+// an engine change.
+//
+// Endpoints are ShardIds plus the distinguished front endpoint below.
+// Handlers receive (from, frame) and must be safe for the transport's
+// delivery discipline; LoopbackTransport documents its own.
+inline constexpr ShardId kFrontEndpoint = -1;
+
+class Transport {
+ public:
+  using Handler = std::function<void(ShardId from, const std::string& frame)>;
+
+  virtual ~Transport() = default;
+
+  // Installs the receive handler for `endpoint`, replacing any previous
+  // one. Must complete before anyone Sends to that endpoint.
+  virtual void RegisterEndpoint(ShardId endpoint, Handler handler) = 0;
+
+  // Delivers one frame to `to`. Returns false if the endpoint is unknown.
+  virtual bool Send(ShardId from, ShardId to, const std::string& frame) = 0;
+};
+
+// In-process transport: Send() invokes the destination handler synchronously
+// on the caller's thread. That makes delivery ordering per (caller thread,
+// destination) FIFO for free and keeps the fabric's single-producer engine
+// contract intact — the front's facade thread is the only thread sending
+// control-plane frames to a shard, so the shard-side handler runs
+// single-producer too. Match frames flow shard -> front from many worker
+// threads concurrently; the front's handler must therefore be thread-safe
+// (the DeliveryRouter it feeds already is).
+//
+// The handler registry is mutated only during fabric setup/teardown; Send
+// takes a shared snapshot of the handler under the mutex but invokes it
+// outside, so handlers may themselves Send (e.g. a drain marker's ack)
+// without deadlocking.
+class LoopbackTransport final : public Transport {
+ public:
+  void RegisterEndpoint(ShardId endpoint, Handler handler) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    handlers_[endpoint] = std::move(handler);
+  }
+
+  bool Send(ShardId from, ShardId to, const std::string& frame) override {
+    Handler h;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = handlers_.find(to);
+      if (it == handlers_.end()) return false;
+      h = it->second;
+    }
+    h(from, frame);
+    return true;
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<ShardId, Handler> handlers_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_SHARD_TRANSPORT_H_

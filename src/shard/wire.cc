@@ -1,0 +1,147 @@
+#include "shard/wire.h"
+
+#include <utility>
+
+#include "common/bytes.h"
+#include "persist/record_codec.h"
+
+namespace ps2 {
+
+namespace {
+
+constexpr size_t kHeaderBytes = 1 + 2 * sizeof(uint32_t);
+
+// The CRC seeds with the kind byte so every header-or-payload single-byte
+// corruption is caught (the length field is cross-checked against the
+// actual frame size instead).
+uint32_t FrameCrc(uint8_t kind, const char* payload, size_t n) {
+  const uint32_t seed = Crc32(&kind, 1);
+  return Crc32(payload, n, seed);
+}
+
+std::string Seal(FrameKind kind, std::string payload) {
+  ByteWriter w;
+  w.Pod<uint8_t>(static_cast<uint8_t>(kind));
+  w.Pod<uint32_t>(static_cast<uint32_t>(payload.size()));
+  w.Pod<uint32_t>(
+      FrameCrc(static_cast<uint8_t>(kind), payload.data(), payload.size()));
+  std::string out = w.TakeBuffer();
+  out += payload;
+  return out;
+}
+
+bool DecodeObjectPayload(ByteReader& r, Frame* out) {
+  out->object.id = r.Pod<uint64_t>();
+  const double x = r.Pod<double>();
+  const double y = r.Pod<double>();
+  out->object.loc = Point{x, y};
+  out->object.timestamp_us = r.Pod<int64_t>();
+  out->publish_us = r.Pod<int64_t>();
+  const uint32_t nterms = r.Pod<uint32_t>();
+  if (!r.FitsCount(nterms, sizeof(uint32_t))) return false;
+  std::vector<TermId> terms;
+  terms.reserve(nterms);
+  for (uint32_t i = 0; i < nterms && r.ok(); ++i) {
+    terms.push_back(r.Pod<uint32_t>());
+  }
+  if (!r.ok()) return false;
+  // FromTerms re-sorts/dedups, so a hand-crafted frame cannot smuggle an
+  // unnormalized term list past the matcher's binary-search assumption.
+  const ObjectId id = out->object.id;
+  const Point loc = out->object.loc;
+  const int64_t ts = out->object.timestamp_us;
+  out->object = SpatioTextualObject::FromTerms(id, loc, std::move(terms));
+  out->object.timestamp_us = ts;
+  return true;
+}
+
+bool DecodeMatchBatchPayload(ByteReader& r, Frame* out) {
+  const uint32_t n = r.Pod<uint32_t>();
+  if (!r.FitsCount(n, 2 * sizeof(uint64_t) + sizeof(int64_t))) return false;
+  out->matches.reserve(n);
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    WireMatch m;
+    m.query_id = r.Pod<uint64_t>();
+    m.object_id = r.Pod<uint64_t>();
+    m.publish_us = r.Pod<int64_t>();
+    out->matches.push_back(m);
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+std::string EncodeObjectFrame(const SpatioTextualObject& o,
+                              int64_t publish_us) {
+  ByteWriter w;
+  w.Pod<uint64_t>(o.id);
+  w.Pod<double>(o.loc.x);
+  w.Pod<double>(o.loc.y);
+  w.Pod<int64_t>(o.timestamp_us);
+  w.Pod<int64_t>(publish_us);
+  w.Pod<uint32_t>(static_cast<uint32_t>(o.terms.size()));
+  for (const TermId t : o.terms) w.Pod<uint32_t>(t);
+  return Seal(FrameKind::kObject, w.TakeBuffer());
+}
+
+std::string EncodeQueryFrame(FrameKind kind, const STSQuery& q) {
+  ByteWriter w;
+  WriteQueryRecord(w, q,
+                   [](ByteWriter& bw, TermId t) { bw.Pod<uint32_t>(t); });
+  return Seal(kind, w.TakeBuffer());
+}
+
+std::string EncodeMatchBatchFrame(const WireMatch* matches, size_t n) {
+  ByteWriter w;
+  w.Pod<uint32_t>(static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    w.Pod<uint64_t>(matches[i].query_id);
+    w.Pod<uint64_t>(matches[i].object_id);
+    w.Pod<int64_t>(matches[i].publish_us);
+  }
+  return Seal(FrameKind::kMatchBatch, w.TakeBuffer());
+}
+
+std::string EncodeDrainFrame(FrameKind kind, uint64_t token) {
+  ByteWriter w;
+  w.Pod<uint64_t>(token);
+  return Seal(kind, w.TakeBuffer());
+}
+
+bool DecodeFrame(const std::string& frame, Frame* out) {
+  if (frame.size() < kHeaderBytes) return false;
+  ByteReader h(frame.data(), kHeaderBytes);
+  const uint8_t kind = h.Pod<uint8_t>();
+  const uint32_t payload_len = h.Pod<uint32_t>();
+  const uint32_t crc = h.Pod<uint32_t>();
+  if (frame.size() != kHeaderBytes + payload_len) return false;
+  const char* payload = frame.data() + kHeaderBytes;
+  if (FrameCrc(kind, payload, payload_len) != crc) return false;
+
+  *out = Frame();
+  ByteReader r(payload, payload_len);
+  switch (static_cast<FrameKind>(kind)) {
+    case FrameKind::kObject:
+      out->kind = FrameKind::kObject;
+      return DecodeObjectPayload(r, out) && r.remaining() == 0;
+    case FrameKind::kQueryInsert:
+    case FrameKind::kQueryDelete:
+      out->kind = static_cast<FrameKind>(kind);
+      return ReadQueryRecord(r, &out->query,
+                             [](ByteReader& br) {
+                               return static_cast<TermId>(br.Pod<uint32_t>());
+                             }) &&
+             r.remaining() == 0;
+    case FrameKind::kMatchBatch:
+      out->kind = FrameKind::kMatchBatch;
+      return DecodeMatchBatchPayload(r, out) && r.remaining() == 0;
+    case FrameKind::kDrain:
+    case FrameKind::kDrainAck:
+      out->kind = static_cast<FrameKind>(kind);
+      out->drain_token = r.Pod<uint64_t>();
+      return r.ok() && r.remaining() == 0;
+  }
+  return false;
+}
+
+}  // namespace ps2

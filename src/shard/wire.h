@@ -1,0 +1,69 @@
+#ifndef PS2_SHARD_WIRE_H_
+#define PS2_SHARD_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/object.h"
+#include "core/query.h"
+
+namespace ps2 {
+
+// Wire serde for everything that crosses the shard fabric's Transport seam:
+// published objects (front -> owner shard), query inserts/deletes (front ->
+// every overlapping shard, and shard-to-shard during migration copies),
+// match batches (shard -> front), and drain markers (the migration
+// protocol's flush barrier). One frame = one message:
+//
+//   u8 kind, u32 payload_len, u32 crc32(kind || payload), payload
+//
+// Payloads are little-endian via common/bytes; query payloads reuse the
+// persist layer's WriteQueryRecord/ReadQueryRecord shape with raw u32 term
+// ids (shards share one in-process vocabulary today; a socket transport
+// would swap in the WAL's self-contained string codec without touching the
+// frame layout). Decoding validates length and CRC before touching the
+// payload, so a corrupt or truncated frame fails cleanly instead of
+// poisoning a shard.
+enum class FrameKind : uint8_t {
+  kObject = 1,
+  kQueryInsert = 2,
+  kQueryDelete = 3,
+  kMatchBatch = 4,
+  kDrain = 5,
+  kDrainAck = 6,
+};
+
+// One delivered match on the wire: the ids plus the publish timestamp the
+// front stamped, so publish->deliver latency spans the whole cross-shard
+// path.
+struct WireMatch {
+  QueryId query_id = 0;
+  ObjectId object_id = 0;
+  int64_t publish_us = 0;
+};
+
+// A decoded frame; only the fields of `kind` are meaningful.
+struct Frame {
+  FrameKind kind = FrameKind::kObject;
+  SpatioTextualObject object;  // kObject
+  int64_t publish_us = 0;      // kObject
+  STSQuery query;              // kQueryInsert / kQueryDelete
+  std::vector<WireMatch> matches;  // kMatchBatch
+  uint64_t drain_token = 0;    // kDrain / kDrainAck
+};
+
+std::string EncodeObjectFrame(const SpatioTextualObject& o,
+                              int64_t publish_us);
+std::string EncodeQueryFrame(FrameKind kind, const STSQuery& q);
+std::string EncodeMatchBatchFrame(const WireMatch* matches, size_t n);
+std::string EncodeDrainFrame(FrameKind kind, uint64_t token);
+
+// Returns false on any malformed input: short header, truncated payload,
+// trailing garbage, CRC mismatch, unknown kind, or counts that outsize the
+// payload.
+bool DecodeFrame(const std::string& frame, Frame* out);
+
+}  // namespace ps2
+
+#endif  // PS2_SHARD_WIRE_H_

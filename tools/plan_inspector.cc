@@ -11,12 +11,19 @@
 // tail.
 //
 //   plan_inspector --checkpoint <dir>
+//
+// A shard-fabric root directory (one SHARDMAP + shard-<i>/ subdirectories)
+// is inspected with --shards: the cell -> shard ownership map, the map
+// version, and a read-only recovery summary of every shard.
+//
+//   plan_inspector --shards <dir>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "partition/plan.h"
 #include "persist/durability.h"
+#include "shard/shard_map.h"
 #include "workload/stream_gen.h"
 #include "workload/synthetic_corpus.h"
 
@@ -98,6 +105,62 @@ int InspectCheckpoint(const std::string& dir) {
   return 0;
 }
 
+// ASCII map of the cell -> shard assignment (downsampled like the plan
+// map): digit/letter = owning shard.
+void PrintShardMap(const ShardMap& map, uint32_t side) {
+  const uint32_t step = side > 32 ? side / 32 : 1;
+  for (uint32_t cy = 0; cy < side; cy += step) {
+    for (uint32_t cx = 0; cx < side; cx += step) {
+      const ShardId s = map.OwnerOf(cy * side + cx);
+      std::putchar(s < 10 ? '0' + s : 'a' + (s - 10) % 26);
+    }
+    std::putchar('\n');
+  }
+}
+
+int InspectShards(const std::string& dir) {
+  ShardMap map;
+  if (!ReadShardMapFile(ShardMapPath(dir), &map)) {
+    std::fprintf(stderr,
+                 "no usable SHARDMAP at '%s' (not a fabric root, or the "
+                 "file failed CRC validation)\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::printf("shard fabric at %s\n", dir.c_str());
+  std::printf("shardmap: version %llu, %d shard(s), %zu cells\n",
+              (unsigned long long)map.version, map.num_shards,
+              map.cell_shard.size());
+
+  // Per-shard ownership + read-only recovery summaries.
+  std::vector<size_t> cells_owned(static_cast<size_t>(map.num_shards), 0);
+  for (const ShardId s : map.cell_shard) {
+    ++cells_owned[static_cast<size_t>(s)];
+  }
+  uint32_t side = 1;
+  while (side * side < map.cell_shard.size()) side *= 2;
+  for (int s = 0; s < map.num_shards; ++s) {
+    const std::string shard_dir = ShardDirPath(dir, s);
+    RecoveredState state;
+    if (RecoverState(shard_dir, &state, /*truncate_torn=*/false)) {
+      std::printf(
+          "shard %d: %zu cells owned, %zu live queries, checkpoint seq "
+          "%llu, %llu WAL records%s, vocab %zu terms\n",
+          s, cells_owned[static_cast<size_t>(s)], state.queries.size(),
+          (unsigned long long)state.checkpoint_seq,
+          (unsigned long long)state.wal.records,
+          state.wal.truncated ? " (torn tail)" : "", state.vocab.size());
+    } else {
+      std::printf("shard %d: %zu cells owned, NO usable durable state at %s\n",
+                  s, cells_owned[static_cast<size_t>(s)],
+                  shard_dir.c_str());
+    }
+  }
+  std::printf("\ncell -> shard ownership:\n");
+  PrintShardMap(map, side);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -107,6 +170,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     return InspectCheckpoint(argv[2]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--shards") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: plan_inspector --shards <dir>\n");
+      return 1;
+    }
+    return InspectShards(argv[2]);
   }
 
   const std::string algo = argc > 1 ? argv[1] : "hybrid";
