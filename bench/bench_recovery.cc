@@ -123,6 +123,95 @@ void RunOne(size_t num_subs) {
   std::filesystem::remove_all(dir);
 }
 
+// Failover: kill one shard of a live 4-shard fabric mid-stream and measure
+// the supervisor's full recovery arc — the first Post to the dead shard
+// pays retry-exhaustion detection + restart (registry resync or WAL
+// recovery) + replay + the match's delivery; the next Post shows the
+// return to steady state.
+void RunFailover(size_t num_subs, bool durable) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "ps2_bench_failover").string();
+  std::filesystem::remove_all(dir);
+
+  Env env = MakeEnv("US", QueryKind::kQ3, /*mu=*/5000,
+                    /*num_objects=*/20000, /*seed=*/2);
+  std::vector<STSQuery> subs = env.qgen->Generate(num_subs);
+
+  PS2StreamOptions opts;
+  opts.partition.num_workers = 8;
+  opts.sharding.num_shards = 4;
+  if (durable) {
+    opts.durability.enabled = true;
+    opts.durability.dir = dir;
+    opts.durability.wal_sync = Wal::SyncMode::kAsync;
+  }
+  PS2Stream service(opts);
+  service.Bootstrap(env.stream.sample);
+  for (const auto& q : subs) {
+    auto sub = service.Subscribe(nullptr, q);
+    if (sub.ok()) sub->Release();
+  }
+
+  const STSQuery& probe = subs.front();
+  auto session = service.OpenSession();
+  service.delivery().Route(probe.id, session);
+  auto probe_obj = [&](ObjectId id) {
+    // One term per CNF clause satisfies the whole expression.
+    std::vector<TermId> terms;
+    for (const auto& clause : probe.expr.clauses()) {
+      terms.push_back(clause.front());
+    }
+    return SpatioTextualObject::FromTerms(
+        id,
+        Point{(probe.region.min_x + probe.region.max_x) / 2,
+              (probe.region.min_y + probe.region.max_y) / 2},
+        terms);
+  };
+
+  // Warm and sanity-check: the probe object must match before the drill.
+  size_t warm = 0;
+  if (service.Post(probe_obj(1000000001)).ok()) {
+    Delivery d;
+    while (session->Poll(&d)) ++warm;
+  }
+
+  ShardedEngine& fabric = *service.fabric();
+  const CellId cell =
+      fabric.shard_cluster(0).router().plan().grid.CellOf(probe_obj(0).loc);
+  const ShardId owner = fabric.shard_map()->OwnerOf(cell);
+  fabric.KillShard(owner);
+
+  Stopwatch sw;
+  size_t matches = 0;
+  const bool post_ok = service.Post(probe_obj(1000000002)).ok();
+  {
+    Delivery d;
+    while (session->Poll(&d)) ++matches;
+  }
+  const double failover_s = sw.ElapsedSeconds();
+
+  sw.Restart();
+  size_t after = 0;
+  if (service.Post(probe_obj(1000000003)).ok()) {
+    Delivery d;
+    while (session->Poll(&d)) ++after;
+  }
+  const double steady_s = sw.ElapsedSeconds();
+
+  PrintCell(durable ? "wal-recovery" : "registry-resync");
+  PrintCell(4.0, "%.0f");
+  PrintCell(static_cast<double>(num_subs), "%.0f");
+  PrintCell(post_ok && warm > 0 && matches > 0 && after > 0 ? "ok"
+                                                            : "FAILED");
+  PrintCell(failover_s * 1e3, "%.2f");
+  PrintCell(steady_s * 1e6, "%.1f");
+  PrintCell(static_cast<double>(matches), "%.0f");
+  PrintCell(static_cast<double>(fabric.shard_restart_count(owner)), "%.0f");
+  EndRow();
+
+  std::filesystem::remove_all(dir);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -139,5 +228,11 @@ int main(int argc, char** argv) {
                "replay rec/s", "recovered subs", "first match us",
                "matches"});
   for (const size_t n : sizes) RunOne(n);
+
+  PrintHeader("failover: shard kill -> supervisor restart -> first match",
+              {"restart mode", "shards", "subscriptions", "status",
+               "failover ms", "steady us", "matches", "restarts"});
+  RunFailover(sizes.front(), /*durable=*/false);
+  RunFailover(sizes.front(), /*durable=*/true);
   return 0;
 }

@@ -12,6 +12,7 @@ const char* StatusCodeName(StatusCode code) {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

@@ -19,6 +19,7 @@ enum class StatusCode : uint8_t {
   kResourceExhausted,    // bounded buffer full and policy forbids waiting
   kUnavailable,          // service stopped / killed
   kDeadlineExceeded,     // timed wait expired
+  kDataLoss,             // durability broken (sticky WAL I/O error)
   kInternal,             // invariant violation (bug)
 };
 
@@ -53,6 +54,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string m) {
     return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));

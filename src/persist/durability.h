@@ -73,6 +73,9 @@ class DurabilityManager {
   // Crash simulation: discards the WAL's unwritten batch and closes
   // without the graceful final drain (see Wal::Abandon).
   void Abandon() { wal_.Abandon(); }
+  // Failure drill: trips the WAL's sticky I/O error (see Wal::ForceIoError);
+  // the facade surfaces it as kDataLoss on the next mutation.
+  void ForceIoError() { wal_.ForceIoError(); }
   uint64_t seq() const { return seq_; }
 
   // True when `checkpoint_every` WAL records accumulated since the last

@@ -278,6 +278,12 @@ bool Wal::io_error() const {
   return io_error_;
 }
 
+void Wal::ForceIoError() {
+  std::lock_guard<std::mutex> lock(mu_);
+  io_error_ = true;
+  durable_cv_.notify_all();
+}
+
 uint64_t Wal::next_lsn() const {
   std::lock_guard<std::mutex> lock(mu_);
   return next_lsn_;

@@ -113,6 +113,11 @@ class Wal {
   // guaranteed at this instant. Appenders must be quiescent.
   void Abandon();
 
+  // Failure drill (tests): trips the sticky I/O-error flag exactly as a
+  // failed write would — blocked appenders are released (their appends
+  // report non-durable) and healthy() goes false until the log is reopened.
+  void ForceIoError();
+
   bool open() const;
   // Sticky: a write/flush/sync failure occurred. Blocked appends are
   // released when it trips (and return 0), and healthy() goes false —

@@ -53,6 +53,13 @@ void RunReport::MergeShard(const RunReport& shard) {
   worker_ring_highwater.insert(worker_ring_highwater.end(),
                                shard.worker_ring_highwater.begin(),
                                shard.worker_ring_highwater.end());
+  transport_errors += shard.transport_errors;
+  frame_retries += shard.frame_retries;
+  frame_redeliveries += shard.frame_redeliveries;
+  frames_dropped += shard.frames_dropped;
+  fabric_dup_suppressed += shard.fabric_dup_suppressed;
+  shard_restarts += shard.shard_restarts;
+  shards_quarantined += shard.shards_quarantined;
   shards += shard.shards;
 }
 
@@ -108,6 +115,21 @@ std::string RunReport::Summary() const {
                   static_cast<unsigned long long>(ring_hw),
                   static_cast<unsigned long long>(wait_spins),
                   static_cast<unsigned long long>(wait_parks));
+    out += buf;
+  }
+  if (transport_errors > 0 || frame_retries > 0 || frame_redeliveries > 0 ||
+      frames_dropped > 0 || fabric_dup_suppressed > 0 || shard_restarts > 0 ||
+      shards_quarantined > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  " faults{xport_err=%llu retries=%llu redeliveries=%llu "
+                  "dropped=%llu dup_supp=%llu restarts=%llu quarantined=%llu}",
+                  static_cast<unsigned long long>(transport_errors),
+                  static_cast<unsigned long long>(frame_retries),
+                  static_cast<unsigned long long>(frame_redeliveries),
+                  static_cast<unsigned long long>(frames_dropped),
+                  static_cast<unsigned long long>(fabric_dup_suppressed),
+                  static_cast<unsigned long long>(shard_restarts),
+                  static_cast<unsigned long long>(shards_quarantined));
     out += buf;
   }
   if (audit_mismatches > 0) {

@@ -60,6 +60,19 @@ struct RunReport {
   // worker; producer-side estimate).
   std::vector<uint64_t> worker_ring_highwater;
 
+  // Shard-fabric fault tolerance (all zero for single-engine runs and for
+  // fabrics that never saw a fault): transport Send() failures, reliable-
+  // link retransmissions, duplicate frames the link receivers suppressed,
+  // frames abandoned at quarantined shards, cross-restart duplicate matches
+  // the front window killed, and the supervisor's restart/quarantine tally.
+  uint64_t transport_errors = 0;
+  uint64_t frame_retries = 0;
+  uint64_t frame_redeliveries = 0;
+  uint64_t frames_dropped = 0;
+  uint64_t fabric_dup_suppressed = 0;
+  uint64_t shard_restarts = 0;
+  uint64_t shards_quarantined = 0;
+
   // Engine shards this report covers: 1 for a single engine, N after
   // MergeShard folded a fleet together (the shard fabric's Stop()).
   int shards = 1;

@@ -303,11 +303,12 @@ StatusOr<Subscription> PS2Stream::Subscribe(const SessionPtr& session,
     return Status::InvalidArgument("expression \"" + expression +
                                    "\" has no keywords");
   }
+  if (const Status gate = DurabilityGate(); !gate.ok()) return gate;
   STSQuery q;
   q.id = next_query_id_++;
   q.expr = std::move(expr);
   q.region = region;
-  ApplySubscribe(q, session);
+  if (const Status st = ApplySubscribe(q, session); !st.ok()) return st;
   return Subscription(q.id, this, alive_);
 }
 
@@ -328,7 +329,8 @@ StatusOr<Subscription> PS2Stream::Subscribe(const SessionPtr& session,
     return Status::AlreadyExists("query id " + std::to_string(query.id) +
                                  " is already subscribed");
   }
-  ApplySubscribe(query, session);
+  if (const Status gate = DurabilityGate(); !gate.ok()) return gate;
+  if (const Status st = ApplySubscribe(query, session); !st.ok()) return st;
   return Subscription(query.id, this, alive_);
 }
 
@@ -338,8 +340,7 @@ Status PS2Stream::Cancel(QueryId id) {
     return Status::NotFound("no live subscription with id " +
                             std::to_string(id));
   }
-  ApplyUnsubscribe(id);
-  return Status::Ok();
+  return ApplyUnsubscribe(id);
 }
 
 void PS2Stream::CancelSubscription(QueryId id) {
@@ -369,13 +370,14 @@ Status PS2Stream::Post(const SpatioTextualObject& object) {
 }
 
 Status PS2Stream::PostInternal(const SpatioTextualObject& object) {
+  if (const Status gate = DurabilityGate(); !gate.ok()) return gate;
   next_object_id_ = std::max(next_object_id_, object.id + 1);
   if (fabric_ != nullptr) {
     // The fabric routes the object to its cell's owner shard and carries
     // this publish stamp through the wire, so delivery latency covers the
-    // whole cross-shard path.
-    fabric_->Post(object, NowMicros());
-    return Status::Ok();
+    // whole cross-shard path. kUnavailable when the owner shard is
+    // quarantined (degraded mode).
+    return fabric_->Post(object, NowMicros());
   }
   const StreamTuple tuple = StreamTuple::OfObject(object);
   if (started()) {
@@ -402,18 +404,24 @@ Status PS2Stream::PostInternal(const SpatioTextualObject& object) {
   return Status::Ok();
 }
 
-void PS2Stream::ApplySubscribe(const STSQuery& query,
-                               const SessionPtr& session) {
+Status PS2Stream::ApplySubscribe(const STSQuery& query,
+                                 const SessionPtr& session) {
   if (fabric_ != nullptr) {
     subscriptions_[query.id] = query;
     next_query_id_ = std::max(next_query_id_, query.id + 1);
     // Route before any shard can index the query, same as below.
     if (session != nullptr) delivery_->Route(query.id, session);
     // Per-shard WAL-before-apply happens inside: every shard journals the
-    // insert to its own log before indexing it.
-    fabric_->Subscribe(query);
+    // insert to its own log before indexing it. A quarantined owner bounces
+    // the whole subscription (the fabric rolled its side back already).
+    const Status st = fabric_->Subscribe(query);
+    if (!st.ok()) {
+      subscriptions_.erase(query.id);
+      delivery_->Unroute(query.id);
+      return st;
+    }
     MaybeCheckpoint();
-    return;
+    return Status::Ok();
   }
   // WAL-before-apply: once the append returns (durable per the configured
   // sync mode), a crash at any later point recovers this subscription.
@@ -430,22 +438,25 @@ void PS2Stream::ApplySubscribe(const STSQuery& query,
   if (started()) {
     engine_->Submit(tuple);
     MaybeCheckpoint();
-    return;
+    return Status::Ok();
   }
   cluster_->Process(tuple);
   Track(tuple);
   MaybeCheckpoint();
+  return Status::Ok();
 }
 
-void PS2Stream::ApplyUnsubscribe(QueryId id) {
+Status PS2Stream::ApplyUnsubscribe(QueryId id) {
   auto it = subscriptions_.find(id);
-  if (it == subscriptions_.end()) return;
+  if (it == subscriptions_.end()) return Status::Ok();
   if (fabric_ != nullptr) {
     subscriptions_.erase(it);
     delivery_->Unroute(id);
-    fabric_->Unsubscribe(id);
+    // Copies at quarantined shards die with the shard; only a fleet-wide
+    // outage of the owners reports kUnavailable.
+    const Status st = fabric_->Unsubscribe(id);
     MaybeCheckpoint();
-    return;
+    return st;
   }
   if (durability_ != nullptr) {
     durability_->wal().AppendUnsubscribe(id);
@@ -459,11 +470,31 @@ void PS2Stream::ApplyUnsubscribe(QueryId id) {
   if (started()) {
     engine_->Submit(tuple);
     MaybeCheckpoint();
-    return;
+    return Status::Ok();
   }
   cluster_->Process(tuple);
   Track(tuple);
   MaybeCheckpoint();
+  return Status::Ok();
+}
+
+Status PS2Stream::DurabilityGate() const {
+  if (fabric_ != nullptr) return fabric_->durability_status();
+  if (durability_ != nullptr && !durability_->healthy()) {
+    return Status::DataLoss(
+        "WAL hit a sticky I/O error; mutations would not survive a crash");
+  }
+  return Status::Ok();
+}
+
+Status PS2Stream::Health() {
+  if (killed_) return Status::Unavailable("service was killed");
+  if (!bootstrapped()) {
+    return Status::FailedPrecondition(
+        "Bootstrap() or Restore() must succeed before Health");
+  }
+  if (fabric_ != nullptr) return fabric_->CheckHealth();
+  return DurabilityGate();
 }
 
 void PS2Stream::Track(const StreamTuple& tuple) {

@@ -162,6 +162,14 @@ class PS2Stream : private SubscriptionBackend {
   // tooling and tests (e.g. forcing a WAL flush before a simulated crash).
   DurabilityManager* durability() { return durability_.get(); }
 
+  // Fleet health, on demand: Ok when every shard answers an acked probe and
+  // durability is intact. kDataLoss — a WAL hit its sticky I/O error;
+  // kUnavailable — a shard is quarantined (degraded mode) or the service
+  // was killed. In single-engine mode this reports the durability gate.
+  // Probing is active: an unresponsive shard discovered here walks the
+  // same supervisor restart/quarantine path as one discovered by traffic.
+  Status Health();
+
   // Crash simulation (tests and failure drills): tears down the engine
   // without draining, skips every graceful-shutdown step and drops the
   // durability manager without a final flush beyond what the WAL's sync
@@ -216,13 +224,18 @@ class PS2Stream : private SubscriptionBackend {
   void CancelSubscription(QueryId id) override;
 
   // Shared subscribe path: WAL-before-apply, delivery routing, engine
-  // submit or inline processing.
-  void ApplySubscribe(const STSQuery& query, const SessionPtr& session);
+  // submit or inline processing. Non-Ok (fabric mode: an owner shard is
+  // quarantined) rolls the registration back.
+  Status ApplySubscribe(const STSQuery& query, const SessionPtr& session);
   // Shared unsubscribe path (Cancel and the RAII handles funnel here):
   // WAL-before-apply, unroute, engine submit or inline processing.
-  void ApplyUnsubscribe(QueryId id);
+  Status ApplyUnsubscribe(QueryId id);
   // Shared publish path.
   Status PostInternal(const SpatioTextualObject& object);
+  // Mutation gate: kDataLoss once the WAL (any shard's, in fabric mode)
+  // has hit its sticky I/O error — the service refuses new mutations
+  // rather than accepting ones that would not survive a crash.
+  Status DurabilityGate() const;
   void Track(const StreamTuple& tuple);
   void MaybeAutoAdjust();
   void MaybeCheckpoint();

@@ -1,0 +1,142 @@
+#include "shard/fault_transport.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace ps2 {
+
+FaultInjectingTransport::FaultInjectingTransport(FaultScheduleConfig config,
+                                                 Transport* inner)
+    : config_(std::move(config)), rng_(config_.seed) {
+  if (inner != nullptr) {
+    inner_ = inner;
+  } else {
+    owned_inner_ = std::make_unique<LoopbackTransport>();
+    inner_ = owned_inner_.get();
+  }
+}
+
+void FaultInjectingTransport::RegisterEndpoint(ShardId endpoint,
+                                               Handler handler) {
+  inner_->RegisterEndpoint(endpoint, std::move(handler));
+}
+
+bool FaultInjectingTransport::Partitioned(ShardId from, ShardId to,
+                                          uint64_t send_index,
+                                          bool* refuse) const {
+  for (const FaultPartitionSpec& p : config_.partitions) {
+    if (send_index < p.from_send || send_index >= p.to_send) continue;
+    const bool forward = from == p.a && to == p.b;
+    const bool backward = from == p.b && to == p.a;
+    if (forward || (p.bidirectional && backward)) {
+      *refuse = p.refuse;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjectingTransport::Send(ShardId from, ShardId to,
+                                   const std::string& frame) {
+  std::vector<Outbound> out;
+  bool result = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t idx = sends_++;
+    n_sends_.fetch_add(1, std::memory_order_relaxed);
+
+    // Matured holds go out first: a frame delayed at send k and released at
+    // send k+n arrives after everything sent in between — reordering — and
+    // still before this call's own frame.
+    for (size_t i = 0; i < held_.size();) {
+      if (held_[i].release_at <= idx) {
+        Outbound o;
+        o.from = held_[i].from;
+        o.to = held_[i].to;
+        o.frame = std::move(held_[i].frame);
+        out.push_back(std::move(o));
+        held_[i] = std::move(held_.back());
+        held_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+
+    bool refuse = true;
+    if (Partitioned(from, to, idx, &refuse)) {
+      if (refuse) {
+        n_refused_.fetch_add(1, std::memory_order_relaxed);
+        result = false;
+      } else {
+        n_dropped_.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else if (rng_.NextBernoulli(config_.refuse_rate)) {
+      n_refused_.fetch_add(1, std::memory_order_relaxed);
+      result = false;
+    } else if (rng_.NextBernoulli(config_.drop_rate)) {
+      n_dropped_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      const bool dup = rng_.NextBernoulli(config_.duplicate_rate);
+      if (dup) n_duplicated_.fetch_add(1, std::memory_order_relaxed);
+      if (rng_.NextBernoulli(config_.delay_rate)) {
+        n_delayed_.fetch_add(1, std::memory_order_relaxed);
+        const int span = std::max(1, config_.max_delay_sends);
+        Held h;
+        h.from = from;
+        h.to = to;
+        h.frame = frame;
+        h.release_at = idx + 1 + rng_.NextBelow(static_cast<uint64_t>(span));
+        held_.push_back(std::move(h));
+        // A duplicated+delayed frame: one copy now, one later.
+        if (dup) out.push_back(Outbound{from, to, frame, true});
+      } else {
+        out.push_back(Outbound{from, to, frame, true});
+        if (dup) out.push_back(Outbound{from, to, frame, true});
+      }
+    }
+  }
+  // An unknown destination is the inner transport's failure, not an
+  // injected one — it must surface even through a clean schedule.
+  return Deliver(out) && result;
+}
+
+void FaultInjectingTransport::FlushDelayed() {
+  std::vector<Outbound> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (Held& h : held_) {
+      Outbound o;
+      o.from = h.from;
+      o.to = h.to;
+      o.frame = std::move(h.frame);
+      out.push_back(std::move(o));
+    }
+    held_.clear();
+  }
+  Deliver(out);
+}
+
+bool FaultInjectingTransport::Deliver(std::vector<Outbound>& out) {
+  bool ok = true;
+  for (Outbound& o : out) {
+    if (inner_->Send(o.from, o.to, o.frame)) {
+      n_delivered_.fetch_add(1, std::memory_order_relaxed);
+    } else if (o.own) {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+FaultCounters FaultInjectingTransport::counters() const {
+  FaultCounters c;
+  c.sends = n_sends_.load(std::memory_order_relaxed);
+  c.delivered = n_delivered_.load(std::memory_order_relaxed);
+  c.dropped = n_dropped_.load(std::memory_order_relaxed);
+  c.delayed = n_delayed_.load(std::memory_order_relaxed);
+  c.duplicated = n_duplicated_.load(std::memory_order_relaxed);
+  c.refused = n_refused_.load(std::memory_order_relaxed);
+  return c;
+}
+
+}  // namespace ps2

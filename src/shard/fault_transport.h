@@ -1,0 +1,122 @@
+#ifndef PS2_SHARD_FAULT_TRANSPORT_H_
+#define PS2_SHARD_FAULT_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "shard/transport.h"
+
+namespace ps2 {
+
+// A network partition window, expressed over the transport's global send
+// counter so schedules replay exactly from a seed: while `from_send` <=
+// send-index < `to_send`, traffic between endpoints `a` and `b` (both
+// directions when `bidirectional`) either refuses (Send returns false, the
+// caller can tell) or silently drops (returns true — the loss only shows up
+// as a missed ack).
+struct FaultPartitionSpec {
+  ShardId a = kFrontEndpoint;
+  ShardId b = 0;
+  uint64_t from_send = 0;
+  uint64_t to_send = UINT64_MAX;
+  bool bidirectional = true;
+  bool refuse = true;
+};
+
+// Seeded fault schedule of a FaultInjectingTransport. Rates are per-Send
+// probabilities drawn from one deterministic RNG stream, so a
+// single-threaded run replays byte-identically from the seed (concurrent
+// senders still get a reproducible *distribution*, not a fixed trace).
+struct FaultScheduleConfig {
+  uint64_t seed = 1;
+  double drop_rate = 0.0;       // frame vanishes, Send still returns true
+  double delay_rate = 0.0;      // frame held back, released out of order
+  int max_delay_sends = 3;      // held for 1..max subsequent Send calls
+  double duplicate_rate = 0.0;  // frame delivered twice
+  double refuse_rate = 0.0;     // Send returns false, nothing delivered
+  std::vector<FaultPartitionSpec> partitions;
+};
+
+// Monotonic tallies of everything the schedule did (for test assertions and
+// the chaos soak's post-mortem line).
+struct FaultCounters {
+  uint64_t sends = 0;
+  uint64_t delivered = 0;
+  uint64_t dropped = 0;
+  uint64_t delayed = 0;
+  uint64_t duplicated = 0;
+  uint64_t refused = 0;
+};
+
+// Transport decorator that injects faults between the fabric and its
+// shards: drops, duplicates, refusals, partitions, and delays. Delay is
+// measured in *subsequent Send calls*, not wall time — a held frame is
+// released just before a later Send delivers its own frame, which both
+// keeps schedules deterministic and produces genuine reordering (the held
+// frame arrives after frames sent later... and its release interleaves
+// *before* the releasing Send's frame, after frames in between).
+//
+// The fault decision applies exactly once per Send; releases and immediate
+// deliveries go straight to the inner transport. Handlers are invoked
+// outside the schedule lock, so they may Send (acks do) without
+// deadlocking.
+class FaultInjectingTransport final : public Transport {
+ public:
+  // Decorates `inner`; owns a LoopbackTransport when `inner` is null.
+  explicit FaultInjectingTransport(FaultScheduleConfig config,
+                                   Transport* inner = nullptr);
+
+  void RegisterEndpoint(ShardId endpoint, Handler handler) override;
+  bool Send(ShardId from, ShardId to, const std::string& frame) override;
+
+  // Releases every held frame immediately (test teardown / end-of-schedule
+  // settling so no delayed frame outlives the run).
+  void FlushDelayed();
+
+  FaultCounters counters() const;
+
+ private:
+  struct Held {
+    ShardId from = 0;
+    ShardId to = 0;
+    std::string frame;
+    uint64_t release_at = 0;  // send index at/after which it goes out
+  };
+  struct Outbound {
+    ShardId from = 0;
+    ShardId to = 0;
+    std::string frame;
+    bool own = false;  // this call's frame (not a matured hold): its inner
+                       // failure must surface through Send's return value
+  };
+
+  bool Partitioned(ShardId from, ShardId to, uint64_t send_index,
+                   bool* refuse) const;
+  // Returns false when any `own` delivery failed at the inner transport.
+  bool Deliver(std::vector<Outbound>& out);
+
+  const FaultScheduleConfig config_;
+  std::unique_ptr<Transport> owned_inner_;
+  Transport* inner_;
+
+  mutable std::mutex mu_;  // guards rng_, sends_, held_
+  Rng rng_;
+  uint64_t sends_ = 0;
+  std::vector<Held> held_;
+
+  std::atomic<uint64_t> n_sends_{0};
+  std::atomic<uint64_t> n_delivered_{0};
+  std::atomic<uint64_t> n_dropped_{0};
+  std::atomic<uint64_t> n_delayed_{0};
+  std::atomic<uint64_t> n_duplicated_{0};
+  std::atomic<uint64_t> n_refused_{0};
+};
+
+}  // namespace ps2
+
+#endif  // PS2_SHARD_FAULT_TRANSPORT_H_

@@ -1,7 +1,9 @@
 #include "shard/sharded_engine.h"
 
 #include <algorithm>
+#include <chrono>
 #include <filesystem>
+#include <thread>
 #include <utility>
 
 #include "partition/plan.h"
@@ -68,6 +70,23 @@ PartitionPlan RemapPlan(PartitionPlan plan, const Vocabulary& from,
 
 uint64_t ShardBit(ShardId s) { return uint64_t{1} << s; }
 
+// Monotonic microseconds — the reliable links' retransmission clock.
+int64_t MonoUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Backoff wait between pump rounds: until the earliest retransmission is
+// due, capped so restarts/kills are noticed promptly.
+void SleepUntilDue(int64_t next_due_us) {
+  const int64_t now = MonoUs();
+  int64_t wait = next_due_us == INT64_MAX ? 50 : next_due_us - now;
+  if (wait < 1) wait = 1;
+  if (wait > 2000) wait = 2000;
+  std::this_thread::sleep_for(std::chrono::microseconds(wait));
+}
+
 }  // namespace
 
 // --- ShardEgress -------------------------------------------------------------
@@ -78,7 +97,7 @@ void ShardedEngine::ShardEgress::Deliver(const MatchResult& m,
   wm.query_id = m.query_id;
   wm.object_id = m.object_id;
   wm.publish_us = publish_us;
-  transport_->Send(shard_, kFrontEndpoint, EncodeMatchBatchFrame(&wm, 1));
+  owner_->ShipMatches(shard_, EncodeMatchBatchFrame(&wm, 1));
 }
 
 void ShardedEngine::ShardEgress::DeliverBatch(const Delivery* pending,
@@ -90,8 +109,8 @@ void ShardedEngine::ShardEgress::DeliverBatch(const Delivery* pending,
     wire[i].object_id = pending[i].object_id;
     wire[i].publish_us = pending[i].publish_us;
   }
-  transport_->Send(shard_, kFrontEndpoint,
-                   EncodeMatchBatchFrame(wire.data(), wire.size()));
+  owner_->ShipMatches(shard_,
+                      EncodeMatchBatchFrame(wire.data(), wire.size()));
 }
 
 // --- construction / bootstrap ------------------------------------------------
@@ -104,12 +123,15 @@ ShardedEngine::ShardedEngine(ShardedEngineConfig config, Vocabulary* vocab,
       balancer_(config_.fabric.rebalance_sigma) {
   if (config_.fabric.num_shards < 1) config_.fabric.num_shards = 1;
   if (config_.fabric.num_shards > 64) config_.fabric.num_shards = 64;
+  if (transport == nullptr) transport = config_.fabric.transport;
   if (transport != nullptr) {
     transport_ = transport;
   } else {
     owned_transport_ = std::make_unique<LoopbackTransport>();
     transport_ = owned_transport_.get();
   }
+  control_thread_.store(std::this_thread::get_id(),
+                        std::memory_order_relaxed);
   transport_->RegisterEndpoint(
       kFrontEndpoint, [this](ShardId from, const std::string& frame) {
         FrontReceive(from, frame);
@@ -157,8 +179,12 @@ void ShardedEngine::Bootstrap(const WorkloadSample& sample) {
 }
 
 void ShardedEngine::StandUpShards(PartitionPlan plan, int num_shards) {
+  control_thread_.store(std::this_thread::get_id(),
+                        std::memory_order_relaxed);
   cell_queries_.assign(plan.grid.NumCells(), {});
   cell_objects_.assign(plan.grid.NumCells(), 0);
+  supervisor_.SetPolicy(SupervisorPolicy{config_.fabric.max_restarts});
+  supervisor_.Resize(static_cast<size_t>(num_shards));
   shards_.reserve(static_cast<size_t>(num_shards));
   for (int i = 0; i < num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
@@ -168,7 +194,13 @@ void ShardedEngine::StandUpShards(PartitionPlan plan, int num_shards) {
     shard->cluster =
         std::make_unique<Cluster>(plan, vocab_, config_.cluster);
     shard->egress = std::make_unique<ShardEgress>(
-        shard->id, transport_, config_.dedup_window_capacity);
+        this, shard->id, config_.dedup_window_capacity);
+    // Distinct jitter streams per shard and direction so a fleet under the
+    // same fault schedule never retries in lockstep.
+    const uint64_t seed = config_.fabric.link_seed +
+                          0x9E3779B97F4A7C15ULL * (static_cast<uint64_t>(i) + 1);
+    shard->ctl_out.Configure(config_.fabric.retry, seed);
+    shard->match_out.Configure(config_.fabric.retry, seed ^ 0xA5A5A5A5ULL);
     Shard* raw = shard.get();
     transport_->RegisterEndpoint(
         shard->id, [this, raw](ShardId from, const std::string& frame) {
@@ -176,6 +208,10 @@ void ShardedEngine::StandUpShards(PartitionPlan plan, int num_shards) {
         });
     shards_.push_back(std::move(shard));
   }
+  // Keep the bootstrap geometry: a non-durable shard restarts onto it (the
+  // query set is re-sent from the front registries).
+  base_plan_ = std::make_unique<PartitionPlan>(
+      shards_[0]->cluster->router().plan());
 }
 
 void ShardedEngine::InitShardDurability(Shard& shard) {
@@ -236,6 +272,7 @@ bool ShardedEngine::Restore(const std::string& dir, Recovery* out) {
                              ? recovered
                              : RemapQuery(recovered, state.vocab, *vocab_);
       shard.cluster->Process(StreamTuple::OfInsert(q));
+      shard.applied.insert(q.id);
       auto it = queries_.find(q.id);
       if (it == queries_.end()) {
         RegisterPlacement(q, ShardBit(shard.id));
@@ -306,49 +343,500 @@ uint64_t ShardedEngine::query_shard_mask(QueryId id) const {
   return it == query_shards_.end() ? 0 : it->second;
 }
 
-void ShardedEngine::Subscribe(const STSQuery& query) {
+Status ShardedEngine::Subscribe(const STSQuery& query) {
+  control_thread_.store(std::this_thread::get_id(),
+                        std::memory_order_relaxed);
+  PumpDeferred();
   const auto map = map_->Current();
   const GridSpec& grid = shards_[0]->cluster->router().plan().grid;
   grid.CellsOverlapping(query.region, &overlap_scratch_);
   uint64_t mask = 0;
   for (const CellId c : overlap_scratch_) mask |= ShardBit(map->OwnerOf(c));
   if (mask == 0 && !shards_.empty()) mask = ShardBit(0);
+  // Refuse up-front when any owner is quarantined: a partially indexed
+  // query would silently miss matches in the quarantined cells.
+  for (const auto& shard : shards_) {
+    if ((mask & ShardBit(shard->id)) && supervisor_.quarantined(shard->id)) {
+      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("query region overlaps quarantined shard " +
+                                 std::to_string(shard->id));
+    }
+  }
   RegisterPlacement(query, mask);
   const std::string frame = EncodeQueryFrame(FrameKind::kQueryInsert, query);
-  for (auto& shard : shards_) {
-    if (mask & ShardBit(shard->id)) SendToShard(shard->id, frame);
+  for (const auto& shard : shards_) {
+    if (!(mask & ShardBit(shard->id))) continue;
+    const Status st = SendControl(shard->id, frame);
+    if (st.ok()) continue;
+    // An owner died past its restart budget mid-placement: roll back with
+    // best-effort deletes at the owners already reached, then report.
+    const std::string del =
+        EncodeQueryFrame(FrameKind::kQueryDelete, query);
+    for (const auto& prev : shards_) {
+      if (prev->id >= shard->id) break;
+      if ((mask & ShardBit(prev->id)) &&
+          !supervisor_.quarantined(prev->id)) {
+        SendControl(prev->id, del);
+      }
+    }
+    ForgetPlacement(query.id);
+    return st;
   }
+  return Status::Ok();
 }
 
-void ShardedEngine::Unsubscribe(QueryId id) {
+Status ShardedEngine::Unsubscribe(QueryId id) {
+  control_thread_.store(std::this_thread::get_id(),
+                        std::memory_order_relaxed);
+  PumpDeferred();
   auto it = queries_.find(id);
-  if (it == queries_.end()) return;
+  if (it == queries_.end()) return Status::Ok();
   const uint64_t mask = query_shards_[id];
   const std::string frame =
       EncodeQueryFrame(FrameKind::kQueryDelete, it->second);
   ForgetPlacement(id);
-  for (auto& shard : shards_) {
-    if (mask & ShardBit(shard->id)) SendToShard(shard->id, frame);
+  size_t live = 0, quarantined = 0;
+  Status worst = Status::Ok();
+  for (const auto& shard : shards_) {
+    if (!(mask & ShardBit(shard->id))) continue;
+    if (supervisor_.quarantined(shard->id)) {
+      // The copy dies with the shard (its index is gone); nothing to send.
+      ++quarantined;
+      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    ++live;
+    const Status st = SendControl(shard->id, frame);
+    if (!st.ok() && worst.ok()) worst = st;
   }
+  if (live == 0 && quarantined > 0) {
+    return Status::Unavailable("every owner of query " + std::to_string(id) +
+                               " is quarantined");
+  }
+  return worst;
 }
 
-void ShardedEngine::Post(const SpatioTextualObject& object,
-                         int64_t publish_us) {
+Status ShardedEngine::Post(const SpatioTextualObject& object,
+                           int64_t publish_us) {
+  control_thread_.store(std::this_thread::get_id(),
+                        std::memory_order_relaxed);
+  PumpDeferred();
   const auto map = map_->Current();
   const GridSpec& grid = shards_[0]->cluster->router().plan().grid;
   const CellId cell = grid.CellOf(object.loc);
   const ShardId owner = map->OwnerOf(cell);
+  if (supervisor_.quarantined(owner)) {
+    frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("cell owner shard " + std::to_string(owner) +
+                               " is quarantined");
+  }
   if (cell < cell_objects_.size()) ++cell_objects_[cell];
-  SendToShard(owner, EncodeObjectFrame(object, publish_us));
+  Status st = SendControl(owner, EncodeObjectFrame(object, publish_us));
+  if (!st.ok()) return st;
+  if (!started_) {
+    // Sync contract: the object's matches are at the front before Post
+    // returns, even when the transport dropped the first copies.
+    st = FlushEgress(owner);
+    if (!st.ok()) return st;
+  }
+  if (config_.fabric.health_probe_interval > 0 &&
+      ++posts_since_probe_ >= config_.fabric.health_probe_interval) {
+    posts_since_probe_ = 0;
+    CheckHealth();  // degradations handled inside (restart/quarantine)
+  }
   if (config_.fabric.auto_rebalance &&
       ++posts_since_rebalance_ >= config_.fabric.rebalance_check_interval) {
     posts_since_rebalance_ = 0;
     MaybeRebalance();
   }
+  return Status::Ok();
 }
 
 void ShardedEngine::SendToShard(ShardId shard, const std::string& frame) {
-  transport_->Send(kFrontEndpoint, shard, frame);
+  if (!transport_->Send(kFrontEndpoint, shard, frame)) {
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+// --- reliable-link plumbing --------------------------------------------------
+
+Status ShardedEngine::SendControl(ShardId s, std::string inner) {
+  control_thread_.store(std::this_thread::get_id(),
+                        std::memory_order_relaxed);
+  if (supervisor_.quarantined(s)) {
+    frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("shard " + std::to_string(s) +
+                               " is quarantined");
+  }
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  {
+    std::lock_guard<std::mutex> lock(shard.ctl_mu);
+    shard.ctl_out.Enqueue(std::move(inner));
+  }
+  return FlushControl(s);
+}
+
+Status ShardedEngine::FlushControl(ShardId s) {
+  control_thread_.store(std::this_thread::get_id(),
+                        std::memory_order_relaxed);
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  while (true) {
+    if (supervisor_.quarantined(s)) {
+      return Status::Unavailable("shard " + std::to_string(s) +
+                                 " is quarantined");
+    }
+    PumpDeferred();
+    std::vector<ReliableSender::Outgoing> due;
+    bool exhausted = false;
+    int64_t next_due = INT64_MAX;
+    {
+      std::lock_guard<std::mutex> lock(shard.ctl_mu);
+      if (shard.ctl_out.unacked() == 0) {
+        // Acked traffic: the shard is alive; clear its failure streak.
+        supervisor_.OnProgress(s);
+        return Status::Ok();
+      }
+      shard.ctl_out.CollectDue(MonoUs(), &due);
+      exhausted = shard.ctl_out.exhausted();
+      next_due = shard.ctl_out.next_due_us();
+    }
+    if (exhausted) {
+      // Missed the ack deadline through the whole retry budget: the
+      // fabric's failure detector. Restart (then retry: Reset re-queued
+      // everything under the new epoch) or bubble the quarantine.
+      const Status st = HandleShardFailure(s);
+      if (!st.ok()) return st;
+      continue;
+    }
+    for (ReliableSender::Outgoing& o : due) {
+      if (o.is_retry) frame_retries_.fetch_add(1, std::memory_order_relaxed);
+      if (!transport_->Send(kFrontEndpoint, s, o.envelope)) {
+        transport_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (due.empty()) SleepUntilDue(next_due);
+  }
+}
+
+Status ShardedEngine::FlushEgress(ShardId s) {
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  while (true) {
+    PumpDeferred();
+    if (shard.dead.load(std::memory_order_acquire) ||
+        supervisor_.quarantined(s)) {
+      // The producer is gone; salvage what it accepted (dedup-safe).
+      LocalDrainEgress(shard);
+      return Status::Ok();
+    }
+    std::vector<ReliableSender::Outgoing> due;
+    bool exhausted = false;
+    int64_t next_due = INT64_MAX;
+    {
+      std::lock_guard<std::mutex> lock(shard.egress_mu);
+      if (shard.match_out.unacked() == 0) return Status::Ok();
+      shard.match_out.CollectDue(MonoUs(), &due);
+      exhausted = shard.match_out.exhausted();
+      next_due = shard.match_out.next_due_us();
+    }
+    if (exhausted) {
+      // The in-process front stopped acking — the transport ate every
+      // attempt. Deliver locally rather than lose accepted matches.
+      LocalDrainEgress(shard);
+      return Status::Ok();
+    }
+    for (ReliableSender::Outgoing& o : due) {
+      if (o.is_retry) frame_retries_.fetch_add(1, std::memory_order_relaxed);
+      if (!transport_->Send(shard.id, kFrontEndpoint, o.envelope)) {
+        transport_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (due.empty()) SleepUntilDue(next_due);
+  }
+}
+
+void ShardedEngine::EnqueueEgress(Shard& shard, std::string inner) {
+  std::vector<ReliableSender::Outgoing> due;
+  {
+    std::lock_guard<std::mutex> lock(shard.egress_mu);
+    shard.match_out.Enqueue(std::move(inner));
+    // A dead shard can't transmit; the frame pends for salvage/replay.
+    if (!shard.dead.load(std::memory_order_acquire)) {
+      shard.match_out.CollectDue(MonoUs(), &due);
+    }
+  }
+  for (ReliableSender::Outgoing& o : due) {
+    if (o.is_retry) frame_retries_.fetch_add(1, std::memory_order_relaxed);
+    if (!transport_->Send(shard.id, kFrontEndpoint, o.envelope)) {
+      transport_errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void ShardedEngine::ShipMatches(ShardId s, std::string frame) {
+  EnqueueEgress(*shards_[static_cast<size_t>(s)], std::move(frame));
+}
+
+void ShardedEngine::PumpDeferred() {
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    while (true) {
+      std::string frame;
+      {
+        std::lock_guard<std::mutex> lock(shard.deferred_mu);
+        if (shard.deferred.empty()) break;
+        frame = std::move(shard.deferred.front());
+        shard.deferred.pop_front();
+      }
+      if (shard.dead.load(std::memory_order_acquire)) continue;
+      Frame f;
+      if (!DecodeFrame(frame, &f)) {
+        decode_errors_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      if (f.enveloped) AcceptControl(shard, std::move(f));
+    }
+  }
+}
+
+void ShardedEngine::LocalDrainEgress(Shard& shard) {
+  std::vector<std::string> inners;
+  {
+    std::lock_guard<std::mutex> lock(shard.egress_mu);
+    inners = shard.match_out.TakeInners();
+  }
+  for (const std::string& inner : inners) {
+    Frame f;
+    if (!DecodeFrame(inner, &f)) {
+      decode_errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Copies that did reach the front die in its dedup window / the
+    // drain-token max.
+    ApplyFromShard(f);
+  }
+}
+
+// --- supervision -------------------------------------------------------------
+
+Status ShardedEngine::HandleShardFailure(ShardId s) {
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  while (true) {
+    if (!supervisor_.OnFailure(s)) {
+      QuarantineShard(s);
+      return Status::Unavailable(
+          "shard " + std::to_string(s) +
+          " quarantined after repeated restart failures");
+    }
+    shard_restarts_.fetch_add(1, std::memory_order_relaxed);
+    if (RestartShard(shard)) {
+      supervisor_.OnRestart(s);
+      return Status::Ok();
+    }
+  }
+}
+
+bool ShardedEngine::RestartShard(Shard& shard) {
+  if (shard.permanently_failed) return false;
+  // 1. Tear down the dead incarnation (Abort: no graceful drain to wait on).
+  if (shard.engine != nullptr) {
+    if (shard.engine->running()) shard.engine->Abort();
+    shard.engine.reset();
+  }
+  // 2. Salvage matches it accepted but never got acked for — the recovery
+  //    guarantee that makes kill+restart invisible to exact equivalence.
+  LocalDrainEgress(shard);
+  // 3. Stale parked frames describe the dead incarnation's links.
+  {
+    std::lock_guard<std::mutex> lock(shard.deferred_mu);
+    shard.deferred.clear();
+  }
+  shard.egress = std::make_unique<ShardEgress>(
+      this, shard.id, config_.dedup_window_capacity);
+  shard.durability.reset();
+
+  // 4. Rebuild the index: from the shard's own durable directory when the
+  //    fabric is durable, from the bootstrap geometry otherwise (queries
+  //    are restored by the registry resync below either way).
+  const uint64_t bit = ShardBit(shard.id);
+  shard.applied.clear();
+  bool recovered = false;
+  if (durable_root_) {
+    const std::string dir = ShardDirPath(config_.durability.dir, shard.id);
+    RecoveredState state;
+    if (RecoverState(dir, &state)) {
+      shard.cluster = std::make_unique<Cluster>(
+          RemapPlan(std::move(state.plan), state.vocab, *vocab_), vocab_,
+          config_.cluster);
+      for (const STSQuery& rq : state.queries) {
+        // Skip queries the front unsubscribed (or migrated away) while the
+        // shard was down — their delete frames may be gone for good.
+        auto it = query_shards_.find(rq.id);
+        if (it == query_shards_.end() || !(it->second & bit)) continue;
+        const STSQuery q = RemapQuery(rq, state.vocab, *vocab_);
+        shard.cluster->Process(StreamTuple::OfInsert(q));
+        shard.applied.insert(q.id);
+      }
+      shard.cluster->ResetLoadWindow();
+      DurabilityConfig config = config_.durability;
+      config.dir = dir;
+      auto durability = std::make_unique<DurabilityManager>(config);
+      const uint64_t resume_seq =
+          state.checkpoint_seq +
+          (state.wal_segments > 0
+               ? static_cast<uint64_t>(state.wal_segments) - 1
+               : 0);
+      if (durability->Resume(resume_seq, state.last_lsn + 1)) {
+        shard.durability = std::move(durability);
+      }
+      recovered = true;
+    }
+  }
+  if (!recovered) {
+    if (base_plan_ == nullptr) return false;
+    shard.cluster =
+        std::make_unique<Cluster>(*base_plan_, vocab_, config_.cluster);
+  }
+
+  // 5. Reconcile: queries the registry places here that the rebuilt index
+  //    lacks are the link's state-sync prologue, applied before any
+  //    replayed in-flight frame.
+  std::vector<std::string> sync;
+  for (const auto& [id, mask] : query_shards_) {
+    if (!(mask & bit) || shard.applied.count(id) != 0) continue;
+    sync.push_back(EncodeQueryFrame(FrameKind::kQueryInsert, queries_[id]));
+  }
+
+  // 6. Fence both links under a fresh epoch; unacked control frames replay
+  //    after the prologue, the match link restarts clean (step 2 salvaged
+  //    its backlog).
+  ++shard.link_epoch;
+  {
+    std::lock_guard<std::mutex> lock(shard.ctl_mu);
+    shard.ctl_out.Reset(shard.link_epoch, std::move(sync));
+    shard.ctl_in.Reset(shard.link_epoch);
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.egress_mu);
+    shard.match_out.Reset(shard.link_epoch, {});
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.ingress_mu);
+    shard.match_in.Reset(shard.link_epoch);
+  }
+
+  // 7. Back to life.
+  shard.dead.store(false, std::memory_order_release);
+  if (started_) {
+    EngineOptions opts = config_.engine;
+    if (shard.durability != nullptr) {
+      opts.wal = &shard.durability->wal();
+    }
+    opts.delivery = shard.egress.get();
+    shard.engine = std::make_unique<ThreadedEngine>(*shard.cluster, opts);
+    shard.engine->Start();
+  }
+  return true;
+}
+
+void ShardedEngine::QuarantineShard(ShardId s) {
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  supervisor_.Quarantine(s);
+  quarantine_events_.fetch_add(1, std::memory_order_relaxed);
+  shard.dead.store(true, std::memory_order_release);
+  if (shard.engine != nullptr) {
+    if (shard.engine->running()) shard.engine->Abort();
+    shard.engine.reset();
+  }
+  // Accepted matches still get out; queued control frames die with the
+  // shard (the caller's status reports the loss).
+  LocalDrainEgress(shard);
+  {
+    std::lock_guard<std::mutex> lock(shard.ctl_mu);
+    frames_dropped_.fetch_add(shard.ctl_out.unacked(),
+                              std::memory_order_relaxed);
+    shard.ctl_out.TakeInners();
+  }
+  {
+    std::lock_guard<std::mutex> lock(shard.deferred_mu);
+    shard.deferred.clear();
+  }
+  shard.durability.reset();
+}
+
+Status ShardedEngine::CheckHealth() {
+  Status dur = durability_status();
+  if (!dur.ok()) return dur;
+  Status worst = Status::Ok();
+  for (const auto& shard : shards_) {
+    if (supervisor_.quarantined(shard->id)) {
+      if (worst.ok()) {
+        worst = Status::Unavailable("shard " + std::to_string(shard->id) +
+                                    " is quarantined");
+      }
+      continue;
+    }
+    const Status st = SendControl(shard->id, EncodePingFrame());
+    if (!st.ok() && worst.ok()) worst = st;
+  }
+  return worst;
+}
+
+void ShardedEngine::KillShard(ShardId s, bool allow_restart) {
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  shard.dead.store(true, std::memory_order_release);
+  shard.permanently_failed = !allow_restart;
+  if (shard.engine != nullptr) {
+    if (shard.engine->running()) shard.engine->Abort();
+    shard.engine.reset();
+  }
+  if (shard.durability != nullptr) {
+    // Crash semantics: unwritten WAL batch is lost; on-disk state is what
+    // the sync mode had already guaranteed.
+    shard.durability->Abandon();
+    shard.durability.reset();
+  }
+}
+
+Status ShardedEngine::ReviveShard(ShardId s) {
+  control_thread_.store(std::this_thread::get_id(),
+                        std::memory_order_relaxed);
+  Shard& shard = *shards_[static_cast<size_t>(s)];
+  shard.permanently_failed = false;
+  supervisor_.Clear(s);
+  shard_restarts_.fetch_add(1, std::memory_order_relaxed);
+  if (!RestartShard(shard)) {
+    supervisor_.Quarantine(s);
+    return Status::Internal("shard " + std::to_string(s) +
+                            " could not be revived");
+  }
+  supervisor_.OnRestart(s);
+  // Push the state-sync prologue now so the shard is consistent before the
+  // next organic control frame.
+  return FlushControl(s);
+}
+
+Status ShardedEngine::durability_status() const {
+  for (const auto& shard : shards_) {
+    if (shard->durability != nullptr && !shard->durability->healthy()) {
+      return Status::DataLoss("shard " + std::to_string(shard->id) +
+                              " WAL hit a sticky I/O error");
+    }
+  }
+  return Status::Ok();
+}
+
+FabricFaultStats ShardedEngine::fault_stats() const {
+  FabricFaultStats s;
+  s.transport_errors = transport_errors_.load(std::memory_order_relaxed);
+  s.frame_retries = frame_retries_.load(std::memory_order_relaxed);
+  s.frame_redeliveries =
+      frame_redeliveries_.load(std::memory_order_relaxed);
+  s.frames_dropped = frames_dropped_.load(std::memory_order_relaxed);
+  s.dup_suppressed = dup_suppressed_.load(std::memory_order_relaxed);
+  s.shard_restarts = shard_restarts_.load(std::memory_order_relaxed);
+  s.shards_quarantined =
+      quarantine_events_.load(std::memory_order_relaxed);
+  return s;
 }
 
 // --- transport receive paths -------------------------------------------------
@@ -356,23 +844,69 @@ void ShardedEngine::SendToShard(ShardId shard, const std::string& frame) {
 void ShardedEngine::ShardReceive(Shard& shard, ShardId from,
                                  const std::string& frame) {
   (void)from;
+  // A dead shard is a dead process: everything addressed to it vanishes
+  // unacked. The front's retry budget is the detector.
+  if (shard.dead.load(std::memory_order_acquire)) return;
   Frame f;
   if (!DecodeFrame(frame, &f)) {
     decode_errors_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  if (f.kind == FrameKind::kDrain) {
-    // Flush barrier for migrations: everything submitted to this shard
-    // before the marker must be fully processed (including match handoff)
-    // before the ack. With the loopback transport this handler runs on the
-    // facade thread — the shard engine's single submitting thread — which
-    // is exactly what Quiesce() requires.
-    if (shard.engine != nullptr) shard.engine->Quiesce();
-    transport_->Send(shard.id, kFrontEndpoint,
-                     EncodeDrainFrame(FrameKind::kDrainAck, f.drain_token));
+  if (f.kind == FrameKind::kAck) {
+    // The front acking this shard's match link.
+    std::lock_guard<std::mutex> lock(shard.egress_mu);
+    shard.match_out.Ack(f.epoch, f.ack_upto);
     return;
   }
-  ShardApply(shard, f);
+  if (!f.enveloped) {
+    // Raw control frames no longer travel the fabric.
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Ordered release must happen on the facade thread (the engines'
+  // single-producer contract); a frame the transport released elsewhere —
+  // a matured delayed hold-back inside a worker's Send — is parked for the
+  // facade thread's next pump.
+  if (std::this_thread::get_id() !=
+      control_thread_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(shard.deferred_mu);
+    shard.deferred.push_back(frame);
+    return;
+  }
+  AcceptControl(shard, std::move(f));
+}
+
+void ShardedEngine::AcceptControl(Shard& shard, Frame&& f) {
+  ReliableReceiver::Result r = shard.ctl_in.Accept(std::move(f));
+  if (r.stale) return;
+  if (r.duplicate) {
+    frame_redeliveries_.fetch_add(1, std::memory_order_relaxed);
+  }
+  for (Frame& released : r.apply) ApplyControl(shard, released);
+  // Apply-before-ack, cumulative; duplicates are re-acked so the front
+  // stops retrying a frame whose first ack got lost.
+  if (!transport_->Send(shard.id, kFrontEndpoint,
+                        EncodeAckFrame(r.epoch, r.ack_upto))) {
+    transport_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ShardedEngine::ApplyControl(Shard& shard, Frame& f) {
+  switch (f.kind) {
+    case FrameKind::kDrain:
+      // Flush barrier: everything submitted before the marker is fully
+      // processed (including match handoff) before the ack token travels
+      // back on the match link — behind every match it must trail.
+      if (shard.engine != nullptr) shard.engine->Quiesce();
+      EnqueueEgress(shard,
+                    EncodeDrainFrame(FrameKind::kDrainAck, f.drain_token));
+      return;
+    case FrameKind::kPing:
+      return;  // the ack is the answer
+    default:
+      ShardApply(shard, f);
+      return;
+  }
 }
 
 void ShardedEngine::ShardApply(Shard& shard, const Frame& f) {
@@ -402,6 +936,11 @@ void ShardedEngine::ShardApply(Shard& shard, const Frame& f) {
       return;
     }
     case FrameKind::kQueryInsert: {
+      // The applied set makes redelivery idempotent: a restart replays
+      // every unacked frame, and an insert that already landed (its ack was
+      // the casualty) must not double-index.
+      if (shard.applied.count(f.query.id) != 0) return;
+      shard.applied.insert(f.query.id);
       // WAL-before-apply, against this shard's own log: the copy phase of a
       // cross-shard migration is durable the same way a fresh subscribe is.
       if (shard.durability != nullptr) {
@@ -416,6 +955,9 @@ void ShardedEngine::ShardApply(Shard& shard, const Frame& f) {
       return;
     }
     case FrameKind::kQueryDelete: {
+      // Same idempotency in reverse: deleting a query this incarnation
+      // never indexed is a no-op (it was reconciled away at restart).
+      if (shard.applied.erase(f.query.id) == 0) return;
       if (shard.durability != nullptr) {
         shard.durability->wal().AppendUnsubscribe(f.query.id);
       }
@@ -434,30 +976,71 @@ void ShardedEngine::ShardApply(Shard& shard, const Frame& f) {
 }
 
 void ShardedEngine::FrontReceive(ShardId from, const std::string& frame) {
-  (void)from;
+  if (from < 0 || from >= num_shards()) {
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   Frame f;
   if (!DecodeFrame(frame, &f)) {
     decode_errors_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  Shard& shard = *shards_[static_cast<size_t>(from)];
+  if (f.kind == FrameKind::kAck) {
+    // The shard acking the front's control link.
+    std::lock_guard<std::mutex> lock(shard.ctl_mu);
+    shard.ctl_out.Ack(f.epoch, f.ack_upto);
+    return;
+  }
+  if (!f.enveloped) {
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Concurrent path: worker threads of every shard land here. Sequence
+  // dedup kills retransmitted copies; the DeliveryRouter's window kills
+  // semantic duplicates (migration overlap, salvage replays).
+  uint64_t ack_epoch = 0, ack_upto = 0;
+  std::vector<Frame> apply;
+  {
+    std::lock_guard<std::mutex> lock(shard.ingress_mu);
+    ReliableReceiver::Result r = shard.match_in.Accept(std::move(f));
+    if (r.stale) return;
+    if (r.duplicate) {
+      frame_redeliveries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ack_epoch = r.epoch;
+    ack_upto = r.ack_upto;
+    apply = std::move(r.apply);
+  }
+  for (Frame& released : apply) ApplyFromShard(released);
+  SendToShard(from, EncodeAckFrame(ack_epoch, ack_upto));
+}
+
+void ShardedEngine::ApplyFromShard(Frame& f) {
   switch (f.kind) {
     case FrameKind::kMatchBatch:
-      // Concurrent path: worker threads of every shard land here. The
-      // front sink (DeliveryRouter) is thread-safe, and its dedup window is
-      // the fleet-wide belt-and-braces filter — a match double-produced
-      // around a migration (old and new owner both matched it) dies here.
       for (const WireMatch& wm : f.matches) {
         MatchResult m;
         m.query_id = wm.query_id;
         m.object_id = wm.object_id;
         if (front_sink_->AcceptFresh(m.query_id, m.object_id)) {
           front_sink_->Deliver(m, wm.publish_us);
+        } else {
+          dup_suppressed_.fetch_add(1, std::memory_order_relaxed);
         }
       }
       return;
-    case FrameKind::kDrainAck:
-      last_drain_ack_.store(f.drain_token, std::memory_order_release);
+    case FrameKind::kDrainAck: {
+      // Monotonic max: drain acks can arrive out of order on the unordered
+      // match link (and replay through the salvage path).
+      uint64_t cur = last_drain_ack_.load(std::memory_order_relaxed);
+      while (f.drain_token > cur &&
+             !last_drain_ack_.compare_exchange_weak(
+                 cur, f.drain_token, std::memory_order_release,
+                 std::memory_order_relaxed)) {
+      }
       return;
+    }
     default:
       decode_errors_.fetch_add(1, std::memory_order_relaxed);
       return;
@@ -469,6 +1052,7 @@ void ShardedEngine::FrontReceive(ShardId from, const std::string& frame) {
 void ShardedEngine::Start() {
   if (!bootstrapped() || started_) return;
   for (auto& shard : shards_) {
+    if (supervisor_.quarantined(shard->id)) continue;
     EngineOptions opts = config_.engine;
     if (shard->durability != nullptr) {
       opts.wal = &shard->durability->wal();
@@ -484,16 +1068,43 @@ void ShardedEngine::Start() {
 RunReport ShardedEngine::Stop() {
   RunReport fleet;
   if (!started_) return fleet;
+  control_thread_.store(std::this_thread::get_id(),
+                        std::memory_order_relaxed);
+  PumpDeferred();
   shard_reports_.clear();
   for (auto& shard : shards_) {
-    shard_reports_.push_back(shard->engine->Stop());
-    shard->engine.reset();
+    if (shard->engine != nullptr) {
+      shard_reports_.push_back(shard->engine->Stop());
+      shard->engine.reset();
+    } else {
+      shard_reports_.push_back(RunReport());
+    }
   }
   started_ = false;
+  // Everything the engines produced on their way out still has to cross
+  // the match links (retransmitting what the transport dropped).
+  for (auto& shard : shards_) {
+    if (shard->dead.load(std::memory_order_acquire) ||
+        supervisor_.quarantined(shard->id)) {
+      LocalDrainEgress(*shard);
+    } else {
+      FlushEgress(shard->id);
+    }
+  }
+  PumpDeferred();
   fleet = shard_reports_[0];
   for (size_t i = 1; i < shard_reports_.size(); ++i) {
     fleet.MergeShard(shard_reports_[i]);
   }
+  // The fabric's own fault tallies ride the fleet report.
+  const FabricFaultStats fs = fault_stats();
+  fleet.transport_errors = fs.transport_errors;
+  fleet.frame_retries = fs.frame_retries;
+  fleet.frame_redeliveries = fs.frame_redeliveries;
+  fleet.frames_dropped = fs.frames_dropped;
+  fleet.fabric_dup_suppressed = fs.dup_suppressed;
+  fleet.shard_restarts = fs.shard_restarts;
+  fleet.shards_quarantined = fs.shards_quarantined;
   return fleet;
 }
 
@@ -502,6 +1113,7 @@ RunReport ShardedEngine::Stop() {
 bool ShardedEngine::durable() const {
   if (!durable_root_) return false;
   for (const auto& shard : shards_) {
+    if (supervisor_.quarantined(shard->id)) continue;
     if (shard->durability == nullptr || !shard->durability->healthy()) {
       return false;
     }
@@ -514,6 +1126,7 @@ bool ShardedEngine::Checkpoint(QueryId next_query_id,
   if (!durable_root_ || !bootstrapped()) return false;
   bool ok = true;
   for (auto& shard : shards_) {
+    if (supervisor_.quarantined(shard->id)) continue;
     if (shard->durability == nullptr) {
       ok = false;
       continue;
@@ -555,6 +1168,7 @@ bool ShardedEngine::ShouldCheckpoint() const {
 
 void ShardedEngine::Kill() {
   for (auto& shard : shards_) {
+    shard->dead.store(true, std::memory_order_release);
     if (shard->engine != nullptr && shard->engine->running()) {
       shard->engine->Abort();
     }
@@ -567,14 +1181,21 @@ void ShardedEngine::Kill() {
 
 // --- migration ---------------------------------------------------------------
 
-void ShardedEngine::DrainShard(ShardId shard) {
+Status ShardedEngine::DrainShard(ShardId shard) {
   const uint64_t token = next_drain_token_++;
-  SendToShard(shard, EncodeDrainFrame(FrameKind::kDrain, token));
-  // Loopback answers before Send returns; an async transport delivers the
-  // ack from another thread, so spin on the token (control plane only —
-  // never on the data path).
+  const Status st =
+      SendControl(shard, EncodeDrainFrame(FrameKind::kDrain, token));
+  if (!st.ok()) return st;
+  // The marker was applied (apply-before-ack), so its ack token is already
+  // queued on the match link *behind* every match produced before the
+  // barrier; flushing the link until the token shows proves they all
+  // reached the front.
   while (last_drain_ack_.load(std::memory_order_acquire) < token) {
+    const Status flush = FlushEgress(shard);
+    if (!flush.ok()) return flush;
+    PumpDeferred();
   }
+  return Status::Ok();
 }
 
 ShardMigrationStats ShardedEngine::MigrateCell(CellId cell, ShardId from,
@@ -584,6 +1205,9 @@ ShardMigrationStats ShardedEngine::MigrateCell(CellId cell, ShardId from,
   if (from < 0 || to < 0 || from >= num_shards() || to >= num_shards()) {
     return stats;
   }
+  if (supervisor_.quarantined(from) || supervisor_.quarantined(to)) {
+    return stats;
+  }
   const auto map = map_->Current();
   if (map->OwnerOf(cell) != from) return stats;
 
@@ -591,14 +1215,15 @@ ShardMigrationStats ShardedEngine::MigrateCell(CellId cell, ShardId from,
   // doesn't already hold. The shard WALs each insert before applying, so a
   // crash mid-copy recovers a harmless superset (the map still names
   // `from`; the extra copies at `to` produce no deliveries because no
-  // object routes there yet).
+  // object routes there yet). A copy that fails aborts the migration at
+  // the same harmless point.
   const uint64_t to_bit = ShardBit(to);
   for (const QueryId id : cell_queries_[cell]) {
     uint64_t& mask = query_shards_[id];
     if (mask & to_bit) continue;
     const std::string frame =
         EncodeQueryFrame(FrameKind::kQueryInsert, queries_[id]);
-    SendToShard(to, frame);
+    if (!SendControl(to, frame).ok()) return stats;
     mask |= to_bit;
     ++stats.queries_copied;
     stats.bytes += frame.size();
@@ -613,11 +1238,13 @@ ShardMigrationStats ShardedEngine::MigrateCell(CellId cell, ShardId from,
     WriteShardMapFile(ShardMapPath(config_.durability.dir),
                       *map_->Current());
   }
+  ++cells_migrated_;
 
   // Phase 3 — drain: flush everything in flight at the old owner. Objects
   // routed under the old map finish matching (and their matches reach the
-  // front) before any source copy disappears.
-  DrainShard(from);
+  // front) before any source copy disappears. On failure keep the source
+  // superset — correct, just unshed.
+  if (!DrainShard(from).ok()) return stats;
 
   // Phase 4 — remove: retire source copies whose query no longer overlaps
   // any `from`-owned cell under the new map. In-flight duplicates this
@@ -640,12 +1267,14 @@ ShardMigrationStats ShardedEngine::MigrateCell(CellId cell, ShardId from,
       }
     }
     if (still_needed) continue;
-    SendToShard(from,
-                EncodeQueryFrame(FrameKind::kQueryDelete, it->second));
+    if (!SendControl(from, EncodeQueryFrame(FrameKind::kQueryDelete,
+                                            it->second))
+             .ok()) {
+      return stats;
+    }
     mask &= ~from_bit;
     ++stats.queries_removed;
   }
-  ++cells_migrated_;
   return stats;
 }
 
@@ -656,6 +1285,10 @@ size_t ShardedEngine::MaybeRebalance() {
                      config_.fabric.rebalance_max_moves);
   size_t migrated = 0;
   for (const ShardMove& move : moves) {
+    if (supervisor_.quarantined(move.from) ||
+        supervisor_.quarantined(move.to)) {
+      continue;
+    }
     const ShardMigrationStats stats =
         MigrateCell(move.cell, move.from, move.to);
     if (stats.queries_copied > 0 || stats.queries_removed > 0 ||

@@ -3,19 +3,26 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "adjust/shard_balancer.h"
 #include "api/delivery_sink.h"
+#include "api/status.h"
 #include "common/dedup_window.h"
 #include "core/workload_stats.h"
 #include "persist/durability.h"
 #include "runtime/metrics.h"
 #include "runtime/threaded_engine.h"
+#include "shard/reliable.h"
 #include "shard/shard_map.h"
+#include "shard/supervisor.h"
 #include "shard/transport.h"
 #include "shard/wire.h"
 
@@ -38,6 +45,24 @@ struct ShardFabricOptions {
   size_t rebalance_check_interval = 100000;
   double rebalance_sigma = 1.5;
   size_t rebalance_max_moves = 4;
+  // --- fault tolerance ------------------------------------------------------
+  // Retransmission schedule of every reliable link (control frames front ->
+  // shard, match/drain-ack frames shard -> front). Exhausting it is the
+  // fabric's failure detector.
+  RetryPolicy retry;
+  // Supervisor policy: consecutive failed restart cycles before a shard is
+  // quarantined (degraded mode).
+  int max_restarts = 3;
+  // Posts between automatic CheckHealth() probe sweeps; 0 = probes only via
+  // explicit CheckHealth() calls (every acked control frame already doubles
+  // as a liveness signal, so probes matter for idle shards).
+  size_t health_probe_interval = 0;
+  // Seed of the links' backoff-jitter RNG (deterministic tests).
+  uint64_t link_seed = 0x51ED5EEDULL;
+  // Transport override threaded through PS2StreamOptions — the hook tests
+  // use to wrap the loopback in a FaultInjectingTransport. Not owned;
+  // nullptr = the fabric owns a plain loopback.
+  Transport* transport = nullptr;
 };
 
 // Everything the fabric needs from the facade's option set.
@@ -56,6 +81,18 @@ struct ShardMigrationStats {
   size_t queries_copied = 0;   // insert frames shipped to the new owner
   size_t queries_removed = 0;  // source copies retired after the drain
   size_t bytes = 0;            // wire bytes of the copy phase
+};
+
+// Fault-tolerance tallies of the fabric (mirrored into the fleet RunReport
+// by Stop(); readable live through fault_stats()).
+struct FabricFaultStats {
+  uint64_t transport_errors = 0;   // Transport::Send() returned false
+  uint64_t frame_retries = 0;      // reliable-link retransmissions
+  uint64_t frame_redeliveries = 0; // duplicate frames receivers suppressed
+  uint64_t frames_dropped = 0;     // frames abandoned (quarantined target)
+  uint64_t dup_suppressed = 0;     // match dups killed at the front window
+  uint64_t shard_restarts = 0;     // supervisor restart attempts
+  uint64_t shards_quarantined = 0; // quarantine events
 };
 
 // N engine shards behind the unchanged PS2Stream facade. Each shard is a
@@ -98,9 +135,27 @@ struct ShardMigrationStats {
 // on ids minted after the last checkpoint), and rebuilds the front's
 // placement registries from the recovered per-shard query sets.
 //
+// Fault tolerance (the robustness layer over the seam above): every frame
+// travels a *reliable link* — a kControl envelope stamped with a link epoch
+// and sequence number, retried with timeout + exponential backoff + jitter
+// until the peer's cumulative ack covers it (shard/reliable.h). The
+// front->shard control link releases frames strictly in sequence order, so
+// a delayed/reordered transport cannot reorder the facade's operations; the
+// shard->front match link is unordered and leans on the DeliveryRouter's
+// dedup window. Sequence dedup plus a per-shard applied-query set makes
+// redelivery idempotent. When a frame exhausts its retry budget (or a
+// health probe does), the ShardSupervisor restarts the shard — from its own
+// WAL+checkpoint directory when durable, from a registry resync otherwise —
+// replays the unacked frames under a bumped link epoch, and after
+// `max_restarts` consecutive failures quarantines it: Post/Subscribe
+// touching its cells return kUnavailable while healthy shards keep serving
+// (degraded mode).
+//
 // Threading contract: every control-plane method (Subscribe, Post,
 // MigrateCell, Checkpoint, Start/Stop, ...) is facade-thread-only, exactly
-// like PS2Stream itself. Only the match-frame receive path is concurrent.
+// like PS2Stream itself. Only the match-frame receive path is concurrent;
+// a control frame the transport releases on a foreign thread is parked and
+// applied by the facade thread at its next control-plane call.
 class ShardedEngine {
  public:
   // What Restore() hands back to the facade so it can rebuild its
@@ -137,13 +192,18 @@ class ShardedEngine {
 
   // --- control plane (facade thread) ---------------------------------------
   // Sends the query to every shard owning a cell its region overlaps and
-  // records the placement. The facade routes the delivery session first.
-  void Subscribe(const STSQuery& query);
-  void Unsubscribe(QueryId id);
+  // records the placement (acked; a dead owner is restarted in-line).
+  // kUnavailable when an owner is quarantined — the placement is rolled
+  // back, including best-effort deletes at shards already reached.
+  Status Subscribe(const STSQuery& query);
+  // Retires the placement and sends deletes to the healthy owners; copies
+  // at quarantined shards die with the shard. kUnavailable only when every
+  // owner is quarantined.
+  Status Unsubscribe(QueryId id);
   // Routes the object to its cell's owner. `publish_us` is the facade's
   // publish stamp, carried through the wire so delivery latency covers the
-  // full cross-shard path.
-  void Post(const SpatioTextualObject& object, int64_t publish_us);
+  // full cross-shard path. kUnavailable when the owner is quarantined.
+  Status Post(const SpatioTextualObject& object, int64_t publish_us);
 
   // --- engines --------------------------------------------------------------
   void Start();
@@ -162,12 +222,46 @@ class ShardedEngine {
   // Crash simulation: aborts engines, abandons WALs. Fleet unusable after.
   void Kill();
 
+  // --- fault tolerance ------------------------------------------------------
+  // Probes every live shard (an acked kPing per shard) and reports the
+  // first degradation; a probe that exhausts its retries walks the same
+  // restart/quarantine path as any control frame. Ok when the whole fleet
+  // answered.
+  Status CheckHealth();
+  // Failure drill: makes shard `s` unresponsive — every frame to it is
+  // swallowed unacked, as if its process died. The supervisor detects the
+  // missed acks on the next control frame (or probe) and restarts it; with
+  // `allow_restart` false the restart fails too, so `max_restarts`
+  // detections drive the shard into quarantine.
+  void KillShard(ShardId s, bool allow_restart = true);
+  // Operator override: clears quarantine/kill state, restarts the shard
+  // from its durable directory (or a registry resync) and replays pending
+  // frames. kInternal when the restart fails again.
+  Status ReviveShard(ShardId s);
+  bool shard_quarantined(ShardId s) const {
+    return supervisor_.quarantined(s);
+  }
+  // Degraded mode: at least one shard is quarantined (traffic touching its
+  // cells bounces with kUnavailable; the rest of the fleet serves).
+  bool degraded() const { return supervisor_.any_quarantined(); }
+  // Non-Ok when a live shard's WAL hit its sticky I/O error (kDataLoss) —
+  // the facade refuses further mutations rather than silently losing them.
+  Status durability_status() const;
+  FabricFaultStats fault_stats() const;
+  uint64_t shard_restart_count(ShardId s) const {
+    return supervisor_.restarts(s);
+  }
+
   // --- migration ------------------------------------------------------------
   // Moves cell ownership `from` -> `to` with the copy/publish/drain/remove
-  // protocol. No-op stats when the cell is not currently owned by `from`.
+  // protocol. No-op stats when the cell is not currently owned by `from`,
+  // or when either end is quarantined. A shard failure mid-protocol aborts
+  // at a safe point (placement supersets are harmless; the dedup window
+  // kills transient duplicates).
   ShardMigrationStats MigrateCell(CellId cell, ShardId from, ShardId to);
   // Runs the balancer over the window's per-cell object counts and executes
-  // the planned moves. Returns the number of cells migrated.
+  // the planned moves (quarantined shards excluded). Returns the number of
+  // cells migrated.
   size_t MaybeRebalance();
 
   // --- introspection --------------------------------------------------------
@@ -188,17 +282,23 @@ class ShardedEngine {
     return decode_errors_.load(std::memory_order_relaxed);
   }
   Transport& transport() { return *transport_; }
+  // Per-shard durability manager (nullptr: durability off or shard
+  // quarantined) — failure drills trip its WAL from here.
+  DurabilityManager* shard_durability(ShardId s) {
+    return shards_[static_cast<size_t>(s)]->durability.get();
+  }
 
  private:
   // Per-shard delivery sink: worker threads (or the sync Process path)
-  // dedup through a shard-local window, then ship match-batch frames to
-  // the front. Lives next to its shard, not inside the engine — the seam
-  // the engines already expose (EngineOptions::delivery) is all the fabric
-  // needs.
+  // dedup through a shard-local window, then hand match-batch frames to the
+  // shard's reliable egress link. Lives next to its shard, not inside the
+  // engine — the seam the engines already expose (EngineOptions::delivery)
+  // is all the fabric needs. Recreated on restart so the fresh incarnation
+  // can re-emit matches the dead one produced but never shipped.
   class ShardEgress final : public DeliverySink {
    public:
-    ShardEgress(ShardId shard, Transport* transport, size_t window_capacity)
-        : shard_(shard), transport_(transport), dedup_(window_capacity) {}
+    ShardEgress(ShardedEngine* owner, ShardId shard, size_t window_capacity)
+        : owner_(owner), shard_(shard), dedup_(window_capacity) {}
 
     bool AcceptFresh(QueryId query_id, ObjectId object_id) override {
       return dedup_.AcceptFresh(query_id, object_id);
@@ -207,8 +307,8 @@ class ShardedEngine {
     void DeliverBatch(const Delivery* pending, size_t n) override;
 
    private:
+    ShardedEngine* owner_;
     ShardId shard_;
-    Transport* transport_;
     ShardedDedupWindow dedup_;
   };
 
@@ -218,6 +318,32 @@ class ShardedEngine {
     std::unique_ptr<ThreadedEngine> engine;
     std::unique_ptr<DurabilityManager> durability;
     std::unique_ptr<ShardEgress> egress;
+
+    // --- fault-tolerance state ---------------------------------------------
+    // Kill switch (failure drills): the shard's receive path swallows every
+    // frame without acking, as if the process died.
+    std::atomic<bool> dead{false};
+    bool permanently_failed = false;  // restart attempts refuse (drills)
+    uint64_t link_epoch = 1;          // bumped on every restart
+    // front->shard control link. Sender state is touched by the facade
+    // thread and by acks the transport may deliver on a worker thread.
+    std::mutex ctl_mu;
+    ReliableSender ctl_out;
+    ReliableReceiver ctl_in{ReliableReceiver::Order::kOrdered};
+    // shard->front match link. Sender fed by worker threads; receiver
+    // state shared by every worker delivering to the front.
+    std::mutex egress_mu;
+    ReliableSender match_out;
+    std::mutex ingress_mu;
+    ReliableReceiver match_in{ReliableReceiver::Order::kUnordered};
+    // Control frames the transport released on a non-facade thread (a
+    // delayed hold-back), parked for the facade thread's next pump.
+    std::mutex deferred_mu;
+    std::deque<std::string> deferred;
+    // Queries this shard has applied (facade thread only): the idempotency
+    // filter for redelivered inserts/deletes and the restart reconcile
+    // source.
+    std::unordered_set<QueryId> applied;
   };
 
   void StandUpShards(PartitionPlan plan, int num_shards);
@@ -225,15 +351,53 @@ class ShardedEngine {
   // Transport receive handlers.
   void ShardReceive(Shard& shard, ShardId from, const std::string& frame);
   void FrontReceive(ShardId from, const std::string& frame);
+  // Releases an enveloped control frame through the shard's ordered
+  // receiver, applies what it releases and acks (facade thread only).
+  void AcceptControl(Shard& shard, Frame&& f);
+  // Applies one released control frame: drain barrier, ping, or ShardApply.
+  void ApplyControl(Shard& shard, Frame& f);
   // Applies a decoded control frame on a shard (WAL-before-apply; Submit in
   // started mode, inline Process otherwise).
   void ShardApply(Shard& shard, const Frame& f);
+  // Applies one frame released by a shard's match link at the front.
+  void ApplyFromShard(Frame& f);
+
+  // --- reliable-link plumbing ----------------------------------------------
+  // Queues one control frame on the shard's link and pumps until acked
+  // (restarting/quarantining on failure). The fabric's only way to talk to
+  // a shard.
+  Status SendControl(ShardId s, std::string inner);
+  // Pumps shard `s`'s control link until every queued frame is acked.
+  Status FlushControl(ShardId s);
+  // Pumps shard `s`'s match link until every produced match/drain-ack
+  // reached the front (sync-mode Post's delivery barrier).
+  Status FlushEgress(ShardId s);
+  // Hands `inner` to the shard's match link and ships whatever is due.
+  void EnqueueEgress(Shard& shard, std::string inner);
+  // ShardEgress entry: ships one match-batch frame from shard `s`.
+  void ShipMatches(ShardId s, std::string frame);
+  // Applies frames deferred from foreign threads (facade thread only).
+  void PumpDeferred();
+  // Applies a dead shard's unacked egress directly to the front sink (the
+  // dedup window makes replays safe) so accepted matches survive restarts.
+  void LocalDrainEgress(Shard& shard);
+
+  // --- supervision ----------------------------------------------------------
+  // A shard missed its ack deadline: restart it (Ok — caller retries) or
+  // quarantine it (kUnavailable).
+  Status HandleShardFailure(ShardId s);
+  // Rebuilds the shard: recover from its durable dir (or a fresh index),
+  // reconcile with the placement registry, bump the link epoch and re-queue
+  // unacked frames. False when the shard cannot be brought back.
+  bool RestartShard(Shard& shard);
+  void QuarantineShard(ShardId s);
+
   void SendToShard(ShardId shard, const std::string& frame);
   // Registry maintenance.
   void RegisterPlacement(const STSQuery& query, uint64_t mask);
   void ForgetPlacement(QueryId id);
   // Drain barrier: flushes everything in flight at `shard`.
-  void DrainShard(ShardId shard);
+  Status DrainShard(ShardId shard);
 
   ShardedEngineConfig config_;
   Vocabulary* vocab_;
@@ -245,6 +409,12 @@ class ShardedEngine {
   std::vector<std::unique_ptr<Shard>> shards_;
   bool started_ = false;
   bool durable_root_ = false;  // SHARDMAP file is being maintained
+  // The bootstrap plan, kept so a non-durable shard can be restarted onto
+  // the same geometry (queries are re-sent from the registry).
+  std::unique_ptr<PartitionPlan> base_plan_;
+  // The thread driving the control plane (re-pinned at every control op);
+  // receive handlers use it to tell inline delivery from a foreign thread.
+  std::atomic<std::thread::id> control_thread_;
 
   // Front placement registries (facade thread only).
   std::unordered_map<QueryId, uint64_t> query_shards_;  // shard bitmask
@@ -254,7 +424,9 @@ class ShardedEngine {
   // Balancer signal: objects routed per cell since the last window reset.
   std::vector<uint64_t> cell_objects_;
   size_t posts_since_rebalance_ = 0;
+  size_t posts_since_probe_ = 0;
   ShardBalancer balancer_;
+  ShardSupervisor supervisor_;
 
   // Drain handshake (loopback answers synchronously; the atomic keeps the
   // handshake correct for an async transport delivering acks from another
@@ -265,6 +437,15 @@ class ShardedEngine {
   std::atomic<uint64_t> decode_errors_{0};
   uint64_t cells_migrated_ = 0;
   std::vector<RunReport> shard_reports_;
+
+  // Fault counters (FabricFaultStats mirror; bumped from any thread).
+  std::atomic<uint64_t> transport_errors_{0};
+  std::atomic<uint64_t> frame_retries_{0};
+  std::atomic<uint64_t> frame_redeliveries_{0};
+  std::atomic<uint64_t> frames_dropped_{0};
+  std::atomic<uint64_t> dup_suppressed_{0};
+  std::atomic<uint64_t> shard_restarts_{0};
+  std::atomic<uint64_t> quarantine_events_{0};
 
   std::vector<CellId> overlap_scratch_;
 };

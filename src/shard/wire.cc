@@ -108,6 +108,28 @@ std::string EncodeDrainFrame(FrameKind kind, uint64_t token) {
   return Seal(kind, w.TakeBuffer());
 }
 
+std::string EncodeControlFrame(uint64_t epoch, uint64_t seq,
+                               const std::string& inner) {
+  ByteWriter w;
+  w.Pod<uint64_t>(epoch);
+  w.Pod<uint64_t>(seq);
+  w.Pod<uint32_t>(static_cast<uint32_t>(inner.size()));
+  std::string payload = w.TakeBuffer();
+  payload += inner;
+  return Seal(FrameKind::kControl, std::move(payload));
+}
+
+std::string EncodeAckFrame(uint64_t epoch, uint64_t ack_upto) {
+  ByteWriter w;
+  w.Pod<uint64_t>(epoch);
+  w.Pod<uint64_t>(ack_upto);
+  return Seal(FrameKind::kAck, w.TakeBuffer());
+}
+
+std::string EncodePingFrame() {
+  return Seal(FrameKind::kPing, std::string());
+}
+
 bool DecodeFrame(const std::string& frame, Frame* out) {
   if (frame.size() < kHeaderBytes) return false;
   ByteReader h(frame.data(), kHeaderBytes);
@@ -140,6 +162,34 @@ bool DecodeFrame(const std::string& frame, Frame* out) {
       out->kind = static_cast<FrameKind>(kind);
       out->drain_token = r.Pod<uint64_t>();
       return r.ok() && r.remaining() == 0;
+    case FrameKind::kControl: {
+      const uint64_t epoch = r.Pod<uint64_t>();
+      const uint64_t seq = r.Pod<uint64_t>();
+      const uint32_t inner_len = r.Pod<uint32_t>();
+      if (!r.ok() || epoch == 0 || seq == 0) return false;
+      if (r.remaining() != inner_len) return false;
+      const std::string inner(payload + (payload_len - r.remaining()),
+                              inner_len);
+      if (!DecodeFrame(inner, out)) return false;
+      // Envelopes never nest, and an ack is a link-level reply, not a
+      // payload — rejecting both keeps the recursion depth at one.
+      if (out->kind == FrameKind::kControl || out->kind == FrameKind::kAck ||
+          out->enveloped) {
+        return false;
+      }
+      out->enveloped = true;
+      out->epoch = epoch;
+      out->seq = seq;
+      return true;
+    }
+    case FrameKind::kAck:
+      out->kind = FrameKind::kAck;
+      out->epoch = r.Pod<uint64_t>();
+      out->ack_upto = r.Pod<uint64_t>();
+      return r.ok() && r.remaining() == 0 && out->epoch != 0;
+    case FrameKind::kPing:
+      out->kind = FrameKind::kPing;
+      return r.remaining() == 0;
   }
   return false;
 }

@@ -32,6 +32,14 @@ enum class FrameKind : uint8_t {
   kMatchBatch = 4,
   kDrain = 5,
   kDrainAck = 6,
+  // Reliable-link framing (shard/reliable.h): every frame a reliable link
+  // carries travels inside a kControl envelope stamped with the link epoch
+  // and a per-link sequence number; the receiver answers with cumulative
+  // kAck frames. kPing is an empty payload whose ack doubles as a health
+  // probe pong. Envelopes never nest.
+  kControl = 7,
+  kAck = 8,
+  kPing = 9,
 };
 
 // One delivered match on the wire: the ids plus the publish timestamp the
@@ -43,7 +51,10 @@ struct WireMatch {
   int64_t publish_us = 0;
 };
 
-// A decoded frame; only the fields of `kind` are meaningful.
+// A decoded frame; only the fields of `kind` are meaningful. Decoding a
+// kControl envelope yields the *inner* frame's kind and fields with
+// `enveloped` set and the envelope's epoch/seq attached — callers never see
+// kControl as a kind of its own.
 struct Frame {
   FrameKind kind = FrameKind::kObject;
   SpatioTextualObject object;  // kObject
@@ -51,6 +62,11 @@ struct Frame {
   STSQuery query;              // kQueryInsert / kQueryDelete
   std::vector<WireMatch> matches;  // kMatchBatch
   uint64_t drain_token = 0;    // kDrain / kDrainAck
+  // Reliable-link metadata (enveloped frames and kAck).
+  bool enveloped = false;
+  uint64_t epoch = 0;   // link incarnation (bumped on shard restart)
+  uint64_t seq = 0;     // per-link sequence number (enveloped frames)
+  uint64_t ack_upto = 0;  // kAck: cumulative — every seq <= this arrived
 };
 
 std::string EncodeObjectFrame(const SpatioTextualObject& o,
@@ -58,6 +74,12 @@ std::string EncodeObjectFrame(const SpatioTextualObject& o,
 std::string EncodeQueryFrame(FrameKind kind, const STSQuery& q);
 std::string EncodeMatchBatchFrame(const WireMatch* matches, size_t n);
 std::string EncodeDrainFrame(FrameKind kind, uint64_t token);
+// Wraps an already-sealed frame in a reliable-link envelope. `inner` must
+// not itself be a kControl or kAck frame (DecodeFrame rejects nesting).
+std::string EncodeControlFrame(uint64_t epoch, uint64_t seq,
+                               const std::string& inner);
+std::string EncodeAckFrame(uint64_t epoch, uint64_t ack_upto);
+std::string EncodePingFrame();
 
 // Returns false on any malformed input: short header, truncated payload,
 // trailing garbage, CRC mismatch, unknown kind, or counts that outsize the

@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "index/reference_matcher.h"
 #include "runtime/ps2stream.h"
+#include "shard/fault_transport.h"
 #include "test_util.h"
 
 namespace ps2 {
@@ -183,6 +184,119 @@ TEST(ShardEquivalenceTest, MigrationNeverDuplicatesADelivery) {
     EXPECT_TRUE(seen.insert(key).second)
         << "duplicate delivery q" << m.query_id << " o" << m.object_id;
   }
+}
+
+// The reliable links must hide an adversarial transport completely: with
+// frames randomly dropped, held back (reordered), and duplicated, every
+// shard count still delivers exactly the reference match set — retries
+// recover the losses, the ordered control link undoes the reordering, and
+// sequence dedup plus the front window kill the duplicates.
+TEST(ShardEquivalenceTest, FaultInjectedSchedulesStayExact) {
+  for (const uint64_t seed : {61u, 62u}) {
+    const testutil::TestWorkload w = testutil::MakeWorkload(seed, 500, 160);
+    const std::vector<Action> actions = MakeActions(w, seed * 100 + 3);
+    const std::vector<MatchResult> expected = ReferenceRun(actions);
+    ASSERT_FALSE(expected.empty());
+
+    for (const int shards : {1, 2, 4}) {
+      FaultScheduleConfig fc;
+      fc.seed = seed * 10 + static_cast<uint64_t>(shards);
+      fc.drop_rate = 0.05;
+      fc.delay_rate = 0.10;
+      fc.max_delay_sends = 4;
+      fc.duplicate_rate = 0.05;
+      // Outlives the stream: the fabric holds a borrowed pointer.
+      FaultInjectingTransport fault(fc);
+      PS2StreamOptions options = Options(shards);
+      options.sharding.transport = &fault;
+      PS2Stream ps2(options);
+      ps2.Bootstrap(w.sample);
+      SessionOptions so;
+      so.queue_capacity = 1 << 16;
+      auto session = ps2.OpenSession(so);
+      std::vector<MatchResult> delivered;
+      RunSchedule(ps2, session, actions, 0, actions.size(),
+                  /*migrate_every=*/shards > 1 ? 41 : 0, &delivered);
+      EXPECT_EQ(testutil::Sorted(std::move(delivered)), expected)
+          << "seed " << seed << ", " << shards << " shard(s)";
+      if (shards > 1) {
+        const FaultCounters c = fault.counters();
+        EXPECT_GT(c.dropped + c.delayed + c.duplicated, 0u)
+            << "the schedule never actually injected a fault";
+        const FabricFaultStats fs = ps2.fabric()->fault_stats();
+        EXPECT_GT(fs.frame_retries, 0u)
+            << "drops never forced a retransmission";
+        EXPECT_EQ(ps2.fabric()->decode_errors(), 0u);
+        EXPECT_FALSE(ps2.fabric()->degraded())
+            << "transient faults must never quarantine a shard";
+      }
+    }
+  }
+}
+
+// Killing a live shard mid-schedule (non-durable fleet): the supervisor
+// detects the missed acks on the next frame, restarts the shard from a
+// registry resync, and replays the unacked frames — the final match set is
+// still byte-exact against the reference.
+TEST(ShardEquivalenceTest, ShardKillMidScheduleStaysExact) {
+  const testutil::TestWorkload w = testutil::MakeWorkload(71, 500, 160);
+  const std::vector<Action> actions = MakeActions(w, 7103);
+  const std::vector<MatchResult> expected = ReferenceRun(actions);
+  ASSERT_FALSE(expected.empty());
+
+  PS2Stream ps2(Options(4));
+  ps2.Bootstrap(w.sample);
+  SessionOptions so;
+  so.queue_capacity = 1 << 16;
+  auto session = ps2.OpenSession(so);
+  std::vector<MatchResult> delivered;
+  const size_t half = actions.size() / 2;
+  RunSchedule(ps2, session, actions, 0, half, /*migrate_every=*/0,
+              &delivered);
+  ps2.fabric()->KillShard(1);
+  RunSchedule(ps2, session, actions, half, actions.size(),
+              /*migrate_every=*/0, &delivered);
+  EXPECT_EQ(testutil::Sorted(std::move(delivered)), expected);
+  EXPECT_GE(ps2.fabric()->shard_restart_count(1), 1u);
+  EXPECT_FALSE(ps2.fabric()->degraded());
+  EXPECT_GT(ps2.fabric()->fault_stats().shard_restarts, 0u);
+}
+
+// Same drill on a durable fleet: the restart recovers the shard from its
+// own WAL+checkpoint directory instead of a registry resync, and the match
+// set stays exact.
+TEST(ShardEquivalenceTest, DurableShardKillMidScheduleStaysExact) {
+  const testutil::TestWorkload w = testutil::MakeWorkload(72, 500, 160);
+  const std::vector<Action> actions = MakeActions(w, 7207);
+  const std::vector<MatchResult> expected = ReferenceRun(actions);
+  ASSERT_FALSE(expected.empty());
+  const std::string dir =
+      ::testing::TempDir() + "/ps2_shard_kill_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  std::filesystem::remove_all(dir);
+
+  {
+    PS2StreamOptions options = Options(4);
+    options.durability.enabled = true;
+    options.durability.dir = dir;
+    PS2Stream ps2(options);
+    ps2.Bootstrap(w.sample);
+    ASSERT_TRUE(ps2.durable());
+    SessionOptions so;
+    so.queue_capacity = 1 << 16;
+    auto session = ps2.OpenSession(so);
+    std::vector<MatchResult> delivered;
+    const size_t half = actions.size() / 2;
+    RunSchedule(ps2, session, actions, 0, half, /*migrate_every=*/0,
+                &delivered);
+    ps2.fabric()->KillShard(2);
+    RunSchedule(ps2, session, actions, half, actions.size(),
+                /*migrate_every=*/0, &delivered);
+    EXPECT_EQ(testutil::Sorted(std::move(delivered)), expected);
+    EXPECT_GE(ps2.fabric()->shard_restart_count(2), 1u);
+    EXPECT_FALSE(ps2.fabric()->degraded());
+  }
+  std::filesystem::remove_all(dir);
 }
 
 // The durable schedule: run half, kill the whole fleet, restore from the

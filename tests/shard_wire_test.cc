@@ -90,6 +90,115 @@ TEST(ShardWireTest, DrainFrameRoundTrip) {
   }
 }
 
+// --- reliable-link framing ---------------------------------------------------
+
+TEST(ShardWireTest, ControlEnvelopeRoundTrip) {
+  const STSQuery q = MakeQuery(12);
+  const std::string inner = EncodeQueryFrame(FrameKind::kQueryInsert, q);
+  const std::string env = EncodeControlFrame(3, 41, inner);
+  Frame f;
+  ASSERT_TRUE(DecodeFrame(env, &f));
+  // The caller sees the inner frame's kind with the envelope metadata
+  // attached — kControl itself never surfaces.
+  EXPECT_TRUE(f.enveloped);
+  EXPECT_EQ(f.epoch, 3u);
+  EXPECT_EQ(f.seq, 41u);
+  EXPECT_EQ(f.kind, FrameKind::kQueryInsert);
+  EXPECT_EQ(f.query.id, q.id);
+  EXPECT_EQ(f.query.expr.clauses(), q.expr.clauses());
+
+  // The bare inner frame decodes un-enveloped.
+  ASSERT_TRUE(DecodeFrame(inner, &f));
+  EXPECT_FALSE(f.enveloped);
+}
+
+TEST(ShardWireTest, AckAndPingRoundTrip) {
+  Frame f;
+  ASSERT_TRUE(DecodeFrame(EncodeAckFrame(7, 99), &f));
+  EXPECT_EQ(f.kind, FrameKind::kAck);
+  EXPECT_EQ(f.epoch, 7u);
+  EXPECT_EQ(f.ack_upto, 99u);
+  EXPECT_FALSE(f.enveloped);
+
+  // Cumulative ack of "nothing yet" is legal (ack_upto 0 after a reset).
+  ASSERT_TRUE(DecodeFrame(EncodeAckFrame(1, 0), &f));
+  EXPECT_EQ(f.ack_upto, 0u);
+
+  const std::string ping = EncodePingFrame();
+  ASSERT_TRUE(DecodeFrame(ping, &f));
+  EXPECT_EQ(f.kind, FrameKind::kPing);
+
+  // Pings ride the control link enveloped like any other control frame.
+  ASSERT_TRUE(DecodeFrame(EncodeControlFrame(2, 5, ping), &f));
+  EXPECT_TRUE(f.enveloped);
+  EXPECT_EQ(f.kind, FrameKind::kPing);
+  EXPECT_EQ(f.epoch, 2u);
+  EXPECT_EQ(f.seq, 5u);
+}
+
+TEST(ShardWireTest, EnvelopesNeverNestAndAcksNeverRideInside) {
+  const std::string inner = EncodeDrainFrame(FrameKind::kDrain, 5);
+  const std::string env = EncodeControlFrame(1, 1, inner);
+  Frame f;
+  EXPECT_FALSE(DecodeFrame(EncodeControlFrame(1, 2, env), &f))
+      << "control-in-control must be rejected";
+  EXPECT_FALSE(DecodeFrame(EncodeControlFrame(1, 2, EncodeAckFrame(1, 1)), &f))
+      << "an ack is a link-level reply, not an envelope payload";
+}
+
+TEST(ShardWireTest, ZeroEpochOrSequenceIsRejected) {
+  const std::string inner = EncodePingFrame();
+  Frame f;
+  // Epoch and seq both start at 1; a zero of either marks a torn frame.
+  EXPECT_FALSE(DecodeFrame(EncodeControlFrame(0, 1, inner), &f));
+  EXPECT_FALSE(DecodeFrame(EncodeControlFrame(1, 0, inner), &f));
+  EXPECT_FALSE(DecodeFrame(EncodeAckFrame(0, 3), &f));
+}
+
+TEST(ShardWireTest, ControlInnerLengthMismatchIsRejected) {
+  const std::string inner = EncodeDrainFrame(FrameKind::kDrain, 9);
+  const std::string env = EncodeControlFrame(4, 4, inner);
+  // A corrupt inner (still inside an intact envelope CRC? no — any byte
+  // flip breaks the outer CRC first, so corrupt the declared inner length
+  // by re-encoding with a lie instead: truncate the inner frame itself).
+  Frame f;
+  EXPECT_FALSE(
+      DecodeFrame(EncodeControlFrame(4, 4, inner.substr(0, inner.size() - 1)),
+                  &f))
+      << "truncated inner frame must fail its own CRC";
+  EXPECT_FALSE(DecodeFrame(EncodeControlFrame(4, 4, std::string()), &f))
+      << "empty inner is not a frame";
+  // And the whole-envelope corruption sweep below covers the outer seal.
+  ASSERT_TRUE(DecodeFrame(env, &f));
+}
+
+TEST(ShardWireTest, EnvelopedFramesSurviveTheCorruptionSweep) {
+  const std::string frames[] = {
+      EncodeControlFrame(2, 17, EncodeQueryFrame(FrameKind::kQueryInsert,
+                                                 MakeQuery(3))),
+      EncodeControlFrame(1, 1, EncodePingFrame()),
+      EncodeAckFrame(6, 12345),
+  };
+  Rng rng(0xFAB);
+  for (const std::string& frame : frames) {
+    Frame decoded;
+    ASSERT_TRUE(DecodeFrame(frame, &decoded));
+    for (size_t pos = 0; pos < frame.size(); ++pos) {
+      std::string corrupt = frame;
+      corrupt[pos] = static_cast<char>(
+          corrupt[pos] ^ static_cast<char>(1 + rng.NextBelow(255)));
+      Frame f;
+      EXPECT_FALSE(DecodeFrame(corrupt, &f))
+          << "corruption at byte " << pos << " of a " << frame.size()
+          << "-byte frame was not rejected";
+    }
+    for (size_t n = 0; n < frame.size(); ++n) {
+      Frame f;
+      EXPECT_FALSE(DecodeFrame(frame.substr(0, n), &f)) << "prefix " << n;
+    }
+  }
+}
+
 // Every single-byte corruption of every frame kind must be rejected: the
 // CRC seeds with the kind byte, the length field is cross-checked against
 // the frame size, and CRC-32 catches any burst error within one byte.
