@@ -1,0 +1,134 @@
+// Per-subscription-class benchmark: matching throughput and delivery
+// latency for boolean, similarity-threshold and continuous top-k
+// subscriptions through the full sync facade (Post -> GI2 -> scoring ->
+// DeliveryRouter -> TopKCoordinator -> SubscriberSession).
+//
+// Each row subscribes N queries of ONE class (the same generated query set
+// re-typed, so the spatial/textual selectivity is held constant across
+// classes), publishes a timestamped object stream (top-k rows give half the
+// objects a TTL so the expiry wheel and promotion path are exercised) and
+// reports objects/sec, deliveries/sec and delivery latency percentiles.
+//
+// Mirrors the table into BENCH_subscribe.json; CI runs `--smoke` and gates
+// the per-class objs_per_sec floors via tools/check_bench_threshold.py
+// against bench/subscribe_baseline.json.
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "runtime/ps2stream.h"
+#include "workload/query_gen.h"
+#include "workload/synthetic_corpus.h"
+
+namespace ps2 {
+namespace {
+
+std::vector<TermId> AllTerms(const BoolExpr& expr) {
+  std::vector<TermId> terms;
+  for (const auto& clause : expr.clauses()) {
+    terms.insert(terms.end(), clause.begin(), clause.end());
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  return terms;
+}
+
+// Re-types a generated boolean query as the requested class, keeping its
+// region and (flattened) term set so selectivity stays comparable.
+STSQuery Retype(const STSQuery& q, SubscriptionClass cls) {
+  if (cls == SubscriptionClass::kBoolean) return q;
+  STSQuery out = q;
+  out.cls = cls;
+  out.expr = BoolExpr::Or(AllTerms(q.expr));
+  if (cls == SubscriptionClass::kSimilarity) {
+    out.tau = 0.3;
+  } else {
+    out.k = 5;
+  }
+  return out;
+}
+
+}  // namespace
+}  // namespace ps2
+
+int main(int argc, char** argv) {
+  using namespace ps2;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+  bench::InitBench("subscribe");
+
+  const size_t subs = smoke ? 10000 : 100000;
+  const size_t num_objects = smoke ? 20000 : 100000;
+
+  bench::PrintHeader(
+      "subscription classes: sync publish -> session, per-class",
+      {"path", "subscriptions", "objects", "deliveries", "topk_buffered",
+       "objs_per_sec", "deliveries_per_sec", "p50_us", "p99_us"});
+
+  const SubscriptionClass classes[] = {SubscriptionClass::kBoolean,
+                                       SubscriptionClass::kSimilarity,
+                                       SubscriptionClass::kTopK};
+  const char* names[] = {"boolean", "similarity", "top_k"};
+  for (int ci = 0; ci < 3; ++ci) {
+    const SubscriptionClass cls = classes[ci];
+    PS2StreamOptions opts;
+    opts.partitioner = "hybrid";
+    opts.partition.num_workers = 8;
+    PS2Stream service(opts);
+    CorpusConfig cfg = CorpusConfig::UsPreset();
+    cfg.vocab_size = smoke ? 40000 : 150000;
+    SyntheticCorpus corpus(cfg, &service.vocabulary());
+    corpus.Generate(smoke ? 20000 : 50000);
+    QueryGenConfig qcfg;
+    QueryGenerator qgen(qcfg, &corpus);
+    {
+      WorkloadSample sample;
+      sample.objects = corpus.Generate(20000);
+      sample.inserts = qgen.Generate(4000);  // plan-building stats only
+      service.Bootstrap(sample);
+    }
+
+    SessionOptions sopts;
+    sopts.queue_capacity = 1 << 16;
+    sopts.backpressure = BackpressurePolicy::kBlock;
+    auto session = service.OpenSession(sopts);
+    for (const auto& q : qgen.Generate(subs)) {
+      auto sub = service.Subscribe(session, Retype(q, cls));
+      if (sub.ok()) sub->Release();
+    }
+
+    std::vector<SpatioTextualObject> objects = corpus.Generate(num_objects);
+    int64_t ts = 0;
+    for (auto& o : objects) {
+      // 1ms event-time spacing; on top-k rows every other object expires
+      // after 50ms so held results churn through the expiry wheel.
+      o.timestamp_us = (ts += 1000);
+      if (cls == SubscriptionClass::kTopK && (o.id & 1) != 0) {
+        o.ttl_us = 50'000;
+      }
+    }
+
+    const int64_t begin = NowMicros();
+    for (const auto& o : objects) service.Post(o);
+    const double secs = static_cast<double>(NowMicros() - begin) / 1e6;
+    const SessionStats stats = session->stats();
+
+    bench::PrintCell(names[ci]);
+    bench::PrintCell(static_cast<double>(subs), "%.0f");
+    bench::PrintCell(static_cast<double>(objects.size()), "%.0f");
+    bench::PrintCell(static_cast<double>(stats.delivered), "%.0f");
+    bench::PrintCell(static_cast<double>(service.delivery().topk_buffered()),
+                     "%.0f");
+    bench::PrintCell(secs > 0 ? objects.size() / secs : 0.0, "%.0f");
+    bench::PrintCell(secs > 0 ? stats.delivered / secs : 0.0, "%.0f");
+    bench::PrintCell(stats.latency.PercentileMicros(0.50), "%.2f");
+    bench::PrintCell(stats.latency.PercentileMicros(0.99), "%.2f");
+    bench::EndRow();
+  }
+  return 0;
+}

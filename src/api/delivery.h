@@ -20,6 +20,10 @@ struct Delivery {
   ObjectId object_id = 0;
   int64_t publish_us = 0;
   int64_t deliver_us = 0;
+  // Scored subscription classes: the cosine score that fired the match and
+  // the object's event-time expiry (0 = never). Boolean matches carry 0/0.
+  double score = 0.0;
+  int64_t expire_us = 0;
 
   double LatencyMicros() const {
     return static_cast<double>(deliver_us - publish_us);

@@ -62,20 +62,53 @@ std::shared_ptr<SubscriberSession> DeliveryRouter::Lookup(QueryId id) const {
   return it != map->end() ? it->second : nullptr;
 }
 
-void DeliveryRouter::Deliver(const MatchResult& m, int64_t publish_us) {
-  const auto session = Lookup(m.query_id);
+void DeliveryRouter::Enqueue(const Delivery& d) {
+  const auto session = Lookup(d.query_id);
   if (session == nullptr) {
     unrouted_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
+  session->Enqueue(d);
+}
+
+void DeliveryRouter::DeliverAdmitted(const Delivery& admitted) {
+  Enqueue(admitted);
+}
+
+void DeliveryRouter::Deliver(const MatchResult& m, int64_t publish_us) {
   Delivery d;
   d.query_id = m.query_id;
   d.object_id = m.object_id;
   d.publish_us = publish_us;
-  session->Enqueue(d);
+  d.score = m.score;
+  d.expire_us = m.expire_us;
+  if (topk_ != nullptr && topk_->active() && topk_->Owns(d.query_id)) {
+    if (!topk_->Offer(d)) {
+      topk_buffered_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+  Enqueue(d);
 }
 
 void DeliveryRouter::DeliverBatch(const Delivery* pending, size_t n) {
+  if (topk_ != nullptr && topk_->active()) {
+    // Top-k admission is per delivery; the run-grouping below would reorder
+    // admissions around buffered candidates, so take the simple path while
+    // any top-k subscription is live.
+    for (size_t i = 0; i < n; ++i) {
+      if (topk_->Owns(pending[i].query_id)) {
+        if (topk_->Offer(pending[i])) {
+          Enqueue(pending[i]);
+        } else {
+          topk_buffered_.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        Enqueue(pending[i]);
+      }
+    }
+    return;
+  }
   // Group contiguous runs bound for the same session: matches arrive
   // cell-clustered, so neighbours usually share a session, and a run
   // enqueues under a single session lock.

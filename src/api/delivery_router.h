@@ -12,6 +12,7 @@
 #include "api/delivery_sink.h"
 #include "api/subscriber_session.h"
 #include "common/dedup_window.h"
+#include "subscribe/topk.h"
 
 namespace ps2 {
 
@@ -51,6 +52,18 @@ class DeliveryRouter final : public DeliverySink {
   // full kBlock queue drops instead of blocking (see BackpressurePolicy).
   void SetDraining(bool draining);
 
+  // Installs the continuous top-k admission stage (facade-owned; may be
+  // null). Deduplicated matches for a registered top-k query detour through
+  // the coordinator — only admissions reach the session; buffered
+  // candidates wait for an expiry to promote them. Set before traffic.
+  void SetTopK(TopKCoordinator* topk) { topk_ = topk; }
+  TopKCoordinator* topk() const { return topk_; }
+
+  // Delivers a coordinator-admitted entry (a promotion) straight to the
+  // routed session, bypassing the dedup window — the pair was filtered once
+  // on its way INTO the coordinator and was never delivered since.
+  void DeliverAdmitted(const Delivery& admitted);
+
   // --- data plane (workers / synchronous publish) --------------------------
   // Duplicate filter: true when (query, object) was not delivered within
   // the window. Worker threads gate every match on this before staging a
@@ -79,6 +92,10 @@ class DeliveryRouter final : public DeliverySink {
   // Dedup-window counters (see common/dedup_window.h).
   uint64_t dedup_fresh() const { return dedup_.fresh(); }
   uint64_t dedup_kills() const { return dedup_.duplicates(); }
+  // Candidates parked in the top-k admission stage instead of delivered.
+  uint64_t topk_buffered() const {
+    return topk_buffered_.load(std::memory_order_relaxed);
+  }
   // Sum of every live session's counters (latency histograms merged).
   SessionStats AggregateStats() const;
 
@@ -105,9 +122,14 @@ class DeliveryRouter final : public DeliverySink {
   template <typename Fn>
   void MutateShard(size_t shard, Fn&& fn);
 
+  // Enqueues one delivery to its routed session (or counts it unrouted).
+  void Enqueue(const Delivery& d);
+
   mutable Shard shards_[kShards];
   ShardedDedupWindow dedup_;
   std::atomic<uint64_t> unrouted_{0};
+  TopKCoordinator* topk_ = nullptr;
+  std::atomic<uint64_t> topk_buffered_{0};
 
   mutable std::mutex sessions_mu_;
   std::vector<std::weak_ptr<SubscriberSession>> sessions_;

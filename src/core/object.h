@@ -25,6 +25,12 @@ struct SpatioTextualObject {
   // Event-time timestamp in microseconds (stream order / replay position).
   int64_t timestamp_us = 0;
 
+  // Optional lifetime: the object stops being eligible for continuous
+  // (top-k) result sets once the stream's event-time watermark passes
+  // timestamp_us + ttl_us. 0 means the object never expires. Expiry is
+  // event-time, not wall-clock, so replays behave identically.
+  int64_t ttl_us = 0;
+
   // Builds an object from raw text, tokenizing against `vocab` (interning
   // new terms). Does not update vocabulary counts.
   static SpatioTextualObject FromText(ObjectId id, Point loc,

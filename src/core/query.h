@@ -7,22 +7,74 @@
 #include "common/geo.h"
 #include "core/object.h"
 #include "text/bool_expr.h"
+#include "text/similarity.h"
 
 namespace ps2 {
 
 using QueryId = uint64_t;
 
+// Subscription classes. kBoolean is the paper's strict predicate (CNF over
+// terms + region containment). kSimilarity relaxes the text side to a
+// binary-weight cosine score against the subscription's term set, matching
+// when score >= tau. kTopK continuously maintains the k best-scoring live
+// objects per query (admission happens centrally, not at the matcher; the
+// matcher emits every positive-score candidate).
+enum class SubscriptionClass : uint8_t {
+  kBoolean = 0,
+  kSimilarity = 1,
+  kTopK = 2,
+};
+
 // A Spatio-Textual Subscription (STS) query q = <K, R> (Definition in
 // Section III-A): a boolean keyword expression over terms plus a rectangular
 // region of interest. An object matches iff its location lies in `region`
 // and its terms satisfy `expr`.
+//
+// Scored classes (kSimilarity/kTopK) reuse `expr` as their term-set store:
+// the terms sit in a single OR clause, so RoutingTerms() returns the whole
+// set and routing stays complete (a positive cosine score requires at least
+// one shared term; tau = 0 is rejected at the API boundary).
 struct STSQuery {
   QueryId id = 0;
   BoolExpr expr;
   Rect region;
+  SubscriptionClass cls = SubscriptionClass::kBoolean;
+  double tau = 0.0;  // kSimilarity: match threshold in (0, 1]
+  uint32_t k = 0;    // kTopK: result-heap bound, >= 1
 
+  bool scored() const { return cls != SubscriptionClass::kBoolean; }
+
+  // The scored classes' term set: the single OR clause `expr` stores
+  // (sorted, deduplicated by BoolExpr::Cnf). Only meaningful when scored().
+  const std::vector<TermId>& ScoredTerms() const { return expr.clauses()[0]; }
+
+  // Candidate test, ignoring top-k admission: kBoolean is the strict
+  // predicate, kSimilarity is region + score >= tau, kTopK is region + any
+  // positive score (admission into the bounded heap is centralized
+  // downstream). Inline: this sits on the per-posting match path.
   bool Matches(const SpatioTextualObject& o) const {
-    return region.Contains(o.loc) && expr.Matches(o.terms);
+    if (cls == SubscriptionClass::kBoolean) {
+      return region.Contains(o.loc) && expr.Matches(o.terms);
+    }
+    double score = 0.0;
+    return Evaluate(o, &score);
+  }
+
+  // Same test, also reporting the cosine score (0 for kBoolean).
+  bool Evaluate(const SpatioTextualObject& o, double* score) const {
+    *score = 0.0;
+    if (!region.Contains(o.loc)) return false;
+    switch (cls) {
+      case SubscriptionClass::kBoolean:
+        return expr.Matches(o.terms);
+      case SubscriptionClass::kSimilarity:
+        *score = BinaryCosineSimilarity(o.terms, ScoredTerms());
+        return *score >= tau;
+      case SubscriptionClass::kTopK:
+        *score = BinaryCosineSimilarity(o.terms, ScoredTerms());
+        return *score > 0.0;
+    }
+    return false;
   }
 
   // Size in bytes used for migration cost accounting (Sg in Definition 4 is
@@ -77,10 +129,15 @@ struct StreamTuple {
 };
 
 // A (query, object) match produced by a worker and deduplicated by the
-// merger before delivery to the subscriber.
+// merger before delivery to the subscriber. `score`/`expire_us` ride along
+// for the scored subscription classes (0 for boolean matches; expire 0
+// means "never expires") but identity and ordering stay id-only — the same
+// pair produced by two paths is one match regardless of stamps.
 struct MatchResult {
   QueryId query_id = 0;
   ObjectId object_id = 0;
+  double score = 0.0;
+  int64_t expire_us = 0;
 
   friend bool operator==(const MatchResult& a, const MatchResult& b) {
     return a.query_id == b.query_id && a.object_id == b.object_id;

@@ -178,6 +178,9 @@ void Gi2Index::MatchInCell(Cell& cell, const SpatioTextualObject& o,
   // object's epoch.
   BumpEpoch();
   const uint32_t epoch = match_epoch_;
+  // Event-time expiry stamp carried on every scored candidate (0 = never):
+  // computed once per object, not per posting.
+  const int64_t expire_us = o.ttl_us > 0 ? o.timestamp_us + o.ttl_us : 0;
   for (const TermId t : o.terms) {
     PostingArena::List* list = cell.postings.Find(t);
     if (list == nullptr) continue;
@@ -198,9 +201,17 @@ void Gi2Index::MatchInCell(Cell& cell, const SpatioTextualObject& o,
           if (--qs.postings == 0) ReleaseTombstone(slot);
           continue;
         }
-        if (qs.mark_epoch != epoch && qs.query.Matches(o)) {
-          qs.mark_epoch = epoch;
-          out->push_back(MatchResult{qs.query.id, o.id});
+        if (qs.mark_epoch != epoch) {
+          // Scored evaluation: boolean queries keep the strict predicate
+          // (score stays 0); similarity/top-k queries emit the cosine score
+          // the downstream admission/threshold already applied or will
+          // apply. Still allocation-free — the score rides the existing
+          // MatchResult.
+          double score = 0.0;
+          if (qs.query.Evaluate(o, &score)) {
+            qs.mark_epoch = epoch;
+            out->push_back(MatchResult{qs.query.id, o.id, score, expire_us});
+          }
         }
         ++i;
       }

@@ -1,33 +1,160 @@
 #ifndef PS2_INDEX_REFERENCE_MATCHER_H_
 #define PS2_INDEX_REFERENCE_MATCHER_H_
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
 #include "core/query.h"
+#include "subscribe/topk_state.h"
 
 namespace ps2 {
 
 // Brute-force single-node matcher: the ground truth every distributed
 // configuration is tested against. O(#queries) per object — only suitable
 // for tests and small validation runs, which is exactly its job.
+//
+// Subscription classes: Match() is the stateless candidate test (boolean
+// predicate / similarity threshold / positive-score top-k candidate). For
+// stateful top-k semantics use the Post()/AdvanceTime() pair, which mirror
+// the production TopKCoordinator contract with the dumbest possible
+// implementation — every candidate ever seen is kept, and the held set is
+// recomputed from scratch as "the k best live candidates" on demand. The
+// production side maintains the same set incrementally with a bounded heap,
+// an eviction buffer and an expiry wheel; agreement between the two is what
+// the equivalence suites check.
 class ReferenceMatcher {
  public:
   void Insert(const STSQuery& q) { queries_[q.id] = q; }
-  void Delete(QueryId id) { queries_.erase(id); }
+  void Delete(QueryId id) {
+    queries_.erase(id);
+    topk_.erase(id);
+  }
+  // Moving subscriber: replace the subscription in place (same id). Held
+  // top-k results are NOT re-validated against the new region — matching
+  // the production rule that a region move affects future candidates only.
+  void Update(const STSQuery& q) { queries_[q.id] = q; }
 
   std::vector<MatchResult> Match(const SpatioTextualObject& o) const {
     std::vector<MatchResult> out;
+    const int64_t expire = o.ttl_us > 0 ? o.timestamp_us + o.ttl_us : 0;
     for (const auto& [id, q] : queries_) {
-      if (q.Matches(o)) out.push_back(MatchResult{id, o.id});
+      double score = 0.0;
+      if (q.Evaluate(o, &score)) {
+        out.push_back(MatchResult{id, o.id, score, expire});
+      }
     }
     return out;
   }
 
+  // Stateful publish: boolean/similarity matches are delivered outright;
+  // top-k candidates are recorded and delivered only when (first) entering
+  // the query's held set. Advances event time to the object's timestamp
+  // first, exactly like the facade's Post path.
+  std::vector<MatchResult> Post(const SpatioTextualObject& o) {
+    std::vector<MatchResult> delivered = AdvanceTime(o.timestamp_us);
+    for (MatchResult& m : Match(o)) {
+      auto qit = queries_.find(m.query_id);
+      if (qit->second.cls != SubscriptionClass::kTopK) {
+        delivered.push_back(m);
+        continue;
+      }
+      Candidate c;
+      c.object_id = m.object_id;
+      c.score = m.score;
+      c.expire_us = m.expire_us;
+      topk_[m.query_id].push_back(c);
+      for (const MatchResult& adm : Admissions(m.query_id)) {
+        if (adm.object_id == m.object_id) delivered.push_back(m);
+      }
+    }
+    return delivered;
+  }
+
+  // Advances the event-time watermark, returning promotions: candidates
+  // newly entering a held set because something above them expired.
+  std::vector<MatchResult> AdvanceTime(int64_t watermark_us) {
+    std::vector<MatchResult> promoted;
+    if (watermark_us <= watermark_us_) return promoted;
+    watermark_us_ = watermark_us;
+    for (auto& [id, cands] : topk_) {
+      for (const MatchResult& adm : Admissions(id)) promoted.push_back(adm);
+    }
+    return promoted;
+  }
+
+  // The query's current held set, best-first (score desc, object id desc):
+  // the k best live candidates, recomputed from everything ever seen.
+  std::vector<TopKEntry> TopKSnapshot(QueryId id) const {
+    std::vector<TopKEntry> out;
+    const auto qit = queries_.find(id);
+    const auto cit = topk_.find(id);
+    if (qit == queries_.end() || cit == topk_.end()) return out;
+    std::vector<Candidate> live = LiveSorted(cit->second);
+    const size_t k = qit->second.k;
+    if (live.size() > k) live.resize(k);
+    for (const Candidate& c : live) {
+      TopKEntry t;
+      t.query_id = id;
+      t.object_id = c.object_id;
+      t.score = c.score;
+      t.expire_us = c.expire_us;
+      t.held = true;
+      t.delivered = c.delivered;
+      out.push_back(t);
+    }
+    return out;
+  }
+
+  int64_t watermark() const { return watermark_us_; }
   size_t size() const { return queries_.size(); }
 
  private:
+  struct Candidate {
+    ObjectId object_id = 0;
+    double score = 0.0;
+    int64_t expire_us = 0;
+    bool delivered = false;
+  };
+
+  static bool Better(const Candidate& a, const Candidate& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.object_id > b.object_id;
+  }
+
+  std::vector<Candidate> LiveSorted(const std::vector<Candidate>& all) const {
+    std::vector<Candidate> live;
+    for (const Candidate& c : all) {
+      if (c.expire_us == 0 || c.expire_us > watermark_us_) live.push_back(c);
+    }
+    std::stable_sort(live.begin(), live.end(), Better);
+    return live;
+  }
+
+  // Recomputes the held set and returns (marking them delivered) the
+  // entries the subscriber has not been notified about yet.
+  std::vector<MatchResult> Admissions(QueryId id) {
+    std::vector<MatchResult> fresh;
+    const auto qit = queries_.find(id);
+    auto cit = topk_.find(id);
+    if (qit == queries_.end() || cit == topk_.end()) return fresh;
+    std::vector<Candidate> held = LiveSorted(cit->second);
+    const size_t k = qit->second.k;
+    if (held.size() > k) held.resize(k);
+    for (const Candidate& h : held) {
+      for (Candidate& c : cit->second) {
+        if (c.object_id == h.object_id && !c.delivered) {
+          c.delivered = true;
+          fresh.push_back(MatchResult{id, c.object_id, c.score, c.expire_us});
+        }
+      }
+    }
+    return fresh;
+  }
+
   std::unordered_map<QueryId, STSQuery> queries_;
+  std::unordered_map<QueryId, std::vector<Candidate>> topk_;
+  int64_t watermark_us_ = 0;
 };
 
 }  // namespace ps2

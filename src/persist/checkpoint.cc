@@ -16,7 +16,9 @@ namespace ps2 {
 namespace {
 
 constexpr char kCheckpointMagic[4] = {'P', 'S', '2', 'C'};
-constexpr uint32_t kCheckpointVersion = 1;
+// v2 appended the subscription-class fields to query records and the
+// optional top-k section. v1 files still load (boolean queries, no top-k).
+constexpr uint32_t kCheckpointVersion = 2;
 
 }  // namespace
 
@@ -44,6 +46,22 @@ bool WriteCheckpointFile(const std::string& path, const CheckpointView& view) {
   for (const STSQuery* q : view.queries) {
     WriteQueryRecord(
         p, *q, [](ByteWriter& out, TermId t) { out.Pod<uint32_t>(t); });
+  }
+
+  const bool has_topk = view.topk != nullptr && !view.topk->empty();
+  p.Pod<uint8_t>(has_topk ? 1 : 0);
+  if (has_topk) {
+    p.Pod<int64_t>(view.topk->watermark_us);
+    p.Pod<uint64_t>(view.topk->entries.size());
+    for (const TopKEntry& e : view.topk->entries) {
+      p.Pod<uint64_t>(e.query_id);
+      p.Pod<uint64_t>(e.object_id);
+      p.Pod<double>(e.score);
+      p.Pod<int64_t>(e.expire_us);
+      p.Pod<int64_t>(e.publish_us);
+      p.Pod<uint8_t>(e.held ? 1 : 0);
+      p.Pod<uint8_t>(e.delivered ? 1 : 0);
+    }
   }
 
   ByteWriter header;
@@ -90,7 +108,9 @@ bool ReadCheckpointFile(const std::string& path, CheckpointData* out) {
   char magic[4];
   h.Bytes(magic, 4);
   if (!h.ok() || std::memcmp(magic, kCheckpointMagic, 4) != 0) return false;
-  if (h.Pod<uint32_t>() != kCheckpointVersion) return false;
+  const uint32_t version = h.Pod<uint32_t>();
+  if (version < 1 || version > kCheckpointVersion) return false;
+  const bool with_spec = version >= 2;
   const uint64_t payload_len = h.Pod<uint64_t>();
   const uint32_t crc = h.Pod<uint32_t>();
   if (!h.ok() || payload_len != h.remaining()) return false;
@@ -134,13 +154,41 @@ bool ReadCheckpointFile(const std::string& path, CheckpointData* out) {
   out->queries.reserve(num_queries);
   for (uint64_t i = 0; i < num_queries && r.ok(); ++i) {
     STSQuery q;
-    const bool ok = ReadQueryRecord(r, &q, [&](ByteReader& in) {
-      const uint32_t file_term = in.Pod<uint32_t>();
-      // Raw-id-world terms (no string ever interned) pass through.
-      return file_term < remap.size() ? remap[file_term] : file_term;
-    });
+    const bool ok = ReadQueryRecord(
+        r, &q,
+        [&](ByteReader& in) {
+          const uint32_t file_term = in.Pod<uint32_t>();
+          // Raw-id-world terms (no string ever interned) pass through.
+          return file_term < remap.size() ? remap[file_term] : file_term;
+        },
+        with_spec);
     if (!ok) return false;
     out->queries.push_back(std::move(q));
+  }
+
+  out->topk = TopKCheckpoint{};
+  if (with_spec) {
+    const uint8_t has_topk = r.Pod<uint8_t>();
+    if (!r.ok()) return false;
+    if (has_topk != 0) {
+      out->topk.watermark_us = r.Pod<int64_t>();
+      const uint64_t num_entries = r.Pod<uint64_t>();
+      constexpr size_t kEntryBytes =
+          2 * sizeof(uint64_t) + sizeof(double) + 2 * sizeof(int64_t) + 2;
+      if (!r.FitsCount(num_entries, kEntryBytes)) return false;
+      out->topk.entries.reserve(num_entries);
+      for (uint64_t i = 0; i < num_entries && r.ok(); ++i) {
+        TopKEntry e;
+        e.query_id = r.Pod<uint64_t>();
+        e.object_id = r.Pod<uint64_t>();
+        e.score = r.Pod<double>();
+        e.expire_us = r.Pod<int64_t>();
+        e.publish_us = r.Pod<int64_t>();
+        e.held = r.Pod<uint8_t>() != 0;
+        e.delivered = r.Pod<uint8_t>() != 0;
+        out->topk.entries.push_back(e);
+      }
+    }
   }
   return r.ok();
 }

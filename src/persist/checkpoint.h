@@ -8,6 +8,7 @@
 #include "core/query.h"
 #include "dispatch/routing_snapshot.h"
 #include "partition/plan.h"
+#include "subscribe/topk_state.h"
 #include "text/vocabulary.h"
 
 namespace ps2 {
@@ -32,7 +33,13 @@ namespace ps2 {
 //   plan:     plan_serde (term ids are vocab positions)
 //   snapshot: u8 present, snapshot_serde             (optional)
 //   queries:  u64 #queries, per query: u64 id, region f64 x4,
-//             u32 #clauses, per clause: u32 #terms, u32 terms[]
+//             u32 #clauses, per clause: u32 #terms, u32 terms[],
+//             (v2) u8 class, f64 tau, u32 k
+//   topk:     (v2) u8 present; when present: i64 watermark_us,
+//             u64 #entries, per entry: u64 qid, u64 oid, f64 score,
+//             i64 expire_us, i64 publish_us, u8 held, u8 delivered
+// Version 1 files decode with boolean-class queries and an empty top-k
+// section; version-2 readers accept both.
 
 // Borrowed view of the state to capture (nothing is copied until
 // serialization).
@@ -45,6 +52,9 @@ struct CheckpointView {
   const PartitionPlan* plan = nullptr;
   const RoutingSnapshot* snapshot = nullptr;  // optional
   std::vector<const STSQuery*> queries;
+  // Continuous top-k heap state (held + buffered candidates and the event-
+  // time watermark). Optional: nullptr or empty writes an absent section.
+  const TopKCheckpoint* topk = nullptr;
 };
 
 // Decoded checkpoint. The vocabulary is rebuilt by interning in file order,
@@ -59,6 +69,7 @@ struct CheckpointData {
   bool has_snapshot = false;
   RoutingSnapshot snapshot;
   std::vector<STSQuery> queries;
+  TopKCheckpoint topk;  // empty when the file predates v2 or held no state
 };
 
 // Writes (and flushes) the checkpoint file at `path`. Returns false on I/O

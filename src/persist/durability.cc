@@ -196,6 +196,7 @@ bool RecoverState(const std::string& dir, RecoveredState* out,
   out->next_object_id = ckpt.next_object_id;
   out->had_snapshot = ckpt.has_snapshot;
   if (ckpt.has_snapshot) out->snapshot = std::move(ckpt.snapshot);
+  out->topk = std::move(ckpt.topk);
 
   // Live set: checkpointed queries + WAL subscribe/unsubscribe deltas.
   // Insertion order is preserved so recovery re-inserts queries in the
@@ -222,7 +223,11 @@ bool RecoverState(const std::string& dir, RecoveredState* out,
         wal_path, after_lsn, out->vocab,
         [&](WalRecordView& rec) {
           switch (rec.type) {
-            case Wal::RecordType::kSubscribe: {
+            case Wal::RecordType::kSubscribe:
+            case Wal::RecordType::kUpdate: {
+              // kUpdate is the complete replacement subscription and replays
+              // as an upsert — identical handling to kSubscribe, so an
+              // update chain converges on the last write in LSN order.
               // Every replayed id advances the high-water, even if a later
               // unsubscribe kills the query — reissuing a dead id would
               // cross-wire a client still holding it.
@@ -261,6 +266,7 @@ bool RecoverState(const std::string& dir, RecoveredState* out,
     out->wal.subscribes += stats.subscribes;
     out->wal.unsubscribes += stats.unsubscribes;
     out->wal.cell_routes += stats.cell_routes;
+    out->wal.updates += stats.updates;
     out->wal.bytes_replayed += stats.bytes_replayed;
     out->wal.truncated |= stats.truncated;
     out->wal.truncated_bytes += stats.truncated_bytes;

@@ -121,7 +121,11 @@ struct RecoveredState {
   uint64_t last_lsn = 0;  // LSN high-water across checkpoint + WAL replay
   bool had_snapshot = false;
   RoutingSnapshot snapshot;  // checkpoint-time H2 (diagnostic)
-  WalReplayStats wal;        // aggregated over the replayed segment chain
+  // Continuous top-k heap state at checkpoint time. Candidates arriving
+  // after the checkpoint are not journaled (objects are ephemeral stream
+  // data), so this is the heap as of the recovery point.
+  TopKCheckpoint topk;
+  WalReplayStats wal;  // aggregated over the replayed segment chain
   int wal_segments = 0;
 };
 

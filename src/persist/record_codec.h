@@ -19,9 +19,13 @@ namespace ps2 {
 //
 // Layout: u64 id, region f64 x4, u32 #clauses,
 //         per clause: u32 #terms, term[]
+// With `with_spec` (format version >= 2) the record appends the
+// subscription-class fields: u8 class, f64 tau, u32 k. Version-1 readers
+// never see them; version-2 readers decode version-1 records as boolean
+// queries by passing with_spec = false.
 template <typename WriteTermFn>
 void WriteQueryRecord(ByteWriter& w, const STSQuery& q,
-                      WriteTermFn&& write_term) {
+                      WriteTermFn&& write_term, bool with_spec = true) {
   w.Pod<uint64_t>(q.id);
   w.Pod<double>(q.region.min_x);
   w.Pod<double>(q.region.min_y);
@@ -33,12 +37,18 @@ void WriteQueryRecord(ByteWriter& w, const STSQuery& q,
     w.Pod<uint32_t>(static_cast<uint32_t>(clause.size()));
     for (const TermId t : clause) write_term(w, t);
   }
+  if (with_spec) {
+    w.Pod<uint8_t>(static_cast<uint8_t>(q.cls));
+    w.Pod<double>(q.tau);
+    w.Pod<uint32_t>(q.k);
+  }
 }
 
 // Returns false on malformed input (declared counts are sanity-capped
 // against the remaining bytes before any reserve).
 template <typename ReadTermFn>
-bool ReadQueryRecord(ByteReader& r, STSQuery* q, ReadTermFn&& read_term) {
+bool ReadQueryRecord(ByteReader& r, STSQuery* q, ReadTermFn&& read_term,
+                     bool with_spec = true) {
   q->id = r.Pod<uint64_t>();
   const double mnx = r.Pod<double>();
   const double mny = r.Pod<double>();
@@ -61,6 +71,19 @@ bool ReadQueryRecord(ByteReader& r, STSQuery* q, ReadTermFn&& read_term) {
   }
   if (!r.ok()) return false;
   q->expr = BoolExpr::Cnf(std::move(clauses));
+  if (with_spec) {
+    const uint8_t cls = r.Pod<uint8_t>();
+    q->tau = r.Pod<double>();
+    q->k = r.Pod<uint32_t>();
+    if (!r.ok() || cls > static_cast<uint8_t>(SubscriptionClass::kTopK)) {
+      return false;
+    }
+    q->cls = static_cast<SubscriptionClass>(cls);
+  } else {
+    q->cls = SubscriptionClass::kBoolean;
+    q->tau = 0.0;
+    q->k = 0;
+  }
   return true;
 }
 

@@ -15,7 +15,10 @@ namespace ps2 {
 namespace {
 
 constexpr char kWalMagic[4] = {'P', 'S', '2', 'W'};
-constexpr uint32_t kWalVersion = 1;
+// v2 appended the subscription-class fields (u8 class, f64 tau, u32 k) to
+// query-bearing records and introduced kUpdate. v1 segments replay as
+// boolean subscriptions.
+constexpr uint32_t kWalVersion = 2;
 // Frame header: u32 payload length + u32 payload crc.
 constexpr size_t kFrameHeader = 2 * sizeof(uint32_t);
 // A single mutation record is small; anything bigger is corruption.
@@ -48,9 +51,10 @@ void WriteQueryBody(ByteWriter& w, const STSQuery& q,
       w, q, [&](ByteWriter& out, TermId t) { WriteTerm(out, t, vocab); });
 }
 
-bool ReadQueryBody(ByteReader& r, Vocabulary& vocab, STSQuery* q) {
+bool ReadQueryBody(ByteReader& r, Vocabulary& vocab, STSQuery* q,
+                   bool with_spec) {
   return ReadQueryRecord(
-      r, q, [&](ByteReader& in) { return ReadTerm(in, vocab); });
+      r, q, [&](ByteReader& in) { return ReadTerm(in, vocab); }, with_spec);
 }
 
 }  // namespace
@@ -156,6 +160,12 @@ uint64_t Wal::AppendSubscribe(const STSQuery& q, const Vocabulary& vocab) {
   ByteWriter body;
   WriteQueryBody(body, q, vocab);
   return Append(RecordType::kSubscribe, body.buffer());
+}
+
+uint64_t Wal::AppendUpdate(const STSQuery& q, const Vocabulary& vocab) {
+  ByteWriter body;
+  WriteQueryBody(body, q, vocab);
+  return Append(RecordType::kUpdate, body.buffer());
 }
 
 uint64_t Wal::AppendUnsubscribe(QueryId id) {
@@ -363,7 +373,9 @@ bool ReplayWal(const std::string& path, uint64_t after_lsn, Vocabulary& vocab,
   char magic[4];
   r.Bytes(magic, 4);
   if (!r.ok() || std::memcmp(magic, kWalMagic, 4) != 0) return false;
-  if (r.Pod<uint32_t>() != kWalVersion) return false;
+  const uint32_t version = r.Pod<uint32_t>();
+  if (version < 1 || version > kWalVersion) return false;
+  const bool with_spec = version >= 2;
   r.Pod<uint64_t>();  // segment seq (informational)
   if (!r.ok()) return false;
 
@@ -385,8 +397,12 @@ bool ReplayWal(const std::string& path, uint64_t after_lsn, Vocabulary& vocab,
     if (decoded) {
       switch (view.type) {
         case Wal::RecordType::kSubscribe:
-          decoded = ReadQueryBody(pr, vocab, &view.query);
+          decoded = ReadQueryBody(pr, vocab, &view.query, with_spec);
           stats->subscribes += decoded ? 1 : 0;
+          break;
+        case Wal::RecordType::kUpdate:
+          decoded = ReadQueryBody(pr, vocab, &view.query, with_spec);
+          stats->updates += decoded ? 1 : 0;
           break;
         case Wal::RecordType::kUnsubscribe:
           view.query_id = pr.Pod<uint64_t>();

@@ -34,8 +34,12 @@ namespace ps2 {
 // facade vocabulary then has no strings) is stored as the id (u8 tag 0)
 // and preserved verbatim.
 //   kSubscribe:   u64 qid, region f64 x4, u32 #clauses,
-//                 per clause: u32 #terms, term[]
+//                 per clause: u32 #terms, term[],
+//                 (v2) u8 class, f64 tau, u32 k
 //   kUnsubscribe: u64 qid
+//   kUpdate:      same body as kSubscribe — the *complete replacement*
+//                 subscription (moving subscribers), replayed as an upsert
+//                 so a WAL-ordered update chain converges on the last write
 //   kCellRoute:   u32 cell, u8 is_text,
 //                 space: i32 worker
 //                 text:  u32 #workers, i32 workers[],
@@ -68,6 +72,7 @@ class Wal {
     kSubscribe = 1,
     kUnsubscribe = 2,
     kCellRoute = 3,
+    kUpdate = 4,
   };
 
   Wal();  // default Options
@@ -90,6 +95,8 @@ class Wal {
   // --- appends (return the record's LSN; 0 when the log is closed) ---------
   uint64_t AppendSubscribe(const STSQuery& q, const Vocabulary& vocab);
   uint64_t AppendUnsubscribe(QueryId id);
+  // Journals a subscription replacement (same id, e.g. a region move).
+  uint64_t AppendUpdate(const STSQuery& q, const Vocabulary& vocab);
   // Never waits for durability regardless of sync mode: cell routes are
   // journaled while the routing writer lock (and every worker's index lock)
   // is held, and they are idempotent performance state — losing an
@@ -160,7 +167,8 @@ class Wal {
 struct WalRecordView {
   Wal::RecordType type = Wal::RecordType::kSubscribe;
   uint64_t lsn = 0;
-  STSQuery query;      // kSubscribe (terms interned into the replay vocab)
+  STSQuery query;      // kSubscribe / kUpdate (terms interned into the
+                       // replay vocab)
   QueryId query_id;    // kUnsubscribe
   CellId cell = 0;     // kCellRoute
   CellRoute route;     // kCellRoute
@@ -171,6 +179,7 @@ struct WalReplayStats {
   uint64_t subscribes = 0;
   uint64_t unsubscribes = 0;
   uint64_t cell_routes = 0;
+  uint64_t updates = 0;
   uint64_t last_lsn = 0;
   uint64_t bytes_replayed = 0;
   // Torn/corrupt tail handling: bytes dropped from the end of the segment

@@ -34,6 +34,10 @@ PS2Stream::PS2Stream(PS2StreamOptions options)
   LoadControllerConfig config;
   config.adjust = options_.adjust;
   controller_ = std::make_unique<LoadController>(config);
+  // Top-k admission sits between the router's dedup window and the
+  // sessions; with no top-k subscriptions registered it is one relaxed
+  // atomic load per batch.
+  delivery_->SetTopK(&topk_);
 }
 
 PS2Stream::~PS2Stream() {
@@ -121,7 +125,11 @@ bool PS2Stream::Restore(const std::string& dir) {
     }
     fabric_ = std::move(fabric);
     subscriptions_.clear();
-    for (const STSQuery& q : recovery.queries) subscriptions_[q.id] = q;
+    for (const STSQuery& q : recovery.queries) {
+      subscriptions_[q.id] = q;
+      if (q.cls == SubscriptionClass::kTopK) topk_.Register(q.id, q.k);
+    }
+    topk_.Restore(recovery.topk);
     next_query_id_ = recovery.next_query_id;
     next_object_id_ = recovery.next_object_id;
     options_.durability = config;
@@ -139,10 +147,15 @@ bool PS2Stream::Restore(const std::string& dir) {
   subscriptions_.clear();
   for (const STSQuery& q : state->queries) {
     subscriptions_[q.id] = q;
+    if (q.cls == SubscriptionClass::kTopK) topk_.Register(q.id, q.k);
     // Re-inserting through the recovered plan rebuilds the gridt H2 entries
     // and the per-worker GI2 indexes in one pass.
     cluster_->Process(StreamTuple::OfInsert(q));
   }
+  // Heap state restores after registration (Restore drops entries of
+  // queries that are no longer live — e.g. unsubscribed after the
+  // checkpoint and replayed from the WAL).
+  topk_.Restore(state->topk);
   cluster_->ResetLoadWindow();
 
   durability_ = std::make_unique<DurabilityManager>(config);
@@ -175,7 +188,8 @@ bool PS2Stream::Restore(const std::string& dir) {
 
 bool PS2Stream::Checkpoint() {
   if (fabric_ != nullptr) {
-    return fabric_->Checkpoint(next_query_id_, next_object_id_);
+    const TopKCheckpoint topk_cp = topk_.Checkpoint();
+    return fabric_->Checkpoint(next_query_id_, next_object_id_, &topk_cp);
   }
   if (durability_ == nullptr || !bootstrapped()) return false;
   const uint64_t seq = durability_->BeginCheckpoint();
@@ -210,6 +224,8 @@ bool PS2Stream::CommitCheckpointLocked(uint64_t seq) {
   }
   view.queries.reserve(subscriptions_.size());
   for (const auto& [id, q] : subscriptions_) view.queries.push_back(&q);
+  const TopKCheckpoint topk_cp = topk_.Checkpoint();
+  view.topk = &topk_cp;
   return durability_->CommitCheckpoint(seq, std::move(view));
 }
 
@@ -329,9 +345,43 @@ StatusOr<Subscription> PS2Stream::Subscribe(const SessionPtr& session,
     return Status::AlreadyExists("query id " + std::to_string(query.id) +
                                  " is already subscribed");
   }
+  if (const Status st = ValidateQuerySpec(query); !st.ok()) return st;
   if (const Status gate = DurabilityGate(); !gate.ok()) return gate;
   if (const Status st = ApplySubscribe(query, session); !st.ok()) return st;
   return Subscription(query.id, this, alive_);
+}
+
+StatusOr<Subscription> PS2Stream::Subscribe(const SessionPtr& session,
+                                            const SubscriptionSpec& spec) {
+  if (killed_) return Status::Unavailable("service was killed");
+  if (!bootstrapped()) {
+    return Status::FailedPrecondition(
+        "Bootstrap() or Restore() must succeed before Subscribe");
+  }
+  STSQuery q;
+  if (const Status st = CompileSpec(spec, vocab_, &q); !st.ok()) return st;
+  if (const Status gate = DurabilityGate(); !gate.ok()) return gate;
+  q.id = next_query_id_++;
+  if (const Status st = ApplySubscribe(q, session); !st.ok()) return st;
+  return Subscription(q.id, this, alive_);
+}
+
+Status PS2Stream::UpdateSubscription(QueryId id, const Rect& new_region) {
+  if (killed_) return Status::Unavailable("service was killed");
+  if (!bootstrapped()) {
+    return Status::FailedPrecondition(
+        "Bootstrap() or Restore() must succeed before UpdateSubscription");
+  }
+  const auto it = subscriptions_.find(id);
+  if (it == subscriptions_.end()) {
+    return Status::NotFound("no live subscription with id " +
+                            std::to_string(id));
+  }
+  if (const Status gate = DurabilityGate(); !gate.ok()) return gate;
+  const STSQuery old_query = it->second;
+  STSQuery new_query = old_query;
+  new_query.region = new_region;
+  return ApplyUpdate(old_query, new_query);
 }
 
 Status PS2Stream::Cancel(QueryId id) {
@@ -372,6 +422,9 @@ Status PS2Stream::Post(const SpatioTextualObject& object) {
 Status PS2Stream::PostInternal(const SpatioTextualObject& object) {
   if (const Status gate = DurabilityGate(); !gate.ok()) return gate;
   next_object_id_ = std::max(next_object_id_, object.id + 1);
+  // Event time moves first, exactly like the reference matcher: expiries
+  // (and the promotions they cause) land before this object's own matches.
+  AdvanceWatermark(object.timestamp_us);
   if (fabric_ != nullptr) {
     // The fabric routes the object to its cell's owner shard and carries
     // this publish stamp through the wire, so delivery latency covers the
@@ -406,6 +459,11 @@ Status PS2Stream::PostInternal(const SpatioTextualObject& object) {
 
 Status PS2Stream::ApplySubscribe(const STSQuery& query,
                                  const SessionPtr& session) {
+  // Arm top-k admission before any path can index the query: a candidate
+  // produced the instant the insert applies must find its state.
+  if (query.cls == SubscriptionClass::kTopK) {
+    topk_.Register(query.id, query.k);
+  }
   if (fabric_ != nullptr) {
     subscriptions_[query.id] = query;
     next_query_id_ = std::max(next_query_id_, query.id + 1);
@@ -418,6 +476,7 @@ Status PS2Stream::ApplySubscribe(const STSQuery& query,
     if (!st.ok()) {
       subscriptions_.erase(query.id);
       delivery_->Unroute(query.id);
+      topk_.Forget(query.id);
       return st;
     }
     MaybeCheckpoint();
@@ -452,6 +511,7 @@ Status PS2Stream::ApplyUnsubscribe(QueryId id) {
   if (fabric_ != nullptr) {
     subscriptions_.erase(it);
     delivery_->Unroute(id);
+    topk_.Forget(id);
     // Copies at quarantined shards die with the shard; only a fleet-wide
     // outage of the owners reports kUnavailable.
     const Status st = fabric_->Unsubscribe(id);
@@ -467,6 +527,7 @@ Status PS2Stream::ApplyUnsubscribe(QueryId id) {
   // returns. A match already in flight in the started engine lands in the
   // router's `unrouted` counter instead.
   delivery_->Unroute(id);
+  topk_.Forget(id);
   if (started()) {
     engine_->Submit(tuple);
     MaybeCheckpoint();
@@ -476,6 +537,59 @@ Status PS2Stream::ApplyUnsubscribe(QueryId id) {
   Track(tuple);
   MaybeCheckpoint();
   return Status::Ok();
+}
+
+Status PS2Stream::ApplyUpdate(const STSQuery& old_query,
+                              const STSQuery& new_query) {
+  if (fabric_ != nullptr) {
+    subscriptions_[new_query.id] = new_query;
+    // The fabric journals the update per shard (WAL-before-apply inside)
+    // and routes kQueryUpdate / insert / delete frames by old-vs-new owner
+    // membership. A quarantined target bounces the whole update.
+    const Status st = fabric_->Update(old_query, new_query);
+    if (!st.ok()) {
+      subscriptions_[old_query.id] = old_query;
+      return st;
+    }
+    MaybeCheckpoint();
+    return Status::Ok();
+  }
+  if (durability_ != nullptr) {
+    durability_->wal().AppendUpdate(new_query, vocab_);
+  }
+  subscriptions_[new_query.id] = new_query;
+  // Delete-then-insert with the same id: the delete drains the old cells'
+  // postings (a same-id insert would bind the live slot instead of a fresh
+  // one), the insert indexes the new region. Both ride the query-update
+  // path — dispatcher-pinned FIFO rings in started mode — so the pair can
+  // never reorder against itself or later updates. The session route and
+  // any held top-k results are untouched.
+  const StreamTuple del = StreamTuple::OfDelete(old_query);
+  const StreamTuple ins = StreamTuple::OfInsert(new_query);
+  if (started()) {
+    engine_->Submit(del);
+    engine_->Submit(ins);
+    MaybeCheckpoint();
+    return Status::Ok();
+  }
+  cluster_->Process(del);
+  cluster_->Process(ins);
+  Track(del);
+  Track(ins);
+  MaybeCheckpoint();
+  return Status::Ok();
+}
+
+void PS2Stream::AdvanceWatermark(int64_t watermark_us) {
+  if (!topk_.active()) return;
+  std::vector<Delivery> promoted;
+  topk_.AdvanceWatermark(watermark_us, &promoted);
+  for (const Delivery& d : promoted) delivery_->DeliverAdmitted(d);
+}
+
+void PS2Stream::AdvanceEventTime(int64_t watermark_us) {
+  if (killed_) return;
+  AdvanceWatermark(watermark_us);
 }
 
 Status PS2Stream::DurabilityGate() const {

@@ -15,6 +15,8 @@
 #include "persist/durability.h"
 #include "runtime/threaded_engine.h"
 #include "shard/sharded_engine.h"
+#include "subscribe/spec.h"
+#include "subscribe/topk.h"
 #include "text/tokenizer.h"
 
 namespace ps2 {
@@ -118,8 +120,25 @@ class PS2Stream : private SubscriptionBackend {
                                    const std::string& expression,
                                    const Rect& region);
   // Same, for a pre-built query (the id must be unused: kAlreadyExists).
+  // Scored-class queries get the same validation as specs (tau/k bounds).
   StatusOr<Subscription> Subscribe(const SessionPtr& session,
                                    const STSQuery& query);
+  // Typed subscription classes (see subscribe/spec.h): boolean,
+  // similarity-threshold (score >= tau) and continuous top-k. Malformed
+  // specs — tau outside (0, 1], k == 0, an empty term set — are rejected
+  // with a field-positional kInvalidArgument, never clamped.
+  StatusOr<Subscription> Subscribe(const SessionPtr& session,
+                                   const SubscriptionSpec& spec);
+
+  // Moving subscriber: replaces the subscription's region in place, keeping
+  // its id, class, terms and session route. The change rides the existing
+  // query-update routing — a delete draining the old cells followed by an
+  // insert into the new ones, ordered through the update gate (and, in
+  // fabric mode, kQueryUpdate wire frames to every owner shard) — so
+  // matches for objects posted after UpdateSubscription returns reflect the
+  // new region. Held top-k results are not re-validated: a region move
+  // affects future candidates only. kNotFound when the id is not live.
+  Status UpdateSubscription(QueryId id, const Rect& new_region);
 
   // Cancels a subscription by id. kNotFound when the id is not live.
   Status Cancel(QueryId id);
@@ -131,6 +150,13 @@ class PS2Stream : private SubscriptionBackend {
   // bootstrapped), kUnavailable (engine stopped mid-submit).
   Status Post(Point loc, const std::string& text);
   Status Post(const SpatioTextualObject& object);
+
+  // Advances the event-time watermark without publishing (e.g. a quiet
+  // stream whose held top-k results should still expire). Posting an object
+  // advances it implicitly to the object's timestamp. Monotonic; stale
+  // values no-op. Expiring a held top-k result re-admits (and delivers) the
+  // best buffered candidate.
+  void AdvanceEventTime(int64_t watermark_us);
 
   // --- durability -----------------------------------------------------------
   // Rebuilds the service from the durable directory (options.durability.dir
@@ -218,6 +244,10 @@ class PS2Stream : private SubscriptionBackend {
   // the synchronous-mode counterpart of the RunReport delivery fields.
   DeliveryRouter& delivery() { return *delivery_; }
   SessionStats delivery_stats() const { return delivery_->AggregateStats(); }
+  // Continuous top-k admission state (always live; empty without top-k
+  // subscriptions). Snapshot(id) is the query's current held set.
+  TopKCoordinator& topk() { return topk_; }
+  const TopKCoordinator& topk() const { return topk_; }
 
  private:
   // SubscriptionBackend (RAII Subscription handles cancel through this).
@@ -232,6 +262,10 @@ class PS2Stream : private SubscriptionBackend {
   Status ApplyUnsubscribe(QueryId id);
   // Shared publish path.
   Status PostInternal(const SpatioTextualObject& object);
+  // Shared subscription-update path (fabric / WAL / engine-or-inline).
+  Status ApplyUpdate(const STSQuery& old_query, const STSQuery& new_query);
+  // Watermark advance + promotion delivery (both Post and AdvanceEventTime).
+  void AdvanceWatermark(int64_t watermark_us);
   // Mutation gate: kDataLoss once the WAL (any shard's, in fabric mode)
   // has hit its sticky I/O error — the service refuses new mutations
   // rather than accepting ones that would not survive a crash.
@@ -256,6 +290,9 @@ class PS2Stream : private SubscriptionBackend {
   std::unique_ptr<DurabilityManager> durability_;
   std::unique_ptr<RecoveredState> recovered_;
   std::unique_ptr<DeliveryRouter> delivery_;
+  // Centralized top-k admission, hooked into the router (see
+  // subscribe/topk.h for why admission is not per-worker).
+  TopKCoordinator topk_;
   // Liveness token for RAII Subscription handles: reset first in the
   // destructor so a handle outliving the facade cancels into a no-op.
   std::shared_ptr<void> alive_;

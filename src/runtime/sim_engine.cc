@@ -80,6 +80,8 @@ SimReport RunSimulation(Cluster& cluster,
           dv.object_id = m.object_id;
           dv.publish_us = static_cast<int64_t>(arrival * 1e6);
           dv.deliver_us = static_cast<int64_t>(finish * 1e6);
+          dv.score = m.score;
+          dv.expire_us = m.expire_us;
           options.delivery->DeliverBatch(&dv, 1);
         }
       }

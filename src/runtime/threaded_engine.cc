@@ -731,6 +731,8 @@ void ThreadedEngine::WorkerLoop(int w) {
             d.query_id = m.query_id;
             d.object_id = m.object_id;
             d.publish_us = submit_of(m.object_id);
+            d.score = m.score;
+            d.expire_us = m.expire_us;
             pending.push_back(d);
           };
           if (!options_.merger_audit && !options_.collect_matches) {

@@ -29,6 +29,9 @@ STSQuery RemapQuery(const STSQuery& q, const Vocabulary& from,
   STSQuery out;
   out.id = q.id;
   out.region = q.region;
+  out.cls = q.cls;
+  out.tau = q.tau;
+  out.k = q.k;
   std::vector<std::vector<TermId>> clauses;
   clauses.reserve(q.expr.clauses().size());
   for (const auto& clause : q.expr.clauses()) {
@@ -97,6 +100,8 @@ void ShardedEngine::ShardEgress::Deliver(const MatchResult& m,
   wm.query_id = m.query_id;
   wm.object_id = m.object_id;
   wm.publish_us = publish_us;
+  wm.score = m.score;
+  wm.expire_us = m.expire_us;
   owner_->ShipMatches(shard_, EncodeMatchBatchFrame(&wm, 1));
 }
 
@@ -108,6 +113,8 @@ void ShardedEngine::ShardEgress::DeliverBatch(const Delivery* pending,
     wire[i].query_id = pending[i].query_id;
     wire[i].object_id = pending[i].object_id;
     wire[i].publish_us = pending[i].publish_us;
+    wire[i].score = pending[i].score;
+    wire[i].expire_us = pending[i].expire_us;
   }
   owner_->ShipMatches(shard_,
                       EncodeMatchBatchFrame(wire.data(), wire.size()));
@@ -304,6 +311,14 @@ bool ShardedEngine::Restore(const std::string& dir, Recovery* out) {
         std::max(recovery.next_query_id, state.next_query_id);
     recovery.next_object_id =
         std::max(recovery.next_object_id, state.next_object_id);
+    // Every shard carries the same front-level top-k snapshot; adopt the
+    // freshest copy (a quarantined shard may have missed the last
+    // checkpoint round).
+    if (!state.topk.empty() &&
+        (recovery.topk.empty() ||
+         state.topk.watermark_us > recovery.topk.watermark_us)) {
+      recovery.topk = std::move(state.topk);
+    }
   }
 
   recovery.queries.reserve(queries_.size());
@@ -412,6 +427,62 @@ Status ShardedEngine::Unsubscribe(QueryId id) {
   if (live == 0 && quarantined > 0) {
     return Status::Unavailable("every owner of query " + std::to_string(id) +
                                " is quarantined");
+  }
+  return worst;
+}
+
+Status ShardedEngine::Update(const STSQuery& old_query,
+                             const STSQuery& new_query) {
+  control_thread_.store(std::this_thread::get_id(),
+                        std::memory_order_relaxed);
+  PumpDeferred();
+  const auto map = map_->Current();
+  const GridSpec& grid = shards_[0]->cluster->router().plan().grid;
+  grid.CellsOverlapping(old_query.region, &overlap_scratch_);
+  uint64_t old_mask = 0;
+  for (const CellId c : overlap_scratch_) {
+    old_mask |= ShardBit(map->OwnerOf(c));
+  }
+  if (old_mask == 0 && !shards_.empty()) old_mask = ShardBit(0);
+  grid.CellsOverlapping(new_query.region, &overlap_scratch_);
+  uint64_t new_mask = 0;
+  for (const CellId c : overlap_scratch_) {
+    new_mask |= ShardBit(map->OwnerOf(c));
+  }
+  if (new_mask == 0 && !shards_.empty()) new_mask = ShardBit(0);
+
+  // Refuse up-front when any owner of either placement is quarantined: a
+  // half-applied move would either leak the old placement or miss matches
+  // in the new region.
+  for (const auto& shard : shards_) {
+    if (((old_mask | new_mask) & ShardBit(shard->id)) &&
+        supervisor_.quarantined(shard->id)) {
+      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable(
+          "subscription update touches quarantined shard " +
+          std::to_string(shard->id));
+    }
+  }
+
+  ForgetPlacement(old_query.id);
+  RegisterPlacement(new_query, new_mask);
+  Status worst = Status::Ok();
+  for (const auto& shard : shards_) {
+    const uint64_t bit = ShardBit(shard->id);
+    const bool had_old = (old_mask & bit) != 0;
+    const bool has_new = (new_mask & bit) != 0;
+    Status st = Status::Ok();
+    if (had_old && has_new) {
+      st = SendControl(shard->id,
+                       EncodeQueryUpdateFrame(new_query, old_query.region));
+    } else if (has_new) {
+      st = SendControl(shard->id,
+                       EncodeQueryFrame(FrameKind::kQueryInsert, new_query));
+    } else if (had_old) {
+      st = SendControl(shard->id,
+                       EncodeQueryFrame(FrameKind::kQueryDelete, old_query));
+    }
+    if (!st.ok() && worst.ok()) worst = st;
   }
   return worst;
 }
@@ -927,6 +998,8 @@ void ShardedEngine::ShardApply(Shard& shard, const Frame& f) {
           d.query_id = m.query_id;
           d.object_id = m.object_id;
           d.publish_us = f.publish_us;
+          d.score = m.score;
+          d.expire_us = m.expire_us;
           accepted.push_back(d);
         }
       }
@@ -951,6 +1024,34 @@ void ShardedEngine::ShardApply(Shard& shard, const Frame& f) {
         shard.engine->Submit(tuple);
       } else {
         shard.cluster->Process(tuple);
+      }
+      return;
+    }
+    case FrameKind::kQueryUpdate: {
+      // Delete-then-insert under one frame: the delete (old region) must
+      // come first because a same-id insert binds the existing index slot.
+      // Redelivery converges — the delete of an already-moved placement is
+      // a partial no-op and the re-insert lands on the same slot.
+      const bool had = shard.applied.count(f.query.id) != 0;
+      shard.applied.insert(f.query.id);
+      if (shard.durability != nullptr) {
+        shard.durability->wal().AppendUpdate(f.query, *vocab_);
+      }
+      if (had) {
+        STSQuery old_query = f.query;
+        old_query.region = f.old_region;
+        const StreamTuple del = StreamTuple::OfDelete(old_query);
+        if (shard.engine != nullptr) {
+          shard.engine->Submit(del);
+        } else {
+          shard.cluster->Process(del);
+        }
+      }
+      const StreamTuple ins = StreamTuple::OfInsert(f.query);
+      if (shard.engine != nullptr) {
+        shard.engine->Submit(ins);
+      } else {
+        shard.cluster->Process(ins);
       }
       return;
     }
@@ -1023,6 +1124,8 @@ void ShardedEngine::ApplyFromShard(Frame& f) {
         MatchResult m;
         m.query_id = wm.query_id;
         m.object_id = wm.object_id;
+        m.score = wm.score;
+        m.expire_us = wm.expire_us;
         if (front_sink_->AcceptFresh(m.query_id, m.object_id)) {
           front_sink_->Deliver(m, wm.publish_us);
         } else {
@@ -1122,7 +1225,8 @@ bool ShardedEngine::durable() const {
 }
 
 bool ShardedEngine::Checkpoint(QueryId next_query_id,
-                               ObjectId next_object_id) {
+                               ObjectId next_object_id,
+                               const TopKCheckpoint* topk) {
   if (!durable_root_ || !bootstrapped()) return false;
   bool ok = true;
   for (auto& shard : shards_) {
@@ -1148,6 +1252,9 @@ bool ShardedEngine::Checkpoint(QueryId next_query_id,
     for (const auto& [id, q] : queries_) {
       if (query_shards_[id] & bit) view.queries.push_back(&q);
     }
+    // The front's top-k heap state rides every shard's checkpoint so
+    // restore survives the loss of any one shard directory.
+    view.topk = topk;
     ok = shard->durability->CommitCheckpoint(seq, std::move(view)) && ok;
   }
   ok = WriteShardMapFile(ShardMapPath(config_.durability.dir),

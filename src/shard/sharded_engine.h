@@ -165,6 +165,9 @@ class ShardedEngine {
     QueryId next_query_id = 1;
     ObjectId next_object_id = 1;
     uint64_t shardmap_version = 0;
+    // Continuous top-k heap state (the facade's coordinator is checkpointed
+    // into every shard directory; restore adopts the freshest copy).
+    TopKCheckpoint topk;
   };
 
   // `vocab` and `front_sink` are the facade's vocabulary and delivery
@@ -200,6 +203,12 @@ class ShardedEngine {
   // at quarantined shards die with the shard. kUnavailable only when every
   // owner is quarantined.
   Status Unsubscribe(QueryId id);
+  // Replaces `old_query` (same id) with `new_query` — the moving-subscriber
+  // path. Owners of both regions get one kQueryUpdate frame (delete+insert
+  // applied atomically per shard), new-only owners an insert, old-only
+  // owners a delete. kUnavailable (registries untouched) when any owner of
+  // either region is quarantined.
+  Status Update(const STSQuery& old_query, const STSQuery& new_query);
   // Routes the object to its cell's owner. `publish_us` is the facade's
   // publish stamp, carried through the wire so delivery latency covers the
   // full cross-shard path. kUnavailable when the owner is quarantined.
@@ -215,9 +224,11 @@ class ShardedEngine {
 
   // --- durability -----------------------------------------------------------
   bool durable() const;
-  // Checkpoints every shard (the facade's id counters are embedded in each
-  // shard's checkpoint so any single shard can restore them).
-  bool Checkpoint(QueryId next_query_id, ObjectId next_object_id);
+  // Checkpoints every shard (the facade's id counters — and the top-k heap
+  // state when given — are embedded in each shard's checkpoint so any
+  // single shard can restore them).
+  bool Checkpoint(QueryId next_query_id, ObjectId next_object_id,
+                  const TopKCheckpoint* topk = nullptr);
   bool ShouldCheckpoint() const;
   // Crash simulation: aborts engines, abandons WALs. Fleet unusable after.
   void Kill();

@@ -36,6 +36,7 @@ bool DecodeObjectPayload(ByteReader& r, Frame* out) {
   const double y = r.Pod<double>();
   out->object.loc = Point{x, y};
   out->object.timestamp_us = r.Pod<int64_t>();
+  out->object.ttl_us = r.Pod<int64_t>();
   out->publish_us = r.Pod<int64_t>();
   const uint32_t nterms = r.Pod<uint32_t>();
   if (!r.FitsCount(nterms, sizeof(uint32_t))) return false;
@@ -50,20 +51,27 @@ bool DecodeObjectPayload(ByteReader& r, Frame* out) {
   const ObjectId id = out->object.id;
   const Point loc = out->object.loc;
   const int64_t ts = out->object.timestamp_us;
+  const int64_t ttl = out->object.ttl_us;
   out->object = SpatioTextualObject::FromTerms(id, loc, std::move(terms));
   out->object.timestamp_us = ts;
+  out->object.ttl_us = ttl;
   return true;
 }
 
 bool DecodeMatchBatchPayload(ByteReader& r, Frame* out) {
   const uint32_t n = r.Pod<uint32_t>();
-  if (!r.FitsCount(n, 2 * sizeof(uint64_t) + sizeof(int64_t))) return false;
+  if (!r.FitsCount(n, 2 * sizeof(uint64_t) + 2 * sizeof(int64_t) +
+                          sizeof(double))) {
+    return false;
+  }
   out->matches.reserve(n);
   for (uint32_t i = 0; i < n && r.ok(); ++i) {
     WireMatch m;
     m.query_id = r.Pod<uint64_t>();
     m.object_id = r.Pod<uint64_t>();
     m.publish_us = r.Pod<int64_t>();
+    m.score = r.Pod<double>();
+    m.expire_us = r.Pod<int64_t>();
     out->matches.push_back(m);
   }
   return r.ok();
@@ -78,6 +86,7 @@ std::string EncodeObjectFrame(const SpatioTextualObject& o,
   w.Pod<double>(o.loc.x);
   w.Pod<double>(o.loc.y);
   w.Pod<int64_t>(o.timestamp_us);
+  w.Pod<int64_t>(o.ttl_us);
   w.Pod<int64_t>(publish_us);
   w.Pod<uint32_t>(static_cast<uint32_t>(o.terms.size()));
   for (const TermId t : o.terms) w.Pod<uint32_t>(t);
@@ -98,8 +107,21 @@ std::string EncodeMatchBatchFrame(const WireMatch* matches, size_t n) {
     w.Pod<uint64_t>(matches[i].query_id);
     w.Pod<uint64_t>(matches[i].object_id);
     w.Pod<int64_t>(matches[i].publish_us);
+    w.Pod<double>(matches[i].score);
+    w.Pod<int64_t>(matches[i].expire_us);
   }
   return Seal(FrameKind::kMatchBatch, w.TakeBuffer());
+}
+
+std::string EncodeQueryUpdateFrame(const STSQuery& q, const Rect& old_region) {
+  ByteWriter w;
+  WriteQueryRecord(w, q,
+                   [](ByteWriter& bw, TermId t) { bw.Pod<uint32_t>(t); });
+  w.Pod<double>(old_region.min_x);
+  w.Pod<double>(old_region.min_y);
+  w.Pod<double>(old_region.max_x);
+  w.Pod<double>(old_region.max_y);
+  return Seal(FrameKind::kQueryUpdate, w.TakeBuffer());
 }
 
 std::string EncodeDrainFrame(FrameKind kind, uint64_t token) {
@@ -154,6 +176,20 @@ bool DecodeFrame(const std::string& frame, Frame* out) {
                                return static_cast<TermId>(br.Pod<uint32_t>());
                              }) &&
              r.remaining() == 0;
+    case FrameKind::kQueryUpdate: {
+      out->kind = FrameKind::kQueryUpdate;
+      if (!ReadQueryRecord(r, &out->query, [](ByteReader& br) {
+            return static_cast<TermId>(br.Pod<uint32_t>());
+          })) {
+        return false;
+      }
+      const double mnx = r.Pod<double>();
+      const double mny = r.Pod<double>();
+      const double mxx = r.Pod<double>();
+      const double mxy = r.Pod<double>();
+      out->old_region = Rect(mnx, mny, mxx, mxy);
+      return r.ok() && r.remaining() == 0;
+    }
     case FrameKind::kMatchBatch:
       out->kind = FrameKind::kMatchBatch;
       return DecodeMatchBatchPayload(r, out) && r.remaining() == 0;

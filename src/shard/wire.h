@@ -40,6 +40,11 @@ enum class FrameKind : uint8_t {
   kControl = 7,
   kAck = 8,
   kPing = 9,
+  // Subscription replacement (moving subscribers): the payload is the
+  // complete *new* query record followed by the *old* region, so the
+  // receiving shard can tear down the old placement and apply the new one
+  // as one delete+insert without a registry lookup.
+  kQueryUpdate = 10,
 };
 
 // One delivered match on the wire: the ids plus the publish timestamp the
@@ -49,6 +54,11 @@ struct WireMatch {
   QueryId query_id = 0;
   ObjectId object_id = 0;
   int64_t publish_us = 0;
+  // Scored-class metadata: the match score (0 for boolean queries) and the
+  // object's event-time expiry stamp (0 = never expires). Top-k admission
+  // happens at the front, so these must survive the shard -> front hop.
+  double score = 0.0;
+  int64_t expire_us = 0;
 };
 
 // A decoded frame; only the fields of `kind` are meaningful. Decoding a
@@ -59,7 +69,9 @@ struct Frame {
   FrameKind kind = FrameKind::kObject;
   SpatioTextualObject object;  // kObject
   int64_t publish_us = 0;      // kObject
-  STSQuery query;              // kQueryInsert / kQueryDelete
+  STSQuery query;              // kQueryInsert / kQueryDelete / kQueryUpdate
+                               // (kQueryUpdate: the replacement query)
+  Rect old_region;             // kQueryUpdate: pre-update placement
   std::vector<WireMatch> matches;  // kMatchBatch
   uint64_t drain_token = 0;    // kDrain / kDrainAck
   // Reliable-link metadata (enveloped frames and kAck).
@@ -72,6 +84,9 @@ struct Frame {
 std::string EncodeObjectFrame(const SpatioTextualObject& o,
                               int64_t publish_us);
 std::string EncodeQueryFrame(FrameKind kind, const STSQuery& q);
+// kQueryUpdate: `q` is the complete replacement, `old_region` its previous
+// placement (the shard drops the old cell registrations from it).
+std::string EncodeQueryUpdateFrame(const STSQuery& q, const Rect& old_region);
 std::string EncodeMatchBatchFrame(const WireMatch* matches, size_t n);
 std::string EncodeDrainFrame(FrameKind kind, uint64_t token);
 // Wraps an already-sealed frame in a reliable-link envelope. `inner` must

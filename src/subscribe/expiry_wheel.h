@@ -1,0 +1,51 @@
+#ifndef PS2_SUBSCRIBE_EXPIRY_WHEEL_H_
+#define PS2_SUBSCRIBE_EXPIRY_WHEEL_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/query.h"
+
+namespace ps2 {
+
+// Event-time expiry schedule for the top-k coordinator: which queries hold
+// a candidate that dies at which stamp. A classic timer wheel trades
+// precision for O(1) buckets; here expiry must be *exact* (the equivalence
+// suites compare heaps against a reference at precise watermarks), so the
+// wheel collapses to an ordered bucket map keyed by the expiry stamp —
+// entries with one stamp share a bucket, and advancing the watermark pops
+// whole due buckets instead of scanning live candidates.
+//
+// Entries are hints, not ownership: a popped query id may be stale (query
+// cancelled, candidate already evicted) — the coordinator re-checks against
+// its own state. Duplicate (stamp, query) entries are coalesced.
+class ExpiryWheel {
+ public:
+  // Schedules `id` for a re-check when the watermark reaches `expire_us`.
+  // expire_us == 0 ("never") is the caller's responsibility to filter.
+  void Schedule(int64_t expire_us, QueryId id) {
+    std::vector<QueryId>& bucket = buckets_[expire_us];
+    if (bucket.empty() || bucket.back() != id) bucket.push_back(id);
+  }
+
+  // Pops every bucket whose stamp is <= `watermark_us`, appending the
+  // (possibly stale, possibly duplicated) query ids to *due.
+  void PopDue(int64_t watermark_us, std::vector<QueryId>* due) {
+    auto it = buckets_.begin();
+    while (it != buckets_.end() && it->first <= watermark_us) {
+      due->insert(due->end(), it->second.begin(), it->second.end());
+      it = buckets_.erase(it);
+    }
+  }
+
+  bool empty() const { return buckets_.empty(); }
+  size_t size() const { return buckets_.size(); }
+
+ private:
+  std::map<int64_t, std::vector<QueryId>> buckets_;
+};
+
+}  // namespace ps2
+
+#endif  // PS2_SUBSCRIBE_EXPIRY_WHEEL_H_

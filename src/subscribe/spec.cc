@@ -1,0 +1,118 @@
+#include "subscribe/spec.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace ps2 {
+
+const char* SubscriptionClassName(SubscriptionClass cls) {
+  switch (cls) {
+    case SubscriptionClass::kBoolean:
+      return "boolean";
+    case SubscriptionClass::kSimilarity:
+      return "similarity";
+    case SubscriptionClass::kTopK:
+      return "top-k";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// Interns the scored-class term set as one OR clause. An empty set or an
+// empty term is a spec error, reported with the offending position.
+Status CompileTerms(const SubscriptionSpec& spec, Vocabulary& vocab,
+                    BoolExpr* out) {
+  if (spec.terms.empty()) {
+    return Status::InvalidArgument("spec.terms: empty term set (a " +
+                                   std::string(SubscriptionClassName(spec.cls)) +
+                                   " subscription needs at least one term)");
+  }
+  std::vector<TermId> ids;
+  ids.reserve(spec.terms.size());
+  for (size_t i = 0; i < spec.terms.size(); ++i) {
+    std::string term = spec.terms[i];
+    std::transform(term.begin(), term.end(), term.begin(), [](unsigned char c) {
+      return static_cast<char>(std::tolower(c));
+    });
+    if (term.empty()) {
+      return Status::InvalidArgument(
+          "spec.terms[" + std::to_string(i) + "]: empty term");
+    }
+    ids.push_back(vocab.Intern(term));
+  }
+  *out = BoolExpr::Or(std::move(ids));
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status CompileSpec(const SubscriptionSpec& spec, Vocabulary& vocab,
+                   STSQuery* out) {
+  STSQuery q;
+  q.cls = spec.cls;
+  q.region = spec.region;
+  switch (spec.cls) {
+    case SubscriptionClass::kBoolean: {
+      std::string parse_error;
+      q.expr = BoolExpr::Parse(spec.expression, vocab, &parse_error);
+      if (q.expr.has_error()) {
+        return Status::InvalidArgument("spec.expression \"" +
+                                       spec.expression + "\": " + parse_error);
+      }
+      if (q.expr.empty()) {
+        return Status::InvalidArgument("spec.expression \"" +
+                                       spec.expression + "\" has no keywords");
+      }
+      break;
+    }
+    case SubscriptionClass::kSimilarity: {
+      // tau = 0 would match on zero term overlap, which breaks the
+      // term-routing completeness argument — reject, don't clamp.
+      if (!(spec.tau > 0.0) || spec.tau > 1.0) {
+        return Status::InvalidArgument(
+            "spec.tau: must be in (0, 1], got " + std::to_string(spec.tau));
+      }
+      if (const Status st = CompileTerms(spec, vocab, &q.expr); !st.ok()) {
+        return st;
+      }
+      q.tau = spec.tau;
+      break;
+    }
+    case SubscriptionClass::kTopK: {
+      if (spec.k == 0) {
+        return Status::InvalidArgument(
+            "spec.k: must be >= 1, got 0 (a top-k subscription holding "
+            "nothing is a misconfiguration, not a degenerate case)");
+      }
+      if (const Status st = CompileTerms(spec, vocab, &q.expr); !st.ok()) {
+        return st;
+      }
+      q.k = spec.k;
+      break;
+    }
+  }
+  *out = std::move(q);
+  return Status::Ok();
+}
+
+Status ValidateQuerySpec(const STSQuery& q) {
+  if (q.cls == SubscriptionClass::kBoolean) return Status::Ok();
+  if (q.expr.empty() || q.expr.clauses().size() != 1 ||
+      q.expr.clauses()[0].empty()) {
+    return Status::InvalidArgument(
+        "query.expr: a scored subscription stores its term set as exactly "
+        "one OR clause (build it with BoolExpr::Or or CompileSpec)");
+  }
+  if (q.cls == SubscriptionClass::kSimilarity &&
+      (!(q.tau > 0.0) || q.tau > 1.0)) {
+    return Status::InvalidArgument("query.tau: must be in (0, 1], got " +
+                                   std::to_string(q.tau));
+  }
+  if (q.cls == SubscriptionClass::kTopK && q.k == 0) {
+    return Status::InvalidArgument("query.k: must be >= 1, got 0");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ps2

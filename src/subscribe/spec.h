@@ -1,0 +1,83 @@
+#ifndef PS2_SUBSCRIBE_SPEC_H_
+#define PS2_SUBSCRIBE_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/status.h"
+#include "core/query.h"
+#include "text/vocabulary.h"
+
+namespace ps2 {
+
+// A typed subscription request, the client-facing generalization of the
+// boolean expression + region pair. Exactly one text payload is meaningful
+// per class:
+//   kBoolean    — `expression` in the BoolExpr grammar ("a AND (b OR c)")
+//   kSimilarity — `terms` + `tau`: match when BinaryCosineSimilarity(object
+//                 terms, spec terms) >= tau, tau in (0, 1]
+//   kTopK       — `terms` + `k`: the query continuously holds its k
+//                 best-scoring unexpired objects, k >= 1
+// Build with the factory helpers; validation happens in CompileSpec, which
+// rejects malformed specs with a field-positional kInvalidArgument instead
+// of clamping.
+struct SubscriptionSpec {
+  SubscriptionClass cls = SubscriptionClass::kBoolean;
+  std::string expression;          // kBoolean
+  std::vector<std::string> terms;  // kSimilarity / kTopK
+  Rect region;
+  double tau = 0.0;  // kSimilarity
+  uint32_t k = 0;    // kTopK
+
+  static SubscriptionSpec Boolean(std::string expression, Rect region) {
+    SubscriptionSpec s;
+    s.cls = SubscriptionClass::kBoolean;
+    s.expression = std::move(expression);
+    s.region = region;
+    return s;
+  }
+  static SubscriptionSpec Similarity(std::vector<std::string> terms,
+                                     double tau, Rect region) {
+    SubscriptionSpec s;
+    s.cls = SubscriptionClass::kSimilarity;
+    s.terms = std::move(terms);
+    s.tau = tau;
+    s.region = region;
+    return s;
+  }
+  static SubscriptionSpec TopK(std::vector<std::string> terms, uint32_t k,
+                               Rect region) {
+    SubscriptionSpec s;
+    s.cls = SubscriptionClass::kTopK;
+    s.terms = std::move(terms);
+    s.k = k;
+    s.region = region;
+    return s;
+  }
+};
+
+// Human-readable class name ("boolean" / "similarity" / "top-k"), for
+// diagnostics and tooling.
+const char* SubscriptionClassName(SubscriptionClass cls);
+
+// Validates `spec` and compiles it into `*out` (everything but the id,
+// which the facade assigns), interning terms into `vocab`. Scored classes
+// store their term set as a single OR clause so the routing layer treats
+// them like any other query with complete routing (see STSQuery).
+//
+// Errors are kInvalidArgument with a field-positional message — spec.tau
+// out of (0, 1], spec.k == 0, spec.terms empty or containing an empty
+// term, spec.expression syntax errors — never a silent clamp.
+Status CompileSpec(const SubscriptionSpec& spec, Vocabulary& vocab,
+                   STSQuery* out);
+
+// Validates the scored-class invariants on a pre-built query (the raw
+// STSQuery Subscribe overload): tau/k bounds, a non-empty term set, and the
+// single-OR-clause term layout CompileSpec produces. Boolean queries pass
+// unconditionally (the facade already checks their expression).
+Status ValidateQuerySpec(const STSQuery& q);
+
+}  // namespace ps2
+
+#endif  // PS2_SUBSCRIBE_SPEC_H_

@@ -1,0 +1,199 @@
+#include "subscribe/topk.h"
+
+#include <algorithm>
+
+namespace ps2 {
+
+void TopKCoordinator::Register(QueryId id, uint32_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  QueryState& qs = states_[id];
+  if (qs.k == 0) {
+    num_states_.store(states_.size(), std::memory_order_release);
+  }
+  qs.k = k;
+}
+
+void TopKCoordinator::Forget(QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (states_.erase(id) != 0) {
+    // Wheel entries for the dead query go stale; PopDue re-checks.
+    num_states_.store(states_.size(), std::memory_order_release);
+  }
+}
+
+bool TopKCoordinator::Owns(QueryId id) const {
+  if (!active()) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  return states_.find(id) != states_.end();
+}
+
+void TopKCoordinator::InsertHeld(QueryState& qs, Entry e) {
+  const auto pos = std::upper_bound(
+      qs.held.begin(), qs.held.end(), e,
+      [](const Entry& a, const Entry& b) { return BetterEntry(a, b); });
+  qs.held.insert(pos, std::move(e));
+}
+
+bool TopKCoordinator::Offer(const Delivery& d) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = states_.find(d.query_id);
+  if (it == states_.end()) return false;
+  QueryState& qs = it->second;
+  Entry e;
+  e.object_id = d.object_id;
+  e.score = d.score;
+  e.expire_us = d.expire_us;
+  e.publish_us = d.publish_us;
+  // Dead on arrival (an async candidate can race a watermark advance past
+  // its expiry): drop. The synchronous reference sees the same watermark at
+  // the same schedule point, so final heaps still agree.
+  if (Expired(e, watermark_us_)) return false;
+  if (e.expire_us != 0) wheel_.Schedule(e.expire_us, d.query_id);
+  if (qs.held.size() < qs.k) {
+    e.delivered = true;
+    InsertHeld(qs, std::move(e));
+    return true;
+  }
+  Entry& worst = qs.held.back();
+  if (BetterEntry(e, worst)) {
+    // The evictee was already delivered; it stays buffered while live so an
+    // expiry above it can bring it back (silently — no re-delivery).
+    qs.buffer.push_back(std::move(worst));
+    qs.held.pop_back();
+    e.delivered = true;
+    InsertHeld(qs, std::move(e));
+    return true;
+  }
+  qs.buffer.push_back(std::move(e));
+  return false;
+}
+
+void TopKCoordinator::PromoteLocked(QueryId id, QueryState& qs,
+                                    std::vector<Delivery>* promoted) {
+  while (qs.held.size() < qs.k && !qs.buffer.empty()) {
+    auto best = qs.buffer.begin();
+    for (auto it = std::next(best); it != qs.buffer.end(); ++it) {
+      if (BetterEntry(*it, *best)) best = it;
+    }
+    Entry e = std::move(*best);
+    qs.buffer.erase(best);
+    if (!e.delivered && promoted != nullptr) {
+      Delivery d;
+      d.query_id = id;
+      d.object_id = e.object_id;
+      d.publish_us = e.publish_us;
+      d.score = e.score;
+      d.expire_us = e.expire_us;
+      promoted->push_back(d);
+    }
+    e.delivered = true;
+    InsertHeld(qs, std::move(e));
+  }
+}
+
+void TopKCoordinator::AdvanceWatermark(int64_t watermark_us,
+                                       std::vector<Delivery>* promoted) {
+  if (!active()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (watermark_us <= watermark_us_) return;
+  watermark_us_ = watermark_us;
+  std::vector<QueryId> due;
+  wheel_.PopDue(watermark_us, &due);
+  for (const QueryId id : due) {
+    const auto it = states_.find(id);
+    if (it == states_.end()) continue;  // stale wheel hint
+    QueryState& qs = it->second;
+    qs.buffer.erase(std::remove_if(qs.buffer.begin(), qs.buffer.end(),
+                                   [&](const Entry& e) {
+                                     return Expired(e, watermark_us_);
+                                   }),
+                    qs.buffer.end());
+    const size_t before = qs.held.size();
+    qs.held.erase(std::remove_if(qs.held.begin(), qs.held.end(),
+                                 [&](const Entry& e) {
+                                   return Expired(e, watermark_us_);
+                                 }),
+                  qs.held.end());
+    if (qs.held.size() < before) PromoteLocked(id, qs, promoted);
+  }
+}
+
+int64_t TopKCoordinator::watermark() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return watermark_us_;
+}
+
+std::vector<TopKEntry> TopKCoordinator::Snapshot(QueryId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TopKEntry> out;
+  const auto it = states_.find(id);
+  if (it == states_.end()) return out;
+  out.reserve(it->second.held.size());
+  for (const Entry& e : it->second.held) {
+    TopKEntry t;
+    t.query_id = id;
+    t.object_id = e.object_id;
+    t.score = e.score;
+    t.expire_us = e.expire_us;
+    t.publish_us = e.publish_us;
+    t.held = true;
+    t.delivered = e.delivered;
+    out.push_back(t);
+  }
+  return out;
+}
+
+size_t TopKCoordinator::buffered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [id, qs] : states_) n += qs.buffer.size();
+  return n;
+}
+
+TopKCheckpoint TopKCoordinator::Checkpoint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  TopKCheckpoint cp;
+  cp.watermark_us = watermark_us_;
+  for (const auto& [id, qs] : states_) {
+    for (const Entry& e : qs.held) {
+      cp.entries.push_back(TopKEntry{id, e.object_id, e.score, e.expire_us,
+                                     e.publish_us, /*held=*/true,
+                                     e.delivered});
+    }
+    for (const Entry& e : qs.buffer) {
+      cp.entries.push_back(TopKEntry{id, e.object_id, e.score, e.expire_us,
+                                     e.publish_us, /*held=*/false,
+                                     e.delivered});
+    }
+  }
+  return cp;
+}
+
+void TopKCoordinator::Restore(const TopKCheckpoint& checkpoint) {
+  std::lock_guard<std::mutex> lock(mu_);
+  watermark_us_ = checkpoint.watermark_us;
+  for (auto& [id, qs] : states_) {
+    qs.held.clear();
+    qs.buffer.clear();
+  }
+  wheel_ = ExpiryWheel();
+  for (const TopKEntry& t : checkpoint.entries) {
+    const auto it = states_.find(t.query_id);
+    if (it == states_.end()) continue;  // query no longer live
+    Entry e;
+    e.object_id = t.object_id;
+    e.score = t.score;
+    e.expire_us = t.expire_us;
+    e.publish_us = t.publish_us;
+    e.delivered = t.delivered;
+    if (Expired(e, watermark_us_)) continue;
+    if (e.expire_us != 0) wheel_.Schedule(e.expire_us, t.query_id);
+    if (t.held) {
+      InsertHeld(it->second, std::move(e));
+    } else {
+      it->second.buffer.push_back(std::move(e));
+    }
+  }
+}
+
+}  // namespace ps2

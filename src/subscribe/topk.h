@@ -1,0 +1,124 @@
+#ifndef PS2_SUBSCRIBE_TOPK_H_
+#define PS2_SUBSCRIBE_TOPK_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "api/delivery.h"
+#include "subscribe/expiry_wheel.h"
+#include "subscribe/topk_state.h"
+
+namespace ps2 {
+
+// Centralized admission for continuous top-k subscriptions.
+//
+// Workers (and, in fabric mode, remote shards) emit every positive-score
+// candidate; admission into the bounded per-query heap happens HERE, at the
+// delivery router — the single point all execution modes converge on after
+// the dedup window. That choice is what makes top-k results exact at any
+// shard/worker count: the held set is a pure function of the deduplicated
+// candidate set and the event-time watermark (score-desc, object-id-desc
+// total order), so it cannot depend on which worker saw which candidate or
+// in which order candidates raced in.
+//
+//   - A candidate better than the heap's worst evicts it (the evictee stays
+//     buffered while live — it may be re-admitted when a held entry
+//     expires).
+//   - Objects with a TTL expire when the watermark (max posted object
+//     timestamp, advanced by the facade) passes timestamp + ttl; expiry
+//     re-admits the best buffered candidate. The ExpiryWheel schedules
+//     those re-checks so watermark advances never scan live candidates.
+//   - A (query, object) pair is delivered at most once, on first admission
+//     (eviction is not retracted; re-admission of an already-delivered
+//     candidate is silent).
+//
+// Thread-safe; `active()` is a lock-free fast path so workloads with no
+// top-k subscriptions pay one relaxed load per delivery batch.
+class TopKCoordinator {
+ public:
+  // Total order over candidates of one query: score desc, object id desc.
+  // Object ids are unique per query (dedup window), so this is strict.
+  static bool Better(double a_score, ObjectId a_id, double b_score,
+                     ObjectId b_id) {
+    if (a_score != b_score) return a_score > b_score;
+    return a_id > b_id;
+  }
+
+  // --- control plane (facade) ----------------------------------------------
+  // Arms admission state for a top-k query (idempotent; existing candidates
+  // survive a re-register). Must happen before the query can produce
+  // candidates — the facade registers before routing/indexing.
+  void Register(QueryId id, uint32_t k);
+  void Forget(QueryId id);
+
+  // --- data plane (delivery router) ----------------------------------------
+  bool active() const {
+    return num_states_.load(std::memory_order_acquire) > 0;
+  }
+  bool Owns(QueryId id) const;
+
+  // Offers one deduplicated candidate (score/expire ride in `d`). Returns
+  // true when the candidate is admitted now and should be delivered;
+  // buffered, expired-on-arrival and unknown-query candidates return false.
+  bool Offer(const Delivery& d);
+
+  // Advances the event-time watermark (monotonic; stale values no-op) and
+  // appends the promotions it causes — buffered candidates admitted into
+  // vacancies left by expiry, never delivered before — to *promoted.
+  void AdvanceWatermark(int64_t watermark_us,
+                        std::vector<Delivery>* promoted);
+  int64_t watermark() const;
+
+  // --- introspection / persistence -----------------------------------------
+  // The query's held entries, best-first. Empty for unknown ids.
+  std::vector<TopKEntry> Snapshot(QueryId id) const;
+  // Buffered (live, unheld) entry count across all queries.
+  size_t buffered() const;
+
+  TopKCheckpoint Checkpoint() const;
+  // Replaces candidate state from a checkpoint. Queries must already be
+  // Register()ed (k is not part of the blob); entries for unregistered
+  // queries are dropped.
+  void Restore(const TopKCheckpoint& checkpoint);
+
+ private:
+  struct Entry {
+    ObjectId object_id = 0;
+    double score = 0.0;
+    int64_t expire_us = 0;
+    int64_t publish_us = 0;
+    bool delivered = false;
+  };
+  struct QueryState {
+    uint32_t k = 0;
+    std::vector<Entry> held;    // sorted best-first, size <= k
+    std::vector<Entry> buffer;  // live candidates outside the heap
+  };
+
+  static bool BetterEntry(const Entry& a, const Entry& b) {
+    return Better(a.score, a.object_id, b.score, b.object_id);
+  }
+  static bool Expired(const Entry& e, int64_t watermark_us) {
+    return e.expire_us != 0 && e.expire_us <= watermark_us;
+  }
+
+  // Inserts into `held` keeping best-first order.
+  static void InsertHeld(QueryState& qs, Entry e);
+  // Refills vacancies from the buffer, appending never-delivered
+  // admissions to *promoted (locked).
+  void PromoteLocked(QueryId id, QueryState& qs,
+                     std::vector<Delivery>* promoted);
+
+  mutable std::mutex mu_;
+  std::unordered_map<QueryId, QueryState> states_;
+  ExpiryWheel wheel_;
+  int64_t watermark_us_ = 0;
+  std::atomic<size_t> num_states_{0};
+};
+
+}  // namespace ps2
+
+#endif  // PS2_SUBSCRIBE_TOPK_H_

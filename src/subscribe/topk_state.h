@@ -1,0 +1,39 @@
+#ifndef PS2_SUBSCRIBE_TOPK_STATE_H_
+#define PS2_SUBSCRIBE_TOPK_STATE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/query.h"
+
+namespace ps2 {
+
+// One continuous top-k candidate as persisted / introspected: the scored
+// (query, object) pair plus the admission bookkeeping. `held` marks entries
+// currently in the query's result heap (vs buffered for re-admission);
+// `delivered` marks pairs the subscriber was already notified about, so a
+// restore never re-delivers across a promotion.
+struct TopKEntry {
+  QueryId query_id = 0;
+  ObjectId object_id = 0;
+  double score = 0.0;
+  int64_t expire_us = 0;   // event-time expiry; 0 = never
+  int64_t publish_us = 0;  // original publish stamp, kept for promotions
+  bool held = false;
+  bool delivered = false;
+};
+
+// Flattened coordinator state for checkpoints: the event-time watermark and
+// every live candidate of every top-k query. Per-query k is NOT stored here
+// — it rides in the (versioned) query records, and TopKCoordinator::Restore
+// requires the queries to be re-registered first.
+struct TopKCheckpoint {
+  int64_t watermark_us = 0;
+  std::vector<TopKEntry> entries;
+
+  bool empty() const { return watermark_us == 0 && entries.empty(); }
+};
+
+}  // namespace ps2
+
+#endif  // PS2_SUBSCRIBE_TOPK_STATE_H_

@@ -40,4 +40,25 @@ double CosineSimilarity(const TermVector& a, const TermVector& b) {
   return denom == 0.0 ? 0.0 : dot / denom;
 }
 
+double BinaryCosineSimilarity(const std::vector<TermId>& a,
+                              const std::vector<TermId>& b) {
+  if (a.empty() || b.empty()) return 0.0;
+  size_t i = 0, j = 0, common = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++common;
+      ++i;
+      ++j;
+    }
+  }
+  if (common == 0) return 0.0;
+  return static_cast<double>(common) /
+         std::sqrt(static_cast<double>(a.size()) *
+                   static_cast<double>(b.size()));
+}
+
 }  // namespace ps2

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "text/vocabulary.h"
 
@@ -38,6 +39,14 @@ class TermVector {
 // Cosine similarity in [0, 1]; 0 when either vector is empty. This is
 // simt(On, Qn) in Algorithm 1.
 double CosineSimilarity(const TermVector& a, const TermVector& b);
+
+// Binary-weight cosine over sorted, deduplicated term-id vectors:
+// |A ∩ B| / sqrt(|A| * |B|), 0 when either side is empty. This is the
+// matching-path kernel for the similarity/top-k subscription classes —
+// a two-pointer intersection, allocation-free and deterministic, so every
+// execution mode computes bit-identical scores.
+double BinaryCosineSimilarity(const std::vector<TermId>& a,
+                              const std::vector<TermId>& b);
 
 }  // namespace ps2
 

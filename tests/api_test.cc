@@ -350,6 +350,74 @@ TEST(PS2StreamApiTest, DuplicateQueryIdRejected) {
   first->Release();  // keep q subscribed past this scope (exercises Release)
 }
 
+// Satellite: malformed subscription specs surface as kInvalidArgument with a
+// field-positional message — they are rejected, never silently clamped into
+// a "nearby" valid spec.
+TEST(PS2StreamApiTest, MalformedSpecsRejectedWithPositionalMessages) {
+  PS2Stream ps2;
+  ps2.Bootstrap(WorkloadSample{});
+  const Rect region(0, 0, 1, 1);
+
+  // tau outside (0, 1] — both ends.
+  for (const double tau : {0.0, -0.25, 1.5}) {
+    const auto bad =
+        ps2.Subscribe(nullptr, SubscriptionSpec::Similarity({"a"}, tau, region));
+    ASSERT_FALSE(bad.ok()) << "tau=" << tau;
+    EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(bad.status().message().find("spec.tau"), std::string::npos)
+        << bad.status().message();
+    EXPECT_NE(bad.status().message().find("(0, 1]"), std::string::npos);
+  }
+
+  // k == 0.
+  const auto zero_k =
+      ps2.Subscribe(nullptr, SubscriptionSpec::TopK({"a"}, 0, region));
+  ASSERT_FALSE(zero_k.ok());
+  EXPECT_EQ(zero_k.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(zero_k.status().message().find("spec.k"), std::string::npos);
+
+  // Empty term set, and an empty term at a known position.
+  const auto no_terms =
+      ps2.Subscribe(nullptr, SubscriptionSpec::Similarity({}, 0.5, region));
+  ASSERT_FALSE(no_terms.ok());
+  EXPECT_EQ(no_terms.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(no_terms.status().message().find("spec.terms"), std::string::npos);
+
+  const auto empty_term = ps2.Subscribe(
+      nullptr, SubscriptionSpec::TopK({"a", "", "b"}, 3, region));
+  ASSERT_FALSE(empty_term.ok());
+  EXPECT_EQ(empty_term.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(empty_term.status().message().find("spec.terms[1]"),
+            std::string::npos)
+      << empty_term.status().message();
+
+  // Nothing leaked into the registry.
+  EXPECT_EQ(ps2.num_subscriptions(), 0u);
+
+  // The raw-STSQuery overload gets the same validation (no clamping there
+  // either): a top-k query with k = 0 bounces.
+  STSQuery q;
+  q.id = 0;
+  q.cls = SubscriptionClass::kTopK;
+  q.expr = BoolExpr::Or({ps2.vocabulary().Intern("x")});
+  q.k = 0;
+  q.region = region;
+  const auto raw = ps2.Subscribe(nullptr, q);
+  ASSERT_FALSE(raw.ok());
+  EXPECT_EQ(raw.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PS2StreamApiTest, UpdateSubscriptionValidatesTarget) {
+  PS2Stream ps2;
+  ps2.Bootstrap(WorkloadSample{});
+  EXPECT_EQ(ps2.UpdateSubscription(42, Rect(0, 0, 1, 1)).code(),
+            StatusCode::kNotFound);
+  auto sub = ps2.Subscribe(nullptr, "move", Rect(0, 0, 1, 1));
+  ASSERT_TRUE(sub.ok());
+  EXPECT_TRUE(ps2.UpdateSubscription(sub->id(), Rect(2, 2, 3, 3)).ok());
+  EXPECT_EQ(ps2.subscriptions().at(sub->id()).region.min_x, 2.0);
+}
+
 TEST(PS2StreamApiTest, KilledServiceReportsUnavailable) {
   PS2Stream ps2;
   ps2.Bootstrap(WorkloadSample{});

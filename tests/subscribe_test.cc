@@ -1,0 +1,463 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/delivery.h"
+#include "api/status.h"
+#include "core/object.h"
+#include "core/query.h"
+#include "index/reference_matcher.h"
+#include "runtime/ps2stream.h"
+#include "subscribe/expiry_wheel.h"
+#include "subscribe/spec.h"
+#include "subscribe/topk.h"
+#include "text/similarity.h"
+#include "text/vocabulary.h"
+
+namespace ps2 {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spec compilation & validation
+// ---------------------------------------------------------------------------
+
+TEST(SubscriptionSpecTest, CompilesEachClass) {
+  Vocabulary vocab;
+  const Rect region(0, 0, 10, 10);
+
+  STSQuery b;
+  ASSERT_TRUE(
+      CompileSpec(SubscriptionSpec::Boolean("a AND (b OR c)", region), vocab,
+                  &b)
+          .ok());
+  EXPECT_EQ(b.cls, SubscriptionClass::kBoolean);
+  EXPECT_FALSE(b.scored());
+
+  STSQuery s;
+  ASSERT_TRUE(
+      CompileSpec(SubscriptionSpec::Similarity({"pizza", "vegan"}, 0.5, region),
+                  vocab, &s)
+          .ok());
+  EXPECT_EQ(s.cls, SubscriptionClass::kSimilarity);
+  EXPECT_TRUE(s.scored());
+  EXPECT_DOUBLE_EQ(s.tau, 0.5);
+  EXPECT_EQ(s.ScoredTerms().size(), 2u);
+
+  STSQuery t;
+  ASSERT_TRUE(CompileSpec(SubscriptionSpec::TopK({"taxi"}, 3, region), vocab,
+                          &t)
+                  .ok());
+  EXPECT_EQ(t.cls, SubscriptionClass::kTopK);
+  EXPECT_EQ(t.k, 3u);
+  EXPECT_EQ(t.ScoredTerms().size(), 1u);
+}
+
+TEST(SubscriptionSpecTest, ScoredTermsAreSortedAndDeduplicated) {
+  Vocabulary vocab;
+  STSQuery q;
+  ASSERT_TRUE(CompileSpec(SubscriptionSpec::Similarity({"b", "a", "b", "c"},
+                                                       0.2, Rect(0, 0, 1, 1)),
+                          vocab, &q)
+                  .ok());
+  const std::vector<TermId>& terms = q.ScoredTerms();
+  ASSERT_EQ(terms.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(terms.begin(), terms.end()));
+}
+
+TEST(SubscriptionSpecTest, RejectsMalformedSpecsWithFieldPosition) {
+  Vocabulary vocab;
+  STSQuery out;
+  const Rect region(0, 0, 1, 1);
+
+  for (const double tau : {-1.0, 0.0, 1.0001}) {
+    const Status st =
+        CompileSpec(SubscriptionSpec::Similarity({"a"}, tau, region), vocab,
+                    &out);
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument) << "tau=" << tau;
+    EXPECT_NE(st.message().find("spec.tau"), std::string::npos);
+  }
+
+  const Status k0 =
+      CompileSpec(SubscriptionSpec::TopK({"a"}, 0, region), vocab, &out);
+  EXPECT_EQ(k0.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(k0.message().find("spec.k"), std::string::npos);
+
+  const Status no_terms =
+      CompileSpec(SubscriptionSpec::TopK({}, 2, region), vocab, &out);
+  EXPECT_EQ(no_terms.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(no_terms.message().find("spec.terms"), std::string::npos);
+
+  const Status hole = CompileSpec(
+      SubscriptionSpec::Similarity({"a", "b", ""}, 0.5, region), vocab, &out);
+  EXPECT_EQ(hole.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(hole.message().find("spec.terms[2]"), std::string::npos);
+
+  const Status parse = CompileSpec(
+      SubscriptionSpec::Boolean("a AND AND", region), vocab, &out);
+  EXPECT_EQ(parse.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SubscriptionSpecTest, ValidateQuerySpecChecksScoredInvariants) {
+  Vocabulary vocab;
+  const TermId a = vocab.Intern("a");
+
+  STSQuery ok;
+  ok.cls = SubscriptionClass::kSimilarity;
+  ok.expr = BoolExpr::Or({a});
+  ok.tau = 0.7;
+  EXPECT_TRUE(ValidateQuerySpec(ok).ok());
+
+  STSQuery bad_tau = ok;
+  bad_tau.tau = 0.0;
+  EXPECT_EQ(ValidateQuerySpec(bad_tau).code(), StatusCode::kInvalidArgument);
+
+  STSQuery bad_k;
+  bad_k.cls = SubscriptionClass::kTopK;
+  bad_k.expr = BoolExpr::Or({a});
+  bad_k.k = 0;
+  EXPECT_EQ(ValidateQuerySpec(bad_k).code(), StatusCode::kInvalidArgument);
+
+  // Boolean queries pass unconditionally.
+  STSQuery boolean;
+  boolean.cls = SubscriptionClass::kBoolean;
+  EXPECT_TRUE(ValidateQuerySpec(boolean).ok());
+}
+
+TEST(SubscriptionSpecTest, ClassNames) {
+  EXPECT_STREQ(SubscriptionClassName(SubscriptionClass::kBoolean), "boolean");
+  EXPECT_STREQ(SubscriptionClassName(SubscriptionClass::kSimilarity),
+               "similarity");
+  EXPECT_STREQ(SubscriptionClassName(SubscriptionClass::kTopK), "top-k");
+}
+
+// ---------------------------------------------------------------------------
+// Binary cosine kernel
+// ---------------------------------------------------------------------------
+
+TEST(BinaryCosineTest, KnownValues) {
+  const std::vector<TermId> a{1, 2, 3, 4};
+  const std::vector<TermId> b{3, 4, 5};
+  // |A ∩ B| = 2, sqrt(4 * 3) = sqrt(12).
+  EXPECT_DOUBLE_EQ(BinaryCosineSimilarity(a, b), 2.0 / std::sqrt(12.0));
+  EXPECT_DOUBLE_EQ(BinaryCosineSimilarity(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(BinaryCosineSimilarity(a, {}), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryCosineSimilarity({}, b), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryCosineSimilarity({1, 2}, {3, 4}), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Expiry wheel
+// ---------------------------------------------------------------------------
+
+TEST(ExpiryWheelTest, PopsDueBucketsInStampOrder) {
+  ExpiryWheel wheel;
+  wheel.Schedule(300, 7);
+  wheel.Schedule(100, 1);
+  wheel.Schedule(100, 1);  // coalesced duplicate
+  wheel.Schedule(200, 2);
+  EXPECT_EQ(wheel.size(), 3u);
+
+  std::vector<QueryId> due;
+  wheel.PopDue(50, &due);
+  EXPECT_TRUE(due.empty());
+
+  wheel.PopDue(200, &due);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0], 1u);
+  EXPECT_EQ(due[1], 2u);
+  EXPECT_EQ(wheel.size(), 1u);
+
+  due.clear();
+  wheel.PopDue(1000, &due);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0], 7u);
+  EXPECT_TRUE(wheel.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Top-k coordinator (unit)
+// ---------------------------------------------------------------------------
+
+Delivery Cand(QueryId q, ObjectId o, double score, int64_t expire_us) {
+  Delivery d;
+  d.query_id = q;
+  d.object_id = o;
+  d.score = score;
+  d.expire_us = expire_us;
+  return d;
+}
+
+TEST(TopKCoordinatorTest, AdmitsEvictsAndBuffers) {
+  TopKCoordinator topk;
+  EXPECT_FALSE(topk.active());
+  topk.Register(1, 2);
+  EXPECT_TRUE(topk.active());
+  EXPECT_TRUE(topk.Owns(1));
+  EXPECT_FALSE(topk.Owns(2));
+
+  EXPECT_TRUE(topk.Offer(Cand(1, 10, 0.5, 0)));
+  EXPECT_TRUE(topk.Offer(Cand(1, 11, 0.9, 0)));
+  // Worse than the heap's worst: buffered, not delivered.
+  EXPECT_FALSE(topk.Offer(Cand(1, 12, 0.1, 0)));
+  EXPECT_EQ(topk.buffered(), 1u);
+  // Better than the worst: admitted, evictee (10, 0.5) goes to the buffer.
+  EXPECT_TRUE(topk.Offer(Cand(1, 13, 0.7, 0)));
+  EXPECT_EQ(topk.buffered(), 2u);
+
+  const std::vector<TopKEntry> held = topk.Snapshot(1);
+  ASSERT_EQ(held.size(), 2u);
+  EXPECT_EQ(held[0].object_id, 11u);
+  EXPECT_EQ(held[1].object_id, 13u);
+  EXPECT_TRUE(held[0].held);
+  EXPECT_TRUE(held[0].delivered);
+
+  // Unknown queries never match.
+  EXPECT_FALSE(topk.Offer(Cand(99, 1, 1.0, 0)));
+}
+
+TEST(TopKCoordinatorTest, TieBreaksByObjectIdDesc) {
+  TopKCoordinator topk;
+  topk.Register(1, 1);
+  EXPECT_TRUE(topk.Offer(Cand(1, 10, 0.5, 0)));
+  // Same score, higher id: wins the tie.
+  EXPECT_TRUE(topk.Offer(Cand(1, 20, 0.5, 0)));
+  // Same score, lower id: loses the tie.
+  EXPECT_FALSE(topk.Offer(Cand(1, 15, 0.5, 0)));
+  const auto held = topk.Snapshot(1);
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(held[0].object_id, 20u);
+}
+
+TEST(TopKCoordinatorTest, ExpiryPromotesBestBufferedOnce) {
+  TopKCoordinator topk;
+  topk.Register(1, 1);
+  EXPECT_TRUE(topk.Offer(Cand(1, 10, 0.9, /*expire_us=*/100)));
+  EXPECT_FALSE(topk.Offer(Cand(1, 11, 0.4, 0)));  // buffered
+  EXPECT_FALSE(topk.Offer(Cand(1, 12, 0.6, 0)));  // buffered, better
+
+  std::vector<Delivery> promoted;
+  topk.AdvanceWatermark(99, &promoted);
+  EXPECT_TRUE(promoted.empty());
+
+  topk.AdvanceWatermark(100, &promoted);
+  ASSERT_EQ(promoted.size(), 1u);
+  EXPECT_EQ(promoted[0].object_id, 12u);
+  EXPECT_DOUBLE_EQ(promoted[0].score, 0.6);
+
+  const auto held = topk.Snapshot(1);
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(held[0].object_id, 12u);
+
+  // Stale watermarks no-op.
+  promoted.clear();
+  topk.AdvanceWatermark(50, &promoted);
+  EXPECT_TRUE(promoted.empty());
+  EXPECT_EQ(topk.watermark(), 100);
+}
+
+TEST(TopKCoordinatorTest, ReAdmissionOfDeliveredCandidateIsSilent) {
+  TopKCoordinator topk;
+  topk.Register(1, 1);
+  EXPECT_TRUE(topk.Offer(Cand(1, 10, 0.5, 0)));   // delivered
+  EXPECT_TRUE(topk.Offer(Cand(1, 11, 0.9, 100))); // evicts 10, delivered
+  // 10 is buffered and was already delivered: when 11 expires, 10 re-enters
+  // the held set but is NOT re-delivered.
+  std::vector<Delivery> promoted;
+  topk.AdvanceWatermark(200, &promoted);
+  EXPECT_TRUE(promoted.empty());
+  const auto held = topk.Snapshot(1);
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(held[0].object_id, 10u);
+  EXPECT_TRUE(held[0].delivered);
+}
+
+TEST(TopKCoordinatorTest, ExpiredOnArrivalIsDropped) {
+  TopKCoordinator topk;
+  topk.Register(1, 2);
+  std::vector<Delivery> promoted;
+  topk.AdvanceWatermark(500, &promoted);
+  EXPECT_FALSE(topk.Offer(Cand(1, 10, 0.9, /*expire_us=*/400)));
+  EXPECT_TRUE(topk.Snapshot(1).empty());
+  EXPECT_EQ(topk.buffered(), 0u);
+}
+
+TEST(TopKCoordinatorTest, CheckpointRoundTripsHeapAndBuffer) {
+  TopKCoordinator topk;
+  topk.Register(1, 2);
+  topk.Register(2, 1);
+  EXPECT_TRUE(topk.Offer(Cand(1, 10, 0.9, 300)));
+  EXPECT_TRUE(topk.Offer(Cand(1, 11, 0.5, 0)));
+  EXPECT_FALSE(topk.Offer(Cand(1, 12, 0.2, 0)));  // buffered
+  EXPECT_TRUE(topk.Offer(Cand(2, 20, 0.8, 0)));
+  std::vector<Delivery> promoted;
+  topk.AdvanceWatermark(100, &promoted);
+
+  const TopKCheckpoint cp = topk.Checkpoint();
+  EXPECT_EQ(cp.watermark_us, 100);
+
+  TopKCoordinator restored;
+  restored.Register(1, 2);
+  restored.Register(2, 1);
+  restored.Restore(cp);
+  EXPECT_EQ(restored.watermark(), 100);
+  EXPECT_EQ(restored.buffered(), topk.buffered());
+  for (const QueryId id : {1u, 2u}) {
+    const auto a = topk.Snapshot(id);
+    const auto b = restored.Snapshot(id);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].object_id, b[i].object_id);
+      EXPECT_DOUBLE_EQ(a[i].score, b[i].score);
+      EXPECT_EQ(a[i].expire_us, b[i].expire_us);
+      EXPECT_EQ(a[i].delivered, b[i].delivered);
+    }
+  }
+
+  // Restore drops entries of unregistered queries instead of resurrecting
+  // them.
+  TopKCoordinator partial;
+  partial.Register(2, 1);
+  partial.Restore(cp);
+  EXPECT_TRUE(partial.Snapshot(1).empty());
+  EXPECT_EQ(partial.Snapshot(2).size(), 1u);
+
+  // The expiry of the restored held entry still fires.
+  std::vector<Delivery> promo2;
+  restored.AdvanceWatermark(300, &promo2);
+  const auto held1 = restored.Snapshot(1);
+  ASSERT_EQ(held1.size(), 2u);
+  EXPECT_EQ(held1[0].object_id, 11u);
+  EXPECT_EQ(held1[1].object_id, 12u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end through the synchronous facade
+// ---------------------------------------------------------------------------
+
+SpatioTextualObject Obj(ObjectId id, Point loc, std::vector<TermId> terms,
+                        int64_t timestamp_us, int64_t ttl_us = 0) {
+  SpatioTextualObject o = SpatioTextualObject::FromTerms(id, loc, terms);
+  o.timestamp_us = timestamp_us;
+  o.ttl_us = ttl_us;
+  return o;
+}
+
+std::vector<Delivery> Drain(SubscriberSession& session) {
+  std::vector<Delivery> out;
+  Delivery d;
+  while (session.Poll(&d)) out.push_back(d);
+  return out;
+}
+
+TEST(SubscriptionClassesTest, SimilarityThresholdFiltersByScore) {
+  PS2Stream ps2;
+  ps2.Bootstrap(WorkloadSample{});
+  auto session = ps2.OpenSession();
+  const TermId a = ps2.vocabulary().Intern("a");
+  const TermId b = ps2.vocabulary().Intern("b");
+  const TermId c = ps2.vocabulary().Intern("c");
+
+  auto sub = ps2.Subscribe(
+      session, SubscriptionSpec::Similarity({"a", "b"}, 0.6, Rect(0, 0, 9, 9)));
+  ASSERT_TRUE(sub.ok());
+
+  // {a, b}: cosine 1.0 — match. {a, c}: 1/2 = 0.5 < 0.6 — no match.
+  // {a}: 1/sqrt(2) ~= 0.707 — match. Outside the region — no match.
+  ASSERT_TRUE(ps2.Post(Obj(1, {1, 1}, {a, b}, 10)).ok());
+  ASSERT_TRUE(ps2.Post(Obj(2, {1, 1}, {a, c}, 20)).ok());
+  ASSERT_TRUE(ps2.Post(Obj(3, {1, 1}, {a}, 30)).ok());
+  ASSERT_TRUE(ps2.Post(Obj(4, {20, 20}, {a, b}, 40)).ok());
+
+  const std::vector<Delivery> got = Drain(*session);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].object_id, 1u);
+  EXPECT_DOUBLE_EQ(got[0].score, 1.0);
+  EXPECT_EQ(got[1].object_id, 3u);
+  EXPECT_DOUBLE_EQ(got[1].score, 1.0 / std::sqrt(2.0));
+}
+
+TEST(SubscriptionClassesTest, TopKDeliversAdmissionsAndPromotions) {
+  PS2Stream ps2;
+  ps2.Bootstrap(WorkloadSample{});
+  auto session = ps2.OpenSession();
+  const TermId a = ps2.vocabulary().Intern("a");
+  const TermId b = ps2.vocabulary().Intern("b");
+
+  auto sub = ps2.Subscribe(
+      session, SubscriptionSpec::TopK({"a", "b"}, 1, Rect(0, 0, 9, 9)));
+  ASSERT_TRUE(sub.ok());
+  const QueryId qid = sub->id();
+
+  // Score 1.0, expires at 100 + 50.
+  ASSERT_TRUE(ps2.Post(Obj(1, {1, 1}, {a, b}, 100, 50)).ok());
+  // Score ~0.707: candidate but buffered (k = 1). Never expires.
+  ASSERT_TRUE(ps2.Post(Obj(2, {2, 2}, {a}, 110)).ok());
+  std::vector<Delivery> got = Drain(*session);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].object_id, 1u);
+
+  auto held = ps2.topk().Snapshot(qid);
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(held[0].object_id, 1u);
+
+  // Quiet stream: the watermark advance alone expires object 1 and promotes
+  // (and delivers) object 2.
+  ps2.AdvanceEventTime(150);
+  got = Drain(*session);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].object_id, 2u);
+  held = ps2.topk().Snapshot(qid);
+  ASSERT_EQ(held.size(), 1u);
+  EXPECT_EQ(held[0].object_id, 2u);
+
+  // Facade snapshot agrees with the brute-force reference over the same
+  // schedule.
+  ReferenceMatcher ref;
+  STSQuery q = ps2.subscriptions().at(qid);
+  ref.Insert(q);
+  ref.Post(Obj(1, {1, 1}, {a, b}, 100, 50));
+  ref.Post(Obj(2, {2, 2}, {a}, 110));
+  ref.AdvanceTime(150);
+  const auto ref_held = ref.TopKSnapshot(qid);
+  ASSERT_EQ(ref_held.size(), held.size());
+  EXPECT_EQ(ref_held[0].object_id, held[0].object_id);
+  EXPECT_DOUBLE_EQ(ref_held[0].score, held[0].score);
+}
+
+TEST(SubscriptionClassesTest, MovingSubscriberSeesNewRegionOnly) {
+  PS2Stream ps2;
+  ps2.Bootstrap(WorkloadSample{});
+  auto session = ps2.OpenSession();
+  const TermId a = ps2.vocabulary().Intern("a");
+
+  auto sub = ps2.Subscribe(
+      session, SubscriptionSpec::Similarity({"a"}, 0.5, Rect(0, 0, 4, 4)));
+  ASSERT_TRUE(sub.ok());
+  const QueryId qid = sub->id();
+
+  ASSERT_TRUE(ps2.Post(Obj(1, {1, 1}, {a}, 10)).ok());
+  ASSERT_TRUE(ps2.UpdateSubscription(qid, Rect(10, 10, 14, 14)).ok());
+  // Old region no longer matches; new region does. Class, terms, tau and the
+  // session route all survive the move.
+  ASSERT_TRUE(ps2.Post(Obj(2, {1, 1}, {a}, 20)).ok());
+  ASSERT_TRUE(ps2.Post(Obj(3, {11, 11}, {a}, 30)).ok());
+
+  const std::vector<Delivery> got = Drain(*session);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0].object_id, 1u);
+  EXPECT_EQ(got[1].object_id, 3u);
+
+  const STSQuery& q = ps2.subscriptions().at(qid);
+  EXPECT_EQ(q.cls, SubscriptionClass::kSimilarity);
+  EXPECT_DOUBLE_EQ(q.tau, 0.5);
+  EXPECT_EQ(q.region.min_x, 10.0);
+
+  EXPECT_EQ(ps2.UpdateSubscription(9999, Rect(0, 0, 1, 1)).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ps2

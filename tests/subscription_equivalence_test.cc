@@ -1,0 +1,397 @@
+// Randomized subscription-class equivalence: mixed boolean / similarity /
+// top-k schedules — with moving subscribers (UpdateSubscription), TTL'd
+// objects, cross-shard migrations and kill+restore thrown in — must deliver
+// exactly the brute-force reference's match set at every shard count, and
+// the continuous top-k heaps must converge to the reference's held sets in
+// every execution mode. Synchronous modes keep runs deterministic, so the
+// delivered trace is compared as exact set equality; the threaded engine
+// races candidate arrival against the event-time watermark, so there only
+// the watermark-pure state (heaps and the stateless-class trace) is
+// compared.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/reference_matcher.h"
+#include "runtime/ps2stream.h"
+#include "test_util.h"
+
+namespace ps2 {
+namespace {
+
+struct Action {
+  enum Kind { kSubscribe, kUnsubscribe, kUpdate, kPublish } kind;
+  STSQuery query;              // kSubscribe / kUpdate (the post-move query)
+  QueryId query_id = 0;        // kUnsubscribe
+  SpatioTextualObject object;  // kPublish
+};
+
+// All terms mentioned anywhere in the expression, sorted and deduplicated —
+// the term set a scored-class conversion of the query subscribes to.
+std::vector<TermId> AllTerms(const BoolExpr& expr) {
+  std::vector<TermId> terms;
+  for (const auto& clause : expr.clauses()) {
+    terms.insert(terms.end(), clause.begin(), clause.end());
+  }
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  return terms;
+}
+
+// Rewrites ~2/3 of the workload's boolean queries into similarity and top-k
+// subscriptions (term set = every term the expression mentioned, stored as
+// the single OR clause CompileSpec would produce) and stamps the published
+// objects with monotonic event time plus a TTL on about half of them, so
+// expiry and promotion churn throughout the schedule.
+void MixClasses(testutil::TestWorkload* w, uint64_t seed) {
+  Rng rng(seed);
+  for (STSQuery& q : w->sample.inserts) {
+    const double dice = rng.NextDouble();
+    if (dice < 1.0 / 3) continue;  // stays boolean
+    const std::vector<TermId> terms = AllTerms(q.expr);
+    q.expr = BoolExpr::Or(terms);
+    if (dice < 2.0 / 3) {
+      q.cls = SubscriptionClass::kSimilarity;
+      // Low thresholds keep the match rate non-trivial (a random object
+      // shares few terms with a random query).
+      q.tau = 0.05 + 0.5 * rng.NextDouble();
+    } else {
+      q.cls = SubscriptionClass::kTopK;
+      q.k = 1 + rng.NextBelow(4);
+    }
+  }
+  int64_t ts = 0;
+  for (SpatioTextualObject& o : w->extra_objects) {
+    ts += 1000;
+    o.timestamp_us = ts;
+    if (rng.NextBernoulli(0.5)) {
+      o.ttl_us = 500 + static_cast<int64_t>(rng.NextBelow(8)) * 700;
+    }
+  }
+}
+
+std::vector<Action> MakeActions(const testutil::TestWorkload& w,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Action> actions;
+  std::vector<QueryId> subscribed;
+  std::unordered_map<QueryId, STSQuery> live;
+  size_t qi = 0, oi = 0;
+  while (qi < w.sample.inserts.size() || oi < w.extra_objects.size()) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.40 && qi < w.sample.inserts.size()) {
+      Action a;
+      a.kind = Action::kSubscribe;
+      a.query = w.sample.inserts[qi++];
+      subscribed.push_back(a.query.id);
+      live[a.query.id] = a.query;
+      actions.push_back(std::move(a));
+    } else if (dice < 0.48 && !subscribed.empty()) {
+      Action a;
+      a.kind = Action::kUnsubscribe;
+      const size_t pick = rng.NextBelow(subscribed.size());
+      a.query_id = subscribed[pick];
+      subscribed.erase(subscribed.begin() + pick);
+      live.erase(a.query_id);
+      actions.push_back(std::move(a));
+    } else if (dice < 0.58 && !subscribed.empty()) {
+      // Moving subscriber: same id, class and terms, new region.
+      Action a;
+      a.kind = Action::kUpdate;
+      const QueryId id = subscribed[rng.NextBelow(subscribed.size())];
+      a.query = live[id];
+      a.query.region = Rect::Centered(
+          Point{rng.NextUniform(0, 100), rng.NextUniform(0, 100)},
+          rng.NextUniform(2, 25), rng.NextUniform(2, 25));
+      live[id] = a.query;
+      actions.push_back(std::move(a));
+    } else if (oi < w.extra_objects.size()) {
+      Action a;
+      a.kind = Action::kPublish;
+      a.object = w.extra_objects[oi++];
+      actions.push_back(std::move(a));
+    }
+  }
+  return actions;
+}
+
+// Ground truth: the stateful reference applied in lockstep. Returns the
+// delivered trace; *ref keeps the final state for heap comparison.
+std::vector<MatchResult> ReferenceRun(const std::vector<Action>& actions,
+                                      ReferenceMatcher* ref) {
+  std::vector<MatchResult> out;
+  for (const Action& a : actions) {
+    switch (a.kind) {
+      case Action::kSubscribe:
+        ref->Insert(a.query);
+        break;
+      case Action::kUnsubscribe:
+        ref->Delete(a.query_id);
+        break;
+      case Action::kUpdate:
+        ref->Update(a.query);
+        break;
+      case Action::kPublish:
+        for (const MatchResult& m : ref->Post(a.object)) out.push_back(m);
+        break;
+    }
+  }
+  return testutil::Sorted(std::move(out));
+}
+
+PS2StreamOptions Options(int num_shards) {
+  PS2StreamOptions options;
+  options.sharding.num_shards = num_shards;
+  options.partition.num_workers = 2;
+  return options;
+}
+
+void SubscribeRaw(PS2Stream& ps2, const std::shared_ptr<SubscriberSession>& s,
+                  const STSQuery& q) {
+  auto sub = ps2.Subscribe(s, q);
+  ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+  sub->Release();
+}
+
+void Drain(const std::shared_ptr<SubscriberSession>& session,
+           std::vector<MatchResult>* out) {
+  Delivery d;
+  while (session->Poll(&d)) {
+    out->push_back(MatchResult{d.query_id, d.object_id});
+  }
+}
+
+void RunSchedule(PS2Stream& ps2,
+                 const std::shared_ptr<SubscriberSession>& session,
+                 const std::vector<Action>& actions, size_t begin, size_t end,
+                 size_t migrate_every, std::vector<MatchResult>* delivered) {
+  size_t posts = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const Action& a = actions[i];
+    switch (a.kind) {
+      case Action::kSubscribe:
+        SubscribeRaw(ps2, session, a.query);
+        break;
+      case Action::kUnsubscribe:
+        ASSERT_TRUE(ps2.Cancel(a.query_id).ok());
+        break;
+      case Action::kUpdate:
+        ASSERT_TRUE(ps2.UpdateSubscription(a.query.id, a.query.region).ok());
+        break;
+      case Action::kPublish: {
+        ASSERT_TRUE(ps2.Post(a.object).ok());
+        ++posts;
+        if (migrate_every > 0 && posts % migrate_every == 0) {
+          ShardedEngine& fabric = *ps2.fabric();
+          const CellId cell =
+              fabric.shard_cluster(0).router().plan().grid.CellOf(
+                  a.object.loc);
+          const ShardId from = fabric.shard_map()->OwnerOf(cell);
+          fabric.MigrateCell(cell, from, (from + 1) % fabric.num_shards());
+        }
+        break;
+      }
+    }
+    Drain(session, delivered);
+  }
+  Drain(session, delivered);
+}
+
+// The ids of every top-k query still live at the end of the schedule.
+std::vector<QueryId> LiveTopKIds(const std::vector<Action>& actions) {
+  std::unordered_map<QueryId, SubscriptionClass> live;
+  for (const Action& a : actions) {
+    if (a.kind == Action::kSubscribe) live[a.query.id] = a.query.cls;
+    if (a.kind == Action::kUnsubscribe) live.erase(a.query_id);
+  }
+  std::vector<QueryId> out;
+  for (const auto& [id, cls] : live) {
+    if (cls == SubscriptionClass::kTopK) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void ExpectHeapsEqual(PS2Stream& ps2, const ReferenceMatcher& ref,
+                      const std::vector<QueryId>& topk_ids,
+                      bool compare_delivered, const std::string& label) {
+  for (const QueryId id : topk_ids) {
+    const std::vector<TopKEntry> got = ps2.topk().Snapshot(id);
+    const std::vector<TopKEntry> want = ref.TopKSnapshot(id);
+    ASSERT_EQ(got.size(), want.size()) << label << ", query " << id;
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].object_id, want[i].object_id)
+          << label << ", query " << id << ", rank " << i;
+      EXPECT_DOUBLE_EQ(got[i].score, want[i].score);
+      EXPECT_EQ(got[i].expire_us, want[i].expire_us);
+      if (compare_delivered) {
+        EXPECT_EQ(got[i].delivered, want[i].delivered)
+            << label << ", query " << id << ", rank " << i;
+      }
+    }
+  }
+}
+
+TEST(SubscriptionEquivalenceTest, MixedClassSchedulesMatchAtEveryShardCount) {
+  for (const uint64_t seed : {91u, 92u}) {
+    testutil::TestWorkload w = testutil::MakeWorkload(seed, 600, 220);
+    MixClasses(&w, seed * 13 + 1);
+    const std::vector<Action> actions = MakeActions(w, seed * 1000 + 9);
+    ReferenceMatcher ref;
+    const std::vector<MatchResult> expected = ReferenceRun(actions, &ref);
+    ASSERT_FALSE(expected.empty());
+    const std::vector<QueryId> topk_ids = LiveTopKIds(actions);
+    ASSERT_FALSE(topk_ids.empty()) << "schedule never exercised top-k";
+
+    for (const int shards : {1, 2, 4}) {
+      PS2Stream ps2(Options(shards));
+      ps2.Bootstrap(w.sample);
+      SessionOptions so;
+      so.queue_capacity = 1 << 16;
+      auto session = ps2.OpenSession(so);
+      std::vector<MatchResult> delivered;
+      RunSchedule(ps2, session, actions, 0, actions.size(),
+                  /*migrate_every=*/shards > 1 ? 37 : 0, &delivered);
+      const std::string label =
+          "seed " + std::to_string(seed) + ", " + std::to_string(shards) +
+          " shard(s)";
+      EXPECT_EQ(testutil::Sorted(std::move(delivered)), expected) << label;
+      EXPECT_EQ(ps2.topk().watermark(), ref.watermark()) << label;
+      ExpectHeapsEqual(ps2, ref, topk_ids, /*compare_delivered=*/true, label);
+      if (shards > 1) {
+        EXPECT_GT(ps2.fabric()->cells_migrated(), 0u);
+        EXPECT_EQ(ps2.fabric()->decode_errors(), 0u);
+      }
+    }
+  }
+}
+
+// The started engine delivers candidates asynchronously, so a TTL'd
+// candidate can reach the coordinator after the watermark already passed
+// its expiry — the top-k delivered trace is timing-dependent there. The
+// held heaps are not: they are a pure function of the candidate set and
+// the watermark. Compare those, plus the (stateless, exact) boolean and
+// similarity trace.
+TEST(SubscriptionEquivalenceTest, ThreadedEngineConvergesToReferenceHeaps) {
+  testutil::TestWorkload w = testutil::MakeWorkload(95, 600, 220);
+  MixClasses(&w, 9513);
+  const std::vector<Action> actions = MakeActions(w, 95009);
+  ReferenceMatcher ref;
+  const std::vector<MatchResult> expected = ReferenceRun(actions, &ref);
+  const std::vector<QueryId> topk_ids = LiveTopKIds(actions);
+  ASSERT_FALSE(topk_ids.empty());
+  std::unordered_set<QueryId> ever_topk;
+  for (const Action& a : actions) {
+    if (a.kind == Action::kSubscribe &&
+        a.query.cls == SubscriptionClass::kTopK) {
+      ever_topk.insert(a.query.id);
+    }
+  }
+  std::vector<MatchResult> expected_stateless;
+  for (const MatchResult& m : expected) {
+    if (ever_topk.count(m.query_id) == 0) expected_stateless.push_back(m);
+  }
+
+  PS2Stream ps2(Options(1));
+  ps2.Bootstrap(w.sample);
+  SessionOptions so;
+  so.queue_capacity = 1 << 16;
+  auto session = ps2.OpenSession(so);
+  std::vector<MatchResult> delivered;
+  // Mutations apply inline (engine stopped); each publish run streams
+  // through the started engine and is drained by Stop(). The facade shares
+  // one dedup window across the mode switches, so the delivered set is the
+  // union of both modes' traffic. Object-vs-object races inside a batch are
+  // harmless to the stateless classes (per-object matches) and to the final
+  // heaps (a pure function of candidate set + watermark); mutation-vs-object
+  // races are what the segmentation removes.
+  size_t i = 0;
+  while (i < actions.size()) {
+    if (actions[i].kind == Action::kPublish) {
+      ps2.Start();
+      while (i < actions.size() && actions[i].kind == Action::kPublish) {
+        ASSERT_TRUE(ps2.Post(actions[i].object).ok());
+        ++i;
+      }
+      ps2.Stop();
+    } else {
+      RunSchedule(ps2, session, actions, i, i + 1, /*migrate_every=*/0,
+                  &delivered);
+      ++i;
+    }
+    Drain(session, &delivered);
+  }
+  Drain(session, &delivered);
+
+  std::vector<MatchResult> delivered_stateless;
+  for (const MatchResult& m : delivered) {
+    if (ever_topk.count(m.query_id) == 0) delivered_stateless.push_back(m);
+  }
+  EXPECT_EQ(testutil::Sorted(std::move(delivered_stateless)),
+            testutil::Sorted(std::move(expected_stateless)));
+  EXPECT_EQ(ps2.topk().watermark(), ref.watermark());
+  ExpectHeapsEqual(ps2, ref, topk_ids, /*compare_delivered=*/false,
+                   "threaded");
+}
+
+// Durable fabric drill: run half the schedule, checkpoint (the top-k heaps
+// ride the checkpoint; candidates are not WAL-journaled), kill the fleet,
+// restore, run the rest. Trace and final heaps must still be exact — the
+// restored heap state must splice seamlessly into the remaining schedule.
+TEST(SubscriptionEquivalenceTest, KillAndRestoreMidScheduleStaysEquivalent) {
+  testutil::TestWorkload w = testutil::MakeWorkload(97, 600, 220);
+  MixClasses(&w, 9717);
+  const std::vector<Action> actions = MakeActions(w, 97003);
+  ReferenceMatcher ref;
+  const std::vector<MatchResult> expected = ReferenceRun(actions, &ref);
+  const std::vector<QueryId> topk_ids = LiveTopKIds(actions);
+  ASSERT_FALSE(topk_ids.empty());
+  const std::string dir =
+      ::testing::TempDir() + "/ps2_sub_equiv_" +
+      std::to_string(::testing::UnitTest::GetInstance()->random_seed());
+  std::filesystem::remove_all(dir);
+
+  const size_t half = actions.size() / 2;
+  std::vector<MatchResult> delivered;
+  {
+    PS2StreamOptions options = Options(2);
+    options.durability.enabled = true;
+    options.durability.dir = dir;
+    PS2Stream ps2(options);
+    ps2.Bootstrap(w.sample);
+    ASSERT_TRUE(ps2.durable());
+    SessionOptions so;
+    so.queue_capacity = 1 << 16;
+    auto session = ps2.OpenSession(so);
+    RunSchedule(ps2, session, actions, 0, half, /*migrate_every=*/23,
+                &delivered);
+    ASSERT_TRUE(ps2.Checkpoint());
+    ps2.Kill();
+  }
+  {
+    PS2Stream ps2(Options(1));  // shard count comes from the SHARDMAP
+    ASSERT_TRUE(ps2.Restore(dir));
+    SessionOptions so;
+    so.queue_capacity = 1 << 16;
+    auto session = ps2.OpenSession(so);
+    for (const auto& [id, q] : ps2.subscriptions()) {
+      ps2.delivery().Route(id, session);
+    }
+    RunSchedule(ps2, session, actions, half, actions.size(),
+                /*migrate_every=*/29, &delivered);
+    EXPECT_EQ(testutil::Sorted(std::move(delivered)), expected);
+    EXPECT_EQ(ps2.topk().watermark(), ref.watermark());
+    ExpectHeapsEqual(ps2, ref, topk_ids, /*compare_delivered=*/true,
+                     "restored");
+  }
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace ps2

@@ -24,6 +24,7 @@
 #include "partition/plan.h"
 #include "persist/durability.h"
 #include "shard/shard_map.h"
+#include "subscribe/spec.h"
 #include "workload/stream_gen.h"
 #include "workload/synthetic_corpus.h"
 
@@ -66,11 +67,12 @@ int InspectCheckpoint(const std::string& dir) {
               (unsigned long long)state.checkpoint_seq,
               (unsigned long long)state.last_lsn);
   std::printf("wal tail:   %llu records replayed across %d segment(s) "
-              "(%llu subscribe, %llu unsubscribe, %llu cell-route), "
-              "%llu bytes\n",
+              "(%llu subscribe, %llu unsubscribe, %llu update, "
+              "%llu cell-route), %llu bytes\n",
               (unsigned long long)state.wal.records, state.wal_segments,
               (unsigned long long)state.wal.subscribes,
               (unsigned long long)state.wal.unsubscribes,
+              (unsigned long long)state.wal.updates,
               (unsigned long long)state.wal.cell_routes,
               (unsigned long long)state.wal.bytes_replayed);
   if (state.wal.truncated) {
@@ -85,6 +87,34 @@ int InspectCheckpoint(const std::string& dir) {
               state.queries.size(),
               (unsigned long long)state.next_query_id,
               (unsigned long long)state.next_object_id);
+  size_t per_class[3] = {0, 0, 0};
+  for (const STSQuery& q : state.queries) {
+    ++per_class[static_cast<size_t>(q.cls)];
+  }
+  std::printf("classes:    %zu boolean, %zu similarity, %zu top-k\n",
+              per_class[0], per_class[1], per_class[2]);
+  for (const STSQuery& q : state.queries) {
+    size_t terms = 0;
+    for (const auto& clause : q.expr.clauses()) terms += clause.size();
+    std::printf("  q%-6llu %-10s", (unsigned long long)q.id,
+                SubscriptionClassName(q.cls));
+    if (q.cls == SubscriptionClass::kSimilarity) {
+      std::printf(" tau=%.3f", q.tau);
+    } else if (q.cls == SubscriptionClass::kTopK) {
+      std::printf(" k=%u", q.k);
+    }
+    std::printf(" region=%s terms=%zu\n", q.region.ToString().c_str(),
+                terms);
+  }
+  if (!state.topk.empty()) {
+    size_t held = 0;
+    for (const TopKEntry& e : state.topk.entries) held += e.held ? 1 : 0;
+    std::printf("top-k:      %zu checkpointed entries (%zu held, %zu "
+                "buffered), watermark %lld us\n",
+                state.topk.entries.size(), held,
+                state.topk.entries.size() - held,
+                (long long)state.topk.watermark_us);
+  }
   std::printf("plan: %ux%u grid over %s, %d workers, "
               "%zu / %u text-routed cells\n",
               state.plan.grid.side(), state.plan.grid.side(),
