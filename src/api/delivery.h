@@ -2,6 +2,7 @@
 #define PS2_API_DELIVERY_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/latency.h"
 #include "common/wait_strategy.h"
@@ -64,6 +65,10 @@ struct SessionOptions {
   // on the queue counter before (or instead of) parking, shaving the futex
   // wakeup off the delivery tail at the price of consumer CPU.
   WaitStrategy wait_strategy = WaitStrategy::kBlocking;
+  // Tenant this session (and every subscription opened through it) is
+  // accounted to for quota and rate-limit purposes. Empty = the default
+  // tenant; quotas still apply per session.
+  std::string tenant;
 };
 
 // Per-session delivery accounting; aggregated across sessions into

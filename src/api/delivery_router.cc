@@ -37,6 +37,11 @@ void DeliveryRouter::Unroute(QueryId id) {
 
 void DeliveryRouter::RegisterSession(
     const std::shared_ptr<SubscriberSession>& session) {
+  // A session destroyed before Stop() must not lose its delivered/dropped
+  // counters: wire it to the shared retired-stats accumulator its
+  // destructor folds into.
+  session->AttachRetiredStats(retired_);
+  if (shedding_.load(std::memory_order_relaxed)) session->SetShedding(true);
   std::lock_guard<std::mutex> lock(sessions_mu_);
   // Compact expired registrations opportunistically so a long-lived service
   // opening many short-lived sessions stays bounded.
@@ -52,6 +57,14 @@ void DeliveryRouter::SetDraining(bool draining) {
   std::lock_guard<std::mutex> lock(sessions_mu_);
   for (const auto& w : sessions_) {
     if (auto s = w.lock()) s->SetDraining(draining);
+  }
+}
+
+void DeliveryRouter::SetShedding(bool shedding) {
+  shedding_.store(shedding, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(sessions_mu_);
+  for (const auto& w : sessions_) {
+    if (auto s = w.lock()) s->SetShedding(shedding);
   }
 }
 
@@ -127,12 +140,27 @@ void DeliveryRouter::DeliverBatch(const Delivery* pending, size_t n) {
 }
 
 SessionStats DeliveryRouter::AggregateStats() const {
-  SessionStats total;
+  SessionStats total = retired_->Snapshot();
   std::lock_guard<std::mutex> lock(sessions_mu_);
   for (const auto& w : sessions_) {
     if (const auto s = w.lock()) total.Merge(s->stats());
   }
   return total;
+}
+
+void DeliveryRouter::QueueDepth(uint64_t* pending, uint64_t* capacity) const {
+  uint64_t p = 0, c = 0;
+  {
+    std::lock_guard<std::mutex> lock(sessions_mu_);
+    for (const auto& w : sessions_) {
+      if (const auto s = w.lock()) {
+        p += s->pending();
+        c += s->options().queue_capacity;
+      }
+    }
+  }
+  *pending = p;
+  *capacity = c;
 }
 
 }  // namespace ps2

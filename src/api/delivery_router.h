@@ -52,6 +52,12 @@ class DeliveryRouter final : public DeliverySink {
   // full kBlock queue drops instead of blocking (see BackpressurePolicy).
   void SetDraining(bool draining);
 
+  // Overload-shedding mode, forwarded to every live session (and inherited
+  // by sessions registered while set): full kBlock queues degrade to
+  // drop-oldest. Set by the facade's overload controller.
+  void SetShedding(bool shedding);
+  bool shedding() const { return shedding_.load(std::memory_order_relaxed); }
+
   // Installs the continuous top-k admission stage (facade-owned; may be
   // null). Deduplicated matches for a registered top-k query detour through
   // the coordinator — only admissions reach the session; buffered
@@ -96,8 +102,16 @@ class DeliveryRouter final : public DeliverySink {
   uint64_t topk_buffered() const {
     return topk_buffered_.load(std::memory_order_relaxed);
   }
-  // Sum of every live session's counters (latency histograms merged).
+  // Sum of every session's counters (latency histograms merged) — live
+  // sessions plus the folded counters of registered sessions that were
+  // destroyed before this call, so RunReport::session_drops is exact even
+  // when sessions die mid-run.
   SessionStats AggregateStats() const;
+
+  // Aggregate consumer-queue occupancy across live sessions: total queued
+  // deliveries and total capacity. The overload controller's session-side
+  // pressure signal.
+  void QueueDepth(uint64_t* pending, uint64_t* capacity) const;
 
  private:
   using Map =
@@ -133,6 +147,9 @@ class DeliveryRouter final : public DeliverySink {
 
   mutable std::mutex sessions_mu_;
   std::vector<std::weak_ptr<SubscriberSession>> sessions_;
+  std::shared_ptr<RetiredSessionStats> retired_ =
+      std::make_shared<RetiredSessionStats>();
+  std::atomic<bool> shedding_{false};
 };
 
 }  // namespace ps2

@@ -1,0 +1,107 @@
+#include "api/quota.h"
+
+namespace ps2 {
+
+namespace {
+
+std::string TenantLabel(const std::string& tenant) {
+  return tenant.empty() ? std::string("\"\" (default)")
+                        : "\"" + tenant + "\"";
+}
+
+}  // namespace
+
+QuotaManager::QuotaManager(QuotaConfig config) : config_(config) {
+  if (config_.rate_limited() && config_.publish_burst <= 0.0) {
+    config_.publish_burst = config_.publish_rate_per_sec;
+  }
+}
+
+Status QuotaManager::ChargeSubscribe(QueryId id, const std::string& tenant,
+                                     uint64_t session_uid) {
+  if (!config_.any_subscription_limit()) return Status::Ok();
+  if (config_.max_total_subscriptions > 0 &&
+      total_ >= config_.max_total_subscriptions) {
+    rejections_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "quota.max_total_subscriptions: " +
+        std::to_string(config_.max_total_subscriptions) +
+        " live subscriptions already registered");
+  }
+  if (config_.max_subscriptions_per_tenant > 0) {
+    const auto it = per_tenant_.find(tenant);
+    if (it != per_tenant_.end() &&
+        it->second >= config_.max_subscriptions_per_tenant) {
+      rejections_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "quota.max_subscriptions_per_tenant: tenant " +
+          TenantLabel(tenant) + " already holds " +
+          std::to_string(it->second) + " of " +
+          std::to_string(config_.max_subscriptions_per_tenant) +
+          " subscriptions");
+    }
+  }
+  if (config_.max_subscriptions_per_session > 0 && session_uid != 0) {
+    const auto it = per_session_.find(session_uid);
+    if (it != per_session_.end() &&
+        it->second >= config_.max_subscriptions_per_session) {
+      rejections_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(
+          "quota.max_subscriptions_per_session: session already holds " +
+          std::to_string(it->second) + " of " +
+          std::to_string(config_.max_subscriptions_per_session) +
+          " subscriptions");
+    }
+  }
+  ++total_;
+  ++per_tenant_[tenant];
+  if (session_uid != 0) ++per_session_[session_uid];
+  charges_[id] = Charge{tenant, session_uid};
+  return Status::Ok();
+}
+
+void QuotaManager::ChargeRestored(QueryId id, const std::string& tenant) {
+  if (!config_.any_subscription_limit()) return;
+  ++total_;
+  ++per_tenant_[tenant];
+  charges_[id] = Charge{tenant, 0};
+}
+
+void QuotaManager::Refund(QueryId id) {
+  const auto it = charges_.find(id);
+  if (it == charges_.end()) return;
+  const Charge& charge = it->second;
+  if (total_ > 0) --total_;
+  const auto tenant_it = per_tenant_.find(charge.tenant);
+  if (tenant_it != per_tenant_.end() && --tenant_it->second == 0) {
+    per_tenant_.erase(tenant_it);
+  }
+  if (charge.session_uid != 0) {
+    const auto session_it = per_session_.find(charge.session_uid);
+    if (session_it != per_session_.end() && --session_it->second == 0) {
+      per_session_.erase(session_it);
+    }
+  }
+  charges_.erase(it);
+}
+
+Status QuotaManager::AdmitPublish(const std::string& tenant, int64_t now_us) {
+  if (!config_.rate_limited()) return Status::Ok();
+  auto it = buckets_.find(tenant);
+  if (it == buckets_.end()) {
+    it = buckets_
+             .emplace(tenant, TokenBucket(config_.publish_rate_per_sec,
+                                          config_.publish_burst))
+             .first;
+  }
+  if (!it->second.TryAcquire(now_us)) {
+    rate_limited_.fetch_add(1, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        "quota.publish_rate_per_sec: tenant " + TenantLabel(tenant) +
+        " exceeded " + std::to_string(config_.publish_rate_per_sec) +
+        "/s (burst " + std::to_string(config_.publish_burst) + ")");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ps2

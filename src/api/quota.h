@@ -1,0 +1,128 @@
+#ifndef PS2_API_QUOTA_H_
+#define PS2_API_QUOTA_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "api/status.h"
+#include "core/query.h"
+
+namespace ps2 {
+
+// Multi-tenant admission limits enforced at the facade boundary
+// (PS2Stream::Subscribe/Post). Everything defaults to 0 = unlimited, so a
+// default-constructed facade behaves exactly as before. Exceeding a limit
+// is a typed kResourceExhausted error naming the field that rejected —
+// never a silent clamp — matching the spec-validation precedent.
+struct QuotaConfig {
+  // Live-subscription count ceilings. Per-session counts key on the
+  // session's uid (subscriptions made without a session are exempt from the
+  // per-session limit but still count per tenant and in total).
+  uint64_t max_subscriptions_per_session = 0;
+  uint64_t max_subscriptions_per_tenant = 0;
+  uint64_t max_total_subscriptions = 0;
+  // Per-tenant publish token bucket: sustained rate and burst size. A burst
+  // of 0 with a nonzero rate means "burst == rate" (one second of credit).
+  double publish_rate_per_sec = 0.0;
+  double publish_burst = 0.0;
+
+  bool any_subscription_limit() const {
+    return max_subscriptions_per_session > 0 ||
+           max_subscriptions_per_tenant > 0 || max_total_subscriptions > 0;
+  }
+  bool rate_limited() const { return publish_rate_per_sec > 0.0; }
+  bool enabled() const { return any_subscription_limit() || rate_limited(); }
+};
+
+// Classic token bucket with an explicit clock: `now_us` is passed in so
+// tests drive it deterministically and the facade charges it the publish
+// timestamp it already takes. Not thread-safe (control-plane only).
+class TokenBucket {
+ public:
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  // Consumes one token if available, refilling first from elapsed time.
+  // A timestamp behind the last one refills nothing and does NOT rewind
+  // the clock — otherwise a stale `now_us` followed by a fresh one would
+  // count the same interval twice and mint tokens out of thin air.
+  bool TryAcquire(int64_t now_us) {
+    if (last_us_ == 0) {
+      last_us_ = now_us;
+    } else if (now_us > last_us_) {
+      tokens_ += rate_ * static_cast<double>(now_us - last_us_) * 1e-6;
+      if (tokens_ > burst_) tokens_ = burst_;
+      last_us_ = now_us;
+    }
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  double tokens() const { return tokens_; }
+
+ private:
+  double rate_;
+  double burst_;
+  double tokens_;
+  int64_t last_us_ = 0;
+};
+
+// Tracks per-session / per-tenant / total subscription charges and the
+// per-tenant publish buckets, and renders the rejection messages. Like the
+// rest of the facade control plane it is single-threaded; only the
+// rejection counters are atomics so a metrics scrape from another thread
+// can read them.
+class QuotaManager {
+ public:
+  explicit QuotaManager(QuotaConfig config);
+
+  // Admission check + charge for one subscription. `session_uid` 0 means
+  // "no session". Ok ⇒ the charge was recorded under `id` (Refund(id)
+  // releases it); a rejection names the exhausted field positionally.
+  Status ChargeSubscribe(QueryId id, const std::string& tenant,
+                         uint64_t session_uid);
+
+  // Records a charge bypassing the admission checks: recovery re-charges
+  // durable subscriptions (tenant attribution is not persisted, so they
+  // land on the default tenant with no session) and must never reject a
+  // subscription that already survived a crash.
+  void ChargeRestored(QueryId id, const std::string& tenant);
+
+  // Releases the charge recorded for `id`; unknown ids no-op (subscriptions
+  // admitted before quotas were configured, double-cancel).
+  void Refund(QueryId id);
+
+  // Token-bucket admission for one publish by `tenant` at `now_us`.
+  Status AdmitPublish(const std::string& tenant, int64_t now_us);
+
+  const QuotaConfig& config() const { return config_; }
+  uint64_t total_live() const { return total_; }
+  uint64_t rejections() const {
+    return rejections_.load(std::memory_order_relaxed);
+  }
+  uint64_t rate_limited() const {
+    return rate_limited_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Charge {
+    std::string tenant;
+    uint64_t session_uid = 0;
+  };
+
+  QuotaConfig config_;
+  uint64_t total_ = 0;
+  std::unordered_map<QueryId, Charge> charges_;
+  std::unordered_map<uint64_t, uint64_t> per_session_;
+  std::unordered_map<std::string, uint64_t> per_tenant_;
+  std::unordered_map<std::string, TokenBucket> buckets_;
+  std::atomic<uint64_t> rejections_{0};
+  std::atomic<uint64_t> rate_limited_{0};
+};
+
+}  // namespace ps2
+
+#endif  // PS2_API_QUOTA_H_

@@ -13,10 +13,21 @@ const char* BackpressurePolicyName(BackpressurePolicy policy) {
   return "unknown";
 }
 
-SubscriberSession::SubscriberSession(SessionOptions options)
-    : options_(options) {}
+namespace {
+std::atomic<uint64_t> g_session_uid{1};
+}  // namespace
 
-SubscriberSession::~SubscriberSession() { Close(); }
+SubscriberSession::SubscriberSession(SessionOptions options)
+    : options_(std::move(options)),
+      uid_(g_session_uid.fetch_add(1, std::memory_order_relaxed)) {}
+
+SubscriberSession::~SubscriberSession() {
+  Close();
+  // Last reference gone: no producer can race this read. Folding here (not
+  // in Close(), which producers may still deliver-after) keeps the retired
+  // accumulator exact — every drop counted after Close() is included.
+  if (retired_ != nullptr) retired_->Fold(stats_);
+}
 
 void SubscriberSession::SpinForDelivery() const {
   if (options_.wait_strategy == WaitStrategy::kBlocking) return;
@@ -133,15 +144,24 @@ bool SubscriberSession::EnqueueLocked(std::unique_lock<std::mutex>& lock,
     return false;
   }
   if (sink_ == nullptr && queue_.size() >= options_.queue_capacity) {
-    switch (options_.backpressure) {
+    // Overload shedding (facade admission controller): a kBlock session
+    // degrades to drop-oldest so a slow consumer sheds its own backlog
+    // instead of backpressuring the shared data plane.
+    BackpressurePolicy policy = options_.backpressure;
+    if (policy == BackpressurePolicy::kBlock &&
+        shedding_.load(std::memory_order_relaxed)) {
+      policy = BackpressurePolicy::kDropOldest;
+    }
+    switch (policy) {
       case BackpressurePolicy::kBlock:
         // Block the delivering thread until the consumer frees a slot —
-        // unless the session closes, enters engine-drain mode, or flips to
-        // push mode while we wait.
+        // unless the session closes, enters engine-drain or shedding mode,
+        // or flips to push mode while we wait.
         not_full_.wait(lock, [this] {
           return queue_.size() < options_.queue_capacity ||
                  closed_.load(std::memory_order_relaxed) ||
                  draining_.load(std::memory_order_relaxed) ||
+                 shedding_.load(std::memory_order_relaxed) ||
                  sink_ != nullptr;
         });
         if (closed_.load(std::memory_order_relaxed)) {
@@ -149,6 +169,12 @@ bool SubscriberSession::EnqueueLocked(std::unique_lock<std::mutex>& lock,
           return false;
         }
         if (sink_ == nullptr && queue_.size() >= options_.queue_capacity) {
+          if (shedding_.load(std::memory_order_relaxed)) {
+            // Woken by SetShedding: evict the oldest and queue this one.
+            queue_.pop_front();
+            ++stats_.dropped;
+            break;
+          }
           ++stats_.dropped;  // draining: degrade to drop-newest
           return false;
         }

@@ -6,6 +6,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -13,6 +14,27 @@
 #include "api/status.h"
 
 namespace ps2 {
+
+// Delivery counters of sessions that have already been destroyed. The
+// router's registry holds sessions weakly, so without this a session that
+// dies before Stop() would vanish from RunReport::session_deliveries/
+// session_drops; instead each registered session folds its final counters
+// here from its destructor. Shared (shared_ptr) between the router and its
+// sessions so teardown order doesn't matter.
+struct RetiredSessionStats {
+  SessionStats Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu);
+    return stats;
+  }
+  void Fold(const SessionStats& s) {
+    std::lock_guard<std::mutex> lock(mu);
+    stats.Merge(s);
+  }
+
+ private:
+  mutable std::mutex mu;
+  SessionStats stats;
+};
 
 // One subscriber's delivery endpoint: a bounded queue that multiplexes the
 // matches of every subscription routed to it, with a selectable policy for
@@ -82,9 +104,32 @@ class SubscriberSession {
     if (draining) not_full_.notify_all();
   }
 
+  // Overload-shedding mode (set by the facade's admission controller, via
+  // DeliveryRouter::SetShedding): while set, a full kBlock queue evicts the
+  // oldest queued delivery instead of blocking the delivering thread, so a
+  // slow consumer degrades to bounded loss instead of backpressuring the
+  // whole data plane. Same lock/notify discipline as SetDraining.
+  void SetShedding(bool shedding) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shedding_.store(shedding, std::memory_order_release);
+    }
+    if (shedding) not_full_.notify_all();
+  }
+
+  // Attaches the router's retired-stats accumulator; the destructor folds
+  // this session's final counters into it (after Close()) so the counters
+  // survive the session. Called once, by RegisterSession, before traffic.
+  void AttachRetiredStats(std::shared_ptr<RetiredSessionStats> retired) {
+    retired_ = std::move(retired);
+  }
+
   // --- introspection --------------------------------------------------------
   size_t pending() const;
   const SessionOptions& options() const { return options_; }
+  // Process-unique session id; quota accounting keys per-session charges on
+  // this instead of the pointer (which malloc can reuse across sessions).
+  uint64_t uid() const { return uid_; }
   // Snapshot of the per-session counters (thread-safe, taken under the
   // session lock).
   SessionStats stats() const;
@@ -110,6 +155,8 @@ class SubscriberSession {
   void SpinForDelivery() const;
 
   const SessionOptions options_;
+  const uint64_t uid_;
+  std::shared_ptr<RetiredSessionStats> retired_;
   mutable std::mutex mu_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
@@ -121,6 +168,7 @@ class SubscriberSession {
   SessionStats stats_;
   std::atomic<bool> closed_{false};
   std::atomic<bool> draining_{false};
+  std::atomic<bool> shedding_{false};
 };
 
 }  // namespace ps2

@@ -2,9 +2,38 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdarg>
 #include <cstdio>
 
 namespace ps2 {
+
+namespace {
+
+// printf-append that can never truncate: measure with a first vsnprintf
+// pass, then format straight into the string's own storage. Summary lines
+// embed LatencyHistogram::Summary() strings of unbounded width, so a fixed
+// stack buffer silently loses the tail.
+#if defined(__GNUC__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void
+AppendF(std::string* out, const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list measure;
+  va_copy(measure, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, measure);
+  va_end(measure);
+  if (needed > 0) {
+    const size_t base = out->size();
+    out->resize(base + static_cast<size_t>(needed) + 1);
+    std::vsnprintf(&(*out)[base], static_cast<size_t>(needed) + 1, fmt, args);
+    out->resize(base + static_cast<size_t>(needed));
+  }
+  va_end(args);
+}
+
+}  // namespace
 
 double RunReport::AvgWorkerMemory() const {
   if (worker_memory_bytes.empty()) return 0.0;
@@ -60,16 +89,19 @@ void RunReport::MergeShard(const RunReport& shard) {
   fabric_dup_suppressed += shard.fabric_dup_suppressed;
   shard_restarts += shard.shard_restarts;
   shards_quarantined += shard.shards_quarantined;
+  quota_rejections += shard.quota_rejections;
+  rate_limited += shard.rate_limited;
+  overload_trips += shard.overload_trips;
+  overload_sheds += shard.overload_sheds;
+  live_subscriptions += shard.live_subscriptions;
   shards += shard.shards;
 }
 
 std::string FleetSummary(const std::vector<RunReport>& shard_reports,
                          const RunReport& fleet) {
   std::string out;
-  char buf[64];
   for (size_t i = 0; i < shard_reports.size(); ++i) {
-    std::snprintf(buf, sizeof(buf), "shard %zu: ", i);
-    out += buf;
+    AppendF(&out, "shard %zu: ", i);
     out += shard_reports[i].Summary();
     out += '\n';
   }
@@ -79,63 +111,60 @@ std::string FleetSummary(const std::vector<RunReport>& shard_reports,
 }
 
 std::string RunReport::Summary() const {
-  char buf[448];
   std::string out;
-  if (shards > 1) {
-    std::snprintf(buf, sizeof(buf), "shards=%d ", shards);
-    out = buf;
-  }
-  std::snprintf(buf, sizeof(buf),
-                "tuples=%llu tps=%.0f emitted=%llu delivered=%llu "
-                "dups=%llu lat{%s}",
-                static_cast<unsigned long long>(tuples_processed),
-                throughput_tps,
-                static_cast<unsigned long long>(matches_emitted),
-                static_cast<unsigned long long>(matches_delivered),
-                static_cast<unsigned long long>(duplicates_suppressed),
-                latency.Summary().c_str());
-  out += buf;
+  if (shards > 1) AppendF(&out, "shards=%d ", shards);
+  AppendF(&out,
+          "tuples=%llu tps=%.0f emitted=%llu delivered=%llu "
+          "dups=%llu lat{%s}",
+          static_cast<unsigned long long>(tuples_processed), throughput_tps,
+          static_cast<unsigned long long>(matches_emitted),
+          static_cast<unsigned long long>(matches_delivered),
+          static_cast<unsigned long long>(duplicates_suppressed),
+          latency.Summary().c_str());
   if (session_deliveries > 0 || session_drops > 0 || matches_unrouted > 0) {
-    std::snprintf(buf, sizeof(buf),
-                  " sessions{delivered=%llu dropped=%llu unrouted=%llu "
-                  "lat{%s}}",
-                  static_cast<unsigned long long>(session_deliveries),
-                  static_cast<unsigned long long>(session_drops),
-                  static_cast<unsigned long long>(matches_unrouted),
-                  delivery_latency.Summary().c_str());
-    out += buf;
+    AppendF(&out,
+            " sessions{delivered=%llu dropped=%llu unrouted=%llu "
+            "lat{%s}}",
+            static_cast<unsigned long long>(session_deliveries),
+            static_cast<unsigned long long>(session_drops),
+            static_cast<unsigned long long>(matches_unrouted),
+            delivery_latency.Summary().c_str());
   }
   if (wait_spins > 0 || wait_parks > 0) {
     uint64_t ring_hw = 0;
     for (const uint64_t h : worker_ring_highwater) {
       ring_hw = std::max(ring_hw, h);
     }
-    std::snprintf(buf, sizeof(buf),
-                  " rings{hw=%llu spins=%llu parks=%llu}",
-                  static_cast<unsigned long long>(ring_hw),
-                  static_cast<unsigned long long>(wait_spins),
-                  static_cast<unsigned long long>(wait_parks));
-    out += buf;
+    AppendF(&out, " rings{hw=%llu spins=%llu parks=%llu}",
+            static_cast<unsigned long long>(ring_hw),
+            static_cast<unsigned long long>(wait_spins),
+            static_cast<unsigned long long>(wait_parks));
   }
   if (transport_errors > 0 || frame_retries > 0 || frame_redeliveries > 0 ||
       frames_dropped > 0 || fabric_dup_suppressed > 0 || shard_restarts > 0 ||
       shards_quarantined > 0) {
-    std::snprintf(buf, sizeof(buf),
-                  " faults{xport_err=%llu retries=%llu redeliveries=%llu "
-                  "dropped=%llu dup_supp=%llu restarts=%llu quarantined=%llu}",
-                  static_cast<unsigned long long>(transport_errors),
-                  static_cast<unsigned long long>(frame_retries),
-                  static_cast<unsigned long long>(frame_redeliveries),
-                  static_cast<unsigned long long>(frames_dropped),
-                  static_cast<unsigned long long>(fabric_dup_suppressed),
-                  static_cast<unsigned long long>(shard_restarts),
-                  static_cast<unsigned long long>(shards_quarantined));
-    out += buf;
+    AppendF(&out,
+            " faults{xport_err=%llu retries=%llu redeliveries=%llu "
+            "dropped=%llu dup_supp=%llu restarts=%llu quarantined=%llu}",
+            static_cast<unsigned long long>(transport_errors),
+            static_cast<unsigned long long>(frame_retries),
+            static_cast<unsigned long long>(frame_redeliveries),
+            static_cast<unsigned long long>(frames_dropped),
+            static_cast<unsigned long long>(fabric_dup_suppressed),
+            static_cast<unsigned long long>(shard_restarts),
+            static_cast<unsigned long long>(shards_quarantined));
+  }
+  if (quota_rejections > 0 || rate_limited > 0 || overload_trips > 0 ||
+      overload_sheds > 0) {
+    AppendF(&out, " admission{quota=%llu rate=%llu trips=%llu sheds=%llu}",
+            static_cast<unsigned long long>(quota_rejections),
+            static_cast<unsigned long long>(rate_limited),
+            static_cast<unsigned long long>(overload_trips),
+            static_cast<unsigned long long>(overload_sheds));
   }
   if (audit_mismatches > 0) {
-    std::snprintf(buf, sizeof(buf), " AUDIT_MISMATCHES=%llu",
-                  static_cast<unsigned long long>(audit_mismatches));
-    out += buf;
+    AppendF(&out, " AUDIT_MISMATCHES=%llu",
+            static_cast<unsigned long long>(audit_mismatches));
   }
   return out;
 }

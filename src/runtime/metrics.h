@@ -73,6 +73,17 @@ struct RunReport {
   uint64_t shard_restarts = 0;
   uint64_t shards_quarantined = 0;
 
+  // Admission control (facade layer; zero when quotas and the overload
+  // controller are disabled): subscribes rejected over a count quota,
+  // publishes rejected by a tenant token bucket, overload-controller
+  // degraded-mode entries, and subscribes shed while degraded.
+  uint64_t quota_rejections = 0;
+  uint64_t rate_limited = 0;
+  uint64_t overload_trips = 0;
+  uint64_t overload_sheds = 0;
+  // Gauge: subscriptions live at report time (facade-maintained).
+  uint64_t live_subscriptions = 0;
+
   // Engine shards this report covers: 1 for a single engine, N after
   // MergeShard folded a fleet together (the shard fabric's Stop()).
   int shards = 1;

@@ -1,0 +1,78 @@
+#ifndef PS2_RUNTIME_METRICS_EXPORTER_H_
+#define PS2_RUNTIME_METRICS_EXPORTER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/metrics.h"
+
+namespace ps2 {
+
+// Renders a RunReport as Prometheus text exposition format (version 0.0.4):
+// one `# HELP` / `# TYPE` pair per metric, `<prefix>_` metric names, latency
+// histograms as `{quantile="..."}` summary lines plus `_count`. When
+// `shard_reports` is non-null, per-shard variants carry a `{shard="N"}`
+// label next to the fleet totals, mirroring FleetSummary()'s sections.
+std::string RenderPrometheus(const RunReport& report,
+                             const std::vector<RunReport>* shard_reports,
+                             const std::string& prefix = "ps2");
+
+// The same counters as a single flat JSON object (python -m json.tool
+// clean), for the periodic-dump consumers that don't scrape.
+std::string RenderJson(const RunReport& report);
+
+// Periodically snapshots a RunReport via the supplied callback and writes
+// the rendered forms to disk (tmp-file + rename, so a scraper never reads a
+// torn file). Owns one background thread between Start() and Stop();
+// WriteOnce() is the deterministic single-shot used by tests and
+// plan_inspector.
+class MetricsExporter {
+ public:
+  struct Options {
+    std::string prometheus_path;  // empty: skip the Prometheus file
+    std::string json_path;        // empty: skip the JSON file
+    uint64_t interval_ms = 1000;
+    std::string prefix = "ps2";
+  };
+
+  using SnapshotFn = std::function<RunReport()>;
+
+  MetricsExporter(Options options, SnapshotFn snapshot);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  // Renders one snapshot to the configured paths now. Returns false when
+  // any configured file could not be written. Thread-safe against the
+  // background thread.
+  bool WriteOnce();
+
+  void Start();
+  void Stop();
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // Completed dump cycles (each WriteOnce and each periodic tick).
+  uint64_t dumps() const { return dumps_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  const Options options_;
+  const SnapshotFn snapshot_;
+  std::thread thread_;
+  std::mutex mu_;
+  std::condition_variable wake_;
+  bool stop_requested_ = false;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> dumps_{0};
+};
+
+}  // namespace ps2
+
+#endif  // PS2_RUNTIME_METRICS_EXPORTER_H_

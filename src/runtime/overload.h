@@ -1,0 +1,93 @@
+#ifndef PS2_RUNTIME_OVERLOAD_H_
+#define PS2_RUNTIME_OVERLOAD_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+
+#include "api/delivery_router.h"
+
+namespace ps2 {
+
+// Overload admission control at the facade boundary: watches the two queue
+// families that can wedge under hostile aggregate load — the subscriber
+// sessions' bounded delivery queues and the threaded data plane's SPSC
+// worker rings — and degrades *before* they fill. Watermarks are fill
+// fractions (queued / capacity); hysteresis (enter at `high_watermark`,
+// leave at `low_watermark`) keeps a load spike from flapping the mode on
+// every sample.
+//
+// Degraded mode does two things, both optional:
+//   - shed_subscribes: new Subscribe calls get kResourceExhausted until the
+//     pressure falls below the low watermark (existing traffic continues);
+//   - force_drop_oldest: kBlock sessions degrade to drop-oldest (via
+//     DeliveryRouter::SetShedding), so slow consumers shed their own
+//     backlog instead of parking the delivering threads.
+struct OverloadConfig {
+  bool enabled = false;
+  double high_watermark = 0.75;
+  double low_watermark = 0.50;
+  // Posts between pressure samples; the fill computation walks every live
+  // session and worker ring, so it must stay off the per-publish path.
+  uint64_t check_interval = 64;
+  bool shed_subscribes = true;
+  bool force_drop_oldest = true;
+};
+
+class OverloadController {
+ public:
+  explicit OverloadController(OverloadConfig config) : config_(config) {}
+
+  // True every `check_interval`-th call (control-plane thread only): the
+  // facade then gathers the fills and calls Observe.
+  bool ShouldSample() {
+    if (!config_.enabled) return false;
+    if (++since_sample_ < config_.check_interval) return false;
+    since_sample_ = 0;
+    return true;
+  }
+
+  // Feeds one pressure sample; enters or leaves degraded mode with
+  // hysteresis and, when configured, toggles the router's shedding flag.
+  void Observe(double session_fill, double ring_fill,
+               DeliveryRouter* router) {
+    const double fill = std::max(session_fill, ring_fill);
+    if (!degraded_.load(std::memory_order_relaxed)) {
+      if (fill >= config_.high_watermark) {
+        degraded_.store(true, std::memory_order_relaxed);
+        trips_.fetch_add(1, std::memory_order_relaxed);
+        if (config_.force_drop_oldest && router != nullptr) {
+          router->SetShedding(true);
+        }
+      }
+    } else if (fill <= config_.low_watermark) {
+      degraded_.store(false, std::memory_order_relaxed);
+      if (config_.force_drop_oldest && router != nullptr) {
+        router->SetShedding(false);
+      }
+    }
+  }
+
+  // True while in degraded mode; Subscribe consults this (with
+  // shed_subscribes) before admitting.
+  bool degraded() const { return degraded_.load(std::memory_order_relaxed); }
+  bool shed_subscribes() const {
+    return config_.shed_subscribes && degraded();
+  }
+  void CountShed() { sheds_.fetch_add(1, std::memory_order_relaxed); }
+
+  const OverloadConfig& config() const { return config_; }
+  uint64_t trips() const { return trips_.load(std::memory_order_relaxed); }
+  uint64_t sheds() const { return sheds_.load(std::memory_order_relaxed); }
+
+ private:
+  OverloadConfig config_;
+  uint64_t since_sample_ = 0;
+  std::atomic<bool> degraded_{false};
+  std::atomic<uint64_t> trips_{0};
+  std::atomic<uint64_t> sheds_{0};
+};
+
+}  // namespace ps2
+
+#endif  // PS2_RUNTIME_OVERLOAD_H_

@@ -30,6 +30,8 @@ ShardedEngineConfig FabricConfig(const PS2StreamOptions& options) {
 PS2Stream::PS2Stream(PS2StreamOptions options)
     : options_(std::move(options)),
       delivery_(std::make_unique<DeliveryRouter>()),
+      quota_(options_.quota),
+      overload_(options_.overload),
       alive_(std::make_shared<int>(0)) {
   LoadControllerConfig config;
   config.adjust = options_.adjust;
@@ -41,6 +43,9 @@ PS2Stream::PS2Stream(PS2StreamOptions options)
 }
 
 PS2Stream::~PS2Stream() {
+  // The exporter thread snapshots live facade state; stop it before any of
+  // that state starts tearing down.
+  StopMetricsExporter();
   // Invalidate RAII Subscription handles first: a handle destroyed (on
   // this thread) after this point no-ops instead of re-entering a dying
   // facade. The token orders handle-vs-facade *destruction order*, not
@@ -128,7 +133,13 @@ bool PS2Stream::Restore(const std::string& dir) {
     for (const STSQuery& q : recovery.queries) {
       subscriptions_[q.id] = q;
       if (q.cls == SubscriptionClass::kTopK) topk_.Register(q.id, q.k);
+      // Quota charges are runtime state, not persisted: recovered
+      // subscriptions re-charge against the default tenant (attribution is
+      // lost across a crash) and are never rejected.
+      quota_.ChargeRestored(q.id, std::string());
     }
+    live_subscriptions_.store(subscriptions_.size(),
+                              std::memory_order_relaxed);
     topk_.Restore(recovery.topk);
     next_query_id_ = recovery.next_query_id;
     next_object_id_ = recovery.next_object_id;
@@ -148,10 +159,12 @@ bool PS2Stream::Restore(const std::string& dir) {
   for (const STSQuery& q : state->queries) {
     subscriptions_[q.id] = q;
     if (q.cls == SubscriptionClass::kTopK) topk_.Register(q.id, q.k);
+    quota_.ChargeRestored(q.id, std::string());
     // Re-inserting through the recovered plan rebuilds the gridt H2 entries
     // and the per-worker GI2 indexes in one pass.
     cluster_->Process(StreamTuple::OfInsert(q));
   }
+  live_subscriptions_.store(subscriptions_.size(), std::memory_order_relaxed);
   // Heap state restores after registration (Restore drops entries of
   // queries that are no longer live — e.g. unsubscribed after the
   // checkpoint and replayed from the WAL).
@@ -175,6 +188,8 @@ bool PS2Stream::Restore(const std::string& dir) {
     // Fail wholesale; the caller keeps a virgin instance.
     durability_.reset();
     cluster_.reset();
+    for (const auto& [id, q] : subscriptions_) quota_.Refund(id);
+    live_subscriptions_.store(0, std::memory_order_relaxed);
     subscriptions_.clear();
     vocab_ = Vocabulary();
     next_query_id_ = 1;
@@ -290,6 +305,18 @@ RunReport PS2Stream::Stop() {
   report.session_drops = sessions.dropped;
   report.matches_unrouted = delivery_->unrouted();
   report.delivery_latency = sessions.latency;
+  report.quota_rejections = quota_.rejections();
+  report.rate_limited = quota_.rate_limited();
+  report.overload_trips = overload_.trips();
+  report.overload_sheds = overload_.sheds();
+  report.live_subscriptions =
+      live_subscriptions_.load(std::memory_order_relaxed);
+  {
+    // Base layer for MetricsSnapshot(): the engine-internal counters (ring
+    // highwaters, migrations, fault tallies) are only assembled here.
+    std::lock_guard<std::mutex> lock(report_mu_);
+    last_report_ = report;
+  }
   return report;
 }
 
@@ -399,28 +426,66 @@ void PS2Stream::CancelSubscription(QueryId id) {
 }
 
 Status PS2Stream::Post(Point loc, const std::string& text) {
+  return Post(std::string(), loc, text);
+}
+
+Status PS2Stream::Post(const SpatioTextualObject& object) {
+  return Post(std::string(), object);
+}
+
+Status PS2Stream::Post(const std::string& tenant, Point loc,
+                       const std::string& text) {
   if (killed_) return Status::Unavailable("service was killed");
   if (!bootstrapped()) {
     return Status::FailedPrecondition(
         "Bootstrap() or Restore() must succeed before Post");
   }
-  SpatioTextualObject o = SpatioTextualObject::FromText(
-      next_object_id_++, loc, text, vocab_, tokenizer_);
-  for (const TermId t : o.terms) vocab_.AddCount(t);
+  // Rate-limit before the object is built: a rejected publish must not
+  // consume an object id or touch the vocabulary frequency profile.
+  if (Status st = quota_.AdmitPublish(tenant, NowMicros()); !st.ok()) {
+    return st;
+  }
+  SpatioTextualObject o;
+  if (started()) {
+    // Routing threads read the vocabulary lock-free while the data plane
+    // runs, so a live Post must not grow or recount it: tokens the
+    // vocabulary has never seen are dropped (a TermId that exists nowhere
+    // cannot appear in any subscription expression, so no match outcome
+    // changes) and the frequency profile stays frozen at its pre-Start
+    // state.
+    std::vector<TermId> ids;
+    for (const auto& tok : tokenizer_.Tokenize(text)) {
+      const TermId t = vocab_.Lookup(tok);
+      if (t != kInvalidTerm) ids.push_back(t);
+    }
+    o = SpatioTextualObject::FromTerms(next_object_id_++, loc,
+                                       std::move(ids));
+  } else {
+    o = SpatioTextualObject::FromText(next_object_id_++, loc, text, vocab_,
+                                      tokenizer_);
+    for (const TermId t : o.terms) vocab_.AddCount(t);
+  }
   return PostInternal(o);
 }
 
-Status PS2Stream::Post(const SpatioTextualObject& object) {
+Status PS2Stream::Post(const std::string& tenant,
+                       const SpatioTextualObject& object) {
   if (killed_) return Status::Unavailable("service was killed");
   if (!bootstrapped()) {
     return Status::FailedPrecondition(
         "Bootstrap() or Restore() must succeed before Post");
+  }
+  if (Status st = quota_.AdmitPublish(tenant, NowMicros()); !st.ok()) {
+    return st;
   }
   return PostInternal(object);
 }
 
 Status PS2Stream::PostInternal(const SpatioTextualObject& object) {
   if (const Status gate = DurabilityGate(); !gate.ok()) return gate;
+  // Overload sampling rides the publish path (every check_interval admitted
+  // posts) so pressure is observed exactly when it is being generated.
+  if (overload_.ShouldSample()) SampleOverload();
   next_object_id_ = std::max(next_object_id_, object.id + 1);
   // Event time moves first, exactly like the reference matcher: expiries
   // (and the promotions they cause) land before this object's own matches.
@@ -459,6 +524,22 @@ Status PS2Stream::PostInternal(const SpatioTextualObject& object) {
 
 Status PS2Stream::ApplySubscribe(const STSQuery& query,
                                  const SessionPtr& session) {
+  // Admission control first — every Subscribe overload funnels through
+  // here, so shedding and quotas cannot be bypassed. While the overload
+  // controller is degraded, new subscriptions are refused outright (the
+  // load that tripped it must drain before the working set may grow).
+  if (overload_.shed_subscribes()) {
+    overload_.CountShed();
+    return Status::ResourceExhausted(
+        "overload: subscribe rejected while degraded (queue fill above "
+        "overload.high_watermark)");
+  }
+  if (Status st = quota_.ChargeSubscribe(
+          query.id, session != nullptr ? session->options().tenant : "",
+          session != nullptr ? session->uid() : 0);
+      !st.ok()) {
+    return st;
+  }
   // Arm top-k admission before any path can index the query: a candidate
   // produced the instant the insert applies must find its state.
   if (query.cls == SubscriptionClass::kTopK) {
@@ -477,8 +558,10 @@ Status PS2Stream::ApplySubscribe(const STSQuery& query,
       subscriptions_.erase(query.id);
       delivery_->Unroute(query.id);
       topk_.Forget(query.id);
+      quota_.Refund(query.id);
       return st;
     }
+    live_subscriptions_.fetch_add(1, std::memory_order_relaxed);
     MaybeCheckpoint();
     return Status::Ok();
   }
@@ -493,6 +576,7 @@ Status PS2Stream::ApplySubscribe(const STSQuery& query,
   // be produced after the insert is applied, so the session never misses
   // one.
   if (session != nullptr) delivery_->Route(query.id, session);
+  live_subscriptions_.fetch_add(1, std::memory_order_relaxed);
   const StreamTuple tuple = StreamTuple::OfInsert(query);
   if (started()) {
     engine_->Submit(tuple);
@@ -508,6 +592,11 @@ Status PS2Stream::ApplySubscribe(const STSQuery& query,
 Status PS2Stream::ApplyUnsubscribe(QueryId id) {
   auto it = subscriptions_.find(id);
   if (it == subscriptions_.end()) return Status::Ok();
+  // Release the quota charge the moment the subscription stops being live —
+  // a tenant at its limit can Cancel one subscription and immediately admit
+  // another.
+  quota_.Refund(id);
+  live_subscriptions_.fetch_sub(1, std::memory_order_relaxed);
   if (fabric_ != nullptr) {
     subscriptions_.erase(it);
     delivery_->Unroute(id);
@@ -609,6 +698,75 @@ Status PS2Stream::Health() {
   }
   if (fabric_ != nullptr) return fabric_->CheckHealth();
   return DurabilityGate();
+}
+
+void PS2Stream::SampleOverload() {
+  uint64_t session_pending = 0, session_capacity = 0;
+  delivery_->QueueDepth(&session_pending, &session_capacity);
+  uint64_t ring_pending = 0, ring_capacity = 0;
+  if (fabric_ != nullptr) {
+    fabric_->DataPlaneFill(&ring_pending, &ring_capacity);
+  } else if (engine_ != nullptr && engine_->running()) {
+    engine_->DataPlaneFill(&ring_pending, &ring_capacity);
+  }
+  const double session_fill =
+      session_capacity > 0 ? static_cast<double>(session_pending) /
+                                 static_cast<double>(session_capacity)
+                           : 0.0;
+  const double ring_fill =
+      ring_capacity > 0 ? static_cast<double>(ring_pending) /
+                              static_cast<double>(ring_capacity)
+                        : 0.0;
+  overload_.Observe(session_fill, ring_fill,
+                    overload_.config().force_drop_oldest ? delivery_.get()
+                                                         : nullptr);
+}
+
+RunReport PS2Stream::MetricsSnapshot() const {
+  RunReport r;
+  {
+    std::lock_guard<std::mutex> lock(report_mu_);
+    r = last_report_;
+  }
+  // Overlay the counters that are live and thread-safe right now; the base
+  // layer's engine internals (ring highwaters, migrations, fault tallies)
+  // stay at their last-Stop values.
+  const SessionStats sessions = delivery_->AggregateStats();
+  r.session_deliveries = sessions.delivered;
+  r.session_drops = sessions.dropped;
+  r.delivery_latency = sessions.latency;
+  r.matches_unrouted = delivery_->unrouted();
+  r.dedup_kills = delivery_->dedup_kills();
+  r.quota_rejections = quota_.rejections();
+  r.rate_limited = quota_.rate_limited();
+  r.overload_trips = overload_.trips();
+  r.overload_sheds = overload_.sheds();
+  r.live_subscriptions = live_subscriptions_.load(std::memory_order_relaxed);
+  return r;
+}
+
+std::string PS2Stream::MetricsPrometheus() const {
+  const RunReport snapshot = MetricsSnapshot();
+  if (fabric_ != nullptr && !fabric_->shard_reports().empty()) {
+    return RenderPrometheus(snapshot, &fabric_->shard_reports());
+  }
+  return RenderPrometheus(snapshot, nullptr);
+}
+
+std::string PS2Stream::MetricsJson() const {
+  return RenderJson(MetricsSnapshot());
+}
+
+bool PS2Stream::StartMetricsExporter(MetricsExporter::Options exporter_options) {
+  if (exporter_ != nullptr && exporter_->running()) return false;
+  exporter_ = std::make_unique<MetricsExporter>(
+      std::move(exporter_options), [this] { return MetricsSnapshot(); });
+  exporter_->Start();
+  return true;
+}
+
+void PS2Stream::StopMetricsExporter() {
+  if (exporter_ != nullptr) exporter_->Stop();
 }
 
 void PS2Stream::Track(const StreamTuple& tuple) {

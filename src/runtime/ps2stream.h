@@ -1,18 +1,23 @@
 #ifndef PS2_RUNTIME_PS2STREAM_H_
 #define PS2_RUNTIME_PS2STREAM_H_
 
+#include <atomic>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
 #include "adjust/load_controller.h"
 #include "api/delivery_router.h"
+#include "api/quota.h"
 #include "api/status.h"
 #include "api/subscriber_session.h"
 #include "api/subscription.h"
 #include "core/workload_stats.h"
 #include "persist/durability.h"
+#include "runtime/metrics_exporter.h"
+#include "runtime/overload.h"
 #include "runtime/threaded_engine.h"
 #include "shard/sharded_engine.h"
 #include "subscribe/spec.h"
@@ -82,6 +87,15 @@ struct PS2StreamOptions {
   // engine/durability options above apply per shard, with durability.dir
   // becoming the fabric root (<dir>/SHARDMAP + <dir>/shard-<i>/).
   ShardFabricOptions sharding;
+  // Multi-tenant admission limits (see api/quota.h): subscription-count
+  // quotas and per-tenant publish token buckets, enforced in Subscribe/Post
+  // with kResourceExhausted. Defaults = unlimited. The tenant comes from
+  // SessionOptions::tenant (Subscribe) or the Post(tenant, ...) overloads.
+  QuotaConfig quota;
+  // Overload admission control (see runtime/overload.h): watermark-based
+  // degraded mode over session-queue and worker-ring occupancy, sampled on
+  // the publish path. Disabled by default.
+  OverloadConfig overload;
 };
 
 class PS2Stream : private SubscriptionBackend {
@@ -147,9 +161,14 @@ class PS2Stream : private SubscriptionBackend {
   // Publishes an object; matches flow to the routed sessions in both
   // execution modes (inline here in synchronous mode, from the worker
   // threads in started mode). Errors: kFailedPrecondition (not
-  // bootstrapped), kUnavailable (engine stopped mid-submit).
+  // bootstrapped), kUnavailable (engine stopped mid-submit),
+  // kResourceExhausted (the tenant's publish token bucket is empty; the
+  // message names the field, "quota.publish_rate_per_sec"). The
+  // tenant-less forms publish as the default tenant "".
   Status Post(Point loc, const std::string& text);
   Status Post(const SpatioTextualObject& object);
+  Status Post(const std::string& tenant, Point loc, const std::string& text);
+  Status Post(const std::string& tenant, const SpatioTextualObject& object);
 
   // Advances the event-time watermark without publishing (e.g. a quiet
   // stream whose held top-k results should still expire). Posting an object
@@ -249,6 +268,29 @@ class PS2Stream : private SubscriptionBackend {
   TopKCoordinator& topk() { return topk_; }
   const TopKCoordinator& topk() const { return topk_; }
 
+  // --- admission & metrics --------------------------------------------------
+  // Quota bookkeeping (always live; no-op when options.quota is all
+  // defaults) and the overload controller's degraded flag.
+  const QuotaManager& quota() const { return quota_; }
+  bool overloaded() const { return overload_.degraded(); }
+
+  // Point-in-time metrics: the last Stop() report (zeros before the first
+  // Stop, or forever in synchronous mode) overlaid with the live
+  // thread-safe counters — session deliveries/drops/latency, unrouted,
+  // dedup kills, quota/overload counters and the live-subscription gauge.
+  // Callable from any thread (the exporter's snapshot callback).
+  RunReport MetricsSnapshot() const;
+  // Prometheus text rendering of MetricsSnapshot(); includes per-shard
+  // {shard="N"} sections once the fabric has produced shard reports.
+  std::string MetricsPrometheus() const;
+  // Flat JSON rendering of MetricsSnapshot().
+  std::string MetricsJson() const;
+  // Spawns (or stops) the periodic file exporter over MetricsSnapshot().
+  // False when one is already running.
+  bool StartMetricsExporter(MetricsExporter::Options exporter_options);
+  void StopMetricsExporter();
+  MetricsExporter* metrics_exporter() { return exporter_.get(); }
+
  private:
   // SubscriptionBackend (RAII Subscription handles cancel through this).
   void CancelSubscription(QueryId id) override;
@@ -262,6 +304,9 @@ class PS2Stream : private SubscriptionBackend {
   Status ApplyUnsubscribe(QueryId id);
   // Shared publish path.
   Status PostInternal(const SpatioTextualObject& object);
+  // Samples session-queue and worker-ring fills into the overload
+  // controller (called every overload.check_interval posts).
+  void SampleOverload();
   // Shared subscription-update path (fabric / WAL / engine-or-inline).
   Status ApplyUpdate(const STSQuery& old_query, const STSQuery& new_query);
   // Watermark advance + promotion delivery (both Post and AdvanceEventTime).
@@ -293,6 +338,15 @@ class PS2Stream : private SubscriptionBackend {
   // Centralized top-k admission, hooked into the router (see
   // subscribe/topk.h for why admission is not per-worker).
   TopKCoordinator topk_;
+  QuotaManager quota_;
+  OverloadController overload_;
+  std::unique_ptr<MetricsExporter> exporter_;
+  // Last Stop() report, the base layer of MetricsSnapshot(); guarded so the
+  // exporter thread can read it while the control thread stops the engine.
+  mutable std::mutex report_mu_;
+  RunReport last_report_;
+  // Mirror of subscriptions_.size() readable off the control thread.
+  std::atomic<uint64_t> live_subscriptions_{0};
   // Liveness token for RAII Subscription handles: reset first in the
   // destructor so a handle outliving the facade cancels into a no-op.
   std::shared_ptr<void> alive_;

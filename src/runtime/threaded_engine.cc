@@ -467,6 +467,21 @@ RunReport ThreadedEngine::Run(const std::vector<StreamTuple>& input) {
   return Stop();
 }
 
+void ThreadedEngine::DataPlaneFill(uint64_t* pending,
+                                   uint64_t* capacity) const {
+  uint64_t p = 0, c = 0;
+  if (running_) {
+    for (const auto& w : workers_) {
+      for (const auto& ring : w->rings) {
+        p += ring->pending();
+        c += ring->capacity();
+      }
+    }
+  }
+  *pending = p;
+  *capacity = c;
+}
+
 std::vector<MatchResult> ThreadedEngine::TakeMatches() {
   std::vector<MatchResult> out;
   TakeMatches(&out);

@@ -114,6 +114,13 @@ class ThreadedEngine : public Engine {
   uint64_t migrations_installed() const {
     return migrations_installed_.load(std::memory_order_relaxed);
   }
+  // Live aggregate occupancy of the per-worker SPSC data rings: queued
+  // items and total capacity summed over every ring. The overload
+  // controller's data-plane pressure signal. Safe from the submitting
+  // thread while the engine runs (ring cursors are atomics); zeros when
+  // stopped.
+  void DataPlaneFill(uint64_t* pending, uint64_t* capacity) const;
+
   // Matches accepted by the dedup window (requires options.collect_matches).
   std::vector<MatchResult> TakeMatches();
   // Allocation-reusing variant: swaps the collected matches into `out`

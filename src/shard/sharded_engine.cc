@@ -1152,6 +1152,20 @@ void ShardedEngine::ApplyFromShard(Frame& f) {
 
 // --- engines -----------------------------------------------------------------
 
+void ShardedEngine::DataPlaneFill(uint64_t* pending,
+                                  uint64_t* capacity) const {
+  uint64_t p = 0, c = 0;
+  for (const auto& shard : shards_) {
+    if (shard->engine == nullptr) continue;
+    uint64_t sp = 0, sc = 0;
+    shard->engine->DataPlaneFill(&sp, &sc);
+    p += sp;
+    c += sc;
+  }
+  *pending = p;
+  *capacity = c;
+}
+
 void ShardedEngine::Start() {
   if (!bootstrapped() || started_) return;
   for (auto& shard : shards_) {

@@ -287,6 +287,10 @@ class ShardedEngine {
   const std::vector<RunReport>& shard_reports() const {
     return shard_reports_;
   }
+  // Live aggregate SPSC-ring occupancy across every running shard engine
+  // (see ThreadedEngine::DataPlaneFill); the facade's overload-controller
+  // pressure signal in fabric mode.
+  void DataPlaneFill(uint64_t* pending, uint64_t* capacity) const;
   uint64_t query_shard_mask(QueryId id) const;
   uint64_t cells_migrated() const { return cells_migrated_; }
   uint64_t decode_errors() const {

@@ -1,6 +1,7 @@
 #ifndef PS2_SUBSCRIBE_EXPIRY_WHEEL_H_
 #define PS2_SUBSCRIBE_EXPIRY_WHEEL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -24,9 +25,14 @@ class ExpiryWheel {
  public:
   // Schedules `id` for a re-check when the watermark reaches `expire_us`.
   // expire_us == 0 ("never") is the caller's responsibility to filter.
+  // The linear scan keeps the coalescing exact for interleaved re-schedules
+  // of the same (stamp, query); buckets hold only queries whose candidates
+  // share one expiry stamp, so the scan stays short in practice.
   void Schedule(int64_t expire_us, QueryId id) {
     std::vector<QueryId>& bucket = buckets_[expire_us];
-    if (bucket.empty() || bucket.back() != id) bucket.push_back(id);
+    if (std::find(bucket.begin(), bucket.end(), id) == bucket.end()) {
+      bucket.push_back(id);
+    }
   }
 
   // Pops every bucket whose stamp is <= `watermark_us`, appending the

@@ -418,6 +418,68 @@ TEST(PS2StreamApiTest, UpdateSubscriptionValidatesTarget) {
   EXPECT_EQ(ps2.subscriptions().at(sub->id()).region.min_x, 2.0);
 }
 
+// Satellite bugfix: RunReport::session_drops (and session_deliveries) must
+// equal the sum of every session's counters across the whole run — including
+// sessions destroyed before Stop() and deliveries that arrive after Close().
+// The router's registry holds sessions weakly, so pre-fix a session that
+// died mid-run silently vanished from the aggregate.
+TEST(PS2StreamApiTest, SessionDropAccountingSurvivesSessionDestruction) {
+  PS2Stream ps2;
+  ps2.Bootstrap(WorkloadSample{});
+  // Vocabulary interning is control-plane-only once the engine runs; seed
+  // every term this test posts so Post never grows the vocab mid-run.
+  for (const char* t : {"fire", "nearby", "flood", "warning"}) {
+    ps2.vocabulary().Intern(t);
+  }
+  ps2.Start();
+
+  SessionOptions tiny;
+  tiny.queue_capacity = 1;
+  tiny.backpressure = BackpressurePolicy::kDropNewest;
+
+  // Session A: overflow its queue, then destroy it mid-run.
+  SessionStats a_stats;
+  {
+    auto a = ps2.OpenSession(tiny);
+    auto sub = ps2.Subscribe(a, "fire", Rect(0, 0, 1, 1));
+    ASSERT_TRUE(sub.ok());
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(ps2.Post(Point{0.5, 0.5}, "fire nearby").ok());
+    }
+    ps2.engine()->Quiesce();  // every post has reached the session
+    a_stats = a->stats();
+    EXPECT_EQ(a_stats.delivered, 1u);  // capacity 1, never drained
+    EXPECT_EQ(a_stats.dropped, 4u);
+    ASSERT_TRUE(ps2.Cancel(sub->Release()).ok());
+  }  // ~SubscriberSession: A's counters fold into the retired accumulator
+
+  // Session B: overflow, Close(), then keep publishing — deliveries after
+  // Close() count as dropped — and destroy it too before Stop().
+  SessionStats b_stats;
+  {
+    auto b = ps2.OpenSession(tiny);
+    auto sub = ps2.Subscribe(b, "flood", Rect(0, 0, 1, 1));
+    ASSERT_TRUE(sub.ok());
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(ps2.Post(Point{0.5, 0.5}, "flood warning").ok());
+    }
+    ps2.engine()->Quiesce();
+    b->Close();
+    for (int i = 0; i < 2; ++i) {
+      ASSERT_TRUE(ps2.Post(Point{0.5, 0.5}, "flood warning").ok());
+    }
+    ps2.engine()->Quiesce();
+    b_stats = b->stats();
+    EXPECT_EQ(b_stats.delivered, 1u);
+    EXPECT_EQ(b_stats.dropped, 4u);  // 2 overflow + 2 after Close
+    ASSERT_TRUE(ps2.Cancel(sub->Release()).ok());
+  }
+
+  const RunReport report = ps2.Stop();
+  EXPECT_EQ(report.session_deliveries, a_stats.delivered + b_stats.delivered);
+  EXPECT_EQ(report.session_drops, a_stats.dropped + b_stats.dropped);
+}
+
 TEST(PS2StreamApiTest, KilledServiceReportsUnavailable) {
   PS2Stream ps2;
   ps2.Bootstrap(WorkloadSample{});

@@ -1,0 +1,425 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/quota.h"
+#include "api/status.h"
+#include "api/subscriber_session.h"
+#include "api/subscription.h"
+#include "runtime/overload.h"
+#include "runtime/ps2stream.h"
+#include "test_util.h"
+
+namespace ps2 {
+namespace {
+
+using std::chrono::milliseconds;
+
+// ---------------------------------------------------------------------------
+// TokenBucket (deterministic clock)
+// ---------------------------------------------------------------------------
+
+TEST(TokenBucketTest, SpendsBurstThenRefillsAtRate) {
+  TokenBucket bucket(/*rate_per_sec=*/2.0, /*burst=*/3.0);
+  // The burst is available immediately.
+  EXPECT_TRUE(bucket.TryAcquire(1000));
+  EXPECT_TRUE(bucket.TryAcquire(1000));
+  EXPECT_TRUE(bucket.TryAcquire(1000));
+  EXPECT_FALSE(bucket.TryAcquire(1000));
+  // 2 tokens/s: after 400ms only 0.8 tokens have accrued.
+  EXPECT_FALSE(bucket.TryAcquire(1000 + 400000));
+  // After a further 200ms the fractional credit crosses 1.0.
+  EXPECT_TRUE(bucket.TryAcquire(1000 + 600000));
+  EXPECT_FALSE(bucket.TryAcquire(1000 + 600000));
+}
+
+TEST(TokenBucketTest, RefillCapsAtBurst) {
+  TokenBucket bucket(/*rate_per_sec=*/100.0, /*burst=*/2.0);
+  EXPECT_TRUE(bucket.TryAcquire(1));
+  EXPECT_TRUE(bucket.TryAcquire(1));
+  // An hour of idle time still only banks `burst` tokens.
+  const int64_t later = 1 + 3600LL * 1000000LL;
+  EXPECT_TRUE(bucket.TryAcquire(later));
+  EXPECT_TRUE(bucket.TryAcquire(later));
+  EXPECT_FALSE(bucket.TryAcquire(later));
+}
+
+TEST(TokenBucketTest, ClockGoingBackwardsDoesNotMintTokens) {
+  TokenBucket bucket(/*rate_per_sec=*/1.0, /*burst=*/1.0);
+  EXPECT_TRUE(bucket.TryAcquire(5000000));
+  // A stale timestamp must not be treated as negative elapsed time.
+  EXPECT_FALSE(bucket.TryAcquire(4000000));
+  EXPECT_FALSE(bucket.TryAcquire(5000001));
+}
+
+// ---------------------------------------------------------------------------
+// QuotaManager (unit)
+// ---------------------------------------------------------------------------
+
+TEST(QuotaManagerTest, BurstDefaultsToRateWhenZero) {
+  QuotaConfig config;
+  config.publish_rate_per_sec = 5.0;
+  QuotaManager quota(config);
+  EXPECT_EQ(quota.config().publish_burst, 5.0);
+}
+
+TEST(QuotaManagerTest, RefundReleasesEveryDimension) {
+  QuotaConfig config;
+  config.max_subscriptions_per_session = 1;
+  config.max_subscriptions_per_tenant = 1;
+  config.max_total_subscriptions = 1;
+  QuotaManager quota(config);
+
+  ASSERT_TRUE(quota.ChargeSubscribe(7, "acme", 42).ok());
+  EXPECT_EQ(quota.total_live(), 1u);
+  // Every dimension is now exhausted, whichever is checked first.
+  EXPECT_EQ(quota.ChargeSubscribe(8, "acme", 42).code(),
+            StatusCode::kResourceExhausted);
+  quota.Refund(7);
+  EXPECT_EQ(quota.total_live(), 0u);
+  EXPECT_TRUE(quota.ChargeSubscribe(8, "acme", 42).ok());
+  // Unknown ids (double-cancel) are a no-op, not an underflow.
+  quota.Refund(999);
+  quota.Refund(8);
+  EXPECT_EQ(quota.total_live(), 0u);
+}
+
+TEST(QuotaManagerTest, ChargeRestoredBypassesAdmission) {
+  QuotaConfig config;
+  config.max_total_subscriptions = 1;
+  QuotaManager quota(config);
+  // Recovery re-charges durable subscriptions even past the ceiling: a
+  // subscription that survived a crash is never rejected on Restore.
+  quota.ChargeRestored(1, "");
+  quota.ChargeRestored(2, "");
+  quota.ChargeRestored(3, "");
+  EXPECT_EQ(quota.total_live(), 3u);
+  // New admissions see the (over-)charged total.
+  EXPECT_EQ(quota.ChargeSubscribe(4, "", 0).code(),
+            StatusCode::kResourceExhausted);
+  quota.Refund(1);
+  quota.Refund(2);
+  quota.Refund(3);
+  EXPECT_TRUE(quota.ChargeSubscribe(4, "", 0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Facade enforcement
+// ---------------------------------------------------------------------------
+
+TEST(PS2StreamQuotaTest, PerSessionLimitNamesFieldPositionally) {
+  PS2StreamOptions options;
+  options.quota.max_subscriptions_per_session = 2;
+  PS2Stream ps2(options);
+  ps2.Bootstrap(WorkloadSample{});
+
+  PS2Stream::SessionPtr session = ps2.OpenSession();
+  auto a = ps2.Subscribe(session, "fire", Rect(0, 0, 1, 1));
+  auto b = ps2.Subscribe(session, "flood", Rect(0, 0, 1, 1));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  auto c = ps2.Subscribe(session, "smoke", Rect(0, 0, 1, 1));
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(c.status().message().find("quota.max_subscriptions_per_session"),
+            std::string::npos)
+      << c.status().message();
+  EXPECT_NE(c.status().message().find("2 of 2"), std::string::npos);
+
+  // Sessionless subscriptions are exempt from the per-session ceiling.
+  auto loose = ps2.Subscribe(nullptr, "smoke", Rect(0, 0, 1, 1));
+  EXPECT_TRUE(loose.ok());
+
+  // A second session gets its own budget.
+  PS2Stream::SessionPtr other = ps2.OpenSession();
+  EXPECT_TRUE(ps2.Subscribe(other, "smoke", Rect(0, 0, 1, 1)).ok());
+  EXPECT_EQ(ps2.quota().rejections(), 1u);
+}
+
+TEST(PS2StreamQuotaTest, PerTenantLimitSharedAcrossSessions) {
+  PS2StreamOptions options;
+  options.quota.max_subscriptions_per_tenant = 2;
+  PS2Stream ps2(options);
+  ps2.Bootstrap(WorkloadSample{});
+
+  SessionOptions acme;
+  acme.tenant = "acme";
+  PS2Stream::SessionPtr one = ps2.OpenSession(acme);
+  PS2Stream::SessionPtr two = ps2.OpenSession(acme);
+
+  auto a = ps2.Subscribe(one, "fire", Rect(0, 0, 1, 1));
+  auto b = ps2.Subscribe(two, "flood", Rect(0, 0, 1, 1));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // The tenant budget is shared: session identity does not matter.
+  auto third = ps2.Subscribe(one, "smoke", Rect(0, 0, 1, 1));
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(third.status().message().find("quota.max_subscriptions_per_tenant"),
+            std::string::npos)
+      << third.status().message();
+  EXPECT_NE(third.status().message().find("\"acme\""), std::string::npos);
+
+  // Another tenant (and the default tenant) are unaffected.
+  SessionOptions beta;
+  beta.tenant = "beta";
+  PS2Stream::SessionPtr other = ps2.OpenSession(beta);
+  EXPECT_TRUE(ps2.Subscribe(other, "smoke", Rect(0, 0, 1, 1)).ok());
+  PS2Stream::SessionPtr untagged = ps2.OpenSession();
+  EXPECT_TRUE(ps2.Subscribe(untagged, "smoke", Rect(0, 0, 1, 1)).ok());
+}
+
+TEST(PS2StreamQuotaTest, TotalLimitCountsEverySubscription) {
+  PS2StreamOptions options;
+  options.quota.max_total_subscriptions = 2;
+  PS2Stream ps2(options);
+  ps2.Bootstrap(WorkloadSample{});
+
+  PS2Stream::SessionPtr session = ps2.OpenSession();
+  auto a = ps2.Subscribe(session, "fire", Rect(0, 0, 1, 1));
+  auto b = ps2.Subscribe(nullptr, "flood", Rect(0, 0, 1, 1));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto c = ps2.Subscribe(session, "smoke", Rect(0, 0, 1, 1));
+  ASSERT_FALSE(c.ok());
+  EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(c.status().message().find("quota.max_total_subscriptions"),
+            std::string::npos)
+      << c.status().message();
+}
+
+TEST(PS2StreamQuotaTest, QuotaReleasedOnCancelAndHandleDestruction) {
+  PS2StreamOptions options;
+  options.quota.max_subscriptions_per_session = 1;
+  PS2Stream ps2(options);
+  ps2.Bootstrap(WorkloadSample{});
+  PS2Stream::SessionPtr session = ps2.OpenSession();
+
+  // Explicit Cancel frees the slot.
+  auto a = ps2.Subscribe(session, "fire", Rect(0, 0, 1, 1));
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(ps2.Subscribe(session, "flood", Rect(0, 0, 1, 1)).ok());
+  ASSERT_TRUE(ps2.Cancel(a.value().id()).ok());
+  a.value().Release();
+
+  // RAII destruction frees the slot too.
+  {
+    auto b = ps2.Subscribe(session, "flood", Rect(0, 0, 1, 1));
+    ASSERT_TRUE(b.ok());
+    EXPECT_FALSE(ps2.Subscribe(session, "smoke", Rect(0, 0, 1, 1)).ok());
+  }
+  auto c = ps2.Subscribe(session, "smoke", Rect(0, 0, 1, 1));
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(ps2.quota().total_live(), 1u);
+}
+
+// The quota boundary sits in the facade's control plane, so enforcement
+// must be byte-identical across execution modes: sync, threaded, and the
+// shard fabric at 2 and 4 shards.
+TEST(PS2StreamQuotaTest, EnforcementIdenticalAcrossModes) {
+  struct Mode {
+    const char* name;
+    int num_shards;
+    bool threaded;
+  };
+  const Mode kModes[] = {
+      {"sync", 1, false},
+      {"threaded", 1, true},
+      {"fabric-2", 2, false},
+      {"fabric-4", 4, false},
+  };
+  const testutil::TestWorkload workload =
+      testutil::MakeWorkload(/*seed=*/17, /*num_objects=*/300,
+                             /*num_queries=*/60, /*num_terms=*/30);
+
+  std::vector<std::string> rejections;
+  for (const Mode& mode : kModes) {
+    SCOPED_TRACE(mode.name);
+    PS2StreamOptions options;
+    options.quota.max_subscriptions_per_session = 2;
+    options.sharding.num_shards = mode.num_shards;
+    PS2Stream ps2(options);
+    ps2.Bootstrap(workload.sample);
+    if (mode.threaded) ps2.Start();
+
+    PS2Stream::SessionPtr session = ps2.OpenSession();
+    auto a = ps2.Subscribe(session, "fire", Rect(0, 0, 1, 1));
+    auto b = ps2.Subscribe(session, "flood", Rect(0, 0, 1, 1));
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    auto c = ps2.Subscribe(session, "smoke", Rect(0, 0, 1, 1));
+    ASSERT_FALSE(c.ok());
+    EXPECT_EQ(c.status().code(), StatusCode::kResourceExhausted);
+    rejections.push_back(c.status().message());
+
+    // Cancelling one subscription re-opens the budget in every mode.
+    ASSERT_TRUE(ps2.Cancel(a.value().id()).ok());
+    a.value().Release();
+    EXPECT_TRUE(ps2.Subscribe(session, "smoke", Rect(0, 0, 1, 1)).ok());
+    if (mode.threaded) ps2.Stop();
+  }
+  // Identical enforcement ⇒ identical rejection text.
+  for (size_t i = 1; i < rejections.size(); ++i) {
+    EXPECT_EQ(rejections[i], rejections[0]);
+  }
+}
+
+TEST(PS2StreamQuotaTest, PublishRateLimitIsPerTenant) {
+  PS2StreamOptions options;
+  // 1 token/s refill: the burst is all a tenant gets within a test run.
+  options.quota.publish_rate_per_sec = 1.0;
+  options.quota.publish_burst = 2.0;
+  PS2Stream ps2(options);
+  ps2.Bootstrap(WorkloadSample{});
+
+  EXPECT_TRUE(ps2.Post("greedy", Point{0.5, 0.5}, "fire nearby").ok());
+  EXPECT_TRUE(ps2.Post("greedy", Point{0.5, 0.5}, "fire nearby").ok());
+  Status third = ps2.Post("greedy", Point{0.5, 0.5}, "fire nearby");
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(third.message().find("quota.publish_rate_per_sec"),
+            std::string::npos)
+      << third.message();
+  EXPECT_NE(third.message().find("\"greedy\""), std::string::npos);
+
+  // Other tenants — including the default tenant — have their own buckets.
+  EXPECT_TRUE(ps2.Post("polite", Point{0.5, 0.5}, "flood warning").ok());
+  EXPECT_TRUE(ps2.Post(Point{0.5, 0.5}, "flood warning").ok());
+  EXPECT_EQ(ps2.quota().rate_limited(), 1u);
+}
+
+TEST(PS2StreamQuotaTest, RejectedPublishIsNeverDelivered) {
+  PS2StreamOptions options;
+  options.quota.publish_rate_per_sec = 1.0;
+  options.quota.publish_burst = 1.0;
+  PS2Stream ps2(options);
+  ps2.Bootstrap(WorkloadSample{});
+
+  PS2Stream::SessionPtr session = ps2.OpenSession();
+  auto sub = ps2.Subscribe(session, "fire", Rect(0, 0, 1, 1));
+  ASSERT_TRUE(sub.ok());
+
+  ASSERT_TRUE(ps2.Post("t", Point{0.5, 0.5}, "fire nearby").ok());
+  EXPECT_EQ(ps2.Post("t", Point{0.5, 0.5}, "fire again").code(),
+            StatusCode::kResourceExhausted);
+
+  Delivery d;
+  ASSERT_TRUE(session->Take(&d, milliseconds(100)).ok());
+  EXPECT_EQ(session->Take(&d, milliseconds(1)).code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(session->stats().delivered, 1u);
+}
+
+TEST(PS2StreamQuotaTest, CountersSurfaceInReportAndSnapshot) {
+  PS2StreamOptions options;
+  options.quota.max_subscriptions_per_session = 1;
+  options.quota.publish_rate_per_sec = 1.0;
+  options.quota.publish_burst = 1.0;
+  PS2Stream ps2(options);
+  ps2.Bootstrap(WorkloadSample{});
+
+  PS2Stream::SessionPtr session = ps2.OpenSession();
+  auto a = ps2.Subscribe(session, "fire", Rect(0, 0, 1, 1));
+  ASSERT_TRUE(a.ok());
+  EXPECT_FALSE(ps2.Subscribe(session, "flood", Rect(0, 0, 1, 1)).ok());
+  ASSERT_TRUE(ps2.Post("t", Point{0.1, 0.1}, "quiet corner").ok());
+  EXPECT_FALSE(ps2.Post("t", Point{0.1, 0.1}, "quiet corner").ok());
+
+  RunReport live = ps2.MetricsSnapshot();
+  EXPECT_EQ(live.quota_rejections, 1u);
+  EXPECT_EQ(live.rate_limited, 1u);
+  EXPECT_EQ(live.live_subscriptions, 1u);
+
+  ps2.Start();
+  RunReport report = ps2.Stop();
+  EXPECT_EQ(report.quota_rejections, 1u);
+  EXPECT_EQ(report.rate_limited, 1u);
+  EXPECT_EQ(report.live_subscriptions, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Overload shedding
+// ---------------------------------------------------------------------------
+
+TEST(PS2StreamOverloadTest, ShedsSubscribesAndRecoversWithHysteresis) {
+  PS2StreamOptions options;
+  options.overload.enabled = true;
+  options.overload.check_interval = 1;  // sample every post
+  options.overload.high_watermark = 0.70;
+  options.overload.low_watermark = 0.30;
+  PS2Stream ps2(options);
+  ps2.Bootstrap(WorkloadSample{});
+
+  SessionOptions slow;
+  slow.queue_capacity = 4;
+  slow.backpressure = BackpressurePolicy::kDropNewest;
+  PS2Stream::SessionPtr session = ps2.OpenSession(slow);
+  auto sub = ps2.Subscribe(session, "fire", Rect(0, 0, 1, 1));
+  ASSERT_TRUE(sub.ok());
+
+  // Fill the (only) session queue to 3/4 = 0.75 ≥ high watermark. The
+  // sample runs on the post after the enqueue, so a fourth post trips it.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ps2.Post(Point{0.5, 0.5}, "fire nearby").ok());
+  }
+  EXPECT_TRUE(ps2.overloaded());
+
+  // Degraded mode sheds new subscribes with a typed error; existing
+  // subscriptions and publishes keep flowing.
+  auto shed = ps2.Subscribe(session, "flood", Rect(0, 0, 1, 1));
+  ASSERT_FALSE(shed.ok());
+  EXPECT_EQ(shed.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(shed.status().message().find("overload"), std::string::npos)
+      << shed.status().message();
+  EXPECT_TRUE(ps2.Post(Point{0.5, 0.5}, "fire still burning").ok());
+
+  // Hysteresis: draining to 1/4 = 0.25 ≤ low watermark exits degraded mode
+  // on the next sample; a mid-band fill (0.5) would not.
+  Delivery d;
+  while (session->pending() > 1) {
+    ASSERT_TRUE(session->Take(&d, milliseconds(100)).ok());
+  }
+  ASSERT_TRUE(ps2.Post(Point{0.9, 0.9}, "quiet corner").ok());
+  EXPECT_FALSE(ps2.overloaded());
+  EXPECT_TRUE(ps2.Subscribe(session, "flood", Rect(0, 0, 1, 1)).ok());
+
+  RunReport report = ps2.MetricsSnapshot();
+  EXPECT_EQ(report.overload_trips, 1u);
+  EXPECT_EQ(report.overload_sheds, 1u);
+}
+
+TEST(PS2StreamOverloadTest, SheddingDegradesBlockingSessionsToDropOldest) {
+  PS2StreamOptions options;
+  options.overload.enabled = true;
+  options.overload.check_interval = 1;
+  options.overload.high_watermark = 0.70;
+  options.overload.low_watermark = 0.30;
+  PS2Stream ps2(options);
+  ps2.Bootstrap(WorkloadSample{});
+
+  SessionOptions blocking;
+  blocking.queue_capacity = 4;
+  blocking.backpressure = BackpressurePolicy::kBlock;
+  PS2Stream::SessionPtr session = ps2.OpenSession(blocking);
+  auto sub = ps2.Subscribe(session, "fire", Rect(0, 0, 1, 1));
+  ASSERT_TRUE(sub.ok());
+
+  // Fill the queue and trip the shed. Without SetShedding the fifth
+  // matching post would park this (sync-mode: the test's) thread forever;
+  // degraded kBlock evicts the oldest instead.
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ps2.Post(Point{0.5, 0.5}, "fire msg").ok());
+  }
+  ASSERT_TRUE(ps2.overloaded());
+  ASSERT_TRUE(ps2.Post(Point{0.5, 0.5}, "fire overflow").ok());
+
+  EXPECT_EQ(session->pending(), 4u);
+  EXPECT_EQ(session->stats().dropped, 1u);
+}
+
+}  // namespace
+}  // namespace ps2

@@ -1,0 +1,297 @@
+// Multi-tenant soak harness: randomized subscribe / unsubscribe / publish
+// schedules under quota pressure, overload sampling, and kill/recover
+// cycles — the long-running companion to the targeted quota and chaos
+// tests. Synchronous mode keeps every run deterministic for a given seed,
+// so the invariants are exact: a well-behaved tenant's deliveries match
+// the brute-force reference over the *admitted* operation stream, byte for
+// byte, no matter how hard a greedy co-tenant hammers the quotas.
+//
+// CI runs this under ASan+UBSan and TSan. Reproduce a failure locally:
+//
+//   PS2_CHAOS_SEED=<printed seed> ./ps2_tests --gtest_filter='*Soak*'
+//
+// PS2_SOAK_ROUNDS (default 2) scales the number of rounds for scheduled
+// long runs.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "index/reference_matcher.h"
+#include "runtime/ps2stream.h"
+#include "test_util.h"
+
+namespace ps2 {
+namespace {
+
+uint64_t ChaosSeed(uint64_t fallback) {
+  const char* env = std::getenv("PS2_CHAOS_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return fallback;
+}
+
+int SoakRounds(int fallback) {
+  const char* env = std::getenv("PS2_SOAK_ROUNDS");
+  if (env != nullptr && *env != '\0') {
+    return static_cast<int>(std::strtol(env, nullptr, 10));
+  }
+  return fallback;
+}
+
+std::vector<MatchResult> Drain(
+    const std::shared_ptr<SubscriberSession>& session) {
+  std::vector<MatchResult> out;
+  Delivery d;
+  while (session->Poll(&d)) {
+    out.push_back(MatchResult{d.query_id, d.object_id});
+  }
+  return out;
+}
+
+// One greedy tenant (over-quota subscribes, publish bursts far past its
+// token bucket) sharing a facade with one well-behaved tenant. The greedy
+// tenant must be the only one to see kResourceExhausted, and the
+// well-behaved tenant's deliveries must exactly equal the reference run
+// over whatever the facade actually admitted.
+TEST(QuotaSoakTest, GreedyTenantCannotStarveWellBehavedTenant) {
+  const int rounds = SoakRounds(2);
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t seed = ChaosSeed(3100 + static_cast<uint64_t>(round));
+    std::cout << "[ SOAK   ] round " << round << " seed " << seed
+              << " (override with PS2_CHAOS_SEED)" << std::endl;
+    const testutil::TestWorkload w = testutil::MakeWorkload(seed, 500, 200);
+    Rng rng(seed * 997 + 5);
+
+    PS2StreamOptions options;
+    options.quota.max_subscriptions_per_tenant = 8;
+    options.quota.publish_rate_per_sec = 1.0;  // refill is negligible here
+    options.quota.publish_burst = 100.0;
+    options.overload.enabled = true;  // sampled, but never tripped: queues
+    options.overload.check_interval = 16;  // are drained every iteration
+    PS2Stream ps2(options);
+    ps2.Bootstrap(w.sample);
+
+    SessionOptions good_opts;
+    good_opts.tenant = "good";
+    good_opts.queue_capacity = 1 << 16;
+    SessionOptions greedy_opts;
+    greedy_opts.tenant = "greedy";
+    greedy_opts.queue_capacity = 1 << 16;
+    auto good = ps2.OpenSession(good_opts);
+    auto greedy = ps2.OpenSession(greedy_opts);
+
+    // The reference sees exactly what the facade admitted.
+    ReferenceMatcher ref;
+    std::unordered_map<QueryId, bool> owner_is_good;
+    std::vector<QueryId> good_live;
+    std::vector<MatchResult> expected_good, expected_greedy;
+    std::vector<MatchResult> got_good, got_greedy;
+    uint64_t greedy_sub_rejections = 0, greedy_rate_rejections = 0;
+    size_t good_posts = 0;
+
+    size_t qi = 0, oi = 0;
+    while (qi < w.sample.inserts.size() || oi < w.extra_objects.size()) {
+      const double dice = rng.NextDouble();
+      if (dice < 0.30 && qi < w.sample.inserts.size()) {
+        // Subscribe: greedy grabs aggressively (3 of 4 draws), so it runs
+        // into its per-tenant ceiling; the well-behaved tenant stays under.
+        const STSQuery& q = w.sample.inserts[qi++];
+        // Well-behaved means staying deliberately under the ceiling (8).
+        const bool is_good = rng.NextBelow(4) == 0 && good_live.size() < 7;
+        auto sub = ps2.Subscribe(is_good ? good : greedy, q);
+        if (sub.ok()) {
+          sub->Release();
+          ref.Insert(q);
+          owner_is_good[q.id] = is_good;
+          if (is_good) good_live.push_back(q.id);
+        } else {
+          EXPECT_EQ(sub.status().code(), StatusCode::kResourceExhausted);
+          EXPECT_NE(sub.status().message().find(
+                        "quota.max_subscriptions_per_tenant"),
+                    std::string::npos)
+              << sub.status().message();
+          ASSERT_FALSE(is_good)
+              << "well-behaved tenant was rejected: "
+              << sub.status().message() << " (seed " << seed << ")";
+          ++greedy_sub_rejections;
+        }
+      } else if (dice < 0.36 && !good_live.empty()) {
+        // The well-behaved tenant occasionally rotates a subscription out.
+        const size_t pick = rng.NextBelow(good_live.size());
+        const QueryId id = good_live[pick];
+        good_live.erase(good_live.begin() + pick);
+        ASSERT_TRUE(ps2.Cancel(id).ok());
+        ref.Delete(id);
+        owner_is_good.erase(id);
+      } else if (oi < w.extra_objects.size()) {
+        // Publish: greedy posts 5 of 6 objects, bursting past its bucket;
+        // the well-behaved tenant's pace stays well under its own burst.
+        const SpatioTextualObject& o = w.extra_objects[oi++];
+        const bool is_good = rng.NextBelow(6) == 0 && good_posts < 75;
+        const Status st = ps2.Post(is_good ? "good" : "greedy", o);
+        if (is_good) {
+          ASSERT_TRUE(st.ok())
+              << "well-behaved tenant was rejected: " << st.ToString()
+              << " (seed " << seed << ")";
+          ++good_posts;
+        }
+        if (st.ok()) {
+          for (const MatchResult& m : ref.Match(o)) {
+            const auto it = owner_is_good.find(m.query_id);
+            if (it == owner_is_good.end()) continue;  // sessionless
+            (it->second ? expected_good : expected_greedy).push_back(m);
+          }
+        } else {
+          EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+          EXPECT_NE(st.message().find("quota.publish_rate_per_sec"),
+                    std::string::npos)
+              << st.message();
+          ++greedy_rate_rejections;
+        }
+      }
+      for (const MatchResult& m : Drain(good)) got_good.push_back(m);
+      for (const MatchResult& m : Drain(greedy)) got_greedy.push_back(m);
+    }
+
+    // The soak must actually have exercised the pressure.
+    EXPECT_GT(greedy_sub_rejections, 0u) << "seed " << seed;
+    EXPECT_GT(greedy_rate_rejections, 0u) << "seed " << seed;
+    ASSERT_FALSE(expected_good.empty()) << "seed " << seed;
+
+    // Exactness: the well-behaved tenant saw precisely the reference match
+    // set of the admitted stream — the greedy tenant's pressure cost it
+    // nothing. The greedy tenant's *admitted* subscriptions also behave
+    // normally; only its over-quota excess was refused.
+    EXPECT_EQ(testutil::Sorted(std::move(got_good)),
+              testutil::Sorted(std::move(expected_good)))
+        << "seed " << seed;
+    EXPECT_EQ(testutil::Sorted(std::move(got_greedy)),
+              testutil::Sorted(std::move(expected_greedy)))
+        << "seed " << seed;
+
+    // The counters surface the pressure.
+    const RunReport snap = ps2.MetricsSnapshot();
+    EXPECT_EQ(snap.quota_rejections, greedy_sub_rejections);
+    EXPECT_EQ(snap.rate_limited, greedy_rate_rejections);
+    EXPECT_EQ(ps2.quota().total_live(),
+              static_cast<uint64_t>(ps2.num_subscriptions()));
+  }
+}
+
+// Kill/recover under quotas: a durable service is hard-killed at a random
+// point, restored, and must (a) re-charge every recovered subscription so
+// the quota gauge stays truthful, (b) keep enforcing admission after
+// recovery, and (c) release restored charges on Cancel. Deliveries after
+// the restore are exact against the reference over the recovered
+// subscription set.
+TEST(QuotaSoakTest, KillRestoreSoakKeepsQuotaAccountingExact) {
+  const int rounds = SoakRounds(2);
+  const testutil::TestWorkload w = testutil::MakeWorkload(4100, 600, 180);
+  for (int round = 0; round < rounds; ++round) {
+    const uint64_t seed = ChaosSeed(4200 + static_cast<uint64_t>(round));
+    std::cout << "[ SOAK   ] kill/restore round " << round << " seed "
+              << seed << " (override with PS2_CHAOS_SEED)" << std::endl;
+    const std::string dir =
+        ::testing::TempDir() + "/ps2_soak_restore_" + std::to_string(seed);
+    std::filesystem::remove_all(dir);
+    Rng rng(seed);
+
+    PS2StreamOptions opts;
+    opts.durability.enabled = true;
+    opts.durability.dir = dir;
+    opts.quota.max_subscriptions_per_tenant = 64;
+
+    std::unordered_map<QueryId, STSQuery> expected_live;
+    size_t oi = 0;
+    {
+      PS2Stream ps2(opts);
+      ps2.Bootstrap(w.sample);
+      ASSERT_TRUE(ps2.durable());
+      const size_t schedule =
+          20 + rng.NextBelow(w.sample.inserts.size() - 20);
+      for (size_t i = 0; i < schedule; ++i) {
+        const double dice = rng.NextDouble();
+        if (dice < 0.55) {
+          const STSQuery& q = w.sample.inserts[i];
+          auto sub = ps2.Subscribe(nullptr, q);
+          ASSERT_TRUE(sub.ok()) << sub.status().ToString();
+          sub->Release();
+          expected_live[q.id] = q;
+        } else if (dice < 0.65 && !expected_live.empty()) {
+          const QueryId id = expected_live.begin()->first;
+          ASSERT_TRUE(ps2.Cancel(id).ok());
+          expected_live.erase(id);
+        } else if (oi < w.extra_objects.size()) {
+          ASSERT_TRUE(ps2.Post(w.extra_objects[oi++]).ok());
+        }
+      }
+      ASSERT_GE(expected_live.size(), 2u) << "seed " << seed;
+      EXPECT_EQ(ps2.quota().total_live(), expected_live.size());
+      ps2.Kill();  // no Stop(), no final checkpoint
+    }
+
+    // Cap the restored service's total at exactly the recovered count:
+    // recovery must re-charge every subscription (never reject one), and
+    // the very next admission must find the quota exhausted.
+    PS2StreamOptions ropts;
+    ropts.quota.max_total_subscriptions = expected_live.size();
+    PS2Stream recovered(ropts);
+    ASSERT_TRUE(recovered.Restore(dir)) << "seed " << seed;
+    ASSERT_EQ(recovered.num_subscriptions(), expected_live.size());
+    EXPECT_EQ(recovered.quota().total_live(), expected_live.size());
+
+    auto session = recovered.OpenSession({.queue_capacity = 1 << 16});
+    for (const auto& [id, q] : recovered.subscriptions()) {
+      recovered.delivery().Route(id, session);
+    }
+
+    // (b) enforcement continues: the restored charges fill the quota.
+    auto over = recovered.Subscribe(session, "soak",
+                                    Rect(0, 0, 1, 1));
+    ASSERT_FALSE(over.ok());
+    EXPECT_EQ(over.status().code(), StatusCode::kResourceExhausted);
+    EXPECT_NE(
+        over.status().message().find("quota.max_total_subscriptions"),
+        std::string::npos)
+        << over.status().message();
+
+    // (c) restored charges are refundable: cancel one, and the slot opens.
+    const QueryId victim = recovered.subscriptions().begin()->first;
+    ASSERT_TRUE(recovered.Cancel(victim).ok());
+    expected_live.erase(victim);
+    EXPECT_EQ(recovered.quota().total_live(), expected_live.size());
+    auto refill = recovered.Subscribe(nullptr, "soak",
+                                      Rect(0, 0, 1, 1));
+    ASSERT_TRUE(refill.ok()) << refill.status().ToString();
+    ASSERT_TRUE(recovered.Cancel(refill->id()).ok());
+    refill->Release();
+
+    // (a)+exactness: post the rest of the stream; deliveries match the
+    // reference over the recovered live set.
+    ReferenceMatcher ref;
+    for (const auto& [id, q] : expected_live) ref.Insert(q);
+    std::vector<MatchResult> expected, got;
+    for (; oi < w.extra_objects.size(); ++oi) {
+      const SpatioTextualObject& o = w.extra_objects[oi];
+      ASSERT_TRUE(recovered.Post(o).ok());
+      for (const MatchResult& m : ref.Match(o)) expected.push_back(m);
+      for (const MatchResult& m : Drain(session)) got.push_back(m);
+    }
+    EXPECT_EQ(testutil::Sorted(std::move(got)),
+              testutil::Sorted(std::move(expected)))
+        << "seed " << seed;
+
+    std::filesystem::remove_all(dir);
+  }
+}
+
+}  // namespace
+}  // namespace ps2

@@ -177,6 +177,36 @@ TEST(ExpiryWheelTest, PopsDueBucketsInStampOrder) {
   EXPECT_TRUE(wheel.empty());
 }
 
+// Regression: coalescing must survive interleaving. The original
+// implementation only compared against bucket.back(), so re-scheduling the
+// same (stamp, query) with another query in between grew the bucket and
+// inflated every later PopDue due-list.
+TEST(ExpiryWheelTest, CoalescesInterleavedDuplicates) {
+  ExpiryWheel wheel;
+  wheel.Schedule(100, 1);
+  wheel.Schedule(100, 2);
+  wheel.Schedule(100, 1);  // interleaved duplicate of (100, 1)
+  wheel.Schedule(100, 2);  // interleaved duplicate of (100, 2)
+  wheel.Schedule(100, 1);
+
+  std::vector<QueryId> due;
+  wheel.PopDue(100, &due);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0], 1u);
+  EXPECT_EQ(due[1], 2u);
+  EXPECT_TRUE(wheel.empty());
+
+  // Distinct stamps still keep distinct buckets: the same query may be due
+  // at two different times.
+  wheel.Schedule(200, 9);
+  wheel.Schedule(300, 9);
+  due.clear();
+  wheel.PopDue(300, &due);
+  ASSERT_EQ(due.size(), 2u);
+  EXPECT_EQ(due[0], 9u);
+  EXPECT_EQ(due[1], 9u);
+}
+
 // ---------------------------------------------------------------------------
 // Top-k coordinator (unit)
 // ---------------------------------------------------------------------------

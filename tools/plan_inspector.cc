@@ -17,12 +17,20 @@
 // version, and a read-only recovery summary of every shard.
 //
 //   plan_inspector --shards <dir>
+//
+// --metrics stands the durable state back up (a real Restore, single
+// engine or fabric) and prints the Prometheus rendering of its metrics
+// snapshot — a quick way to check what a scraper would see before wiring
+// the exporter into a deployment.
+//
+//   plan_inspector --metrics <dir>
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "partition/plan.h"
 #include "persist/durability.h"
+#include "runtime/ps2stream.h"
 #include "shard/shard_map.h"
 #include "subscribe/spec.h"
 #include "workload/stream_gen.h"
@@ -191,6 +199,19 @@ int InspectShards(const std::string& dir) {
   return 0;
 }
 
+int InspectMetrics(const std::string& dir) {
+  PS2Stream ps2;
+  if (!ps2.Restore(dir)) {
+    std::fprintf(stderr,
+                 "no restorable state at '%s' (expects a durability "
+                 "directory or a shard-fabric root)\n",
+                 dir.c_str());
+    return 1;
+  }
+  std::fputs(ps2.MetricsPrometheus().c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -207,6 +228,13 @@ int main(int argc, char** argv) {
       return 1;
     }
     return InspectShards(argv[2]);
+  }
+  if (argc >= 2 && std::strcmp(argv[1], "--metrics") == 0) {
+    if (argc < 3) {
+      std::fprintf(stderr, "usage: plan_inspector --metrics <dir>\n");
+      return 1;
+    }
+    return InspectMetrics(argv[2]);
   }
 
   const std::string algo = argc > 1 ? argv[1] : "hybrid";
